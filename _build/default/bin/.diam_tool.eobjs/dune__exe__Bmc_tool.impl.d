@@ -1,0 +1,1 @@
+bin/bmc_tool.ml: Arg Bmc Cmd Cmdliner Core Format List Netlist Term Textio

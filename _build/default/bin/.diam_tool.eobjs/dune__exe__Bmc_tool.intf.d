@@ -1,0 +1,1 @@
+bin/bmc_tool.mli:

@@ -1,0 +1,1 @@
+bin/diam_tool.ml: Arg Cmd Cmdliner Core Format List Netlist Term Textio Workload

@@ -1,0 +1,1 @@
+bin/diam_tool.mli:

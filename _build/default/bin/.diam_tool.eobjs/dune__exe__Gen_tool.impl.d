@@ -1,0 +1,1 @@
+bin/gen_tool.ml: Arg Cmd Cmdliner Format List Netlist Term Textio Workload

@@ -1,0 +1,1 @@
+bin/verify_tool.ml: Arg Bmc Cmd Cmdliner Core Format List Netlist Printf Term Textio

@@ -1,0 +1,1 @@
+bin/verify_tool.mli:

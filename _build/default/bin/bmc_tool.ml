@@ -1,0 +1,91 @@
+(* bmc-check: bounded model checking with optional diameter-bound
+   completeness.
+
+     bmc-check circuit.bench --target po0 --depth 20
+     bmc-check circuit.bench --target po0 --complete                  *)
+
+module Net = Netlist.Net
+
+let run file target depth complete vcd =
+  let net = Textio.Bench_io.parse_file file in
+  let target =
+    match (target, Net.targets net) with
+    | Some t, _ -> t
+    | None, (t, _) :: _ -> t
+    | None, [] ->
+      Format.eprintf "netlist has no targets@.";
+      exit 2
+  in
+  let depth =
+    if complete then begin
+      let b = Core.Bound.target_named net target in
+      if Core.Sat_bound.is_huge b.Core.Bound.bound then begin
+        Format.eprintf
+          "no practically useful diameter bound for %s (cone of %d \
+           registers); try --depth@."
+          target b.Core.Bound.coi_regs;
+        exit 3
+      end;
+      Format.printf "diameter bound %a: checking to depth %d is complete@."
+        Core.Sat_bound.pp b.Core.Bound.bound
+        (b.Core.Bound.bound - 1);
+      b.Core.Bound.bound - 1
+    end
+    else depth
+  in
+  match Bmc.check net ~target ~depth with
+  | Bmc.Hit cex ->
+    let replayed = Bmc.replay net (List.assoc target (Net.targets net)) cex in
+    Format.printf "target %s HIT at time %d (replay: %b)@." target
+      cex.Bmc.depth replayed;
+    (match vcd with
+    | Some path ->
+      Textio.Vcd.write_file path net (Bmc.frames_of_cex net cex);
+      Format.printf "waveform written to %s@." path
+    | None -> ());
+    List.iter
+      (fun (v, t, value) ->
+        match Net.node net v with
+        | Net.Input name -> Format.printf "  %s@%d = %b@." name t value
+        | Net.Const | Net.And _ | Net.Reg _ | Net.Latch _ -> ())
+      (List.sort compare cex.Bmc.inputs);
+    exit 1
+  | Bmc.No_hit d ->
+    if complete then Format.printf "no hit to depth %d: PROVED.@." d
+    else Format.printf "no hit to depth %d (bounded result only).@." d
+
+open Cmdliner
+
+let file =
+  Arg.(
+    required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:".bench netlist")
+
+let target =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "target" ] ~docv:"NAME" ~doc:"Target to check (default: first)")
+
+let depth =
+  Arg.(value & opt int 20 & info [ "depth" ] ~docv:"N" ~doc:"BMC depth")
+
+let complete =
+  Arg.(
+    value & flag
+    & info [ "complete" ]
+        ~doc:"Derive the depth from the structural diameter bound, turning \
+              the bounded check into a proof")
+
+let vcd =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump the counterexample as a VCD waveform")
+
+let cmd =
+  let doc = "bounded model checking with diameter-bound completeness" in
+  Cmd.v
+    (Cmd.info "bmc-check" ~doc)
+    Term.(const run $ file $ target $ depth $ complete $ vcd)
+
+let () = exit (Cmd.eval cmd)

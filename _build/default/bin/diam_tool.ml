@@ -1,0 +1,100 @@
+(* diam: per-target structural diameter bounds for a .bench netlist,
+   through a chosen transformation pipeline.
+
+     diam circuit.bench
+     diam --design S5378 --pipeline com-ret-com
+     diam circuit.bench --recurrence --cutoff 30                      *)
+
+module Net = Netlist.Net
+
+let load file design =
+  match (file, design) with
+  | Some path, None -> Textio.Bench_io.parse_file path
+  | None, Some name -> (
+    match Workload.Iscas.by_name name with
+    | net -> net
+    | exception Not_found -> (
+      match Workload.Gp.by_name name with
+      | latched -> fst (Core.Pipeline.phase_front latched)
+      | exception Not_found ->
+        Format.eprintf "unknown built-in design %s@." name;
+        exit 2))
+  | Some _, Some _ ->
+    Format.eprintf "give either a file or --design, not both@.";
+    exit 2
+  | None, None ->
+    Format.eprintf "no input: give a .bench file or --design NAME@.";
+    exit 2
+
+let run file design pipeline cutoff recurrence =
+  let net = load file design in
+  Format.printf "netlist: %a@." Net.pp_stats net;
+  let report =
+    match pipeline with
+    | "original" -> Core.Pipeline.original net
+    | "com" -> Core.Pipeline.com net
+    | "com-ret-com" -> Core.Pipeline.com_ret_com net
+    | other ->
+      Format.eprintf "unknown pipeline %s@." other;
+      exit 2
+  in
+  Format.printf "pipeline %s: register classes (CC;AC;MC+QC;GC) %a@."
+    report.Core.Pipeline.pipeline Core.Classify.pp_counts
+    report.Core.Pipeline.reg_counts;
+  List.iter
+    (fun t ->
+      Format.printf "  %-24s bound %-8s (raw %s via %a)" t.Core.Pipeline.target
+        (Core.Sat_bound.to_string t.Core.Pipeline.bound)
+        (Core.Sat_bound.to_string t.Core.Pipeline.raw_bound)
+        Core.Translate.pp t.Core.Pipeline.translator;
+      if recurrence then begin
+        match List.assoc_opt t.Core.Pipeline.target (Net.targets net) with
+        | Some lit ->
+          let r = Core.Recurrence.compute ~limit:64 net lit in
+          Format.printf "  recurrence %s (%d SAT calls)"
+            (Core.Sat_bound.to_string r.Core.Recurrence.bound)
+            r.Core.Recurrence.sat_calls
+        | None -> ()
+      end;
+      Format.printf "@.")
+    report.Core.Pipeline.targets;
+  let s = Core.Pipeline.summarize ~cutoff report in
+  Format.printf "targets below cutoff %d: %d/%d (avg %.1f)@." cutoff
+    s.Core.Pipeline.proved_small s.Core.Pipeline.total s.Core.Pipeline.average
+
+open Cmdliner
+
+let file =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:".bench netlist")
+
+let design =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "design" ] ~docv:"NAME"
+        ~doc:"Built-in benchmark design (Table 1/2 name, e.g. S5378 or L_LRU)")
+
+let pipeline =
+  Arg.(
+    value & opt string "original"
+    & info [ "pipeline" ] ~docv:"P"
+        ~doc:"Transformation pipeline: original, com, or com-ret-com")
+
+let cutoff =
+  Arg.(
+    value & opt int 50
+    & info [ "cutoff" ] ~docv:"N" ~doc:"BMC-dischargeable bound cutoff")
+
+let recurrence =
+  Arg.(
+    value & flag
+    & info [ "recurrence" ]
+        ~doc:"Also compute the recurrence-diameter baseline per target")
+
+let cmd =
+  let doc = "structural diameter bounds via transformation pipelines" in
+  Cmd.v
+    (Cmd.info "diam" ~doc)
+    Term.(const run $ file $ design $ pipeline $ cutoff $ recurrence)
+
+let () = exit (Cmd.eval cmd)

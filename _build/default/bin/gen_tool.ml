@@ -1,0 +1,62 @@
+(* diam-gen: emit the synthetic benchmark designs as .bench files.
+
+     diam-gen --design S5378 -o s5378.bench
+     diam-gen --list                                                  *)
+
+let run design output list_them =
+  if list_them then begin
+    Format.printf "ISCAS89-like (Table 1):@.";
+    List.iter (Format.printf "  %s@.") Workload.Iscas.names;
+    Format.printf "GP-like, two-phase latches (Table 2):@.";
+    List.iter (Format.printf "  %s@.") Workload.Gp.names
+  end
+  else
+    match design with
+    | None ->
+      Format.eprintf "give --design NAME (see --list)@.";
+      exit 2
+    | Some name -> (
+      let net =
+        match Workload.Iscas.by_name name with
+        | net -> Some net
+        | exception Not_found -> (
+          match Workload.Gp.by_name name with
+          | net -> Some net
+          | exception Not_found -> None)
+      in
+      match net with
+      | None ->
+        Format.eprintf "unknown design %s (see --list)@." name;
+        exit 2
+      | Some net -> (
+        let text = Textio.Bench_io.to_string net in
+        match output with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Format.printf "wrote %s (%a)@." path Netlist.Net.pp_stats net
+        | None -> print_string text))
+
+open Cmdliner
+
+let design =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "design" ] ~docv:"NAME" ~doc:"Design to emit")
+
+let output =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (default stdout)")
+
+let list_them =
+  Arg.(value & flag & info [ "list" ] ~doc:"List the available designs")
+
+let cmd =
+  let doc = "emit the synthetic Table 1/2 benchmark designs as .bench" in
+  Cmd.v (Cmd.info "diam-gen" ~doc) Term.(const run $ design $ output $ list_them)
+
+let () = exit (Cmd.eval cmd)

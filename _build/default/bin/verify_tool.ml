@@ -1,0 +1,71 @@
+(* diam-verify: the push-button transformation-based verification
+   driver.
+
+     diam-verify circuit.bench --target po0
+     diam-verify circuit.bench               # every target            *)
+
+module Net = Netlist.Net
+
+let run file target cutoff vcd =
+  let net = Textio.Bench_io.parse_file file in
+  let targets =
+    match target with
+    | Some t -> [ t ]
+    | None -> List.map fst (Net.targets net)
+  in
+  if targets = [] then begin
+    Format.eprintf "netlist has no targets@.";
+    exit 2
+  end;
+  let config = { Core.Engine.default with Core.Engine.cutoff } in
+  let failures = ref 0 in
+  List.iter
+    (fun t ->
+      let verdict = Core.Engine.verify ~config net ~target:t in
+      Format.printf "%-24s %a@." t Core.Engine.pp_verdict verdict;
+      match verdict with
+      | Core.Engine.Violated { cex; _ } ->
+        incr failures;
+        (match vcd with
+        | Some path ->
+          let path = Printf.sprintf "%s.%s.vcd" path t in
+          Textio.Vcd.write_file path net (Bmc.frames_of_cex net cex);
+          Format.printf "  waveform: %s@." path
+        | None -> ())
+      | Core.Engine.Proved _ -> ()
+      | Core.Engine.Inconclusive _ -> incr failures)
+    targets;
+  if !failures > 0 then exit 1
+
+open Cmdliner
+
+let file =
+  Arg.(
+    required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:".bench netlist")
+
+let target =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "target" ] ~docv:"NAME" ~doc:"Target to verify (default: all)")
+
+let cutoff =
+  Arg.(
+    value & opt int 50
+    & info [ "cutoff" ] ~docv:"N"
+        ~doc:"Largest diameter bound considered BMC-dischargeable")
+
+let vcd =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "vcd" ] ~docv:"PREFIX"
+        ~doc:"Dump counterexample waveforms to PREFIX.<target>.vcd")
+
+let cmd =
+  let doc = "transformation-based verification (probe, bounds, induction)" in
+  Cmd.v
+    (Cmd.info "diam-verify" ~doc)
+    Term.(const run $ file $ target $ cutoff $ vcd)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/engine_tour.ml: Core Format List Netlist Workload

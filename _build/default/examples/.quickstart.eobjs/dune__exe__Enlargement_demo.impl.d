@@ -1,0 +1,1 @@
+examples/enlargement_demo.ml: Bmc Core Format List Netlist Printf Transform Workload

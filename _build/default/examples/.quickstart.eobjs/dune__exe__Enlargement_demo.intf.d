@@ -1,0 +1,1 @@
+examples/enlargement_demo.mli:

@@ -1,0 +1,1 @@
+examples/memory_controller.ml: Bmc Core Format List Netlist Printf Workload

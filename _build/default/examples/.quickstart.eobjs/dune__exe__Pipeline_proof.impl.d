@@ -1,0 +1,1 @@
+examples/pipeline_proof.ml: Bmc Core Format List Netlist Printf Transform Workload

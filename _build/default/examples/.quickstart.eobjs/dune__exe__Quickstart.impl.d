@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bmc Core Format List Netlist Printf

@@ -1,0 +1,1 @@
+examples/retiming_demo.ml: Bmc Core Format List Netlist Transform Workload

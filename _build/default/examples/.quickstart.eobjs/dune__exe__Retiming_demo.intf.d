@@ -1,0 +1,1 @@
+examples/retiming_demo.mli:

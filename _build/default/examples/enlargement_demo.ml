@@ -1,0 +1,71 @@
+(* Target enlargement (Section 3.4, Theorem 4) and the cautionary
+   tales of Sections 3.5/3.6.
+
+     dune exec examples/enlargement_demo.exe *)
+
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let () =
+  (* an 8-state counter with a mid-range target *)
+  let net = Net.create () in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:3 ~enable:Lit.true_ in
+  let t =
+    match c.Workload.Gen.regs with
+    | [ b0; b1; b2 ] -> Net.add_and_list net [ b0; Lit.neg b1; b2 ] (* value 5 *)
+    | _ -> assert false
+  in
+  Net.add_target net "hit5" t;
+  Format.printf "design: %a@." Net.pp_stats net;
+
+  let k = 3 in
+  (match Transform.Enlarge.run net ~target:"hit5" ~k with
+  | None -> assert false
+  | Some r ->
+    Format.printf
+      "%d-step enlarged target: BDD with %d nodes (states that hit in \
+       exactly %d steps, none earlier)@."
+      k r.Transform.Enlarge.bdd_size k;
+    let b = Core.Bound.target_named r.Transform.Enlarge.net
+        (Printf.sprintf "hit5#enl%d" k)
+    in
+    let translated =
+      (Core.Translate.target_enlargement ~k).Core.Translate.apply
+        b.Core.Bound.bound
+    in
+    Format.printf
+      "Theorem 4: enlarged bound %a + k = %a bounds the first possible hit \
+       of the original target@."
+      Core.Sat_bound.pp b.Core.Bound.bound Core.Sat_bound.pp translated;
+    (match Bmc.check net ~target:"hit5" ~depth:(translated - 1) with
+    | Bmc.Hit cex -> Format.printf "indeed: first hit at time %d@." cex.Bmc.depth
+    | Bmc.No_hit d -> Format.printf "no hit to %d: hit5 unreachable@." d));
+
+  (* Sections 3.5/3.6: why over/under-approximations have no theorem *)
+  Format.printf
+    "@.-- localization (overapproximate): cutting the carry chain --@.";
+  let cut =
+    List.map (fun r -> Lit.var (Net.reg_of net (Lit.var r)).Net.next) c.Workload.Gen.regs
+  in
+  let loc = Transform.Localize.run net ~cut in
+  let b_loc = Core.Bound.target_named loc.Transform.Rebuild.net "hit5" in
+  let b_orig = Core.Bound.target_named net "hit5" in
+  Format.printf
+    "localized bound %a vs original %a: the freed registers reach any \
+     state in one step, so the localized \"diameter\" says nothing about \
+     the original (the real first hit is at time 5 > %a - 1)@."
+    Core.Sat_bound.pp b_loc.Core.Bound.bound Core.Sat_bound.pp
+    b_orig.Core.Bound.bound Core.Sat_bound.pp b_loc.Core.Bound.bound;
+
+  Format.printf "@.-- case splitting (underapproximate): freezing enable --@.";
+  let net2 = Net.create () in
+  let en = Net.add_input net2 "en" in
+  let c2 = Workload.Gen.counter net2 ~name:"c" ~bits:3 ~enable:en in
+  Net.add_target net2 "t" c2.Workload.Gen.out;
+  let split = Transform.Casesplit.run net2 ~assignment:[ ("en", false) ] in
+  let reduced, _ = Transform.Com.run split.Transform.Rebuild.net in
+  let b_split = Core.Bound.target_named reduced.Transform.Rebuild.net "t" in
+  Format.printf
+    "split bound %a — yet the original counter hits all-ones at time 7: \
+     underapproximate bounds are equally unusable@." Core.Sat_bound.pp
+    b_split.Core.Bound.bound

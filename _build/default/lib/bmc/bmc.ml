@@ -1,0 +1,84 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Sim = Netlist.Sim
+module Solver = Sat.Solver
+
+type cex = {
+  depth : int;
+  inputs : (int * int * bool) list;
+  init_x : (int * bool) list;
+}
+
+type outcome = Hit of cex | No_hit of int
+
+let check_lit ?(from = 0) net target ~depth =
+  let solver = Solver.create () in
+  let unroll = Encode.Unroll.create solver net in
+  let rec search t =
+    if t > depth then No_hit depth
+    else begin
+      let tl = Encode.Unroll.lit_at unroll target t in
+      match Solver.solve ~assumptions:[ tl ] solver with
+      | Solver.Sat ->
+        let inputs =
+          List.map
+            (fun (v, time, sl) -> (v, time, Solver.value solver sl))
+            (Encode.Unroll.input_frames unroll ~upto:t)
+        in
+        Hit { depth = t; inputs; init_x = Encode.Unroll.init_x_assignments unroll }
+      | Solver.Unsat -> search (t + 1)
+    end
+  in
+  search from
+
+let find_target net name =
+  match List.assoc_opt name (Net.targets net) with
+  | Some l -> l
+  | None -> invalid_arg ("Bmc: unknown target " ^ name)
+
+let check ?from net ~target ~depth = check_lit ?from net (find_target net target) ~depth
+
+let replay net target cex =
+  let init_table = Hashtbl.create 16 in
+  List.iter (fun (v, b) -> Hashtbl.replace init_table v b) cex.init_x;
+  let input_table = Hashtbl.create 64 in
+  List.iter (fun (v, t, b) -> Hashtbl.replace input_table (v, t) b) cex.inputs;
+  let init v =
+    match Hashtbl.find_opt init_table v with
+    | Some b -> Sim.value_of_bool b
+    | None -> Sim.Vx
+  in
+  let s = Sim.create_with ~init net in
+  let rec run t =
+    Sim.step s (fun v ->
+        match Hashtbl.find_opt input_table (v, t) with
+        | Some b -> Sim.value_of_bool b
+        | None -> Sim.V0);
+    if t = cex.depth then Sim.value s target = Sim.V1 else run (t + 1)
+  in
+  run 0
+
+let frames_of_cex net cex =
+  let init_table = Hashtbl.create 16 in
+  List.iter (fun (v, b) -> Hashtbl.replace init_table v b) cex.init_x;
+  let input_table = Hashtbl.create 64 in
+  List.iter (fun (v, t, b) -> Hashtbl.replace input_table (v, t) b) cex.inputs;
+  let init v =
+    match Hashtbl.find_opt init_table v with
+    | Some b -> Sim.value_of_bool b
+    | None -> Sim.Vx
+  in
+  let s = Sim.create_with ~init net in
+  Array.init (cex.depth + 1) (fun t ->
+      Sim.step s (fun v ->
+          match Hashtbl.find_opt input_table (v, t) with
+          | Some b -> Sim.value_of_bool b
+          | None -> Sim.V0);
+      Array.init (Net.num_vars net) (fun v -> Sim.value s (Lit.make v)))
+
+let prove net ~target ~bound =
+  if bound <= 0 then `Proved
+  else
+    match check net ~target ~depth:(bound - 1) with
+    | No_hit _ -> `Proved
+    | Hit cex -> `Cex cex

@@ -1,0 +1,43 @@
+(** Bounded model checking over the CDCL solver.
+
+    The checker unrolls the netlist incrementally (one shared solver,
+    cones encoded on demand) and asks, per depth, whether the target
+    can be asserted at that time step.  Combined with a diameter bound
+    [d] from the core library, [check ~depth:(d - 1)] returning
+    [No_hit] constitutes a complete proof of [AG (not target)]
+    (a bounded check of depth equal to the diameter is complete;
+    Definition 3 makes the bound one greater than the classical graph
+    diameter, hence hits can only occur at times [0 .. d - 1]). *)
+
+type cex = {
+  depth : int;  (** time step at which the target is hit *)
+  inputs : (int * int * bool) list;
+      (** (input variable, time, value) for every encoded frame *)
+  init_x : (int * bool) list;
+      (** resolution of the nondeterministic initial values *)
+}
+
+type outcome =
+  | Hit of cex
+  | No_hit of int  (** no hit at times [0 .. n] *)
+
+val check : ?from:int -> Netlist.Net.t -> target:string -> depth:int -> outcome
+(** Search depths [from .. depth] (inclusive) for a hit of the named
+    target.  @raise Invalid_argument on an unknown target name. *)
+
+val check_lit :
+  ?from:int -> Netlist.Net.t -> Netlist.Lit.t -> depth:int -> outcome
+
+val replay : Netlist.Net.t -> Netlist.Lit.t -> cex -> bool
+(** Replay a counterexample on the three-valued simulator and confirm
+    the target is hit at [cex.depth]. *)
+
+val frames_of_cex : Netlist.Net.t -> cex -> Netlist.Sim.value array array
+(** Replay a counterexample and capture every vertex's value at each
+    time step [0 .. depth] — ready for waveform dumping
+    ({!Textio.Vcd}). *)
+
+val prove :
+  Netlist.Net.t -> target:string -> bound:int -> [ `Proved | `Cex of cex ]
+(** Complete invariant check given a diameter bound: BMC to depth
+    [bound - 1]; absence of hits is a proof. *)

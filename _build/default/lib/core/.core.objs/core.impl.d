@@ -1,0 +1,1 @@
+lib/core/core.ml: Bound Classify Compose Engine Exact Induction Pipeline Recurrence Sat_bound Symbolic Translate

@@ -1,0 +1,1 @@
+lib/core/bound.ml: Array Classify Compose List Netlist Sat_bound

@@ -1,0 +1,1 @@
+lib/core/bound.mli: Classify Netlist Sat_bound

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Format Hashtbl List Netlist Option

@@ -1,0 +1,1 @@
+lib/core/compose.ml: Array Classify Hashtbl List Netlist Sat_bound

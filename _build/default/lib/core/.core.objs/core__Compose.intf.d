@@ -1,0 +1,1 @@
+lib/core/compose.mli: Classify Netlist Sat_bound

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Bmc Bound Format Induction List Netlist Pipeline Printf Recurrence Sat_bound String Transform Translate

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Bmc Format Netlist

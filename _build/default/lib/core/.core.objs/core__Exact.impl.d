@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Hashtbl List Netlist Queue Transform

@@ -1,0 +1,1 @@
+lib/core/exact.mli: Netlist

@@ -1,0 +1,1 @@
+lib/core/induction.ml: Array Bmc Encode List Netlist Sat

@@ -1,0 +1,1 @@
+lib/core/induction.mli: Bmc Netlist

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Bound Classify Format List Netlist Option Sat_bound Transform Translate

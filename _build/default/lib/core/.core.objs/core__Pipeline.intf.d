@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Classify Format Netlist Sat_bound Translate

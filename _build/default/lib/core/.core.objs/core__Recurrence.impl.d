@@ -1,0 +1,1 @@
+lib/core/recurrence.ml: Array Encode Hashtbl List Netlist Queue Sat Sat_bound Transform

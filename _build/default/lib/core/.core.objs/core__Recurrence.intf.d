@@ -1,0 +1,1 @@
+lib/core/recurrence.mli: Netlist Sat_bound

@@ -1,0 +1,1 @@
+lib/core/sat_bound.ml: Format

@@ -1,0 +1,1 @@
+lib/core/symbolic.ml: Array Bdd Hashtbl List Netlist Transform

@@ -1,0 +1,1 @@
+lib/core/translate.ml: Format Fun Printf Sat_bound

@@ -1,0 +1,1 @@
+lib/core/translate.mli: Format Sat_bound

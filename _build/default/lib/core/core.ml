@@ -1,0 +1,21 @@
+(** Enhanced diameter bounding via structural transformation
+    (Baumgartner & Kuehlmann, DATE 2004).
+
+    The core library: the compositional structural diameter
+    overapproximation of [7] ({!Classify}, {!Compose}, {!Bound}), the
+    Theorem-1..4 bound translators ({!Translate}), the recurrence
+    diameter baseline ({!Recurrence}), an exact explicit-state oracle
+    ({!Exact}) and the transformation pipelines driving the paper's
+    experiments ({!Pipeline}). *)
+
+module Sat_bound = Sat_bound
+module Classify = Classify
+module Compose = Compose
+module Bound = Bound
+module Translate = Translate
+module Recurrence = Recurrence
+module Induction = Induction
+module Exact = Exact
+module Pipeline = Pipeline
+module Engine = Engine
+module Symbolic = Symbolic

@@ -1,0 +1,155 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+type config = {
+  cutoff : int;
+  probe_depth : int;
+  enlargement_k : int;
+  enlargement_reg_limit : int;
+  recurrence_limit : int;
+  induction_max_k : int;
+}
+
+let default =
+  {
+    cutoff = 50;
+    probe_depth = 10;
+    enlargement_k = 3;
+    enlargement_reg_limit = 18;
+    recurrence_limit = 48;
+    induction_max_k = 16;
+  }
+
+type verdict =
+  | Proved of { strategy : string; depth : int }
+  | Violated of { strategy : string; cex : Bmc.cex }
+  | Inconclusive of { attempts : (string * string) list }
+
+let pp_verdict ppf = function
+  | Proved { strategy; depth } ->
+    Format.fprintf ppf "PROVED by %s (complete to depth %d)" strategy depth
+  | Violated { strategy; cex } ->
+    Format.fprintf ppf "VIOLATED at time %d (found by %s)" cex.Bmc.depth
+      strategy
+  | Inconclusive { attempts } ->
+    Format.fprintf ppf "INCONCLUSIVE after %d strategies:"
+      (List.length attempts);
+    List.iter
+      (fun (s, why) -> Format.fprintf ppf "@.  %s: %s" s why)
+      attempts
+
+exception Done of verdict
+
+let verify ?(config = default) net ~target =
+  if not (List.mem_assoc target (Net.targets net)) then
+    invalid_arg ("Engine.verify: unknown target " ^ target);
+  let attempts = ref [] in
+  let stand_down strategy reason =
+    attempts := (strategy, reason) :: !attempts
+  in
+  (* a finite translated bound below the cutoff closes the problem
+     with one complete BMC run on the ORIGINAL netlist *)
+  let discharge strategy bound =
+    if Sat_bound.is_huge bound then
+      stand_down strategy "no practically useful bound"
+    else if bound >= config.cutoff then
+      stand_down strategy
+        (Printf.sprintf "bound %s above cutoff %d" (Sat_bound.to_string bound)
+           config.cutoff)
+    else begin
+      match Bmc.check net ~target ~depth:(bound - 1) with
+      | Bmc.No_hit d -> raise (Done (Proved { strategy; depth = d }))
+      | Bmc.Hit cex -> raise (Done (Violated { strategy; cex }))
+    end
+  in
+  let latch_based = Net.num_latches net > 0 in
+  try
+    (* 1. shallow probe *)
+    (match Bmc.check net ~target ~depth:config.probe_depth with
+    | Bmc.Hit cex -> raise (Done (Violated { strategy = "bmc-probe"; cex }))
+    | Bmc.No_hit _ -> stand_down "bmc-probe" "no shallow counterexample");
+    (* bounds are computed on the register-based view; for latch
+       designs that is the phase abstraction, translated by Theorem 3 *)
+    let reg_view, fold =
+      if latch_based then begin
+        let abstracted, translator = Pipeline.phase_front net in
+        (abstracted, translator)
+      end
+      else (net, Translate.identity)
+    in
+    let fold_back b = fold.Translate.apply b in
+    (* 2. structural bound, untransformed *)
+    (match List.assoc_opt target (Net.targets reg_view) with
+    | None -> stand_down "structural-bound" "target lost by phase abstraction"
+    | Some l ->
+      discharge "structural-bound" (fold_back (Bound.target reg_view l).Bound.bound));
+    (* 3. COM (Theorem 1) *)
+    let com_report = Pipeline.com reg_view in
+    (match
+       List.find_opt
+         (fun t -> String.equal t.Pipeline.target target)
+         com_report.Pipeline.targets
+     with
+    | Some t -> discharge "com+bound" (fold_back t.Pipeline.bound)
+    | None -> stand_down "com+bound" "target reduced away");
+    (* 4. COM,RET,COM (Theorems 1 + 2) *)
+    let crc_report = Pipeline.com_ret_com reg_view in
+    (match
+       List.find_opt
+         (fun t -> String.equal t.Pipeline.target target)
+         crc_report.Pipeline.targets
+     with
+    | Some t -> discharge "com-ret-com+bound" (fold_back t.Pipeline.bound)
+    | None -> stand_down "com-ret-com+bound" "target reduced away");
+    (* 5. target enlargement (Theorem 4) — register view only, and the
+       hittability bound is still a valid completeness threshold for
+       this very target *)
+    if latch_based then
+      stand_down "enlargement+bound" "latch-based design"
+    else begin
+      match
+        Transform.Enlarge.run ~reg_limit:config.enlargement_reg_limit net
+          ~target ~k:config.enlargement_k
+      with
+      | None -> stand_down "enlargement+bound" "cone too large for BDDs"
+      | Some r ->
+        if r.Transform.Enlarge.empty then begin
+          (* every hit, if any, occurs within the first k steps *)
+          match Bmc.check net ~target ~depth:(config.enlargement_k - 1) with
+          | Bmc.No_hit d ->
+            raise (Done (Proved { strategy = "enlargement-empty"; depth = d }))
+          | Bmc.Hit cex ->
+            raise (Done (Violated { strategy = "enlargement-empty"; cex }))
+        end
+        else begin
+          let name =
+            Printf.sprintf "%s#enl%d" target config.enlargement_k
+          in
+          let b = Bound.target_named r.Transform.Enlarge.net name in
+          discharge "enlargement+bound"
+            ((Translate.target_enlargement ~k:config.enlargement_k)
+               .Translate.apply b.Bound.bound)
+        end
+    end;
+    (* 6. bounded-COI recurrence diameter *)
+    (match List.assoc_opt target (Net.targets reg_view) with
+    | None -> stand_down "recurrence-bcoi" "target lost by phase abstraction"
+    | Some l ->
+      let r =
+        Recurrence.compute ~limit:config.recurrence_limit ~bounded_coi:true
+          reg_view l
+      in
+      discharge "recurrence-bcoi" (fold_back r.Recurrence.bound));
+    (* 7. temporal induction *)
+    if latch_based then stand_down "k-induction" "latch-based design"
+    else begin
+      match Induction.prove ~max_k:config.induction_max_k net ~target with
+      | Induction.Proved k ->
+        raise (Done (Proved { strategy = "k-induction"; depth = k }))
+      | Induction.Cex cex ->
+        raise (Done (Violated { strategy = "k-induction"; cex }))
+      | Induction.Unknown k ->
+        stand_down "k-induction" (Printf.sprintf "gave up at k = %d" k)
+    end;
+    Inconclusive { attempts = List.rev !attempts }
+  with Done v -> v

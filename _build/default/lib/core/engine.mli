@@ -1,0 +1,46 @@
+(** The transformation-based verification driver: the paper's
+    machinery assembled into a push-button prover.
+
+    Strategies are attempted in cost order, each producing either a
+    verdict or a recorded reason to move on:
+
+    + a shallow BMC probe (cheap bug hunting);
+    + the structural diameter bound on the original netlist
+      (Definition 3 + [7]); if below the cutoff, a BMC run of that
+      depth is a complete proof;
+    + the bound after COM (Theorem 1) and after COM,RET,COM
+      (Theorems 1 and 2), each translated back to the original;
+    + for latch-based designs, the above are computed on the
+      phase-abstracted netlist and translated through Theorem 3;
+    + k-step target enlargement (Theorem 4) when the cone is small
+      enough for BDDs;
+    + the bounded-COI recurrence diameter [6];
+    + temporal induction with uniqueness [5].
+
+    Every completeness-threshold strategy discharges its final BMC run
+    on the {e original} netlist, so counterexamples always replay
+    there and proofs never depend on a transformation being trusted
+    end-to-end. *)
+
+type config = {
+  cutoff : int;  (** a bound below this is considered BMC-dischargeable *)
+  probe_depth : int;
+  enlargement_k : int;
+  enlargement_reg_limit : int;
+  recurrence_limit : int;
+  induction_max_k : int;
+}
+
+val default : config
+
+type verdict =
+  | Proved of { strategy : string; depth : int }
+      (** complete: no hit at times [0 .. depth] *)
+  | Violated of { strategy : string; cex : Bmc.cex }
+  | Inconclusive of { attempts : (string * string) list }
+      (** every strategy's reason for standing down *)
+
+val verify : ?config:config -> Netlist.Net.t -> target:string -> verdict
+(** @raise Invalid_argument on an unknown target name. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,151 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+type result = {
+  reachable : int;
+  init_diameter : int;
+  pair_diameter : int;
+  earliest_hit : int option;
+}
+
+let explore ?(max_regs = 16) ?(max_inputs = 10) ?(max_states = 65536) net
+    target =
+  if Net.num_latches net > 0 then None
+  else begin
+    (* restrict to the target's cone *)
+    let cone = Transform.Rebuild.copy ~roots:[ target ] net in
+    let net = cone.Transform.Rebuild.net in
+    let target = Transform.Rebuild.map_lit cone target in
+    let regs = Array.of_list (Net.regs net) in
+    let inputs = Array.of_list (Net.inputs net) in
+    let k = Array.length regs in
+    let ni = Array.length inputs in
+    if k > max_regs || ni > max_inputs then None
+    else begin
+      let n = Net.num_vars net in
+      let reg_pos = Hashtbl.create 16 in
+      Array.iteri (fun i r -> Hashtbl.replace reg_pos r i) regs;
+      let input_pos = Hashtbl.create 16 in
+      Array.iteri (fun i v -> Hashtbl.replace input_pos v i) inputs;
+      let vals = Array.make n false in
+      (* evaluate one step: returns (next state, target value) *)
+      let step state input =
+        Net.iter_nodes net (fun v node ->
+            match node with
+            | Net.Const -> vals.(v) <- false
+            | Net.Input _ ->
+              vals.(v) <- input land (1 lsl Hashtbl.find input_pos v) <> 0
+            | Net.Reg _ ->
+              vals.(v) <- state land (1 lsl Hashtbl.find reg_pos v) <> 0
+            | Net.And (a, b) ->
+              let value l =
+                let x = vals.(Lit.var l) in
+                if Lit.is_neg l then not x else x
+              in
+              vals.(v) <- value a && value b
+            | Net.Latch _ -> assert false);
+        let value l =
+          let x = vals.(Lit.var l) in
+          if Lit.is_neg l then not x else x
+        in
+        let next = ref 0 in
+        Array.iteri
+          (fun i r ->
+            if value (Net.reg_of net r).Net.next then next := !next lor (1 lsl i))
+          regs;
+        (!next, value target)
+      in
+      (* initial states: expand the Init_x registers *)
+      let x_regs =
+        Array.to_list regs
+        |> List.filter (fun r -> (Net.reg_of net r).Net.r_init = Net.Init_x)
+      in
+      let base_state =
+        Array.to_list regs
+        |> List.fold_left
+             (fun acc r ->
+               if (Net.reg_of net r).Net.r_init = Net.Init1 then
+                 acc lor (1 lsl Hashtbl.find reg_pos r)
+               else acc)
+             0
+      in
+      let init_states =
+        let rec expand acc = function
+          | [] -> acc
+          | r :: rest ->
+            let bit = 1 lsl Hashtbl.find reg_pos r in
+            expand
+              (List.concat_map (fun s -> [ s; s lor bit ]) acc)
+              rest
+        in
+        expand [ base_state ] x_regs
+      in
+      if List.length init_states > max_states then None
+      else begin
+        let n_inputs_combos = 1 lsl ni in
+        (* BFS from a set of sources; returns distance table *)
+        let bfs sources =
+          let dist = Hashtbl.create 1024 in
+          let queue = Queue.create () in
+          List.iter
+            (fun s ->
+              if not (Hashtbl.mem dist s) then begin
+                Hashtbl.replace dist s 0;
+                Queue.add s queue
+              end)
+            sources;
+          let overflow = ref false in
+          while not (Queue.is_empty queue) do
+            let s = Queue.pop queue in
+            let d = Hashtbl.find dist s in
+            for input = 0 to n_inputs_combos - 1 do
+              let s', _ = step s input in
+              if not (Hashtbl.mem dist s') then
+                if Hashtbl.length dist >= max_states then overflow := true
+                else begin
+                  Hashtbl.replace dist s' (d + 1);
+                  Queue.add s' queue
+                end
+            done
+          done;
+          if !overflow then None else Some dist
+        in
+        match bfs init_states with
+        | None -> None
+        | Some dist ->
+          let reachable = Hashtbl.length dist in
+          let init_diameter =
+            1 + Hashtbl.fold (fun _ d acc -> max acc d) dist 0
+          in
+          (* earliest hit: minimum d over states with a hitting input *)
+          let earliest_hit =
+            Hashtbl.fold
+              (fun s d acc ->
+                let hit = ref false in
+                for input = 0 to n_inputs_combos - 1 do
+                  let _, t = step s input in
+                  if t then hit := true
+                done;
+                if !hit then
+                  match acc with
+                  | Some best -> Some (min best d)
+                  | None -> Some d
+                else acc)
+              dist None
+          in
+          (* pairwise diameter: BFS from every reachable state *)
+          let pair_diameter =
+            if reachable * reachable > 4_000_000 then init_diameter
+            else
+              Hashtbl.fold
+                (fun s _ acc ->
+                  match bfs [ s ] with
+                  | None -> acc
+                  | Some d ->
+                    max acc (1 + Hashtbl.fold (fun _ x m -> max m x) d 0))
+                dist init_diameter
+          in
+          Some { reachable; init_diameter; pair_diameter; earliest_hit }
+      end
+    end
+  end

@@ -1,0 +1,31 @@
+(** Exact explicit-state analysis of small netlists — the validation
+    oracle for the overapproximate bounds.
+
+    Enumerates the reachable state graph of the target's cone of
+    influence (breadth-first over register valuations, all input
+    valuations per state) and computes exact distances.  Exponential;
+    refuses cones beyond the given limits. *)
+
+type result = {
+  reachable : int;  (** number of reachable states *)
+  init_diameter : int;
+      (** 1 + max over reachable states of the distance from the
+          initial state(s): the paper-convention sufficient BMC depth
+          (cf. [6] — distances from initial states suffice) *)
+  pair_diameter : int;
+      (** 1 + max over ordered reachable pairs (s, s') with s'
+          reachable from s of dist(s, s'): the classical diameter in
+          the paper's convention *)
+  earliest_hit : int option;
+      (** earliest time the target can be asserted, if ever *)
+}
+
+val explore :
+  ?max_regs:int ->
+  ?max_inputs:int ->
+  ?max_states:int ->
+  Netlist.Net.t ->
+  Netlist.Lit.t ->
+  result option
+(** [None] if the cone exceeds the limits (defaults: 16 registers, 10
+    inputs, 65536 states) or the netlist has latches. *)

@@ -1,0 +1,81 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Solver = Sat.Solver
+
+type outcome = Proved of int | Cex of Bmc.cex | Unknown of int
+
+(* chained free-initial-state frames, as in the van Eijk engine *)
+let chain_frames solver net k =
+  let frames = Array.init (k + 1) (fun _ -> Encode.Frame.create solver net) in
+  for i = 0 to k - 1 do
+    List.iter
+      (fun r ->
+        let next_i = Encode.Frame.lit frames.(i) (Net.reg_of net r).Net.next in
+        let s_next = Encode.Frame.state_var frames.(i + 1) r in
+        Solver.add_clause solver [ Solver.negate next_i; s_next ];
+        Solver.add_clause solver [ next_i; Solver.negate s_next ])
+      (Net.regs net)
+  done;
+  frames
+
+let add_distinct solver net frames i j =
+  let diffs =
+    List.map
+      (fun r ->
+        let a = Encode.Frame.state_var frames.(i) r in
+        let b = Encode.Frame.state_var frames.(j) r in
+        let d = Solver.pos (Solver.new_var solver) in
+        Solver.add_clause solver [ Solver.negate d; a; b ];
+        Solver.add_clause solver [ Solver.negate d; Solver.negate a; Solver.negate b ];
+        d)
+      (Net.regs net)
+  in
+  Solver.add_clause solver diffs
+
+(* step case: from a free state, k hit-free steps force step k+1 to be
+   hit-free *)
+let step_holds ~unique net target k =
+  let solver = Solver.create () in
+  let frames = chain_frames solver net (k + 1) in
+  for i = 0 to k do
+    Solver.add_clause solver [ Solver.negate (Encode.Frame.lit frames.(i) target) ]
+  done;
+  if unique then
+    for i = 0 to k do
+      for j = i + 1 to k + 1 do
+        add_distinct solver net frames i j
+      done
+    done;
+  match
+    Solver.solve ~assumptions:[ Encode.Frame.lit frames.(k + 1) target ] solver
+  with
+  | Solver.Unsat -> true
+  | Solver.Sat -> false
+
+let prove ?(max_k = 32) ?(unique = true) net ~target =
+  if Net.num_latches net > 0 then
+    invalid_arg "Induction.prove: register netlists only";
+  let tlit =
+    match List.assoc_opt target (Net.targets net) with
+    | Some l -> l
+    | None -> invalid_arg ("Induction.prove: unknown target " ^ target)
+  in
+  (* degenerate case: no state at all *)
+  if Net.regs net = [] then begin
+    match Bmc.check_lit net tlit ~depth:0 with
+    | Bmc.Hit cex -> Cex cex
+    | Bmc.No_hit _ -> Proved 0
+  end
+  else begin
+    let rec go k =
+      if k > max_k then Unknown max_k
+      else begin
+        (* base case: no hit within the first k steps *)
+        match Bmc.check_lit net tlit ~depth:k with
+        | Bmc.Hit cex -> Cex cex
+        | Bmc.No_hit _ ->
+          if step_holds ~unique net tlit k then Proved k else go (k + 1)
+      end
+    in
+    go 0
+  end

@@ -1,0 +1,24 @@
+(** Temporal induction (k-induction with simple-path uniqueness),
+    after Sheeran, Singh & Stålmarck [5] — the hybrid the paper's
+    footnote positions between QBF diameter computation and the
+    recurrence diameter.
+
+    For increasing [k]: the base case is BMC to depth [k]; the step
+    case checks, from a {e free} state, that [k] consecutive hit-free
+    steps force a hit-free step [k+1].  With [unique] (default), the
+    [k+1] states are additionally constrained pairwise distinct, which
+    makes the method complete at the recurrence diameter: the method
+    thus terminates on exactly the designs whose recurrence diameter
+    is small — whereas the structural bound of {!Bound} can prove
+    pipelines of any depth with a single shallow BMC run (see the
+    comparison in the benchmark harness). *)
+
+type outcome =
+  | Proved of int  (** induction depth that closed the proof *)
+  | Cex of Bmc.cex
+  | Unknown of int  (** gave up after this k *)
+
+val prove :
+  ?max_k:int -> ?unique:bool -> Netlist.Net.t -> target:string -> outcome
+(** [max_k] defaults to 32.  @raise Invalid_argument on an unknown
+    target. *)

@@ -1,0 +1,81 @@
+module Net = Netlist.Net
+
+type target_report = {
+  target : string;
+  raw_bound : Sat_bound.t;
+  bound : Sat_bound.t;
+  translator : Translate.t;
+}
+
+type report = {
+  pipeline : string;
+  reg_counts : Classify.counts;
+  targets : target_report list;
+  final : Netlist.Net.t;
+}
+
+let report_on name net translator_of =
+  let targets =
+    List.map
+      (fun (tname, b) ->
+        let translator = translator_of tname in
+        {
+          target = tname;
+          raw_bound = b.Bound.bound;
+          bound = translator.Translate.apply b.Bound.bound;
+          translator;
+        })
+      (Bound.all_targets net)
+  in
+  {
+    pipeline = name;
+    reg_counts = Classify.netlist_counts net;
+    targets;
+    final = net;
+  }
+
+let original net =
+  report_on "Original" net (fun _ -> Translate.identity)
+
+let com net =
+  let reduced, _stats = Transform.Com.run net in
+  report_on "COM" reduced.Transform.Rebuild.net (fun _ ->
+      Translate.trace_equivalence)
+
+let com_ret_com net =
+  let first, _ = Transform.Com.run net in
+  let retimed = Transform.Retime.run first.Transform.Rebuild.net in
+  let second, _ = Transform.Com.run retimed.Transform.Retime.rebuilt.Transform.Rebuild.net in
+  let skews = retimed.Transform.Retime.target_skews in
+  report_on "COM,RET,COM" second.Transform.Rebuild.net (fun tname ->
+      let skew = Option.value (List.assoc_opt tname skews) ~default:0 in
+      Translate.compose Translate.trace_equivalence
+        (Translate.compose (Translate.retiming ~skew) Translate.trace_equivalence))
+
+let phase_front net =
+  let abstracted = Transform.Phase.run net in
+  ( abstracted.Transform.Phase.net,
+    Translate.state_folding ~factor:abstracted.Transform.Phase.factor )
+
+type summary = { proved_small : int; total : int; average : float }
+
+let summarize ~cutoff report =
+  let small =
+    List.filter
+      (fun t -> (not (Sat_bound.is_huge t.bound)) && t.bound < cutoff)
+      report.targets
+  in
+  let proved_small = List.length small in
+  let total = List.length report.targets in
+  let average =
+    if proved_small = 0 then 0.
+    else
+      List.fold_left (fun acc t -> acc +. float_of_int t.bound) 0. small
+      /. float_of_int proved_small
+  in
+  { proved_small; total; average }
+
+let pp_report ~cutoff ppf report =
+  let s = summarize ~cutoff report in
+  Format.fprintf ppf "%-12s R:%a  |T'|/|T|: %d/%d  avg: %.1f" report.pipeline
+    Classify.pp_counts report.reg_counts s.proved_small s.total s.average

@@ -1,0 +1,41 @@
+(** Transformation pipelines: the experiment driver of Section 4.
+
+    Each pipeline transforms a netlist, runs the structural diameter
+    bounding engine on the result, and translates every per-target
+    bound back to the original netlist through the Theorem-1/2/3
+    translators.  The three pipelines of Tables 1 and 2 are provided
+    ([original], [com], [com_ret_com]), plus the phase-abstraction
+    front-end used for the GP (Table 2) designs. *)
+
+type target_report = {
+  target : string;
+  raw_bound : Sat_bound.t;  (** on the transformed netlist *)
+  bound : Sat_bound.t;  (** translated back to the input netlist *)
+  translator : Translate.t;
+}
+
+type report = {
+  pipeline : string;
+  reg_counts : Classify.counts;  (** on the transformed netlist *)
+  targets : target_report list;
+  final : Netlist.Net.t;
+}
+
+val original : Netlist.Net.t -> report
+val com : Netlist.Net.t -> report
+
+val com_ret_com : Netlist.Net.t -> report
+(** COM; RET; COM, with per-target Theorem-2 skews. *)
+
+val phase_front : Netlist.Net.t -> Netlist.Net.t * Translate.t
+(** Phase abstraction front-end for latch-based designs; the returned
+    translator multiplies bounds by the folding factor (Theorem 3). *)
+
+type summary = {
+  proved_small : int;  (** |T'|: targets with a bound below the cutoff *)
+  total : int;  (** |T| *)
+  average : float;  (** average translated bound over T' (0 if empty) *)
+}
+
+val summarize : cutoff:int -> report -> summary
+val pp_report : cutoff:int -> Format.formatter -> report -> unit

@@ -1,0 +1,155 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Coi = Netlist.Coi
+module Solver = Sat.Solver
+
+type result = {
+  bound : Sat_bound.t;
+  path_length : int;
+  sat_calls : int;
+}
+
+(* distance of each register to the target: 0 if the target's
+   combinational cone reads it, else 1 + the minimum over the registers
+   whose next-state cones read it (BFS over reversed dependencies) *)
+let target_distances net target =
+  let regs = Net.regs net in
+  (* reads: register -> registers its next-state cone reads *)
+  let reads = Hashtbl.create 64 in
+  List.iter
+    (fun r' ->
+      let cone = Coi.combinational net [ (Net.reg_of net r').Net.next ] in
+      Hashtbl.replace reads r' (List.filter (fun r -> cone.(r)) regs))
+    regs;
+  let dist = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let cone0 = Coi.combinational net [ target ] in
+  List.iter
+    (fun r ->
+      if cone0.(r) then begin
+        Hashtbl.replace dist r 0;
+        Queue.add r queue
+      end)
+    regs;
+  while not (Queue.is_empty queue) do
+    let r' = Queue.pop queue in
+    let d = Hashtbl.find dist r' in
+    List.iter
+      (fun r ->
+        if not (Hashtbl.mem dist r) then begin
+          Hashtbl.replace dist r (d + 1);
+          Queue.add r queue
+        end)
+      (Hashtbl.find reads r')
+  done;
+  dist
+
+let add_distinct solver lits_i lits_j =
+  let diffs =
+    List.map2
+      (fun a b ->
+        let d = Solver.pos (Solver.new_var solver) in
+        (* d -> (a xor b) *)
+        Solver.add_clause solver [ Solver.negate d; a; b ];
+        Solver.add_clause solver
+          [ Solver.negate d; Solver.negate a; Solver.negate b ];
+        d)
+      lits_i lits_j
+  in
+  Solver.add_clause solver diffs
+
+let plain ~limit net target regs =
+  let solver = Solver.create () in
+  let unroll = Encode.Unroll.create solver net in
+  ignore target;
+  let state_lits t =
+    List.map (fun r -> Encode.Unroll.lit_at unroll (Lit.make r) t) regs
+  in
+  let sat_calls = ref 0 in
+  let rec extend k =
+    if k > limit then
+      { bound = Sat_bound.huge; path_length = k - 1; sat_calls = !sat_calls }
+    else begin
+      for i = 0 to k - 1 do
+        add_distinct solver (state_lits i) (state_lits k)
+      done;
+      incr sat_calls;
+      match Solver.solve solver with
+      | Solver.Sat -> extend (k + 1)
+      | Solver.Unsat ->
+        { bound = Sat_bound.of_int k; path_length = k - 1; sat_calls = !sat_calls }
+    end
+  in
+  extend 1
+
+(* Kroening & Strichman's bounded cone of influence [6]: on a path
+   hitting the target at its final frame, an earlier frame [j] only
+   needs to be distinguished from frames before it on the registers
+   that can still reach the target in the remaining [k - j] steps —
+   agreeing on those lets the suffix be spliced forward, shortening
+   the hit.
+
+   Two details keep the "first UNSAT k" search sound: the path's start
+   state is FREE (an init-anchored path's suffix is not init-anchored,
+   which would break monotonicity in k), and relevance is measured
+   from the path's end, so a satisfying path of length k+1 contains a
+   satisfying path of length k as its suffix (monotone, hence the
+   first UNSAT closes the search).  The relevance sets depend on [k],
+   so each [k] is encoded afresh. *)
+let bounded ~limit net target regs =
+  let dist = target_distances net target in
+  let sat_calls = ref 0 in
+  let rec extend k =
+    if k > limit then
+      { bound = Sat_bound.huge; path_length = k - 1; sat_calls = !sat_calls }
+    else begin
+      let solver = Solver.create () in
+      (* free-start chained frames *)
+      let frames =
+        Array.init (k + 1) (fun _ -> Encode.Frame.create solver net)
+      in
+      for i = 0 to k - 1 do
+        List.iter
+          (fun r ->
+            let next_i =
+              Encode.Frame.lit frames.(i) (Net.reg_of net r).Net.next
+            in
+            let s_next = Encode.Frame.state_var frames.(i + 1) r in
+            Solver.add_clause solver [ Solver.negate next_i; s_next ];
+            Solver.add_clause solver [ next_i; Solver.negate s_next ])
+          regs
+      done;
+      let relevant j =
+        List.filter
+          (fun r ->
+            match Hashtbl.find_opt dist r with
+            | Some d -> d <= k - j
+            | None -> false)
+          regs
+      in
+      let lits rs f = List.map (fun r -> Encode.Frame.state_var frames.(f) r) rs in
+      for j = 1 to k do
+        let rs = relevant j in
+        if rs <> [] then
+          for i = 0 to j - 1 do
+            add_distinct solver (lits rs i) (lits rs j)
+          done
+      done;
+      incr sat_calls;
+      match Solver.solve solver with
+      | Solver.Sat -> extend (k + 1)
+      | Solver.Unsat ->
+        { bound = Sat_bound.of_int k; path_length = k - 1; sat_calls = !sat_calls }
+    end
+  in
+  extend 1
+
+let compute ?(limit = 64) ?(bounded_coi = false) net target =
+  (* work on the target's cone only *)
+  let cone = Transform.Rebuild.copy ~roots:[ target ] net in
+  let target = Transform.Rebuild.map_lit cone target in
+  let net = cone.Transform.Rebuild.net in
+  let regs = Net.regs net in
+  if regs = [] then { bound = Sat_bound.of_int 1; path_length = 0; sat_calls = 0 }
+  else if bounded_coi then bounded ~limit net target regs
+  else plain ~limit net target regs

@@ -1,0 +1,15 @@
+type t = int
+
+let huge = max_int / 4
+let of_int n = if n >= huge then huge else n
+let add a b = if a >= huge || b >= huge || a + b >= huge then huge else a + b
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else if a >= huge || b >= huge || a > huge / b then huge
+  else a * b
+
+let pow2 n = if n >= 60 then huge else of_int (1 lsl n)
+let is_huge t = t >= huge
+let pp ppf t = if is_huge t then Format.pp_print_string ppf "inf" else Format.pp_print_int ppf t
+let to_string t = if is_huge t then "inf" else string_of_int t

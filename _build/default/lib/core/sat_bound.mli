@@ -1,0 +1,21 @@
+(** Saturating bound arithmetic.
+
+    Diameter bounds of general components are assumed exponential in
+    their register count (as in the paper's experiments), so raw
+    integers overflow; all bound arithmetic saturates at {!huge},
+    printed as "inf". *)
+
+type t = int
+
+val huge : t
+(** The saturation point (far above any practically useful bound). *)
+
+val of_int : int -> t
+val add : t -> t -> t
+val mul : t -> t -> t
+val pow2 : int -> t
+(** [2^n], saturating. *)
+
+val is_huge : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,124 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Coi = Netlist.Coi
+
+type result = {
+  sequential_depth : int;
+  reachable : float;
+  earliest_hit : int option;
+}
+
+exception Too_big
+
+let explore ?(reg_limit = 28) ?(node_limit = 200_000) net target =
+  if Net.num_latches net > 0 then None
+  else begin
+    let cone = Transform.Rebuild.copy ~roots:[ target ] net in
+    let target = Transform.Rebuild.map_lit cone target in
+    let net = cone.Transform.Rebuild.net in
+    let regs = Array.of_list (Net.regs net) in
+    let n = Array.length regs in
+    if n > reg_limit then None
+    else begin
+      let man = Bdd.man () in
+      (* interleaved order: register i at var 2i, its primed copy at
+         2i+1; inputs after *)
+      let reg_pos = Hashtbl.create 16 in
+      Array.iteri (fun i r -> Hashtbl.replace reg_pos r (2 * i)) regs;
+      let next_input = ref (2 * n) in
+      let input_vars = Hashtbl.create 16 in
+      let memo = Hashtbl.create 256 in
+      let rec fn v =
+        match Hashtbl.find_opt memo v with
+        | Some b -> b
+        | None ->
+          let b =
+            match Net.node net v with
+            | Net.Const -> Bdd.bfalse
+            | Net.Reg _ -> Bdd.var man (Hashtbl.find reg_pos v)
+            | Net.Input _ ->
+              let bv =
+                match Hashtbl.find_opt input_vars v with
+                | Some bv -> bv
+                | None ->
+                  let bv = !next_input in
+                  incr next_input;
+                  Hashtbl.replace input_vars v bv;
+                  bv
+              in
+              Bdd.var man bv
+            | Net.And (a, b) -> Bdd.band man (fn_lit a) (fn_lit b)
+            | Net.Latch _ -> assert false
+          in
+          Hashtbl.replace memo v b;
+          b
+      and fn_lit l =
+        let b = fn (Lit.var l) in
+        if Lit.is_neg l then Bdd.bnot man b else b
+      in
+      let guard b =
+        if Bdd.node_count man > node_limit then raise Too_big;
+        b
+      in
+      try
+        let target_fn = fn_lit target in
+        (* the input variable set is only known after the cones are
+           built, so it is recomputed at each use *)
+        let inputs () = Hashtbl.fold (fun _ bv acc -> bv :: acc) input_vars [] in
+        let relation =
+          Array.to_list regs
+          |> List.fold_left
+               (fun acc r ->
+                 let f = fn_lit (Net.reg_of net r).Net.next in
+                 let primed = Bdd.var man (Hashtbl.find reg_pos r + 1) in
+                 guard (Bdd.band man acc (Bdd.biff man primed f)))
+               Bdd.btrue
+        in
+        let hit_states = guard (Bdd.exists man (inputs ()) target_fn) in
+        let unprimed = List.init n (fun i -> 2 * i) in
+        let image s =
+          let conj = guard (Bdd.band man s relation) in
+          let primed_only = guard (Bdd.exists man (unprimed @ inputs ()) conj) in
+          guard
+            (Bdd.compose man
+               (fun v ->
+                 if v land 1 = 1 then Some (Bdd.var man (v - 1)) else None)
+               primed_only)
+        in
+        let init =
+          Array.fold_left
+            (fun acc r ->
+              let v = Bdd.var man (Hashtbl.find reg_pos r) in
+              match (Net.reg_of net r).Net.r_init with
+              | Net.Init0 -> Bdd.band man acc (Bdd.bnot man v)
+              | Net.Init1 -> Bdd.band man acc v
+              | Net.Init_x -> acc)
+            Bdd.btrue regs
+        in
+        let rec bfs depth reached frontier earliest =
+          let earliest =
+            match earliest with
+            | Some _ -> earliest
+            | None ->
+              if Bdd.is_false (Bdd.band man frontier hit_states) then None
+              else Some depth
+          in
+          let fresh =
+            guard (Bdd.band man (image frontier) (Bdd.bnot man reached))
+          in
+          if Bdd.is_false fresh then (depth, reached, earliest)
+          else bfs (depth + 1) (Bdd.bor man reached fresh) fresh earliest
+        in
+        let depth, reached, earliest = bfs 0 init init None in
+        Some
+          {
+            sequential_depth = depth;
+            reachable =
+              (* count over register variables only: inputs are
+                 quantified and primed copies never appear in reached *)
+              Bdd.sat_count man ~nvars:(2 * n) reached /. (2. ** float_of_int n);
+            earliest_hit = earliest;
+          }
+      with Too_big -> None
+    end
+  end

@@ -1,0 +1,27 @@
+(** Symbolic (BDD-based) forward reachability: exact sequential depth
+    and hit times for mid-size cones.
+
+    The {e sequential depth} (cf. Mneimneh & Sakallah [4], cited by the
+    paper as an emerging exact technique) is the number of breadth-first
+    image steps until the reachable-state fixpoint — exactly the
+    maximum distance of any reachable state from the initial states,
+    i.e. {!Exact.result.init_diameter} minus one.  Where the explicit
+    oracle enumerates states one by one (≤ ~16 registers), the
+    symbolic computation handles a few dozen registers when the BDDs
+    stay small. *)
+
+type result = {
+  sequential_depth : int;
+      (** BFS steps to the fixpoint; [sequential_depth + 1] is a sound
+          and {e exact} BMC completeness threshold in the paper's
+          convention *)
+  reachable : float;  (** number of reachable states *)
+  earliest_hit : int option;
+}
+
+val explore :
+  ?reg_limit:int -> ?node_limit:int -> Netlist.Net.t -> Netlist.Lit.t -> result option
+(** Restricted to the target's cone of influence.  [None] when the
+    cone exceeds [reg_limit] (default 28) registers, the netlist has
+    latches, or the BDDs outgrow [node_limit] (default 200000)
+    nodes. *)

@@ -1,0 +1,47 @@
+type t = {
+  name : string;
+  apply : Sat_bound.t -> Sat_bound.t;
+  kind : [ `Exact | `Upper | `Hittability ];
+}
+
+let identity = { name = "id"; apply = Fun.id; kind = `Exact }
+let trace_equivalence = { name = "T1"; apply = Fun.id; kind = `Exact }
+
+let retiming ~skew =
+  if skew < 0 then invalid_arg "Translate.retiming: negative skew";
+  {
+    name = Printf.sprintf "T2(+%d)" skew;
+    apply = (fun d -> Sat_bound.add d (Sat_bound.of_int skew));
+    kind = `Upper;
+  }
+
+let state_folding ~factor =
+  if factor < 1 then invalid_arg "Translate.state_folding: factor < 1";
+  {
+    name = Printf.sprintf "T3(x%d)" factor;
+    apply = (fun d -> Sat_bound.mul d (Sat_bound.of_int factor));
+    kind = `Upper;
+  }
+
+let target_enlargement ~k =
+  if k < 0 then invalid_arg "Translate.target_enlargement: negative k";
+  {
+    name = Printf.sprintf "T4(+%d)" k;
+    apply = (fun d -> Sat_bound.add d (Sat_bound.of_int k));
+    kind = `Hittability;
+  }
+
+let weakest a b =
+  match (a, b) with
+  | `Hittability, _ | _, `Hittability -> `Hittability
+  | `Upper, _ | _, `Upper -> `Upper
+  | `Exact, `Exact -> `Exact
+
+let compose outer inner =
+  {
+    name = outer.name ^ ";" ^ inner.name;
+    apply = (fun d -> outer.apply (inner.apply d));
+    kind = weakest outer.kind inner.kind;
+  }
+
+let pp ppf t = Format.pp_print_string ppf t.name

@@ -1,0 +1,46 @@
+(** The paper's Theorems 1-4 as typed bound translators: each
+    transformation contributes a constant-time function carrying a
+    diameter bound obtained on the transformed netlist back to the
+    original netlist.  Pipelines compose these functions.
+
+    {!localization} and {!case_split} deliberately have no translator:
+    Sections 3.5/3.6 prove that bounds from over/under-approximate
+    abstractions cannot be used in general (see [Test_unsound] for the
+    witnessing netlists). *)
+
+type t = {
+  name : string;
+  apply : Sat_bound.t -> Sat_bound.t;
+      (** bound on the transformed netlist -> bound on the original *)
+  kind : [ `Exact | `Upper | `Hittability ];
+      (** [`Exact]: the diameters are equal (Theorem 1);
+          [`Upper]: an upper bound on the diameter (Theorems 2, 3);
+          [`Hittability]: bounds only the depth at which the target
+          can first be hit (Theorem 4) — still a sound BMC
+          completeness threshold for that target. *)
+}
+
+val identity : t
+
+val trace_equivalence : t
+(** Theorem 1: trace-equivalence-preserving transformations
+    (redundancy removal, COI reduction, parametric re-encoding)
+    preserve the diameter exactly. *)
+
+val retiming : skew:int -> t
+(** Theorem 2: [d(U) <= d(U') + skew] for a normalized retiming where
+    every vertex of [U] has lag [-skew]. *)
+
+val state_folding : factor:int -> t
+(** Theorem 3: [d(U) <= factor * d(U')] for phase abstraction and
+    c-slow abstraction. *)
+
+val target_enlargement : k:int -> t
+(** Theorem 4: a k-step enlarged target with diameter [d] means the
+    original target is hittable within [d + k] steps, if at all. *)
+
+val compose : t -> t -> t
+(** [compose outer inner]: [inner] transformed the output of [outer];
+    bounds flow [inner]'s netlist -> [outer]'s netlist -> original. *)
+
+val pp : Format.formatter -> t -> unit

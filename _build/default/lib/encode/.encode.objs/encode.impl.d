@@ -1,0 +1,1 @@
+lib/encode/encode.ml: Frame Unroll

@@ -1,0 +1,1 @@
+lib/encode/frame.ml: Array Netlist Sat

@@ -1,0 +1,1 @@
+lib/encode/frame.mli: Netlist Sat

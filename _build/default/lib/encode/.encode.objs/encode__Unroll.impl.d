@@ -1,0 +1,1 @@
+lib/encode/unroll.ml: Hashtbl Netlist Sat

@@ -1,0 +1,1 @@
+lib/encode/unroll.mli: Netlist Sat

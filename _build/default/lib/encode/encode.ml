@@ -1,0 +1,5 @@
+(** SAT encodings of netlists: single combinational frames and
+    time-frame unrollings. *)
+
+module Frame = Frame
+module Unroll = Unroll

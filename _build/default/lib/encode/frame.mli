@@ -1,0 +1,21 @@
+(** Single combinational time-frame of a netlist encoded into a SAT
+    solver (Tseitin encoding of the AND graph).
+
+    Inputs and state-element outputs become free solver variables;
+    ANDs get defining clauses.  Used for combinational equivalence
+    queries (SAT sweeping) where state elements are cut points. *)
+
+type t
+
+val create : Sat.Solver.t -> Netlist.Net.t -> t
+(** Lazily encodes on demand; creating is cheap. *)
+
+val solver : t -> Sat.Solver.t
+
+val lit : t -> Netlist.Lit.t -> Sat.Solver.lit
+(** Solver literal for a netlist literal, encoding its combinational
+    cone (down to inputs/state elements) on first use. *)
+
+val state_var : t -> int -> Sat.Solver.lit
+(** Solver literal (positive) for the current-state output of a
+    register/latch variable. *)

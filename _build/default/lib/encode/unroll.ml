@@ -1,0 +1,83 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Solver = Sat.Solver
+
+type t = {
+  solver : Solver.t;
+  net : Net.t;
+  table : (int * int, Solver.lit) Hashtbl.t; (* (var, time) -> solver lit *)
+  inputs : (int * int, Solver.lit) Hashtbl.t;
+  init_x : (int, Solver.lit) Hashtbl.t; (* state var -> free init literal *)
+  fls : Solver.lit;
+}
+
+let create solver net =
+  let v = Solver.new_var solver in
+  (* [pos v] is the constant-false literal: assert its negation *)
+  let fls = Solver.pos v in
+  Solver.add_clause solver [ Solver.neg_of v ];
+  {
+    solver;
+    net;
+    table = Hashtbl.create 4096;
+    inputs = Hashtbl.create 256;
+    init_x = Hashtbl.create 16;
+    fls;
+  }
+
+let solver t = t.solver
+let net t = t.net
+let false_lit t = t.fls
+
+let apply_sign l sl = if Lit.is_neg l then Solver.negate sl else sl
+
+let rec var_at t v time =
+  match Hashtbl.find_opt t.table (v, time) with
+  | Some sl -> sl
+  | None ->
+    let sl =
+      match Net.node t.net v with
+      | Net.Const -> t.fls
+      | Net.Input _ ->
+        let sv = Solver.pos (Solver.new_var t.solver) in
+        Hashtbl.replace t.inputs (v, time) sv;
+        sv
+      | Net.And (a, b) ->
+        let sa = lit_at t a time in
+        let sb = lit_at t b time in
+        let c = Solver.pos (Solver.new_var t.solver) in
+        Solver.add_clause t.solver [ Solver.negate c; sa ];
+        Solver.add_clause t.solver [ Solver.negate c; sb ];
+        Solver.add_clause t.solver [ c; Solver.negate sa; Solver.negate sb ];
+        c
+      | Net.Reg r ->
+        if time = 0 then init_lit t v r.Net.r_init
+        else lit_at t r.Net.next (time - 1)
+      | Net.Latch l ->
+        if time mod Net.phases t.net = l.Net.l_phase then
+          lit_at t l.Net.l_data time
+        else if time = 0 then init_lit t v l.Net.l_init
+        else var_at t v (time - 1)
+    in
+    Hashtbl.replace t.table (v, time) sl;
+    sl
+
+and lit_at t l time = apply_sign l (var_at t (Lit.var l) time)
+
+and init_lit t v = function
+  | Net.Init0 -> t.fls
+  | Net.Init1 -> Solver.negate t.fls
+  | Net.Init_x ->
+    let sl = Solver.pos (Solver.new_var t.solver) in
+    Hashtbl.replace t.init_x v sl;
+    sl
+
+let value_at t l time = Solver.value t.solver (lit_at t l time)
+
+let init_x_assignments t =
+  Hashtbl.fold (fun v sl acc -> (v, Solver.value t.solver sl) :: acc) t.init_x []
+
+let input_frames t ~upto =
+  Hashtbl.fold
+    (fun (v, time) sl acc -> if time <= upto then (v, time, sl) :: acc else acc)
+    t.inputs []

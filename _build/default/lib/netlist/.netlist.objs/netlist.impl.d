@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Bsim Coi Lit Net Scc Sim

@@ -1,0 +1,1 @@
+lib/netlist/bsim.ml: Array Int64 List Lit Net Random

@@ -1,0 +1,1 @@
+lib/netlist/bsim.mli: Lit Net

@@ -1,0 +1,1 @@
+lib/netlist/coi.ml: Array List Lit Net

@@ -1,0 +1,1 @@
+lib/netlist/coi.mli: Lit Net

@@ -1,0 +1,1 @@
+lib/netlist/lit.mli: Format

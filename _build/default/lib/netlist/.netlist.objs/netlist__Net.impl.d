@@ -1,0 +1,1 @@
+lib/netlist/net.ml: Array Format Hashtbl List Lit

@@ -1,0 +1,1 @@
+lib/netlist/scc.ml: Array List

@@ -1,0 +1,1 @@
+lib/netlist/sim.ml: Array Format Hashtbl List Lit Net Option

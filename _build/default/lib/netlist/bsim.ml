@@ -1,0 +1,106 @@
+type state = {
+  net : Net.t;
+  vals : int64 array;
+  held : int64 array;
+  rng : Random.State.t;
+  mutable now : int;
+}
+
+let create ~seed net =
+  let n = Net.num_vars net in
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let held = Array.make n 0L in
+  Net.iter_nodes net (fun v node ->
+      let init_word = function
+        | Net.Init0 -> 0L
+        | Net.Init1 -> -1L
+        | Net.Init_x -> Random.State.int64 rng Int64.max_int
+      in
+      match node with
+      | Net.Reg r -> held.(v) <- init_word r.Net.r_init
+      | Net.Latch l -> held.(v) <- init_word l.Net.l_init
+      | Net.Const | Net.Input _ | Net.And _ -> ());
+  { net; vals = Array.make n 0L; held; rng; now = 0 }
+
+let net s = s.net
+let time s = s.now
+
+let lit_word vals l =
+  let w = vals.(Lit.var l) in
+  if Lit.is_neg l then Int64.lognot w else w
+
+let word s l = lit_word s.vals l
+
+let sweep s phase input_words =
+  let changed = ref false in
+  let set v x =
+    if not (Int64.equal s.vals.(v) x) then begin
+      s.vals.(v) <- x;
+      changed := true
+    end
+  in
+  Net.iter_nodes s.net (fun v node ->
+      match node with
+      | Net.Const -> set v 0L
+      | Net.Input _ -> set v input_words.(v)
+      | Net.And (a, b) ->
+        set v (Int64.logand (lit_word s.vals a) (lit_word s.vals b))
+      | Net.Reg _ -> set v s.held.(v)
+      | Net.Latch l ->
+        if l.Net.l_phase = phase then set v (lit_word s.vals l.Net.l_data)
+        else set v s.held.(v));
+  !changed
+
+let step_random s =
+  let n = Net.num_vars s.net in
+  let input_words = Array.make n 0L in
+  List.iter
+    (fun v ->
+      input_words.(v) <-
+        Int64.logxor
+          (Random.State.int64 s.rng Int64.max_int)
+          (Int64.shift_left (Random.State.int64 s.rng Int64.max_int) 1))
+    (Net.inputs s.net);
+  let phase = s.now mod Net.phases s.net in
+  let rec settle budget =
+    if sweep s phase input_words then
+      if budget = 0 then failwith "Bsim.step_random: latch cycle"
+      else settle (budget - 1)
+  in
+  settle (Net.num_vars s.net + 2);
+  Net.iter_nodes s.net (fun v node ->
+      match node with
+      | Net.Reg r -> s.held.(v) <- lit_word s.vals r.Net.next
+      | Net.Latch _ -> s.held.(v) <- s.vals.(v)
+      | Net.Const | Net.Input _ | Net.And _ -> ());
+  s.now <- s.now + 1
+
+(* Signature combining: must satisfy sig(~v) = lognot (sig v) so that
+   candidate detection can consider complemented merges.  We fold each
+   step's word with a self-inverse-under-complement mix: rotating by a
+   per-step amount and xoring preserves the complement relation only if
+   the number of xored terms per lane is odd-symmetric; instead we keep
+   it exact by construction: sig = word_0 rotl 1 xor word_1 rotl 2 ...
+   complementing every word complements the xor of an odd count, so we
+   use an odd number of steps (enforced by rounding [steps] up). *)
+let signatures ~seed ~steps net =
+  let steps = if steps mod 2 = 0 then steps + 1 else steps in
+  let s = create ~seed net in
+  let n = Net.num_vars net in
+  let sigs = Array.make n 0L in
+  for i = 1 to steps do
+    step_random s;
+    let r = 1 + (i mod 62) in
+    for v = 0 to n - 1 do
+      let w = s.vals.(v) in
+      let rotated =
+        Int64.logor (Int64.shift_left w r) (Int64.shift_right_logical w (64 - r))
+      in
+      sigs.(v) <- Int64.logxor sigs.(v) rotated
+    done
+  done;
+  sigs
+
+let canonical_signature s =
+  let c = Int64.lognot s in
+  if Int64.unsigned_compare s c <= 0 then (s, false) else (c, true)

@@ -1,0 +1,33 @@
+type t = int
+
+let make v =
+  assert (v >= 0);
+  v * 2
+
+let make_neg v =
+  assert (v >= 0);
+  (v * 2) + 1
+
+let of_var v ~sign = if sign then make_neg v else make v
+let var l = l lsr 1
+let is_neg l = l land 1 = 1
+let neg l = l lxor 1
+let xor_sign l s = if s then neg l else l
+let abs l = l land lnot 1
+let false_ = 0
+let true_ = 1
+let is_const l = l < 2
+let to_int l = l
+
+let of_int i =
+  assert (i >= 0);
+  i
+
+let compare = Int.compare
+let equal = Int.equal
+let hash l = l
+
+let pp ppf l =
+  if l = false_ then Format.fprintf ppf "0"
+  else if l = true_ then Format.fprintf ppf "1"
+  else Format.fprintf ppf "%s%d" (if is_neg l then "~" else "") (var l)

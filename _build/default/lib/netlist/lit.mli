@@ -1,0 +1,52 @@
+(** Literals: a netlist vertex (variable) together with an optional
+    negation, packed into a single integer as [2 * var + sign].
+
+    Variable 0 is reserved for the constant-false vertex, so
+    [false_ = 0] and [true_ = 1] are valid literals in every netlist. *)
+
+type t = private int
+
+val make : int -> t
+(** [make v] is the positive literal of variable [v].  [v] must be
+    non-negative. *)
+
+val make_neg : int -> t
+(** [make_neg v] is the negated literal of variable [v]. *)
+
+val of_var : int -> sign:bool -> t
+(** [of_var v ~sign] is [v] negated iff [sign] is [true]. *)
+
+val var : t -> int
+(** Variable index of a literal. *)
+
+val is_neg : t -> bool
+(** [true] iff the literal is negated. *)
+
+val neg : t -> t
+(** Complement. *)
+
+val xor_sign : t -> bool -> t
+(** [xor_sign l s] negates [l] iff [s]. *)
+
+val abs : t -> t
+(** Positive literal of the same variable. *)
+
+val false_ : t
+(** The constant-false literal (variable 0, positive). *)
+
+val true_ : t
+(** The constant-true literal (variable 0, negated). *)
+
+val is_const : t -> bool
+(** [true] iff the literal is [false_] or [true_]. *)
+
+val to_int : t -> int
+(** The raw packed encoding. *)
+
+val of_int : int -> t
+(** Inverse of [to_int].  Must be non-negative. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,241 @@
+type init = Init0 | Init1 | Init_x
+
+type node =
+  | Const
+  | Input of string
+  | And of Lit.t * Lit.t
+  | Reg of reg
+  | Latch of latch
+
+and reg = { mutable next : Lit.t; r_init : init; r_name : string }
+
+and latch = {
+  mutable l_data : Lit.t;
+  l_phase : int;
+  l_init : init;
+  l_name : string;
+}
+
+type t = {
+  mutable nodes : node array;
+  mutable count : int;
+  strash : (int * int, Lit.t) Hashtbl.t;
+  mutable rev_inputs : int list;
+  mutable rev_regs : int list;
+  mutable rev_latches : int list;
+  mutable rev_outputs : (string * Lit.t) list;
+  mutable rev_targets : (string * Lit.t) list;
+  n_phases : int;
+}
+
+let create ?(phases = 1) () =
+  assert (phases >= 1);
+  {
+    nodes = Array.make 64 Const;
+    count = 1;
+    strash = Hashtbl.create 1024;
+    rev_inputs = [];
+    rev_regs = [];
+    rev_latches = [];
+    rev_outputs = [];
+    rev_targets = [];
+    n_phases = phases;
+  }
+
+let phases t = t.n_phases
+let num_vars t = t.count
+
+let node t v =
+  if v < 0 || v >= t.count then invalid_arg "Net.node: variable out of range";
+  t.nodes.(v)
+
+let grow t =
+  if t.count = Array.length t.nodes then begin
+    let nodes = Array.make (2 * Array.length t.nodes) Const in
+    Array.blit t.nodes 0 nodes 0 t.count;
+    t.nodes <- nodes
+  end
+
+let push t n =
+  grow t;
+  let v = t.count in
+  t.nodes.(v) <- n;
+  t.count <- v + 1;
+  v
+
+let add_input t name =
+  let v = push t (Input name) in
+  t.rev_inputs <- v :: t.rev_inputs;
+  Lit.make v
+
+let add_reg t ?(init = Init0) name =
+  let v = push t (Reg { next = Lit.false_; r_init = init; r_name = name }) in
+  t.rev_regs <- v :: t.rev_regs;
+  Lit.make v
+
+let add_latch t ?(init = Init0) ~phase name =
+  if phase < 0 || phase >= t.n_phases then invalid_arg "Net.add_latch: phase";
+  let v =
+    push t
+      (Latch { l_data = Lit.false_; l_phase = phase; l_init = init; l_name = name })
+  in
+  t.rev_latches <- v :: t.rev_latches;
+  Lit.make v
+
+let set_next t r d =
+  if Lit.is_neg r then invalid_arg "Net.set_next: negated register literal";
+  match node t (Lit.var r) with
+  | Reg reg -> reg.next <- d
+  | Const | Input _ | And _ | Latch _ ->
+    invalid_arg "Net.set_next: not a register"
+
+let set_latch_data t l d =
+  if Lit.is_neg l then invalid_arg "Net.set_latch_data: negated literal";
+  match node t (Lit.var l) with
+  | Latch latch -> latch.l_data <- d
+  | Const | Input _ | And _ | Reg _ ->
+    invalid_arg "Net.set_latch_data: not a latch"
+
+let strash_key a b = (Lit.to_int a, Lit.to_int b)
+
+let add_and t a b =
+  let a, b = if Lit.compare a b <= 0 then (a, b) else (b, a) in
+  if Lit.equal a Lit.false_ then Lit.false_
+  else if Lit.equal b Lit.false_ then Lit.false_
+  else if Lit.equal a Lit.true_ then b
+  else if Lit.equal b Lit.true_ then a
+  else if Lit.equal a b then a
+  else if Lit.equal a (Lit.neg b) then Lit.false_
+  else begin
+    let key = strash_key a b in
+    match Hashtbl.find_opt t.strash key with
+    | Some l -> l
+    | None ->
+      let v = push t (And (a, b)) in
+      let l = Lit.make v in
+      Hashtbl.add t.strash key l;
+      l
+  end
+
+let add_or t a b = Lit.neg (add_and t (Lit.neg a) (Lit.neg b))
+
+let add_xor t a b =
+  (* a xor b = ~(~(a * ~b) * ~(~a * b)) *)
+  let p = add_and t a (Lit.neg b) in
+  let q = add_and t (Lit.neg a) b in
+  add_or t p q
+
+let add_mux t ~sel ~t1 ~t0 =
+  let p = add_and t sel t1 in
+  let q = add_and t (Lit.neg sel) t0 in
+  add_or t p q
+
+let add_and_list t = List.fold_left (add_and t) Lit.true_
+let add_or_list t = List.fold_left (add_or t) Lit.false_
+let add_output t name l = t.rev_outputs <- (name, l) :: t.rev_outputs
+let add_target t name l = t.rev_targets <- (name, l) :: t.rev_targets
+let outputs t = List.rev t.rev_outputs
+let targets t = List.rev t.rev_targets
+let inputs t = List.rev t.rev_inputs
+let regs t = List.rev t.rev_regs
+let latches t = List.rev t.rev_latches
+
+let num_regs t = List.length t.rev_regs
+let num_latches t = List.length t.rev_latches
+let num_inputs t = List.length t.rev_inputs
+
+let num_ands t =
+  let n = ref 0 in
+  for v = 0 to t.count - 1 do
+    match t.nodes.(v) with
+    | And _ -> incr n
+    | Const | Input _ | Reg _ | Latch _ -> ()
+  done;
+  !n
+
+let is_reg t v =
+  match node t v with
+  | Reg _ -> true
+  | Const | Input _ | And _ | Latch _ -> false
+
+let is_latch t v =
+  match node t v with
+  | Latch _ -> true
+  | Const | Input _ | And _ | Reg _ -> false
+
+let is_state t v = is_reg t v || is_latch t v
+
+let reg_of t v =
+  match node t v with
+  | Reg r -> r
+  | Const | Input _ | And _ | Latch _ -> invalid_arg "Net.reg_of"
+
+let latch_of t v =
+  match node t v with
+  | Latch l -> l
+  | Const | Input _ | And _ | Reg _ -> invalid_arg "Net.latch_of"
+
+let iter_nodes t f =
+  for v = 0 to t.count - 1 do
+    f v t.nodes.(v)
+  done
+
+let fanins t v =
+  match node t v with
+  | Const | Input _ -> []
+  | And (a, b) -> [ a; b ]
+  | Reg r -> [ r.next ]
+  | Latch l -> [ l.l_data ]
+
+let fanouts t =
+  let counts = Array.make t.count 0 in
+  let record l = counts.(Lit.var l) <- counts.(Lit.var l) + 1 in
+  iter_nodes t (fun _ n ->
+      match n with
+      | Const | Input _ -> ()
+      | And (a, b) ->
+        record a;
+        record b
+      | Reg r -> record r.next
+      | Latch l -> record l.l_data);
+  let out = Array.init t.count (fun v -> Array.make counts.(v) 0) in
+  let fill = Array.make t.count 0 in
+  let put l v =
+    let s = Lit.var l in
+    out.(s).(fill.(s)) <- v;
+    fill.(s) <- fill.(s) + 1
+  in
+  iter_nodes t (fun v n ->
+      match n with
+      | Const | Input _ -> ()
+      | And (a, b) ->
+        put a v;
+        put b v
+      | Reg r -> put r.next v
+      | Latch l -> put l.l_data v);
+  out
+
+let check t =
+  let in_range l =
+    let v = Lit.var l in
+    if v < 0 || v >= t.count then failwith "Net.check: edge out of range"
+  in
+  iter_nodes t (fun v n ->
+      match n with
+      | Const -> if v <> 0 then failwith "Net.check: non-zero constant vertex"
+      | Input _ -> ()
+      | And (a, b) ->
+        in_range a;
+        in_range b;
+        if Lit.var a >= v || Lit.var b >= v then
+          failwith "Net.check: AND fanin does not precede gate"
+      | Reg r -> in_range r.next
+      | Latch l ->
+        in_range l.l_data;
+        if l.l_phase < 0 || l.l_phase >= t.n_phases then
+          failwith "Net.check: latch phase out of range")
+
+let pp_stats ppf t =
+  Format.fprintf ppf "vars=%d inputs=%d ands=%d regs=%d latches=%d targets=%d"
+    (num_vars t) (num_inputs t) (num_ands t) (num_regs t) (num_latches t)
+    (List.length t.rev_targets)

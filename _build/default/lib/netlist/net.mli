@@ -1,0 +1,122 @@
+(** Mutable AIG-style netlists (Definition 1 of the paper).
+
+    A netlist is a directed graph of typed vertices: the constant-false
+    vertex, primary inputs, two-input AND gates (with literal edges that
+    may be negated, so any combinational function is expressible),
+    registers (edge-triggered state elements with an initial value), and
+    level-sensitive latches (for c-phase designs, cf. Section 3.3 of the
+    paper).
+
+    AND vertices are structurally hashed at construction, so a netlist
+    is always strashed.  Vertex identifiers grow monotonically and AND
+    fanins always precede the gate itself, hence identifier order is a
+    topological order of the combinational logic; only register/latch
+    data edges may point "forward" (closing sequential cycles). *)
+
+type init =
+  | Init0  (** initialized to 0 *)
+  | Init1  (** initialized to 1 *)
+  | Init_x (** nondeterministic initial value *)
+
+type node =
+  | Const  (** vertex 0 only: constant false *)
+  | Input of string
+  | And of Lit.t * Lit.t
+  | Reg of reg
+  | Latch of latch
+
+and reg = { mutable next : Lit.t; r_init : init; r_name : string }
+
+and latch = {
+  mutable l_data : Lit.t;
+  l_phase : int;  (** transparent when [time mod phases = l_phase] *)
+  l_init : init;
+  l_name : string;
+}
+
+type t
+
+val create : ?phases:int -> unit -> t
+(** Fresh netlist containing only the constant vertex.  [phases] is the
+    number of clock phases for level-sensitive latch designs (default
+    [1], i.e. a register-based netlist). *)
+
+val phases : t -> int
+val num_vars : t -> int
+
+val node : t -> int -> node
+(** Vertex of a variable index.  @raise Invalid_argument if out of range. *)
+
+val add_input : t -> string -> Lit.t
+val add_reg : t -> ?init:init -> string -> Lit.t
+(** A register whose [next] edge is initially the constant; set it with
+    {!set_next} once its cone has been built. *)
+
+val add_latch : t -> ?init:init -> phase:int -> string -> Lit.t
+
+val set_next : t -> Lit.t -> Lit.t -> unit
+(** [set_next t r d] sets the next-state edge of register literal [r]
+    (which must be positive and denote a register) to [d]. *)
+
+val set_latch_data : t -> Lit.t -> Lit.t -> unit
+
+val add_and : t -> Lit.t -> Lit.t -> Lit.t
+(** Structurally hashed AND with constant folding and the trivial
+    simplifications [a*a = a], [a*~a = 0]. *)
+
+(** Derived combinational constructors (AND/INV decompositions). *)
+
+val add_or : t -> Lit.t -> Lit.t -> Lit.t
+val add_xor : t -> Lit.t -> Lit.t -> Lit.t
+val add_mux : t -> sel:Lit.t -> t1:Lit.t -> t0:Lit.t -> Lit.t
+(** [add_mux t ~sel ~t1 ~t0] is [sel ? t1 : t0]. *)
+
+val add_and_list : t -> Lit.t list -> Lit.t
+val add_or_list : t -> Lit.t list -> Lit.t
+
+(** Named outputs and verification targets (sets [T] of the paper). *)
+
+val add_output : t -> string -> Lit.t -> unit
+val add_target : t -> string -> Lit.t -> unit
+val outputs : t -> (string * Lit.t) list
+val targets : t -> (string * Lit.t) list
+
+val inputs : t -> int list
+(** Input variable indices, in creation order. *)
+
+val regs : t -> int list
+(** Register variable indices, in creation order. *)
+
+val latches : t -> int list
+
+val num_inputs : t -> int
+val num_regs : t -> int
+val num_latches : t -> int
+val num_ands : t -> int
+
+val is_reg : t -> int -> bool
+val is_latch : t -> int -> bool
+val is_state : t -> int -> bool
+(** Register or latch. *)
+
+val reg_of : t -> int -> reg
+val latch_of : t -> int -> latch
+
+val iter_nodes : t -> (int -> node -> unit) -> unit
+(** Iterate vertices in identifier (topological) order, constant and
+    all. *)
+
+val fanins : t -> int -> Lit.t list
+(** Direct fanin edges of a vertex (empty for constants and inputs;
+    next-state/data edge for state elements). *)
+
+val fanouts : t -> int array array
+(** [fanouts t] computes, once per call, the fanout vertex lists:
+    entry [v] lists the vertices having an edge sourced at [v]. *)
+
+val check : t -> unit
+(** Structural sanity check: every register/latch data edge set (not
+    dangling on the constant unless intentionally so), fanins in range,
+    latch phases within [phases].  @raise Failure on violation. *)
+
+val pp_stats : Format.formatter -> t -> unit

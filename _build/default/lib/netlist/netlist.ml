@@ -1,0 +1,9 @@
+(** Netlist kernel: literals, AIG-style netlists, cones of influence,
+    and three-valued / bit-parallel simulation. *)
+
+module Lit = Lit
+module Net = Net
+module Coi = Coi
+module Sim = Sim
+module Bsim = Bsim
+module Scc = Scc

@@ -1,0 +1,75 @@
+type t = { component : int array; members : int array array }
+
+(* Iterative Tarjan: explicit stack of (vertex, next successor index). *)
+let compute n successors =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let component = Array.make n (-1) in
+  let components = ref [] in
+  let ncomp = ref 0 in
+  let succs = Array.init n (fun v -> Array.of_list (successors v)) in
+  let visit root =
+    if index.(root) < 0 then begin
+      let call = ref [ (root, ref 0) ] in
+      index.(root) <- !counter;
+      lowlink.(root) <- !counter;
+      incr counter;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (v, cursor) :: rest ->
+          if !cursor < Array.length succs.(v) then begin
+            let w = succs.(v).(!cursor) in
+            incr cursor;
+            if index.(w) < 0 then begin
+              index.(w) <- !counter;
+              lowlink.(w) <- !counter;
+              incr counter;
+              stack := w :: !stack;
+              on_stack.(w) <- true;
+              call := (w, ref 0) :: !call
+            end
+            else if on_stack.(w) then
+              lowlink.(v) <- min lowlink.(v) index.(w)
+          end
+          else begin
+            if lowlink.(v) = index.(v) then begin
+              (* v is a component root: pop the stack down to v *)
+              let id = !ncomp in
+              incr ncomp;
+              let members = ref [] in
+              let rec pop () =
+                match !stack with
+                | [] -> assert false
+                | w :: tail ->
+                  stack := tail;
+                  on_stack.(w) <- false;
+                  component.(w) <- id;
+                  members := w :: !members;
+                  if w <> v then pop ()
+              in
+              pop ();
+              components := Array.of_list !members :: !components
+            end;
+            call := rest;
+            (match rest with
+            | (parent, _) :: _ ->
+              lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+            | [] -> ())
+          end
+      done
+    end
+  in
+  for v = 0 to n - 1 do
+    visit v
+  done;
+  let members = Array.of_list (List.rev !components) in
+  { component; members }
+
+let is_cyclic t ~self_loop v =
+  Array.length t.members.(t.component.(v)) > 1 || self_loop v

@@ -1,0 +1,22 @@
+(** Strongly connected components (iterative Tarjan), generic over an
+    adjacency function.  Used for sequential-loop detection (retiming)
+    and for the component partition of the diameter bounding engine. *)
+
+type t = {
+  component : int array;  (** vertex -> component id *)
+  members : int array array;
+      (** component id -> member vertices.  Tarjan emits a component
+          only after every component reachable from it (through the
+          [successors] relation), so component ids increase from sinks
+          toward sources of that relation.  In particular, with
+          [successors = fanins], iterating components in id order
+          processes dependencies before dependents. *)
+}
+
+val compute : int -> (int -> int list) -> t
+(** [compute n successors] decomposes the graph on vertices
+    [0 .. n-1]. *)
+
+val is_cyclic : t -> self_loop:(int -> bool) -> int -> bool
+(** [is_cyclic scc ~self_loop v]: [v] lies on some cycle — its
+    component has at least two members, or it has a self-loop. *)

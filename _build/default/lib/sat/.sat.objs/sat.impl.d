@@ -1,0 +1,1 @@
+lib/sat/sat.ml: Cnf Dimacs Solver Vec

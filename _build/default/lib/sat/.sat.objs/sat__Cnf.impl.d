@@ -1,0 +1,1 @@
+lib/sat/cnf.ml: Array Format List Solver

@@ -1,0 +1,1 @@
+lib/sat/cnf.mli: Format Solver

@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Cnf Format List Solver String

@@ -1,0 +1,1 @@
+lib/sat/solver.mli: Format

@@ -1,0 +1,46 @@
+type clause = Solver.lit list
+type t = { num_vars : int; clauses : clause list }
+
+let eval_clause assignment clause =
+  List.exists
+    (fun l ->
+      let v = assignment.(Solver.var_of l) in
+      if Solver.is_pos l then v else not v)
+    clause
+
+let eval assignment t = List.for_all (eval_clause assignment) t.clauses
+
+let brute_force t =
+  let n = t.num_vars in
+  assert (n <= 24);
+  let assignment = Array.make (max n 1) false in
+  let rec go i =
+    if i = n then if eval assignment t then Some (Array.copy assignment) else None
+    else begin
+      assignment.(i) <- false;
+      match go (i + 1) with
+      | Some m -> Some m
+      | None ->
+        assignment.(i) <- true;
+        go (i + 1)
+    end
+  in
+  go 0
+
+let load solver t =
+  while Solver.num_vars solver < t.num_vars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (Solver.add_clause solver) t.clauses
+
+let pp ppf t =
+  Format.fprintf ppf "p cnf %d %d@." t.num_vars (List.length t.clauses);
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l ->
+          let v = Solver.var_of l + 1 in
+          Format.fprintf ppf "%d " (if Solver.is_pos l then v else -v))
+        clause;
+      Format.fprintf ppf "0@.")
+    t.clauses

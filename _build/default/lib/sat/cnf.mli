@@ -1,0 +1,19 @@
+(** Plain clause-list CNF representation: reference semantics for the
+    CDCL solver (used heavily by the property-based tests) and a
+    convenient staging format. *)
+
+type clause = Solver.lit list
+type t = { num_vars : int; clauses : clause list }
+
+val eval_clause : bool array -> clause -> bool
+val eval : bool array -> t -> bool
+
+val brute_force : t -> bool array option
+(** Exhaustive-search satisfiability (exponential; for testing only,
+    [num_vars] must be small). *)
+
+val load : Solver.t -> t -> unit
+(** Allocate variables [0 .. num_vars - 1] (on a fresh solver) and add
+    all clauses. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+let parse text =
+  let num_vars = ref 0 in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' text in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith ("Dimacs.parse: bad token " ^ tok)
+    | Some 0 ->
+      clauses := List.rev !current :: !clauses;
+      current := []
+    | Some i ->
+      let v = abs i - 1 in
+      if v >= !num_vars then num_vars := v + 1;
+      let l = if i > 0 then Solver.pos v else Solver.neg_of v in
+      current := l :: !current
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if String.length line > 0 && line.[0] <> 'c' then
+        if line.[0] = 'p' then begin
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ "p"; "cnf"; nv; _nc ] -> num_vars := max !num_vars (int_of_string nv)
+          | _ -> failwith "Dimacs.parse: bad problem line"
+        end
+        else
+          String.split_on_char ' ' line
+          |> List.filter (( <> ) "")
+          |> List.iter handle_token)
+    lines;
+  if !current <> [] then failwith "Dimacs.parse: unterminated clause";
+  { Cnf.num_vars = !num_vars; clauses = List.rev !clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+let print oc t =
+  let ppf = Format.formatter_of_out_channel oc in
+  Cnf.pp ppf t;
+  Format.pp_print_flush ppf ()

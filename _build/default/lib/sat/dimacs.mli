@@ -1,0 +1,7 @@
+(** DIMACS CNF reader/writer. *)
+
+val parse : string -> Cnf.t
+(** Parse DIMACS text.  @raise Failure on malformed input. *)
+
+val parse_file : string -> Cnf.t
+val print : out_channel -> Cnf.t -> unit

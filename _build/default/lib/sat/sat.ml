@@ -1,0 +1,7 @@
+(** Satisfiability substrate: a from-scratch CDCL solver, clause-list
+    CNF staging, and DIMACS I/O. *)
+
+module Vec = Vec
+module Solver = Solver
+module Cnf = Cnf
+module Dimacs = Dimacs

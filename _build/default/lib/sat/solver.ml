@@ -1,0 +1,544 @@
+type lit = int
+
+let pos v = 2 * v
+let neg_of v = (2 * v) + 1
+let negate l = l lxor 1
+let var_of l = l lsr 1
+let is_pos l = l land 1 = 0
+
+type result = Sat | Unsat
+
+type clause = {
+  mutable lits : int array;
+  mutable act : float;
+  learnt : bool;
+  mutable deleted : bool;
+}
+
+let dummy_clause = { lits = [||]; act = 0.; learnt = false; deleted = true }
+
+type t = {
+  mutable nvars : int;
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable watches : clause Vec.t array; (* per literal *)
+  mutable assigns : int array; (* per var: -1 unassigned / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : clause array; (* dummy_clause when none *)
+  mutable activity : float array;
+  mutable phase : bool array;
+  mutable heap : int array; (* binary max-heap of vars by activity *)
+  mutable heap_size : int;
+  mutable heap_pos : int array; (* var -> heap index, -1 if absent *)
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  mutable seen : bool array;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool;
+  mutable max_learnts : float;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = Vec.create ~dummy:dummy_clause ();
+    learnts = Vec.create ~dummy:dummy_clause ();
+    watches = [||];
+    assigns = [||];
+    level = [||];
+    reason = [||];
+    activity = [||];
+    phase = [||];
+    heap = [||];
+    heap_size = 0;
+    heap_pos = [||];
+    trail = Vec.create ~dummy:0 ();
+    trail_lim = Vec.create ~dummy:0 ();
+    qhead = 0;
+    seen = [||];
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    ok = true;
+    max_learnts = 4000.;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+  }
+
+let num_vars s = s.nvars
+let num_conflicts s = s.conflicts
+let num_decisions s = s.decisions
+let num_propagations s = s.propagations
+
+let grow_array a n dummy =
+  let old = Array.length a in
+  if n <= old then a
+  else begin
+    let b = Array.make (max n (max 16 (2 * old))) dummy in
+    Array.blit a 0 b 0 old;
+    b
+  end
+
+(* ----- activity heap (max-heap keyed by var activity) ----- *)
+
+let heap_less s v w = s.activity.(v) > s.activity.(w)
+
+let heap_swap s i j =
+  let v = s.heap.(i) and w = s.heap.(j) in
+  s.heap.(i) <- w;
+  s.heap.(j) <- v;
+  s.heap_pos.(w) <- i;
+  s.heap_pos.(v) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_less s s.heap.(i) s.heap.(parent) then begin
+      heap_swap s i parent;
+      heap_up s parent
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_size && heap_less s s.heap.(l) s.heap.(!best) then best := l;
+  if r < s.heap_size && heap_less s s.heap.(r) s.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_size) <- v;
+    s.heap_pos.(v) <- s.heap_size;
+    s.heap_size <- s.heap_size + 1;
+    heap_up s (s.heap_size - 1)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_size);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    heap_down s 0
+  end;
+  v
+
+(* ----- variables ----- *)
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assigns <- grow_array s.assigns (v + 1) (-1);
+  s.level <- grow_array s.level (v + 1) 0;
+  s.reason <- grow_array s.reason (v + 1) dummy_clause;
+  s.activity <- grow_array s.activity (v + 1) 0.;
+  s.phase <- grow_array s.phase (v + 1) false;
+  s.heap <- grow_array s.heap (v + 1) 0;
+  s.heap_pos <- grow_array s.heap_pos (v + 1) (-1);
+  s.seen <- grow_array s.seen (v + 1) false;
+  if Array.length s.watches < 2 * (v + 1) then begin
+    let old = Array.length s.watches in
+    let w =
+      Array.init
+        (max (2 * (v + 1)) (2 * old))
+        (fun i ->
+          if i < old then s.watches.(i) else Vec.create ~dummy:dummy_clause ())
+    in
+    s.watches <- w
+  end;
+  s.assigns.(v) <- -1;
+  s.heap_pos.(v) <- -1;
+  heap_insert s v;
+  v
+
+(* value of a literal: -1 unassigned, 0 false, 1 true *)
+let lvalue s l =
+  let a = s.assigns.(var_of l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let decision_level s = Vec.size s.trail_lim
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+let var_decay s = s.var_inc <- s.var_inc *. (1. /. 0.95)
+
+let cla_bump s c =
+  c.act <- c.act +. s.cla_inc;
+  if c.act > 1e20 then begin
+    Vec.iter (fun c -> c.act <- c.act *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay s = s.cla_inc <- s.cla_inc *. (1. /. 0.999)
+
+let enqueue s l reason =
+  let v = var_of l in
+  s.assigns.(v) <- (if is_pos l then 1 else 0);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail l
+
+let watch s l c = Vec.push s.watches.(l) c
+
+(* ----- propagation ----- *)
+
+let propagate s =
+  let conflict = ref dummy_clause in
+  while !conflict == dummy_clause && s.qhead < Vec.size s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let false_lit = negate p in
+    let ws = s.watches.(false_lit) in
+    let n = Vec.size ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      if not c.deleted then begin
+        (* make sure the false literal is at position 1 *)
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        let first = c.lits.(0) in
+        if lvalue s first = 1 then begin
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          (* look for a new literal to watch *)
+          let len = Array.length c.lits in
+          let rec find k = if k >= len then -1 else if lvalue s c.lits.(k) <> 0 then k else find (k + 1) in
+          let k = find 2 in
+          if k >= 0 then begin
+            c.lits.(1) <- c.lits.(k);
+            c.lits.(k) <- false_lit;
+            watch s c.lits.(1) c
+          end
+          else begin
+            (* unit or conflicting *)
+            Vec.set ws !j c;
+            incr j;
+            if lvalue s first = 0 then begin
+              conflict := c;
+              s.qhead <- Vec.size s.trail;
+              (* keep the remaining watches *)
+              while !i < n do
+                Vec.set ws !j (Vec.get ws !i);
+                incr j;
+                incr i
+              done
+            end
+            else enqueue s first c
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+(* ----- backtracking ----- *)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = var_of l in
+      s.phase.(v) <- is_pos l;
+      s.assigns.(v) <- -1;
+      s.reason.(v) <- dummy_clause;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- bound
+  end
+
+(* ----- conflict analysis (first UIP) ----- *)
+
+let analyze s confl =
+  let out = Vec.create ~dummy:0 () in
+  Vec.push out 0;
+  (* slot for the asserting literal *)
+  let to_clear = Vec.create ~dummy:0 () in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Vec.size s.trail - 1) in
+  let c = ref confl in
+  let continue = ref true in
+  while !continue do
+    if !c.learnt then cla_bump s !c;
+    let start = if !p < 0 then 0 else 1 in
+    for k = start to Array.length !c.lits - 1 do
+      let q = !c.lits.(k) in
+      let v = var_of q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        var_bump s v;
+        s.seen.(v) <- true;
+        Vec.push to_clear v;
+        if s.level.(v) >= decision_level s then incr path
+        else Vec.push out q
+      end
+    done;
+    (* next literal on the trail to resolve on *)
+    while not s.seen.(var_of (Vec.get s.trail !index)) do
+      decr index
+    done;
+    p := Vec.get s.trail !index;
+    decr index;
+    s.seen.(var_of !p) <- false;
+    decr path;
+    if !path > 0 then c := s.reason.(var_of !p) else continue := false
+  done;
+  Vec.set out 0 (negate !p);
+  (* basic clause minimization: drop literals implied by their reason *)
+  let redundant q =
+    let r = s.reason.(var_of q) in
+    r != dummy_clause
+    && Array.for_all
+         (fun x ->
+           var_of x = var_of q || s.seen.(var_of x) || s.level.(var_of x) = 0)
+         r.lits
+  in
+  let minimized = Vec.create ~dummy:0 () in
+  Vec.push minimized (Vec.get out 0);
+  for i = 1 to Vec.size out - 1 do
+    let q = Vec.get out i in
+    if not (redundant q) then Vec.push minimized q
+  done;
+  Vec.iter (fun v -> s.seen.(v) <- false) to_clear;
+  (* compute backtrack level; move max-level literal to slot 1 *)
+  let bt =
+    if Vec.size minimized = 1 then 0
+    else begin
+      let max_i = ref 1 in
+      for i = 2 to Vec.size minimized - 1 do
+        if
+          s.level.(var_of (Vec.get minimized i))
+          > s.level.(var_of (Vec.get minimized !max_i))
+        then max_i := i
+      done;
+      let tmp = Vec.get minimized 1 in
+      Vec.set minimized 1 (Vec.get minimized !max_i);
+      Vec.set minimized !max_i tmp;
+      s.level.(var_of (Vec.get minimized 1))
+    end
+  in
+  (Array.of_list (Vec.to_list minimized), bt)
+
+(* ----- learnt database reduction ----- *)
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = var_of c.lits.(0) in
+  s.assigns.(v) >= 0 && s.reason.(v) == c
+
+let reduce_db s =
+  Vec.sort (fun a b -> compare a.act b.act) s.learnts;
+  let n = Vec.size s.learnts in
+  let keep = Vec.create ~dummy:dummy_clause () in
+  let limit = n / 2 in
+  for i = 0 to n - 1 do
+    let c = Vec.get s.learnts i in
+    if i < limit && (not (locked s c)) && Array.length c.lits > 2 then
+      c.deleted <- true
+    else Vec.push keep c
+  done;
+  Vec.clear s.learnts;
+  Vec.iter (fun c -> Vec.push s.learnts c) keep
+
+(* ----- clause addition ----- *)
+
+let add_clause s lits =
+  if s.ok then begin
+    if decision_level s > 0 then
+      invalid_arg "Solver.add_clause: only legal at decision level 0";
+    (* dedup and detect tautology / satisfied / falsified-at-0 literals *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (negate l) lits) lits
+      || List.exists (fun l -> lvalue s l = 1) lits
+    in
+    if not tautology then begin
+      let lits = List.filter (fun l -> lvalue s l <> 0) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+        enqueue s l dummy_clause;
+        if propagate s != dummy_clause then s.ok <- false
+      | l0 :: l1 :: _ ->
+        let c =
+          {
+            lits = Array.of_list lits;
+            act = 0.;
+            learnt = false;
+            deleted = false;
+          }
+        in
+        Vec.push s.clauses c;
+        watch s l0 c;
+        watch s l1 c
+    end
+  end
+
+let record_learnt s lits =
+  if Array.length lits = 1 then enqueue s lits.(0) dummy_clause
+  else begin
+    let c = { lits; act = 0.; learnt = true; deleted = false } in
+    Vec.push s.learnts c;
+    watch s lits.(0) c;
+    watch s lits.(1) c;
+    cla_bump s c;
+    enqueue s lits.(0) c
+  end
+
+(* ----- search ----- *)
+
+let luby y x =
+  (* Finite subsequences of the Luby sequence *)
+  let rec go size seq x =
+    if size - 1 = x then (seq, x)
+    else if size - 1 > x then
+      let size = (size - 1) / 2 in
+      go size (seq - 1) (x mod size)
+    else (seq, x)
+  in
+  let rec outer size seq =
+    if size < x + 1 then outer ((2 * size) + 1) (seq + 1) else (size, seq)
+  in
+  let size, seq = outer 1 0 in
+  let seq, _ = go size seq x in
+  y ** float_of_int seq
+
+exception Found_unsat
+exception Found_sat
+
+let pick_branch s =
+  let rec go () =
+    if s.heap_size = 0 then -1
+    else begin
+      let v = heap_pop s in
+      if s.assigns.(v) < 0 then v else go ()
+    end
+  in
+  go ()
+
+let search s assumptions conflict_budget =
+  let conflicts_here = ref 0 in
+  let rec loop () =
+    let confl = propagate s in
+    if confl != dummy_clause then begin
+      s.conflicts <- s.conflicts + 1;
+      incr conflicts_here;
+      if decision_level s = 0 then begin
+        s.ok <- false;
+        raise Found_unsat
+      end;
+      let learnt, bt = analyze s confl in
+      cancel_until s bt;
+      record_learnt s learnt;
+      var_decay s;
+      cla_decay s;
+      if float_of_int (Vec.size s.learnts) > s.max_learnts then reduce_db s;
+      loop ()
+    end
+    else if
+      conflict_budget >= 0 && !conflicts_here >= conflict_budget
+    then begin
+      cancel_until s 0;
+      `Restart
+    end
+    else begin
+      (* establish assumptions as pseudo-decisions *)
+      let dl = decision_level s in
+      if dl < List.length assumptions then begin
+        let a = List.nth assumptions dl in
+        match lvalue s a with
+        | 1 ->
+          Vec.push s.trail_lim (Vec.size s.trail);
+          loop ()
+        | 0 -> raise Found_unsat
+        | _ ->
+          Vec.push s.trail_lim (Vec.size s.trail);
+          enqueue s a dummy_clause;
+          loop ()
+      end
+      else begin
+        let v = pick_branch s in
+        if v < 0 then raise Found_sat
+        else begin
+          s.decisions <- s.decisions + 1;
+          Vec.push s.trail_lim (Vec.size s.trail);
+          enqueue s (if s.phase.(v) then pos v else neg_of v) dummy_clause;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()
+
+let solve ?(assumptions = []) s =
+  if not s.ok then Unsat
+  else begin
+    cancel_until s 0;
+    s.max_learnts <-
+      max s.max_learnts (float_of_int (Vec.size s.clauses) /. 3.);
+    let result = ref Unsat in
+    (try
+       let restart = ref 0 in
+       let rec run () =
+         let budget = int_of_float (100. *. luby 2. !restart) in
+         match search s assumptions budget with
+         | `Restart ->
+           incr restart;
+           run ()
+       in
+       run ()
+     with
+    | Found_sat -> result := Sat
+    | Found_unsat -> result := Unsat);
+    if !result = Sat then begin
+      (* save the model in the phase array, then release decisions *)
+      for v = 0 to s.nvars - 1 do
+        if s.assigns.(v) >= 0 then s.phase.(v) <- s.assigns.(v) = 1
+      done
+    end;
+    cancel_until s 0;
+    !result
+  end
+
+let value s l =
+  let v = var_of l in
+  let b = if s.assigns.(v) >= 0 then s.assigns.(v) = 1 else s.phase.(v) in
+  if is_pos l then b else not b
+
+let model s = Array.init s.nvars (fun v -> value s (pos v))
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d"
+    s.nvars (Vec.size s.clauses) (Vec.size s.learnts) s.conflicts s.decisions
+    s.propagations

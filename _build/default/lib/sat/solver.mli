@@ -1,0 +1,58 @@
+(** A CDCL satisfiability solver built from scratch.
+
+    Features: two-watched-literal propagation, first-UIP conflict-clause
+    learning with basic minimization, VSIDS variable activities with
+    phase saving, Luby restarts, activity-driven learnt-clause deletion,
+    and incremental solving under assumptions.
+
+    Literals are integers: variable [v] gives positive literal [2 * v]
+    and negative literal [2 * v + 1]. *)
+
+type t
+
+type lit = int
+
+val pos : int -> lit
+(** Positive literal of a variable. *)
+
+val neg_of : int -> lit
+(** Negative literal of a variable. *)
+
+val negate : lit -> lit
+val var_of : lit -> int
+val is_pos : lit -> bool
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable, returning its index. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> lit list -> unit
+(** Add a problem clause.  Tautologies are dropped; duplicate literals
+    are removed; the empty clause makes the instance permanently
+    unsatisfiable.  Only legal at decision level 0 (i.e. between
+    [solve] calls). *)
+
+val solve : ?assumptions:lit list -> t -> result
+(** Solve the current clause set under the given assumptions.  The
+    solver is reusable: more clauses and variables may be added after a
+    call, and [solve] may be called again. *)
+
+val value : t -> lit -> bool
+(** Value of a literal in the model found by the last [solve].  Only
+    meaningful after [solve] returned [Sat]; unassigned variables
+    (eliminated by simplification) read as their saved phase. *)
+
+val model : t -> bool array
+(** Model by variable index. *)
+
+(** Statistics from the lifetime of the solver. *)
+
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ?(capacity = 16) ~dummy () =
+  { data = Array.make (max capacity 1) dummy; len = 0; dummy }
+
+let size v = v.len
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let data = Array.make (2 * v.len) v.dummy in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop";
+  v.len <- v.len - 1;
+  let x = v.data.(v.len) in
+  v.data.(v.len) <- v.dummy;
+  x
+
+let last v =
+  if v.len = 0 then invalid_arg "Vec.last";
+  v.data.(v.len - 1)
+
+let shrink v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.shrink";
+  for i = n to v.len - 1 do
+    v.data.(i) <- v.dummy
+  done;
+  v.len <- n
+
+let clear v = shrink v 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let exists p v =
+  let rec go i = i < v.len && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (v.data.(i) :: acc) in
+  go (v.len - 1) []
+
+let swap_remove v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.swap_remove";
+  v.len <- v.len - 1;
+  v.data.(i) <- v.data.(v.len);
+  v.data.(v.len) <- v.dummy
+
+let sort cmp v =
+  let a = Array.sub v.data 0 v.len in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.len

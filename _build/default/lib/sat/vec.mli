@@ -1,0 +1,25 @@
+(** Growable arrays (OCaml 5.1 has no [Dynarray]). *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+val size : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+(** Remove and return the last element.  @raise Invalid_argument if empty. *)
+
+val last : 'a t -> 'a
+val shrink : 'a t -> int -> unit
+(** [shrink v n] truncates to the first [n] elements. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val swap_remove : 'a t -> int -> unit
+(** Remove index [i] by swapping in the last element (O(1), order not
+    preserved). *)
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit

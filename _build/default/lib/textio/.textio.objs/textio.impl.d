@@ -1,0 +1,1 @@
+lib/textio/textio.ml: Aiger Bench_io Netfmt Vcd

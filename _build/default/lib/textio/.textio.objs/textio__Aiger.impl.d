@@ -1,0 +1,1 @@
+lib/textio/aiger.ml: Array Buffer Hashtbl List Netlist Option Printf String

@@ -1,0 +1,1 @@
+lib/textio/aiger.mli: Netlist

@@ -1,0 +1,1 @@
+lib/textio/bench_io.ml: Array Buffer Fun Hashtbl List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/textio/bench_io.mli: Netlist

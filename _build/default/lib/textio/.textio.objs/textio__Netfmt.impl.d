@@ -1,0 +1,1 @@
+lib/textio/netfmt.ml: Buffer List Netlist Printf String

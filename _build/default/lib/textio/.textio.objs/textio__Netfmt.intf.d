@@ -1,0 +1,1 @@
+lib/textio/netfmt.mli: Netlist

@@ -1,0 +1,1 @@
+lib/textio/vcd.ml: Array Buffer Char Hashtbl List Netlist Printf String

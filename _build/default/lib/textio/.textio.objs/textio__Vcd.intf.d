@@ -1,0 +1,1 @@
+lib/textio/vcd.mli: Netlist

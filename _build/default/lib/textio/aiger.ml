@@ -1,0 +1,223 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let header, rest =
+    match lines with
+    | h :: rest -> (h, rest)
+    | [] -> failwith "Aiger.parse: empty input"
+  in
+  let m, i, l, o, a =
+    match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+    | [ "aag"; m; i; l; o; a ] ->
+      ( int_of_string m,
+        int_of_string i,
+        int_of_string l,
+        int_of_string o,
+        int_of_string a )
+    | _ -> failwith "Aiger.parse: expected 'aag M I L O A' header"
+  in
+  let ints line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+                  |> List.map int_of_string in
+  let take n rest =
+    let rec go n acc rest =
+      if n = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | x :: tail -> go (n - 1) (x :: acc) tail
+        | [] -> failwith "Aiger.parse: truncated file"
+    in
+    go n [] rest
+  in
+  let input_lines, rest = take i rest in
+  let latch_lines, rest = take l rest in
+  let output_lines, rest = take o rest in
+  let and_lines, rest = take a rest in
+  (* symbol table and comments *)
+  let symbols = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      if String.length line >= 2 then
+        match line.[0] with
+        | ('i' | 'l' | 'o') as kind -> (
+          match String.index_opt line ' ' with
+          | Some sp ->
+            let idx = String.sub line 1 (sp - 1) in
+            let name = String.sub line (sp + 1) (String.length line - sp - 1) in
+            (match int_of_string_opt idx with
+            | Some k -> Hashtbl.replace symbols (kind, k) name
+            | None -> ())
+          | None -> ())
+        | _ -> ())
+    rest;
+  let net = Net.create () in
+  (* aiger var -> our literal, built on demand *)
+  let table : (int, Lit.t) Hashtbl.t = Hashtbl.create (m + 1) in
+  Hashtbl.replace table 0 Lit.false_;
+  let and_defs = Hashtbl.create (a + 1) in
+  List.iteri
+    (fun k line ->
+      match ints line with
+      | [ lhs; r0; r1 ] ->
+        if lhs land 1 = 1 then failwith "Aiger.parse: negated AND lhs";
+        ignore k;
+        Hashtbl.replace and_defs (lhs / 2) (r0, r1)
+      | _ -> failwith "Aiger.parse: bad AND line")
+    and_lines;
+  (* inputs and latches allocate variables up front *)
+  List.iteri
+    (fun k line ->
+      match ints line with
+      | [ lit ] ->
+        if lit land 1 = 1 || lit = 0 then failwith "Aiger.parse: bad input literal";
+        let name =
+          Option.value (Hashtbl.find_opt symbols ('i', k))
+            ~default:(Printf.sprintf "i%d" k)
+        in
+        Hashtbl.replace table (lit / 2) (Net.add_input net name)
+      | _ -> failwith "Aiger.parse: bad input line")
+    input_lines;
+  let pending = ref [] in
+  List.iteri
+    (fun k line ->
+      match ints line with
+      | [ lit ] -> failwith (Printf.sprintf "Aiger.parse: latch %d lacks next" lit)
+      | [ lit; next ] | [ lit; next; _ ] | [ lit; next; _; _ ] -> (
+        if lit land 1 = 1 || lit = 0 then failwith "Aiger.parse: bad latch literal";
+        let init =
+          match ints line with
+          | [ _; _ ] | [ _; _; 0 ] -> Net.Init0
+          | [ _; _; 1 ] -> Net.Init1
+          | [ _; _; r ] when r = lit -> Net.Init_x
+          | _ -> failwith "Aiger.parse: unsupported latch reset"
+        in
+        let name =
+          Option.value (Hashtbl.find_opt symbols ('l', k))
+            ~default:(Printf.sprintf "l%d" k)
+        in
+        let r = Net.add_reg net ~init name in
+        Hashtbl.replace table (lit / 2) r;
+        pending := (r, next) :: !pending)
+      | _ -> failwith "Aiger.parse: bad latch line")
+    latch_lines;
+  (* ANDs on demand *)
+  let visiting = Hashtbl.create 16 in
+  let rec build_var v =
+    match Hashtbl.find_opt table v with
+    | Some l -> l
+    | None -> (
+      match Hashtbl.find_opt and_defs v with
+      | None -> failwith (Printf.sprintf "Aiger.parse: undefined variable %d" v)
+      | Some (r0, r1) ->
+        if Hashtbl.mem visiting v then
+          failwith "Aiger.parse: combinational cycle";
+        Hashtbl.replace visiting v ();
+        let l = Net.add_and net (build_lit r0) (build_lit r1) in
+        Hashtbl.remove visiting v;
+        Hashtbl.replace table v l;
+        l)
+  and build_lit al = Lit.xor_sign (build_var (al / 2)) (al land 1 = 1) in
+  List.iter (fun (r, next) -> Net.set_next net r (build_lit next)) !pending;
+  List.iteri
+    (fun k line ->
+      match ints line with
+      | [ lit ] ->
+        let name =
+          Option.value (Hashtbl.find_opt symbols ('o', k))
+            ~default:(Printf.sprintf "o%d" k)
+        in
+        let l = build_lit lit in
+        Net.add_output net name l;
+        Net.add_target net name l
+      | _ -> failwith "Aiger.parse: bad output line")
+    output_lines;
+  (* materialize dangling ANDs too: the parse is faithful to the file,
+     not to any particular cone *)
+  Hashtbl.iter (fun v _ -> ignore (build_var v)) and_defs;
+  net
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+let to_string net =
+  if Net.phases net > 1 || Net.num_latches net > 0 then
+    invalid_arg "Aiger.to_string: c-phase latch netlists have no AIGER form";
+  (* assign compact AIGER variables: inputs, then registers, then ANDs *)
+  let index : int array = Array.make (Net.num_vars net) 0 in
+  let next = ref 1 in
+  let assign v =
+    index.(v) <- !next;
+    incr next
+  in
+  let inputs = Net.inputs net in
+  let regs = Net.regs net in
+  List.iter assign inputs;
+  List.iter assign regs;
+  let ands = ref [] in
+  Net.iter_nodes net (fun v node ->
+      match node with
+      | Net.And _ ->
+        assign v;
+        ands := v :: !ands
+      | Net.Const | Net.Input _ | Net.Reg _ | Net.Latch _ -> ());
+  let ands = List.rev !ands in
+  let alit l = (2 * index.(Lit.var l)) + if Lit.is_neg l then 1 else 0 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d %d %d %d\n" (!next - 1) (List.length inputs)
+       (List.length regs)
+       (List.length (Net.outputs net))
+       (List.length ands));
+  List.iter (fun v -> Buffer.add_string buf (Printf.sprintf "%d\n" (2 * index.(v)))) inputs;
+  List.iter
+    (fun v ->
+      let r = Net.reg_of net v in
+      let reset =
+        match r.Net.r_init with
+        | Net.Init0 -> "0"
+        | Net.Init1 -> "1"
+        | Net.Init_x -> string_of_int (2 * index.(v))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %s\n" (2 * index.(v)) (alit r.Net.next) reset))
+    regs;
+  List.iter
+    (fun (_, l) -> Buffer.add_string buf (Printf.sprintf "%d\n" (alit l)))
+    (Net.outputs net);
+  List.iter
+    (fun v ->
+      match Net.node net v with
+      | Net.And (a, b) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d %d %d\n" (2 * index.(v)) (alit a) (alit b))
+      | Net.Const | Net.Input _ | Net.Reg _ | Net.Latch _ -> assert false)
+    ands;
+  (* symbol table *)
+  List.iteri
+    (fun k v ->
+      match Net.node net v with
+      | Net.Input name -> Buffer.add_string buf (Printf.sprintf "i%d %s\n" k name)
+      | Net.Const | Net.And _ | Net.Reg _ | Net.Latch _ -> ())
+    inputs;
+  List.iteri
+    (fun k v ->
+      Buffer.add_string buf
+        (Printf.sprintf "l%d %s\n" k (Net.reg_of net v).Net.r_name))
+    regs;
+  List.iteri
+    (fun k (name, _) -> Buffer.add_string buf (Printf.sprintf "o%d %s\n" k name))
+    (Net.outputs net);
+  Buffer.contents buf
+
+let write_file path net =
+  let oc = open_out path in
+  output_string oc (to_string net);
+  close_out oc

@@ -1,0 +1,21 @@
+(** ASCII AIGER ([aag]) reader/writer (Biere's AIGER format, with the
+    1.9 reset extension).
+
+    AIGER literal encoding (2*var, +1 for negation, variable 0 the
+    constant false) coincides with {!Netlist.Lit}, so the mapping is
+    direct.  Latch resets: [0]/[1] are constant initial values and a
+    latch reset to its own literal is uninitialized ([Init_x]).
+    Outputs are registered as both netlist outputs and verification
+    targets, like {!Bench_io}.
+
+    Level-sensitive latch netlists (phases > 1) have no AIGER
+    representation and are rejected on write. *)
+
+val parse : string -> Netlist.Net.t
+(** @raise Failure on malformed input. *)
+
+val parse_file : string -> Netlist.Net.t
+val to_string : Netlist.Net.t -> string
+(** @raise Invalid_argument on latch-based (c-phase) netlists. *)
+
+val write_file : string -> Netlist.Net.t -> unit

@@ -1,0 +1,254 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+type def =
+  | Dinput
+  | Dgate of string * string list (* gate type, operand names *)
+
+let tokenize_args s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+(* "NAME = GATE(a, b, c)" -> (NAME, GATE, [a;b;c]) *)
+let parse_assignment line =
+  match String.index_opt line '=' with
+  | None -> failwith ("Bench_io.parse: expected '=' in: " ^ line)
+  | Some eq ->
+    let name = String.trim (String.sub line 0 eq) in
+    let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+    (match (String.index_opt rhs '(', String.rindex_opt rhs ')') with
+    | Some l, Some r when r > l ->
+      let gate = String.uppercase_ascii (String.trim (String.sub rhs 0 l)) in
+      let args = tokenize_args (String.sub rhs (l + 1) (r - l - 1)) in
+      (name, gate, args)
+    | _, _ -> failwith ("Bench_io.parse: malformed right-hand side: " ^ rhs))
+
+let parse text =
+  let defs : (string, def) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  let outputs = ref [] in
+  let max_phase = ref 0 in
+  let add_def name d =
+    if Hashtbl.mem defs name then
+      failwith ("Bench_io.parse: duplicate definition of " ^ name);
+    Hashtbl.add defs name d;
+    order := name :: !order
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         let line = String.trim line in
+         if line <> "" then begin
+           let upper = String.uppercase_ascii line in
+           if String.length upper >= 6 && String.sub upper 0 6 = "INPUT(" then begin
+             let name =
+               String.trim
+                 (String.sub line 6 (String.length line - 7))
+             in
+             add_def name Dinput
+           end
+           else if String.length upper >= 7 && String.sub upper 0 7 = "OUTPUT(" then
+             outputs :=
+               String.trim (String.sub line 7 (String.length line - 8))
+               :: !outputs
+           else begin
+             let name, gate, args = parse_assignment line in
+             if gate = "LATCH" then begin
+               match args with
+               | [ _; p ] -> max_phase := max !max_phase (int_of_string p)
+               | _ -> failwith "Bench_io.parse: LATCH takes (data, phase)"
+             end;
+             add_def name (Dgate (gate, args))
+           end
+         end);
+  let net = Net.create ~phases:(!max_phase + 1) () in
+  let built : (string, Lit.t) Hashtbl.t = Hashtbl.create 256 in
+  let init_of = function
+    | "0" -> Net.Init0
+    | "1" -> Net.Init1
+    | "X" | "x" -> Net.Init_x
+    | s -> failwith ("Bench_io.parse: bad initial value " ^ s)
+  in
+  let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let pending = ref [] in
+  let rec build name =
+    match Hashtbl.find_opt built name with
+    | Some l -> l
+    | None ->
+      if Hashtbl.mem visiting name then
+        failwith ("Bench_io.parse: combinational cycle through " ^ name);
+      Hashtbl.add visiting name ();
+      Fun.protect
+        ~finally:(fun () -> Hashtbl.remove visiting name)
+        (fun () ->
+          match Hashtbl.find_opt defs name with
+          | None -> failwith ("Bench_io.parse: undefined signal " ^ name)
+          | Some Dinput ->
+            let l = Net.add_input net name in
+            Hashtbl.add built name l;
+            l
+          | Some (Dgate (gate, args)) -> build_gate name gate args)
+  and build_gate name gate args =
+    match (gate, args) with
+    | "DFF", (d :: rest) ->
+      let init =
+        match rest with
+        | [] -> Net.Init0
+        | [ i ] -> init_of i
+        | _ :: _ :: _ -> failwith "Bench_io.parse: DFF takes (data[, init])"
+      in
+      let r = Net.add_reg net ~init name in
+      Hashtbl.add built name r;
+      (* defer the data cone: recursing here would thread the
+         combinational-cycle check through the register boundary *)
+      pending := `Reg (r, d) :: !pending;
+      r
+    | "LATCH", [ d; p ] ->
+      let l = Net.add_latch net ~phase:(int_of_string p) name in
+      Hashtbl.add built name l;
+      pending := `Latch (l, d) :: !pending;
+      l
+    | _, _ ->
+      let ops () = List.map build args in
+      let arity_error () =
+        failwith ("Bench_io.parse: bad arity for " ^ gate ^ " at " ^ name)
+      in
+      let l =
+        match gate with
+        | "CONST0" -> Lit.false_
+        | "CONST1" -> Lit.true_
+        | "AND" -> Net.add_and_list net (ops ())
+        | "NAND" -> Lit.neg (Net.add_and_list net (ops ()))
+        | "OR" -> Net.add_or_list net (ops ())
+        | "NOR" -> Lit.neg (Net.add_or_list net (ops ()))
+        | "XOR" -> (
+          match ops () with
+          | [ a; b ] -> Net.add_xor net a b
+          | a :: rest -> List.fold_left (Net.add_xor net) a rest
+          | [] -> arity_error ())
+        | "XNOR" -> (
+          match ops () with
+          | [ a; b ] -> Lit.neg (Net.add_xor net a b)
+          | _ -> arity_error ())
+        | "NOT" -> (
+          match ops () with [ a ] -> Lit.neg a | _ -> arity_error ())
+        | "BUFF" | "BUF" -> (
+          match ops () with [ a ] -> a | _ -> arity_error ())
+        | "MUX" -> (
+          match ops () with
+          | [ s; a; b ] -> Net.add_mux net ~sel:s ~t1:a ~t0:b
+          | _ -> arity_error ())
+        | other -> failwith ("Bench_io.parse: unknown gate type " ^ other)
+      in
+      Hashtbl.add built name l;
+      l
+  in
+  (* build state elements first so that forward references resolve *)
+  List.iter
+    (fun name ->
+      match Hashtbl.find defs name with
+      | Dgate (("DFF" | "LATCH"), _) -> ignore (build name)
+      | Dinput | Dgate _ -> ())
+    (List.rev !order);
+  List.iter (fun name -> ignore (build name)) (List.rev !order);
+  (* data cones last; draining may enqueue more state elements *)
+  let rec drain () =
+    match !pending with
+    | [] -> ()
+    | item :: rest ->
+      pending := rest;
+      (match item with
+      | `Reg (r, d) -> Net.set_next net r (build d)
+      | `Latch (l, d) -> Net.set_latch_data net l (build d));
+      drain ()
+  in
+  drain ();
+  List.iter
+    (fun name ->
+      let l = build name in
+      Net.add_output net name l;
+      Net.add_target net name l)
+    (List.rev !outputs);
+  net
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  let name_of = Array.make (Net.num_vars net) "" in
+  Net.iter_nodes net (fun v node ->
+      match node with
+      | Net.Const -> name_of.(v) <- "const"
+      | Net.Input s -> name_of.(v) <- s
+      | Net.And _ -> name_of.(v) <- Printf.sprintf "n%d" v
+      | Net.Reg r -> name_of.(v) <- r.Net.r_name
+      | Net.Latch l -> name_of.(v) <- l.Net.l_name);
+  let const_used = ref false in
+  let not_emitted = Hashtbl.create 64 in
+  (* name of a literal, emitting a NOT line (once) for negations *)
+  let operand l =
+    let v = Lit.var l in
+    if v = 0 then begin
+      const_used := true;
+      if Lit.is_neg l then "const1" else "const0"
+    end
+    else if Lit.is_neg l then begin
+      let n = "not_" ^ name_of.(v) in
+      if not (Hashtbl.mem not_emitted v) then Hashtbl.add not_emitted v n;
+      n
+    end
+    else name_of.(v)
+  in
+  let body = Buffer.create 4096 in
+  Net.iter_nodes net (fun v node ->
+      match node with
+      | Net.Const -> ()
+      | Net.Input s -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" s)
+      | Net.And (a, b) ->
+        Buffer.add_string body
+          (Printf.sprintf "%s = AND(%s, %s)\n" name_of.(v) (operand a)
+             (operand b))
+      | Net.Reg r ->
+        let init =
+          match r.Net.r_init with
+          | Net.Init0 -> "0"
+          | Net.Init1 -> "1"
+          | Net.Init_x -> "X"
+        in
+        Buffer.add_string body
+          (Printf.sprintf "%s = DFF(%s, %s)\n" name_of.(v) (operand r.Net.next)
+             init)
+      | Net.Latch l ->
+        Buffer.add_string body
+          (Printf.sprintf "%s = LATCH(%s, %d)\n" name_of.(v)
+             (operand l.Net.l_data) l.Net.l_phase));
+  List.iter
+    (fun (name, l) ->
+      let op = operand l in
+      if op <> name then
+        Buffer.add_string body (Printf.sprintf "%s = BUFF(%s)\n" name op);
+      Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" name))
+    (Net.outputs net);
+  if !const_used then begin
+    Buffer.add_string buf "const0 = CONST0()\n";
+    Buffer.add_string buf "const1 = CONST1()\n"
+  end;
+  Hashtbl.iter
+    (fun v n -> Buffer.add_string buf (Printf.sprintf "%s = NOT(%s)\n" n name_of.(v)))
+    not_emitted;
+  Buffer.add_buffer buf body;
+  Buffer.contents buf
+
+let write_file path net =
+  let oc = open_out path in
+  output_string oc (to_string net);
+  close_out oc

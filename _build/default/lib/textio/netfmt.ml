@@ -1,0 +1,123 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+(* Line formats:
+     dnet <phases>
+     i <var> <name>          input
+     a <var> <lit> <lit>     and
+     r <var> <init> <nextlit> <name>   register (init in 0/1/x)
+     l <var> <init> <phase> <datalit> <name>   latch
+     o <lit> <name>          output
+     t <lit> <name>          target
+   Literals are the packed integer encoding. *)
+
+let init_char = function
+  | Net.Init0 -> '0'
+  | Net.Init1 -> '1'
+  | Net.Init_x -> 'x'
+
+let init_of_string = function
+  | "0" -> Net.Init0
+  | "1" -> Net.Init1
+  | "x" -> Net.Init_x
+  | s -> failwith ("Netfmt: bad init " ^ s)
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "dnet %d\n" (Net.phases net));
+  Net.iter_nodes net (fun v node ->
+      match node with
+      | Net.Const -> ()
+      | Net.Input s -> Buffer.add_string buf (Printf.sprintf "i %d %s\n" v s)
+      | Net.And (a, b) ->
+        Buffer.add_string buf
+          (Printf.sprintf "a %d %d %d\n" v (Lit.to_int a) (Lit.to_int b))
+      | Net.Reg r ->
+        Buffer.add_string buf
+          (Printf.sprintf "r %d %c %d %s\n" v (init_char r.Net.r_init)
+             (Lit.to_int r.Net.next) r.Net.r_name)
+      | Net.Latch l ->
+        Buffer.add_string buf
+          (Printf.sprintf "l %d %c %d %d %s\n" v (init_char l.Net.l_init)
+             l.Net.l_phase (Lit.to_int l.Net.l_data) l.Net.l_name));
+  List.iter
+    (fun (name, l) ->
+      Buffer.add_string buf (Printf.sprintf "o %d %s\n" (Lit.to_int l) name))
+    (Net.outputs net);
+  List.iter
+    (fun (name, l) ->
+      Buffer.add_string buf (Printf.sprintf "t %d %s\n" (Lit.to_int l) name))
+    (Net.targets net);
+  Buffer.contents buf
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let net, rest =
+    match lines with
+    | first :: rest -> (
+      match String.split_on_char ' ' first with
+      | [ "dnet"; p ] -> (Net.create ~phases:(int_of_string p) (), rest)
+      | _ -> failwith "Netfmt: missing dnet header")
+    | [] -> failwith "Netfmt: empty input"
+  in
+  (* next-state edges may reference later vertices: set them in a second
+     pass *)
+  let pending = ref [] in
+  let expect_var v actual =
+    if v <> actual then failwith "Netfmt: vertex numbering mismatch"
+  in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | "i" :: v :: name ->
+        expect_var (int_of_string v)
+          (Lit.var (Net.add_input net (String.concat " " name)))
+      | [ "a"; v; a; b ] ->
+        (* reconstruct through the strash: identical structure yields
+           identical numbering because the source was strashed *)
+        expect_var (int_of_string v)
+          (Lit.var
+             (Net.add_and net
+                (Lit.of_int (int_of_string a))
+                (Lit.of_int (int_of_string b))))
+      | "r" :: v :: init :: next :: name ->
+        let r =
+          Net.add_reg net ~init:(init_of_string init) (String.concat " " name)
+        in
+        expect_var (int_of_string v) (Lit.var r);
+        pending := `Reg (r, int_of_string next) :: !pending
+      | "l" :: v :: init :: phase :: data :: name ->
+        let l =
+          Net.add_latch net ~init:(init_of_string init)
+            ~phase:(int_of_string phase) (String.concat " " name)
+        in
+        expect_var (int_of_string v) (Lit.var l);
+        pending := `Latch (l, int_of_string data) :: !pending
+      | "o" :: l :: name ->
+        Net.add_output net (String.concat " " name) (Lit.of_int (int_of_string l))
+      | "t" :: l :: name ->
+        Net.add_target net (String.concat " " name) (Lit.of_int (int_of_string l))
+      | _ -> failwith ("Netfmt: bad line: " ^ line))
+    rest;
+  List.iter
+    (function
+      | `Reg (r, next) -> Net.set_next net r (Lit.of_int next)
+      | `Latch (l, data) -> Net.set_latch_data net l (Lit.of_int data))
+    !pending;
+  net
+
+let write_file path net =
+  let oc = open_out path in
+  output_string oc (to_string net);
+  close_out oc
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text

@@ -1,0 +1,10 @@
+(** Native netlist dump: one line per vertex, loss-free (preserves
+    vertex numbering, initial values, phases, outputs and targets).
+    Useful for exact round-trip tests and debugging. *)
+
+val to_string : Netlist.Net.t -> string
+val of_string : string -> Netlist.Net.t
+(** @raise Failure on malformed input. *)
+
+val write_file : string -> Netlist.Net.t -> unit
+val read_file : string -> Netlist.Net.t

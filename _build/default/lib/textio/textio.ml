@@ -1,0 +1,6 @@
+(** Textual netlist interchange: ISCAS89 [.bench] and a native dump. *)
+
+module Bench_io = Bench_io
+module Netfmt = Netfmt
+module Aiger = Aiger
+module Vcd = Vcd

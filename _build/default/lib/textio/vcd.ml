@@ -1,0 +1,66 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Sim = Netlist.Sim
+
+(* compact VCD identifier codes: printable ASCII 33..126 *)
+let code k =
+  let base = 94 in
+  let rec go k acc =
+    let c = Char.chr (33 + (k mod base)) in
+    let acc = acc ^ String.make 1 c in
+    if k < base then acc else go ((k / base) - 1) acc
+  in
+  go k ""
+
+let char_of = function Sim.V0 -> '0' | Sim.V1 -> '1' | Sim.Vx -> 'x'
+
+let dump ?(design = "diambound") net frames =
+  let buf = Buffer.create 4096 in
+  (* watched signals: every named vertex *)
+  let watched = ref [] in
+  Net.iter_nodes net (fun v node ->
+      match node with
+      | Net.Input name -> watched := (v, name) :: !watched
+      | Net.Reg r -> watched := (v, r.Net.r_name) :: !watched
+      | Net.Latch l -> watched := (v, l.Net.l_name) :: !watched
+      | Net.Const | Net.And _ -> ());
+  List.iter
+    (fun (name, l) -> watched := (Lit.var l, name ^ "$out") :: !watched)
+    (Net.outputs net);
+  let watched = List.rev !watched in
+  Buffer.add_string buf "$date reproducible $end\n";
+  Buffer.add_string buf "$version diambound $end\n";
+  Buffer.add_string buf "$timescale 1ns $end\n";
+  Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" design);
+  List.iteri
+    (fun k (_, name) ->
+      Buffer.add_string buf (Printf.sprintf "$var wire 1 %s %s $end\n" (code k) name))
+    watched;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let previous = Hashtbl.create 64 in
+  Array.iteri
+    (fun t frame ->
+      Buffer.add_string buf (Printf.sprintf "#%d\n" t);
+      if t = 0 then Buffer.add_string buf "$dumpvars\n";
+      List.iteri
+        (fun k (v, _) ->
+          let value = if v < Array.length frame then frame.(v) else Sim.Vx in
+          let changed =
+            match Hashtbl.find_opt previous k with
+            | Some old -> old <> value
+            | None -> true
+          in
+          if changed then begin
+            Hashtbl.replace previous k value;
+            Buffer.add_string buf
+              (Printf.sprintf "%c%s\n" (char_of value) (code k))
+          end)
+        watched;
+      if t = 0 then Buffer.add_string buf "$end\n")
+    frames;
+  Buffer.contents buf
+
+let write_file ?design path net frames =
+  let oc = open_out path in
+  output_string oc (dump ?design net frames);
+  close_out oc

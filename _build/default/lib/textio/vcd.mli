@@ -1,0 +1,16 @@
+(** Value-change-dump (VCD) writer for waveform viewers.
+
+    Dumps the named signals of a netlist (inputs, state elements and
+    outputs) from a frame matrix as produced by simulation or
+    counterexample replay ([frames.(t).(v)] is vertex [v]'s
+    three-valued value at time [t]; X renders as ['x']). *)
+
+val dump :
+  ?design:string -> Netlist.Net.t -> Netlist.Sim.value array array -> string
+
+val write_file :
+  ?design:string ->
+  string ->
+  Netlist.Net.t ->
+  Netlist.Sim.value array array ->
+  unit

@@ -1,0 +1,1 @@
+lib/transform/transform.ml: Bdd_synth Casesplit Com Cslow Enlarge Equiv Localize Parametric Phase Rebuild Retime Van_eijk

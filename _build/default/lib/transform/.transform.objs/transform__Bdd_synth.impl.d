@@ -1,0 +1,1 @@
+lib/transform/bdd_synth.ml: Bdd Hashtbl Netlist

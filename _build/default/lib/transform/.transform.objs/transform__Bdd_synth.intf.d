@@ -1,0 +1,1 @@
+lib/transform/bdd_synth.mli: Bdd Netlist

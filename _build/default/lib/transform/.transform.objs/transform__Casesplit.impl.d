@@ -1,0 +1,1 @@
+lib/transform/casesplit.ml: Hashtbl List Netlist Rebuild

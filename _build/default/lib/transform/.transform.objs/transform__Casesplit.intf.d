@@ -1,0 +1,1 @@
+lib/transform/casesplit.mli: Netlist Rebuild

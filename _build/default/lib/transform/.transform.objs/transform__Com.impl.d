@@ -1,0 +1,1 @@
+lib/transform/com.ml: Array Encode Hashtbl List Netlist Option Rebuild Sat

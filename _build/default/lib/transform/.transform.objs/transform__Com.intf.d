@@ -1,0 +1,1 @@
+lib/transform/com.mli: Netlist Rebuild

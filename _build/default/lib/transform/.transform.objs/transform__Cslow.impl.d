@@ -1,0 +1,1 @@
+lib/transform/cslow.ml: Array Hashtbl List Netlist Option Printf Rebuild

@@ -1,0 +1,1 @@
+lib/transform/cslow.mli: Netlist

@@ -1,0 +1,1 @@
+lib/transform/enlarge.ml: Array Bdd Bdd_synth Hashtbl List Netlist Printf Rebuild

@@ -1,0 +1,1 @@
+lib/transform/enlarge.mli: Netlist

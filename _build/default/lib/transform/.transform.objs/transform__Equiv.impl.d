@@ -1,0 +1,1 @@
+lib/transform/equiv.ml: Array Encode Hashtbl List Netlist Sat String

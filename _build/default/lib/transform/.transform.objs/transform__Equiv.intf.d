@@ -1,0 +1,1 @@
+lib/transform/equiv.mli: Netlist

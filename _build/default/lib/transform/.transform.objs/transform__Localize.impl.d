@@ -1,0 +1,1 @@
+lib/transform/localize.ml: Hashtbl List Netlist Printf Rebuild

@@ -1,0 +1,1 @@
+lib/transform/localize.mli: Netlist Rebuild

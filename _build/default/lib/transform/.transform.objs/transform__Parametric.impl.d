@@ -1,0 +1,1 @@
+lib/transform/parametric.ml: Array Bdd Bdd_synth Hashtbl List Netlist Printf Rebuild

@@ -1,0 +1,1 @@
+lib/transform/parametric.mli: Netlist Rebuild

@@ -1,0 +1,1 @@
+lib/transform/phase.ml: Array Hashtbl List Netlist Printf Rebuild

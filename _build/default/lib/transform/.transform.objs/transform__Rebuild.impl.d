@@ -1,0 +1,1 @@
+lib/transform/rebuild.ml: Array List Netlist

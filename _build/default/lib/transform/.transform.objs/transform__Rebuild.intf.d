@@ -1,0 +1,1 @@
+lib/transform/rebuild.mli: Netlist

@@ -1,0 +1,1 @@
+lib/transform/retime.ml: Array Hashtbl List Netlist Printf Rebuild

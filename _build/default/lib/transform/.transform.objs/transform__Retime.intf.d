@@ -1,0 +1,1 @@
+lib/transform/retime.mli: Netlist Rebuild

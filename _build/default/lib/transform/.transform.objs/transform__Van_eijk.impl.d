@@ -1,0 +1,1 @@
+lib/transform/van_eijk.ml: Array Com Encode Hashtbl List Netlist Option Rebuild Sat

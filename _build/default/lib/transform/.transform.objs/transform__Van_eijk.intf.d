@@ -1,0 +1,1 @@
+lib/transform/van_eijk.mli: Netlist Rebuild

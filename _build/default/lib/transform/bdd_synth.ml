@@ -1,0 +1,20 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let synthesize man net ~leaf f =
+  let memo = Hashtbl.create 256 in
+  let rec go f =
+    match Bdd.view man f with
+    | `False -> Lit.false_
+    | `True -> Lit.true_
+    | `Node (v, low, high) -> (
+      match Hashtbl.find_opt memo f with
+      | Some l -> l
+      | None ->
+        let l =
+          Net.add_mux net ~sel:(leaf v) ~t1:(go high) ~t0:(go low)
+        in
+        Hashtbl.add memo f l;
+        l)
+  in
+  go f

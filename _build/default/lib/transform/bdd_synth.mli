@@ -1,0 +1,12 @@
+(** Structural re-synthesis of a BDD into AIG logic (used to represent
+    enlarged targets structurally, after [24] and [7]). *)
+
+val synthesize :
+  Bdd.man ->
+  Netlist.Net.t ->
+  leaf:(int -> Netlist.Lit.t) ->
+  Bdd.t ->
+  Netlist.Lit.t
+(** [synthesize man net ~leaf f] builds a multiplexer tree for [f] in
+    [net]; [leaf v] supplies the netlist literal of BDD variable
+    [v]. *)

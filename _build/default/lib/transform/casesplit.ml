@@ -1,0 +1,13 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let run net ~assignment =
+  let by_var = Hashtbl.create 16 in
+  Net.iter_nodes net (fun v node ->
+      match node with
+      | Net.Input name -> (
+        match List.assoc_opt name assignment with
+        | Some b -> Hashtbl.add by_var v (if b then Lit.true_ else Lit.false_)
+        | None -> ())
+      | Net.Const | Net.And _ | Net.Reg _ | Net.Latch _ -> ());
+  Rebuild.copy ~redirect:(Hashtbl.find_opt by_var) net

@@ -1,0 +1,12 @@
+(** Case splitting (the paper's Section 3.6): constrain chosen primary
+    inputs to constants.
+
+    This is an UNDERapproximate abstraction: target hits found on the
+    split netlist are valid for the original, but unreachability
+    results and diameter bounds are not — reachable states may become
+    unreachable (possibly decreasing the diameter) and reachable
+    transitions may vanish (possibly increasing it).  Exposed, like
+    {!Localize}, to demonstrate the paper's negative result. *)
+
+val run : Netlist.Net.t -> assignment:(string * bool) list -> Rebuild.result
+(** Replace each named input by the given constant. *)

@@ -1,0 +1,39 @@
+(** Redundancy removal (the paper's COM engine, after [14, 15, 27]).
+
+    Semantically equivalent vertices are identified and merged, which
+    preserves trace equivalence of every remaining vertex (Theorem 1),
+    so diameter bounds computed after COM transfer to the original
+    netlist unchanged.
+
+    The engine iterates to fixpoint:
+    - cone-of-influence restriction and re-strashing (constant
+      propagation, structural AND merging);
+    - structural sequential merging: registers with identical
+      next-state literal and identical constant initial value;
+      registers provably stuck at a constant;
+    - SAT sweeping: candidate equivalences of combinational vertices
+      proposed by bit-parallel random simulation and confirmed by a
+      SAT check over all input/state valuations (state elements are
+      cut points, so confirmed merges are sound in any state).
+
+    Registers with nondeterministic ([Init_x]) initial values are
+    never merged with each other: two such registers disagree at time
+    0 in some trace even when their next-state cones coincide. *)
+
+type stats = {
+  rounds : int;
+  const_regs : int;  (** registers replaced by constants *)
+  merged_regs : int;
+  merged_ands : int;  (** SAT-confirmed combinational merges *)
+  sat_checks : int;
+}
+
+val run :
+  ?seed:int ->
+  ?sim_steps:int ->
+  ?max_rounds:int ->
+  Netlist.Net.t ->
+  Rebuild.result * stats
+(** The result's [map] translates every original vertex that survived
+    into the reduced netlist (Theorem 1's bijection on the mapped
+    sets). *)

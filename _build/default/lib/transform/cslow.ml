@@ -1,0 +1,159 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Coi = Netlist.Coi
+
+type result = {
+  net : Net.t;
+  factor : int;
+  map : Lit.t option array;
+}
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Register dependency edges: [s -> r] when register [r]'s next-state
+   cone combinationally reads register [s]. *)
+let reg_edges net =
+  let edges = ref [] in
+  List.iter
+    (fun r ->
+      let next = (Net.reg_of net r).Net.next in
+      let cone = Coi.combinational net [ next ] in
+      Net.iter_nodes net (fun s node ->
+          match node with
+          | Net.Reg _ when cone.(s) -> edges := (s, r) :: !edges
+          | Net.Const | Net.Input _ | Net.And _ | Net.Reg _ | Net.Latch _ -> ()))
+    (Net.regs net);
+  !edges
+
+(* Potential assignment over the weakly-connected register graph and
+   the gcd of all edge discrepancies. *)
+let potentials net =
+  let n = Net.num_vars net in
+  let pot = Array.make n min_int in
+  let edges = reg_edges net in
+  let adj = Hashtbl.create 64 in
+  let add_adj a b delta =
+    Hashtbl.replace adj a ((b, delta) :: Option.value (Hashtbl.find_opt adj a) ~default:[])
+  in
+  List.iter
+    (fun (s, r) ->
+      (* desired: pot r = pot s + 1 *)
+      add_adj s r 1;
+      add_adj r s (-1))
+    edges;
+  let rec dfs v =
+    List.iter
+      (fun (w, delta) ->
+        if pot.(w) = min_int then begin
+          pot.(w) <- pot.(v) + delta;
+          dfs w
+        end)
+      (Option.value (Hashtbl.find_opt adj v) ~default:[])
+  in
+  List.iter
+    (fun r ->
+      if pot.(r) = min_int then begin
+        pot.(r) <- 0;
+        dfs r
+      end)
+    (Net.regs net);
+  let c =
+    List.fold_left
+      (fun acc (s, r) -> gcd acc (abs (pot.(s) + 1 - pot.(r))))
+      0 edges
+  in
+  (pot, c)
+
+let detect net =
+  if Net.num_latches net > 0 then 1
+  else begin
+    let _, c = potentials net in
+    if c <= 0 then 1 else c
+  end
+
+exception Not_foldable
+
+let identity original =
+  let base = Rebuild.copy original in
+  { net = base.Rebuild.net; factor = 1; map = base.Rebuild.map }
+
+let run original =
+  if Net.num_latches original > 0 then
+    invalid_arg "Cslow.run: phase-abstract latch designs first";
+  let pot, c = potentials original in
+  if c <= 1 then identity original
+  else begin
+    let n = Net.num_vars original in
+    (* normalize colors so that target cones read color 0 *)
+    let roots =
+      List.map snd (Net.targets original) @ List.map snd (Net.outputs original)
+    in
+    let root_cone = Coi.combinational original roots in
+    let shift = ref None in
+    List.iter
+      (fun r ->
+        if root_cone.(r) && !shift = None then
+          shift := Some (((pot.(r) mod c) + c) mod c))
+      (Net.regs original);
+    let shift = Option.value !shift ~default:0 in
+    let color r = (((pot.(r) - shift) mod c) + c) mod c in
+    let fresh = Net.create () in
+    let memo : (int * int, Lit.t) Hashtbl.t = Hashtbl.create (2 * n) in
+    let pending = ref [] in
+    let rec build v ctx =
+      match Hashtbl.find_opt memo (v, ctx) with
+      | Some l -> l
+      | None ->
+        let l =
+          match Net.node original v with
+          | Net.Const -> Lit.false_
+          | Net.Input name ->
+            Net.add_input fresh
+              (if c = 1 then name else Printf.sprintf "%s@%d" name ctx)
+          | Net.And (a, b) -> Net.add_and fresh (blit a ctx) (blit b ctx)
+          | Net.Latch _ -> assert false
+          | Net.Reg reg ->
+            let p = color v in
+            if p <> ctx then raise Not_foldable
+            else if p = 0 then begin
+              (* kept color: abstract register *)
+              let r = Net.add_reg fresh ~init:reg.Net.r_init reg.Net.r_name in
+              Hashtbl.replace memo (v, ctx) r;
+              pending := (r, reg.Net.next) :: !pending;
+              r
+            end
+            else
+              (* dissolved color: substitute the next-state cone,
+                 evaluated one sub-step earlier *)
+              blit reg.Net.next (p - 1)
+        in
+        Hashtbl.replace memo (v, ctx) l;
+        l
+    and blit l ctx = Lit.xor_sign (build (Lit.var l) ctx) (Lit.is_neg l) in
+    let rec drain () =
+      match !pending with
+      | [] -> ()
+      | (r, next) :: rest ->
+        pending := rest;
+        (* the kept register's next cone evaluates at the last sub-step
+           of the major cycle *)
+        Net.set_next fresh r (blit next (c - 1));
+        drain ()
+    in
+    match
+      List.iter
+        (fun (name, l) -> Net.add_target fresh name (blit l 0))
+        (Net.targets original);
+      List.iter
+        (fun (name, l) -> Net.add_output fresh name (blit l 0))
+        (Net.outputs original);
+      drain ()
+    with
+    | () ->
+      let map = Array.make n None in
+      Hashtbl.iter
+        (fun (v, ctx) l -> if ctx = 0 then map.(v) <- Some l)
+        memo;
+      { net = fresh; factor = c; map }
+    | exception Not_foldable -> identity original
+  end

@@ -1,0 +1,38 @@
+(** C-slow abstraction of register netlists (the paper's Section 3.3,
+    after Baumgartner et al. [21]).
+
+    A netlist is c-slow when its registers can be c-colored such that
+    color-p registers combinationally feed only color-((p+1) mod c)
+    registers; equivalently, every sequential cycle crosses a multiple
+    of c registers.  The largest such c is the gcd of all cycle
+    discrepancies of a potential assignment on the register dependency
+    graph.
+
+    The abstraction keeps one color of registers (normalized to the
+    color read by the targets) and dissolves the other colors into
+    combinational logic, splitting primary inputs per sub-step; one
+    abstract step then corresponds to c original steps, and Theorem 3
+    translates a bound [d] on the abstraction to [c * d] on the
+    original netlist.
+
+    The abstraction is exact for the kept-color projection: the
+    abstract state at step T equals the original kept registers at
+    time [c * T].
+
+    When the netlist is not c-slow for any [c > 1], or its targets mix
+    colors, [run] degrades to the identity transformation
+    ([factor = 1]). *)
+
+type result = {
+  net : Netlist.Net.t;
+  factor : int;
+  map : Netlist.Lit.t option array;
+      (** original vertex -> abstract literal, for kept registers and
+          sub-step-0 combinational logic *)
+}
+
+val detect : Netlist.Net.t -> int
+(** The largest [c] for which the netlist is structurally c-slow
+    (1 when it has no sequential cycles or is not foldable). *)
+
+val run : Netlist.Net.t -> result

@@ -1,0 +1,107 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Coi = Netlist.Coi
+
+type result = {
+  net : Net.t;
+  enlarged : Lit.t;
+  k : int;
+  empty : bool;
+  bdd_size : int;
+}
+
+let run ?(reg_limit = 24) original ~target ~k =
+  match List.assoc_opt target (Net.targets original) with
+  | None -> None
+  | Some _ when Net.num_latches original > 0 -> None
+  | Some tlit ->
+    let cone = Coi.of_lits original [ tlit ] in
+    let regs = Coi.regs_in original cone in
+    if List.length regs > reg_limit then None
+    else begin
+      let man = Bdd.man () in
+      (* BDD variable order: registers first, then inputs *)
+      let bddvar = Hashtbl.create 64 in
+      let counter = ref 0 in
+      let assign v =
+        Hashtbl.replace bddvar v !counter;
+        incr counter
+      in
+      List.iter assign regs;
+      let reg_count = !counter in
+      Net.iter_nodes original (fun v node ->
+          match node with
+          | Net.Input _ when cone.(v) -> assign v
+          | Net.Const | Net.Input _ | Net.And _ | Net.Reg _ | Net.Latch _ -> ());
+      let input_vars =
+        Hashtbl.fold
+          (fun _ bv acc -> if bv >= reg_count then bv :: acc else acc)
+          bddvar []
+      in
+      (* combinational BDD of each vertex: registers and inputs are
+         leaves *)
+      let memo = Hashtbl.create 256 in
+      let rec fn v =
+        match Hashtbl.find_opt memo v with
+        | Some b -> b
+        | None ->
+          let b =
+            match Net.node original v with
+            | Net.Const -> Bdd.bfalse
+            | Net.Input _ | Net.Reg _ -> Bdd.var man (Hashtbl.find bddvar v)
+            | Net.Latch _ -> assert false
+            | Net.And (a, b) -> Bdd.band man (fn_lit a) (fn_lit b)
+          in
+          Hashtbl.replace memo v b;
+          b
+      and fn_lit l =
+        let b = fn (Lit.var l) in
+        if Lit.is_neg l then Bdd.bnot man b else b
+      in
+      let target_bdd = fn_lit tlit in
+      let next_of =
+        List.map
+          (fun r -> (Hashtbl.find bddvar r, fn_lit (Net.reg_of original r).Net.next))
+          regs
+      in
+      let preimage s =
+        (* s over register variables; substitute next-state functions
+           and quantify the inputs *)
+        let composed =
+          Bdd.compose man
+            (fun v -> List.assoc_opt v next_of)
+            s
+        in
+        Bdd.exists man input_vars composed
+      in
+      let b0 = Bdd.exists man input_vars target_bdd in
+      let rec iterate j current hit =
+        if j = k then Bdd.band man current (Bdd.bnot man hit)
+        else iterate (j + 1) (preimage current) (Bdd.bor man hit current)
+      in
+      let enlarged_set = iterate 0 b0 Bdd.bfalse in
+      (* re-synthesize structurally on a fresh copy *)
+      let copy = Rebuild.copy original in
+      let net = copy.Rebuild.net in
+      let leaf bv =
+        (* invert the register variable mapping *)
+        let orig =
+          Hashtbl.fold (fun v b acc -> if b = bv then Some v else acc) bddvar
+            None
+        in
+        match orig with
+        | Some v -> Rebuild.map_lit copy (Lit.make v)
+        | None -> invalid_arg "Enlarge: input variable in quantified set"
+      in
+      let enlarged = Bdd_synth.synthesize man net ~leaf enlarged_set in
+      let name = Printf.sprintf "%s#enl%d" target k in
+      Net.add_target net name enlarged;
+      Some
+        {
+          net;
+          enlarged;
+          k;
+          empty = Bdd.is_false enlarged_set;
+          bdd_size = Bdd.size man enlarged_set;
+        }
+    end

@@ -1,0 +1,34 @@
+(** Target enlargement (the paper's Section 3.4, after [22, 23, 24]).
+
+    The k-step enlarged target of [t] is the characteristic function
+    of the states that can hit [t] in exactly [k] steps but not in
+    fewer (inductive simplification): [S = pre^k(T) /\ ~(pre^0(T) \/
+    ... \/ pre^(k-1)(T))], with each preimage existentially quantifying
+    the primary inputs.  The set is computed with BDDs over the target's
+    cone-of-influence registers and re-synthesized structurally
+    (multiplexer tree) so that downstream engines can process it.
+
+    By Theorem 4, if the enlarged target has diameter bound [d], the
+    original target is hittable within [d + k] steps, if at all — and
+    BMC of the ORIGINAL netlist to that depth is complete for [t].
+    As Section 3.4 cautions, this is a hittability bound only: the
+    enlarged netlist must not be used to bound the diameter of an
+    intermediate component. *)
+
+type result = {
+  net : Netlist.Net.t;
+      (** copy of the original netlist with the enlarged target added
+          as target "<name>#enl<k>" *)
+  enlarged : Netlist.Lit.t;
+  k : int;
+  empty : bool;
+      (** the enlarged set is empty: every hit of the original target,
+          if any, occurs within the first [k - 1] steps, so BMC to
+          depth [k - 1] is already complete *)
+  bdd_size : int;
+}
+
+val run :
+  ?reg_limit:int -> Netlist.Net.t -> target:string -> k:int -> result option
+(** [None] when the target does not exist, the netlist has latches, or
+    its cone has more than [reg_limit] (default 24) registers. *)

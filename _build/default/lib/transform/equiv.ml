@@ -1,0 +1,107 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Sim = Netlist.Sim
+module Solver = Sat.Solver
+
+(* deterministic pseudo-random bit per (seed, name, time) *)
+let stim_bit seed name time =
+  let h = Hashtbl.hash (seed, name, time) in
+  h land 1 = 1
+
+let input_names net =
+  List.filter_map
+    (fun v ->
+      match Net.node net v with
+      | Net.Input name -> Some (v, name)
+      | Net.Const | Net.And _ | Net.Reg _ | Net.Latch _ -> None)
+    (Net.inputs net)
+
+(* split "n@p" into (base, sub-step) *)
+let split_phase name =
+  match String.rindex_opt name '@' with
+  | None -> (name, None)
+  | Some i -> (
+    let base = String.sub name 0 i in
+    let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+    match int_of_string_opt suffix with
+    | Some p -> (base, Some p)
+    | None -> (name, None))
+
+let sim_equivalent ?(seeds = [ 1; 2; 3; 4 ]) ?(steps = 24) ?(skew = 0)
+    ?(fold = 1) net_a lit_a net_b lit_b =
+  let a_inputs = input_names net_a in
+  let b_inputs = input_names net_b in
+  let horizon_a = (fold * steps) + fold - 1 + skew + 1 in
+  let check_seed seed =
+    (* drive A, recording the compared values *)
+    let sa = Sim.create net_a in
+    let a_values = Array.make horizon_a Sim.Vx in
+    for t = 0 to horizon_a - 1 do
+      Sim.step sa (fun v ->
+          match List.assoc_opt v a_inputs with
+          | Some name -> Sim.value_of_bool (stim_bit seed name t)
+          | None -> Sim.Vx);
+      a_values.(t) <- Sim.value sa lit_a
+    done;
+    (* drive B with the matching stimulus *)
+    let sb = Sim.create net_b in
+    let ok = ref true in
+    for bt = 0 to steps - 1 do
+      Sim.step sb (fun v ->
+          match List.assoc_opt v b_inputs with
+          | Some name -> (
+            let base, sub = split_phase name in
+            match sub with
+            | Some p -> Sim.value_of_bool (stim_bit seed base ((fold * bt) + p))
+            | None -> Sim.value_of_bool (stim_bit seed base bt))
+          | None -> Sim.Vx);
+      let vb = Sim.value sb lit_b in
+      let va = a_values.((fold * bt) + fold - 1 + skew) in
+      (match (va, vb) with
+      | Sim.Vx, _ | _, Sim.Vx -> ()
+      | va, vb -> if va <> vb then ok := false);
+      ()
+    done;
+    !ok
+  in
+  List.for_all check_seed seeds
+
+let sat_equivalent ~depth net_a lit_a net_b lit_b =
+  let solver = Solver.create () in
+  let ua = Encode.Unroll.create solver net_a in
+  let ub = Encode.Unroll.create solver net_b in
+  let a_inputs = input_names net_a in
+  let b_inputs = input_names net_b in
+  (* tie same-named inputs frame by frame *)
+  List.iter
+    (fun (va, name) ->
+      match
+        List.find_opt (fun (_, n) -> String.equal n name) b_inputs
+      with
+      | None -> ()
+      | Some (vb, _) ->
+        for t = 0 to depth - 1 do
+          let la = Encode.Unroll.lit_at ua (Lit.make va) t in
+          let lb = Encode.Unroll.lit_at ub (Lit.make vb) t in
+          Solver.add_clause solver [ Solver.negate la; lb ];
+          Solver.add_clause solver [ la; Solver.negate lb ]
+        done)
+    a_inputs;
+  (* a divergence at any frame *)
+  let miters =
+    List.init depth (fun t ->
+        let la = Encode.Unroll.lit_at ua lit_a t in
+        let lb = Encode.Unroll.lit_at ub lit_b t in
+        let m = Solver.pos (Solver.new_var solver) in
+        (* m -> (la xor lb) *)
+        Solver.add_clause solver [ Solver.negate m; la; lb ];
+        Solver.add_clause solver
+          [ Solver.negate m; Solver.negate la; Solver.negate lb ];
+        m)
+  in
+  Solver.add_clause solver miters;
+  (* some asserted miter forces a real divergence, so Sat means the
+     literals differ at some frame *)
+  match Solver.solve solver with
+  | Solver.Unsat -> true
+  | Solver.Sat -> false

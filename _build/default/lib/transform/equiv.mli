@@ -1,0 +1,29 @@
+(** Equivalence checking helpers used to validate transformations
+    (Theorem 1's trace equivalence, and its skewed/folded variants for
+    Theorems 2 and 3). *)
+
+val sim_equivalent :
+  ?seeds:int list ->
+  ?steps:int ->
+  ?skew:int ->
+  ?fold:int ->
+  Netlist.Net.t ->
+  Netlist.Lit.t ->
+  Netlist.Net.t ->
+  Netlist.Lit.t ->
+  bool
+(** [sim_equivalent a la b lb] drives both netlists with the same
+    pseudo-random input sequences (inputs matched by name; the fold
+    factor maps input "n\@p" of [b] to input "n" of [a] at sub-step p)
+    and checks [value a la (fold * t + fold - 1 + skew) = value b lb t]
+    for every step [t], ignoring comparisons involving X values.
+    [skew] skews netlist [a] forward (Theorem 2); [fold > 1] folds
+    time modulo [fold] (Theorem 3). *)
+
+val sat_equivalent :
+  depth:int -> Netlist.Net.t -> Netlist.Lit.t -> Netlist.Net.t -> Netlist.Lit.t -> bool
+(** Complete bounded equivalence: unrolls both netlists to [depth],
+    ties inputs of equal names frame by frame, and asks the SAT solver
+    for a divergence.  [true] iff none exists within the bound.  Only
+    meaningful for netlists without [Init_x] state (nondeterministic
+    initial values are independent free variables on the two sides). *)

@@ -1,0 +1,118 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Coi = Netlist.Coi
+
+type result = {
+  rebuilt : Rebuild.result;
+  cut_size : int;
+  params : int;
+  image_size : float;
+}
+
+let run net ~cut =
+  let n = List.length cut in
+  if n = 0 || n > 16 then None
+  else begin
+    (* memoryless check: the cut cones stop at inputs *)
+    let cone = Coi.combinational net cut in
+    let stateless = ref true in
+    Net.iter_nodes net (fun v node ->
+        if cone.(v) then
+          match node with
+          | Net.Reg _ | Net.Latch _ -> stateless := false
+          | Net.Const | Net.Input _ | Net.And _ -> ());
+    if not !stateless then None
+    else begin
+      let man = Bdd.man () in
+      (* BDD variables: cut signals 0 .. n-1, inputs after *)
+      let input_var = Hashtbl.create 16 in
+      let next_var = ref n in
+      let memo = Hashtbl.create 256 in
+      let rec fn v =
+        match Hashtbl.find_opt memo v with
+        | Some b -> b
+        | None ->
+          let b =
+            match Net.node net v with
+            | Net.Const -> Bdd.bfalse
+            | Net.Input _ ->
+              let bv =
+                match Hashtbl.find_opt input_var v with
+                | Some bv -> bv
+                | None ->
+                  let bv = !next_var in
+                  incr next_var;
+                  Hashtbl.replace input_var v bv;
+                  bv
+              in
+              Bdd.var man bv
+            | Net.And (a, b) -> Bdd.band man (fn_lit a) (fn_lit b)
+            | Net.Reg _ | Net.Latch _ -> assert false
+          in
+          Hashtbl.replace memo v b;
+          b
+      and fn_lit l =
+        let b = fn (Lit.var l) in
+        if Lit.is_neg l then Bdd.bnot man b else b
+      in
+      (* image = exists inputs . AND_i (v_i <-> f_i(inputs)) *)
+      let relation =
+        List.fold_left
+          (fun acc (i, l) ->
+            Bdd.band man acc (Bdd.biff man (Bdd.var man i) (fn_lit l)))
+          Bdd.btrue
+          (List.mapi (fun i l -> (i, l)) cut)
+      in
+      let inputs = Hashtbl.fold (fun _ bv acc -> bv :: acc) input_var [] in
+      let image = Bdd.exists man inputs relation in
+      let image_size = Bdd.sat_count man ~nvars:n image in
+      (* chronological parameterization: E_i = exists v_(i+1..n-1) image *)
+      let exist_down = Array.make (n + 1) image in
+      for i = n - 1 downto 0 do
+        exist_down.(i) <- Bdd.exists man [ i ] exist_down.(i + 1)
+      done;
+      (* exist_down.(i) ranges over v_0 .. v_(i-1); build the circuit in
+         cut order, staged into the old netlist with fresh params *)
+      let built : Lit.t array = Array.make n Lit.false_ in
+      let leaf bv =
+        if bv < n then built.(bv)
+        else invalid_arg "Parametric: unquantified input in image"
+      in
+      let params = ref 0 in
+      List.iteri
+        (fun i _l ->
+          (* possibility predicates over v_0 .. v_(i-1) *)
+          let e = exist_down.(i + 1) in
+          let possible1 =
+            Bdd.compose man (fun v -> if v = i then Some Bdd.btrue else None) e
+          in
+          let possible0 =
+            Bdd.compose man (fun v -> if v = i then Some Bdd.bfalse else None) e
+          in
+          let p1 = Bdd_synth.synthesize man net ~leaf possible1 in
+          let p0 = Bdd_synth.synthesize man net ~leaf possible0 in
+          let value =
+            if Lit.equal p1 Lit.false_ then Lit.false_
+            else if Lit.equal p0 Lit.false_ then Lit.true_
+            else begin
+              incr params;
+              let p = Net.add_input net (Printf.sprintf "param%d" (Net.num_vars net)) in
+              Net.add_or net (Net.add_and net p p1) (Lit.neg p0)
+            end
+          in
+          built.(i) <- value)
+        cut;
+      (* redirect each cut vertex to its parametric replacement,
+         folding the cut literal's sign back in *)
+      let redirect_table = Hashtbl.create 16 in
+      List.iteri
+        (fun i l ->
+          (* constant cut literals are already their own replacement *)
+          if not (Lit.is_const l) then
+            Hashtbl.replace redirect_table (Lit.var l)
+              (Lit.xor_sign built.(i) (Lit.is_neg l)))
+        cut;
+      let rebuilt = Rebuild.copy ~redirect:(Hashtbl.find_opt redirect_table) net in
+      Some { rebuilt; cut_size = n; params = !params; image_size }
+    end
+  end

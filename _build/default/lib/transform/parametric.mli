@@ -1,0 +1,35 @@
+(** Parametric re-encoding (the paper's Section 3.1, after Moon et
+    al. [16] and [17]): replace the fanin cone of a cut by a smaller
+    cone producing {e exactly} the same set of valuations, driven by
+    fresh parametric inputs.
+
+    Unlike cut-point insertion (Section 3.5), which overapproximates
+    by making every cut valuation producible, the parametric
+    replacement preserves the image and hence trace equivalence of
+    every vertex outside the replaced cone — Theorem 1 transfers
+    diameter bounds verbatim.
+
+    This implementation handles the memoryless case: every cut
+    signal's combinational cone may contain only primary inputs and
+    constants (each time step is then independent, so per-step image
+    equality is trace equivalence).  The image is computed as a BDD
+    and re-synthesized with the classic chronological parameterization:
+    cut signal [i] becomes [(p_i & possible1_i) | ~possible0_i], where
+    the possibility predicates are functions of the already-re-encoded
+    signals. *)
+
+type result = {
+  rebuilt : Rebuild.result;
+  cut_size : int;
+  params : int;  (** fresh parametric inputs introduced *)
+  image_size : float;  (** number of producible cut valuations *)
+}
+
+val run : Netlist.Net.t -> cut:Netlist.Lit.t list -> result option
+(** [None] when some cut cone reaches a state element (not
+    memoryless), the cut is empty, or it exceeds 16 signals. *)
+
+(** {b Cut discipline}: the cut must dominate its cone — vertices
+    outside the replaced logic should read the cone only through the
+    cut signals.  Readers that bypass the cut keep the original
+    (shared) logic and lose correlation with the re-encoded copy. *)

@@ -1,0 +1,82 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+type result = {
+  net : Net.t;
+  factor : int;
+  map : Lit.t option array;
+}
+
+let run original =
+  let c = Net.phases original in
+  if c = 1 && Net.num_latches original = 0 then begin
+    let base = Rebuild.copy original in
+    { net = base.Rebuild.net; factor = 1; map = base.Rebuild.map }
+  end
+  else begin
+    let n = Net.num_vars original in
+    let fresh = Net.create () in
+    (* memo per (vertex, phase context) *)
+    let memo : (int * int, Lit.t) Hashtbl.t = Hashtbl.create (4 * n) in
+    let visiting : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let pending = ref [] in
+    let rec build v ph =
+      match Hashtbl.find_opt memo (v, ph) with
+      | Some l -> l
+      | None ->
+        if Hashtbl.mem visiting (v, ph) then
+          failwith "Phase.run: netlist is not properly c-colored (cycle)";
+        Hashtbl.add visiting (v, ph) ();
+        let l =
+          match Net.node original v with
+          | Net.Const -> Lit.false_
+          | Net.Input name ->
+            let abstract_name =
+              if c = 1 then name else Printf.sprintf "%s@%d" name ph
+            in
+            Net.add_input fresh abstract_name
+          | Net.And (a, b) -> Net.add_and fresh (blit a ph) (blit b ph)
+          | Net.Reg _ ->
+            failwith "Phase.run: mixed register/latch netlists unsupported"
+          | Net.Latch latch ->
+            let p = latch.Net.l_phase in
+            let delta = (ph - p + c) mod c in
+            if delta <= ph then
+              (* transparent now (delta = 0) or sampled earlier in the
+                 same major cycle: dissolve into the data cone *)
+              blit latch.Net.l_data p
+            else begin
+              (* sample wraps from the previous major cycle: register *)
+              let r =
+                Net.add_reg fresh ~init:latch.Net.l_init latch.Net.l_name
+              in
+              Hashtbl.replace memo (v, ph) r;
+              pending := (r, latch.Net.l_data, p) :: !pending;
+              r
+            end
+        in
+        Hashtbl.remove visiting (v, ph);
+        Hashtbl.replace memo (v, ph) l;
+        l
+    and blit l ph = Lit.xor_sign (build (Lit.var l) ph) (Lit.is_neg l) in
+    let rec drain () =
+      match !pending with
+      | [] -> ()
+      | (r, data, p) :: rest ->
+        pending := rest;
+        Net.set_next fresh r (blit data p);
+        drain ()
+    in
+    List.iter
+      (fun (name, l) -> Net.add_target fresh name (blit l (c - 1)))
+      (Net.targets original);
+    List.iter
+      (fun (name, l) -> Net.add_output fresh name (blit l (c - 1)))
+      (Net.outputs original);
+    drain ();
+    let map = Array.make n None in
+    Hashtbl.iter
+      (fun (v, ph) l -> if ph = c - 1 then map.(v) <- Some l)
+      memo;
+    { net = fresh; factor = c; map }
+  end

@@ -1,0 +1,36 @@
+(** Phase abstraction of c-phase level-sensitive latch designs (the
+    paper's Section 3.3, after Baumgartner et al. [10]).
+
+    The state elements must be c-colorable: the data cone of a phase-q
+    latch may combinationally reach only phase-((q-1) mod c) latches,
+    primary inputs and constants.  The abstraction evaluates the
+    netlist symbolically through one major clock cycle:
+
+    - a latch read in its own phase context is transparent and
+      dissolves into its data cone;
+    - a latch sampled earlier in the same major cycle dissolves
+      likewise;
+    - a latch whose sample wraps from the previous major cycle (with
+      the canonical coloring, exactly the phase-(c-1) latches read by
+      phase-0 logic) becomes an edge-triggered register;
+    - a primary input read in phase context q becomes the abstract
+      input "name\@q" (per-phase input splitting), since the original
+      input is sampled c times per major cycle.
+
+    One abstract step corresponds to [c] original steps, so by
+    Theorem 3 a diameter bound [d] on the abstract netlist translates
+    to [c * d] on the original.  Targets and outputs are evaluated in
+    the phase-(c-1) context (end of major cycle). *)
+
+type result = {
+  net : Netlist.Net.t;
+  factor : int;  (** the c of the folding; bound translation is [c * d] *)
+  map : Netlist.Lit.t option array;
+      (** original vertex -> abstract literal in the phase-(c-1)
+          context: the abstract value at step T equals the original
+          value at time [c*T + c-1] *)
+}
+
+val run : Netlist.Net.t -> result
+(** Identity (factor 1) on pure register netlists.
+    @raise Failure if the netlist is not properly colored. *)

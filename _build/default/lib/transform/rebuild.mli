@@ -1,0 +1,31 @@
+(** Netlist reconstruction: the shared machinery of the
+    semantics-preserving transformations.
+
+    [copy] rebuilds the cone of influence of the given roots into a
+    fresh netlist, re-strashing every AND on the way (so constant
+    propagation and structural merging happen automatically), while
+    applying an optional vertex redirection (used by redundancy
+    removal to merge equivalent vertices). *)
+
+type result = {
+  net : Netlist.Net.t;
+  map : Netlist.Lit.t option array;
+      (** old variable -> new literal; [None] outside the copied cone *)
+}
+
+val map_lit : result -> Netlist.Lit.t -> Netlist.Lit.t
+(** Translate an old literal.  @raise Invalid_argument if unmapped. *)
+
+val copy :
+  ?roots:Netlist.Lit.t list ->
+  ?redirect:(int -> Netlist.Lit.t option) ->
+  Netlist.Net.t ->
+  result
+(** [copy net] rebuilds [net] restricted to the sequential cone of
+    influence of [roots] (default: all outputs and targets).  Named
+    outputs and targets whose cone was kept are re-registered on the
+    new netlist.
+
+    [redirect v = Some l] requests that every use of vertex [v] be
+    replaced by (old-netlist) literal [l]; redirections are followed
+    transitively and must not form cycles. *)

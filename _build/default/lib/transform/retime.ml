@@ -1,0 +1,214 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Sim = Netlist.Sim
+module Scc = Netlist.Scc
+
+type result = {
+  rebuilt : Rebuild.result;
+  skew : int array;
+  target_skews : (string * int) list;
+  max_skew : int;
+  moved_regs : int;
+}
+
+let v_xor_sign value sign =
+  if sign then Sim.v_not value else value
+
+let init_to_value = function
+  | Net.Init0 -> Sim.V0
+  | Net.Init1 -> Sim.V1
+  | Net.Init_x -> Sim.Vx
+
+let value_to_init = function
+  | Sim.V0 -> Net.Init0
+  | Sim.V1 -> Net.Init1
+  | Sim.Vx -> Net.Init_x
+
+let run original =
+  if Net.num_latches original > 0 then
+    invalid_arg "Retime.run: phase-abstract latch designs first";
+  (* operate on the cone of influence of outputs and targets *)
+  let base = Rebuild.copy original in
+  let net = base.Rebuild.net in
+  let n = Net.num_vars net in
+  (* cyclic registers: on some sequential cycle *)
+  let succ v = List.map Lit.var (Net.fanins net v) in
+  let scc = Scc.compute n succ in
+  let self_loop v = List.exists (fun l -> Lit.var l = v) (Net.fanins net v) in
+  let cyclic v = Net.is_reg net v && Scc.is_cyclic scc ~self_loop v in
+  let acyclic_reg v = Net.is_reg net v && not (cyclic v) in
+  (* contract acyclic-register chains into weighted edges *)
+  let rec walk l =
+    let v = Lit.var l in
+    if acyclic_reg v then begin
+      let r = Net.reg_of net v in
+      let l' = Lit.xor_sign r.Net.next (Lit.is_neg l) in
+      let u, w, inits = walk l' in
+      (u, w + 1, v_xor_sign (init_to_value r.Net.r_init) (Lit.is_neg l) :: inits)
+    end
+    else (l, 0, [])
+  in
+  (* maximal legal peel of each combinational vertex: shortest register
+     distance from hosts (inputs, constants, cyclic registers) *)
+  let peel = Array.make n (-1) in
+  let rec peel_of v =
+    match Net.node net v with
+    | Net.Const | Net.Input _ -> 0
+    | Net.Reg _ -> 0 (* endpoints are always cyclic registers *)
+    | Net.Latch _ -> assert false
+    | Net.And (a, b) ->
+      if peel.(v) = -2 then failwith "Retime.run: combinational cycle";
+      if peel.(v) >= 0 then peel.(v)
+      else begin
+        peel.(v) <- -2;
+        let edge_peel l =
+          let u, w, _ = walk l in
+          w + peel_of (Lit.var u)
+        in
+        let p = min (edge_peel a) (edge_peel b) in
+        peel.(v) <- p;
+        p
+      end
+  in
+  (* per-root skew: registers on the root chain plus the endpoint peel *)
+  let root_skew l =
+    let u, w, _ = walk l in
+    (u, w + peel_of (Lit.var u))
+  in
+  let roots =
+    List.map (fun (name, l) -> (`Target, name, l)) (Net.targets net)
+    @ List.map (fun (name, l) -> (`Output, name, l)) (Net.outputs net)
+  in
+  let max_skew =
+    List.fold_left (fun acc (_, _, l) -> max acc (snd (root_skew l))) 0 roots
+  in
+  (* force all peels so the stump depth covers every relocated init *)
+  let max_peel = ref 0 in
+  Net.iter_nodes net (fun v node ->
+      match node with
+      | Net.And _ -> max_peel := max !max_peel (peel_of v)
+      | Net.Const | Net.Input _ | Net.Reg _ | Net.Latch _ -> ());
+  let prefix_depth = max !max_peel max_skew in
+  (* the retiming stump: three-valued values of the original prefix
+     under unknown inputs, supplying relocated initial values *)
+  let prefix =
+    let s = Sim.create net in
+    Array.init prefix_depth (fun _ ->
+        Sim.step s (fun _ -> Sim.Vx);
+        Array.init n (fun v -> Sim.value s (Lit.make v)))
+  in
+  let stump_value l t =
+    if t >= prefix_depth then Sim.Vx
+    else v_xor_sign prefix.(t).(Lit.var l) (Lit.is_neg l)
+  in
+  (* rebuild *)
+  let fresh = Net.create () in
+  let map : Lit.t option array = Array.make n None in
+  let chain_cache : (int * Net.init, Lit.t) Hashtbl.t = Hashtbl.create 256 in
+  let reg_counter = ref 0 in
+  let pending = ref [] in
+  let rec build_var v =
+    match map.(v) with
+    | Some l -> l
+    | None ->
+      let nl =
+        match Net.node net v with
+        | Net.Const -> Lit.false_
+        | Net.Input name -> Net.add_input fresh name
+        | Net.Latch _ -> assert false
+        | Net.Reg r ->
+          (* cyclic register: kept in place, next edge needs exact-time
+             values (peel 0) *)
+          let nr = Net.add_reg fresh ~init:r.Net.r_init r.Net.r_name in
+          map.(v) <- Some nr;
+          pending := (nr, r.Net.next) :: !pending;
+          nr
+        | Net.And (a, b) ->
+          let p = peel_of v in
+          Net.add_and fresh (build_edge a p) (build_edge b p)
+      in
+      map.(v) <- Some nl;
+      nl
+  (* rebuild fanin edge [l] as consumed by a vertex of peel [p_v]:
+     endpoint copy plus a shared-prefix chain of
+     [w + peel(endpoint) - p_v] registers *)
+  and build_edge l p_v =
+    let u, w, inits = walk l in
+    let pu = peel_of (Lit.var u) in
+    let endpoint = Lit.xor_sign (build_var (Lit.var u)) (Lit.is_neg u) in
+    let total = w + pu - p_v in
+    assert (total >= 0);
+    let inits = Array.of_list inits in
+    (* original value of [l] at time [s] *)
+    let needed s = if s < w then inits.(s) else stump_value u (s - w) in
+    let rec chain j cur =
+      if j > total then cur
+      else begin
+        let init = value_to_init (needed (w + pu - j)) in
+        let key = (Lit.to_int cur, init) in
+        let stage =
+          match Hashtbl.find_opt chain_cache key with
+          | Some r -> r
+          | None ->
+            incr reg_counter;
+            let r =
+              Net.add_reg fresh ~init (Printf.sprintf "rt%d" !reg_counter)
+            in
+            Net.set_next fresh r cur;
+            Hashtbl.add chain_cache key r;
+            r
+        in
+        chain (j + 1) stage
+      end
+    in
+    chain 1 endpoint
+  in
+  let target_skews = ref [] in
+  List.iter
+    (fun (kind, name, l) ->
+      let u, skew = root_skew l in
+      let nl = Lit.xor_sign (build_var (Lit.var u)) (Lit.is_neg u) in
+      match kind with
+      | `Target ->
+        Net.add_target fresh name nl;
+        target_skews := (name, skew) :: !target_skews
+      | `Output -> Net.add_output fresh name nl)
+    roots;
+  let rec drain () =
+    match !pending with
+    | [] -> ()
+    | (nr, next) :: rest ->
+      pending := rest;
+      Net.set_next fresh nr (build_edge next 0);
+      drain ()
+  in
+  drain ();
+  let moved_regs = List.length (List.filter acyclic_reg (Net.regs net)) in
+  (* compose: original -> base -> retimed *)
+  let compose =
+    Array.map
+      (function
+        | None -> None
+        | Some l -> (
+          match map.(Lit.var l) with
+          | None -> None
+          | Some nl -> Some (Lit.xor_sign nl (Lit.is_neg l))))
+      base.Rebuild.map
+  in
+  let skew_orig = Array.make (Net.num_vars original) 0 in
+  Array.iteri
+    (fun ov slot ->
+      match slot with
+      | Some l ->
+        let v = Lit.var l in
+        if v < n && peel.(v) >= 0 then skew_orig.(ov) <- peel.(v)
+      | None -> ())
+    base.Rebuild.map;
+  ( {
+      rebuilt = { Rebuild.net = fresh; map = compose };
+      skew = skew_orig;
+      target_skews = List.rev !target_skews;
+      max_skew;
+      moved_regs;
+    }
+    : result )

@@ -1,0 +1,38 @@
+(** Normalized retiming for verification (the paper's RET engine,
+    after Kuehlmann & Baumgartner [9]).
+
+    Registers not lying on any sequential cycle ("acyclic registers")
+    are contracted into weighted edges; every combinational vertex [v]
+    receives the maximal legal peel [p v] (the shortest register
+    distance from any host — primary input, constant or cyclic
+    register — to [v]).  This is a normalized retiming with lag
+    [r v = -p v <= 0]: the rebuilt recurrence structure contains, on
+    each edge, [w + p(tail) - p(head)] registers, and each rebuilt
+    vertex leads its original by [p v] time steps.
+
+    Initial values of relocated registers are the original chain
+    constants where the required value predates time 0, and otherwise
+    come from the retiming stump — the first [p] time steps of the
+    original netlist — evaluated with three-valued simulation under
+    unknown inputs.  Stump values that do not resolve to constants
+    become [Init_x]; this widening is sound for the structural
+    diameter bound (which never reads initial values) and exact on
+    designs whose stump is input-independent.
+
+    Theorem 2 gives the bound translation: if the retimed target has
+    diameter bound [d], the original target has bound [d + skew]. *)
+
+type result = {
+  rebuilt : Rebuild.result;
+      (** new netlist; [map] sends each surviving combinational vertex
+          [v] to its retimed correspondent, which leads the original
+          by [skew.(v)] steps *)
+  skew : int array;  (** per original vertex: [-lag], non-negative *)
+  target_skews : (string * int) list;
+  max_skew : int;
+  moved_regs : int;  (** acyclic registers dissolved into chains *)
+}
+
+val run : Netlist.Net.t -> result
+(** @raise Invalid_argument on netlists with level-sensitive latches
+    (retime after phase abstraction, as the paper does). *)

@@ -1,0 +1,17 @@
+(** Structural transformation engines (Section 3 of the paper):
+    semantics-preserving reductions whose effect on the diameter is
+    captured by Theorems 1-4, plus the over/under-approximate
+    abstractions whose effect is demonstrably uncapturable. *)
+
+module Rebuild = Rebuild
+module Com = Com
+module Van_eijk = Van_eijk
+module Retime = Retime
+module Phase = Phase
+module Cslow = Cslow
+module Enlarge = Enlarge
+module Parametric = Parametric
+module Bdd_synth = Bdd_synth
+module Localize = Localize
+module Casesplit = Casesplit
+module Equiv = Equiv

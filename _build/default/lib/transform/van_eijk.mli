@@ -1,0 +1,35 @@
+(** Sequential redundancy removal by induction (van Eijk's algorithm).
+
+    Combinational SAT sweeping ({!Com}) cuts at state elements and so
+    only merges vertices equivalent over {e all} state valuations.
+    This engine finds vertices equivalent over all {e reachable}
+    states provable by 1-step induction:
+
+    1. candidate equivalence classes from bit-parallel simulation;
+    2. refinement: assuming all current classes hold on the
+       current-state cut, check with SAT that each member equals its
+       representative one step later (and at the initial state);
+    3. classes that survive to a fixpoint are inductively equivalent
+       and merged.
+
+    This is strictly stronger than {!Com} — it merges, for instance,
+    two pipelines computing the same function with registers at
+    different positions, a case {!Com} misses and {!Retime} only
+    resolves by normalization (see the A4 ablation in the benchmark
+    harness).  The paper's COM engine [27] is the combinational
+    variant, so the Table 1/2 pipelines deliberately do not use this
+    engine; it is provided as the natural next step of the program of
+    Section 3.1 (any trace-equivalence-preserving reduction transfers
+    diameter bounds verbatim, Theorem 1). *)
+
+type stats = {
+  iterations : int;  (** refinement rounds until fixpoint *)
+  merged : int;  (** vertices redirected *)
+  sat_checks : int;
+}
+
+val run :
+  ?seed:int -> ?sim_steps:int -> ?depth:int -> Netlist.Net.t -> Rebuild.result * stats
+(** Fixpoint of induction-based merging followed by a final {!Com}
+    cleanup.  Trace equivalence of mapped vertices is preserved
+    (Theorem 1 applies). *)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Gen Gp Iscas Recipe Rng

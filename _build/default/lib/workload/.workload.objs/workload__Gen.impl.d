@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array List Netlist Printf Rng

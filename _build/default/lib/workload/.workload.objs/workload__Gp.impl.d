@@ -1,0 +1,1 @@
+lib/workload/gp.ml: Array List Netlist Printf Recipe String

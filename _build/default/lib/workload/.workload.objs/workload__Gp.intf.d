@@ -1,0 +1,1 @@
+lib/workload/gp.mli: Netlist Recipe

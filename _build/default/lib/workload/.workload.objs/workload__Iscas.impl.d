@@ -1,0 +1,1 @@
+lib/workload/iscas.ml: List Recipe String

@@ -1,0 +1,1 @@
+lib/workload/iscas.mli: Netlist Recipe

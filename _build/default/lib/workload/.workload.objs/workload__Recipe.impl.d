@@ -1,0 +1,1 @@
+lib/workload/recipe.ml: Gen Hashtbl List Netlist Printf Rng

@@ -1,0 +1,1 @@
+lib/workload/recipe.mli: Netlist

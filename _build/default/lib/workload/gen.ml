@@ -1,0 +1,207 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+type block = { out : Lit.t; regs : Lit.t list }
+
+(* pick [k] distinct literals (the gadgets degenerate structurally if
+   their operands coincide: the strash merges both associations at
+   build time and the guard folds before any transformation runs) *)
+let pick_distinct rng inputs k =
+  let rec go acc n budget =
+    if n = 0 || budget = 0 then acc
+    else
+      let l = Rng.pick rng inputs in
+      if List.exists (Netlist.Lit.equal l) acc then go acc n (budget - 1)
+      else go (l :: acc) (n - 1) budget
+  in
+  let picked = go [] k 1000 in
+  if List.length picked < k then invalid_arg "Gen.pick_distinct: pool too small"
+  else picked
+
+let pipeline net ~name ~stages ~data =
+  let rec go i prev acc =
+    if i = stages then (prev, List.rev acc)
+    else begin
+      let r = Net.add_reg net (Printf.sprintf "%s_p%d" name i) in
+      Net.set_next net r prev;
+      go (i + 1) r (r :: acc)
+    end
+  in
+  let out, regs = go 0 data [] in
+  { out; regs }
+
+let counter net ~name ~bits ~enable =
+  let regs =
+    List.init bits (fun i -> Net.add_reg net (Printf.sprintf "%s_c%d" name i))
+  in
+  (* increment when enabled: bit i toggles when all lower bits are 1 *)
+  let rec wire i carry =
+    match List.nth_opt regs i with
+    | None -> carry
+    | Some r ->
+      let toggle = Net.add_and net carry enable in
+      Net.set_next net r (Net.add_xor net r toggle);
+      wire (i + 1) (Net.add_and net carry r)
+  in
+  let all_ones = wire 0 Lit.true_ in
+  { out = all_ones; regs }
+
+let ring net ~name ~length =
+  let regs =
+    List.init length (fun i ->
+        Net.add_reg net
+          ~init:(if i = 0 then Net.Init1 else Net.Init0)
+          (Printf.sprintf "%s_r%d" name i))
+  in
+  List.iteri
+    (fun i r ->
+      let prev = List.nth regs ((i + length - 1) mod length) in
+      Net.set_next net r prev)
+    regs;
+  { out = List.nth regs (length - 1); regs }
+
+(* primitive polynomial tap masks per width (good-enough selection) *)
+let lfsr_taps = [| 0b11; 0b110; 0b1100; 0b10100; 0b110000; 0b1100000 |]
+
+let lfsr net ~name ~bits =
+  let bits = max bits 2 in
+  let regs =
+    List.init bits (fun i ->
+        Net.add_reg net
+          ~init:(if i = 0 then Net.Init1 else Net.Init0)
+          (Printf.sprintf "%s_l%d" name i))
+  in
+  (* always tap the top bit: the update is then a permutation of the
+     state space, so the nonzero states form a single closed orbit *)
+  let taps =
+    lfsr_taps.((bits - 2) mod Array.length lfsr_taps) lor (1 lsl (bits - 1))
+  in
+  let feedback =
+    List.fold_left
+      (fun acc (i, r) -> if taps land (1 lsl i) <> 0 then Net.add_xor net acc r else acc)
+      Lit.false_
+      (List.mapi (fun i r -> (i, r)) regs)
+  in
+  List.iteri
+    (fun i r ->
+      if i = 0 then Net.set_next net r feedback
+      else Net.set_next net r (List.nth regs (i - 1)))
+    regs;
+  { out = List.nth regs (bits - 1); regs }
+
+let fsm net rng ~name ~bits ~inputs =
+  let regs =
+    List.init bits (fun i -> Net.add_reg net (Printf.sprintf "%s_s%d" name i))
+  in
+  let pool = regs @ inputs in
+  (* a two-literal AND over distinct variables is never constant, so
+     no transition cone degenerates under strashing or sweeping *)
+  let safe_and () =
+    match pick_distinct rng pool 2 with
+    | [ a; b ] ->
+      let a = if Rng.bool rng then Lit.neg a else a in
+      let b = if Rng.bool rng then Lit.neg b else b in
+      Net.add_and net a b
+    | _ -> assert false
+  in
+  List.iteri
+    (fun i r ->
+      (* ring through the neighbour keeps the component one SCC *)
+      let neighbour = List.nth regs ((i + 1) mod bits) in
+      Net.set_next net r (Net.add_xor net (safe_and ()) neighbour))
+    regs;
+  let out =
+    match regs with
+    | r0 :: r1 :: _ -> Net.add_xor net r0 (Net.add_and net r1 (safe_and ()))
+    | [ r0 ] -> r0
+    | [] -> invalid_arg "Gen.fsm: bits must be positive"
+  in
+  { out; regs }
+
+let decode net ~name addr row =
+  List.fold_left
+    (fun (i, acc) a ->
+      let bit = if row land (1 lsl i) <> 0 then a else Lit.neg a in
+      (i + 1, Net.add_and net acc bit))
+    (0, Lit.true_) addr
+  |> snd
+  |> fun sel ->
+  ignore name;
+  sel
+
+let memory net ~name ~rows ~width ~addr ~data ~write =
+  let cells = ref [] in
+  let reads = ref [] in
+  for row = 0 to rows - 1 do
+    let sel = Net.add_and net (decode net ~name addr row) write in
+    for bit = 0 to width - 1 do
+      let r = Net.add_reg net (Printf.sprintf "%s_m%d_%d" name row bit) in
+      let d = List.nth data (bit mod List.length data) in
+      Net.set_next net r (Net.add_mux net ~sel ~t1:d ~t0:r);
+      cells := r :: !cells;
+      if bit = 0 then reads := r :: !reads
+    done
+  done;
+  let out = List.fold_left (Net.add_xor net) Lit.false_ !reads in
+  { out; regs = List.rev !cells }
+
+let queue net ~name ~depth ~width ~push ~data =
+  let cells = ref [] in
+  let heads = ref [] in
+  for bit = 0 to width - 1 do
+    let d0 = List.nth data (bit mod List.length data) in
+    let rec go i prev =
+      if i < depth then begin
+        let r = Net.add_reg net (Printf.sprintf "%s_q%d_%d" name i bit) in
+        Net.set_next net r (Net.add_mux net ~sel:push ~t1:prev ~t0:r);
+        cells := r :: !cells;
+        if i = depth - 1 then heads := r :: !heads;
+        go (i + 1) r
+      end
+    in
+    go 0 d0
+  done;
+  let out = List.fold_left (Net.add_xor net) Lit.false_ !heads in
+  { out; regs = List.rev !cells }
+
+let com_guard net rng ~inputs =
+  let a, b, c =
+    match pick_distinct rng inputs 3 with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
+  (* (a & b) & c vs a & (b & c): structurally distinct, semantically
+     equal; their conjunction with the complement is constant false *)
+  let left = Net.add_and net (Net.add_and net a b) c in
+  let right = Net.add_and net a (Net.add_and net b c) in
+  Net.add_and net left (Lit.neg right)
+
+let ret_guard net ~name ~x ~y =
+  (* pipeline 1: registers after the gate *)
+  let p1 =
+    (pipeline net ~name:(name ^ "_g1") ~stages:2 ~data:(Net.add_and net x y)).out
+  in
+  (* pipeline 2: registers before the gate *)
+  let px = (pipeline net ~name:(name ^ "_g2x") ~stages:2 ~data:x).out in
+  let py = (pipeline net ~name:(name ^ "_g2y") ~stages:2 ~data:y).out in
+  let p2 = Net.add_and net px py in
+  Net.add_xor net p1 p2
+
+let obscured_chain net ~name ~sel:(a, b, c) ~data ~len =
+  let sel1 = Net.add_and net (Net.add_and net a b) c in
+  let sel2 = Net.add_and net a (Net.add_and net b c) in
+  let cells = ref [] in
+  let rec go i prev =
+    if i = len then prev
+    else begin
+      let r = Net.add_reg net (Printf.sprintf "%s_oc%d" name i) in
+      (* (sel1 & prev) | (~sel2 & r): a mux only once sel1 = sel2 *)
+      let load = Net.add_and net sel1 prev in
+      let hold = Net.add_and net (Lit.neg sel2) r in
+      Net.set_next net r (Net.add_or net load hold);
+      cells := r :: !cells;
+      go (i + 1) r
+    end
+  in
+  let out = go 0 data in
+  { out; regs = List.rev !cells }

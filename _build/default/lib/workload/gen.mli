@@ -1,0 +1,80 @@
+(** Building-block circuit generators.  Each generator builds into a
+    caller-supplied netlist and returns the literals a caller needs to
+    observe or connect, so whole designs compose from blocks.
+
+    Naming: every block takes a [name] prefix; generated vertex names
+    are ["<name>_<role><i>"]. *)
+
+type block = {
+  out : Netlist.Lit.t;  (** a representative observable output *)
+  regs : Netlist.Lit.t list;  (** the block's state elements *)
+}
+
+val pipeline :
+  Netlist.Net.t -> name:string -> stages:int -> data:Netlist.Lit.t -> block
+(** [stages] acyclic registers in series behind [data]; classified AC,
+    fully removable by retiming when [data] is input-fed. *)
+
+val counter : Netlist.Net.t -> name:string -> bits:int -> enable:Netlist.Lit.t -> block
+(** Mod-2^bits binary counter with enable; a GC whose exact diameter
+    (paper convention) is 2^bits.  [out] is the all-ones detector. *)
+
+val ring : Netlist.Net.t -> name:string -> length:int -> block
+(** One-hot ring counter (token rotates each step): a GC of [length]
+    registers with true diameter [length]. *)
+
+val lfsr : Netlist.Net.t -> name:string -> bits:int -> block
+(** Galois LFSR (taps from a fixed table): a dense GC. *)
+
+val fsm :
+  Netlist.Net.t -> Rng.t -> name:string -> bits:int ->
+  inputs:Netlist.Lit.t list -> block
+(** Random Moore machine over [bits] binary-encoded state registers
+    with input-dependent transition logic: the generic GC. *)
+
+val memory :
+  Netlist.Net.t -> name:string -> rows:int -> width:int ->
+  addr:Netlist.Lit.t list -> data:Netlist.Lit.t list ->
+  write:Netlist.Lit.t -> block
+(** Addressable memory: [rows] rows of hold-mux cells with one-hot
+    decoded write selects; classified MC with [rows] rows.  [out] is a
+    read-back of row 0's first bit xored across rows. *)
+
+val queue :
+  Netlist.Net.t -> name:string -> depth:int -> width:int ->
+  push:Netlist.Lit.t -> data:Netlist.Lit.t list -> block
+(** Shift queue with conditional advance: hold-mux cells chained by
+    data edges; classified QC of [depth] rows. *)
+
+val com_guard :
+  Netlist.Net.t -> Rng.t -> inputs:Netlist.Lit.t list -> Netlist.Lit.t
+(** A semantically-false guard that only SAT sweeping discovers: two
+    differently-associated computations of the same function, combined
+    as [f & ~f'].  A counter enabled by it is a GC blocking its
+    targets until COM constant-folds the guard and the counter
+    freezes. *)
+
+val ret_guard :
+  Netlist.Net.t -> name:string -> x:Netlist.Lit.t -> y:Netlist.Lit.t ->
+  Netlist.Lit.t
+(** A semantically-false guard that only retiming normalizes: the XOR
+    of two pipelines computing the same function with registers at
+    different positions.  Combinational sweeping cannot match them
+    across the register cut, but retiming peels both onto one shared
+    chain and the XOR collapses structurally — the COM,RET,COM-only
+    win of Section 4. *)
+
+val obscured_chain :
+  Netlist.Net.t -> name:string ->
+  sel:(Netlist.Lit.t * Netlist.Lit.t * Netlist.Lit.t) ->
+  data:Netlist.Lit.t -> len:int -> block
+(** A chain of hold-mux cells whose selects are computed twice with
+    different gate associations, hiding the mux pattern: classified as
+    a chain of GC(1) components (arrival 2^len) before COM, and as a
+    QC of [len] rows (arrival len + 1) after — the paper's observation
+    that transformations impact table identification. *)
+
+val pick_distinct : Rng.t -> Netlist.Lit.t list -> int -> Netlist.Lit.t list
+(** [k] distinct literals from the pool (order unspecified).
+    @raise Invalid_argument when the pool has fewer than [k] distinct
+    members. *)

@@ -1,0 +1,126 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let mk name cc ac table gc targets t_small t_com t_ret =
+  {
+    Recipe.name;
+    cc;
+    ac;
+    table;
+    gc;
+    targets;
+    t_small;
+    t_com;
+    t_ret;
+  }
+
+(* One row per Table-2 design ("Original Netlist" column of the
+   phase-abstracted netlists; the latchified design has twice the
+   state elements until phase abstraction folds it back). *)
+let profiles =
+  [
+    mk "CP_RAS" 0 279 66 315 2 0 0 0;
+    mk "CLB_CNTL" 0 29 2 19 2 0 0 0;
+    mk "CR_RAS" 0 96 6 329 1 0 0 0;
+    mk "D_DASA" 0 16 81 18 2 1 2 2;
+    mk "D_DCLA" 0 382 1 754 2 0 0 0;
+    mk "D_DUDD" 0 30 28 71 22 4 4 7;
+    mk "I_IBBQn" 0 623 1488 0 15 15 15 15;
+    mk "I_IFAR" 0 303 11 99 2 0 0 0;
+    mk "I_IFPF" 11 893 44 598 1 0 0 0;
+    mk "L3_SNP1" 25 529 39 82 5 0 0 1;
+    mk "L_EMQn" 5 146 6 66 1 0 1 1;
+    mk "L_EXEC" 12 421 0 102 2 0 0 0;
+    mk "L_FLUSHn" 6 198 0 4 7 7 7 7;
+    mk "L_INTRo" 14 143 12 5 30 30 30 30;
+    mk "L_LMQ0" 28 690 4 133 16 0 0 0;
+    mk "L_LRU" 0 142 20 75 12 0 12 12;
+    mk "L_PFQ0" 14 1936 17 84 67 1 1 1;
+    mk "L_PNTRn" 3 228 10 11 31 23 23 23;
+    mk "L_PRQn" 34 366 106 265 10 10 10 10;
+    mk "L_SLB" 3 135 6 27 3 2 2 2;
+    mk "L_TBWKn" 0 202 117 14 21 0 1 1;
+    mk "M_CIU" 0 343 10 424 6 0 0 6;
+    mk "SIDECAR4" 3 109 32 455 1 0 0 0;
+    mk "S_SCU1" 1 232 4 136 3 0 0 2;
+    mk "V_CACH" 5 94 15 59 1 0 0 1;
+    mk "V_DIR" 6 91 13 68 2 0 0 2;
+    mk "V_SNPM" 65 846 134 376 2 1 2 2;
+    mk "W_GAR" 0 159 0 83 7 1 1 1;
+    mk "W_SFA" 0 22 0 42 8 0 0 0;
+  ]
+
+(* Master/slave expansion: register -> phase-0 latch sampling the
+   next-state cone, phase-1 latch sampling the master; consumers read
+   the slave.  At even times the master samples d(t); at odd times the
+   slave publishes it, so the slave at time 2T+1 equals the register
+   at time T+1 and phase abstraction (keeping phase 1) recovers the
+   register design exactly. *)
+let latchify ?(phases = 2) original =
+  if phases < 2 then invalid_arg "Gp.latchify: phases must be >= 2";
+  let n = Net.num_vars original in
+  let fresh = Net.create ~phases () in
+  let map : Lit.t option array = Array.make n None in
+  let pending = ref [] in
+  let rec build v =
+    match map.(v) with
+    | Some l -> l
+    | None ->
+      let nl =
+        match Net.node original v with
+        | Net.Const -> Lit.false_
+        | Net.Input name -> Net.add_input fresh name
+        | Net.And (a, b) -> Net.add_and fresh (blit a) (blit b)
+        | Net.Latch _ -> invalid_arg "Gp.latchify: already latch-based"
+        | Net.Reg r ->
+          (* a chain of [phases] latches: the phase-0 master samples
+             the next-state cone, each later phase samples its
+             predecessor, consumers read the final phase *)
+          let master =
+            Net.add_latch fresh ~init:r.Net.r_init ~phase:0
+              (r.Net.r_name ^ "_p0")
+          in
+          let last = ref master in
+          for p = 1 to phases - 1 do
+            let stage =
+              Net.add_latch fresh ~init:r.Net.r_init ~phase:p
+                (Printf.sprintf "%s_p%d" r.Net.r_name p)
+            in
+            Net.set_latch_data fresh stage !last;
+            last := stage
+          done;
+          map.(v) <- Some !last;
+          pending := (master, r.Net.next) :: !pending;
+          !last
+      in
+      map.(v) <- Some nl;
+      nl
+  and blit l = Lit.xor_sign (build (Lit.var l)) (Lit.is_neg l) in
+  List.iter
+    (fun (name, l) -> Net.add_target fresh name (blit l))
+    (Net.targets original);
+  List.iter
+    (fun (name, l) -> Net.add_output fresh name (blit l))
+    (Net.outputs original);
+  (* keep unreferenced state (e.g. the stuck CC registers) so the
+     latchified design's population matches the register design *)
+  List.iter (fun v -> ignore (build v)) (Net.regs original);
+  let rec drain () =
+    match !pending with
+    | [] -> ()
+    | (master, next) :: rest ->
+      pending := rest;
+      Net.set_latch_data fresh master (blit next);
+      drain ()
+  in
+  drain ();
+  fresh
+
+let build p = latchify (Recipe.build p)
+
+let by_name name =
+  match List.find_opt (fun p -> String.equal p.Recipe.name name) profiles with
+  | Some p -> build p
+  | None -> raise Not_found
+
+let names = List.map (fun p -> p.Recipe.name) profiles

@@ -1,0 +1,28 @@
+(** GP-like benchmark family (Table 2 substitution): two-phase
+    level-sensitive latch designs in the style of the IBM Gigahertz
+    Processor units the paper evaluates.
+
+    Each design is assembled by the shared {!Recipe} and then
+    converted to a two-phase latch implementation ({!latchify}): every
+    register becomes a master (phase 0) / slave (phase 1) latch pair,
+    which is exactly the structure phase abstraction folds back.  The
+    class populations mirror Table 2's "Original Netlist" column
+    (high acyclic and table fractions, as the paper notes is intuitive
+    for highly-pipelined gigahertz designs). *)
+
+val profiles : Recipe.profile list
+(** The 29 designs of Table 2, in the paper's order. *)
+
+val latchify : ?phases:int -> Netlist.Net.t -> Netlist.Net.t
+(** Master/slave expansion (default [phases = 2]): every register
+    becomes a chain of [phases] level-sensitive latches, one per
+    clock phase, folded back by {!Transform.Phase} with factor
+    [phases].  @raise Invalid_argument for [phases < 2]. *)
+
+val build : Recipe.profile -> Netlist.Net.t
+(** [latchify (Recipe.build profile)]. *)
+
+val by_name : string -> Netlist.Net.t
+(** @raise Not_found for unknown design names. *)
+
+val names : string list

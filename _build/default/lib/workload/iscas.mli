@@ -1,0 +1,30 @@
+(** ISCAS89-like benchmark family (Table 1 substitution).
+
+    The real ISCAS89 netlists are not redistributable in this sealed
+    environment, so each design name maps to a deterministic synthetic
+    circuit whose register population (acyclic / table / general) and
+    target count mirror the paper's per-design "Original Netlist" row;
+    see {!Recipe} for how the per-pipeline |T'| counts are realized
+    with honest COM-/RET-sensitive structures. *)
+
+type profile = Recipe.profile = {
+  name : string;
+  cc : int;
+  ac : int;
+  table : int;
+  gc : int;
+  targets : int;
+  t_small : int;
+  t_com : int;
+  t_ret : int;
+}
+
+val profiles : profile list
+(** The 42 designs of Table 1, in the paper's order. *)
+
+val build : profile -> Netlist.Net.t
+
+val by_name : string -> Netlist.Net.t
+(** @raise Not_found for unknown design names. *)
+
+val names : string list

@@ -1,0 +1,256 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+type profile = {
+  name : string;
+  cc : int;
+  ac : int;
+  table : int;
+  gc : int;
+  targets : int;
+  t_small : int;
+  t_com : int;
+  t_ret : int;
+}
+
+let build p =
+  let rng = Rng.create (Hashtbl.hash p.name) in
+  let net = Net.create () in
+  let inputs =
+    List.init 12 (fun i -> Net.add_input net (Printf.sprintf "in%d" i))
+  in
+  let input () = Rng.pick rng inputs in
+  (* a fresh combinational function per call: XOR over a distinct
+     non-singleton input subset.  Distinct subsets give structurally
+     distinct strashed cones, so pipelines fed by them never collapse
+     under redundancy removal (a realistic netlist does not duplicate
+     whole pipelines). *)
+  let subset_mask = ref 2 in
+  let fresh_signal () =
+    let rec next_mask m =
+      let m = m + 1 in
+      let rec popcount x = if x = 0 then 0 else (x land 1) + popcount (x lsr 1) in
+      if popcount m >= 2 then m else next_mask m
+    in
+    subset_mask := next_mask !subset_mask;
+    let mask = !subset_mask in
+    List.fold_left
+      (fun (i, acc) l ->
+        (i + 1, if mask land (1 lsl i) <> 0 then Net.add_xor net acc l else acc))
+      (0, Lit.false_) inputs
+    |> snd
+  in
+  let small_pool = ref [] in
+  let big_pool = ref [] in
+  (* stuck registers (classified CC), observed so they survive the
+     latchification and phase abstraction of the GP flow *)
+  let cc_outs = ref [] in
+  for i = 0 to p.cc - 1 do
+    let r =
+      Net.add_reg net
+        ~init:(if i mod 2 = 0 then Net.Init0 else Net.Init1)
+        (Printf.sprintf "cc%d" i)
+    in
+    (* self-loop form: materializes as a stuck register across
+       master/slave expansion and phase abstraction *)
+    Net.set_next net r r;
+    cc_outs := r :: !cc_outs
+  done;
+  (* the RET-only wins: counters frozen once retiming normalizes the
+     guard pipelines (6 AC + 6 GC registers each) *)
+  let ret_wins = max 0 (p.t_ret - p.t_com) in
+  let ret_gadgets = if ret_wins > 0 then 1 + ((ret_wins - 1) / 12) else 0 in
+  let ac_budget = ref (max 0 (p.ac - (6 * ret_gadgets))) in
+  let gc_budget = ref (max 0 (p.gc - (6 * ret_gadgets))) in
+  let ret_outs =
+    List.init ret_gadgets (fun i ->
+        let x, y =
+          match Gen.pick_distinct rng inputs 2 with
+          | [ x; y ] -> (x, y)
+          | _ -> assert false
+        in
+        let guard =
+          Gen.ret_guard net ~name:(Printf.sprintf "rg%d" i) ~x ~y
+        in
+        (* negated so the frozen all-zero counter leaves a live cone *)
+        Lit.neg
+          (Gen.counter net ~name:(Printf.sprintf "rc%d" i) ~bits:6
+             ~enable:guard)
+            .Gen.out)
+  in
+  (* the COM-only wins: counters frozen once SAT sweeping folds the
+     guard (6 GC registers each) *)
+  let com_wins = max 0 (p.t_com - p.t_small) in
+  let com_gadgets = if com_wins > 0 then 1 + ((com_wins - 1) / 12) else 0 in
+  gc_budget := max 0 (!gc_budget - (6 * com_gadgets));
+  let com_outs =
+    List.init com_gadgets (fun i ->
+        if i mod 2 = 0 then begin
+          let guard = Gen.com_guard net rng ~inputs in
+          `Counter
+            (Lit.neg
+               (Gen.counter net
+                  ~name:(Printf.sprintf "kc%d" i)
+                  ~bits:6 ~enable:guard)
+                 .Gen.out)
+        end
+        else begin
+          (* chained obscured cells: GC (arrival 2^6) until sweeping
+             re-exposes the hold-mux, then a QC of 6 rows *)
+          let sel =
+            match Gen.pick_distinct rng inputs 3 with
+            | [ a; b; c ] -> (a, b, c)
+            | _ -> assert false
+          in
+          `Chain
+            (Gen.obscured_chain net
+               ~name:(Printf.sprintf "ko%d" i)
+               ~sel ~data:(input ()) ~len:6)
+              .Gen.out
+        end)
+  in
+  (* general components; one large chunk if some targets must stay
+     beyond the cutoff *)
+  let blocked = max 0 (p.targets - max p.t_ret (max p.t_com p.t_small)) in
+  let gc_index = ref 0 in
+  if blocked > 0 then begin
+    let bits = max 7 (min 12 !gc_budget) in
+    gc_budget := max 0 (!gc_budget - bits);
+    let b =
+      Gen.fsm net rng ~name:(Printf.sprintf "gbig%d" !gc_index) ~bits ~inputs
+    in
+    incr gc_index;
+    big_pool := b.Gen.out :: !big_pool
+  end;
+  while !gc_budget > 0 do
+    let remaining = !gc_budget in
+    let name = Printf.sprintf "g%d" !gc_index in
+    incr gc_index;
+    if remaining >= 9 && Rng.int rng 3 = 0 then begin
+      (* another large chunk *)
+      let bits = min remaining (9 + Rng.int rng 8) in
+      gc_budget := remaining - bits;
+      let b = Gen.fsm net rng ~name ~bits ~inputs in
+      big_pool := b.Gen.out :: !big_pool
+    end
+    else begin
+      let bits = min remaining (2 + Rng.int rng 4) in
+      gc_budget := remaining - bits;
+      let b =
+        match Rng.int rng 3 with
+        | 0 -> Gen.counter net ~name ~bits ~enable:(input ())
+        | 1 -> Gen.ring net ~name ~length:(max bits 2)
+        | _ -> Gen.lfsr net ~name ~bits
+      in
+      small_pool := b.Gen.out :: !small_pool
+    end
+  done;
+  (* pipelines (AC); kept in their own pool — combining two arbitrary
+     sequential blocks in one cone multiplies their factors under the
+     levelized composition, whereas pipelines only add steps *)
+  let pipe_pool = ref [] in
+  let pipe_obs = ref [] in
+  let pipe_index = ref 0 in
+  while !ac_budget > 0 do
+    let stages = min !ac_budget (2 + Rng.int rng 7) in
+    let b =
+      Gen.pipeline net
+        ~name:(Printf.sprintf "pl%d" !pipe_index)
+        ~stages ~data:(fresh_signal ())
+    in
+    incr pipe_index;
+    ac_budget := !ac_budget - stages;
+    pipe_pool := b.Gen.out :: !pipe_pool;
+    (* a third of the pipelines are observed conjoined with an
+       exact-time signal: that reconvergence pins the combining gate's
+       peel at zero, so retiming cannot eliminate those registers —
+       as in real designs, where not every pipeline hangs off a
+       retimable boundary *)
+    let obs =
+      if Rng.int rng 3 = 0 then Net.add_and net b.Gen.out (input ())
+      else b.Gen.out
+    in
+    pipe_obs := obs :: !pipe_obs
+  done;
+  (* memories and queues (MC/QC cells) *)
+  let tab_budget = ref p.table in
+  let tab_index = ref 0 in
+  while !tab_budget > 0 do
+    let b =
+      if Rng.bool rng && !tab_budget >= 8 then begin
+        let rows = 4 in
+        let width = min 2 (max 1 (!tab_budget / rows)) in
+        tab_budget := !tab_budget - (rows * width);
+        match Gen.pick_distinct rng inputs 5 with
+        | [ a0; a1; d0; d1; w ] ->
+          Gen.memory net
+            ~name:(Printf.sprintf "mem%d" !tab_index)
+            ~rows ~width ~addr:[ a0; a1 ] ~data:[ d0; d1 ] ~write:w
+        | _ -> assert false
+      end
+      else begin
+        let depth = min !tab_budget (3 + Rng.int rng 4) in
+        tab_budget := !tab_budget - depth;
+        match Gen.pick_distinct rng inputs 2 with
+        | [ push; d ] ->
+          Gen.queue net
+            ~name:(Printf.sprintf "q%d" !tab_index)
+            ~depth ~width:1 ~push ~data:[ d ]
+        | _ -> assert false
+      end
+    in
+    incr tab_index;
+    small_pool := b.Gen.out :: !small_pool
+  done;
+  (* keep every block alive through the COI-restricting pipelines *)
+  let com_gate_lits =
+    List.map (function `Counter l -> l | `Chain l -> l) com_outs
+  in
+  List.iteri
+    (fun i l -> Net.add_output net (Printf.sprintf "obs%d" i) l)
+    (!pipe_obs @ !small_pool @ !big_pool @ com_gate_lits @ ret_outs
+    @ !cc_outs);
+  if !small_pool = [] then
+    small_pool := (if !pipe_pool <> [] then !pipe_pool else [ input () ]);
+  if !big_pool = [] then big_pool := [ Lit.neg (input ()) ];
+  let pick_small () = Rng.pick rng !small_pool in
+  (* targets *)
+  let add_target i l =
+    let name = Printf.sprintf "po%d" i in
+    Net.add_target net name l;
+    Net.add_output net name l
+  in
+  let idx = ref 0 in
+  let next_index () =
+    let i = !idx in
+    incr idx;
+    i
+  in
+  (* small targets read a single content block: under the levelized
+     composition every additional sequential block in a cone
+     multiplies the factors, so realistic "cheap" properties observe
+     one structure *)
+  for _ = 1 to p.t_small do
+    add_target (next_index ()) (pick_small ())
+  done;
+  (* gated targets: the gate literal is chosen so that after its win
+     the cone stays live (counter gates are pre-negated) *)
+  for j = 1 to com_wins do
+    match List.nth com_outs (j mod List.length com_outs) with
+    | `Counter gate ->
+      add_target (next_index ()) (Net.add_and net gate (pick_small ()))
+    | `Chain gate -> add_target (next_index ()) gate
+  done;
+  for j = 1 to ret_wins do
+    let gate = List.nth ret_outs (j mod List.length ret_outs) in
+    add_target (next_index ()) (Net.add_and net gate (pick_small ()))
+  done;
+  (* blocked targets avoid the small pool entirely: a zero-peel gate
+     in a conjunction would (faithfully) pin the pipelines' registers
+     in place under retiming *)
+  for _ = 1 to blocked do
+    let gate = Rng.pick rng !big_pool in
+    let companion = Rng.pick rng !big_pool in
+    add_target (next_index ()) (Net.add_or net gate companion)
+  done;
+  net

@@ -1,0 +1,29 @@
+(** Shared design assembler for the ISCAS89-like and GP-like benchmark
+    families.
+
+    A profile gives the register population per class and the paper's
+    three per-pipeline |T'| counts; the assembler deterministically
+    composes blocks so that:
+    - [t_small] targets read only cheap cones (pipelines, memories,
+      queues, small counters): bounded below the cutoff already on the
+      original netlist;
+    - [t_com - t_small] targets are additionally gated by a counter
+      enabled through {!Gen.com_guard}: bounded only after COM;
+    - [t_ret - t_com] targets are gated through {!Gen.ret_guard}:
+      bounded only after COM,RET,COM;
+    - the remaining targets read a large general component and stay
+      beyond any practical bound. *)
+
+type profile = {
+  name : string;
+  cc : int;  (** stuck registers (GP designs) *)
+  ac : int;
+  table : int;
+  gc : int;
+  targets : int;
+  t_small : int;  (** paper |T'| on the original netlist *)
+  t_com : int;  (** paper |T'| after COM *)
+  t_ret : int;  (** paper |T'| after COM,RET,COM *)
+}
+
+val build : profile -> Netlist.Net.t

@@ -1,0 +1,20 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int n))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty"
+  | l -> List.nth l (int t (List.length l))

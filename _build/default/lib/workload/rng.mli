@@ -1,0 +1,12 @@
+(** Deterministic splitmix64 generator: workloads must be reproducible
+    across runs and platforms, so no [Random.self_init]. *)
+
+type t
+
+val create : int -> t
+val int : t -> int -> int
+(** [int t n] in [0, n). *)
+
+val bool : t -> bool
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on the empty list. *)

@@ -1,0 +1,9 @@
+(** Deterministic synthetic benchmark families standing in for the
+    paper's ISCAS89 (Table 1) and IBM Gigahertz Processor (Table 2)
+    workloads, plus the block generators they are assembled from. *)
+
+module Rng = Rng
+module Gen = Gen
+module Recipe = Recipe
+module Iscas = Iscas
+module Gp = Gp

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Hashtbl List Netlist Printf QCheck QCheck_alcotest Random Workload

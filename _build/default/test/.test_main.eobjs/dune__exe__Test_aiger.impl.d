@@ -1,0 +1,1 @@
+test/test_aiger.ml: Alcotest Helpers List Netlist QCheck Textio Transform

@@ -1,0 +1,1 @@
+test/test_bmc.ml: Alcotest Bmc Core Helpers List Netlist Option QCheck Workload

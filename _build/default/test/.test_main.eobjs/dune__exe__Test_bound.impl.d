@@ -1,0 +1,1 @@
+test/test_bound.ml: Alcotest Core Helpers List Netlist Printf QCheck Workload

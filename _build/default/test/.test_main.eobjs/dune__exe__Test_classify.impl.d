@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Array Core Hashtbl Helpers List Netlist QCheck Transform Workload

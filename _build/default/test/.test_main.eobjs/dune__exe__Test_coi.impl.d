@@ -1,0 +1,1 @@
+test/test_coi.ml: Alcotest Array Helpers List Netlist QCheck

@@ -1,0 +1,1 @@
+test/test_com.ml: Alcotest Helpers List Netlist Printf QCheck Transform Workload

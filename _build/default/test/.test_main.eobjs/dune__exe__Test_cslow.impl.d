@@ -1,0 +1,1 @@
+test/test_cslow.ml: Alcotest Core Helpers List Netlist Printf QCheck Transform Workload

@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Encode Hashtbl Helpers List Netlist QCheck Sat Workload

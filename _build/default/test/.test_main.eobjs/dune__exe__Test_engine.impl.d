@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Bmc Core Format Helpers List Netlist Printf QCheck String Workload

@@ -1,0 +1,1 @@
+test/test_enlarge.ml: Alcotest Bmc Core Helpers Netlist Option Transform Workload

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Helpers Netlist Transform Workload

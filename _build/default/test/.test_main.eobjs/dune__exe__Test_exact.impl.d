@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Core Helpers List Netlist Option Workload

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Hashtbl Helpers List Netlist Printf Workload

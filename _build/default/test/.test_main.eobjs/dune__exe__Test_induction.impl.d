@@ -1,0 +1,1 @@
+test/test_induction.ml: Alcotest Bmc Core Helpers List Netlist QCheck Workload

@@ -1,0 +1,1 @@
+test/test_lit.ml: Alcotest Helpers Netlist QCheck

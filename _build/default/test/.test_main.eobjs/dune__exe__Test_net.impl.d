@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Hashtbl Helpers List Netlist QCheck Workload

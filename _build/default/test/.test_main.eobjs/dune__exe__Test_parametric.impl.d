@@ -1,0 +1,1 @@
+test/test_parametric.ml: Alcotest Core Hashtbl Helpers List Netlist Printf QCheck Transform Workload

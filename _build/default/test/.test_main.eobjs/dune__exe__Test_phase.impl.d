@@ -1,0 +1,1 @@
+test/test_phase.ml: Alcotest Core Helpers List Netlist Printf QCheck Transform Workload

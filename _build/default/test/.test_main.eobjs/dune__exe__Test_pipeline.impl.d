@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Core Helpers List Netlist Printf QCheck String Workload

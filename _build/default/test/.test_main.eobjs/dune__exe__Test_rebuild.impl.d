@@ -1,0 +1,1 @@
+test/test_rebuild.ml: Alcotest Array Helpers List Netlist QCheck Transform

@@ -1,0 +1,1 @@
+test/test_recurrence.ml: Alcotest Core Helpers List Netlist QCheck Workload

@@ -1,0 +1,1 @@
+test/test_retime.ml: Alcotest Core Helpers List Netlist Printf QCheck Transform Workload

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Helpers List QCheck Sat Workload

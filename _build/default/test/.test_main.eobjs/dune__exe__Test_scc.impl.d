@@ -1,0 +1,1 @@
+test/test_scc.ml: Alcotest Array Helpers List Netlist QCheck Workload

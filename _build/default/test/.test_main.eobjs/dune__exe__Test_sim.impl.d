@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Helpers Int64 List Netlist QCheck Workload

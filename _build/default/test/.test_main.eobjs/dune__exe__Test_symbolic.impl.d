@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Core Helpers List Netlist QCheck Workload

@@ -1,0 +1,1 @@
+test/test_textio.ml: Alcotest Helpers List Netlist QCheck String Textio Transform

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Core Helpers List QCheck String

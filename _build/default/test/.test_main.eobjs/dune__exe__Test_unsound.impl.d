@@ -1,0 +1,1 @@
+test/test_unsound.ml: Alcotest Bmc Core Helpers List Netlist Option Printf Transform Workload

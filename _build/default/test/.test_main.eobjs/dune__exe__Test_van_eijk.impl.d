@@ -1,0 +1,1 @@
+test/test_van_eijk.ml: Alcotest Core Helpers List Netlist QCheck Transform Workload

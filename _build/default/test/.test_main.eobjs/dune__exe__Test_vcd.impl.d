@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Array Bmc Helpers List Netlist Printf String Textio Workload

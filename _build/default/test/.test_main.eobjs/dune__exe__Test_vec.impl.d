@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Helpers List QCheck Sat

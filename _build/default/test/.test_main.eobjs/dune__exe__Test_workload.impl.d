@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Helpers List Netlist Printf String Textio Workload

@@ -1,0 +1,127 @@
+(* Shared test utilities: small-netlist generators and oracles. *)
+
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Sim = Netlist.Sim
+
+let check = Alcotest.check
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Build a netlist from a closure for terse test fixtures. *)
+let netlist f =
+  let net = Net.create () in
+  let r = f net in
+  Net.check net;
+  (net, r)
+
+(* ---- random netlist generation (for property tests) ----
+
+   [rand_net rng ~inputs ~regs ~gates] builds an arbitrary register
+   netlist: every register's next-state cone is a random AND/OR/XOR
+   tree over inputs, registers and previously built gates, with random
+   initial values.  Returns the netlist and a list of interesting
+   literals (gate outputs and register outputs). *)
+let rand_net rng ~inputs ~regs ~gates =
+  let net = Net.create () in
+  let ins = List.init inputs (fun i -> Net.add_input net (Printf.sprintf "i%d" i)) in
+  let rs =
+    List.init regs (fun i ->
+        let init =
+          match Workload.Rng.int rng 3 with
+          | 0 -> Net.Init0
+          | 1 -> Net.Init1
+          | _ -> Net.Init_x
+        in
+        Net.add_reg net ~init (Printf.sprintf "r%d" i))
+  in
+  let pool = ref (ins @ rs) in
+  let pick () =
+    let l = Workload.Rng.pick rng !pool in
+    if Workload.Rng.bool rng then Lit.neg l else l
+  in
+  for _ = 1 to gates do
+    let a = pick () and b = pick () in
+    let g =
+      match Workload.Rng.int rng 3 with
+      | 0 -> Net.add_and net a b
+      | 1 -> Net.add_or net a b
+      | _ -> Net.add_xor net a b
+    in
+    if not (Lit.is_const g) then pool := g :: !pool
+  done;
+  List.iter (fun r -> Net.set_next net r (pick ())) rs;
+  (net, !pool)
+
+(* A random netlist with a named target. *)
+let rand_net_with_target seed ~inputs ~regs ~gates =
+  let rng = Workload.Rng.create seed in
+  let net, pool = rand_net rng ~inputs ~regs ~gates in
+  let t = Workload.Rng.pick rng pool in
+  let t = if Workload.Rng.bool rng then Lit.neg t else t in
+  Net.add_target net "t" t;
+  Net.add_output net "t" t;
+  (net, t)
+
+(* Structured random design: compose generator blocks, more likely to
+   exercise the AC/MC/QC classification paths than pure noise. *)
+let rand_structured seed =
+  let rng = Workload.Rng.create seed in
+  let net = Net.create () in
+  let ins = List.init 6 (fun i -> Net.add_input net (Printf.sprintf "i%d" i)) in
+  let blocks = ref [] in
+  let n_blocks = 1 + Workload.Rng.int rng 3 in
+  for b = 0 to n_blocks - 1 do
+    let name = Printf.sprintf "b%d" b in
+    let block =
+      match Workload.Rng.int rng 5 with
+      | 0 ->
+        Workload.Gen.pipeline net ~name
+          ~stages:(1 + Workload.Rng.int rng 3)
+          ~data:(Workload.Rng.pick rng ins)
+      | 1 ->
+        Workload.Gen.counter net ~name
+          ~bits:(1 + Workload.Rng.int rng 3)
+          ~enable:(Workload.Rng.pick rng ins)
+      | 2 ->
+        Workload.Gen.ring net ~name ~length:(2 + Workload.Rng.int rng 3)
+      | 3 -> (
+        match Workload.Gen.pick_distinct rng ins 2 with
+        | [ push; d ] ->
+          Workload.Gen.queue net ~name
+            ~depth:(2 + Workload.Rng.int rng 2)
+            ~width:1 ~push ~data:[ d ]
+        | _ -> assert false)
+      | _ ->
+        Workload.Gen.fsm net rng ~name
+          ~bits:(2 + Workload.Rng.int rng 2)
+          ~inputs:ins
+    in
+    blocks := block :: !blocks
+  done;
+  let outs = List.map (fun b -> b.Workload.Gen.out) !blocks in
+  let t =
+    match outs with
+    | [ o ] -> o
+    | o :: rest when Workload.Rng.bool rng ->
+      List.fold_left (Net.add_or net) o rest
+    | o :: rest -> List.fold_left (Net.add_and net) o rest
+    | [] -> assert false
+  in
+  Net.add_target net "t" t;
+  Net.add_output net "t" t;
+  (net, t)
+
+(* Drive a netlist for [steps] with deterministic pseudo-random
+   inputs and return the observed values of [l]. *)
+let sim_values seed steps net l =
+  let s = Sim.create_resolved ~seed net in
+  List.init steps (fun t ->
+      Sim.step s (fun v -> Sim.value_of_bool (Hashtbl.hash (seed, v, t) land 1 = 1));
+      Sim.value s l)
+
+(* fixed randomness: property failures must reproduce across runs *)
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0xd1a; 0xb0; 0x0d |])
+    (QCheck.Test.make ~name ~count gen prop)

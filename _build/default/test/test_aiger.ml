@@ -1,0 +1,94 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let sample =
+  "aag 7 2 1 2 4\n\
+   2\n\
+   4\n\
+   6 8 0\n\
+   6\n\
+   12\n\
+   8 4 2\n\
+   10 6 5\n\
+   12 10 9\n\
+   14 12 6\n\
+   i0 x\n\
+   i1 y\n\
+   l0 state\n\
+   o0 latch_out\n\
+   o1 gate\n"
+
+let test_parse_sample () =
+  let net = Textio.Aiger.parse sample in
+  Helpers.check_int "inputs" 2 (Net.num_inputs net);
+  Helpers.check_int "latches" 1 (Net.num_regs net);
+  Helpers.check_int "outputs" 2 (List.length (Net.outputs net));
+  (* symbol names preserved *)
+  Helpers.check_bool "named output" true
+    (List.mem_assoc "latch_out" (Net.outputs net))
+
+let test_parse_reset_values () =
+  let text = "aag 3 1 2 0 0\n2\n4 2 1\n6 2 6\n" in
+  let net = Textio.Aiger.parse text in
+  let inits =
+    List.map (fun v -> (Net.reg_of net v).Net.r_init) (Net.regs net)
+  in
+  Helpers.check_bool "reset 1 and uninitialized" true
+    (inits = [ Net.Init1; Net.Init_x ])
+
+let test_parse_errors () =
+  let expect text =
+    match Textio.Aiger.parse text with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected failure"
+  in
+  expect "aag 1 1\n";
+  expect "aag 1 1 0 0 0\n3\n";
+  (* negated input literal *)
+  expect "aag 2 0 0 1 1\n4\n5 4 5\n" (* negated AND lhs... lhs 5 odd *)
+
+let test_roundtrip_semantics () =
+  let net, t = Helpers.rand_net_with_target 77 ~inputs:3 ~regs:4 ~gates:12 in
+  let back = Textio.Aiger.parse (Textio.Aiger.to_string net) in
+  let t' = List.assoc "t" (Net.targets back) in
+  Helpers.check_bool "roundtrip trace-equivalent" true
+    (Transform.Equiv.sim_equivalent net t back t')
+
+let test_latch_netlists_rejected () =
+  let net = Net.create ~phases:2 () in
+  let a = Net.add_input net "a" in
+  let l = Net.add_latch net ~phase:0 "l" in
+  Net.set_latch_data net l a;
+  match Textio.Aiger.to_string net with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "c-phase netlists have no AIGER form"
+
+let prop_roundtrip =
+  Helpers.qtest ~count:60 "aag roundtrip preserves semantics"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_net_with_target seed ~inputs:3 ~regs:3 ~gates:10 in
+      let back = Textio.Aiger.parse (Textio.Aiger.to_string net) in
+      let t' = List.assoc "t" (Net.targets back) in
+      Transform.Equiv.sim_equivalent ~steps:16 net t back t')
+
+let prop_roundtrip_exact_counts =
+  Helpers.qtest ~count:60 "aag roundtrip preserves structure sizes"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, _ = Helpers.rand_net_with_target seed ~inputs:3 ~regs:3 ~gates:10 in
+      let back = Textio.Aiger.parse (Textio.Aiger.to_string net) in
+      Net.num_inputs back = Net.num_inputs net
+      && Net.num_regs back = Net.num_regs net
+      && Net.num_ands back = Net.num_ands net)
+
+let suite =
+  [
+    Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "reset values" `Quick test_parse_reset_values;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "roundtrip semantics" `Quick test_roundtrip_semantics;
+    Alcotest.test_case "latch netlists rejected" `Quick test_latch_netlists_rejected;
+    prop_roundtrip;
+    prop_roundtrip_exact_counts;
+  ]

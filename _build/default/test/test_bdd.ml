@@ -1,0 +1,170 @@
+(* Random formulas checked against truth-table semantics. *)
+
+type formula =
+  | Var of int
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Xor of formula * formula
+
+let rec gen_formula rng depth nv =
+  if depth = 0 || Workload.Rng.int rng 4 = 0 then Var (Workload.Rng.int rng nv)
+  else
+    match Workload.Rng.int rng 4 with
+    | 0 -> Not (gen_formula rng (depth - 1) nv)
+    | 1 -> And (gen_formula rng (depth - 1) nv, gen_formula rng (depth - 1) nv)
+    | 2 -> Or (gen_formula rng (depth - 1) nv, gen_formula rng (depth - 1) nv)
+    | _ -> Xor (gen_formula rng (depth - 1) nv, gen_formula rng (depth - 1) nv)
+
+let rec eval env = function
+  | Var i -> env.(i)
+  | Not a -> not (eval env a)
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b
+  | Xor (a, b) -> eval env a <> eval env b
+
+let rec build man = function
+  | Var i -> Bdd.var man i
+  | Not a -> Bdd.bnot man (build man a)
+  | And (a, b) -> Bdd.band man (build man a) (build man b)
+  | Or (a, b) -> Bdd.bor man (build man a) (build man b)
+  | Xor (a, b) -> Bdd.bxor man (build man a) (build man b)
+
+let forall_envs nv f =
+  let ok = ref true in
+  for bits = 0 to (1 lsl nv) - 1 do
+    let env = Array.init nv (fun i -> bits land (1 lsl i) <> 0) in
+    if not (f env) then ok := false
+  done;
+  !ok
+
+let with_formula seed k =
+  let rng = Workload.Rng.create seed in
+  let nv = 1 + Workload.Rng.int rng 5 in
+  let fm = gen_formula rng 5 nv in
+  let man = Bdd.man () in
+  k rng nv fm man (build man fm)
+
+let prop_eval =
+  Helpers.qtest ~count:200 "BDD eval matches formula semantics"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      with_formula seed (fun _rng nv fm man b ->
+          forall_envs nv (fun env ->
+              Bdd.eval man (fun i -> env.(i)) b = eval env fm)))
+
+let prop_sat_count =
+  Helpers.qtest ~count:200 "sat_count matches enumeration"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      with_formula seed (fun _rng nv fm man b ->
+          let count = ref 0. in
+          ignore
+            (forall_envs nv (fun env ->
+                 if eval env fm then count := !count +. 1.;
+                 true));
+          Bdd.sat_count man ~nvars:nv b = !count))
+
+let prop_quantification =
+  Helpers.qtest ~count:200 "exists/forall match cofactor semantics"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      with_formula seed (fun rng nv fm man b ->
+          let x = Workload.Rng.int rng nv in
+          let ex = Bdd.exists man [ x ] b in
+          let fa = Bdd.forall man [ x ] b in
+          forall_envs nv (fun env ->
+              let set value = Array.mapi (fun i v -> if i = x then value else v) env in
+              let e0 = eval (set false) fm and e1 = eval (set true) fm in
+              Bdd.eval man (fun i -> env.(i)) ex = (e0 || e1)
+              && Bdd.eval man (fun i -> env.(i)) fa = (e0 && e1))))
+
+let prop_compose =
+  Helpers.qtest ~count:200 "compose substitutes correctly"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      with_formula seed (fun rng nv fm man b ->
+          (* substitute one variable by another's complement *)
+          let x = Workload.Rng.int rng nv in
+          let y = Workload.Rng.int rng nv in
+          let sub = Bdd.compose man (fun v -> if v = x then Some (Bdd.nvar man y) else None) b in
+          forall_envs nv (fun env ->
+              let env' = Array.mapi (fun i v -> if i = x then not env.(y) else v) env in
+              Bdd.eval man (fun i -> env.(i)) sub = eval env' fm)))
+
+let prop_any_sat =
+  Helpers.qtest ~count:200 "any_sat returns a model"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      with_formula seed (fun _rng nv fm man b ->
+          Bdd.is_false b
+          ||
+          let pa = Bdd.any_sat man b in
+          let env =
+            Array.init nv (fun i ->
+                match List.assoc_opt i pa with Some v -> v | None -> false)
+          in
+          eval env fm))
+
+let prop_canonicity =
+  Helpers.qtest ~count:200 "equivalent formulas share one node"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      with_formula seed (fun _rng _nv fm man b ->
+          (* double complement and de-Morgan'd rebuild hit the same node *)
+          let rec build_dm man = function
+            | Var i -> Bdd.var man i
+            | Not a -> Bdd.bnot man (build_dm man a)
+            | And (a, b) ->
+              Bdd.bnot man
+                (Bdd.bor man
+                   (Bdd.bnot man (build_dm man a))
+                   (Bdd.bnot man (build_dm man b)))
+            | Or (a, b) ->
+              Bdd.bnot man
+                (Bdd.band man
+                   (Bdd.bnot man (build_dm man a))
+                   (Bdd.bnot man (build_dm man b)))
+            | Xor (a, b) ->
+              let x = build_dm man a and y = build_dm man b in
+              Bdd.ite man x (Bdd.bnot man y) y
+          in
+          Bdd.equal b (build_dm man fm)))
+
+let test_terminals () =
+  let man = Bdd.man () in
+  Helpers.check_bool "true <> false" false (Bdd.equal Bdd.btrue Bdd.bfalse);
+  Helpers.check_bool "not true = false" true
+    (Bdd.equal (Bdd.bnot man Bdd.btrue) Bdd.bfalse);
+  Helpers.check_bool "x & ~x = false" true
+    (Bdd.equal (Bdd.band man (Bdd.var man 0) (Bdd.nvar man 0)) Bdd.bfalse);
+  Helpers.check_bool "x | ~x = true" true
+    (Bdd.equal (Bdd.bor man (Bdd.var man 0) (Bdd.nvar man 0)) Bdd.btrue)
+
+let test_support_and_size () =
+  let man = Bdd.man () in
+  let f = Bdd.band man (Bdd.var man 1) (Bdd.bxor man (Bdd.var man 3) (Bdd.var man 5)) in
+  Helpers.check_bool "support" true (Bdd.support man f = [ 1; 3; 5 ]);
+  Helpers.check_bool "size positive" true (Bdd.size man f > 0);
+  Helpers.check_int "terminal size" 0 (Bdd.size man Bdd.btrue)
+
+let test_view () =
+  let man = Bdd.man () in
+  match Bdd.view man (Bdd.var man 2) with
+  | `Node (2, low, high) ->
+    Helpers.check_bool "low false" true (Bdd.is_false low);
+    Helpers.check_bool "high true" true (Bdd.is_true high)
+  | `Node _ | `False | `True -> Alcotest.fail "expected node on var 2"
+
+let suite =
+  [
+    Alcotest.test_case "terminal laws" `Quick test_terminals;
+    Alcotest.test_case "support and size" `Quick test_support_and_size;
+    Alcotest.test_case "view" `Quick test_view;
+    prop_eval;
+    prop_sat_count;
+    prop_quantification;
+    prop_compose;
+    prop_any_sat;
+    prop_canonicity;
+  ]

@@ -1,0 +1,166 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let counts net = Core.Classify.netlist_counts net
+
+let test_pipeline_is_ac () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let p = Workload.Gen.pipeline net ~name:"p" ~stages:5 ~data:a in
+  Net.add_target net "t" p.Workload.Gen.out;
+  let c = counts net in
+  Helpers.check_int "all acyclic" 5 c.Core.Classify.ac;
+  Helpers.check_int "no gc" 0 c.Core.Classify.gc
+
+let test_counter_is_gc () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Workload.Gen.counter net ~name:"c" ~bits:4 ~enable:a in
+  Net.add_target net "t" b.Workload.Gen.out;
+  let c = counts net in
+  Helpers.check_int "all general" 4 c.Core.Classify.gc;
+  (* ripple-carry dependencies run strictly upward, so each bit is its
+     own self-looping component, chained by dependency edges *)
+  let a = Core.Classify.analyze net in
+  Array.iter
+    (fun c ->
+      match c.Core.Classify.cls with
+      | Core.Classify.GC 1 -> ()
+      | _ -> Alcotest.fail "expected singleton GC components")
+    a.Core.Classify.components;
+  (* an LFSR's feedback makes one multi-register component *)
+  let net2 = Net.create () in
+  let l = Workload.Gen.lfsr net2 ~name:"l" ~bits:4 in
+  Net.add_target net2 "t" l.Workload.Gen.out;
+  let a2 = Core.Classify.analyze net2 in
+  Helpers.check_int "lfsr is one component" 1
+    (Array.length a2.Core.Classify.components);
+  (match a2.Core.Classify.components.(0).Core.Classify.cls with
+  | Core.Classify.GC 4 -> ()
+  | _ -> Alcotest.fail "expected GC(4)")
+
+let test_memory_is_mc () =
+  let net = Net.create () in
+  let a0 = Net.add_input net "a0" in
+  let a1 = Net.add_input net "a1" in
+  let d = Net.add_input net "d" in
+  let w = Net.add_input net "w" in
+  let m =
+    Workload.Gen.memory net ~name:"m" ~rows:4 ~width:2 ~addr:[ a0; a1 ]
+      ~data:[ d; Lit.neg d ] ~write:w
+  in
+  Net.add_target net "t" m.Workload.Gen.out;
+  let analysis = Core.Classify.analyze net in
+  let mcs =
+    Array.to_list analysis.Core.Classify.components
+    |> List.filter_map (fun c ->
+           match c.Core.Classify.cls with
+           | Core.Classify.MC rows -> Some (rows, List.length c.Core.Classify.regs)
+           | _ -> None)
+  in
+  Helpers.check_bool "one MC with 4 rows and 8 cells" true (mcs = [ (4, 8) ])
+
+let test_queue_is_qc () =
+  let net = Net.create () in
+  let push = Net.add_input net "push" in
+  let d = Net.add_input net "d" in
+  let q = Workload.Gen.queue net ~name:"q" ~depth:5 ~width:1 ~push ~data:[ d ] in
+  Net.add_target net "t" q.Workload.Gen.out;
+  let analysis = Core.Classify.analyze net in
+  let qcs =
+    Array.to_list analysis.Core.Classify.components
+    |> List.filter_map (fun c ->
+           match c.Core.Classify.cls with
+           | Core.Classify.QC depth -> Some depth
+           | _ -> None)
+  in
+  Helpers.check_bool "one QC of depth 5" true (qcs = [ 5 ])
+
+let test_constants_are_cc () =
+  let net = Net.create () in
+  let r1 = Net.add_reg net ~init:Net.Init0 "r1" in
+  Net.set_next net r1 Lit.false_;
+  let r2 = Net.add_reg net ~init:Net.Init1 "r2" in
+  Net.set_next net r2 r2;
+  (* a register that settles only through the fixpoint: next = r1 | r2'
+     where both are constants *)
+  let r3 = Net.add_reg net ~init:Net.Init1 "r3" in
+  Net.set_next net r3 (Net.add_or net r1 r2);
+  Net.add_target net "t" r3;
+  let c = counts net in
+  Helpers.check_int "all constant" 3 c.Core.Classify.cc
+
+let test_toggle_is_not_mc () =
+  (* a counter bit loads a function of itself: must stay GC even
+     though its next looks mux-like *)
+  let net = Net.create () in
+  let en = Net.add_input net "en" in
+  let r = Net.add_reg net "r" in
+  Net.set_next net r (Net.add_xor net r en);
+  Net.add_target net "t" r;
+  let c = counts net in
+  Helpers.check_int "toggle is GC" 1 c.Core.Classify.gc;
+  Helpers.check_int "not a table" 0 c.Core.Classify.table
+
+let test_obscured_chain_reclassifies () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Net.add_input net "b" in
+  let c = Net.add_input net "c" in
+  let d = Net.add_input net "d" in
+  let chain =
+    Workload.Gen.obscured_chain net ~name:"o" ~sel:(a, b, c) ~data:d ~len:4
+  in
+  Net.add_target net "t" chain.Workload.Gen.out;
+  let before = counts net in
+  Helpers.check_int "GC before COM" 4 before.Core.Classify.gc;
+  let reduced, _ = Transform.Com.run net in
+  let after = counts reduced.Transform.Rebuild.net in
+  Helpers.check_int "table after COM" 4 after.Core.Classify.table;
+  Helpers.check_int "no GC after COM" 0 after.Core.Classify.gc
+
+let test_latch_classification () =
+  (* classification works on latch netlists too: a latchified pipeline
+     is acyclic *)
+  let base = Net.create () in
+  let a = Net.add_input base "a" in
+  let p = Workload.Gen.pipeline base ~name:"p" ~stages:3 ~data:a in
+  Net.add_target base "t" p.Workload.Gen.out;
+  let latched = Workload.Gp.latchify base in
+  let c = counts latched in
+  Helpers.check_int "latch pairs acyclic" 6 c.Core.Classify.ac
+
+let prop_counts_partition_registers =
+  Helpers.qtest ~count:60 "classes partition the registers"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, _ = Helpers.rand_structured seed in
+      let c = counts net in
+      c.Core.Classify.cc + c.Core.Classify.ac + c.Core.Classify.table
+      + c.Core.Classify.gc
+      = Net.num_regs net + Net.num_latches net)
+
+let prop_every_reg_in_a_component =
+  Helpers.qtest ~count:60 "analysis covers every register"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, _ = Helpers.rand_structured seed in
+      let a = Core.Classify.analyze net in
+      List.for_all
+        (fun v -> Hashtbl.mem a.Core.Classify.of_reg v)
+        (Net.regs net))
+
+let suite =
+  [
+    Alcotest.test_case "pipeline -> AC" `Quick test_pipeline_is_ac;
+    Alcotest.test_case "counter -> GC" `Quick test_counter_is_gc;
+    Alcotest.test_case "memory -> MC" `Quick test_memory_is_mc;
+    Alcotest.test_case "queue -> QC" `Quick test_queue_is_qc;
+    Alcotest.test_case "constants -> CC" `Quick test_constants_are_cc;
+    Alcotest.test_case "toggle is not a table cell" `Quick test_toggle_is_not_mc;
+    Alcotest.test_case "obscured chain reclassifies" `Quick
+      test_obscured_chain_reclassifies;
+    Alcotest.test_case "latch netlists classify" `Quick test_latch_classification;
+    prop_counts_partition_registers;
+    prop_every_reg_in_a_component;
+  ]

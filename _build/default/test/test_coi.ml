@@ -1,0 +1,63 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Coi = Netlist.Coi
+
+let fixture () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Net.add_input net "b" in
+  let r1 = Net.add_reg net "r1" in
+  let r2 = Net.add_reg net "r2" in
+  let g = Net.add_and net r1 b in
+  Net.set_next net r1 a;
+  Net.set_next net r2 g;
+  (net, a, b, r1, r2, g)
+
+let test_sequential_cone () =
+  let net, a, b, r1, r2, g = fixture () in
+  let cone = Coi.of_lits net [ r2 ] in
+  Helpers.check_bool "follows next edges" true cone.(Lit.var r1);
+  Helpers.check_bool "reaches inputs" true (cone.(Lit.var a) && cone.(Lit.var b));
+  Helpers.check_bool "gate included" true cone.(Lit.var g);
+  Helpers.check_int "two registers in cone" 2
+    (List.length (Coi.regs_in net cone))
+
+let test_combinational_stops_at_state () =
+  let net, a, b, r1, r2, g = fixture () in
+  ignore r2;
+  let cone = Coi.combinational net [ g ] in
+  Helpers.check_bool "marks the register" true cone.(Lit.var r1);
+  Helpers.check_bool "does not enter its next cone" false cone.(Lit.var a);
+  Helpers.check_bool "reads the input" true cone.(Lit.var b)
+
+let test_disjoint_roots () =
+  let net, a, b, r1, r2, g = fixture () in
+  ignore (b, r2, g);
+  let cone = Coi.of_lits net [ r1 ] in
+  Helpers.check_bool "r1 cone excludes g" false cone.(Lit.var g);
+  Helpers.check_bool "r1 cone has a" true cone.(Lit.var a);
+  Helpers.check_int "size counts marks" (Coi.size cone)
+    (Array.fold_left (fun n x -> if x then n + 1 else n) 0 cone)
+
+let prop_cone_closed =
+  Helpers.qtest ~count:60 "sequential cones are fanin-closed"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_net_with_target seed ~inputs:3 ~regs:4 ~gates:12 in
+      let cone = Coi.of_lits net [ t ] in
+      let ok = ref true in
+      Net.iter_nodes net (fun v _ ->
+          if cone.(v) then
+            List.iter
+              (fun l -> if not cone.(Lit.var l) then ok := false)
+              (Net.fanins net v));
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "sequential cone" `Quick test_sequential_cone;
+    Alcotest.test_case "combinational stops at state" `Quick
+      test_combinational_stops_at_state;
+    Alcotest.test_case "disjoint roots" `Quick test_disjoint_roots;
+    prop_cone_closed;
+  ]

@@ -1,0 +1,158 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let run net = fst (Transform.Com.run net)
+
+let test_merges_associations () =
+  (* (a & b) & c vs a & (b & c): only SAT sweeping sees through *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Net.add_input net "b" in
+  let c = Net.add_input net "c" in
+  let left = Net.add_and net (Net.add_and net a b) c in
+  let right = Net.add_and net a (Net.add_and net b c) in
+  Net.add_target net "t" (Net.add_xor net left right);
+  let reduced, stats = Transform.Com.run net in
+  Helpers.check_bool "some merges happened" true (stats.Transform.Com.merged_ands > 0);
+  let t' = List.assoc "t" (Net.targets reduced.Transform.Rebuild.net) in
+  Helpers.check_bool "xor of equal cones folds to false" true
+    (Lit.equal t' Lit.false_)
+
+let test_constant_register_removed () =
+  let net = Net.create () in
+  let r = Net.add_reg net ~init:Net.Init0 "r" in
+  Net.set_next net r Lit.false_;
+  let a = Net.add_input net "a" in
+  Net.add_target net "t" (Net.add_or net r a);
+  let reduced = run net in
+  Helpers.check_int "stuck register removed" 0
+    (Net.num_regs reduced.Transform.Rebuild.net);
+  let t' = List.assoc "t" (Net.targets reduced.Transform.Rebuild.net) in
+  Helpers.check_bool "target now the input alone" true
+    (Lit.equal t' (Transform.Rebuild.map_lit reduced a))
+
+let test_self_loop_register_removed () =
+  let net = Net.create () in
+  let r = Net.add_reg net ~init:Net.Init1 "r" in
+  Net.set_next net r r;
+  Net.add_target net "t" r;
+  let reduced = run net in
+  Helpers.check_int "self-loop register removed" 0
+    (Net.num_regs reduced.Transform.Rebuild.net);
+  let t' = List.assoc "t" (Net.targets reduced.Transform.Rebuild.net) in
+  Helpers.check_bool "stuck at one" true (Lit.equal t' Lit.true_)
+
+let test_duplicate_registers_merged () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let r1 = Net.add_reg net "r1" in
+  let r2 = Net.add_reg net "r2" in
+  Net.set_next net r1 a;
+  Net.set_next net r2 a;
+  Net.add_target net "t" (Net.add_xor net r1 r2);
+  let reduced = run net in
+  Helpers.check_bool "duplicates collapse the xor" true
+    (Lit.equal (List.assoc "t" (Net.targets reduced.Transform.Rebuild.net)) Lit.false_)
+
+let test_x_init_registers_not_merged () =
+  (* two X-initialized registers with the same next function disagree
+     at time 0 in some trace: merging would be unsound *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let r1 = Net.add_reg net ~init:Net.Init_x "r1" in
+  let r2 = Net.add_reg net ~init:Net.Init_x "r2" in
+  Net.set_next net r1 a;
+  Net.set_next net r2 a;
+  Net.add_target net "t" (Net.add_xor net r1 r2);
+  let reduced = run net in
+  Helpers.check_int "both X registers kept" 2
+    (Net.num_regs reduced.Transform.Rebuild.net)
+
+let test_guard_counter_freezes () =
+  (* the workload's COM gadget: a counter enabled by a semantically
+     false guard must disappear entirely *)
+  let net = Net.create () in
+  let rng = Workload.Rng.create 5 in
+  let inputs = List.init 4 (fun i -> Net.add_input net (Printf.sprintf "i%d" i)) in
+  let guard = Workload.Gen.com_guard net rng ~inputs in
+  let block = Workload.Gen.counter net ~name:"c" ~bits:4 ~enable:guard in
+  Net.add_target net "t" block.Workload.Gen.out;
+  let reduced = run net in
+  Helpers.check_int "counter frozen and removed" 0
+    (Net.num_regs reduced.Transform.Rebuild.net);
+  Helpers.check_bool "target constant false" true
+    (Lit.equal (List.assoc "t" (Net.targets reduced.Transform.Rebuild.net)) Lit.false_)
+
+let prop_preserves_semantics_sim =
+  Helpers.qtest ~count:60 "COM preserves target traces (simulation)"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_net_with_target seed ~inputs:3 ~regs:4 ~gates:14 in
+      let reduced = run net in
+      let t' = List.assoc "t" (Net.targets reduced.Transform.Rebuild.net) in
+      Transform.Equiv.sim_equivalent ~steps:20 net t
+        reduced.Transform.Rebuild.net t')
+
+let prop_preserves_semantics_sat =
+  Helpers.qtest ~count:30 "COM preserves target traces (SAT, bounded)"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      (* restrict to binary-initialized netlists: free X on the two
+         sides would be independent *)
+      let rng = Workload.Rng.create seed in
+      let net = Net.create () in
+      let ins = List.init 3 (fun i -> Net.add_input net (Printf.sprintf "i%d" i)) in
+      let rs =
+        List.init 4 (fun i ->
+            Net.add_reg net
+              ~init:(if Workload.Rng.bool rng then Net.Init0 else Net.Init1)
+              (Printf.sprintf "r%d" i))
+      in
+      let pool = ref (ins @ rs) in
+      let pick () =
+        let l = Workload.Rng.pick rng !pool in
+        if Workload.Rng.bool rng then Lit.neg l else l
+      in
+      for _ = 1 to 12 do
+        let g = Net.add_and net (pick ()) (pick ()) in
+        if not (Lit.is_const g) then pool := g :: !pool
+      done;
+      List.iter (fun r -> Net.set_next net r (pick ())) rs;
+      let t = pick () in
+      Net.add_target net "t" t;
+      let reduced = run net in
+      let t' = List.assoc "t" (Net.targets reduced.Transform.Rebuild.net) in
+      Transform.Equiv.sat_equivalent ~depth:6 net t
+        reduced.Transform.Rebuild.net t')
+
+let prop_idempotent =
+  Helpers.qtest ~count:30 "COM is idempotent on its own output"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, _ = Helpers.rand_net_with_target seed ~inputs:3 ~regs:3 ~gates:10 in
+      let once = run net in
+      let twice, stats = Transform.Com.run once.Transform.Rebuild.net in
+      ignore twice;
+      stats.Transform.Com.rounds = 0)
+
+let prop_never_grows =
+  Helpers.qtest ~count:50 "COM never adds vertices"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, _ = Helpers.rand_net_with_target seed ~inputs:3 ~regs:4 ~gates:14 in
+      let reduced = run net in
+      Net.num_vars reduced.Transform.Rebuild.net <= Net.num_vars net)
+
+let suite =
+  [
+    Alcotest.test_case "association merge" `Quick test_merges_associations;
+    Alcotest.test_case "constant register removed" `Quick test_constant_register_removed;
+    Alcotest.test_case "self-loop register removed" `Quick test_self_loop_register_removed;
+    Alcotest.test_case "duplicate registers merged" `Quick test_duplicate_registers_merged;
+    Alcotest.test_case "X-init registers kept apart" `Quick test_x_init_registers_not_merged;
+    Alcotest.test_case "guarded counter freezes" `Quick test_guard_counter_freezes;
+    prop_preserves_semantics_sim;
+    prop_preserves_semantics_sat;
+    prop_idempotent;
+    prop_never_grows;
+  ]

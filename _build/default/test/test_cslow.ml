@@ -1,0 +1,103 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+(* c-slow a toggle FSM by hand: replace its register with a chain of c
+   registers; every cycle then crosses c registers *)
+let cslowed_toggle c =
+  let net = Net.create () in
+  let enable = Net.add_input net "en" in
+  let regs =
+    List.init c (fun i -> Net.add_reg net ~init:Net.Init0 (Printf.sprintf "s%d" i))
+  in
+  let head = List.hd regs in
+  let tail = List.nth regs (c - 1) in
+  (* head toggles (via the chain) when enabled *)
+  Net.set_next net head (Net.add_xor net tail enable);
+  List.iteri
+    (fun i r -> if i > 0 then Net.set_next net r (List.nth regs (i - 1)))
+    regs;
+  Net.add_target net "t" tail;
+  (net, tail)
+
+let test_detect_c () =
+  let net, _ = cslowed_toggle 3 in
+  Helpers.check_int "detects c = 3" 3 (Transform.Cslow.detect net);
+  let net1, _ = cslowed_toggle 1 in
+  Helpers.check_int "plain design has c = 1" 1 (Transform.Cslow.detect net1)
+
+let test_detect_acyclic_is_one () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let p = Workload.Gen.pipeline net ~name:"p" ~stages:4 ~data:a in
+  Net.add_target net "t" p.Workload.Gen.out;
+  Helpers.check_int "pipelines are not c-slow" 1 (Transform.Cslow.detect net)
+
+let test_fold_reduces_registers () =
+  let net, _ = cslowed_toggle 4 in
+  let r = Transform.Cslow.run net in
+  Helpers.check_int "factor 4" 4 r.Transform.Cslow.factor;
+  Helpers.check_int "one register kept" 1 (Net.num_regs r.Transform.Cslow.net)
+
+let test_fold_semantics () =
+  (* with the enable held high, the folded design is a plain toggle:
+     the kept register alternates every abstract step *)
+  let c = 3 in
+  let net, _ = cslowed_toggle c in
+  let r = Transform.Cslow.run net in
+  let abs = r.Transform.Cslow.net in
+  let t_abs = List.assoc "t" (Net.targets abs) in
+  let s = Netlist.Sim.create abs in
+  (* all split copies of the enable held high *)
+  let values =
+    List.init 6 (fun _ ->
+        Netlist.Sim.step s (fun _ -> Netlist.Sim.V1);
+        Netlist.Sim.value s t_abs)
+  in
+  Helpers.check_bool "folded toggle alternates" true
+    (values
+    = [ Netlist.Sim.V0; Netlist.Sim.V1; Netlist.Sim.V0; Netlist.Sim.V1;
+        Netlist.Sim.V0; Netlist.Sim.V1 ])
+
+let test_mixed_colors_degrade () =
+  (* a target reading two different colors cannot be folded *)
+  let net = Net.create () in
+  let en = Net.add_input net "en" in
+  let r0 = Net.add_reg net "r0" in
+  let r1 = Net.add_reg net "r1" in
+  Net.set_next net r0 (Net.add_xor net r1 en);
+  Net.set_next net r1 r0;
+  Net.add_target net "t" (Net.add_and net r0 r1);
+  let r = Transform.Cslow.run net in
+  Helpers.check_int "degrades to identity" 1 r.Transform.Cslow.factor
+
+let prop_theorem3_soundness =
+  (* factor * bound on the folded netlist covers the original earliest
+     hit *)
+  Helpers.qtest ~count:30 "c-slow translated bound is sound"
+    QCheck.(int_range 2 5)
+    (fun c ->
+      let net, t = cslowed_toggle c in
+      let r = Transform.Cslow.run net in
+      let b = Core.Bound.target_named r.Transform.Cslow.net "t" in
+      let translated =
+        (Core.Translate.state_folding ~factor:r.Transform.Cslow.factor)
+          .Core.Translate.apply b.Core.Bound.bound
+      in
+      if Core.Sat_bound.is_huge translated then true
+      else
+        match Core.Exact.explore net t with
+        | None -> true
+        | Some e -> (
+          match e.Core.Exact.earliest_hit with
+          | None -> true
+          | Some hit -> hit <= translated - 1))
+
+let suite =
+  [
+    Alcotest.test_case "detect c" `Quick test_detect_c;
+    Alcotest.test_case "acyclic designs not c-slow" `Quick test_detect_acyclic_is_one;
+    Alcotest.test_case "folding reduces registers" `Quick test_fold_reduces_registers;
+    Alcotest.test_case "folding semantics" `Quick test_fold_semantics;
+    Alcotest.test_case "mixed colors degrade" `Quick test_mixed_colors_degrade;
+    prop_theorem3_soundness;
+  ]

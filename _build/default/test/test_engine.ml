@@ -1,0 +1,105 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let test_probe_finds_shallow_bug () =
+  let net = Net.create () in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:2 ~enable:Lit.true_ in
+  Net.add_target net "t" c.Workload.Gen.out;
+  match Core.Engine.verify net ~target:"t" with
+  | Core.Engine.Violated { strategy = "bmc-probe"; cex } ->
+    Helpers.check_int "hit at 3" 3 cex.Bmc.depth
+  | v -> Alcotest.fail (Format.asprintf "unexpected: %a" Core.Engine.pp_verdict v)
+
+let test_structural_proof () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let p = Workload.Gen.pipeline net ~name:"p" ~stages:12 ~data:a in
+  (* unreachable: stage output and its negation conjoined *)
+  Net.add_target net "t" (Net.add_and net p.Workload.Gen.out (Lit.neg p.Workload.Gen.out));
+  match Core.Engine.verify net ~target:"t" with
+  | Core.Engine.Proved { strategy; _ } ->
+    Helpers.check_bool "cheap strategy used" true
+      (String.equal strategy "structural-bound")
+  | v -> Alcotest.fail (Format.asprintf "unexpected: %a" Core.Engine.pp_verdict v)
+
+let test_ret_gadget_needs_transformations () =
+  let net = Net.create () in
+  let x = Net.add_input net "x" in
+  let y = Net.add_input net "y" in
+  let guard = Workload.Gen.ret_guard net ~name:"g" ~x ~y in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:8 ~enable:guard in
+  Net.add_target net "t" c.Workload.Gen.out;
+  match Core.Engine.verify net ~target:"t" with
+  | Core.Engine.Proved { strategy; _ } ->
+    Helpers.check_bool "transformation pipeline closed it" true
+      (String.equal strategy "com-ret-com+bound")
+  | v -> Alcotest.fail (Format.asprintf "unexpected: %a" Core.Engine.pp_verdict v)
+
+let test_latch_design () =
+  (* unreachable conjunction in a latchified design: proofs go through
+     phase abstraction and Theorem 3 *)
+  let base = Net.create () in
+  let a = Net.add_input base "a" in
+  let p = Workload.Gen.pipeline base ~name:"p" ~stages:3 ~data:a in
+  Net.add_target base "t"
+    (Net.add_and base p.Workload.Gen.out (Lit.neg p.Workload.Gen.out));
+  let net = Workload.Gp.latchify base in
+  match Core.Engine.verify net ~target:"t" with
+  | Core.Engine.Proved _ -> ()
+  | v -> Alcotest.fail (Format.asprintf "unexpected: %a" Core.Engine.pp_verdict v)
+
+let test_inconclusive_records_attempts () =
+  (* a large FSM with an unreachable-but-hard target defeats every
+     strategy within tiny budgets *)
+  let net = Net.create () in
+  let rng = Workload.Rng.create 3 in
+  let ins = List.init 4 (fun i -> Net.add_input net (Printf.sprintf "i%d" i)) in
+  let f = Workload.Gen.fsm net rng ~name:"f" ~bits:30 ~inputs:ins in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:10 ~enable:f.Workload.Gen.out in
+  Net.add_target net "t" c.Workload.Gen.out;
+  let config =
+    { Core.Engine.default with
+      Core.Engine.probe_depth = 2; recurrence_limit = 3; induction_max_k = 1 }
+  in
+  match Core.Engine.verify ~config net ~target:"t" with
+  | Core.Engine.Inconclusive { attempts } ->
+    Helpers.check_bool "several strategies tried" true (List.length attempts >= 5)
+  | Core.Engine.Proved _ -> Alcotest.fail "budgets too small to prove"
+  | Core.Engine.Violated _ -> Alcotest.fail "needs 2^10 steps to hit"
+
+let test_unknown_target () =
+  let net = Net.create () in
+  Alcotest.check_raises "unknown" (Invalid_argument "Engine.verify: unknown target zz")
+    (fun () -> ignore (Core.Engine.verify net ~target:"zz"))
+
+let prop_agrees_with_exact =
+  Helpers.qtest ~count:25 "engine verdicts agree with explicit search"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_structured seed in
+      match Core.Engine.verify net ~target:"t" with
+      | Core.Engine.Inconclusive _ -> true
+      | Core.Engine.Proved _ -> (
+        match Core.Exact.explore net t with
+        | None -> true
+        | Some e -> e.Core.Exact.earliest_hit = None)
+      | Core.Engine.Violated { cex; _ } -> (
+        Bmc.replay net t cex
+        &&
+        match Core.Exact.explore net t with
+        | None -> true
+        | Some e -> (
+          match e.Core.Exact.earliest_hit with
+          | Some hit -> hit <= cex.Bmc.depth
+          | None -> false)))
+
+let suite =
+  [
+    Alcotest.test_case "probe finds shallow bug" `Quick test_probe_finds_shallow_bug;
+    Alcotest.test_case "structural proof" `Quick test_structural_proof;
+    Alcotest.test_case "RET gadget strategy" `Quick test_ret_gadget_needs_transformations;
+    Alcotest.test_case "latch design" `Quick test_latch_design;
+    Alcotest.test_case "inconclusive attempts" `Quick test_inconclusive_records_attempts;
+    Alcotest.test_case "unknown target" `Quick test_unknown_target;
+    prop_agrees_with_exact;
+  ]

@@ -1,0 +1,113 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+(* free-running 3-bit counter with a target at value 5 (101) *)
+let counter_design () =
+  let net = Net.create () in
+  let block = Workload.Gen.counter net ~name:"c" ~bits:3 ~enable:Lit.true_ in
+  match block.Workload.Gen.regs with
+  | [ b0; b1; b2 ] ->
+    let t = Net.add_and_list net [ b0; Lit.neg b1; b2 ] in
+    Net.add_target net "t" t;
+    (net, t)
+  | _ -> assert false
+
+let test_enlargement_on_counter () =
+  let net, _ = counter_design () in
+  match Transform.Enlarge.run net ~target:"t" ~k:2 with
+  | None -> Alcotest.fail "expected enlargement to run"
+  | Some r ->
+    Helpers.check_int "k recorded" 2 r.Transform.Enlarge.k;
+    Helpers.check_bool "set not empty" false r.Transform.Enlarge.empty;
+    (* the 2-step enlarged target of state 5 is exactly state 3 *)
+    let net' = r.Transform.Enlarge.net in
+    let name = "t#enl2" in
+    (match Bmc.check net' ~target:name ~depth:8 with
+    | Bmc.Hit cex -> Helpers.check_int "state 3 reached at time 3" 3 cex.Bmc.depth
+    | Bmc.No_hit _ -> Alcotest.fail "enlarged target should be reachable")
+
+let test_theorem4_bound () =
+  (* d(t') + k covers the earliest hit of the original *)
+  let net, t = counter_design () in
+  let k = 2 in
+  match Transform.Enlarge.run net ~target:"t" ~k with
+  | None -> Alcotest.fail "expected enlargement"
+  | Some r ->
+    let exact = Option.get (Core.Exact.explore net t) in
+    let hit = Option.get exact.Core.Exact.earliest_hit in
+    Helpers.check_int "counter hits 5 at time 5" 5 hit;
+    let b = Core.Bound.target_named r.Transform.Enlarge.net "t#enl2" in
+    let translated =
+      (Core.Translate.target_enlargement ~k).Core.Translate.apply
+        b.Core.Bound.bound
+    in
+    Helpers.check_bool "hit within translated bound" true
+      (Core.Sat_bound.is_huge translated || hit <= translated - 1)
+
+let test_inductive_simplification () =
+  (* enlarging by the exact distance of the only hitting state leaves
+     a singleton; enlarging past every reachable distance from the
+     target yields states that hit in exactly k steps *)
+  let net, _ = counter_design () in
+  match Transform.Enlarge.run net ~target:"t" ~k:5 with
+  | None -> Alcotest.fail "expected enlargement"
+  | Some r ->
+    (* state 0 hits state 5 in exactly 5 steps *)
+    Helpers.check_bool "initial state in the 5-step set" false
+      r.Transform.Enlarge.empty;
+    (match Bmc.check r.Transform.Enlarge.net ~target:"t#enl5" ~depth:0 with
+    | Bmc.Hit cex -> Helpers.check_int "hit at time 0" 0 cex.Bmc.depth
+    | Bmc.No_hit _ -> Alcotest.fail "state 0 should satisfy the enlarged target")
+
+let test_empty_enlargement () =
+  (* a target hittable only at time <= 1 has an empty 2-step
+     enlargement with inductive simplification only if no state hits
+     in exactly 2 fresh steps; use a pipeline fed by constant 0 with
+     init 1 *)
+  let net = Net.create () in
+  let r1 = Net.add_reg net ~init:Net.Init1 "r1" in
+  Net.set_next net r1 Lit.false_;
+  Net.add_target net "t" r1;
+  (* t is hit at time 0 only; pre^1(t) = nothing (no state maps to
+     r1 = 1) *)
+  match Transform.Enlarge.run net ~target:"t" ~k:1 with
+  | None -> Alcotest.fail "expected enlargement"
+  | Some r ->
+    Helpers.check_bool "one-step preimage empty" true r.Transform.Enlarge.empty
+
+let test_input_quantification () =
+  (* the enlarged target quantifies inputs: a register loaded from an
+     input can hit any value in one step from any state *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let r = Net.add_reg net ~init:Net.Init0 "r" in
+  Net.set_next net r a;
+  Net.add_target net "t" r;
+  match Transform.Enlarge.run net ~target:"t" ~k:1 with
+  | None -> Alcotest.fail "expected enlargement"
+  | Some res ->
+    (* pre^1(r=1) with input quantified = all states; minus states
+       already hitting (r=1) = states with r=0 *)
+    Helpers.check_bool "preimage not empty" false res.Transform.Enlarge.empty;
+    let b = Core.Bound.target_named res.Transform.Enlarge.net "t#enl1" in
+    Helpers.check_bool "enlarged target bound small" true
+      (b.Core.Bound.bound <= 2)
+
+let test_reg_limit () =
+  let net = Net.create () in
+  let block = Workload.Gen.lfsr net ~name:"l" ~bits:8 in
+  Net.add_target net "t" block.Workload.Gen.out;
+  Helpers.check_bool "limit respected" true
+    (Transform.Enlarge.run ~reg_limit:4 net ~target:"t" ~k:1 = None);
+  Helpers.check_bool "unknown target" true
+    (Transform.Enlarge.run net ~target:"nope" ~k:1 = None)
+
+let suite =
+  [
+    Alcotest.test_case "counter enlargement" `Quick test_enlargement_on_counter;
+    Alcotest.test_case "theorem 4 bound" `Quick test_theorem4_bound;
+    Alcotest.test_case "inductive simplification" `Quick test_inductive_simplification;
+    Alcotest.test_case "empty enlargement" `Quick test_empty_enlargement;
+    Alcotest.test_case "input quantification" `Quick test_input_quantification;
+    Alcotest.test_case "limits" `Quick test_reg_limit;
+  ]

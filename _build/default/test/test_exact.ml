@@ -1,0 +1,79 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let test_free_counter () =
+  let net = Net.create () in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:3 ~enable:Lit.true_ in
+  Net.add_target net "t" c.Workload.Gen.out;
+  let e = Option.get (Core.Exact.explore net (List.assoc "t" (Net.targets net))) in
+  Helpers.check_int "8 reachable states" 8 e.Core.Exact.reachable;
+  Helpers.check_int "init diameter 8" 8 e.Core.Exact.init_diameter;
+  Helpers.check_int "pair diameter 8" 8 e.Core.Exact.pair_diameter;
+  Helpers.check_bool "hit at 7" true (e.Core.Exact.earliest_hit = Some 7)
+
+let test_enabled_counter () =
+  let net = Net.create () in
+  let en = Net.add_input net "en" in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:2 ~enable:en in
+  Net.add_target net "t" c.Workload.Gen.out;
+  let e = Option.get (Core.Exact.explore net (List.assoc "t" (Net.targets net))) in
+  Helpers.check_int "4 states" 4 e.Core.Exact.reachable;
+  Helpers.check_bool "hit at 3" true (e.Core.Exact.earliest_hit = Some 3)
+
+let test_ring () =
+  let net = Net.create () in
+  let r = Workload.Gen.ring net ~name:"r" ~length:5 in
+  Net.add_target net "t" r.Workload.Gen.out;
+  let e = Option.get (Core.Exact.explore net (List.assoc "t" (Net.targets net))) in
+  Helpers.check_int "5 reachable one-hot states" 5 e.Core.Exact.reachable;
+  Helpers.check_int "pair diameter 5" 5 e.Core.Exact.pair_diameter;
+  (* token starts at position 0, observed at position 4 after 4 steps *)
+  Helpers.check_bool "hit at 4" true (e.Core.Exact.earliest_hit = Some 4)
+
+let test_pipeline_distances () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let p = Workload.Gen.pipeline net ~name:"p" ~stages:3 ~data:a in
+  Net.add_target net "t" p.Workload.Gen.out;
+  let e = Option.get (Core.Exact.explore net (List.assoc "t" (Net.targets net))) in
+  Helpers.check_int "all 8 fillings reachable" 8 e.Core.Exact.reachable;
+  (* filling the last stage with a 1 takes 3 steps *)
+  Helpers.check_bool "hit at 3" true (e.Core.Exact.earliest_hit = Some 3);
+  Helpers.check_int "init diameter 4" 4 e.Core.Exact.init_diameter
+
+let test_unreachable_target () =
+  let net = Net.create () in
+  let r = Net.add_reg net ~init:Net.Init0 "r" in
+  Net.set_next net r Lit.false_;
+  Net.add_target net "t" r;
+  let e = Option.get (Core.Exact.explore net (List.assoc "t" (Net.targets net))) in
+  Helpers.check_bool "unreachable" true (e.Core.Exact.earliest_hit = None);
+  Helpers.check_int "single state" 1 e.Core.Exact.reachable
+
+let test_x_init_expansion () =
+  let net = Net.create () in
+  let r = Net.add_reg net ~init:Net.Init_x "r" in
+  Net.set_next net r r;
+  Net.add_target net "t" r;
+  let e = Option.get (Core.Exact.explore net (List.assoc "t" (Net.targets net))) in
+  Helpers.check_int "both initial states" 2 e.Core.Exact.reachable;
+  Helpers.check_bool "hit immediately in one of them" true
+    (e.Core.Exact.earliest_hit = Some 0)
+
+let test_limits () =
+  let net = Net.create () in
+  let l = Workload.Gen.lfsr net ~name:"l" ~bits:6 in
+  Net.add_target net "t" l.Workload.Gen.out;
+  Helpers.check_bool "reg limit" true
+    (Core.Exact.explore ~max_regs:4 net (List.assoc "t" (Net.targets net)) = None)
+
+let suite =
+  [
+    Alcotest.test_case "free counter" `Quick test_free_counter;
+    Alcotest.test_case "enabled counter" `Quick test_enabled_counter;
+    Alcotest.test_case "ring" `Quick test_ring;
+    Alcotest.test_case "pipeline distances" `Quick test_pipeline_distances;
+    Alcotest.test_case "unreachable target" `Quick test_unreachable_target;
+    Alcotest.test_case "X-init expansion" `Quick test_x_init_expansion;
+    Alcotest.test_case "limits" `Quick test_limits;
+  ]

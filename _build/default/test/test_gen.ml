@@ -1,0 +1,181 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Sim = Netlist.Sim
+
+let run_steps net steps input l =
+  let s = Sim.create net in
+  List.init steps (fun t ->
+      Sim.step s (input t);
+      Sim.value s l)
+
+let const_input _ _ = Sim.V0
+
+let test_counter_counts () =
+  let net = Net.create () in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:3 ~enable:Lit.true_ in
+  (* read the binary value from the register bits *)
+  let value s =
+    List.fold_left
+      (fun (i, acc) r ->
+        (i + 1, acc + if Sim.value s r = Sim.V1 then 1 lsl i else 0))
+      (0, 0) c.Workload.Gen.regs
+    |> snd
+  in
+  let s = Sim.create net in
+  for t = 0 to 10 do
+    Sim.step s (fun _ -> Sim.V0);
+    (* the increment computed during step t becomes visible at t+1 *)
+    Helpers.check_int (Printf.sprintf "count at %d" t) (t mod 8) (value s)
+  done
+
+let test_counter_enable_stalls () =
+  let net = Net.create () in
+  let en = Net.add_input net "en" in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:2 ~enable:en in
+  let b0 = List.hd c.Workload.Gen.regs in
+  let values =
+    run_steps net 4 (fun t _ -> if t < 2 then Sim.V0 else Sim.V1) b0
+  in
+  Helpers.check_bool "stalls then toggles" true
+    (values = [ Sim.V0; Sim.V0; Sim.V0; Sim.V1 ])
+
+let test_queue_shifts_on_push () =
+  let net = Net.create () in
+  let push = Net.add_input net "push" in
+  let d = Net.add_input net "d" in
+  let q = Workload.Gen.queue net ~name:"q" ~depth:3 ~width:1 ~push ~data:[ d ] in
+  let head = List.nth q.Workload.Gen.regs 2 in
+  (* push 1, then stall, then push twice more: the 1 reaches the head
+     only after the third push *)
+  let stim t v =
+    if v = Lit.var push then
+      Sim.value_of_bool (List.nth [ true; false; true; true; false ] t)
+    else if v = Lit.var d then Sim.value_of_bool (t = 0)
+    else Sim.V0
+  in
+  let s = Sim.create net in
+  let got =
+    List.init 5 (fun t ->
+        Sim.step s (fun v -> stim t v);
+        Sim.value s head)
+  in
+  Helpers.check_bool "token arrives after the third push" true
+    (got = [ Sim.V0; Sim.V0; Sim.V0; Sim.V0; Sim.V1 ])
+
+let test_memory_write_read () =
+  let net = Net.create () in
+  let a0 = Net.add_input net "a0" in
+  let d = Net.add_input net "d" in
+  let w = Net.add_input net "w" in
+  let m =
+    Workload.Gen.memory net ~name:"m" ~rows:2 ~width:1 ~addr:[ a0 ] ~data:[ d ]
+      ~write:w
+  in
+  let row0 = List.nth m.Workload.Gen.regs 0 in
+  let row1 = List.nth m.Workload.Gen.regs 1 in
+  (* write 1 into row 1, then idle: only row 1 changes and holds *)
+  let stim t v =
+    if v = Lit.var a0 then Sim.value_of_bool (t = 0)
+    else if v = Lit.var d then Sim.value_of_bool (t = 0)
+    else if v = Lit.var w then Sim.value_of_bool (t = 0)
+    else Sim.V0
+  in
+  let s = Sim.create net in
+  let rows =
+    List.init 3 (fun t ->
+        Sim.step s (fun v -> stim t v);
+        (Sim.value s row0, Sim.value s row1))
+  in
+  Helpers.check_bool "row1 written and held, row0 untouched" true
+    (rows
+    = [ (Sim.V0, Sim.V0); (Sim.V0, Sim.V1); (Sim.V0, Sim.V1) ])
+
+let test_ring_token_rotates () =
+  let net = Net.create () in
+  let r = Workload.Gen.ring net ~name:"r" ~length:3 in
+  let positions =
+    List.map
+      (fun reg -> run_steps net 4 const_input reg)
+      r.Workload.Gen.regs
+  in
+  (* exactly one token at each step *)
+  List.iteri
+    (fun t _ ->
+      let count =
+        List.fold_left
+          (fun acc vs -> if List.nth vs t = Sim.V1 then acc + 1 else acc)
+          0 positions
+      in
+      Helpers.check_int (Printf.sprintf "one-hot at %d" t) 1 count)
+    [ 0; 1; 2; 3 ]
+
+let test_lfsr_period () =
+  (* the permutation property: a 4-bit LFSR returns to its seed and
+     never hits zero *)
+  let net = Net.create () in
+  let l = Workload.Gen.lfsr net ~name:"l" ~bits:4 in
+  let s = Sim.create net in
+  let states =
+    List.init 20 (fun _ ->
+        Sim.step s (fun _ -> Sim.V0);
+        List.map (fun r -> Sim.value s r) l.Workload.Gen.regs)
+  in
+  Helpers.check_bool "never all-zero" true
+    (List.for_all (fun st -> List.exists (( = ) Sim.V1) st) states);
+  Helpers.check_bool "revisits a state (periodic)" true
+    (List.length (List.sort_uniq compare states) < 20)
+
+let test_pipeline_delay () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let p = Workload.Gen.pipeline net ~name:"p" ~stages:4 ~data:a in
+  let stim t v = if v = Lit.var a then Sim.value_of_bool (t = 0) else Sim.V0 in
+  let s = Sim.create net in
+  let got =
+    List.init 6 (fun t ->
+        Sim.step s (fun v -> stim t v);
+        Sim.value s p.Workload.Gen.out)
+  in
+  Helpers.check_bool "pulse emerges after 4 steps" true
+    (got = [ Sim.V0; Sim.V0; Sim.V0; Sim.V0; Sim.V1; Sim.V0 ])
+
+let test_com_guard_semantically_false () =
+  let net = Net.create () in
+  let rng = Workload.Rng.create 11 in
+  let ins = List.init 4 (fun i -> Net.add_input net (Printf.sprintf "i%d" i)) in
+  let g = Workload.Gen.com_guard net rng ~inputs:ins in
+  (* exhaustively false *)
+  for bits = 0 to 15 do
+    let s = Sim.create net in
+    Sim.step s (fun v ->
+        match List.find_index (Lit.equal (Lit.make v)) ins with
+        | Some i -> Sim.value_of_bool (bits land (1 lsl i) <> 0)
+        | None -> Sim.V0);
+    Helpers.check_bool "guard false" true (Sim.value s g = Sim.V0)
+  done
+
+let test_ret_guard_semantically_false () =
+  let net = Net.create () in
+  let x = Net.add_input net "x" in
+  let y = Net.add_input net "y" in
+  let g = Workload.Gen.ret_guard net ~name:"r" ~x ~y in
+  let s = Sim.create net in
+  for t = 0 to 15 do
+    Sim.step s (fun v ->
+        Sim.value_of_bool (Hashtbl.hash (v, t) land 1 = 1));
+    Helpers.check_bool (Printf.sprintf "guard false at %d" t) true
+      (Sim.value s g = Sim.V0)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "counter counts" `Quick test_counter_counts;
+    Alcotest.test_case "counter enable stalls" `Quick test_counter_enable_stalls;
+    Alcotest.test_case "queue shifts on push" `Quick test_queue_shifts_on_push;
+    Alcotest.test_case "memory write/read" `Quick test_memory_write_read;
+    Alcotest.test_case "ring token rotates" `Quick test_ring_token_rotates;
+    Alcotest.test_case "lfsr period" `Quick test_lfsr_period;
+    Alcotest.test_case "pipeline delay" `Quick test_pipeline_delay;
+    Alcotest.test_case "com guard false" `Quick test_com_guard_semantically_false;
+    Alcotest.test_case "ret guard false" `Quick test_ret_guard_semantically_false;
+  ]

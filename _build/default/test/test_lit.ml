@@ -1,0 +1,56 @@
+module Lit = Netlist.Lit
+
+let test_constants () =
+  Helpers.check_int "false is var 0" 0 (Lit.var Lit.false_);
+  Helpers.check_int "true is var 0" 0 (Lit.var Lit.true_);
+  Helpers.check_bool "false is positive" false (Lit.is_neg Lit.false_);
+  Helpers.check_bool "true is negative" true (Lit.is_neg Lit.true_);
+  Helpers.check_bool "true = ~false" true (Lit.equal Lit.true_ (Lit.neg Lit.false_));
+  Helpers.check_bool "const detection" true (Lit.is_const Lit.true_);
+  Helpers.check_bool "var 1 not const" false (Lit.is_const (Lit.make 1))
+
+let test_make () =
+  let l = Lit.make 7 in
+  Helpers.check_int "var" 7 (Lit.var l);
+  Helpers.check_bool "positive" false (Lit.is_neg l);
+  let n = Lit.make_neg 7 in
+  Helpers.check_int "neg var" 7 (Lit.var n);
+  Helpers.check_bool "negative" true (Lit.is_neg n);
+  Helpers.check_bool "neg relation" true (Lit.equal n (Lit.neg l))
+
+let test_of_var () =
+  Helpers.check_bool "of_var pos" true
+    (Lit.equal (Lit.of_var 3 ~sign:false) (Lit.make 3));
+  Helpers.check_bool "of_var neg" true
+    (Lit.equal (Lit.of_var 3 ~sign:true) (Lit.make_neg 3))
+
+let prop_roundtrip =
+  Helpers.qtest "to_int/of_int roundtrip" QCheck.(int_bound 100000) (fun i ->
+      Lit.to_int (Lit.of_int i) = i)
+
+let prop_neg_involution =
+  Helpers.qtest "neg involution" QCheck.(int_bound 100000) (fun i ->
+      let l = Lit.of_int i in
+      Lit.equal (Lit.neg (Lit.neg l)) l && Lit.var (Lit.neg l) = Lit.var l)
+
+let prop_xor_sign =
+  Helpers.qtest "xor_sign" QCheck.(pair (int_bound 100000) bool) (fun (i, s) ->
+      let l = Lit.of_int i in
+      let r = Lit.xor_sign l s in
+      if s then Lit.equal r (Lit.neg l) else Lit.equal r l)
+
+let prop_abs =
+  Helpers.qtest "abs strips sign" QCheck.(int_bound 100000) (fun i ->
+      let l = Lit.of_int i in
+      (not (Lit.is_neg (Lit.abs l))) && Lit.var (Lit.abs l) = Lit.var l)
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "make/var/sign" `Quick test_make;
+    Alcotest.test_case "of_var" `Quick test_of_var;
+    prop_roundtrip;
+    prop_neg_involution;
+    prop_xor_sign;
+    prop_abs;
+  ]

@@ -1,0 +1,156 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Sim = Netlist.Sim
+
+(* the set of joint valuations a list of literals can produce in one
+   step, by exhaustive input enumeration (combinational cones only) *)
+let producible net lits =
+  let inputs = Net.inputs net in
+  let ni = List.length inputs in
+  assert (ni <= 12);
+  let out = Hashtbl.create 16 in
+  for bits = 0 to (1 lsl ni) - 1 do
+    let s = Sim.create net in
+    Sim.step s (fun v ->
+        match List.find_index (( = ) v) (List.map (fun x -> x) inputs) with
+        | Some i -> Sim.value_of_bool (bits land (1 lsl i) <> 0)
+        | None -> Sim.V0);
+    let key =
+      List.map
+        (fun l -> match Sim.value s l with Sim.V1 -> true | _ -> false)
+        lits
+    in
+    Hashtbl.replace out key ()
+  done;
+  Hashtbl.fold (fun k () acc -> k :: acc) out []
+  |> List.sort compare
+
+let test_image_preserved () =
+  (* cut = (a | b, a & b): image is {00, 10, 11} *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Net.add_input net "b" in
+  let hi = Net.add_or net a b in
+  let lo = Net.add_and net a b in
+  Net.add_target net "hi" hi;
+  Net.add_target net "lo" lo;
+  let before = producible net [ hi; lo ] in
+  Helpers.check_int "three producible valuations" 3 (List.length before);
+  match Transform.Parametric.run net ~cut:[ hi; lo ] with
+  | None -> Alcotest.fail "memoryless cut must re-encode"
+  | Some r ->
+    Helpers.check_bool "image size" true (r.Transform.Parametric.image_size = 3.);
+    let net' = r.Transform.Parametric.rebuilt.Transform.Rebuild.net in
+    let hi' = List.assoc "hi" (Net.targets net') in
+    let lo' = List.assoc "lo" (Net.targets net') in
+    let after = producible net' [ hi'; lo' ] in
+    Helpers.check_bool "image preserved exactly" true (before = after)
+
+let test_single_signal_becomes_free () =
+  (* a non-constant single-signal cut has image {0,1}: the whole cone
+     collapses to one fresh input *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Net.add_input net "b" in
+  let c = Net.add_input net "c" in
+  let f = Net.add_and net (Net.add_xor net a b) (Lit.neg c) in
+  Net.add_target net "f" f;
+  match Transform.Parametric.run net ~cut:[ f ] with
+  | None -> Alcotest.fail "expected re-encoding"
+  | Some r ->
+    Helpers.check_int "one parameter" 1 r.Transform.Parametric.params;
+    let net' = r.Transform.Parametric.rebuilt.Transform.Rebuild.net in
+    Helpers.check_int "cone collapsed to the parameter" 0 (Net.num_ands net');
+    Helpers.check_int "single input remains" 1 (Net.num_inputs net')
+
+let test_forced_signal () =
+  (* cut = (a | ~a, a): first component is forced to 1 *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let t = Net.add_or net a (Lit.neg a) in
+  Net.add_target net "t" t;
+  Net.add_target net "a" a;
+  match Transform.Parametric.run net ~cut:[ t; a ] with
+  | None -> Alcotest.fail "expected re-encoding"
+  | Some r ->
+    let net' = r.Transform.Parametric.rebuilt.Transform.Rebuild.net in
+    Helpers.check_bool "tautology forced to constant true" true
+      (Lit.equal (List.assoc "t" (Net.targets net')) Lit.true_)
+
+let test_stateful_cut_rejected () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let r = Net.add_reg net "r" in
+  Net.set_next net r a;
+  Net.add_target net "t" r;
+  Helpers.check_bool "register cone rejected" true
+    (Transform.Parametric.run net ~cut:[ r ] = None);
+  Helpers.check_bool "empty cut rejected" true
+    (Transform.Parametric.run net ~cut:[] = None)
+
+let test_theorem1_bound_preserved () =
+  (* a pipeline behind a re-encoded cut keeps its diameter bound *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Net.add_input net "b" in
+  let f = Net.add_xor net (Net.add_and net a b) b in
+  let p = Workload.Gen.pipeline net ~name:"p" ~stages:4 ~data:f in
+  Net.add_target net "t" p.Workload.Gen.out;
+  let before = (Core.Bound.target_named net "t").Core.Bound.bound in
+  match Transform.Parametric.run net ~cut:[ f ] with
+  | None -> Alcotest.fail "expected re-encoding"
+  | Some r ->
+    let net' = r.Transform.Parametric.rebuilt.Transform.Rebuild.net in
+    let after = (Core.Bound.target_named net' "t").Core.Bound.bound in
+    Helpers.check_int "bound unchanged (Theorem 1)" before after
+
+let prop_image_preserved_random =
+  Helpers.qtest ~count:60 "re-encoding preserves random cut images"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Workload.Rng.create seed in
+      let net = Net.create () in
+      let ins = List.init 4 (fun i -> Net.add_input net (Printf.sprintf "i%d" i)) in
+      let pool = ref ins in
+      let pick () =
+        let l = Workload.Rng.pick rng !pool in
+        if Workload.Rng.bool rng then Lit.neg l else l
+      in
+      for _ = 1 to 6 do
+        let g =
+          match Workload.Rng.int rng 3 with
+          | 0 -> Net.add_and net (pick ()) (pick ())
+          | 1 -> Net.add_or net (pick ()) (pick ())
+          | _ -> Net.add_xor net (pick ()) (pick ())
+        in
+        if not (Lit.is_const g) then pool := g :: !pool
+      done;
+      let cut_size = 1 + Workload.Rng.int rng 3 in
+      let cut = List.init cut_size (fun _ -> pick ()) in
+      List.iteri
+        (fun i l -> Net.add_target net (Printf.sprintf "c%d" i) l)
+        cut;
+      match Transform.Parametric.run net ~cut with
+      | None -> true
+      | Some r ->
+        let before = producible net cut in
+        let net' = r.Transform.Parametric.rebuilt.Transform.Rebuild.net in
+        let cut' =
+          List.mapi
+            (fun i _ -> List.assoc (Printf.sprintf "c%d" i) (Net.targets net'))
+            cut
+        in
+        let after = producible net' cut' in
+        before = after)
+
+let suite =
+  [
+    Alcotest.test_case "image preserved" `Quick test_image_preserved;
+    Alcotest.test_case "single signal becomes free" `Quick
+      test_single_signal_becomes_free;
+    Alcotest.test_case "forced signal" `Quick test_forced_signal;
+    Alcotest.test_case "stateful cut rejected" `Quick test_stateful_cut_rejected;
+    Alcotest.test_case "Theorem 1 bound preserved" `Quick
+      test_theorem1_bound_preserved;
+    prop_image_preserved_random;
+  ]

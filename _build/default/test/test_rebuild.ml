@@ -1,0 +1,100 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let test_copy_identity_semantics () =
+  let net, t = Helpers.rand_net_with_target 7 ~inputs:3 ~regs:4 ~gates:12 in
+  let copy = Transform.Rebuild.copy net in
+  let t' = Transform.Rebuild.map_lit copy t in
+  Helpers.check_bool "copy is trace-equivalent" true
+    (Transform.Equiv.sim_equivalent net t copy.Transform.Rebuild.net t')
+
+let test_coi_restriction () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let r1 = Net.add_reg net "r1" in
+  Net.set_next net r1 a;
+  (* dead register, never referenced by target *)
+  let r2 = Net.add_reg net "r2" in
+  Net.set_next net r2 (Lit.neg r2);
+  Net.add_target net "t" r1;
+  let copy = Transform.Rebuild.copy net in
+  Helpers.check_int "dead register dropped" 1
+    (Net.num_regs copy.Transform.Rebuild.net);
+  Helpers.check_bool "dead register unmapped" true
+    (copy.Transform.Rebuild.map.(Lit.var r2) = None)
+
+let test_redirect_merge () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Net.add_input net "b" in
+  let g1 = Net.add_and net a b in
+  let r = Net.add_reg net "r" in
+  Net.set_next net r g1;
+  Net.add_target net "t" r;
+  (* redirect the AND to constant true: the register's next collapses *)
+  let copy =
+    Transform.Rebuild.copy
+      ~redirect:(fun v -> if v = Lit.var g1 then Some Lit.true_ else None)
+      net
+  in
+  let r' = Transform.Rebuild.map_lit copy r in
+  let reg = Net.reg_of copy.Transform.Rebuild.net (Lit.var r') in
+  Helpers.check_bool "next redirected to true" true (Lit.equal reg.Net.next Lit.true_);
+  Helpers.check_int "no ANDs left" 0 (Net.num_ands copy.Transform.Rebuild.net)
+
+let test_redirect_with_sign () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Net.add_input net "b" in
+  let g = Net.add_and net a b in
+  Net.add_target net "t" g;
+  (* redirect b to ~a: the AND becomes a & ~a = false *)
+  let copy =
+    Transform.Rebuild.copy
+      ~redirect:(fun v -> if v = Lit.var b then Some (Lit.neg a) else None)
+      net
+  in
+  let t' = Transform.Rebuild.map_lit copy g in
+  Helpers.check_bool "folded to constant" true (Lit.equal t' Lit.false_)
+
+let test_redirect_cycle_detected () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Net.add_input net "b" in
+  Net.add_target net "t" (Net.add_and net a b);
+  let redirect v =
+    if v = Lit.var a then Some b else if v = Lit.var b then Some a else None
+  in
+  match Transform.Rebuild.copy ~redirect net with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected redirection-cycle failure"
+
+let test_outputs_remapped () =
+  let net, t = Helpers.rand_net_with_target 11 ~inputs:2 ~regs:2 ~gates:6 in
+  ignore t;
+  let copy = Transform.Rebuild.copy net in
+  Helpers.check_int "outputs kept" (List.length (Net.outputs net))
+    (List.length (Net.outputs copy.Transform.Rebuild.net));
+  Helpers.check_int "targets kept" (List.length (Net.targets net))
+    (List.length (Net.targets copy.Transform.Rebuild.net))
+
+let prop_copy_equivalence =
+  Helpers.qtest ~count:60 "copy preserves target semantics"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_net_with_target seed ~inputs:3 ~regs:3 ~gates:10 in
+      let copy = Transform.Rebuild.copy net in
+      let t' = Transform.Rebuild.map_lit copy t in
+      Transform.Equiv.sim_equivalent ~steps:16 net t
+        copy.Transform.Rebuild.net t')
+
+let suite =
+  [
+    Alcotest.test_case "copy preserves semantics" `Quick test_copy_identity_semantics;
+    Alcotest.test_case "cone-of-influence restriction" `Quick test_coi_restriction;
+    Alcotest.test_case "redirect merge" `Quick test_redirect_merge;
+    Alcotest.test_case "redirect with sign" `Quick test_redirect_with_sign;
+    Alcotest.test_case "redirect cycle detected" `Quick test_redirect_cycle_detected;
+    Alcotest.test_case "outputs remapped" `Quick test_outputs_remapped;
+    prop_copy_equivalence;
+  ]

@@ -1,0 +1,134 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let test_free_counter () =
+  (* the longest loop-free path of a free-running 2-bit counter visits
+     all 4 states: recurrence diameter 3, bound 4 *)
+  let net = Net.create () in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:2 ~enable:Lit.true_ in
+  Net.add_target net "t" c.Workload.Gen.out;
+  let r = Core.Recurrence.compute net (List.assoc "t" (Net.targets net)) in
+  Helpers.check_int "path length" 3 r.Core.Recurrence.path_length;
+  Helpers.check_int "bound" 4 r.Core.Recurrence.bound
+
+let test_pipeline_loose () =
+  (* the paper's criticism: the recurrence diameter of an n-stage
+     pipeline can be much larger than the property's diameter *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let p = Workload.Gen.pipeline net ~name:"p" ~stages:4 ~data:a in
+  Net.add_target net "t" p.Workload.Gen.out;
+  let t = List.assoc "t" (Net.targets net) in
+  let rd = Core.Recurrence.compute net t in
+  let structural = (Core.Bound.target net t).Core.Bound.bound in
+  Helpers.check_int "structural bound tight" 5 structural;
+  Helpers.check_bool "recurrence no tighter than structural" true
+    (rd.Core.Recurrence.bound >= structural)
+
+let test_combinational () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  Net.add_target net "t" a;
+  let r = Core.Recurrence.compute net (List.assoc "t" (Net.targets net)) in
+  Helpers.check_int "no state: bound 1" 1 r.Core.Recurrence.bound
+
+let test_limit_gives_huge () =
+  let net = Net.create () in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:6 ~enable:Lit.true_ in
+  Net.add_target net "t" c.Workload.Gen.out;
+  let r = Core.Recurrence.compute ~limit:10 net (List.assoc "t" (Net.targets net)) in
+  Helpers.check_bool "gave up at the limit" true
+    (Core.Sat_bound.is_huge r.Core.Recurrence.bound)
+
+let prop_recurrence_sound =
+  (* the recurrence bound covers the earliest hit *)
+  Helpers.qtest ~count:25 "recurrence bound covers earliest hit"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_net_with_target seed ~inputs:2 ~regs:4 ~gates:8 in
+      let r = Core.Recurrence.compute ~limit:40 net t in
+      if Core.Sat_bound.is_huge r.Core.Recurrence.bound then true
+      else
+        match Core.Exact.explore net t with
+        | None -> true
+        | Some e -> (
+          match e.Core.Exact.earliest_hit with
+          | None -> true
+          | Some hit -> hit <= r.Core.Recurrence.bound - 1))
+
+let prop_recurrence_at_least_init_diameter =
+  Helpers.qtest ~count:25 "recurrence bound dominates exact distances"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_net_with_target seed ~inputs:2 ~regs:4 ~gates:8 in
+      let r = Core.Recurrence.compute ~limit:40 net t in
+      if Core.Sat_bound.is_huge r.Core.Recurrence.bound then true
+      else
+        (* restrict the oracle to the same cone the engine used *)
+        match Core.Exact.explore net t with
+        | None -> true
+        | Some e -> e.Core.Exact.init_diameter <= r.Core.Recurrence.bound)
+
+let suite =
+  [
+    Alcotest.test_case "free counter" `Quick test_free_counter;
+    Alcotest.test_case "pipeline looseness" `Quick test_pipeline_loose;
+    Alcotest.test_case "combinational" `Quick test_combinational;
+    Alcotest.test_case "limit" `Quick test_limit_gives_huge;
+    prop_recurrence_sound;
+    prop_recurrence_at_least_init_diameter;
+  ]
+
+let test_bounded_coi_pipeline () =
+  (* plain recurrence diverges on a pipeline; bounded COI terminates
+     quickly at a tight bound *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let p = Workload.Gen.pipeline net ~name:"p" ~stages:6 ~data:a in
+  Net.add_target net "t" p.Workload.Gen.out;
+  let t = List.assoc "t" (Net.targets net) in
+  let plain = Core.Recurrence.compute ~limit:20 net t in
+  let bcoi = Core.Recurrence.compute ~limit:20 ~bounded_coi:true net t in
+  Helpers.check_bool "plain diverges past the limit" true
+    (Core.Sat_bound.is_huge plain.Core.Recurrence.bound);
+  Helpers.check_bool "bounded COI converges" false
+    (Core.Sat_bound.is_huge bcoi.Core.Recurrence.bound);
+  (* and the bound still covers the earliest hit (at time 6) *)
+  Helpers.check_bool "still sound" true (bcoi.Core.Recurrence.bound >= 7)
+
+let prop_bounded_coi_sound =
+  Helpers.qtest ~count:25 "bounded-COI recurrence covers earliest hit"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_net_with_target seed ~inputs:2 ~regs:4 ~gates:8 in
+      let r = Core.Recurrence.compute ~limit:32 ~bounded_coi:true net t in
+      if Core.Sat_bound.is_huge r.Core.Recurrence.bound then true
+      else
+        match Core.Exact.explore net t with
+        | None -> true
+        | Some e -> (
+          match e.Core.Exact.earliest_hit with
+          | None -> true
+          | Some hit -> hit <= r.Core.Recurrence.bound - 1))
+
+let prop_bounded_coi_finite_on_pipelines =
+  (* the variant's selling point: pipelines of any depth converge *)
+  Helpers.qtest ~count:10 "bounded COI converges on pipelines"
+    QCheck.(int_range 2 10)
+    (fun stages ->
+      let net = Net.create () in
+      let a = Net.add_input net "a" in
+      let p = Workload.Gen.pipeline net ~name:"p" ~stages ~data:a in
+      Net.add_target net "t" p.Workload.Gen.out;
+      let t = List.assoc "t" (Net.targets net) in
+      let r = Core.Recurrence.compute ~limit:40 ~bounded_coi:true net t in
+      (not (Core.Sat_bound.is_huge r.Core.Recurrence.bound))
+      && r.Core.Recurrence.bound >= stages + 1)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "bounded COI on pipelines" `Quick test_bounded_coi_pipeline;
+      prop_bounded_coi_sound;
+      prop_bounded_coi_finite_on_pipelines;
+    ]

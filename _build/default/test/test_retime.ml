@@ -1,0 +1,164 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let test_pipeline_fully_peeled () =
+  (* input-fed pipeline: all registers dissolve into the target skew *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let block = Workload.Gen.pipeline net ~name:"p" ~stages:5 ~data:a in
+  Net.add_target net "t" block.Workload.Gen.out;
+  let r = Transform.Retime.run net in
+  Helpers.check_int "no registers left" 0
+    (Net.num_regs r.Transform.Retime.rebuilt.Transform.Rebuild.net);
+  Helpers.check_int "skew equals depth" 5 (List.assoc "t" r.Transform.Retime.target_skews);
+  Helpers.check_int "moved" 5 r.Transform.Retime.moved_regs
+
+let test_cyclic_registers_preserved () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let block = Workload.Gen.counter net ~name:"c" ~bits:3 ~enable:a in
+  Net.add_target net "t" block.Workload.Gen.out;
+  let r = Transform.Retime.run net in
+  Helpers.check_int "counter untouched" 3
+    (Net.num_regs r.Transform.Retime.rebuilt.Transform.Rebuild.net);
+  Helpers.check_int "no skew" 0 (List.assoc "t" r.Transform.Retime.target_skews)
+
+let test_reconvergence_partial_peel () =
+  (* two pipelines of different depth joined by an AND: only the
+     shorter depth can be peeled *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Net.add_input net "b" in
+  let p1 = Workload.Gen.pipeline net ~name:"p1" ~stages:4 ~data:a in
+  let p2 = Workload.Gen.pipeline net ~name:"p2" ~stages:1 ~data:b in
+  let t = Net.add_and net p1.Workload.Gen.out p2.Workload.Gen.out in
+  Net.add_target net "t" t;
+  let r = Transform.Retime.run net in
+  Helpers.check_int "skew is the shorter depth" 1
+    (List.assoc "t" r.Transform.Retime.target_skews);
+  Helpers.check_int "residual registers" 3
+    (Net.num_regs r.Transform.Retime.rebuilt.Transform.Rebuild.net)
+
+let test_skew_equivalence () =
+  (* the retimed target leads the original by the skew *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Net.add_input net "b" in
+  let g = Net.add_xor net a b in
+  let block = Workload.Gen.pipeline net ~name:"p" ~stages:3 ~data:g in
+  Net.add_target net "t" block.Workload.Gen.out;
+  let r = Transform.Retime.run net in
+  let skew = List.assoc "t" r.Transform.Retime.target_skews in
+  let net' = r.Transform.Retime.rebuilt.Transform.Rebuild.net in
+  let t' = List.assoc "t" (Net.targets net') in
+  let t = List.assoc "t" (Net.targets net) in
+  Helpers.check_bool "trace equivalent modulo skew" true
+    (Transform.Equiv.sim_equivalent ~skew net t net' t')
+
+let test_ret_guard_collapses () =
+  (* the workload's RET gadget: the guard pipelines normalize onto one
+     shared chain and the XOR folds to constant false *)
+  let net = Net.create () in
+  let x = Net.add_input net "x" in
+  let y = Net.add_input net "y" in
+  let guard = Workload.Gen.ret_guard net ~name:"g" ~x ~y in
+  Net.add_target net "t" guard;
+  let r = Transform.Retime.run net in
+  let t' =
+    List.assoc "t" (Net.targets r.Transform.Retime.rebuilt.Transform.Rebuild.net)
+  in
+  Helpers.check_bool "guard constant after retiming" true (Lit.equal t' Lit.false_)
+
+let test_latch_rejected () =
+  let net = Net.create ~phases:2 () in
+  let a = Net.add_input net "a" in
+  let l = Net.add_latch net ~phase:0 "l" in
+  Net.set_latch_data net l a;
+  Net.add_target net "t" l;
+  match Transform.Retime.run net with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "latch netlists must be rejected"
+
+let test_chain_sharing () =
+  (* two targets on the same pipeline at different depths share the
+     rebuilt chain *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let p = Workload.Gen.pipeline net ~name:"p" ~stages:4 ~data:a in
+  let mid = List.nth p.Workload.Gen.regs 1 in
+  Net.add_target net "deep" p.Workload.Gen.out;
+  Net.add_target net "mid" mid;
+  let r = Transform.Retime.run net in
+  Helpers.check_int "both targets peel fully" 0
+    (Net.num_regs r.Transform.Retime.rebuilt.Transform.Rebuild.net);
+  Helpers.check_int "deep skew" 4 (List.assoc "deep" r.Transform.Retime.target_skews);
+  Helpers.check_int "mid skew" 2 (List.assoc "mid" r.Transform.Retime.target_skews)
+
+let prop_bound_soundness_after_retime =
+  (* Theorem 2 end-to-end: on random structured designs, the
+     translated bound d(retimed) + skew still covers the earliest
+     possible hit of the original target *)
+  Helpers.qtest ~count:40 "translated bound covers earliest hit"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_structured seed in
+      let r = Transform.Retime.run net in
+      let skew = List.assoc "t" r.Transform.Retime.target_skews in
+      let net' = r.Transform.Retime.rebuilt.Transform.Rebuild.net in
+      let b = Core.Bound.target_named net' "t" in
+      let translated =
+        (Core.Translate.retiming ~skew).Core.Translate.apply b.Core.Bound.bound
+      in
+      if Core.Sat_bound.is_huge translated then true
+      else
+        match Core.Exact.explore net t with
+        | None -> true
+        | Some e -> (
+          match e.Core.Exact.earliest_hit with
+          | None -> true
+          | Some hit -> hit <= translated - 1))
+
+let prop_semantics_on_binary_init =
+  (* on designs whose stump resolves to constants, the retimed netlist
+     is exactly trace-equivalent modulo skew *)
+  Helpers.qtest ~count:40 "skewed trace equivalence"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Workload.Rng.create seed in
+      let net = Net.create () in
+      let ins = List.init 3 (fun i -> Net.add_input net (Printf.sprintf "i%d" i)) in
+      (* pipelines over input logic: constant-0 initial values, fully
+         constant stump *)
+      let outs =
+        List.init
+          (1 + Workload.Rng.int rng 3)
+          (fun i ->
+            let a = Workload.Rng.pick rng ins in
+            let b = Workload.Rng.pick rng ins in
+            let data = Net.add_xor net a b in
+            (Workload.Gen.pipeline net
+               ~name:(Printf.sprintf "p%d" i)
+               ~stages:(1 + Workload.Rng.int rng 4)
+               ~data)
+              .Workload.Gen.out)
+      in
+      let t = List.fold_left (Net.add_or net) (List.hd outs) (List.tl outs) in
+      Net.add_target net "t" t;
+      let r = Transform.Retime.run net in
+      let skew = List.assoc "t" r.Transform.Retime.target_skews in
+      let net' = r.Transform.Retime.rebuilt.Transform.Rebuild.net in
+      let t' = List.assoc "t" (Net.targets net') in
+      Transform.Equiv.sim_equivalent ~skew ~steps:16 net t net' t')
+
+let suite =
+  [
+    Alcotest.test_case "pipeline fully peeled" `Quick test_pipeline_fully_peeled;
+    Alcotest.test_case "cyclic registers preserved" `Quick test_cyclic_registers_preserved;
+    Alcotest.test_case "reconvergence partial peel" `Quick test_reconvergence_partial_peel;
+    Alcotest.test_case "skew equivalence" `Quick test_skew_equivalence;
+    Alcotest.test_case "RET guard collapses" `Quick test_ret_guard_collapses;
+    Alcotest.test_case "latches rejected" `Quick test_latch_rejected;
+    Alcotest.test_case "chain sharing" `Quick test_chain_sharing;
+    prop_bound_soundness_after_retime;
+    prop_semantics_on_binary_init;
+  ]

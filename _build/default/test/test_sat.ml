@@ -1,0 +1,156 @@
+module Solver = Sat.Solver
+module Cnf = Sat.Cnf
+
+let random_cnf seed =
+  let rng = Workload.Rng.create seed in
+  let nv = 1 + Workload.Rng.int rng 10 in
+  let nc = 1 + Workload.Rng.int rng 35 in
+  let clauses =
+    List.init nc (fun _ ->
+        let len = 1 + Workload.Rng.int rng 4 in
+        List.init len (fun _ ->
+            let v = Workload.Rng.int rng nv in
+            if Workload.Rng.bool rng then Solver.pos v else Solver.neg_of v))
+  in
+  { Cnf.num_vars = nv; clauses }
+
+let prop_agrees_with_brute_force =
+  Helpers.qtest ~count:300 "solver agrees with exhaustive search"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let cnf = random_cnf seed in
+      let s = Solver.create () in
+      Cnf.load s cnf;
+      match (Solver.solve s, Cnf.brute_force cnf) with
+      | Solver.Sat, Some _ -> Cnf.eval (Solver.model s) cnf
+      | Solver.Unsat, None -> true
+      | Solver.Sat, None | Solver.Unsat, Some _ -> false)
+
+let prop_assumptions =
+  Helpers.qtest ~count:200 "assumptions behave as temporary units"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Workload.Rng.create (seed + 17) in
+      let cnf = random_cnf seed in
+      let s = Solver.create () in
+      Cnf.load s cnf;
+      let assumptions =
+        List.init
+          (1 + Workload.Rng.int rng 3)
+          (fun _ ->
+            let v = Workload.Rng.int rng cnf.Cnf.num_vars in
+            if Workload.Rng.bool rng then Solver.pos v else Solver.neg_of v)
+      in
+      let strengthened =
+        { cnf with Cnf.clauses = List.map (fun a -> [ a ]) assumptions @ cnf.Cnf.clauses }
+      in
+      match (Solver.solve ~assumptions s, Cnf.brute_force strengthened) with
+      | Solver.Sat, Some _ -> Cnf.eval (Solver.model s) strengthened
+      | Solver.Unsat, None -> true
+      | Solver.Sat, None | Solver.Unsat, Some _ -> false)
+
+let prop_incremental_reuse =
+  Helpers.qtest ~count:100 "solver usable across growing clause sets"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      (* add clauses in two batches; second solve must account for
+         everything *)
+      let cnf = random_cnf seed in
+      let n = List.length cnf.Cnf.clauses in
+      let first = List.filteri (fun i _ -> i < n / 2) cnf.Cnf.clauses in
+      let second = List.filteri (fun i _ -> i >= n / 2) cnf.Cnf.clauses in
+      let s = Solver.create () in
+      Cnf.load s { cnf with Cnf.clauses = first };
+      ignore (Solver.solve s);
+      List.iter (Solver.add_clause s) second;
+      match (Solver.solve s, Cnf.brute_force cnf) with
+      | Solver.Sat, Some _ -> Cnf.eval (Solver.model s) cnf
+      | Solver.Unsat, None -> true
+      | Solver.Sat, None | Solver.Unsat, Some _ -> false)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  ignore (Solver.new_var s);
+  Solver.add_clause s [];
+  Helpers.check_bool "empty clause unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_unit_propagation () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Solver.pos a ];
+  Solver.add_clause s [ Solver.neg_of a; Solver.pos b ];
+  Helpers.check_bool "sat" true (Solver.solve s = Solver.Sat);
+  Helpers.check_bool "a forced" true (Solver.value s (Solver.pos a));
+  Helpers.check_bool "b forced" true (Solver.value s (Solver.pos b))
+
+let test_tautology_dropped () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Solver.add_clause s [ Solver.pos a; Solver.neg_of a ];
+  Helpers.check_bool "tautology harmless" true (Solver.solve s = Solver.Sat)
+
+let test_conflicting_units () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Solver.add_clause s [ Solver.pos a ];
+  Solver.add_clause s [ Solver.neg_of a ];
+  Helpers.check_bool "unsat" true (Solver.solve s = Solver.Unsat);
+  (* and permanently so *)
+  Helpers.check_bool "still unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_unsat_core_free_after_assumptions () =
+  (* assumption-driven Unsat must not poison later solves *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Solver.pos a; Solver.pos b ];
+  Helpers.check_bool "unsat under assumptions" true
+    (Solver.solve ~assumptions:[ Solver.neg_of a; Solver.neg_of b ] s
+    = Solver.Unsat);
+  Helpers.check_bool "sat afterwards" true (Solver.solve s = Solver.Sat)
+
+let test_pigeonhole () =
+  (* PHP(4,3): 4 pigeons in 3 holes, unsatisfiable; exercises conflict
+     analysis, learning and restarts *)
+  let s = Solver.create () in
+  let var = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Solver.new_var s)) in
+  for p = 0 to 3 do
+    Solver.add_clause s (List.init 3 (fun h -> Solver.pos var.(p).(h)))
+  done;
+  for h = 0 to 2 do
+    for p1 = 0 to 3 do
+      for p2 = p1 + 1 to 3 do
+        Solver.add_clause s
+          [ Solver.neg_of var.(p1).(h); Solver.neg_of var.(p2).(h) ]
+      done
+    done
+  done;
+  Helpers.check_bool "php(4,3) unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_dimacs_roundtrip () =
+  let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let cnf = Sat.Dimacs.parse text in
+  Helpers.check_int "vars" 3 cnf.Cnf.num_vars;
+  Helpers.check_int "clauses" 2 (List.length cnf.Cnf.clauses);
+  let s = Solver.create () in
+  Cnf.load s cnf;
+  Helpers.check_bool "sat" true (Solver.solve s = Solver.Sat)
+
+let test_dimacs_errors () =
+  Alcotest.check_raises "unterminated clause"
+    (Failure "Dimacs.parse: unterminated clause") (fun () ->
+      ignore (Sat.Dimacs.parse "p cnf 2 1\n1 2"))
+
+let suite =
+  [
+    Alcotest.test_case "empty clause" `Quick test_empty_clause;
+    Alcotest.test_case "unit propagation" `Quick test_unit_propagation;
+    Alcotest.test_case "tautology dropped" `Quick test_tautology_dropped;
+    Alcotest.test_case "conflicting units" `Quick test_conflicting_units;
+    Alcotest.test_case "assumptions reset" `Quick test_unsat_core_free_after_assumptions;
+    Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole;
+    Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+    Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors;
+    prop_agrees_with_brute_force;
+    prop_assumptions;
+    prop_incremental_reuse;
+  ]

@@ -1,0 +1,95 @@
+module Scc = Netlist.Scc
+
+(* brute-force SCC: mutual reachability *)
+let brute_scc n succ =
+  let reach = Array.make_matrix n n false in
+  for v = 0 to n - 1 do
+    let rec dfs w =
+      List.iter
+        (fun x ->
+          if not reach.(v).(x) then begin
+            reach.(v).(x) <- true;
+            dfs x
+          end)
+        (succ w)
+    in
+    dfs v
+  done;
+  Array.init n (fun v ->
+      Array.init n (fun w -> (v = w) || (reach.(v).(w) && reach.(w).(v))))
+
+let random_graph seed n =
+  let rng = Workload.Rng.create seed in
+  let edges = Array.make n [] in
+  let m = Workload.Rng.int rng (2 * n) in
+  for _ = 1 to m do
+    let a = Workload.Rng.int rng n and b = Workload.Rng.int rng n in
+    edges.(a) <- b :: edges.(a)
+  done;
+  fun v -> edges.(v)
+
+let prop_matches_brute =
+  Helpers.qtest ~count:200 "SCC matches mutual reachability"
+    QCheck.(pair (int_bound 100000) (int_range 1 10))
+    (fun (seed, n) ->
+      let succ = random_graph seed n in
+      let scc = Scc.compute n succ in
+      let brute = brute_scc n succ in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        for w = 0 to n - 1 do
+          let same = scc.Scc.component.(v) = scc.Scc.component.(w) in
+          if same <> brute.(v).(w) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_emission_order =
+  Helpers.qtest ~count:200 "components emitted dependencies-first"
+    QCheck.(pair (int_bound 100000) (int_range 1 10))
+    (fun (seed, n) ->
+      (* with successors as edges, a component reached from v is
+         emitted no later than v's component *)
+      let succ = random_graph seed n in
+      let scc = Scc.compute n succ in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        List.iter
+          (fun w ->
+            if scc.Scc.component.(w) > scc.Scc.component.(v) then ok := false)
+          (succ v)
+      done;
+      !ok)
+
+let test_chain () =
+  (* 0 -> 1 -> 2: three singleton components *)
+  let succ = function 0 -> [ 1 ] | 1 -> [ 2 ] | _ -> [] in
+  let scc = Scc.compute 3 succ in
+  Helpers.check_int "three components" 3 (Array.length scc.Scc.members);
+  Helpers.check_bool "distinct" true
+    (scc.Scc.component.(0) <> scc.Scc.component.(1)
+    && scc.Scc.component.(1) <> scc.Scc.component.(2))
+
+let test_cycle () =
+  let succ = function 0 -> [ 1 ] | 1 -> [ 2 ] | _ -> [ 0 ] in
+  let scc = Scc.compute 3 succ in
+  Helpers.check_int "one component" 1 (Array.length scc.Scc.members);
+  Helpers.check_bool "cyclic" true
+    (Scc.is_cyclic scc ~self_loop:(fun _ -> false) 1)
+
+let test_self_loop () =
+  let succ = function 0 -> [ 0 ] | _ -> [] in
+  let scc = Scc.compute 2 succ in
+  Helpers.check_bool "self loop cyclic" true
+    (Scc.is_cyclic scc ~self_loop:(fun v -> v = 0) 0);
+  Helpers.check_bool "isolated acyclic" false
+    (Scc.is_cyclic scc ~self_loop:(fun v -> v = 0) 1)
+
+let suite =
+  [
+    Alcotest.test_case "chain" `Quick test_chain;
+    Alcotest.test_case "cycle" `Quick test_cycle;
+    Alcotest.test_case "self loop" `Quick test_self_loop;
+    prop_matches_brute;
+    prop_emission_order;
+  ]

@@ -1,0 +1,149 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Sim = Netlist.Sim
+module Bsim = Netlist.Bsim
+
+let test_three_valued_ops () =
+  Helpers.check_bool "0 & x = 0" true (Sim.v_and Sim.V0 Sim.Vx = Sim.V0);
+  Helpers.check_bool "1 & x = x" true (Sim.v_and Sim.V1 Sim.Vx = Sim.Vx);
+  Helpers.check_bool "1 & 1 = 1" true (Sim.v_and Sim.V1 Sim.V1 = Sim.V1);
+  Helpers.check_bool "~x = x" true (Sim.v_not Sim.Vx = Sim.Vx);
+  Helpers.check_bool "~0 = 1" true (Sim.v_not Sim.V0 = Sim.V1)
+
+let test_combinational () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let b = Net.add_input net "b" in
+  let g = Net.add_xor net a b in
+  let s = Sim.create net in
+  Sim.step s (fun v ->
+      if v = Lit.var a then Sim.V1 else if v = Lit.var b then Sim.V0 else Sim.Vx);
+  Helpers.check_bool "1 xor 0" true (Sim.value s g = Sim.V1);
+  Sim.step s (fun _ -> Sim.V1);
+  Helpers.check_bool "1 xor 1" true (Sim.value s g = Sim.V0)
+
+let test_register_delay () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let r = Net.add_reg net ~init:Net.Init1 "r" in
+  Net.set_next net r a;
+  let s = Sim.create net in
+  Sim.step s (fun _ -> Sim.V0);
+  Helpers.check_bool "initial value visible at t=0" true (Sim.value s r = Sim.V1);
+  Sim.step s (fun _ -> Sim.V1);
+  Helpers.check_bool "t=1 sees input from t=0" true (Sim.value s r = Sim.V0);
+  Sim.step s (fun _ -> Sim.V0);
+  Helpers.check_bool "t=2 sees input from t=1" true (Sim.value s r = Sim.V1)
+
+let test_counter_behaviour () =
+  let net = Net.create () in
+  let block = Workload.Gen.counter net ~name:"c" ~bits:3 ~enable:Lit.true_ in
+  let s = Sim.create net in
+  (* free-running 3-bit counter: all-ones first observed at t = 7 *)
+  let hit = ref (-1) in
+  for t = 0 to 8 do
+    Sim.step s (fun _ -> Sim.V0);
+    if !hit < 0 && Sim.value s block.Workload.Gen.out = Sim.V1 then hit := t
+  done;
+  Helpers.check_int "all-ones at t=7" 7 !hit
+
+let test_x_propagation () =
+  let net = Net.create () in
+  let r = Net.add_reg net ~init:Net.Init_x "r" in
+  Net.set_next net r r;
+  let s = Sim.create net in
+  Sim.step s (fun _ -> Sim.V0);
+  Helpers.check_bool "X init stays X" true (Sim.value s r = Sim.Vx);
+  (* but a resolved simulation picks a boolean *)
+  let s' = Sim.create_resolved ~seed:1 net in
+  Sim.step s' (fun _ -> Sim.V0);
+  Helpers.check_bool "resolved init is binary" true (Sim.value s' r <> Sim.Vx)
+
+let test_latch_transparency () =
+  let net = Net.create ~phases:2 () in
+  let a = Net.add_input net "a" in
+  let l = Net.add_latch net ~init:Net.Init0 ~phase:0 "l" in
+  Net.set_latch_data net l a;
+  let s = Sim.create net in
+  (* phase 0 at even times: transparent *)
+  Sim.step s (fun _ -> Sim.V1);
+  Helpers.check_bool "transparent at t=0" true (Sim.value s l = Sim.V1);
+  (* phase 1 at odd times: holds the sampled value *)
+  Sim.step s (fun _ -> Sim.V0);
+  Helpers.check_bool "holds at t=1" true (Sim.value s l = Sim.V1);
+  Sim.step s (fun _ -> Sim.V0);
+  Helpers.check_bool "transparent again at t=2" true (Sim.value s l = Sim.V0)
+
+let test_latch_chain () =
+  (* master/slave pair behaves as a register at odd times *)
+  let net = Net.create ~phases:2 () in
+  let a = Net.add_input net "a" in
+  let m = Net.add_latch net ~init:Net.Init0 ~phase:0 "m" in
+  let sl = Net.add_latch net ~init:Net.Init0 ~phase:1 "s" in
+  Net.set_latch_data net m a;
+  Net.set_latch_data net sl m;
+  let s = Sim.create net in
+  Sim.step s (fun _ -> Sim.V1);
+  Helpers.check_bool "slave holds init at t=0" true (Sim.value s sl = Sim.V0);
+  Sim.step s (fun _ -> Sim.V0);
+  Helpers.check_bool "slave publishes sample at t=1" true (Sim.value s sl = Sim.V1)
+
+let prop_bsim_agrees_with_sim =
+  (* each lane of the bit-parallel simulator follows netlist semantics:
+     compare AND-consistency of every gate at each step *)
+  Helpers.qtest ~count:50 "bit-parallel lanes consistent"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Workload.Rng.create seed in
+      let net, _ = Helpers.rand_net rng ~inputs:3 ~regs:3 ~gates:10 in
+      let s = Bsim.create ~seed net in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        Bsim.step_random s;
+        Net.iter_nodes net (fun v node ->
+            match node with
+            | Net.And (a, b) ->
+              let got = Bsim.word s (Lit.make v) in
+              let expect = Int64.logand (Bsim.word s a) (Bsim.word s b) in
+              if not (Int64.equal got expect) then ok := false
+            | Net.Const | Net.Input _ | Net.Reg _ | Net.Latch _ -> ())
+      done;
+      !ok)
+
+let prop_signature_complement =
+  Helpers.qtest ~count:50 "signature of complement is complement"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Workload.Rng.create seed in
+      let net, pool = Helpers.rand_net rng ~inputs:3 ~regs:2 ~gates:8 in
+      let sigs = Bsim.signatures ~seed ~steps:9 net in
+      (* sanity via canonical_signature on an arbitrary vertex *)
+      List.for_all
+        (fun l ->
+          let s = sigs.(Lit.var l) in
+          let c, flipped = Bsim.canonical_signature s in
+          if flipped then Int64.equal c (Int64.lognot s) else Int64.equal c s)
+        pool)
+
+let test_run_helper () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let r = Net.add_reg net "r" in
+  Net.set_next net r a;
+  let values = Sim.run net [ [ true ]; [ false ]; [ true ] ] r in
+  Helpers.check_bool "delayed input stream" true
+    (values = [ Sim.V0; Sim.V1; Sim.V0 ])
+
+let suite =
+  [
+    Alcotest.test_case "three-valued operators" `Quick test_three_valued_ops;
+    Alcotest.test_case "combinational evaluation" `Quick test_combinational;
+    Alcotest.test_case "register delay" `Quick test_register_delay;
+    Alcotest.test_case "counter behaviour" `Quick test_counter_behaviour;
+    Alcotest.test_case "X propagation" `Quick test_x_propagation;
+    Alcotest.test_case "latch transparency" `Quick test_latch_transparency;
+    Alcotest.test_case "latch master/slave chain" `Quick test_latch_chain;
+    Alcotest.test_case "Sim.run helper" `Quick test_run_helper;
+    prop_bsim_agrees_with_sim;
+    prop_signature_complement;
+  ]

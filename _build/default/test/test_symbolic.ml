@@ -1,0 +1,90 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let test_counter_depth () =
+  let net = Net.create () in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:4 ~enable:Lit.true_ in
+  Net.add_target net "t" c.Workload.Gen.out;
+  let t = List.assoc "t" (Net.targets net) in
+  match Core.Symbolic.explore net t with
+  | None -> Alcotest.fail "small counter must be explorable"
+  | Some r ->
+    Helpers.check_int "sequential depth 15" 15 r.Core.Symbolic.sequential_depth;
+    Helpers.check_bool "16 states" true (r.Core.Symbolic.reachable = 16.);
+    Helpers.check_bool "hit at 15" true (r.Core.Symbolic.earliest_hit = Some 15)
+
+let test_queue_beyond_explicit_limit () =
+  (* 20 registers: past the explicit oracle's default, fine for BDDs *)
+  let net = Net.create () in
+  let push = Net.add_input net "push" in
+  let d = Net.add_input net "d" in
+  let q = Workload.Gen.queue net ~name:"q" ~depth:20 ~width:1 ~push ~data:[ d ] in
+  Net.add_target net "t" q.Workload.Gen.out;
+  let t = List.assoc "t" (Net.targets net) in
+  Helpers.check_bool "explicit oracle declines" true
+    (Core.Exact.explore net t = None);
+  match Core.Symbolic.explore net t with
+  | None -> Alcotest.fail "symbolic oracle should handle 20 registers"
+  | Some r ->
+    Helpers.check_int "fills in 20 pushes" 20 r.Core.Symbolic.sequential_depth;
+    Helpers.check_bool "2^20 states" true (r.Core.Symbolic.reachable = 1048576.);
+    Helpers.check_bool "head filled after 20 pushes" true
+      (r.Core.Symbolic.earliest_hit = Some 20)
+
+let test_x_init () =
+  let net = Net.create () in
+  let r = Net.add_reg net ~init:Net.Init_x "r" in
+  Net.set_next net r r;
+  Net.add_target net "t" r;
+  match Core.Symbolic.explore net (List.assoc "t" (Net.targets net)) with
+  | None -> Alcotest.fail "explorable"
+  | Some res ->
+    Helpers.check_bool "both initial states" true (res.Core.Symbolic.reachable = 2.);
+    Helpers.check_bool "hit at 0" true (res.Core.Symbolic.earliest_hit = Some 0)
+
+let test_limits () =
+  let net = Net.create () in
+  let l = Workload.Gen.lfsr net ~name:"l" ~bits:8 in
+  Net.add_target net "t" l.Workload.Gen.out;
+  Helpers.check_bool "reg limit respected" true
+    (Core.Symbolic.explore ~reg_limit:4 net (List.assoc "t" (Net.targets net))
+    = None)
+
+let prop_agrees_with_explicit =
+  Helpers.qtest ~count:40 "symbolic and explicit oracles agree"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_net_with_target seed ~inputs:3 ~regs:4 ~gates:10 in
+      match (Core.Symbolic.explore net t, Core.Exact.explore net t) with
+      | Some s, Some e ->
+        s.Core.Symbolic.sequential_depth + 1 = e.Core.Exact.init_diameter
+        && s.Core.Symbolic.reachable = float_of_int e.Core.Exact.reachable
+        && s.Core.Symbolic.earliest_hit = e.Core.Exact.earliest_hit
+      | None, _ | _, None -> true)
+
+let prop_structural_bound_dominates =
+  (* the overapproximation story end-to-end: d̂ >= exact sequential
+     depth + 1 whenever both are available *)
+  Helpers.qtest ~count:40 "structural bound dominates the exact depth"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_structured seed in
+      match Core.Symbolic.explore net t with
+      | None -> true
+      | Some s -> (
+        match s.Core.Symbolic.earliest_hit with
+        | None -> true
+        | Some hit ->
+          let b = (Core.Bound.target net t).Core.Bound.bound in
+          Core.Sat_bound.is_huge b || hit <= b - 1))
+
+let suite =
+  [
+    Alcotest.test_case "counter depth" `Quick test_counter_depth;
+    Alcotest.test_case "queue past explicit limit" `Quick
+      test_queue_beyond_explicit_limit;
+    Alcotest.test_case "X init" `Quick test_x_init;
+    Alcotest.test_case "limits" `Quick test_limits;
+    prop_agrees_with_explicit;
+    prop_structural_bound_dominates;
+  ]

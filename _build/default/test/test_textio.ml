@@ -1,0 +1,111 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Sim = Netlist.Sim
+
+let sample_bench =
+  "# sample\n\
+   INPUT(a)\n\
+   INPUT(b)\n\
+   OUTPUT(z)\n\
+   g1 = AND(a, b)\n\
+   g2 = NOT(g1)\n\
+   r = DFF(g2, 1)\n\
+   z = OR(r, g1)\n"
+
+let test_parse_basics () =
+  let net = Textio.Bench_io.parse sample_bench in
+  Helpers.check_int "inputs" 2 (Net.num_inputs net);
+  Helpers.check_int "regs" 1 (Net.num_regs net);
+  Helpers.check_int "targets from outputs" 1 (List.length (Net.targets net));
+  let r = List.find (fun v -> Net.is_reg net v) (Net.regs net) in
+  Helpers.check_bool "init preserved" true ((Net.reg_of net r).Net.r_init = Net.Init1)
+
+let test_parse_multi_arity () =
+  let net =
+    Textio.Bench_io.parse
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\nz = NAND(a, b, c)\n"
+  in
+  (* NAND3 = ~(a & b & c): check by simulation *)
+  let z = List.assoc "z" (Net.outputs net) in
+  let got = Sim.run net [ [ true; true; true ]; [ true; false; true ] ] z in
+  Helpers.check_bool "nand3 semantics" true (got = [ Sim.V0; Sim.V1 ])
+
+let test_parse_forward_reference () =
+  let net =
+    Textio.Bench_io.parse
+      "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(later, a)\nlater = NOT(b)\n"
+  in
+  Helpers.check_int "one and" 1 (Net.num_ands net)
+
+let test_parse_sequential_cycle () =
+  let net =
+    Textio.Bench_io.parse
+      "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(q, a)\n"
+  in
+  Helpers.check_int "reg" 1 (Net.num_regs net);
+  (* toggles whenever a is high *)
+  let q = List.assoc "q" (Net.outputs net) in
+  let got = Sim.run net [ [ true ]; [ true ]; [ false ] ] q in
+  Helpers.check_bool "toggle" true (got = [ Sim.V0; Sim.V1; Sim.V0 ])
+
+let test_parse_errors () =
+  let expect_fail text =
+    match Textio.Bench_io.parse text with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected parse failure"
+  in
+  expect_fail "z = AND(a)\nOUTPUT(z)\n";
+  (* undefined a *)
+  expect_fail "INPUT(a)\nz = FROB(a)\nOUTPUT(z)\n";
+  expect_fail "INPUT(a)\nz = NOT(a, a)\nOUTPUT(z)\n";
+  expect_fail "INPUT(a)\nz = AND(z, a)\nOUTPUT(z)\n" (* combinational cycle *)
+
+let test_latch_extension () =
+  let net =
+    Textio.Bench_io.parse
+      "INPUT(a)\nOUTPUT(z)\nm = LATCH(a, 0)\nz = LATCH(m, 1)\n"
+  in
+  Helpers.check_int "latches" 2 (Net.num_latches net);
+  Helpers.check_int "phases" 2 (Net.phases net)
+
+let roundtrip net =
+  Textio.Bench_io.parse (Textio.Bench_io.to_string net)
+
+let test_bench_roundtrip_semantics () =
+  let net, _ = Helpers.rand_net_with_target 42 ~inputs:3 ~regs:4 ~gates:12 in
+  let back = roundtrip net in
+  let t1 = List.assoc "t" (Net.targets net) in
+  let t2 = List.assoc "t" (Net.targets back) in
+  Helpers.check_bool "roundtrip preserves target semantics" true
+    (Transform.Equiv.sim_equivalent net t1 back t2)
+
+let prop_netfmt_roundtrip =
+  Helpers.qtest ~count:100 "netfmt roundtrip is exact"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, _ = Helpers.rand_net_with_target seed ~inputs:3 ~regs:3 ~gates:10 in
+      let back = Textio.Netfmt.of_string (Textio.Netfmt.to_string net) in
+      String.equal (Textio.Netfmt.to_string net) (Textio.Netfmt.to_string back))
+
+let prop_bench_roundtrip_equiv =
+  Helpers.qtest ~count:40 "bench roundtrip preserves semantics"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, _ = Helpers.rand_net_with_target seed ~inputs:3 ~regs:3 ~gates:8 in
+      let back = roundtrip net in
+      let t1 = List.assoc "t" (Net.targets net) in
+      let t2 = List.assoc "t" (Net.targets back) in
+      Transform.Equiv.sim_equivalent ~steps:12 net t1 back t2)
+
+let suite =
+  [
+    Alcotest.test_case "parse basics" `Quick test_parse_basics;
+    Alcotest.test_case "multi-arity gates" `Quick test_parse_multi_arity;
+    Alcotest.test_case "forward references" `Quick test_parse_forward_reference;
+    Alcotest.test_case "sequential cycles" `Quick test_parse_sequential_cycle;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "latch extension" `Quick test_latch_extension;
+    Alcotest.test_case "bench roundtrip" `Quick test_bench_roundtrip_semantics;
+    prop_netfmt_roundtrip;
+    prop_bench_roundtrip_equiv;
+  ]

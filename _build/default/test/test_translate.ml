@@ -1,0 +1,76 @@
+module T = Core.Translate
+module B = Core.Sat_bound
+
+let test_theorem1_identity () =
+  Helpers.check_int "T1 preserves" 17 (T.trace_equivalence.T.apply 17);
+  Helpers.check_bool "exact kind" true (T.trace_equivalence.T.kind = `Exact)
+
+let test_theorem2_addition () =
+  let t = T.retiming ~skew:5 in
+  Helpers.check_int "adds the skew" 15 (t.T.apply 10);
+  Helpers.check_bool "upper kind" true (t.T.kind = `Upper);
+  Alcotest.check_raises "negative skew rejected"
+    (Invalid_argument "Translate.retiming: negative skew") (fun () ->
+      ignore (T.retiming ~skew:(-1)))
+
+let test_theorem3_multiplication () =
+  let t = T.state_folding ~factor:2 in
+  Helpers.check_int "doubles" 24 (t.T.apply 12);
+  Alcotest.check_raises "factor < 1 rejected"
+    (Invalid_argument "Translate.state_folding: factor < 1") (fun () ->
+      ignore (T.state_folding ~factor:0))
+
+let test_theorem4_hittability () =
+  let t = T.target_enlargement ~k:3 in
+  Helpers.check_int "adds k" 10 (t.T.apply 7);
+  Helpers.check_bool "hittability kind" true (t.T.kind = `Hittability)
+
+let test_composition () =
+  (* the COM,RET,COM pipeline: T1 . T2 . T1 *)
+  let t =
+    T.compose T.trace_equivalence (T.compose (T.retiming ~skew:4) T.trace_equivalence)
+  in
+  Helpers.check_int "composes" 9 (t.T.apply 5);
+  Helpers.check_bool "weakest kind propagates" true (t.T.kind = `Upper);
+  let h = T.compose t (T.target_enlargement ~k:1) in
+  Helpers.check_bool "hittability dominates" true (h.T.kind = `Hittability)
+
+let test_saturation_through_translators () =
+  let t = T.state_folding ~factor:1000 in
+  Helpers.check_bool "saturates" true (B.is_huge (t.T.apply (B.huge / 2)));
+  let r = T.retiming ~skew:10 in
+  Helpers.check_bool "huge stays huge" true (B.is_huge (r.T.apply B.huge))
+
+let test_sat_bound_arith () =
+  Helpers.check_int "add" 7 (B.add 3 4);
+  Helpers.check_int "mul" 12 (B.mul 3 4);
+  Helpers.check_bool "mul saturates" true (B.is_huge (B.mul (B.huge / 2) 3));
+  Helpers.check_bool "add saturates" true (B.is_huge (B.add B.huge 1));
+  Helpers.check_int "pow2" 1024 (B.pow2 10);
+  Helpers.check_bool "pow2 saturates" true (B.is_huge (B.pow2 64));
+  Helpers.check_int "mul by zero" 0 (B.mul 0 B.huge);
+  Helpers.check_bool "pp finite" true (String.equal (B.to_string 42) "42");
+  Helpers.check_bool "pp huge" true (String.equal (B.to_string B.huge) "inf")
+
+let prop_translators_monotone =
+  Helpers.qtest ~count:100 "translators are monotone"
+    QCheck.(triple (int_range 0 1000) (int_range 0 1000) (int_range 1 4))
+    (fun (a, b, f) ->
+      let lo = min a b and hi = max a b in
+      let ts =
+        [ T.trace_equivalence; T.retiming ~skew:f; T.state_folding ~factor:f;
+          T.target_enlargement ~k:f ]
+      in
+      List.for_all (fun t -> t.T.apply lo <= t.T.apply hi) ts)
+
+let suite =
+  [
+    Alcotest.test_case "theorem 1" `Quick test_theorem1_identity;
+    Alcotest.test_case "theorem 2" `Quick test_theorem2_addition;
+    Alcotest.test_case "theorem 3" `Quick test_theorem3_multiplication;
+    Alcotest.test_case "theorem 4" `Quick test_theorem4_hittability;
+    Alcotest.test_case "composition" `Quick test_composition;
+    Alcotest.test_case "saturation" `Quick test_saturation_through_translators;
+    Alcotest.test_case "bound arithmetic" `Quick test_sat_bound_arith;
+    prop_translators_monotone;
+  ]

@@ -1,0 +1,140 @@
+(* Sections 3.5/3.6: witness netlists proving that bounds computed on
+   over- or under-approximated netlists can be wrong in both
+   directions — which is why Localize and Casesplit deliberately have
+   no Translate.t. *)
+
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let bits = 3
+
+(* free-running counter with an all-ones target: earliest hit 2^bits - 1 *)
+let counter_net () =
+  let net = Net.create () in
+  let block = Workload.Gen.counter net ~name:"c" ~bits ~enable:Lit.true_ in
+  Net.add_target net "t" block.Workload.Gen.out;
+  (net, block)
+
+let earliest net t =
+  match Core.Exact.explore net t with
+  | Some e -> e.Core.Exact.earliest_hit
+  | None -> Alcotest.fail "exact exploration expected to succeed"
+
+let test_localization_can_shrink_bounds () =
+  (* cut every register's next-state cone: each register becomes
+     freely loadable, the localized diameter collapses to 2, but the
+     original needs 2^bits - 1 steps *)
+  let net, block = counter_net () in
+  let t = List.assoc "t" (Net.targets net) in
+  let cut =
+    List.map
+      (fun r -> Lit.var (Net.reg_of net (Lit.var r)).Net.next)
+      block.Workload.Gen.regs
+  in
+  let localized = Transform.Localize.run net ~cut in
+  let b = Core.Bound.target_named localized.Transform.Rebuild.net "t" in
+  let original_hit = Option.get (earliest net t) in
+  Helpers.check_int "original earliest hit" ((1 lsl bits) - 1) original_hit;
+  (* the localized bound is small... *)
+  Helpers.check_bool "localized bound collapsed" true
+    (b.Core.Bound.bound <= 3);
+  (* ...and would be an UNSOUND BMC completeness threshold *)
+  Helpers.check_bool "localized bound misses the hit" true
+    (original_hit > b.Core.Bound.bound - 1)
+
+let test_localization_can_grow_bounds () =
+  (* the other direction: a counter whose enable is stuck at 0 has a
+     trivial diameter, but localizing the enable frees it *)
+  let net = Net.create () in
+  let stuck = Net.add_and net Lit.false_ Lit.true_ in
+  ignore stuck;
+  let enable_reg = Net.add_reg net ~init:Net.Init0 "en" in
+  Net.set_next net enable_reg enable_reg;
+  let block = Workload.Gen.counter net ~name:"c" ~bits ~enable:enable_reg in
+  Net.add_target net "t" block.Workload.Gen.out;
+  let t = List.assoc "t" (Net.targets net) in
+  Helpers.check_bool "target unreachable originally" true (earliest net t = None);
+  let localized = Transform.Localize.run net ~cut:[ Lit.var enable_reg ] in
+  let net' = localized.Transform.Rebuild.net in
+  let t' = List.assoc "t" (Net.targets net') in
+  (* now reachable, with a long distance: reachable states and
+     transitions were added *)
+  match earliest net' t' with
+  | Some hit -> Helpers.check_int "localized hit distance" ((1 lsl bits) - 1) hit
+  | None -> Alcotest.fail "localization should free the counter"
+
+let test_casesplit_can_shrink_bounds () =
+  (* case-splitting the enable to 0 freezes the counter: the split
+     netlist has diameter 1, yet the original hits at 2^bits - 1 *)
+  let net = Net.create () in
+  let enable = Net.add_input net "en" in
+  let block = Workload.Gen.counter net ~name:"c" ~bits ~enable in
+  Net.add_target net "t" block.Workload.Gen.out;
+  let t = List.assoc "t" (Net.targets net) in
+  let split = Transform.Casesplit.run net ~assignment:[ ("en", false) ] in
+  let reduced, _ = Transform.Com.run split.Transform.Rebuild.net in
+  let b = Core.Bound.target_named reduced.Transform.Rebuild.net "t" in
+  Helpers.check_bool "split bound trivial" true (b.Core.Bound.bound <= 1);
+  let original_hit = Option.get (earliest net t) in
+  Helpers.check_bool "unsound for the original" true
+    (original_hit > b.Core.Bound.bound - 1)
+
+let test_casesplit_can_grow_diameter () =
+  (* a loadable counter reaches any state in one step (small exact
+     diameter); splitting load := 0 leaves pure counting (large
+     diameter): reachable transitions vanished *)
+  let net = Net.create () in
+  let load = Net.add_input net "load" in
+  let data = List.init bits (fun i -> Net.add_input net (Printf.sprintf "d%d" i)) in
+  let regs = List.init bits (fun i -> Net.add_reg net (Printf.sprintf "r%d" i)) in
+  let rec wire i carry =
+    match List.nth_opt regs i with
+    | None -> carry
+    | Some r ->
+      let toggled = Net.add_xor net r carry in
+      Net.set_next net r
+        (Net.add_mux net ~sel:load ~t1:(List.nth data i) ~t0:toggled);
+      wire (i + 1) (Net.add_and net carry r)
+  in
+  let all_ones = wire 0 Lit.true_ in
+  Net.add_target net "t" all_ones;
+  let t = List.assoc "t" (Net.targets net) in
+  let exact = Option.get (Core.Exact.explore net t) in
+  Helpers.check_bool "loadable counter has tiny pair diameter" true
+    (exact.Core.Exact.pair_diameter <= 2);
+  let split = Transform.Casesplit.run net ~assignment:[ ("load", false) ] in
+  let net' = split.Transform.Rebuild.net in
+  let t' = List.assoc "t" (Net.targets net') in
+  let exact' = Option.get (Core.Exact.explore net' t') in
+  Helpers.check_bool "split diameter grew" true
+    (exact'.Core.Exact.pair_diameter > exact.Core.Exact.pair_diameter)
+
+let test_casesplit_hits_remain_valid () =
+  (* the sound direction of Section 3.6: a hit on the split netlist is
+     a hit of the original *)
+  let net = Net.create () in
+  let enable = Net.add_input net "en" in
+  let block = Workload.Gen.counter net ~name:"c" ~bits:2 ~enable in
+  Net.add_target net "t" block.Workload.Gen.out;
+  let split = Transform.Casesplit.run net ~assignment:[ ("en", true) ] in
+  match Bmc.check split.Transform.Rebuild.net ~target:"t" ~depth:8 with
+  | Bmc.No_hit _ -> Alcotest.fail "split counter should hit"
+  | Bmc.Hit cex ->
+    (* replay the same depth on the original with en forced high *)
+    (match Bmc.check net ~target:"t" ~depth:cex.Bmc.depth with
+    | Bmc.Hit _ -> ()
+    | Bmc.No_hit _ -> Alcotest.fail "hit must transfer to the original")
+
+let suite =
+  [
+    Alcotest.test_case "localization can shrink bounds (unsound)" `Quick
+      test_localization_can_shrink_bounds;
+    Alcotest.test_case "localization can grow bounds" `Quick
+      test_localization_can_grow_bounds;
+    Alcotest.test_case "case split can shrink bounds (unsound)" `Quick
+      test_casesplit_can_shrink_bounds;
+    Alcotest.test_case "case split can grow the diameter" `Quick
+      test_casesplit_can_grow_diameter;
+    Alcotest.test_case "case-split hits transfer" `Quick
+      test_casesplit_hits_remain_valid;
+  ]

@@ -1,0 +1,131 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let test_merges_shifted_pipelines () =
+  (* the RET-gadget scenario: registers before vs after the gate; only
+     sequential reasoning identifies them *)
+  let net = Net.create () in
+  let x = Net.add_input net "x" in
+  let y = Net.add_input net "y" in
+  let guard = Workload.Gen.ret_guard net ~name:"g" ~x ~y in
+  Net.add_target net "t" guard;
+  (* combinational COM cannot fold the guard *)
+  let com, _ = Transform.Com.run net in
+  let t_com = List.assoc "t" (Net.targets com.Transform.Rebuild.net) in
+  Helpers.check_bool "COM alone leaves the guard" false (Lit.is_const t_com);
+  (* sequential sweeping folds it to constant false *)
+  let ve, stats = Transform.Van_eijk.run net in
+  let t_ve = List.assoc "t" (Net.targets ve.Transform.Rebuild.net) in
+  Helpers.check_bool "van Eijk folds the guard" true (Lit.equal t_ve Lit.false_);
+  Helpers.check_bool "some merges happened" true (stats.Transform.Van_eijk.merged > 0)
+
+let test_merges_duplicate_fsm () =
+  (* two copies of the same toggle driven by the same input *)
+  let net = Net.create () in
+  let en = Net.add_input net "en" in
+  let mk name =
+    let r = Net.add_reg net ~init:Net.Init0 name in
+    Net.set_next net r (Net.add_xor net r en);
+    r
+  in
+  let r1 = mk "t1" in
+  let r2 = mk "t2" in
+  Net.add_target net "diff" (Net.add_xor net r1 r2);
+  let ve, _ = Transform.Van_eijk.run net in
+  Helpers.check_bool "duplicate toggles merged" true
+    (Lit.equal
+       (List.assoc "diff" (Net.targets ve.Transform.Rebuild.net))
+       Lit.false_)
+
+let test_respects_different_inits () =
+  (* same next functions but complementary initial values: the toggles
+     stay complementary, never equal *)
+  let net = Net.create () in
+  let en = Net.add_input net "en" in
+  let r1 = Net.add_reg net ~init:Net.Init0 "a" in
+  let r2 = Net.add_reg net ~init:Net.Init1 "b" in
+  Net.set_next net r1 (Net.add_xor net r1 en);
+  Net.set_next net r2 (Net.add_xor net r2 en);
+  Net.add_target net "same" (Lit.neg (Net.add_xor net r1 r2));
+  let ve, _ = Transform.Van_eijk.run net in
+  let t = List.assoc "same" (Net.targets ve.Transform.Rebuild.net) in
+  (* r1 = ~r2 invariantly: "same" is constant false; merging r1 onto
+     ~r2 is legitimate, merging them positively is not *)
+  Helpers.check_bool "complementary, not equal" true
+    (Lit.equal t Lit.false_ || not (Lit.is_const t));
+  (* and the result must still be trace-equivalent *)
+  Helpers.check_bool "semantics preserved" true
+    (Transform.Equiv.sim_equivalent net
+       (List.assoc "same" (Net.targets net))
+       ve.Transform.Rebuild.net t)
+
+let test_x_init_not_merged () =
+  let net = Net.create () in
+  let r1 = Net.add_reg net ~init:Net.Init_x "x1" in
+  let r2 = Net.add_reg net ~init:Net.Init_x "x2" in
+  Net.set_next net r1 r1;
+  Net.set_next net r2 r2;
+  Net.add_target net "diff" (Net.add_xor net r1 r2);
+  let ve, _ = Transform.Van_eijk.run net in
+  Helpers.check_bool "independent nondeterminism kept" false
+    (Lit.is_const (List.assoc "diff" (Net.targets ve.Transform.Rebuild.net)))
+
+let test_latch_rejected () =
+  let net = Net.create ~phases:2 () in
+  let a = Net.add_input net "a" in
+  let l = Net.add_latch net ~phase:0 "l" in
+  Net.set_latch_data net l a;
+  Net.add_target net "t" l;
+  match Transform.Van_eijk.run net with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "latch netlists must be rejected"
+
+let prop_preserves_semantics =
+  Helpers.qtest ~count:40 "van Eijk preserves target traces"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_net_with_target seed ~inputs:3 ~regs:4 ~gates:12 in
+      let ve, _ = Transform.Van_eijk.run net in
+      let t' = List.assoc "t" (Net.targets ve.Transform.Rebuild.net) in
+      Transform.Equiv.sim_equivalent ~steps:20 net t ve.Transform.Rebuild.net t')
+
+let prop_at_least_as_strong_as_com =
+  Helpers.qtest ~count:30 "never keeps more vertices than COM"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, _ = Helpers.rand_net_with_target seed ~inputs:3 ~regs:4 ~gates:12 in
+      let com, _ = Transform.Com.run net in
+      let ve, _ = Transform.Van_eijk.run net in
+      Net.num_vars ve.Transform.Rebuild.net
+      <= Net.num_vars com.Transform.Rebuild.net)
+
+let prop_bounds_remain_sound =
+  Helpers.qtest ~count:30 "bounds on the van Eijk result are sound (Thm 1)"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, t = Helpers.rand_structured seed in
+      let ve, _ = Transform.Van_eijk.run net in
+      match List.assoc_opt "t" (Net.targets ve.Transform.Rebuild.net) with
+      | None -> true
+      | Some t' ->
+        let b = (Core.Bound.target ve.Transform.Rebuild.net t').Core.Bound.bound in
+        if Core.Sat_bound.is_huge b then true
+        else (
+          match Core.Exact.explore net t with
+          | None -> true
+          | Some e -> (
+            match e.Core.Exact.earliest_hit with
+            | None -> true
+            | Some hit -> hit <= b - 1)))
+
+let suite =
+  [
+    Alcotest.test_case "merges shifted pipelines" `Quick test_merges_shifted_pipelines;
+    Alcotest.test_case "merges duplicate FSMs" `Quick test_merges_duplicate_fsm;
+    Alcotest.test_case "respects different inits" `Quick test_respects_different_inits;
+    Alcotest.test_case "X inits not merged" `Quick test_x_init_not_merged;
+    Alcotest.test_case "latches rejected" `Quick test_latch_rejected;
+    prop_preserves_semantics;
+    prop_at_least_as_strong_as_com;
+    prop_bounds_remain_sound;
+  ]

@@ -1,0 +1,64 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let cex_frames () =
+  let net = Net.create () in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:2 ~enable:Lit.true_ in
+  Net.add_target net "t" c.Workload.Gen.out;
+  match Bmc.check net ~target:"t" ~depth:5 with
+  | Bmc.Hit cex -> (net, cex)
+  | Bmc.No_hit _ -> Alcotest.fail "counter must hit"
+
+let test_frames_shape () =
+  let net, cex = cex_frames () in
+  let frames = Bmc.frames_of_cex net cex in
+  Helpers.check_int "one frame per step" (cex.Bmc.depth + 1) (Array.length frames);
+  Helpers.check_int "frame width" (Net.num_vars net) (Array.length frames.(0));
+  (* the target is high in the final frame *)
+  let t = List.assoc "t" (Net.targets net) in
+  Helpers.check_bool "target hit in last frame" true
+    (frames.(cex.Bmc.depth).(Lit.var t)
+     = (if Lit.is_neg t then Netlist.Sim.V0 else Netlist.Sim.V1))
+
+let test_vcd_structure () =
+  let net, cex = cex_frames () in
+  let frames = Bmc.frames_of_cex net cex in
+  let text = Textio.Vcd.dump net frames in
+  let has s =
+    let n = String.length s and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = s || go (i + 1)) in
+    go 0
+  in
+  Helpers.check_bool "header" true (has "$enddefinitions");
+  Helpers.check_bool "declares the counter bits" true (has "c_c0");
+  Helpers.check_bool "timestamps" true (has "#0" && has (Printf.sprintf "#%d" cex.Bmc.depth));
+  Helpers.check_bool "initial dump" true (has "$dumpvars")
+
+let test_change_compression () =
+  (* a constant signal appears once in the dump, not once per step *)
+  let net = Net.create () in
+  let r = Net.add_reg net ~init:Net.Init1 "stuck" in
+  Net.set_next net r r;
+  Net.add_target net "t" r;
+  (match Bmc.check net ~target:"t" ~depth:4 with
+  | Bmc.Hit cex ->
+    let frames = Bmc.frames_of_cex net cex in
+    let text = Textio.Vcd.dump net frames in
+    let occurrences =
+      let n = String.length text in
+      let rec go i acc =
+        if i >= n - 1 then acc
+        else if text.[i] = '1' && text.[i + 1] = '!' then go (i + 1) (acc + 1)
+        else go (i + 1) acc
+      in
+      go 0 0
+    in
+    Helpers.check_int "single change record" 1 occurrences
+  | Bmc.No_hit _ -> Alcotest.fail "stuck-at-1 hits immediately")
+
+let suite =
+  [
+    Alcotest.test_case "frames shape" `Quick test_frames_shape;
+    Alcotest.test_case "vcd structure" `Quick test_vcd_structure;
+    Alcotest.test_case "change compression" `Quick test_change_compression;
+  ]

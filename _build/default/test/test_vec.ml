@@ -1,0 +1,89 @@
+module Vec = Sat.Vec
+
+(* model-based property: a Vec behaves like the list of its pushes *)
+let prop_model =
+  Helpers.qtest ~count:200 "vec matches a list model"
+    QCheck.(list (int_range 0 3))
+    (fun ops ->
+      let v = Vec.create ~dummy:(-1) () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iteri
+        (fun i op ->
+          match op with
+          | 0 -> (
+            Vec.push v i;
+            model := !model @ [ i ])
+          | 1 -> (
+            match !model with
+            | [] -> (
+              match Vec.pop v with
+              | exception Invalid_argument _ -> ()
+              | _ -> ok := false)
+            | _ ->
+              let x = Vec.pop v in
+              let expected = List.nth !model (List.length !model - 1) in
+              if x <> expected then ok := false;
+              model := List.filteri (fun j _ -> j < List.length !model - 1) !model)
+          | 2 ->
+            if Vec.size v > 0 then begin
+              let n = Vec.size v / 2 in
+              Vec.shrink v n;
+              model := List.filteri (fun j _ -> j < n) !model
+            end
+          | _ ->
+            if Vec.size v > 0 then begin
+              (* swap_remove index 0 *)
+              Vec.swap_remove v 0;
+              model :=
+                (match List.rev !model with
+                | [] -> []
+                | last :: _ ->
+                  List.filteri (fun j _ -> j < List.length !model - 1)
+                    (last :: List.tl !model))
+            end)
+        ops;
+      !ok
+      && Vec.size v = List.length !model
+      && Vec.to_list v = !model)
+
+let test_basics () =
+  let v = Vec.create ~dummy:0 () in
+  Helpers.check_int "empty" 0 (Vec.size v);
+  Vec.push v 10;
+  Vec.push v 20;
+  Helpers.check_int "size" 2 (Vec.size v);
+  Helpers.check_int "get" 20 (Vec.get v 1);
+  Vec.set v 0 99;
+  Helpers.check_int "set" 99 (Vec.get v 0);
+  Helpers.check_int "last" 20 (Vec.last v);
+  Helpers.check_bool "exists" true (Vec.exists (( = ) 99) v);
+  Vec.sort compare v;
+  Helpers.check_bool "sorted" true (Vec.to_list v = [ 20; 99 ]);
+  Vec.clear v;
+  Helpers.check_int "cleared" 0 (Vec.size v)
+
+let test_bounds () =
+  let v = Vec.create ~dummy:0 () in
+  Alcotest.check_raises "get out of range" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 0));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop") (fun () ->
+      ignore (Vec.pop v));
+  Alcotest.check_raises "shrink negative" (Invalid_argument "Vec.shrink")
+    (fun () -> Vec.shrink v 1)
+
+let test_growth () =
+  let v = Vec.create ~capacity:1 ~dummy:0 () in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  Helpers.check_int "grew" 1000 (Vec.size v);
+  Helpers.check_int "content intact" 567 (Vec.get v 567)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "growth" `Quick test_growth;
+    prop_model;
+  ]

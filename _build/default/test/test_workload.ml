@@ -1,0 +1,77 @@
+module Net = Netlist.Net
+
+let test_determinism () =
+  let a = Workload.Iscas.by_name "S5378" in
+  let b = Workload.Iscas.by_name "S5378" in
+  Helpers.check_bool "same dump" true
+    (String.equal (Textio.Netfmt.to_string a) (Textio.Netfmt.to_string b))
+
+let test_target_counts () =
+  List.iter
+    (fun p ->
+      let net = Workload.Iscas.build p in
+      Helpers.check_int
+        (Printf.sprintf "%s target count" p.Workload.Iscas.name)
+        p.Workload.Iscas.targets
+        (List.length (Net.targets net)))
+    (List.filteri (fun i _ -> i < 8) Workload.Iscas.profiles)
+
+let test_register_budgets () =
+  (* generated register populations stay near the profile budgets *)
+  List.iter
+    (fun p ->
+      let net = Workload.Iscas.build p in
+      let total = p.Workload.Iscas.ac + p.Workload.Iscas.table + p.Workload.Iscas.gc in
+      let got = Net.num_regs net in
+      Helpers.check_bool
+        (Printf.sprintf "%s register budget (%d vs %d)" p.Workload.Iscas.name
+           total got)
+        true
+        (abs (got - total) <= max 8 (total / 5)))
+    (List.filteri (fun i _ -> i < 10) Workload.Iscas.profiles)
+
+let test_well_formed () =
+  List.iter
+    (fun name -> Net.check (Workload.Iscas.by_name name))
+    [ "S27"; "S953"; "S1488"; "PROLOG" ];
+  List.iter
+    (fun name -> Net.check (Workload.Gp.by_name name))
+    [ "L_LRU"; "D_DASA"; "W_SFA" ]
+
+let test_unknown_design () =
+  (match Workload.Iscas.by_name "NOPE" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown design should raise");
+  Helpers.check_int "41 ISCAS designs" 42 (List.length Workload.Iscas.names);
+  Helpers.check_int "29 GP designs" 29 (List.length Workload.Gp.names)
+
+let test_gp_is_latched () =
+  let net = Workload.Gp.by_name "W_SFA" in
+  Helpers.check_int "no registers before abstraction" 0 (Net.num_regs net);
+  Helpers.check_bool "has latches" true (Net.num_latches net > 0);
+  Helpers.check_int "two phases" 2 (Net.phases net)
+
+let test_rng_determinism () =
+  let a = Workload.Rng.create 1 in
+  let b = Workload.Rng.create 1 in
+  let seq r = List.init 20 (fun _ -> Workload.Rng.int r 1000) in
+  Helpers.check_bool "same sequence" true (seq a = seq b)
+
+let test_rng_bounds () =
+  let rng = Workload.Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Workload.Rng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.fail "out of range"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "target counts" `Quick test_target_counts;
+    Alcotest.test_case "register budgets" `Quick test_register_budgets;
+    Alcotest.test_case "well-formedness" `Quick test_well_formed;
+    Alcotest.test_case "unknown design" `Quick test_unknown_design;
+    Alcotest.test_case "GP designs are latch-based" `Quick test_gp_is_latched;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+  ]
