@@ -5,7 +5,11 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table1  -- a single experiment
-     (table1 | table2 | baseline | ablation | bechamel)            *)
+     (table1 | table2 | baseline | ablation | bechamel)
+
+   Pass --stats-json FILE to also dump the Obs.Stats snapshot (solver
+   counters, per-experiment spans) as JSON — BENCH_*.json entries come
+   from this layer.  --stats prints the human-readable table.        *)
 
 module Net = Netlist.Net
 module Lit = Netlist.Lit
@@ -328,19 +332,36 @@ let bechamel () =
       | Some _ | None -> Format.printf "  %-40s (no estimate)@." name)
     results
 
+(* split "--stats" / "--stats-json FILE" out of the experiment list *)
+let split_args args =
+  let rec go stats json exps = function
+    | [] -> (stats, json, List.rev exps)
+    | "--stats" :: rest -> go true json exps rest
+    | "--stats-json" :: file :: rest -> go stats (Some file) exps rest
+    | "--stats-json" :: [] ->
+      Format.eprintf "--stats-json needs a FILE argument@.";
+      exit 2
+    | exp :: rest -> go stats json (exp :: exps) rest
+  in
+  go false None [] args
+
 let () =
+  let stats, stats_json, want =
+    split_args (List.tl (Array.to_list Sys.argv))
+  in
   let want =
-    match Array.to_list Sys.argv with
-    | _ :: args when args <> [] -> args
-    | _ -> [ "table1"; "table2"; "baseline"; "ablation"; "bechamel" ]
+    if want <> [] then want
+    else [ "table1"; "table2"; "baseline"; "ablation"; "bechamel" ]
   in
   List.iter
     (fun arg ->
+      let run f = Obs.Stats.time ("bench." ^ arg) f in
       match arg with
-      | "table1" -> ignore (table1 ())
-      | "table2" -> ignore (table2 ())
-      | "baseline" -> baseline ()
-      | "ablation" -> ablation ()
-      | "bechamel" -> bechamel ()
+      | "table1" -> run (fun () -> ignore (table1 ()))
+      | "table2" -> run (fun () -> ignore (table2 ()))
+      | "baseline" -> run baseline
+      | "ablation" -> run ablation
+      | "bechamel" -> run bechamel
       | other -> Format.eprintf "unknown experiment %s@." other)
-    want
+    want;
+  Obs.Report.emit ~human:stats ?json_file:stats_json ()

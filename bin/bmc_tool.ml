@@ -6,7 +6,7 @@
 
 module Net = Netlist.Net
 
-let run file target depth complete vcd =
+let run file target depth complete vcd stats stats_json =
   let net = Textio.Bench_io.parse_file file in
   let target =
     match (target, Net.targets net) with
@@ -33,6 +33,7 @@ let run file target depth complete vcd =
     end
     else depth
   in
+  let finish () = Obs.Report.emit ~human:stats ?json_file:stats_json () in
   match Bmc.check net ~target ~depth with
   | Bmc.Hit cex ->
     let replayed = Bmc.replay net (List.assoc target (Net.targets net)) cex in
@@ -49,10 +50,12 @@ let run file target depth complete vcd =
         | Net.Input name -> Format.printf "  %s@%d = %b@." name t value
         | Net.Const | Net.And _ | Net.Reg _ | Net.Latch _ -> ())
       (List.sort compare cex.Bmc.inputs);
+    finish ();
     exit 1
   | Bmc.No_hit d ->
     if complete then Format.printf "no hit to depth %d: PROVED.@." d
-    else Format.printf "no hit to depth %d (bounded result only).@." d
+    else Format.printf "no hit to depth %d (bounded result only).@." d;
+    finish ()
 
 open Cmdliner
 
@@ -82,10 +85,24 @@ let vcd =
     & opt (some string) None
     & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump the counterexample as a VCD waveform")
 
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the observability counters and timing spans after the run")
+
+let stats_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write the observability snapshot as JSON to $(docv)")
+
 let cmd =
   let doc = "bounded model checking with diameter-bound completeness" in
   Cmd.v
     (Cmd.info "bmc-check" ~doc)
-    Term.(const run $ file $ target $ depth $ complete $ vcd)
+    Term.(
+      const run $ file $ target $ depth $ complete $ vcd $ stats $ stats_json)
 
 let () = exit (Cmd.eval cmd)

@@ -26,7 +26,7 @@ let load file design =
     Format.eprintf "no input: give a .bench file or --design NAME@.";
     exit 2
 
-let run file design pipeline cutoff recurrence =
+let run file design pipeline cutoff recurrence stats stats_json =
   let net = load file design in
   Format.printf "netlist: %a@." Net.pp_stats net;
   let report =
@@ -60,7 +60,8 @@ let run file design pipeline cutoff recurrence =
     report.Core.Pipeline.targets;
   let s = Core.Pipeline.summarize ~cutoff report in
   Format.printf "targets below cutoff %d: %d/%d (avg %.1f)@." cutoff
-    s.Core.Pipeline.proved_small s.Core.Pipeline.total s.Core.Pipeline.average
+    s.Core.Pipeline.proved_small s.Core.Pipeline.total s.Core.Pipeline.average;
+  Obs.Report.emit ~human:stats ?json_file:stats_json ()
 
 open Cmdliner
 
@@ -91,10 +92,25 @@ let recurrence =
     & info [ "recurrence" ]
         ~doc:"Also compute the recurrence-diameter baseline per target")
 
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the observability counters and timing spans after the run")
+
+let stats_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write the observability snapshot as JSON to $(docv)")
+
 let cmd =
   let doc = "structural diameter bounds via transformation pipelines" in
   Cmd.v
     (Cmd.info "diam" ~doc)
-    Term.(const run $ file $ design $ pipeline $ cutoff $ recurrence)
+    Term.(
+      const run $ file $ design $ pipeline $ cutoff $ recurrence $ stats
+      $ stats_json)
 
 let () = exit (Cmd.eval cmd)

@@ -6,7 +6,7 @@
 
 module Net = Netlist.Net
 
-let run file target cutoff vcd =
+let run file target cutoff vcd stats stats_json =
   let net = Textio.Bench_io.parse_file file in
   let targets =
     match target with
@@ -35,6 +35,7 @@ let run file target cutoff vcd =
       | Core.Engine.Proved _ -> ()
       | Core.Engine.Inconclusive _ -> incr failures)
     targets;
+  Obs.Report.emit ~human:stats ?json_file:stats_json ();
   if !failures > 0 then exit 1
 
 open Cmdliner
@@ -62,10 +63,23 @@ let vcd =
     & info [ "vcd" ] ~docv:"PREFIX"
         ~doc:"Dump counterexample waveforms to PREFIX.<target>.vcd")
 
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the observability counters and timing spans after the run")
+
+let stats_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write the observability snapshot as JSON to $(docv)")
+
 let cmd =
   let doc = "transformation-based verification (probe, bounds, induction)" in
   Cmd.v
     (Cmd.info "diam-verify" ~doc)
-    Term.(const run $ file $ target $ cutoff $ vcd)
+    Term.(const run $ file $ target $ cutoff $ vcd $ stats $ stats_json)
 
 let () = exit (Cmd.eval cmd)

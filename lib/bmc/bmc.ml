@@ -18,8 +18,14 @@ let check_lit ?(from = 0) net target ~depth =
     if t > depth then No_hit depth
     else begin
       let tl = Encode.Unroll.lit_at unroll target t in
-      match Solver.solve ~assumptions:[ tl ] solver with
+      Obs.Stats.max_gauge "bmc.depth_reached" t;
+      let result, dt =
+        Encode.Sat_obs.solve ~assumptions:[ tl ] ~span:"bmc.solve" solver
+      in
+      Obs.Stats.add_span (Printf.sprintf "bmc.solve.depth%d" t) dt;
+      match result with
       | Solver.Sat ->
+        Obs.Stats.count "bmc.hits" 1;
         let inputs =
           List.map
             (fun (v, time, sl) -> (v, time, Solver.value solver sl))

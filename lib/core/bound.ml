@@ -89,18 +89,21 @@ let controlled_with net fanouts l =
 let input_controlled net l = controlled_with net (fanout_counts net) l
 
 let target net l =
-  let cone = Coi.of_lits net [ l ] in
-  let coi_regs =
-    List.length (Coi.regs_in net cone) + List.length (Coi.latches_in net cone)
-  in
-  let analysis = Classify.analyze ~within:cone net in
-  let bound =
-    if coi_regs = 0 || input_controlled net l then Sat_bound.of_int 1
-    else begin
-      Compose.bound_for net analysis l
-    end
-  in
-  { bound; analysis; coi_regs }
+  Obs.Stats.time "bound.target" (fun () ->
+      Obs.Stats.count "bound.targets_analyzed" 1;
+      let cone = Coi.of_lits net [ l ] in
+      let coi_regs =
+        List.length (Coi.regs_in net cone)
+        + List.length (Coi.latches_in net cone)
+      in
+      let analysis = Classify.analyze ~within:cone net in
+      let bound =
+        if coi_regs = 0 || input_controlled net l then Sat_bound.of_int 1
+        else begin
+          Compose.bound_for net analysis l
+        end
+      in
+      { bound; analysis; coi_regs })
 
 let target_named net name =
   match List.assoc_opt name (Net.targets net) with
@@ -111,19 +114,21 @@ let target_named net name =
    levelized composition restricts itself to each target's cone, so
    classifying once is equivalent to classifying per cone. *)
 let all_targets net =
-  let analysis = Classify.analyze net in
-  let fanouts = fanout_counts net in
-  let controlled l = controlled_with net fanouts l in
-  List.map
-    (fun (name, l) ->
-      let cone = Coi.of_lits net [ l ] in
-      let coi_regs =
-        List.length (Coi.regs_in net cone)
-        + List.length (Coi.latches_in net cone)
-      in
-      let bound =
-        if coi_regs = 0 || controlled l then Sat_bound.of_int 1
-        else Compose.bound_for net analysis l
-      in
-      (name, { bound; analysis; coi_regs }))
-    (Net.targets net)
+  Obs.Stats.time "bound.all_targets" (fun () ->
+      let analysis = Classify.analyze net in
+      let fanouts = fanout_counts net in
+      let controlled l = controlled_with net fanouts l in
+      List.map
+        (fun (name, l) ->
+          Obs.Stats.count "bound.targets_analyzed" 1;
+          let cone = Coi.of_lits net [ l ] in
+          let coi_regs =
+            List.length (Coi.regs_in net cone)
+            + List.length (Coi.latches_in net cone)
+          in
+          let bound =
+            if coi_regs = 0 || controlled l then Sat_bound.of_int 1
+            else Compose.bound_for net analysis l
+          in
+          (name, { bound; analysis; coi_regs }))
+        (Net.targets net))

@@ -1,5 +1,6 @@
 module Net = Netlist.Net
 module Lit = Netlist.Lit
+module Stats = Obs.Stats
 
 type config = {
   cutoff : int;
@@ -20,10 +21,17 @@ let default =
     induction_max_k = 16;
   }
 
+type attempt = {
+  strategy : string;
+  reason : string;
+  elapsed_s : float;
+  bound : Sat_bound.t option;
+}
+
 type verdict =
   | Proved of { strategy : string; depth : int }
   | Violated of { strategy : string; cex : Bmc.cex }
-  | Inconclusive of { attempts : (string * string) list }
+  | Inconclusive of { attempts : attempt list }
 
 let pp_verdict ppf = function
   | Proved { strategy; depth } ->
@@ -35,8 +43,16 @@ let pp_verdict ppf = function
     Format.fprintf ppf "INCONCLUSIVE after %d strategies:"
       (List.length attempts);
     List.iter
-      (fun (s, why) -> Format.fprintf ppf "@.  %s: %s" s why)
+      (fun a ->
+        Format.fprintf ppf "@.  %-20s %s" a.strategy a.reason;
+        (match a.bound with
+        | Some b -> Format.fprintf ppf " [bound %s]" (Sat_bound.to_string b)
+        | None -> ());
+        Format.fprintf ppf " (%.1fms)" (1e3 *. a.elapsed_s))
       attempts
+
+let discharge_depth bound =
+  if Sat_bound.is_huge bound || bound <= 0 then None else Some (bound - 1)
 
 exception Done of verdict
 
@@ -44,112 +60,152 @@ let verify ?(config = default) net ~target =
   if not (List.mem_assoc target (Net.targets net)) then
     invalid_arg ("Engine.verify: unknown target " ^ target);
   let attempts = ref [] in
-  let stand_down strategy reason =
-    attempts := (strategy, reason) :: !attempts
-  in
-  (* a finite translated bound below the cutoff closes the problem
-     with one complete BMC run on the ORIGINAL netlist *)
-  let discharge strategy bound =
-    if Sat_bound.is_huge bound then
-      stand_down strategy "no practically useful bound"
-    else if bound >= config.cutoff then
-      stand_down strategy
-        (Printf.sprintf "bound %s above cutoff %d" (Sat_bound.to_string bound)
-           config.cutoff)
-    else begin
-      match Bmc.check net ~target ~depth:(bound - 1) with
-      | Bmc.No_hit d -> raise (Done (Proved { strategy; depth = d }))
-      | Bmc.Hit cex -> raise (Done (Violated { strategy; cex }))
-    end
+  (* each strategy runs under a Stats span and receives scoped
+     [stand_down]/[discharge] callbacks so the recorded attempt carries
+     its elapsed time and the translated bound it computed, if any *)
+  let strategy name f =
+    let t0 = Stats.now () in
+    let bound_seen = ref None in
+    let stand_down reason =
+      attempts :=
+        {
+          strategy = name;
+          reason;
+          elapsed_s = Stats.now () -. t0;
+          bound = !bound_seen;
+        }
+        :: !attempts
+    in
+    (* a finite translated bound below the cutoff closes the problem
+       with one complete BMC run on the ORIGINAL netlist *)
+    let discharge bound =
+      bound_seen := Some bound;
+      if Sat_bound.is_huge bound then
+        stand_down "no practically useful bound"
+      else if bound >= config.cutoff then
+        stand_down
+          (Printf.sprintf "bound %s above cutoff %d"
+             (Sat_bound.to_string bound) config.cutoff)
+      else begin
+        match discharge_depth bound with
+        | None ->
+          (* bound 0: the target is unhittable at any depth; the
+             BMC run would be vacuous (and [depth - 1] negative) *)
+          raise (Done (Proved { strategy = name; depth = 0 }))
+        | Some depth -> (
+          match Bmc.check net ~target ~depth with
+          | Bmc.No_hit d -> raise (Done (Proved { strategy = name; depth = d }))
+          | Bmc.Hit cex -> raise (Done (Violated { strategy = name; cex })))
+      end
+    in
+    Stats.time ("engine." ^ name) (fun () -> f ~stand_down ~discharge)
   in
   let latch_based = Net.num_latches net > 0 in
-  try
-    (* 1. shallow probe *)
-    (match Bmc.check net ~target ~depth:config.probe_depth with
-    | Bmc.Hit cex -> raise (Done (Violated { strategy = "bmc-probe"; cex }))
-    | Bmc.No_hit _ -> stand_down "bmc-probe" "no shallow counterexample");
-    (* bounds are computed on the register-based view; for latch
-       designs that is the phase abstraction, translated by Theorem 3 *)
-    let reg_view, fold =
-      if latch_based then begin
-        let abstracted, translator = Pipeline.phase_front net in
-        (abstracted, translator)
-      end
-      else (net, Translate.identity)
-    in
-    let fold_back b = fold.Translate.apply b in
-    (* 2. structural bound, untransformed *)
-    (match List.assoc_opt target (Net.targets reg_view) with
-    | None -> stand_down "structural-bound" "target lost by phase abstraction"
-    | Some l ->
-      discharge "structural-bound" (fold_back (Bound.target reg_view l).Bound.bound));
-    (* 3. COM (Theorem 1) *)
-    let com_report = Pipeline.com reg_view in
-    (match
-       List.find_opt
-         (fun t -> String.equal t.Pipeline.target target)
-         com_report.Pipeline.targets
-     with
-    | Some t -> discharge "com+bound" (fold_back t.Pipeline.bound)
-    | None -> stand_down "com+bound" "target reduced away");
-    (* 4. COM,RET,COM (Theorems 1 + 2) *)
-    let crc_report = Pipeline.com_ret_com reg_view in
-    (match
-       List.find_opt
-         (fun t -> String.equal t.Pipeline.target target)
-         crc_report.Pipeline.targets
-     with
-    | Some t -> discharge "com-ret-com+bound" (fold_back t.Pipeline.bound)
-    | None -> stand_down "com-ret-com+bound" "target reduced away");
-    (* 5. target enlargement (Theorem 4) — register view only, and the
-       hittability bound is still a valid completeness threshold for
-       this very target *)
-    if latch_based then
-      stand_down "enlargement+bound" "latch-based design"
-    else begin
-      match
-        Transform.Enlarge.run ~reg_limit:config.enlargement_reg_limit net
-          ~target ~k:config.enlargement_k
-      with
-      | None -> stand_down "enlargement+bound" "cone too large for BDDs"
-      | Some r ->
-        if r.Transform.Enlarge.empty then begin
-          (* every hit, if any, occurs within the first k steps *)
-          match Bmc.check net ~target ~depth:(config.enlargement_k - 1) with
-          | Bmc.No_hit d ->
-            raise (Done (Proved { strategy = "enlargement-empty"; depth = d }))
-          | Bmc.Hit cex ->
-            raise (Done (Violated { strategy = "enlargement-empty"; cex }))
+  let verdict =
+    try
+      (* 1. shallow probe *)
+      strategy "bmc-probe" (fun ~stand_down ~discharge:_ ->
+          match Bmc.check net ~target ~depth:config.probe_depth with
+          | Bmc.Hit cex -> raise (Done (Violated { strategy = "bmc-probe"; cex }))
+          | Bmc.No_hit _ -> stand_down "no shallow counterexample");
+      (* bounds are computed on the register-based view; for latch
+         designs that is the phase abstraction, translated by Theorem 3 *)
+      let reg_view, fold =
+        if latch_based then begin
+          let abstracted, translator = Pipeline.phase_front net in
+          (abstracted, translator)
         end
-        else begin
-          let name =
-            Printf.sprintf "%s#enl%d" target config.enlargement_k
-          in
-          let b = Bound.target_named r.Transform.Enlarge.net name in
-          discharge "enlargement+bound"
-            ((Translate.target_enlargement ~k:config.enlargement_k)
-               .Translate.apply b.Bound.bound)
-        end
-    end;
-    (* 6. bounded-COI recurrence diameter *)
-    (match List.assoc_opt target (Net.targets reg_view) with
-    | None -> stand_down "recurrence-bcoi" "target lost by phase abstraction"
-    | Some l ->
-      let r =
-        Recurrence.compute ~limit:config.recurrence_limit ~bounded_coi:true
-          reg_view l
+        else (net, Translate.identity)
       in
-      discharge "recurrence-bcoi" (fold_back r.Recurrence.bound));
-    (* 7. temporal induction *)
-    if latch_based then stand_down "k-induction" "latch-based design"
-    else begin
-      match Induction.prove ~max_k:config.induction_max_k net ~target with
-      | Induction.Proved k ->
-        raise (Done (Proved { strategy = "k-induction"; depth = k }))
-      | Induction.Cex cex ->
-        raise (Done (Violated { strategy = "k-induction"; cex }))
-      | Induction.Unknown k ->
-        stand_down "k-induction" (Printf.sprintf "gave up at k = %d" k)
-    end;
-    Inconclusive { attempts = List.rev !attempts }
-  with Done v -> v
+      let fold_back b = fold.Translate.apply b in
+      (* 2. structural bound, untransformed *)
+      strategy "structural-bound" (fun ~stand_down ~discharge ->
+          match List.assoc_opt target (Net.targets reg_view) with
+          | None -> stand_down "target lost by phase abstraction"
+          | Some l ->
+            discharge (fold_back (Bound.target reg_view l).Bound.bound));
+      (* 3. COM (Theorem 1) *)
+      strategy "com+bound" (fun ~stand_down ~discharge ->
+          let com_report = Pipeline.com reg_view in
+          match
+            List.find_opt
+              (fun t -> String.equal t.Pipeline.target target)
+              com_report.Pipeline.targets
+          with
+          | Some t -> discharge (fold_back t.Pipeline.bound)
+          | None -> stand_down "target reduced away");
+      (* 4. COM,RET,COM (Theorems 1 + 2) *)
+      strategy "com-ret-com+bound" (fun ~stand_down ~discharge ->
+          let crc_report = Pipeline.com_ret_com reg_view in
+          match
+            List.find_opt
+              (fun t -> String.equal t.Pipeline.target target)
+              crc_report.Pipeline.targets
+          with
+          | Some t -> discharge (fold_back t.Pipeline.bound)
+          | None -> stand_down "target reduced away");
+      (* 5. target enlargement (Theorem 4) — register view only, and the
+         hittability bound is still a valid completeness threshold for
+         this very target *)
+      strategy "enlargement+bound" (fun ~stand_down ~discharge ->
+          if latch_based then stand_down "latch-based design"
+          else begin
+            match
+              Transform.Enlarge.run ~reg_limit:config.enlargement_reg_limit net
+                ~target ~k:config.enlargement_k
+            with
+            | None -> stand_down "cone too large for BDDs"
+            | Some r ->
+              if r.Transform.Enlarge.empty then begin
+                (* every hit, if any, occurs within the first k steps;
+                   clamp so k = 0 (nothing hittable at all) does not
+                   turn into a depth -1 run *)
+                match
+                  Bmc.check net ~target ~depth:(max 0 (config.enlargement_k - 1))
+                with
+                | Bmc.No_hit d ->
+                  raise
+                    (Done (Proved { strategy = "enlargement-empty"; depth = d }))
+                | Bmc.Hit cex ->
+                  raise (Done (Violated { strategy = "enlargement-empty"; cex }))
+              end
+              else begin
+                let name =
+                  Printf.sprintf "%s#enl%d" target config.enlargement_k
+                in
+                let b = Bound.target_named r.Transform.Enlarge.net name in
+                discharge
+                  ((Translate.target_enlargement ~k:config.enlargement_k)
+                     .Translate.apply b.Bound.bound)
+              end
+          end);
+      (* 6. bounded-COI recurrence diameter *)
+      strategy "recurrence-bcoi" (fun ~stand_down ~discharge ->
+          match List.assoc_opt target (Net.targets reg_view) with
+          | None -> stand_down "target lost by phase abstraction"
+          | Some l ->
+            let r =
+              Recurrence.compute ~limit:config.recurrence_limit
+                ~bounded_coi:true reg_view l
+            in
+            discharge (fold_back r.Recurrence.bound));
+      (* 7. temporal induction *)
+      strategy "k-induction" (fun ~stand_down ~discharge:_ ->
+          if latch_based then stand_down "latch-based design"
+          else begin
+            match Induction.prove ~max_k:config.induction_max_k net ~target with
+            | Induction.Proved k ->
+              raise (Done (Proved { strategy = "k-induction"; depth = k }))
+            | Induction.Cex cex ->
+              raise (Done (Violated { strategy = "k-induction"; cex }))
+            | Induction.Unknown k ->
+              stand_down (Printf.sprintf "gave up at k = %d" k)
+          end);
+      Inconclusive { attempts = List.rev !attempts }
+    with Done v -> v
+  in
+  (match verdict with
+  | Proved _ -> Stats.count "engine.proved" 1
+  | Violated _ -> Stats.count "engine.violated" 1
+  | Inconclusive _ -> Stats.count "engine.inconclusive" 1);
+  verdict

@@ -33,14 +33,36 @@ type config = {
 
 val default : config
 
+type attempt = {
+  strategy : string;
+  reason : string;  (** why the strategy stood down *)
+  elapsed_s : float;  (** wall-clock seconds spent in the strategy *)
+  bound : Sat_bound.t option;
+      (** the translated completeness bound it computed, when one was
+          reached before standing down *)
+}
+
 type verdict =
   | Proved of { strategy : string; depth : int }
       (** complete: no hit at times [0 .. depth] *)
   | Violated of { strategy : string; cex : Bmc.cex }
-  | Inconclusive of { attempts : (string * string) list }
-      (** every strategy's reason for standing down *)
+  | Inconclusive of { attempts : attempt list }
+      (** every strategy's reason for standing down, with timing and
+          the bound it got stuck at *)
+
+val discharge_depth : Sat_bound.t -> int option
+(** BMC depth that turns a finite diameter bound into a complete
+    check: [Some (bound - 1)] for positive finite bounds, [None] for
+    huge or non-positive bounds (a bound of 0 means the target is
+    unhittable at any depth — no BMC run is needed, and naively using
+    [bound - 1] would request a depth of -1). *)
 
 val verify : ?config:config -> Netlist.Net.t -> target:string -> verdict
-(** @raise Invalid_argument on an unknown target name. *)
+(** @raise Invalid_argument on an unknown target name.
+
+    Every strategy is timed into the {!Obs.Stats} span
+    ["engine.<strategy>"], and verdicts bump the
+    ["engine.proved"/"engine.violated"/"engine.inconclusive"]
+    counters. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

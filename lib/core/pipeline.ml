@@ -1,4 +1,5 @@
 module Net = Netlist.Net
+module Stats = Obs.Stats
 
 type target_report = {
   target : string;
@@ -14,17 +15,37 @@ type report = {
   final : Netlist.Net.t;
 }
 
+(* slug for stats keys: "COM,RET,COM" -> "com-ret-com" *)
+let slug name =
+  String.map (function ',' -> '-' | c -> Char.lowercase_ascii c) name
+
+(* node/register reduction accounting shared by every pipeline *)
+let record_reduction name ~before ~after =
+  let s = slug name in
+  let state n = Net.num_regs n + Net.num_latches n in
+  Stats.count
+    (Printf.sprintf "pipeline.%s.regs_removed" s)
+    (state before - state after);
+  Stats.count
+    (Printf.sprintf "pipeline.%s.ands_removed" s)
+    (Net.num_ands before - Net.num_ands after);
+  Stats.set_gauge (Printf.sprintf "pipeline.%s.regs_after" s) (state after);
+  Stats.set_gauge (Printf.sprintf "pipeline.%s.ands_after" s) (Net.num_ands after)
+
 let report_on name net translator_of =
+  let s = slug name in
   let targets =
     List.map
       (fun (tname, b) ->
         let translator = translator_of tname in
-        {
-          target = tname;
-          raw_bound = b.Bound.bound;
-          bound = translator.Translate.apply b.Bound.bound;
-          translator;
-        })
+        let translated = translator.Translate.apply b.Bound.bound in
+        (* per-transform bound-reduction entry: the bound on the
+           transformed netlist and its translation to the original *)
+        Stats.set_gauge (Printf.sprintf "bound.%s.%s.raw" s tname) b.Bound.bound;
+        Stats.set_gauge
+          (Printf.sprintf "bound.%s.%s.translated" s tname)
+          translated;
+        { target = tname; raw_bound = b.Bound.bound; bound = translated; translator })
       (Bound.all_targets net)
   in
   {
@@ -35,27 +56,38 @@ let report_on name net translator_of =
   }
 
 let original net =
-  report_on "Original" net (fun _ -> Translate.identity)
+  Stats.time "pipeline.original" (fun () ->
+      report_on "Original" net (fun _ -> Translate.identity))
 
 let com net =
-  let reduced, _stats = Transform.Com.run net in
-  report_on "COM" reduced.Transform.Rebuild.net (fun _ ->
-      Translate.trace_equivalence)
+  Stats.time "pipeline.com" (fun () ->
+      let reduced, _stats = Transform.Com.run net in
+      record_reduction "COM" ~before:net ~after:reduced.Transform.Rebuild.net;
+      report_on "COM" reduced.Transform.Rebuild.net (fun _ ->
+          Translate.trace_equivalence))
 
 let com_ret_com net =
-  let first, _ = Transform.Com.run net in
-  let retimed = Transform.Retime.run first.Transform.Rebuild.net in
-  let second, _ = Transform.Com.run retimed.Transform.Retime.rebuilt.Transform.Rebuild.net in
-  let skews = retimed.Transform.Retime.target_skews in
-  report_on "COM,RET,COM" second.Transform.Rebuild.net (fun tname ->
-      let skew = Option.value (List.assoc_opt tname skews) ~default:0 in
-      Translate.compose Translate.trace_equivalence
-        (Translate.compose (Translate.retiming ~skew) Translate.trace_equivalence))
+  Stats.time "pipeline.com-ret-com" (fun () ->
+      let first, _ = Transform.Com.run net in
+      let retimed = Transform.Retime.run first.Transform.Rebuild.net in
+      let second, _ =
+        Transform.Com.run retimed.Transform.Retime.rebuilt.Transform.Rebuild.net
+      in
+      record_reduction "COM,RET,COM" ~before:net
+        ~after:second.Transform.Rebuild.net;
+      let skews = retimed.Transform.Retime.target_skews in
+      report_on "COM,RET,COM" second.Transform.Rebuild.net (fun tname ->
+          let skew = Option.value (List.assoc_opt tname skews) ~default:0 in
+          Translate.compose Translate.trace_equivalence
+            (Translate.compose (Translate.retiming ~skew)
+               Translate.trace_equivalence)))
 
 let phase_front net =
-  let abstracted = Transform.Phase.run net in
-  ( abstracted.Transform.Phase.net,
-    Translate.state_folding ~factor:abstracted.Transform.Phase.factor )
+  Stats.time "pipeline.phase" (fun () ->
+      let abstracted = Transform.Phase.run net in
+      record_reduction "phase" ~before:net ~after:abstracted.Transform.Phase.net;
+      ( abstracted.Transform.Phase.net,
+        Translate.state_folding ~factor:abstracted.Transform.Phase.factor ))
 
 type summary = { proved_small : int; total : int; average : float }
 

@@ -74,7 +74,7 @@ let plain ~limit net target regs =
         add_distinct solver (state_lits i) (state_lits k)
       done;
       incr sat_calls;
-      match Solver.solve solver with
+      match fst (Encode.Sat_obs.solve ~span:"recurrence.solve" solver) with
       | Solver.Sat -> extend (k + 1)
       | Solver.Unsat ->
         { bound = Sat_bound.of_int k; path_length = k - 1; sat_calls = !sat_calls }
@@ -136,7 +136,7 @@ let bounded ~limit net target regs =
           done
       done;
       incr sat_calls;
-      match Solver.solve solver with
+      match fst (Encode.Sat_obs.solve ~span:"recurrence.solve" solver) with
       | Solver.Sat -> extend (k + 1)
       | Solver.Unsat ->
         { bound = Sat_bound.of_int k; path_length = k - 1; sat_calls = !sat_calls }
@@ -145,11 +145,17 @@ let bounded ~limit net target regs =
   extend 1
 
 let compute ?(limit = 64) ?(bounded_coi = false) net target =
-  (* work on the target's cone only *)
-  let cone = Transform.Rebuild.copy ~roots:[ target ] net in
-  let target = Transform.Rebuild.map_lit cone target in
-  let net = cone.Transform.Rebuild.net in
-  let regs = Net.regs net in
-  if regs = [] then { bound = Sat_bound.of_int 1; path_length = 0; sat_calls = 0 }
-  else if bounded_coi then bounded ~limit net target regs
-  else plain ~limit net target regs
+  Obs.Stats.time "recurrence.compute" (fun () ->
+      (* work on the target's cone only *)
+      let cone = Transform.Rebuild.copy ~roots:[ target ] net in
+      let target = Transform.Rebuild.map_lit cone target in
+      let net = cone.Transform.Rebuild.net in
+      let regs = Net.regs net in
+      let result =
+        if regs = [] then
+          { bound = Sat_bound.of_int 1; path_length = 0; sat_calls = 0 }
+        else if bounded_coi then bounded ~limit net target regs
+        else plain ~limit net target regs
+      in
+      Obs.Stats.count "recurrence.sat_calls" result.sat_calls;
+      result)

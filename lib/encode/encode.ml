@@ -1,5 +1,6 @@
 (** SAT encodings of netlists: single combinational frames and
-    time-frame unrollings. *)
+    time-frame unrollings, plus per-solve statistics recording. *)
 
 module Frame = Frame
 module Unroll = Unroll
+module Sat_obs = Sat_obs

@@ -1,0 +1,47 @@
+(** Per-solve SAT statistics recording.
+
+    The solver itself keeps plain lifetime counters (no dependency on
+    the observability layer); callers route deltas into the global
+    {!Obs.Stats} registry by solving through this wrapper. *)
+
+module Solver = Sat.Solver
+
+let schema =
+  [
+    "sat.solves";
+    "sat.sat_results";
+    "sat.conflicts";
+    "sat.decisions";
+    "sat.propagations";
+    "sat.restarts";
+    "sat.reduce_dbs";
+    "encode.vars";
+    "encode.clauses";
+  ]
+
+(* register the schema eagerly so every snapshot carries the solver
+   counters, zeroed when nothing ran *)
+let () = Obs.Stats.declare schema
+
+(* [solve ?assumptions ?span solver] is [Solver.solve] plus recording:
+   the wall-clock time goes to [span] (default "sat.solve") and the
+   statistic deltas to the "sat.*" counters.  Returns the result and
+   the elapsed seconds. *)
+let solve ?assumptions ?(span = "sat.solve") solver =
+  let conflicts = Solver.num_conflicts solver in
+  let decisions = Solver.num_decisions solver in
+  let propagations = Solver.num_propagations solver in
+  let restarts = Solver.num_restarts solver in
+  let reduce_dbs = Solver.num_reduce_dbs solver in
+  let result, dt =
+    Obs.Stats.timed span (fun () -> Solver.solve ?assumptions solver)
+  in
+  Obs.Stats.count "sat.solves" 1;
+  if result = Solver.Sat then Obs.Stats.count "sat.sat_results" 1;
+  Obs.Stats.count "sat.conflicts" (Solver.num_conflicts solver - conflicts);
+  Obs.Stats.count "sat.decisions" (Solver.num_decisions solver - decisions);
+  Obs.Stats.count "sat.propagations"
+    (Solver.num_propagations solver - propagations);
+  Obs.Stats.count "sat.restarts" (Solver.num_restarts solver - restarts);
+  Obs.Stats.count "sat.reduce_dbs" (Solver.num_reduce_dbs solver - reduce_dbs);
+  (result, dt)

@@ -2,6 +2,8 @@ module Net = Netlist.Net
 module Lit = Netlist.Lit
 module Solver = Sat.Solver
 
+type frame_cost = { mutable f_vars : int; mutable f_clauses : int }
+
 type t = {
   solver : Solver.t;
   net : Net.t;
@@ -9,21 +11,46 @@ type t = {
   inputs : (int * int, Solver.lit) Hashtbl.t;
   init_x : (int, Solver.lit) Hashtbl.t; (* state var -> free init literal *)
   fls : Solver.lit;
+  frames : (int, frame_cost) Hashtbl.t; (* time -> encoding cost *)
+  c_vars : Obs.Stats.counter;
+  c_clauses : Obs.Stats.counter;
 }
+
+let frame_cost t time =
+  match Hashtbl.find_opt t.frames time with
+  | Some f -> f
+  | None ->
+    let f = { f_vars = 0; f_clauses = 0 } in
+    Hashtbl.replace t.frames time f;
+    f
+
+let emitted t time ~vars ~clauses =
+  let f = frame_cost t time in
+  f.f_vars <- f.f_vars + vars;
+  f.f_clauses <- f.f_clauses + clauses;
+  Obs.Stats.add t.c_vars vars;
+  Obs.Stats.add t.c_clauses clauses
 
 let create solver net =
   let v = Solver.new_var solver in
   (* [pos v] is the constant-false literal: assert its negation *)
   let fls = Solver.pos v in
   Solver.add_clause solver [ Solver.neg_of v ];
-  {
-    solver;
-    net;
-    table = Hashtbl.create 4096;
-    inputs = Hashtbl.create 256;
-    init_x = Hashtbl.create 16;
-    fls;
-  }
+  let t =
+    {
+      solver;
+      net;
+      table = Hashtbl.create 4096;
+      inputs = Hashtbl.create 256;
+      init_x = Hashtbl.create 16;
+      fls;
+      frames = Hashtbl.create 64;
+      c_vars = Obs.Stats.counter "encode.vars";
+      c_clauses = Obs.Stats.counter "encode.clauses";
+    }
+  in
+  emitted t 0 ~vars:1 ~clauses:1;
+  t
 
 let solver t = t.solver
 let net t = t.net
@@ -41,6 +68,7 @@ let rec var_at t v time =
       | Net.Input _ ->
         let sv = Solver.pos (Solver.new_var t.solver) in
         Hashtbl.replace t.inputs (v, time) sv;
+        emitted t time ~vars:1 ~clauses:0;
         sv
       | Net.And (a, b) ->
         let sa = lit_at t a time in
@@ -49,6 +77,7 @@ let rec var_at t v time =
         Solver.add_clause t.solver [ Solver.negate c; sa ];
         Solver.add_clause t.solver [ Solver.negate c; sb ];
         Solver.add_clause t.solver [ c; Solver.negate sa; Solver.negate sb ];
+        emitted t time ~vars:1 ~clauses:3;
         c
       | Net.Reg r ->
         if time = 0 then init_lit t v r.Net.r_init
@@ -70,14 +99,26 @@ and init_lit t v = function
   | Net.Init_x ->
     let sl = Solver.pos (Solver.new_var t.solver) in
     Hashtbl.replace t.init_x v sl;
+    emitted t 0 ~vars:1 ~clauses:0;
     sl
 
 let value_at t l time = Solver.value t.solver (lit_at t l time)
 
+(* Hashtable folds visit entries in bucket order, which depends on
+   table history; sort so counterexample rendering, VCD dumps and
+   golden tests are stable across runs. *)
 let init_x_assignments t =
   Hashtbl.fold (fun v sl acc -> (v, Solver.value t.solver sl) :: acc) t.init_x []
+  |> List.sort (fun (v1, _) (v2, _) -> compare v1 v2)
 
 let input_frames t ~upto =
   Hashtbl.fold
     (fun (v, time) sl acc -> if time <= upto then (v, time, sl) :: acc else acc)
     t.inputs []
+  |> List.sort (fun (v1, t1, _) (v2, t2, _) -> compare (t1, v1) (t2, v2))
+
+let frame_profile t =
+  Hashtbl.fold
+    (fun time f acc -> (time, f.f_vars, f.f_clauses) :: acc)
+    t.frames []
+  |> List.sort (fun (t1, _, _) (t2, _, _) -> compare t1 t2)

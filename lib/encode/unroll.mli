@@ -25,8 +25,18 @@ val value_at : t -> Netlist.Lit.t -> int -> bool
 
 val init_x_assignments : t -> (int * bool) list
 (** Values chosen for the nondeterministic initial values in the model
-    of the last satisfiable solve, as (state variable, value) pairs. *)
+    of the last satisfiable solve, as (state variable, value) pairs,
+    sorted by state variable. *)
 
 val input_frames : t -> upto:int -> (int * int * Sat.Solver.lit) list
 (** All encoded (input variable, time, literal) triples with
-    [time <= upto] — for counterexample extraction. *)
+    [time <= upto] — for counterexample extraction.  Sorted by
+    (time, variable), so extracted counterexamples are deterministic
+    across runs. *)
+
+val frame_profile : t -> (int * int * int) list
+(** Per time frame, the (time, solver variables, clauses) emitted while
+    encoding it, sorted by time.  Register/latch aliasing attributes
+    cost to the frame whose cone forced the encoding.  Also accumulated
+    into the global {!Obs.Stats} counters ["encode.vars"] and
+    ["encode.clauses"]. *)

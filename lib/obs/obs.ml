@@ -1,0 +1,11 @@
+(** Observability substrate: a process-global registry of counters and
+    wall-clock spans ({!Stats}) and its human/JSON renderers
+    ({!Report}).
+
+    The hot layers (SAT solver callers, the unroller, the BMC loop,
+    the transformation pipelines and the verification engine) record
+    into this registry; tools expose it via [--stats] /
+    [--stats-json FILE]. *)
+
+module Stats = Stats
+module Report = Report

@@ -1,0 +1,51 @@
+(** Rendering of {!Stats} snapshots: a human-readable table and a
+    stable, machine-readable JSON form.
+
+    The JSON schema is
+    {v
+    { "counters": { "<name>": <int>, ... },
+      "spans":    { "<name>": { "calls": <int>,
+                                "total_s": <number>,
+                                "max_s": <number> }, ... } }
+    v}
+    with keys emitted in sorted order, so diffs between runs are
+    meaningful and BENCH_*.json entries are reproducible. *)
+
+(** {1 JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+(** Compact rendering with sorted-as-given keys and round-trippable
+    floats. *)
+
+val parse : string -> json
+(** @raise Failure on malformed input. *)
+
+(** {1 Snapshots} *)
+
+val json_of_snapshot : Stats.snapshot -> json
+
+val snapshot_of_json : json -> Stats.snapshot
+(** @raise Failure when the shape does not match the schema above. *)
+
+val pp_human : Format.formatter -> Stats.snapshot -> unit
+(** Two aligned tables: counters, then spans with call counts and
+    total/max wall-clock time. *)
+
+val write_file : string -> Stats.snapshot -> unit
+(** Write the JSON rendering (with a trailing newline). *)
+
+val emit : ?human:bool -> ?json_file:string -> unit -> unit
+(** CLI convenience: snapshot the global registry once, print the
+    human table to stdout when [human], and write the JSON snapshot
+    to [json_file] when given.  An unwritable [json_file] prints a
+    warning to stderr instead of raising — telemetry must not turn a
+    successful run into a failure. *)

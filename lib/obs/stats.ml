@@ -1,0 +1,81 @@
+type counter = { mutable n : int }
+type span = { mutable calls : int; mutable total : float; mutable max : float }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let spans : (string, span) Hashtbl.t = Hashtbl.create 64
+let now () = Unix.gettimeofday ()
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { n = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let incr c = c.n <- c.n + 1
+let add c n = c.n <- c.n + n
+let set c n = c.n <- n
+let record_max c n = if n > c.n then c.n <- n
+let counter_value c = c.n
+let count name n = add (counter name) n
+let set_gauge name n = set (counter name) n
+let max_gauge name n = record_max (counter name) n
+let declare names = List.iter (fun name -> ignore (counter name)) names
+
+let span name =
+  match Hashtbl.find_opt spans name with
+  | Some sp -> sp
+  | None ->
+    let sp = { calls = 0; total = 0.; max = 0. } in
+    Hashtbl.replace spans name sp;
+    sp
+
+let add_span name dt =
+  let sp = span name in
+  sp.calls <- sp.calls + 1;
+  sp.total <- sp.total +. dt;
+  if dt > sp.max then sp.max <- dt
+
+let time name f =
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> add_span name (now () -. t0)) f
+
+let timed name f =
+  let t0 = now () in
+  let r = f () in
+  let dt = now () -. t0 in
+  add_span name dt;
+  (r, dt)
+
+type span_stats = { calls : int; total_s : float; max_s : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  spans : (string * span_stats) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  {
+    counters =
+      Hashtbl.fold (fun name c acc -> (name, c.n) :: acc) counters []
+      |> List.sort by_name;
+    spans =
+      Hashtbl.fold
+        (fun name (sp : span) acc ->
+          (name, { calls = sp.calls; total_s = sp.total; max_s = sp.max })
+          :: acc)
+        spans []
+      |> List.sort by_name;
+  }
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.n <- 0) counters;
+  Hashtbl.iter
+    (fun _ (sp : span) ->
+      sp.calls <- 0;
+      sp.total <- 0.;
+      sp.max <- 0.)
+    spans

@@ -1,0 +1,73 @@
+(** Process-global observability registry: monotonic counters and
+    wall-clock spans.
+
+    Every instrumented layer records into one shared registry, keyed
+    by dotted names ("sat.conflicts", "engine.bmc-probe", ...), so a
+    tool can run an arbitrary mix of engines and render a single
+    coherent report at the end ({!Report}).
+
+    Counters and spans are registered on first use and survive
+    {!reset} (which only zeroes them), so a declared schema stays
+    stable across runs within a process. *)
+
+type counter
+type span
+
+val now : unit -> float
+(** Wall-clock seconds (monotonic enough for span accounting). *)
+
+(** {1 Counters} *)
+
+val counter : string -> counter
+(** Get-or-create the named counter (initially 0). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val set : counter -> int -> unit
+(** Overwrite: for gauges such as "bound.com.t.raw". *)
+
+val record_max : counter -> int -> unit
+(** High-water mark: keep the maximum of the current and given value. *)
+
+val counter_value : counter -> int
+
+val count : string -> int -> unit
+(** One-shot [add (counter name) n]. *)
+
+val set_gauge : string -> int -> unit
+(** One-shot [set (counter name) n]. *)
+
+val max_gauge : string -> int -> unit
+(** One-shot [record_max (counter name) n]. *)
+
+val declare : string list -> unit
+(** Register names eagerly so they appear (as zeroes) in every
+    snapshot even when the corresponding code path never ran. *)
+
+(** {1 Spans} *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f], accumulating its wall-clock duration into
+    the named span; the duration is recorded even when [f] raises. *)
+
+val timed : string -> (unit -> 'a) -> 'a * float
+(** Like {!time}, but also returns the measured duration in seconds
+    (not recorded when [f] raises). *)
+
+val add_span : string -> float -> unit
+(** Record an externally measured duration (seconds). *)
+
+(** {1 Snapshots} *)
+
+type span_stats = { calls : int; total_s : float; max_s : float }
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  spans : (string * span_stats) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every counter and span, keeping registrations. *)

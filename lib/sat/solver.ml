@@ -41,6 +41,9 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
+  mutable reduce_dbs : int;
+  mutable last_solve_sat : bool;
 }
 
 let create () =
@@ -68,12 +71,34 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
+    reduce_dbs = 0;
+    last_solve_sat = false;
   }
 
 let num_vars s = s.nvars
 let num_conflicts s = s.conflicts
 let num_decisions s = s.decisions
 let num_propagations s = s.propagations
+let num_restarts s = s.restarts
+let num_reduce_dbs s = s.reduce_dbs
+let num_clauses s = Vec.size s.clauses
+let num_learnts s = Vec.size s.learnts
+let set_max_learnts s n = s.max_learnts <- float_of_int n
+
+let num_watch_entries s =
+  let total = ref 0 in
+  for l = 0 to (2 * s.nvars) - 1 do
+    total := !total + Vec.size s.watches.(l)
+  done;
+  !total
+
+let num_dead_watches s =
+  let dead = ref 0 in
+  for l = 0 to (2 * s.nvars) - 1 do
+    Vec.iter (fun c -> if c.deleted then incr dead) s.watches.(l)
+  done;
+  !dead
 
 let grow_array a n dummy =
   let old = Array.length a in
@@ -356,7 +381,26 @@ let locked s c =
   let v = var_of c.lits.(0) in
   s.assigns.(v) >= 0 && s.reason.(v) == c
 
+(* Drop deleted clauses from every watch list.  Without this sweep a
+   deleted clause stays watched until the watched literal happens to
+   propagate, so long incremental runs scan ever more dead entries. *)
+let sweep_watches s =
+  for l = 0 to (2 * s.nvars) - 1 do
+    let ws = s.watches.(l) in
+    let n = Vec.size ws in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      let c = Vec.get ws i in
+      if not c.deleted then begin
+        if !j < i then Vec.set ws !j c;
+        incr j
+      end
+    done;
+    Vec.shrink ws !j
+  done
+
 let reduce_db s =
+  s.reduce_dbs <- s.reduce_dbs + 1;
   Vec.sort (fun a b -> compare a.act b.act) s.learnts;
   let n = Vec.size s.learnts in
   let keep = Vec.create ~dummy:dummy_clause () in
@@ -368,7 +412,8 @@ let reduce_db s =
     else Vec.push keep c
   done;
   Vec.clear s.learnts;
-  Vec.iter (fun c -> Vec.push s.learnts c) keep
+  Vec.iter (fun c -> Vec.push s.learnts c) keep;
+  sweep_watches s
 
 (* ----- clause addition ----- *)
 
@@ -501,6 +546,7 @@ let search s assumptions conflict_budget =
   loop ()
 
 let solve ?(assumptions = []) s =
+  s.last_solve_sat <- false;
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -513,6 +559,7 @@ let solve ?(assumptions = []) s =
          let budget = int_of_float (100. *. luby 2. !restart) in
          match search s assumptions budget with
          | `Restart ->
+           s.restarts <- s.restarts + 1;
            incr restart;
            run ()
        in
@@ -527,18 +574,25 @@ let solve ?(assumptions = []) s =
       done
     end;
     cancel_until s 0;
+    s.last_solve_sat <- !result = Sat;
     !result
   end
 
 let value s l =
+  if not s.last_solve_sat then
+    invalid_arg "Solver.value: no model (last solve did not return Sat)";
   let v = var_of l in
   let b = if s.assigns.(v) >= 0 then s.assigns.(v) = 1 else s.phase.(v) in
   if is_pos l then b else not b
 
-let model s = Array.init s.nvars (fun v -> value s (pos v))
+let model s =
+  if not s.last_solve_sat then
+    invalid_arg "Solver.model: no model (last solve did not return Sat)";
+  Array.init s.nvars (fun v -> value s (pos v))
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d"
+    "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d \
+     restarts=%d reduce_dbs=%d"
     s.nvars (Vec.size s.clauses) (Vec.size s.learnts) s.conflicts s.decisions
-    s.propagations
+    s.propagations s.restarts s.reduce_dbs

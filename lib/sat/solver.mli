@@ -43,16 +43,47 @@ val solve : ?assumptions:lit list -> t -> result
     call, and [solve] may be called again. *)
 
 val value : t -> lit -> bool
-(** Value of a literal in the model found by the last [solve].  Only
-    meaningful after [solve] returned [Sat]; unassigned variables
-    (eliminated by simplification) read as their saved phase. *)
+(** Value of a literal in the model found by the last [solve].
+    Unassigned variables (eliminated by simplification) read as their
+    saved phase.  @raise Invalid_argument when the last [solve] did
+    not return [Sat] (or none has run yet): there is no model, and the
+    phase-saved data a pre-guard implementation would return is
+    stale. *)
 
 val model : t -> bool array
-(** Model by variable index. *)
+(** Model by variable index.  @raise Invalid_argument when the last
+    [solve] did not return [Sat]. *)
 
 (** Statistics from the lifetime of the solver. *)
 
 val num_conflicts : t -> int
 val num_decisions : t -> int
 val num_propagations : t -> int
+
+val num_restarts : t -> int
+(** Completed Luby restarts across all [solve] calls. *)
+
+val num_reduce_dbs : t -> int
+(** Learnt-database reductions (each halves the learnt set and sweeps
+    deleted clauses out of the watch lists). *)
+
+val num_clauses : t -> int
+(** Live problem clauses. *)
+
+val num_learnts : t -> int
+(** Live learnt clauses. *)
+
+val num_watch_entries : t -> int
+(** Total entries across all watch lists; with every clause watched
+    twice this is [2 * (num_clauses + num_learnts)] between solves. *)
+
+val num_dead_watches : t -> int
+(** Watch entries pointing at deleted clauses — always 0 after
+    [reduce_db]'s sweep; exposed for regression tests. *)
+
+val set_max_learnts : t -> int -> unit
+(** Lower (or raise) the learnt-database size that triggers a
+    reduction.  [solve] still never reduces below a third of the
+    problem clause count. *)
+
 val pp_stats : Format.formatter -> t -> unit

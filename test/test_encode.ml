@@ -118,8 +118,40 @@ let test_init_x_consistency () =
   let l3 = Encode.Unroll.lit_at unroll r 3 in
   Helpers.check_bool "aliased through the loop" true (l0 = l3)
 
+let test_input_frames_sorted () =
+  (* regression: input_frames/init_x_assignments folded over hashtables,
+     so counterexample extraction order depended on hashing *)
+  let net = Net.create () in
+  let inputs = List.init 8 (fun i -> Net.add_input net (Printf.sprintf "i%d" i)) in
+  let regs =
+    List.init 3 (fun i -> Net.add_reg net ~init:Net.Init_x (Printf.sprintf "r%d" i))
+  in
+  let any = Net.add_or_list net (inputs @ regs) in
+  List.iter (fun r -> Net.set_next net r any) regs;
+  Net.add_target net "t" any;
+  let solver = Solver.create () in
+  let unroll = Encode.Unroll.create solver net in
+  ignore (Encode.Unroll.lit_at unroll any 4);
+  Helpers.check_bool "sat" true (Solver.solve solver = Solver.Sat);
+  let frames = Encode.Unroll.input_frames unroll ~upto:4 in
+  Helpers.check_bool "non-trivial frame list" true (List.length frames > 8);
+  let keys = List.map (fun (v, t, _) -> (t, v)) frames in
+  Helpers.check_bool "input frames sorted by (time, var)" true
+    (List.sort compare keys = keys);
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | [ _ ] | [] -> true
+  in
+  Helpers.check_bool "no duplicate (time, var) pairs" true
+    (strictly_increasing keys);
+  let init_vars = List.map fst (Encode.Unroll.init_x_assignments unroll) in
+  Helpers.check_int "all Init_x registers present" 3 (List.length init_vars);
+  Helpers.check_bool "init_x sorted by var" true
+    (List.sort compare init_vars = init_vars)
+
 let suite =
   [
+    Alcotest.test_case "input frames sorted" `Quick test_input_frames_sorted;
     Alcotest.test_case "frame is combinational" `Quick test_frame_is_combinational;
     Alcotest.test_case "frame AND semantics" `Quick test_frame_and_semantics;
     Alcotest.test_case "unroll latch phases" `Quick test_unroll_latch_phases;

@@ -67,6 +67,45 @@ let test_inconclusive_records_attempts () =
   | Core.Engine.Proved _ -> Alcotest.fail "budgets too small to prove"
   | Core.Engine.Violated _ -> Alcotest.fail "needs 2^10 steps to hit"
 
+let test_discharge_depth () =
+  (* regression: a bound of 0 used to be discharged by a depth -1 BMC
+     run ("complete to depth -1"); it must skip BMC entirely *)
+  Helpers.check_bool "huge -> no run" true
+    (Core.Engine.discharge_depth Core.Sat_bound.huge = None);
+  Helpers.check_bool "0 -> no run" true
+    (Core.Engine.discharge_depth (Core.Sat_bound.of_int 0) = None);
+  Helpers.check_bool "1 -> depth 0" true
+    (Core.Engine.discharge_depth (Core.Sat_bound.of_int 1) = Some 0);
+  Helpers.check_bool "5 -> depth 4" true
+    (Core.Engine.discharge_depth (Core.Sat_bound.of_int 5) = Some 4)
+
+let test_empty_enlargement_at_k0 () =
+  (* regression: with enlargement_k = 0 an empty enlargement used to
+     discharge via [Bmc.check ~depth:(k - 1)], i.e. depth -1, and
+     report "complete to depth -1" *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let r1 = Net.add_reg net ~init:Net.Init0 "r1" in
+  let r2 = Net.add_reg net ~init:Net.Init0 "r2" in
+  Net.set_next net r1 a;
+  Net.set_next net r2 (Lit.neg a);
+  (* combinationally false, but hidden from two-level strashing:
+     (r1 & r2) & (r1 & ~r2) *)
+  let t1 = Net.add_and net r1 r2 in
+  let t2 = Net.add_and net r1 (Lit.neg r2) in
+  Net.add_target net "t" (Net.add_and net t1 t2);
+  (* cutoff 1 makes every bound-based strategy stand down (their
+     minimum bound is 1), leaving the BDD path to close the target *)
+  let config =
+    { Core.Engine.default with Core.Engine.enlargement_k = 0; cutoff = 1 }
+  in
+  match Core.Engine.verify ~config net ~target:"t" with
+  | Core.Engine.Proved { strategy; depth } ->
+    Helpers.check_bool "proved by the empty enlargement" true
+      (String.equal strategy "enlargement-empty");
+    Helpers.check_int "depth clamped to 0, not -1" 0 depth
+  | v -> Alcotest.fail (Format.asprintf "unexpected: %a" Core.Engine.pp_verdict v)
+
 let test_unknown_target () =
   let net = Net.create () in
   Alcotest.check_raises "unknown" (Invalid_argument "Engine.verify: unknown target zz")
@@ -100,6 +139,9 @@ let suite =
     Alcotest.test_case "RET gadget strategy" `Quick test_ret_gadget_needs_transformations;
     Alcotest.test_case "latch design" `Quick test_latch_design;
     Alcotest.test_case "inconclusive attempts" `Quick test_inconclusive_records_attempts;
+    Alcotest.test_case "discharge depth" `Quick test_discharge_depth;
+    Alcotest.test_case "empty enlargement at k=0" `Quick
+      test_empty_enlargement_at_k0;
     Alcotest.test_case "unknown target" `Quick test_unknown_target;
     prop_agrees_with_exact;
   ]

@@ -126,6 +126,63 @@ let test_pigeonhole () =
   done;
   Helpers.check_bool "php(4,3) unsat" true (Solver.solve s = Solver.Unsat)
 
+let php s pigeons holes =
+  let var =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s))
+  in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> Solver.pos var.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s
+          [ Solver.neg_of var.(p1).(h); Solver.neg_of var.(p2).(h) ]
+      done
+    done
+  done
+
+let test_reduce_db_sweeps_watches () =
+  (* regression: reduce_db used to mark learnts deleted without
+     purging them from the watch lists, so dead clauses accumulated
+     and propagation kept scanning them *)
+  let s = Solver.create () in
+  php s 5 4;
+  Solver.set_max_learnts s 5;
+  Helpers.check_bool "php(5,4) unsat" true (Solver.solve s = Solver.Unsat);
+  Helpers.check_bool "reduce_db triggered" true (Solver.num_reduce_dbs s > 0);
+  Helpers.check_int "no dead watch entries" 0 (Solver.num_dead_watches s);
+  (* two-watched invariant: every live clause sits in exactly two
+     watch lists (unit learnts are never stored) *)
+  Helpers.check_int "watch entries = 2 * live clauses"
+    (2 * (Solver.num_clauses s + Solver.num_learnts s))
+    (Solver.num_watch_entries s)
+
+let test_model_after_unsat_raises () =
+  (* regression: value/model used to silently return stale
+     phase-saved data after an Unsat result *)
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Solver.pos a; Solver.pos b ];
+  Alcotest.check_raises "value before any solve"
+    (Invalid_argument "Solver.value: no model (last solve did not return Sat)")
+    (fun () -> ignore (Solver.value s (Solver.pos a)));
+  Helpers.check_bool "sat" true (Solver.solve s = Solver.Sat);
+  ignore (Solver.value s (Solver.pos a));
+  ignore (Solver.model s);
+  Helpers.check_bool "unsat under assumptions" true
+    (Solver.solve ~assumptions:[ Solver.neg_of a; Solver.neg_of b ] s
+    = Solver.Unsat);
+  Alcotest.check_raises "value after unsat"
+    (Invalid_argument "Solver.value: no model (last solve did not return Sat)")
+    (fun () -> ignore (Solver.value s (Solver.pos a)));
+  Alcotest.check_raises "model after unsat"
+    (Invalid_argument "Solver.model: no model (last solve did not return Sat)")
+    (fun () -> ignore (Solver.model s));
+  (* a later Sat solve restores access *)
+  Helpers.check_bool "sat again" true (Solver.solve s = Solver.Sat);
+  ignore (Solver.model s)
+
 let test_dimacs_roundtrip () =
   let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
   let cnf = Sat.Dimacs.parse text in
@@ -148,6 +205,10 @@ let suite =
     Alcotest.test_case "conflicting units" `Quick test_conflicting_units;
     Alcotest.test_case "assumptions reset" `Quick test_unsat_core_free_after_assumptions;
     Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole;
+    Alcotest.test_case "reduce_db sweeps watches" `Quick
+      test_reduce_db_sweeps_watches;
+    Alcotest.test_case "model after unsat raises" `Quick
+      test_model_after_unsat_raises;
     Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
     Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors;
     prop_agrees_with_brute_force;

@@ -1,0 +1,138 @@
+module Stats = Obs.Stats
+module Report = Obs.Report
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+(* the registry is process-global; isolate each case *)
+let fresh () = Stats.reset ()
+
+let contains text needle =
+  let n = String.length needle and m = String.length text in
+  let rec at i = i + n <= m && (String.sub text i n = needle || at (i + 1)) in
+  at 0
+
+let test_counters () =
+  fresh ();
+  Stats.count "t.a" 1;
+  Stats.count "t.a" 2;
+  Stats.set_gauge "t.b" 7;
+  Stats.set_gauge "t.b" 4;
+  Stats.max_gauge "t.c" 3;
+  Stats.max_gauge "t.c" 9;
+  Stats.max_gauge "t.c" 5;
+  let snap = Stats.snapshot () in
+  let get name = List.assoc name snap.Stats.counters in
+  Helpers.check_int "count accumulates" 3 (get "t.a");
+  Helpers.check_int "set overwrites" 4 (get "t.b");
+  Helpers.check_int "max keeps the max" 9 (get "t.c");
+  (* snapshot is sorted by name *)
+  let names = List.map fst snap.Stats.counters in
+  Helpers.check_bool "counters sorted" true (List.sort compare names = names)
+
+let test_spans () =
+  fresh ();
+  let v = Stats.time "t.span" (fun () -> 41 + 1) in
+  Helpers.check_int "time returns the value" 42 v;
+  ignore (Stats.time "t.span" (fun () -> ()));
+  (* exceptions still record the span *)
+  (try Stats.time "t.span" (fun () -> failwith "boom") with Failure _ -> ());
+  let snap = Stats.snapshot () in
+  let sp = List.assoc "t.span" snap.Stats.spans in
+  Helpers.check_int "three calls recorded" 3 sp.Stats.calls;
+  Helpers.check_bool "total >= max" true (sp.Stats.total_s >= sp.Stats.max_s);
+  Helpers.check_bool "non-negative" true (sp.Stats.total_s >= 0.)
+
+let test_reset () =
+  fresh ();
+  Stats.count "t.x" 5;
+  ignore (Stats.time "t.y" (fun () -> ()));
+  Stats.reset ();
+  let snap = Stats.snapshot () in
+  Helpers.check_int "counter zeroed, still registered" 0
+    (List.assoc "t.x" snap.Stats.counters);
+  Helpers.check_int "span zeroed, still registered" 0
+    (List.assoc "t.y" snap.Stats.spans).Stats.calls
+
+let test_json_roundtrip () =
+  fresh ();
+  Stats.count "t.n" 12;
+  Stats.set_gauge "t.g" 0;
+  ignore (Stats.time "t.s" (fun () -> ()));
+  let snap = Stats.snapshot () in
+  let json = Report.json_of_snapshot snap in
+  let text = Report.to_string json in
+  let back = Report.snapshot_of_json (Report.parse text) in
+  Helpers.check_bool "counters survive the round trip" true
+    (back.Stats.counters = snap.Stats.counters);
+  Helpers.check_bool "spans survive the round trip" true
+    (back.Stats.spans = snap.Stats.spans)
+
+let test_json_escapes () =
+  let json =
+    Report.Obj
+      [
+        ("quote\"back\\slash", Report.String "tab\t nl\n");
+        ("nums", Report.List [ Report.Int (-3); Report.Float 0.125; Report.Null ]);
+        ("flag", Report.Bool true);
+      ]
+  in
+  let text = Report.to_string json in
+  Helpers.check_bool "escaped round trip" true (Report.parse text = json)
+
+let test_parse_errors () =
+  let bad s =
+    match Report.parse s with
+    | exception Failure _ -> true
+    | _ -> false
+  in
+  Helpers.check_bool "truncated object" true (bad "{\"a\": 1");
+  Helpers.check_bool "bare word" true (bad "nope");
+  Helpers.check_bool "trailing garbage" true (bad "{} {}")
+
+let test_engine_populates_stats () =
+  (* end-to-end: a verify run flows through every instrumented layer *)
+  fresh ();
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let r0 = Net.add_reg net ~init:Net.Init0 "r0" in
+  let r1 = Net.add_reg net ~init:Net.Init1 "r1" in
+  Net.set_next net r0 a;
+  Net.set_next net r1 (Lit.neg a);
+  Net.add_target net "t" (Net.add_and net r0 r1);
+  (match Core.Engine.verify net ~target:"t" with
+  | Core.Engine.Proved _ -> ()
+  | v ->
+    Alcotest.fail (Format.asprintf "unexpected: %a" Core.Engine.pp_verdict v));
+  let snap = Stats.snapshot () in
+  let counter name = List.assoc name snap.Stats.counters in
+  Helpers.check_bool "solver ran" true (counter "sat.solves" > 0);
+  Helpers.check_bool "propagations counted" true
+    (counter "sat.propagations" > 0);
+  Helpers.check_bool "encoding counted" true (counter "encode.vars" > 0);
+  Helpers.check_int "verdict counted" 1 (counter "engine.proved");
+  let span name = List.assoc name snap.Stats.spans in
+  Helpers.check_bool "probe span recorded" true
+    ((span "engine.bmc-probe").Stats.calls = 1);
+  Helpers.check_bool "probe span timed" true
+    ((span "engine.bmc-probe").Stats.total_s >= 0.)
+
+let test_pp_human_smoke () =
+  fresh ();
+  Stats.count "t.k" 2;
+  ignore (Stats.time "t.t" (fun () -> ()));
+  let text = Format.asprintf "%a" Report.pp_human (Stats.snapshot ()) in
+  Helpers.check_bool "mentions the counter" true (contains text "t.k");
+  Helpers.check_bool "mentions the span" true (contains text "t.t")
+
+let suite =
+  [
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "spans" `Quick test_spans;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json escapes" `Quick test_json_escapes;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "engine populates stats" `Quick
+      test_engine_populates_stats;
+    Alcotest.test_case "pp_human smoke" `Quick test_pp_human_smoke;
+  ]
