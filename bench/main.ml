@@ -9,12 +9,26 @@
 
    Pass --stats-json FILE to also dump the Obs.Stats snapshot (solver
    counters, per-experiment spans) as JSON — BENCH_*.json entries come
-   from this layer.  --stats prints the human-readable table.        *)
+   from this layer.  --stats prints the human-readable table.
+   --timeout S / --conflicts N / --bdd-nodes N put each budgeted
+   computation under a resource budget (see Obs.Budget): exhausted
+   work degrades to partial results instead of running away.         *)
 
 module Net = Netlist.Net
 module Lit = Netlist.Lit
 
 let cutoff = 50
+
+(* resource-budget flags; a fresh budget (fresh deadline) is minted at
+   the start of each budgeted computation *)
+let budget_spec :
+    (float option * int option * int option) ref (* timeout, confl, nodes *)
+    =
+  ref (None, None, None)
+
+let fresh_budget () =
+  let timeout_s, conflicts, bdd_nodes = !budget_spec in
+  Obs.Budget.create ?timeout_s ?conflicts ?bdd_nodes ()
 
 (* ----- shared row machinery ----- *)
 
@@ -24,7 +38,12 @@ type row = {
 }
 
 let run_pipelines net =
-  [ Core.Pipeline.original net; Core.Pipeline.com net; Core.Pipeline.com_ret_com net ]
+  let budget = fresh_budget () in
+  [
+    Core.Pipeline.original net;
+    Core.Pipeline.com ~budget net;
+    Core.Pipeline.com_ret_com ~budget net;
+  ]
 
 let pp_cell ppf (report : Core.Pipeline.report) =
   let s = Core.Pipeline.summarize ~cutoff report in
@@ -172,9 +191,12 @@ let baseline () =
       (* the limit embodies the paper's point: the series of SAT
          problems grows quadratically and the final refutation is
          pigeonhole-hard, so deep recurrence searches are abandoned *)
-      let r = Core.Recurrence.compute ~limit:80 net t in
+      let r = Core.Recurrence.compute ~limit:80 ~budget:(fresh_budget ()) net t in
       let t2 = Unix.gettimeofday () in
-      let b = Core.Recurrence.compute ~limit:80 ~bounded_coi:true net t in
+      let b =
+        Core.Recurrence.compute ~limit:80 ~bounded_coi:true
+          ~budget:(fresh_budget ()) net t
+      in
       let exact =
         match Core.Symbolic.explore net t with
         | Some e -> string_of_int (e.Core.Symbolic.sequential_depth + 1)
@@ -230,7 +252,7 @@ let ablation () =
   Net.add_target net "t" chain.Workload.Gen.out;
   let before = Core.Classify.netlist_counts net in
   let b_before = Core.Bound.target_named net "t" in
-  let reduced, _ = Transform.Com.run net in
+  let reduced, _ = Transform.Com.run ~budget:(fresh_budget ()) net in
   let after = Core.Classify.netlist_counts reduced.Transform.Rebuild.net in
   let b_after = Core.Bound.target_named reduced.Transform.Rebuild.net "t" in
   Format.printf
@@ -251,7 +273,7 @@ let ablation () =
   let cnt = Workload.Gen.counter net ~name:"cnt" ~bits:8 ~enable:guard in
   Net.add_target net "t" cnt.Workload.Gen.out;
   let b0 = Core.Bound.target_named net "t" in
-  let com, _ = Transform.Com.run net in
+  let com, _ = Transform.Com.run ~budget:(fresh_budget ()) net in
   let b_com = Core.Bound.target_named com.Transform.Rebuild.net "t" in
   let ve, ve_stats = Transform.Van_eijk.run net in
   let b_ve = Core.Bound.target_named ve.Transform.Rebuild.net "t" in
@@ -279,10 +301,11 @@ let ablation () =
   Net.set_next net r1 (Lit.neg a);
   Net.add_target net "t" (Net.add_and net r0 r1);
   let b = (Core.Bound.target_named net "t").Core.Bound.bound in
-  (match Bmc.prove net ~target:"t" ~bound:b with
+  (match Bmc.prove ~budget:(fresh_budget ()) net ~target:"t" ~bound:b with
   | `Proved ->
     Format.printf "  bound %d; BMC to depth %d found no hit: PROVED@." b (b - 1)
-  | `Cex cex -> Format.printf "  counterexample at depth %d@." cex.Bmc.depth)
+  | `Cex cex -> Format.printf "  counterexample at depth %d@." cex.Bmc.depth
+  | `Unknown -> Format.printf "  budget exhausted before the proof closed@.")
 
 (* ----- Bechamel timing benches (one Test.make per table) ----- *)
 
@@ -332,15 +355,38 @@ let bechamel () =
       | Some _ | None -> Format.printf "  %-40s (no estimate)@." name)
     results
 
-(* split "--stats" / "--stats-json FILE" out of the experiment list *)
+(* split "--stats" / "--stats-json FILE" / budget flags out of the
+   experiment list *)
 let split_args args =
+  let missing flag =
+    Format.eprintf "%s needs an argument@." flag;
+    exit 2
+  in
+  let num conv flag v =
+    match conv v with
+    | Some n -> n
+    | None ->
+      Format.eprintf "%s: bad argument %S@." flag v;
+      exit 2
+  in
+  let set f = budget_spec := f !budget_spec in
   let rec go stats json exps = function
     | [] -> (stats, json, List.rev exps)
     | "--stats" :: rest -> go true json exps rest
     | "--stats-json" :: file :: rest -> go stats (Some file) exps rest
-    | "--stats-json" :: [] ->
-      Format.eprintf "--stats-json needs a FILE argument@.";
-      exit 2
+    | "--stats-json" :: [] -> missing "--stats-json"
+    | "--timeout" :: v :: rest ->
+      set (fun (_, c, n) -> (Some (num float_of_string_opt "--timeout" v), c, n));
+      go stats json exps rest
+    | "--timeout" :: [] -> missing "--timeout"
+    | "--conflicts" :: v :: rest ->
+      set (fun (t, _, n) -> (t, Some (num int_of_string_opt "--conflicts" v), n));
+      go stats json exps rest
+    | "--conflicts" :: [] -> missing "--conflicts"
+    | "--bdd-nodes" :: v :: rest ->
+      set (fun (t, c, _) -> (t, c, Some (num int_of_string_opt "--bdd-nodes" v)));
+      go stats json exps rest
+    | "--bdd-nodes" :: [] -> missing "--bdd-nodes"
     | exp :: rest -> go stats json (exp :: exps) rest
   in
   go false None [] args

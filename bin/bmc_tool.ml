@@ -2,30 +2,27 @@
    completeness.
 
      bmc-check circuit.bench --target po0 --depth 20
-     bmc-check circuit.bench --target po0 --complete                  *)
+     bmc-check circuit.bench --target po0 --complete
+     bmc-check circuit.bench --complete --timeout 10                  *)
 
 module Net = Netlist.Net
 
-let run file target depth complete vcd stats stats_json =
-  let net = Textio.Bench_io.parse_file file in
+let run file target depth complete vcd budget stats stats_json =
+  let net = Cli.load_bench file in
   let target =
     match (target, Net.targets net) with
     | Some t, _ -> t
     | None, (t, _) :: _ -> t
-    | None, [] ->
-      Format.eprintf "netlist has no targets@.";
-      exit 2
+    | None, [] -> Cli.die Cli.usage_error "netlist has no targets"
   in
   let depth =
     if complete then begin
       let b = Core.Bound.target_named net target in
-      if Core.Sat_bound.is_huge b.Core.Bound.bound then begin
-        Format.eprintf
+      if Core.Sat_bound.is_huge b.Core.Bound.bound then
+        Cli.die Cli.inconclusive
           "no practically useful diameter bound for %s (cone of %d \
-           registers); try --depth@."
+           registers); try --depth"
           target b.Core.Bound.coi_regs;
-        exit 3
-      end;
       Format.printf "diameter bound %a: checking to depth %d is complete@."
         Core.Sat_bound.pp b.Core.Bound.bound
         (b.Core.Bound.bound - 1);
@@ -34,15 +31,18 @@ let run file target depth complete vcd stats stats_json =
     else depth
   in
   let finish () = Obs.Report.emit ~human:stats ?json_file:stats_json () in
-  match Bmc.check net ~target ~depth with
+  match Bmc.check ~budget net ~target ~depth with
   | Bmc.Hit cex ->
     let replayed = Bmc.replay net (List.assoc target (Net.targets net)) cex in
     Format.printf "target %s HIT at time %d (replay: %b)@." target
       cex.Bmc.depth replayed;
     (match vcd with
     | Some path ->
-      Textio.Vcd.write_file path net (Bmc.frames_of_cex net cex);
-      Format.printf "waveform written to %s@." path
+      let text = Textio.Vcd.dump net (Bmc.frames_of_cex net cex) in
+      if
+        Obs.Fileout.write_or_warn ~what:"waveform" path (fun oc ->
+            output_string oc text)
+      then Format.printf "waveform written to %s@." path
     | None -> ());
     List.iter
       (fun (v, t, value) ->
@@ -51,11 +51,16 @@ let run file target depth complete vcd stats stats_json =
         | Net.Const | Net.And _ | Net.Reg _ | Net.Latch _ -> ())
       (List.sort compare cex.Bmc.inputs);
     finish ();
-    exit 1
+    Cli.violated
   | Bmc.No_hit d ->
     if complete then Format.printf "no hit to depth %d: PROVED.@." d
     else Format.printf "no hit to depth %d (bounded result only).@." d;
-    finish ()
+    finish ();
+    Cli.ok
+  | Bmc.Unknown d ->
+    Format.printf "budget exhausted after depth %d: result UNKNOWN.@." d;
+    finish ();
+    Cli.inconclusive
 
 open Cmdliner
 
@@ -85,24 +90,12 @@ let vcd =
     & opt (some string) None
     & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump the counterexample as a VCD waveform")
 
-let stats =
-  Arg.(
-    value & flag
-    & info [ "stats" ]
-        ~doc:"Print the observability counters and timing spans after the run")
-
-let stats_json =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "stats-json" ] ~docv:"FILE"
-        ~doc:"Write the observability snapshot as JSON to $(docv)")
-
 let cmd =
   let doc = "bounded model checking with diameter-bound completeness" in
   Cmd.v
     (Cmd.info "bmc-check" ~doc)
     Term.(
-      const run $ file $ target $ depth $ complete $ vcd $ stats $ stats_json)
+      const run $ file $ target $ depth $ complete $ vcd $ Cli.budget
+      $ Cli.stats $ Cli.stats_json)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cli.main cmd)

@@ -1,0 +1,98 @@
+(* Shared plumbing for the four command-line tools: the exit-code
+   contract, the top-level exception barrier, the parse-error
+   renderer, and the resource-budget flags.
+
+   Exit-code contract (all tools):
+
+     0    proved / no counterexample / informational run completed
+     1    property violated (a counterexample was found)
+     2    usage or input error: bad flags, unreadable file, or a
+          malformed netlist (rendered as "file:line: message")
+     3    inconclusive: the budget ran out, or no practically useful
+          bound exists, before any definite answer
+     125  internal error — a bug in the tool, not in the input        *)
+
+let ok = 0
+let violated = 1
+let usage_error = 2
+let inconclusive = 3
+let internal_error = 125
+
+exception Fail of int
+(** Unwind to the barrier in {!main} with the given exit code; the
+    message has already been printed. *)
+
+let die code fmt = Format.kasprintf (fun msg ->
+    Format.eprintf "%s@." msg;
+    raise (Fail code)) fmt
+
+(* parse a .bench file behind the Parse_error/Sys_error barrier,
+   rendering diagnostics as "file:line: message" *)
+let load_bench path =
+  try Textio.Bench_io.parse_file path with
+  | Textio.Parse_error { line; msg } -> die usage_error "%s:%d: %s" path line msg
+  | Sys_error msg -> die usage_error "%s" msg
+
+open Cmdliner
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget for the run; on expiry the tool reports an \
+              inconclusive result (exit 3) instead of running on")
+
+let conflicts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "conflicts" ] ~docv:"N"
+        ~doc:"Conflict allowance per SAT call; an exhausted call returns \
+              unknown rather than looping")
+
+let bdd_nodes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "bdd-nodes" ] ~docv:"N"
+        ~doc:"BDD node allowance for target enlargement; on blow-up the \
+              enlargement strategy stands down")
+
+let budget =
+  let make timeout_s conflicts bdd_nodes =
+    Obs.Budget.create ?timeout_s ?conflicts ?bdd_nodes ()
+  in
+  Term.(const make $ timeout_arg $ conflicts_arg $ bdd_nodes_arg)
+
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the observability counters and timing spans after the run")
+
+let stats_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write the observability snapshot as JSON to $(docv)")
+
+(* the single exception barrier: every tool's [main] funnels through
+   here, so no input however malformed produces a raw backtrace *)
+let main cmd =
+  match Cmd.eval_value ~catch:false cmd with
+  | Ok (`Ok code) -> code
+  | Ok (`Version | `Help) -> ok
+  | Error (`Parse | `Term) -> usage_error
+  | Error `Exn -> internal_error (* unreachable with ~catch:false *)
+  | exception Fail code -> code
+  | exception Textio.Parse_error { line; msg } ->
+    Format.eprintf "line %d: %s@." line msg;
+    usage_error
+  | exception Sys_error msg ->
+    Format.eprintf "%s@." msg;
+    usage_error
+  | exception e ->
+    Format.eprintf "internal error: %s@." (Printexc.to_string e);
+    internal_error

@@ -3,13 +3,14 @@
 
      diam circuit.bench
      diam --design S5378 --pipeline com-ret-com
-     diam circuit.bench --recurrence --cutoff 30                      *)
+     diam circuit.bench --recurrence --cutoff 30
+     diam circuit.bench --pipeline com --timeout 30                    *)
 
 module Net = Netlist.Net
 
 let load file design =
   match (file, design) with
-  | Some path, None -> Textio.Bench_io.parse_file path
+  | Some path, None -> Cli.load_bench path
   | None, Some name -> (
     match Workload.Iscas.by_name name with
     | net -> net
@@ -17,26 +18,21 @@ let load file design =
       match Workload.Gp.by_name name with
       | latched -> fst (Core.Pipeline.phase_front latched)
       | exception Not_found ->
-        Format.eprintf "unknown built-in design %s@." name;
-        exit 2))
+        Cli.die Cli.usage_error "unknown built-in design %s" name))
   | Some _, Some _ ->
-    Format.eprintf "give either a file or --design, not both@.";
-    exit 2
+    Cli.die Cli.usage_error "give either a file or --design, not both"
   | None, None ->
-    Format.eprintf "no input: give a .bench file or --design NAME@.";
-    exit 2
+    Cli.die Cli.usage_error "no input: give a .bench file or --design NAME"
 
-let run file design pipeline cutoff recurrence stats stats_json =
+let run file design pipeline cutoff recurrence budget stats stats_json =
   let net = load file design in
   Format.printf "netlist: %a@." Net.pp_stats net;
   let report =
     match pipeline with
     | "original" -> Core.Pipeline.original net
-    | "com" -> Core.Pipeline.com net
-    | "com-ret-com" -> Core.Pipeline.com_ret_com net
-    | other ->
-      Format.eprintf "unknown pipeline %s@." other;
-      exit 2
+    | "com" -> Core.Pipeline.com ~budget net
+    | "com-ret-com" -> Core.Pipeline.com_ret_com ~budget net
+    | other -> Cli.die Cli.usage_error "unknown pipeline %s" other
   in
   Format.printf "pipeline %s: register classes (CC;AC;MC+QC;GC) %a@."
     report.Core.Pipeline.pipeline Core.Classify.pp_counts
@@ -50,10 +46,11 @@ let run file design pipeline cutoff recurrence stats stats_json =
       if recurrence then begin
         match List.assoc_opt t.Core.Pipeline.target (Net.targets net) with
         | Some lit ->
-          let r = Core.Recurrence.compute ~limit:64 net lit in
-          Format.printf "  recurrence %s (%d SAT calls)"
+          let r = Core.Recurrence.compute ~limit:64 ~budget net lit in
+          Format.printf "  recurrence %s (%d SAT calls%s)"
             (Core.Sat_bound.to_string r.Core.Recurrence.bound)
             r.Core.Recurrence.sat_calls
+            (if r.Core.Recurrence.exhausted then ", budget exhausted" else "")
         | None -> ()
       end;
       Format.printf "@.")
@@ -61,7 +58,8 @@ let run file design pipeline cutoff recurrence stats stats_json =
   let s = Core.Pipeline.summarize ~cutoff report in
   Format.printf "targets below cutoff %d: %d/%d (avg %.1f)@." cutoff
     s.Core.Pipeline.proved_small s.Core.Pipeline.total s.Core.Pipeline.average;
-  Obs.Report.emit ~human:stats ?json_file:stats_json ()
+  Obs.Report.emit ~human:stats ?json_file:stats_json ();
+  Cli.ok
 
 open Cmdliner
 
@@ -92,25 +90,12 @@ let recurrence =
     & info [ "recurrence" ]
         ~doc:"Also compute the recurrence-diameter baseline per target")
 
-let stats =
-  Arg.(
-    value & flag
-    & info [ "stats" ]
-        ~doc:"Print the observability counters and timing spans after the run")
-
-let stats_json =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "stats-json" ] ~docv:"FILE"
-        ~doc:"Write the observability snapshot as JSON to $(docv)")
-
 let cmd =
   let doc = "structural diameter bounds via transformation pipelines" in
   Cmd.v
     (Cmd.info "diam" ~doc)
     Term.(
-      const run $ file $ design $ pipeline $ cutoff $ recurrence $ stats
-      $ stats_json)
+      const run $ file $ design $ pipeline $ cutoff $ recurrence $ Cli.budget
+      $ Cli.stats $ Cli.stats_json)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cli.main cmd)

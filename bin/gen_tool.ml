@@ -8,13 +8,12 @@ let run design output list_them =
     Format.printf "ISCAS89-like (Table 1):@.";
     List.iter (Format.printf "  %s@.") Workload.Iscas.names;
     Format.printf "GP-like, two-phase latches (Table 2):@.";
-    List.iter (Format.printf "  %s@.") Workload.Gp.names
+    List.iter (Format.printf "  %s@.") Workload.Gp.names;
+    Cli.ok
   end
   else
     match design with
-    | None ->
-      Format.eprintf "give --design NAME (see --list)@.";
-      exit 2
+    | None -> Cli.die Cli.usage_error "give --design NAME (see --list)"
     | Some name -> (
       let net =
         match Workload.Iscas.by_name name with
@@ -25,18 +24,22 @@ let run design output list_them =
           | exception Not_found -> None)
       in
       match net with
-      | None ->
-        Format.eprintf "unknown design %s (see --list)@." name;
-        exit 2
+      | None -> Cli.die Cli.usage_error "unknown design %s (see --list)" name
       | Some net -> (
         let text = Textio.Bench_io.to_string net in
         match output with
         | Some path ->
-          let oc = open_out path in
-          output_string oc text;
-          close_out oc;
-          Format.printf "wrote %s (%a)@." path Netlist.Net.pp_stats net
-        | None -> print_string text))
+          if
+            Obs.Fileout.write_or_warn ~what:"netlist" path (fun oc ->
+                output_string oc text)
+          then begin
+            Format.printf "wrote %s (%a)@." path Netlist.Net.pp_stats net;
+            Cli.ok
+          end
+          else Cli.usage_error
+        | None ->
+          print_string text;
+          Cli.ok))
 
 open Cmdliner
 
@@ -59,4 +62,4 @@ let cmd =
   let doc = "emit the synthetic Table 1/2 benchmark designs as .bench" in
   Cmd.v (Cmd.info "diam-gen" ~doc) Term.(const run $ design $ output $ list_them)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cli.main cmd)

@@ -2,41 +2,49 @@
    driver.
 
      diam-verify circuit.bench --target po0
-     diam-verify circuit.bench               # every target            *)
+     diam-verify circuit.bench               # every target
+     diam-verify circuit.bench --timeout 60  # shared deadline         *)
 
 module Net = Netlist.Net
 
-let run file target cutoff vcd stats stats_json =
-  let net = Textio.Bench_io.parse_file file in
+let run file target cutoff vcd budget stats stats_json =
+  let net = Cli.load_bench file in
   let targets =
     match target with
     | Some t -> [ t ]
     | None -> List.map fst (Net.targets net)
   in
-  if targets = [] then begin
-    Format.eprintf "netlist has no targets@.";
-    exit 2
-  end;
+  if targets = [] then Cli.die Cli.usage_error "netlist has no targets";
   let config = { Core.Engine.default with Core.Engine.cutoff } in
-  let failures = ref 0 in
+  let violated = ref 0 in
+  let inconclusive = ref 0 in
+  (* each target gets a fair share of whatever deadline remains *)
+  let remaining = ref (List.length targets) in
   List.iter
     (fun t ->
-      let verdict = Core.Engine.verify ~config net ~target:t in
+      let slice = Obs.Budget.slice budget ~ways:(max 1 !remaining) in
+      decr remaining;
+      let verdict = Core.Engine.verify ~config ~budget:slice net ~target:t in
       Format.printf "%-24s %a@." t Core.Engine.pp_verdict verdict;
       match verdict with
       | Core.Engine.Violated { cex; _ } ->
-        incr failures;
+        incr violated;
         (match vcd with
         | Some path ->
           let path = Printf.sprintf "%s.%s.vcd" path t in
-          Textio.Vcd.write_file path net (Bmc.frames_of_cex net cex);
-          Format.printf "  waveform: %s@." path
+          let text = Textio.Vcd.dump net (Bmc.frames_of_cex net cex) in
+          if
+            Obs.Fileout.write_or_warn ~what:"waveform" path (fun oc ->
+                output_string oc text)
+          then Format.printf "  waveform: %s@." path
         | None -> ())
       | Core.Engine.Proved _ -> ()
-      | Core.Engine.Inconclusive _ -> incr failures)
+      | Core.Engine.Inconclusive _ -> incr inconclusive)
     targets;
   Obs.Report.emit ~human:stats ?json_file:stats_json ();
-  if !failures > 0 then exit 1
+  if !violated > 0 then Cli.violated
+  else if !inconclusive > 0 then Cli.inconclusive
+  else Cli.ok
 
 open Cmdliner
 
@@ -63,23 +71,12 @@ let vcd =
     & info [ "vcd" ] ~docv:"PREFIX"
         ~doc:"Dump counterexample waveforms to PREFIX.<target>.vcd")
 
-let stats =
-  Arg.(
-    value & flag
-    & info [ "stats" ]
-        ~doc:"Print the observability counters and timing spans after the run")
-
-let stats_json =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "stats-json" ] ~docv:"FILE"
-        ~doc:"Write the observability snapshot as JSON to $(docv)")
-
 let cmd =
   let doc = "transformation-based verification (probe, bounds, induction)" in
   Cmd.v
     (Cmd.info "diam-verify" ~doc)
-    Term.(const run $ file $ target $ cutoff $ vcd $ stats $ stats_json)
+    Term.(
+      const run $ file $ target $ cutoff $ vcd $ Cli.budget $ Cli.stats
+      $ Cli.stats_json)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cli.main cmd)

@@ -20,8 +20,8 @@ let () =
 
   let k = 3 in
   (match Transform.Enlarge.run net ~target:"hit5" ~k with
-  | None -> assert false
-  | Some r ->
+  | Error _ -> assert false
+  | Ok r ->
     Format.printf
       "%d-step enlarged target: BDD with %d nodes (states that hit in \
        exactly %d steps, none earlier)@."
@@ -39,7 +39,8 @@ let () =
       Core.Sat_bound.pp b.Core.Bound.bound Core.Sat_bound.pp translated;
     (match Bmc.check net ~target:"hit5" ~depth:(translated - 1) with
     | Bmc.Hit cex -> Format.printf "indeed: first hit at time %d@." cex.Bmc.depth
-    | Bmc.No_hit d -> Format.printf "no hit to %d: hit5 unreachable@." d));
+    | Bmc.No_hit d -> Format.printf "no hit to %d: hit5 unreachable@." d
+    | Bmc.Unknown _ -> assert false));
 
   (* Sections 3.5/3.6: why over/under-approximations have no theorem *)
   Format.printf

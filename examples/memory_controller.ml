@@ -51,3 +51,4 @@ let () =
     Format.printf "hit at %d — the flag can fire; counterexample replays: %b@."
       cex.Bmc.depth
       (Bmc.replay net (List.assoc "spurious_readback" (Net.targets net)) cex)
+  | Bmc.Unknown _ -> assert false

@@ -40,7 +40,7 @@ let () =
   | Bmc.No_hit d ->
     Format.printf "BMC to depth %d: no violation — but alone this proves \
                    nothing about deeper behaviour.@." d
-  | Bmc.Hit _ -> assert false);
+  | Bmc.Hit _ | Bmc.Unknown _ -> assert false);
 
   (* the structural bound closes the gap: 12 pipeline stages of
      arbitrary width are 12 acyclic components, diameter 13 *)
@@ -51,7 +51,8 @@ let () =
   | `Proved ->
     Format.printf "BMC to depth %d: complete — parity invariant PROVED.@."
       (bound.Core.Bound.bound - 1)
-  | `Cex cex -> Format.printf "violated at %d@." cex.Bmc.depth);
+  | `Cex cex -> Format.printf "violated at %d@." cex.Bmc.depth
+  | `Unknown -> assert false);
 
   (* retiming dissolves all %d registers into a Theorem-2 skew: the
      recurrence structure is combinational and the translated bound
@@ -72,3 +73,4 @@ let () =
   match Bmc.prove retimed ~target:"parity_mismatch" ~bound:raw.Core.Bound.bound with
   | `Proved -> Format.printf "proof on the retimed netlist: PROVED.@."
   | `Cex cex -> Format.printf "violated at %d@." cex.Bmc.depth
+  | `Unknown -> assert false

@@ -47,3 +47,4 @@ let () =
       (bound.Core.Bound.bound - 1)
   | `Cex cex ->
     Format.printf "property violated at time %d!@." cex.Bmc.depth
+  | `Unknown -> assert false

@@ -59,3 +59,4 @@ let () =
        — PROVED.@."
       (translated - 1)
   | `Cex cex -> Format.printf "violated at %d@." cex.Bmc.depth
+  | `Unknown -> assert false

@@ -6,11 +6,14 @@ let is_false f = f = 0
 let is_true f = f = 1
 let equal = Int.equal
 
+exception Node_limit of int
+
 type man = {
   mutable vars : int array; (* node -> variable (max_int at terminals) *)
   mutable lows : int array;
   mutable highs : int array;
   mutable count : int;
+  max_nodes : int option;
   unique : (int * int * int, int) Hashtbl.t;
   ite_cache : (int * int * int, int) Hashtbl.t;
   not_cache : (int, int) Hashtbl.t;
@@ -18,13 +21,14 @@ type man = {
   mutable compose_cache : (int, int) Hashtbl.t;
 }
 
-let man () =
+let man ?max_nodes () =
   let m =
     {
       vars = Array.make 1024 max_int;
       lows = Array.make 1024 0;
       highs = Array.make 1024 0;
       count = 2;
+      max_nodes;
       unique = Hashtbl.create 4096;
       ite_cache = Hashtbl.create 4096;
       not_cache = Hashtbl.create 1024;
@@ -49,6 +53,11 @@ let mk m v lo hi =
     match Hashtbl.find_opt m.unique key with
     | Some id -> id
     | None ->
+      (* [mk] is the single allocation point, so a node allowance is
+         enforced here and nowhere else *)
+      (match m.max_nodes with
+      | Some lim when m.count >= lim -> raise (Node_limit m.count)
+      | _ -> ());
       if m.count = Array.length m.vars then begin
         let n = 2 * m.count in
         let grow a d =

@@ -12,7 +12,16 @@ type man
 type t
 (** A BDD handle, valid for the manager that created it. *)
 
-val man : unit -> man
+exception Node_limit of int
+(** Raised (with the current node count) by any operation needing a
+    fresh node once a manager's [max_nodes] allowance is reached.  The
+    manager stays usable — existing handles remain valid — but callers
+    are expected to stand down from the symbolic computation. *)
+
+val man : ?max_nodes:int -> unit -> man
+(** [max_nodes] bounds the total nodes the manager may ever allocate;
+    crossing it raises {!Node_limit} at the allocation site. *)
+
 val bfalse : t
 val btrue : t
 val is_false : t -> bool

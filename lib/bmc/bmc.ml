@@ -9,18 +9,27 @@ type cex = {
   init_x : (int * bool) list;
 }
 
-type outcome = Hit of cex | No_hit of int
+type outcome = Hit of cex | No_hit of int | Unknown of int
 
-let check_lit ?(from = 0) net target ~depth =
+let check_lit ?(from = 0) ?budget net target ~depth =
   let solver = Solver.create () in
   let unroll = Encode.Unroll.create solver net in
+  let give_up t =
+    Obs.Budget.note_exhausted "bmc";
+    Unknown (t - 1)
+  in
+  let expired () =
+    match budget with Some b -> Obs.Budget.expired b | None -> false
+  in
   let rec search t =
     if t > depth then No_hit depth
+    else if expired () then give_up t
     else begin
       let tl = Encode.Unroll.lit_at unroll target t in
       Obs.Stats.max_gauge "bmc.depth_reached" t;
       let result, dt =
-        Encode.Sat_obs.solve ~assumptions:[ tl ] ~span:"bmc.solve" solver
+        Encode.Sat_obs.solve ~assumptions:[ tl ] ?budget ~span:"bmc.solve"
+          solver
       in
       Obs.Stats.add_span (Printf.sprintf "bmc.solve.depth%d" t) dt;
       match result with
@@ -33,6 +42,7 @@ let check_lit ?(from = 0) net target ~depth =
         in
         Hit { depth = t; inputs; init_x = Encode.Unroll.init_x_assignments unroll }
       | Solver.Unsat -> search (t + 1)
+      | Solver.Unknown -> give_up t
     end
   in
   search from
@@ -42,7 +52,8 @@ let find_target net name =
   | Some l -> l
   | None -> invalid_arg ("Bmc: unknown target " ^ name)
 
-let check ?from net ~target ~depth = check_lit ?from net (find_target net target) ~depth
+let check ?from ?budget net ~target ~depth =
+  check_lit ?from ?budget net (find_target net target) ~depth
 
 let replay net target cex =
   let init_table = Hashtbl.create 16 in
@@ -82,9 +93,10 @@ let frames_of_cex net cex =
           | None -> Sim.V0);
       Array.init (Net.num_vars net) (fun v -> Sim.value s (Lit.make v)))
 
-let prove net ~target ~bound =
+let prove ?budget net ~target ~bound =
   if bound <= 0 then `Proved
   else
-    match check net ~target ~depth:(bound - 1) with
+    match check ?budget net ~target ~depth:(bound - 1) with
     | No_hit _ -> `Proved
     | Hit cex -> `Cex cex
+    | Unknown _ -> `Unknown

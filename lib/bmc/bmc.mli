@@ -20,13 +20,30 @@ type cex = {
 type outcome =
   | Hit of cex
   | No_hit of int  (** no hit at times [0 .. n] *)
+  | Unknown of int
+      (** budget exhausted; no hit established at times [0 .. n] (which
+          may be [from - 1], i.e. nothing at all) *)
 
-val check : ?from:int -> Netlist.Net.t -> target:string -> depth:int -> outcome
+val check :
+  ?from:int ->
+  ?budget:Obs.Budget.t ->
+  Netlist.Net.t ->
+  target:string ->
+  depth:int ->
+  outcome
 (** Search depths [from .. depth] (inclusive) for a hit of the named
-    target.  @raise Invalid_argument on an unknown target name. *)
+    target.  A [budget] is checked before each depth and threaded into
+    each SAT call; exhaustion yields {!Unknown} carrying the deepest
+    completed depth.  @raise Invalid_argument on an unknown target
+    name. *)
 
 val check_lit :
-  ?from:int -> Netlist.Net.t -> Netlist.Lit.t -> depth:int -> outcome
+  ?from:int ->
+  ?budget:Obs.Budget.t ->
+  Netlist.Net.t ->
+  Netlist.Lit.t ->
+  depth:int ->
+  outcome
 
 val replay : Netlist.Net.t -> Netlist.Lit.t -> cex -> bool
 (** Replay a counterexample on the three-valued simulator and confirm
@@ -38,6 +55,11 @@ val frames_of_cex : Netlist.Net.t -> cex -> Netlist.Sim.value array array
     ({!Textio.Vcd}). *)
 
 val prove :
-  Netlist.Net.t -> target:string -> bound:int -> [ `Proved | `Cex of cex ]
+  ?budget:Obs.Budget.t ->
+  Netlist.Net.t ->
+  target:string ->
+  bound:int ->
+  [ `Proved | `Cex of cex | `Unknown ]
 (** Complete invariant check given a diameter bound: BMC to depth
-    [bound - 1]; absence of hits is a proof. *)
+    [bound - 1]; absence of hits is a proof.  [`Unknown] only under an
+    exhausted [budget] — never treated as either verdict. *)

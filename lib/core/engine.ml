@@ -56,17 +56,36 @@ let discharge_depth bound =
 
 exception Done of verdict
 
-let verify ?(config = default) net ~target =
+(* the one distinguished stand-down reason: resource budget ran out,
+   as opposed to a strategy being inapplicable or giving up *)
+let budget_reason = "budget-exhausted"
+
+let n_strategies = 7
+
+let verify ?(config = default) ?(budget = Obs.Budget.unlimited) net ~target =
   if not (List.mem_assoc target (Net.targets net)) then
     invalid_arg ("Engine.verify: unknown target " ^ target);
   let attempts = ref [] in
+  let remaining = ref n_strategies in
   (* each strategy runs under a Stats span and receives scoped
      [stand_down]/[discharge] callbacks so the recorded attempt carries
-     its elapsed time and the translated bound it computed, if any *)
+     its elapsed time and the translated bound it computed, if any.
+
+     Deadlines degrade gracefully: every strategy gets an equal slice
+     of whatever wall-clock remains (so an early strategy overrunning
+     only squeezes, never starves, the later ones), a strategy whose
+     slice runs out records the distinguished [budget_reason] attempt
+     and the ladder continues — partial results such as computed bounds
+     are kept in the attempt log either way. *)
   let strategy name f =
+    let slice = Obs.Budget.slice budget ~ways:(max 1 !remaining) in
     let t0 = Stats.now () in
     let bound_seen = ref None in
     let stand_down reason =
+      if String.equal reason budget_reason then begin
+        Stats.count "engine.budget_exhausted" 1;
+        Obs.Budget.note_exhausted "engine"
+      end;
       attempts :=
         {
           strategy = name;
@@ -93,21 +112,27 @@ let verify ?(config = default) net ~target =
              BMC run would be vacuous (and [depth - 1] negative) *)
           raise (Done (Proved { strategy = name; depth = 0 }))
         | Some depth -> (
-          match Bmc.check net ~target ~depth with
+          match Bmc.check ~budget:slice net ~target ~depth with
           | Bmc.No_hit d -> raise (Done (Proved { strategy = name; depth = d }))
-          | Bmc.Hit cex -> raise (Done (Violated { strategy = name; cex })))
+          | Bmc.Hit cex -> raise (Done (Violated { strategy = name; cex }))
+          | Bmc.Unknown _ -> stand_down budget_reason)
       end
     in
-    Stats.time ("engine." ^ name) (fun () -> f ~stand_down ~discharge)
+    if Obs.Budget.expired budget then stand_down budget_reason
+    else
+      Stats.time ("engine." ^ name) (fun () ->
+          f ~budget:slice ~stand_down ~discharge);
+    decr remaining
   in
   let latch_based = Net.num_latches net > 0 in
   let verdict =
     try
       (* 1. shallow probe *)
-      strategy "bmc-probe" (fun ~stand_down ~discharge:_ ->
-          match Bmc.check net ~target ~depth:config.probe_depth with
+      strategy "bmc-probe" (fun ~budget ~stand_down ~discharge:_ ->
+          match Bmc.check ~budget net ~target ~depth:config.probe_depth with
           | Bmc.Hit cex -> raise (Done (Violated { strategy = "bmc-probe"; cex }))
-          | Bmc.No_hit _ -> stand_down "no shallow counterexample");
+          | Bmc.No_hit _ -> stand_down "no shallow counterexample"
+          | Bmc.Unknown _ -> stand_down budget_reason);
       (* bounds are computed on the register-based view; for latch
          designs that is the phase abstraction, translated by Theorem 3 *)
       let reg_view, fold =
@@ -119,14 +144,14 @@ let verify ?(config = default) net ~target =
       in
       let fold_back b = fold.Translate.apply b in
       (* 2. structural bound, untransformed *)
-      strategy "structural-bound" (fun ~stand_down ~discharge ->
+      strategy "structural-bound" (fun ~budget:_ ~stand_down ~discharge ->
           match List.assoc_opt target (Net.targets reg_view) with
           | None -> stand_down "target lost by phase abstraction"
           | Some l ->
             discharge (fold_back (Bound.target reg_view l).Bound.bound));
       (* 3. COM (Theorem 1) *)
-      strategy "com+bound" (fun ~stand_down ~discharge ->
-          let com_report = Pipeline.com reg_view in
+      strategy "com+bound" (fun ~budget ~stand_down ~discharge ->
+          let com_report = Pipeline.com ~budget reg_view in
           match
             List.find_opt
               (fun t -> String.equal t.Pipeline.target target)
@@ -135,8 +160,8 @@ let verify ?(config = default) net ~target =
           | Some t -> discharge (fold_back t.Pipeline.bound)
           | None -> stand_down "target reduced away");
       (* 4. COM,RET,COM (Theorems 1 + 2) *)
-      strategy "com-ret-com+bound" (fun ~stand_down ~discharge ->
-          let crc_report = Pipeline.com_ret_com reg_view in
+      strategy "com-ret-com+bound" (fun ~budget ~stand_down ~discharge ->
+          let crc_report = Pipeline.com_ret_com ~budget reg_view in
           match
             List.find_opt
               (fun t -> String.equal t.Pipeline.target target)
@@ -147,27 +172,32 @@ let verify ?(config = default) net ~target =
       (* 5. target enlargement (Theorem 4) — register view only, and the
          hittability bound is still a valid completeness threshold for
          this very target *)
-      strategy "enlargement+bound" (fun ~stand_down ~discharge ->
+      strategy "enlargement+bound" (fun ~budget ~stand_down ~discharge ->
           if latch_based then stand_down "latch-based design"
           else begin
             match
-              Transform.Enlarge.run ~reg_limit:config.enlargement_reg_limit net
-                ~target ~k:config.enlargement_k
+              Transform.Enlarge.run ~reg_limit:config.enlargement_reg_limit
+                ?max_nodes:(Obs.Budget.bdd_nodes budget) net ~target
+                ~k:config.enlargement_k
             with
-            | None -> stand_down "cone too large for BDDs"
-            | Some r ->
+            | Error (Transform.Enlarge.Unsuitable reason) -> stand_down reason
+            | Error (Transform.Enlarge.Node_limit _) ->
+              stand_down budget_reason
+            | Ok r ->
               if r.Transform.Enlarge.empty then begin
                 (* every hit, if any, occurs within the first k steps;
                    clamp so k = 0 (nothing hittable at all) does not
                    turn into a depth -1 run *)
                 match
-                  Bmc.check net ~target ~depth:(max 0 (config.enlargement_k - 1))
+                  Bmc.check ~budget net ~target
+                    ~depth:(max 0 (config.enlargement_k - 1))
                 with
                 | Bmc.No_hit d ->
                   raise
                     (Done (Proved { strategy = "enlargement-empty"; depth = d }))
                 | Bmc.Hit cex ->
                   raise (Done (Violated { strategy = "enlargement-empty"; cex }))
+                | Bmc.Unknown _ -> stand_down budget_reason
               end
               else begin
                 let name =
@@ -180,26 +210,30 @@ let verify ?(config = default) net ~target =
               end
           end);
       (* 6. bounded-COI recurrence diameter *)
-      strategy "recurrence-bcoi" (fun ~stand_down ~discharge ->
+      strategy "recurrence-bcoi" (fun ~budget ~stand_down ~discharge ->
           match List.assoc_opt target (Net.targets reg_view) with
           | None -> stand_down "target lost by phase abstraction"
           | Some l ->
             let r =
               Recurrence.compute ~limit:config.recurrence_limit
-                ~bounded_coi:true reg_view l
+                ~bounded_coi:true ~budget reg_view l
             in
-            discharge (fold_back r.Recurrence.bound));
+            if r.Recurrence.exhausted then stand_down budget_reason
+            else discharge (fold_back r.Recurrence.bound));
       (* 7. temporal induction *)
-      strategy "k-induction" (fun ~stand_down ~discharge:_ ->
+      strategy "k-induction" (fun ~budget ~stand_down ~discharge:_ ->
           if latch_based then stand_down "latch-based design"
           else begin
-            match Induction.prove ~max_k:config.induction_max_k net ~target with
+            match
+              Induction.prove ~max_k:config.induction_max_k ~budget net ~target
+            with
             | Induction.Proved k ->
               raise (Done (Proved { strategy = "k-induction"; depth = k }))
             | Induction.Cex cex ->
               raise (Done (Violated { strategy = "k-induction"; cex }))
             | Induction.Unknown k ->
               stand_down (Printf.sprintf "gave up at k = %d" k)
+            | Induction.Exhausted _ -> stand_down budget_reason
           end);
       Inconclusive { attempts = List.rev !attempts }
     with Done v -> v

@@ -57,12 +57,31 @@ val discharge_depth : Sat_bound.t -> int option
     unhittable at any depth — no BMC run is needed, and naively using
     [bound - 1] would request a depth of -1). *)
 
-val verify : ?config:config -> Netlist.Net.t -> target:string -> verdict
+val budget_reason : string
+(** The distinguished {!attempt.reason} ("budget-exhausted") recorded
+    when a strategy stood down because the resource budget ran out,
+    rather than because it was inapplicable or gave up. *)
+
+val verify :
+  ?config:config ->
+  ?budget:Obs.Budget.t ->
+  Netlist.Net.t ->
+  target:string ->
+  verdict
 (** @raise Invalid_argument on an unknown target name.
 
     Every strategy is timed into the {!Obs.Stats} span
     ["engine.<strategy>"], and verdicts bump the
     ["engine.proved"/"engine.violated"/"engine.inconclusive"]
-    counters. *)
+    counters.
+
+    A [budget] governs the whole ladder: each strategy receives an
+    equal {!Obs.Budget.slice} of the wall-clock remaining when it
+    starts (per-call SAT/BDD allowances pass through unchanged), a
+    strategy that runs out records a {!budget_reason} attempt — with
+    any bound it managed to compute — and the ladder continues; once
+    the overall deadline is gone the remaining strategies stand down
+    immediately.  Budget exhaustion is never reported as [Proved] or
+    [Violated], and additionally bumps ["engine.budget_exhausted"]. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -2,7 +2,11 @@ module Net = Netlist.Net
 module Lit = Netlist.Lit
 module Solver = Sat.Solver
 
-type outcome = Proved of int | Cex of Bmc.cex | Unknown of int
+type outcome =
+  | Proved of int
+  | Cex of Bmc.cex
+  | Unknown of int
+  | Exhausted of int
 
 (* chained free-initial-state frames, as in the van Eijk engine *)
 let chain_frames solver net k =
@@ -34,7 +38,7 @@ let add_distinct solver net frames i j =
 
 (* step case: from a free state, k hit-free steps force step k+1 to be
    hit-free *)
-let step_holds ~unique net target k =
+let step_holds ~unique ?budget net target k =
   let solver = Solver.create () in
   let frames = chain_frames solver net (k + 1) in
   for i = 0 to k do
@@ -47,12 +51,16 @@ let step_holds ~unique net target k =
       done
     done;
   match
-    Solver.solve ~assumptions:[ Encode.Frame.lit frames.(k + 1) target ] solver
+    fst
+      (Encode.Sat_obs.solve
+         ~assumptions:[ Encode.Frame.lit frames.(k + 1) target ]
+         ?budget ~span:"induction.solve" solver)
   with
-  | Solver.Unsat -> true
-  | Solver.Sat -> false
+  | Solver.Unsat -> `Holds
+  | Solver.Sat -> `Fails
+  | Solver.Unknown -> `Unknown
 
-let prove ?(max_k = 32) ?(unique = true) net ~target =
+let prove ?(max_k = 32) ?(unique = true) ?budget net ~target =
   if Net.num_latches net > 0 then
     invalid_arg "Induction.prove: register netlists only";
   let tlit =
@@ -60,21 +68,34 @@ let prove ?(max_k = 32) ?(unique = true) net ~target =
     | Some l -> l
     | None -> invalid_arg ("Induction.prove: unknown target " ^ target)
   in
+  let give_up k =
+    Obs.Budget.note_exhausted "induction";
+    Exhausted k
+  in
+  let expired () =
+    match budget with Some b -> Obs.Budget.expired b | None -> false
+  in
   (* degenerate case: no state at all *)
   if Net.regs net = [] then begin
-    match Bmc.check_lit net tlit ~depth:0 with
+    match Bmc.check_lit ?budget net tlit ~depth:0 with
     | Bmc.Hit cex -> Cex cex
     | Bmc.No_hit _ -> Proved 0
+    | Bmc.Unknown _ -> give_up 0
   end
   else begin
     let rec go k =
       if k > max_k then Unknown max_k
+      else if expired () then give_up k
       else begin
         (* base case: no hit within the first k steps *)
-        match Bmc.check_lit net tlit ~depth:k with
+        match Bmc.check_lit ?budget net tlit ~depth:k with
         | Bmc.Hit cex -> Cex cex
-        | Bmc.No_hit _ ->
-          if step_holds ~unique net tlit k then Proved k else go (k + 1)
+        | Bmc.Unknown _ -> give_up k
+        | Bmc.No_hit _ -> (
+          match step_holds ~unique ?budget net tlit k with
+          | `Holds -> Proved k
+          | `Fails -> go (k + 1)
+          | `Unknown -> give_up k)
       end
     in
     go 0

@@ -16,9 +16,18 @@
 type outcome =
   | Proved of int  (** induction depth that closed the proof *)
   | Cex of Bmc.cex
-  | Unknown of int  (** gave up after this k *)
+  | Unknown of int  (** gave up after this k (configured [max_k]) *)
+  | Exhausted of int
+      (** resource budget ran out at this k — unlike {!Unknown}, raising
+          [max_k] would not have helped *)
 
 val prove :
-  ?max_k:int -> ?unique:bool -> Netlist.Net.t -> target:string -> outcome
-(** [max_k] defaults to 32.  @raise Invalid_argument on an unknown
-    target. *)
+  ?max_k:int ->
+  ?unique:bool ->
+  ?budget:Obs.Budget.t ->
+  Netlist.Net.t ->
+  target:string ->
+  outcome
+(** [max_k] defaults to 32.  A [budget] is checked between induction
+    depths and threaded into every SAT call.  @raise Invalid_argument
+    on an unknown target. *)

@@ -59,19 +59,20 @@ let original net =
   Stats.time "pipeline.original" (fun () ->
       report_on "Original" net (fun _ -> Translate.identity))
 
-let com net =
+let com ?budget net =
   Stats.time "pipeline.com" (fun () ->
-      let reduced, _stats = Transform.Com.run net in
+      let reduced, _stats = Transform.Com.run ?budget net in
       record_reduction "COM" ~before:net ~after:reduced.Transform.Rebuild.net;
       report_on "COM" reduced.Transform.Rebuild.net (fun _ ->
           Translate.trace_equivalence))
 
-let com_ret_com net =
+let com_ret_com ?budget net =
   Stats.time "pipeline.com-ret-com" (fun () ->
-      let first, _ = Transform.Com.run net in
+      let first, _ = Transform.Com.run ?budget net in
       let retimed = Transform.Retime.run first.Transform.Rebuild.net in
       let second, _ =
-        Transform.Com.run retimed.Transform.Retime.rebuilt.Transform.Rebuild.net
+        Transform.Com.run ?budget
+          retimed.Transform.Retime.rebuilt.Transform.Rebuild.net
       in
       record_reduction "COM,RET,COM" ~before:net
         ~after:second.Transform.Rebuild.net;

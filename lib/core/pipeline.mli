@@ -22,10 +22,12 @@ type report = {
 }
 
 val original : Netlist.Net.t -> report
-val com : Netlist.Net.t -> report
+val com : ?budget:Obs.Budget.t -> Netlist.Net.t -> report
 
-val com_ret_com : Netlist.Net.t -> report
-(** COM; RET; COM, with per-target Theorem-2 skews. *)
+val com_ret_com : ?budget:Obs.Budget.t -> Netlist.Net.t -> report
+(** COM; RET; COM, with per-target Theorem-2 skews.  The [budget] is
+    threaded into the COM sweeps (see {!Transform.Com.run}); the
+    structural passes always run to completion. *)
 
 val phase_front : Netlist.Net.t -> Netlist.Net.t * Translate.t
 (** Phase abstraction front-end for latch-based designs; the returned

@@ -7,6 +7,7 @@ type result = {
   bound : Sat_bound.t;
   path_length : int;
   sat_calls : int;
+  exhausted : bool;
 }
 
 (* distance of each register to the target: 0 if the target's
@@ -58,7 +59,19 @@ let add_distinct solver lits_i lits_j =
   in
   Solver.add_clause solver diffs
 
-let plain ~limit net target regs =
+let gave_up k sat_calls =
+  Obs.Budget.note_exhausted "recurrence";
+  {
+    bound = Sat_bound.huge;
+    path_length = k - 1;
+    sat_calls;
+    exhausted = true;
+  }
+
+let expired budget =
+  match budget with Some b -> Obs.Budget.expired b | None -> false
+
+let plain ~limit ?budget net target regs =
   let solver = Solver.create () in
   let unroll = Encode.Unroll.create solver net in
   ignore target;
@@ -68,16 +81,30 @@ let plain ~limit net target regs =
   let sat_calls = ref 0 in
   let rec extend k =
     if k > limit then
-      { bound = Sat_bound.huge; path_length = k - 1; sat_calls = !sat_calls }
+      {
+        bound = Sat_bound.huge;
+        path_length = k - 1;
+        sat_calls = !sat_calls;
+        exhausted = false;
+      }
+    else if expired budget then gave_up k !sat_calls
     else begin
       for i = 0 to k - 1 do
         add_distinct solver (state_lits i) (state_lits k)
       done;
       incr sat_calls;
-      match fst (Encode.Sat_obs.solve ~span:"recurrence.solve" solver) with
+      match
+        fst (Encode.Sat_obs.solve ?budget ~span:"recurrence.solve" solver)
+      with
       | Solver.Sat -> extend (k + 1)
       | Solver.Unsat ->
-        { bound = Sat_bound.of_int k; path_length = k - 1; sat_calls = !sat_calls }
+        {
+          bound = Sat_bound.of_int k;
+          path_length = k - 1;
+          sat_calls = !sat_calls;
+          exhausted = false;
+        }
+      | Solver.Unknown -> gave_up k !sat_calls
     end
   in
   extend 1
@@ -96,12 +123,18 @@ let plain ~limit net target regs =
    satisfying path of length k as its suffix (monotone, hence the
    first UNSAT closes the search).  The relevance sets depend on [k],
    so each [k] is encoded afresh. *)
-let bounded ~limit net target regs =
+let bounded ~limit ?budget net target regs =
   let dist = target_distances net target in
   let sat_calls = ref 0 in
   let rec extend k =
     if k > limit then
-      { bound = Sat_bound.huge; path_length = k - 1; sat_calls = !sat_calls }
+      {
+        bound = Sat_bound.huge;
+        path_length = k - 1;
+        sat_calls = !sat_calls;
+        exhausted = false;
+      }
+    else if expired budget then gave_up k !sat_calls
     else begin
       let solver = Solver.create () in
       (* free-start chained frames *)
@@ -136,15 +169,23 @@ let bounded ~limit net target regs =
           done
       done;
       incr sat_calls;
-      match fst (Encode.Sat_obs.solve ~span:"recurrence.solve" solver) with
+      match
+        fst (Encode.Sat_obs.solve ?budget ~span:"recurrence.solve" solver)
+      with
       | Solver.Sat -> extend (k + 1)
       | Solver.Unsat ->
-        { bound = Sat_bound.of_int k; path_length = k - 1; sat_calls = !sat_calls }
+        {
+          bound = Sat_bound.of_int k;
+          path_length = k - 1;
+          sat_calls = !sat_calls;
+          exhausted = false;
+        }
+      | Solver.Unknown -> gave_up k !sat_calls
     end
   in
   extend 1
 
-let compute ?(limit = 64) ?(bounded_coi = false) net target =
+let compute ?(limit = 64) ?(bounded_coi = false) ?budget net target =
   Obs.Stats.time "recurrence.compute" (fun () ->
       (* work on the target's cone only *)
       let cone = Transform.Rebuild.copy ~roots:[ target ] net in
@@ -153,9 +194,14 @@ let compute ?(limit = 64) ?(bounded_coi = false) net target =
       let regs = Net.regs net in
       let result =
         if regs = [] then
-          { bound = Sat_bound.of_int 1; path_length = 0; sat_calls = 0 }
-        else if bounded_coi then bounded ~limit net target regs
-        else plain ~limit net target regs
+          {
+            bound = Sat_bound.of_int 1;
+            path_length = 0;
+            sat_calls = 0;
+            exhausted = false;
+          }
+        else if bounded_coi then bounded ~limit ?budget net target regs
+        else plain ~limit ?budget net target regs
       in
       Obs.Stats.count "recurrence.sat_calls" result.sat_calls;
       result)

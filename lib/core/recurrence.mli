@@ -13,14 +13,25 @@ type result = {
           comparable with {!Bound.t} *)
   path_length : int;  (** the longest irredundant path found *)
   sat_calls : int;
+  exhausted : bool;
+      (** the resource [budget] ran out before the search concluded
+          (distinct from exceeding [limit], which is a configured
+          give-up, not a budget event) *)
 }
 
 val compute :
-  ?limit:int -> ?bounded_coi:bool -> Netlist.Net.t -> Netlist.Lit.t -> result
+  ?limit:int ->
+  ?bounded_coi:bool ->
+  ?budget:Obs.Budget.t ->
+  Netlist.Net.t ->
+  Netlist.Lit.t ->
+  result
 (** Restricts to the cone of influence of the target literal.  Gives
     up (returning [Sat_bound.huge]) once the path length exceeds
     [limit] (default 64): the series of SAT problems grows
-    quadratically.
+    quadratically.  A [budget] is checked between extensions and
+    threaded into each SAT call; exhaustion also returns
+    [Sat_bound.huge], with [exhausted = true].
 
     [bounded_coi] enables Kroening & Strichman's bounded
     cone-of-influence tightening [6] (cited in the paper's footnote):

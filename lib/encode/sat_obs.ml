@@ -10,6 +10,7 @@ let schema =
   [
     "sat.solves";
     "sat.sat_results";
+    "sat.unknowns";
     "sat.conflicts";
     "sat.decisions";
     "sat.propagations";
@@ -23,21 +24,32 @@ let schema =
    counters, zeroed when nothing ran *)
 let () = Obs.Stats.declare schema
 
-(* [solve ?assumptions ?span solver] is [Solver.solve] plus recording:
-   the wall-clock time goes to [span] (default "sat.solve") and the
-   statistic deltas to the "sat.*" counters.  Returns the result and
-   the elapsed seconds. *)
-let solve ?assumptions ?(span = "sat.solve") solver =
+(* [solve ?assumptions ?budget ?span solver] is [Solver.solve] plus
+   recording: the wall-clock time goes to [span] (default "sat.solve")
+   and the statistic deltas to the "sat.*" counters.  A [budget]
+   translates to the solver's per-call allowances; an [Unknown] result
+   is counted both here and against the budget layer.  Returns the
+   result and the elapsed seconds. *)
+let solve ?assumptions ?budget ?(span = "sat.solve") solver =
   let conflicts = Solver.num_conflicts solver in
   let decisions = Solver.num_decisions solver in
   let propagations = Solver.num_propagations solver in
   let restarts = Solver.num_restarts solver in
   let reduce_dbs = Solver.num_reduce_dbs solver in
+  let max_conflicts = Option.bind budget Obs.Budget.conflicts in
+  let max_propagations = Option.bind budget Obs.Budget.propagations in
+  let should_stop = Option.bind budget Obs.Budget.should_stop in
   let result, dt =
-    Obs.Stats.timed span (fun () -> Solver.solve ?assumptions solver)
+    Obs.Stats.timed span (fun () ->
+        Solver.solve ?assumptions ?max_conflicts ?max_propagations
+          ?should_stop solver)
   in
   Obs.Stats.count "sat.solves" 1;
   if result = Solver.Sat then Obs.Stats.count "sat.sat_results" 1;
+  if result = Solver.Unknown then begin
+    Obs.Stats.count "sat.unknowns" 1;
+    Obs.Budget.note_exhausted "sat"
+  end;
   Obs.Stats.count "sat.conflicts" (Solver.num_conflicts solver - conflicts);
   Obs.Stats.count "sat.decisions" (Solver.num_decisions solver - decisions);
   Obs.Stats.count "sat.propagations"

@@ -1,0 +1,91 @@
+type t = {
+  deadline : float option; (* absolute wall-clock seconds *)
+  conflicts : int option; (* per SAT call *)
+  propagations : int option; (* per SAT call *)
+  bdd_nodes : int option;
+  mutable tripped : bool; (* deadline expiry already counted *)
+}
+
+let schema = [ "budget.deadline_expired" ]
+
+let () = Stats.declare schema
+
+let unlimited =
+  {
+    deadline = None;
+    conflicts = None;
+    propagations = None;
+    bdd_nodes = None;
+    tripped = false;
+  }
+
+let create ?timeout_s ?conflicts ?propagations ?bdd_nodes () =
+  {
+    deadline = Option.map (fun s -> Stats.now () +. s) timeout_s;
+    conflicts;
+    propagations;
+    bdd_nodes;
+    tripped = false;
+  }
+
+let is_unlimited t =
+  t.deadline = None && t.conflicts = None && t.propagations = None
+  && t.bdd_nodes = None
+
+let deadline t = t.deadline
+let conflicts t = t.conflicts
+let propagations t = t.propagations
+let bdd_nodes t = t.bdd_nodes
+
+let expired t =
+  match t.deadline with
+  | None -> false
+  | Some d ->
+    (* inclusive: a zero timeout is expired from the first check even
+       within one clock tick *)
+    let e = Stats.now () >= d in
+    if e && not t.tripped then begin
+      t.tripped <- true;
+      Stats.count "budget.deadline_expired" 1
+    end;
+    e
+
+let remaining_s t =
+  Option.map (fun d -> Float.max 0. (d -. Stats.now ())) t.deadline
+
+let should_stop t =
+  match t.deadline with
+  | None -> None
+  | Some d -> Some (fun () -> Stats.now () >= d)
+
+let slice t ~ways =
+  match t.deadline with
+  | None -> { t with tripped = false }
+  | Some d ->
+    let now = Stats.now () in
+    let rem = d -. now in
+    (* an expired budget keeps its past deadline: [now +. 0.] would be
+       momentarily un-expired under the strict comparison in [expired] *)
+    if rem <= 0. then { t with tripped = false }
+    else
+      let share = rem /. float_of_int (max 1 ways) in
+      { t with deadline = Some (now +. share); tripped = false }
+
+let note_exhausted layer = Stats.count ("budget.exhausted." ^ layer) 1
+
+let pp ppf t =
+  if is_unlimited t then Format.fprintf ppf "unlimited"
+  else begin
+    let sep = ref "" in
+    let item fmt =
+      Format.fprintf ppf "%s" !sep;
+      sep := " ";
+      Format.fprintf ppf fmt
+    in
+    (match remaining_s t with
+    | Some s -> item "deadline:%.3fs" s
+    | None -> ());
+    (match t.conflicts with Some n -> item "conflicts:%d" n | None -> ());
+    (match t.propagations with Some n -> item "propagations:%d" n | None -> ());
+    (match t.bdd_nodes with Some n -> item "bdd-nodes:%d" n | None -> ())
+  end

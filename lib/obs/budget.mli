@@ -1,0 +1,68 @@
+(** Resource governance: wall-clock deadlines and solver/BDD
+    allowances threaded through the prover stack.
+
+    A budget is a bundle of optional limits — a wall-clock deadline,
+    a per-SAT-call conflict/propagation allowance, and a BDD node
+    allowance.  Layers consult it at coarse boundaries (solver restart
+    boundaries, BMC depth boundaries, transformation rounds), so the
+    hot loops stay clean, and degrade to an explicit
+    unknown/exhausted outcome instead of running unbounded.  Budget
+    exhaustion is never an escaping exception at an API boundary: the
+    solver returns [Unknown], BMC returns [Unknown], the engine
+    records a ["budget-exhausted"] attempt and moves on.
+
+    Exhaustion events are counted in {!Stats} under
+    ["budget.deadline_expired"] (once per budget value) and
+    ["budget.exhausted.<layer>"] (once per stand-down). *)
+
+type t
+
+val unlimited : t
+(** No limits at all; every check is a cheap no-op. *)
+
+val create :
+  ?timeout_s:float ->
+  ?conflicts:int ->
+  ?propagations:int ->
+  ?bdd_nodes:int ->
+  unit ->
+  t
+(** [timeout_s] is relative to now; the deadline is absolute from the
+    moment of creation.  [conflicts]/[propagations] limit each
+    individual SAT call (checked at restart boundaries).  [bdd_nodes]
+    caps BDD manager allocation (target enlargement). *)
+
+val is_unlimited : t -> bool
+
+val deadline : t -> float option
+(** Absolute wall-clock deadline, if any. *)
+
+val conflicts : t -> int option
+val propagations : t -> int option
+val bdd_nodes : t -> int option
+
+val expired : t -> bool
+(** Has the deadline passed?  Always [false] without a deadline.  The
+    first observation of expiry bumps the ["budget.deadline_expired"]
+    counter (once per budget value, so per-depth polling does not
+    inflate it). *)
+
+val remaining_s : t -> float option
+(** Seconds left before the deadline ([Some 0.] once expired). *)
+
+val should_stop : t -> (unit -> bool) option
+(** Deadline as a polling closure, in the shape the (observability-free)
+    SAT solver accepts. *)
+
+val slice : t -> ways:int -> t
+(** A per-phase slice: the remaining time divided by [ways], with the
+    other allowances carried over unchanged.  Slicing an expired or
+    deadline-free budget is harmless (still expired / still free).
+    Used by the engine to give each remaining strategy a fair share of
+    the total deadline. *)
+
+val note_exhausted : string -> unit
+(** Record a budget-driven stand-down in the named layer: bumps
+    ["budget.exhausted.<layer>"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+let write_or_warn ~what path f =
+  match
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  with
+  | () -> true
+  | exception Sys_error msg ->
+    Format.eprintf "warning: cannot write %s: %s@." what msg;
+    false

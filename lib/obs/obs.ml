@@ -9,3 +9,5 @@
 
 module Stats = Stats
 module Report = Report
+module Budget = Budget
+module Fileout = Fileout

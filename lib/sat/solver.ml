@@ -6,7 +6,7 @@ let negate l = l lxor 1
 let var_of l = l lsr 1
 let is_pos l = l land 1 = 0
 
-type result = Sat | Unsat
+type result = Sat | Unsat | Unknown
 
 type clause = {
   mutable lits : int array;
@@ -545,23 +545,48 @@ let search s assumptions conflict_budget =
   in
   loop ()
 
-let solve ?(assumptions = []) s =
+let solve ?(assumptions = []) ?max_conflicts ?max_propagations ?should_stop s =
   s.last_solve_sat <- false;
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
     s.max_learnts <-
       max s.max_learnts (float_of_int (Vec.size s.clauses) /. 3.);
-    let result = ref Unsat in
+    (* per-call allowances, counted as deltas against the lifetime
+       statistics and checked only at restart boundaries so the search
+       loop stays clean *)
+    let conflicts0 = s.conflicts in
+    let propagations0 = s.propagations in
+    let out_of_budget () =
+      (match max_conflicts with
+      | Some m -> s.conflicts - conflicts0 >= m
+      | None -> false)
+      || (match max_propagations with
+         | Some m -> s.propagations - propagations0 >= m
+         | None -> false)
+      || match should_stop with Some f -> f () | None -> false
+    in
+    (* default Unknown: [run] only returns normally on exhaustion *)
+    let result = ref Unknown in
     (try
        let restart = ref 0 in
        let rec run () =
-         let budget = int_of_float (100. *. luby 2. !restart) in
-         match search s assumptions budget with
-         | `Restart ->
-           s.restarts <- s.restarts + 1;
-           incr restart;
-           run ()
+         if out_of_budget () then ()
+         else begin
+           let luby_budget = int_of_float (100. *. luby 2. !restart) in
+           let budget =
+             (* never overshoot a conflict allowance by a whole Luby
+                window: cap the inner budget at what remains *)
+             match max_conflicts with
+             | Some m -> min luby_budget (max 1 (m - (s.conflicts - conflicts0)))
+             | None -> luby_budget
+           in
+           match search s assumptions budget with
+           | `Restart ->
+             s.restarts <- s.restarts + 1;
+             incr restart;
+             run ()
+         end
        in
        run ()
      with

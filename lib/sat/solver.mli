@@ -22,7 +22,7 @@ val negate : lit -> lit
 val var_of : lit -> int
 val is_pos : lit -> bool
 
-type result = Sat | Unsat
+type result = Sat | Unsat | Unknown
 
 val create : unit -> t
 
@@ -37,10 +37,25 @@ val add_clause : t -> lit list -> unit
     unsatisfiable.  Only legal at decision level 0 (i.e. between
     [solve] calls). *)
 
-val solve : ?assumptions:lit list -> t -> result
+val solve :
+  ?assumptions:lit list ->
+  ?max_conflicts:int ->
+  ?max_propagations:int ->
+  ?should_stop:(unit -> bool) ->
+  t ->
+  result
 (** Solve the current clause set under the given assumptions.  The
     solver is reusable: more clauses and variables may be added after a
-    call, and [solve] may be called again. *)
+    call, and [solve] may be called again.
+
+    The optional allowances bound a single call: [max_conflicts] /
+    [max_propagations] cap the conflicts/propagations spent by this
+    call (deltas, not lifetime totals), and [should_stop] is a cheap
+    external predicate (typically a deadline check).  All three are
+    checked only at restart boundaries, so a call may overrun by at
+    most one Luby window of conflicts.  On exhaustion the call returns
+    {!Unknown} — never a wrong [Sat]/[Unsat] — and the solver remains
+    reusable.  Without allowances, [solve] never returns {!Unknown}. *)
 
 val value : t -> lit -> bool
 (** Value of a literal in the model found by the last [solve].

@@ -1,35 +1,52 @@
 module Net = Netlist.Net
 module Lit = Netlist.Lit
 
+let fail = Parse_error.fail
+
 let parse text =
+  (* keep original 1-based line numbers before discarding blanks, so
+     diagnostics survive the filtering *)
   let lines =
-    String.split_on_char '\n' text |> List.map String.trim
-    |> List.filter (fun l -> l <> "")
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  (* truncated-file errors point just past the last non-blank line *)
+  let eof_line =
+    match List.rev lines with (n, _) :: _ -> n | [] -> 1
+  in
+  let int_at ~line s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> fail ~line "expected a number, got %s" s
   in
   let header, rest =
     match lines with
     | h :: rest -> (h, rest)
-    | [] -> failwith "Aiger.parse: empty input"
+    | [] -> fail ~line:1 "empty input"
   in
   let m, i, l, o, a =
-    match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+    let hline, htext = header in
+    match String.split_on_char ' ' htext |> List.filter (( <> ) "") with
     | [ "aag"; m; i; l; o; a ] ->
-      ( int_of_string m,
-        int_of_string i,
-        int_of_string l,
-        int_of_string o,
-        int_of_string a )
-    | _ -> failwith "Aiger.parse: expected 'aag M I L O A' header"
+      ( int_at ~line:hline m,
+        int_at ~line:hline i,
+        int_at ~line:hline l,
+        int_at ~line:hline o,
+        int_at ~line:hline a )
+    | _ -> fail ~line:hline "expected 'aag M I L O A' header"
   in
-  let ints line = String.split_on_char ' ' line |> List.filter (( <> ) "")
-                  |> List.map int_of_string in
+  let ints ~line text =
+    String.split_on_char ' ' text |> List.filter (( <> ) "")
+    |> List.map (int_at ~line)
+  in
   let take n rest =
     let rec go n acc rest =
       if n = 0 then (List.rev acc, rest)
       else
         match rest with
         | x :: tail -> go (n - 1) (x :: acc) tail
-        | [] -> failwith "Aiger.parse: truncated file"
+        | [] -> fail ~line:eof_line "truncated file"
     in
     go n [] rest
   in
@@ -40,7 +57,7 @@ let parse text =
   (* symbol table and comments *)
   let symbols = Hashtbl.create 16 in
   List.iter
-    (fun line ->
+    (fun (_, line) ->
       if String.length line >= 2 then
         match line.[0] with
         | ('i' | 'l' | 'o') as kind -> (
@@ -59,41 +76,40 @@ let parse text =
   let table : (int, Lit.t) Hashtbl.t = Hashtbl.create (m + 1) in
   Hashtbl.replace table 0 Lit.false_;
   let and_defs = Hashtbl.create (a + 1) in
-  List.iteri
-    (fun k line ->
-      match ints line with
+  List.iter
+    (fun (line, text) ->
+      match ints ~line text with
       | [ lhs; r0; r1 ] ->
-        if lhs land 1 = 1 then failwith "Aiger.parse: negated AND lhs";
-        ignore k;
-        Hashtbl.replace and_defs (lhs / 2) (r0, r1)
-      | _ -> failwith "Aiger.parse: bad AND line")
+        if lhs land 1 = 1 then fail ~line "negated AND lhs";
+        Hashtbl.replace and_defs (lhs / 2) (r0, r1, line)
+      | _ -> fail ~line "bad AND line")
     and_lines;
   (* inputs and latches allocate variables up front *)
   List.iteri
-    (fun k line ->
-      match ints line with
+    (fun k (line, text) ->
+      match ints ~line text with
       | [ lit ] ->
-        if lit land 1 = 1 || lit = 0 then failwith "Aiger.parse: bad input literal";
+        if lit land 1 = 1 || lit = 0 then fail ~line "bad input literal";
         let name =
           Option.value (Hashtbl.find_opt symbols ('i', k))
             ~default:(Printf.sprintf "i%d" k)
         in
         Hashtbl.replace table (lit / 2) (Net.add_input net name)
-      | _ -> failwith "Aiger.parse: bad input line")
+      | _ -> fail ~line "bad input line")
     input_lines;
   let pending = ref [] in
   List.iteri
-    (fun k line ->
-      match ints line with
-      | [ lit ] -> failwith (Printf.sprintf "Aiger.parse: latch %d lacks next" lit)
+    (fun k (line, text) ->
+      match ints ~line text with
+      | [ lit ] -> fail ~line "latch %d lacks next" lit
       | [ lit; next ] | [ lit; next; _ ] | [ lit; next; _; _ ] -> (
-        if lit land 1 = 1 || lit = 0 then failwith "Aiger.parse: bad latch literal";
+        if lit land 1 = 1 || lit = 0 then fail ~line "bad latch literal";
         let init =
-          match ints line with
+          match ints ~line text with
           | [ _; _ ] | [ _; _; 0 ] -> Net.Init0
           | [ _; _; 1 ] -> Net.Init1
           | [ _; _; r ] when r = lit -> Net.Init_x
-          | _ -> failwith "Aiger.parse: unsupported latch reset"
+          | _ -> fail ~line "unsupported latch reset"
         in
         let name =
           Option.value (Hashtbl.find_opt symbols ('l', k))
@@ -101,43 +117,51 @@ let parse text =
         in
         let r = Net.add_reg net ~init name in
         Hashtbl.replace table (lit / 2) r;
-        pending := (r, next) :: !pending)
-      | _ -> failwith "Aiger.parse: bad latch line")
+        pending := (r, next, line) :: !pending)
+      | _ -> fail ~line "bad latch line")
     latch_lines;
-  (* ANDs on demand *)
+  (* ANDs on demand; [line] is the reference site, AND bodies use the
+     stored definition line *)
   let visiting = Hashtbl.create 16 in
-  let rec build_var v =
+  let rec build_var ~line v =
     match Hashtbl.find_opt table v with
     | Some l -> l
     | None -> (
       match Hashtbl.find_opt and_defs v with
-      | None -> failwith (Printf.sprintf "Aiger.parse: undefined variable %d" v)
-      | Some (r0, r1) ->
-        if Hashtbl.mem visiting v then
-          failwith "Aiger.parse: combinational cycle";
+      | None -> fail ~line "undefined variable %d" v
+      | Some (r0, r1, dline) ->
+        if Hashtbl.mem visiting v then fail ~line:dline "combinational cycle";
         Hashtbl.replace visiting v ();
-        let l = Net.add_and net (build_lit r0) (build_lit r1) in
+        let l =
+          Net.add_and net (build_lit ~line:dline r0) (build_lit ~line:dline r1)
+        in
         Hashtbl.remove visiting v;
         Hashtbl.replace table v l;
         l)
-  and build_lit al = Lit.xor_sign (build_var (al / 2)) (al land 1 = 1) in
-  List.iter (fun (r, next) -> Net.set_next net r (build_lit next)) !pending;
+  and build_lit ~line al =
+    Lit.xor_sign (build_var ~line (al / 2)) (al land 1 = 1)
+  in
+  List.iter
+    (fun (r, next, line) -> Net.set_next net r (build_lit ~line next))
+    !pending;
   List.iteri
-    (fun k line ->
-      match ints line with
+    (fun k (line, text) ->
+      match ints ~line text with
       | [ lit ] ->
         let name =
           Option.value (Hashtbl.find_opt symbols ('o', k))
             ~default:(Printf.sprintf "o%d" k)
         in
-        let l = build_lit lit in
+        let l = build_lit ~line lit in
         Net.add_output net name l;
         Net.add_target net name l
-      | _ -> failwith "Aiger.parse: bad output line")
+      | _ -> fail ~line "bad output line")
     output_lines;
   (* materialize dangling ANDs too: the parse is faithful to the file,
      not to any particular cone *)
-  Hashtbl.iter (fun v _ -> ignore (build_var v)) and_defs;
+  Hashtbl.iter
+    (fun v (_, _, line) -> ignore (build_var ~line v))
+    and_defs;
   net
 
 let parse_file path =

@@ -12,9 +12,14 @@
     representation and are rejected on write. *)
 
 val parse : string -> Netlist.Net.t
-(** @raise Failure on malformed input. *)
+(** @raise Parse_error.Parse_error on malformed input, with the
+    1-based source line (truncated-file errors point at the last
+    non-blank line). *)
 
 val parse_file : string -> Netlist.Net.t
+(** @raise Parse_error.Parse_error on malformed input.
+    @raise Sys_error if the file cannot be read. *)
+
 val to_string : Netlist.Net.t -> string
 (** @raise Invalid_argument on latch-based (c-phase) netlists. *)
 

@@ -9,114 +9,124 @@ let tokenize_args s =
   String.split_on_char ',' s |> List.map String.trim
   |> List.filter (fun x -> x <> "")
 
+let fail = Parse_error.fail
+
 (* "NAME = GATE(a, b, c)" -> (NAME, GATE, [a;b;c]) *)
-let parse_assignment line =
-  match String.index_opt line '=' with
-  | None -> failwith ("Bench_io.parse: expected '=' in: " ^ line)
+let parse_assignment ~line text =
+  match String.index_opt text '=' with
+  | None -> fail ~line "expected '=' in: %s" text
   | Some eq ->
-    let name = String.trim (String.sub line 0 eq) in
-    let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+    let name = String.trim (String.sub text 0 eq) in
+    let rhs = String.trim (String.sub text (eq + 1) (String.length text - eq - 1)) in
     (match (String.index_opt rhs '(', String.rindex_opt rhs ')') with
     | Some l, Some r when r > l ->
       let gate = String.uppercase_ascii (String.trim (String.sub rhs 0 l)) in
       let args = tokenize_args (String.sub rhs (l + 1) (r - l - 1)) in
       (name, gate, args)
-    | _, _ -> failwith ("Bench_io.parse: malformed right-hand side: " ^ rhs))
+    | _, _ -> fail ~line "malformed right-hand side: %s" rhs)
 
 let parse text =
-  let defs : (string, def) Hashtbl.t = Hashtbl.create 256 in
+  (* defs and outputs remember the 1-based line of their declaration
+     so that errors detected during netlist construction still point
+     into the source *)
+  let defs : (string, def * int) Hashtbl.t = Hashtbl.create 256 in
   let order = ref [] in
   let outputs = ref [] in
   let max_phase = ref 0 in
-  let add_def name d =
-    if Hashtbl.mem defs name then
-      failwith ("Bench_io.parse: duplicate definition of " ^ name);
-    Hashtbl.add defs name d;
+  let add_def ~line name d =
+    if Hashtbl.mem defs name then fail ~line "duplicate definition of %s" name;
+    Hashtbl.add defs name (d, line);
     order := name :: !order
   in
   String.split_on_char '\n' text
-  |> List.iter (fun line ->
-         let line =
-           match String.index_opt line '#' with
-           | Some i -> String.sub line 0 i
-           | None -> line
+  |> List.iteri (fun i raw ->
+         let line = i + 1 in
+         let text =
+           match String.index_opt raw '#' with
+           | Some i -> String.sub raw 0 i
+           | None -> raw
          in
-         let line = String.trim line in
-         if line <> "" then begin
-           let upper = String.uppercase_ascii line in
+         let text = String.trim text in
+         if text <> "" then begin
+           let upper = String.uppercase_ascii text in
            if String.length upper >= 6 && String.sub upper 0 6 = "INPUT(" then begin
              let name =
                String.trim
-                 (String.sub line 6 (String.length line - 7))
+                 (String.sub text 6 (String.length text - 7))
              in
-             add_def name Dinput
+             add_def ~line name Dinput
            end
            else if String.length upper >= 7 && String.sub upper 0 7 = "OUTPUT(" then
              outputs :=
-               String.trim (String.sub line 7 (String.length line - 8))
+               (String.trim (String.sub text 7 (String.length text - 8)), line)
                :: !outputs
            else begin
-             let name, gate, args = parse_assignment line in
+             let name, gate, args = parse_assignment ~line text in
              if gate = "LATCH" then begin
                match args with
-               | [ _; p ] -> max_phase := max !max_phase (int_of_string p)
-               | _ -> failwith "Bench_io.parse: LATCH takes (data, phase)"
+               | [ _; p ] -> (
+                 match int_of_string_opt p with
+                 | Some ph -> max_phase := max !max_phase ph
+                 | None -> fail ~line "bad LATCH phase %s" p)
+               | _ -> fail ~line "LATCH takes (data, phase)"
              end;
-             add_def name (Dgate (gate, args))
+             add_def ~line name (Dgate (gate, args))
            end
          end);
   let net = Net.create ~phases:(!max_phase + 1) () in
   let built : (string, Lit.t) Hashtbl.t = Hashtbl.create 256 in
-  let init_of = function
+  let init_of ~line = function
     | "0" -> Net.Init0
     | "1" -> Net.Init1
     | "X" | "x" -> Net.Init_x
-    | s -> failwith ("Bench_io.parse: bad initial value " ^ s)
+    | s -> fail ~line "bad initial value %s" s
   in
   let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let pending = ref [] in
-  let rec build name =
+  (* [line] is the position of the reference being resolved, so
+     "undefined signal" blames the use site, while gate errors blame
+     the signal's own definition line *)
+  let rec build ~line name =
     match Hashtbl.find_opt built name with
     | Some l -> l
     | None ->
       if Hashtbl.mem visiting name then
-        failwith ("Bench_io.parse: combinational cycle through " ^ name);
+        fail ~line "combinational cycle through %s" name;
       Hashtbl.add visiting name ();
       Fun.protect
         ~finally:(fun () -> Hashtbl.remove visiting name)
         (fun () ->
           match Hashtbl.find_opt defs name with
-          | None -> failwith ("Bench_io.parse: undefined signal " ^ name)
-          | Some Dinput ->
+          | None -> fail ~line "undefined signal %s" name
+          | Some (Dinput, _) ->
             let l = Net.add_input net name in
             Hashtbl.add built name l;
             l
-          | Some (Dgate (gate, args)) -> build_gate name gate args)
-  and build_gate name gate args =
+          | Some (Dgate (gate, args), dline) ->
+            build_gate ~line:dline name gate args)
+  and build_gate ~line name gate args =
     match (gate, args) with
     | "DFF", (d :: rest) ->
       let init =
         match rest with
         | [] -> Net.Init0
-        | [ i ] -> init_of i
-        | _ :: _ :: _ -> failwith "Bench_io.parse: DFF takes (data[, init])"
+        | [ i ] -> init_of ~line i
+        | _ :: _ :: _ -> fail ~line "DFF takes (data[, init])"
       in
       let r = Net.add_reg net ~init name in
       Hashtbl.add built name r;
       (* defer the data cone: recursing here would thread the
          combinational-cycle check through the register boundary *)
-      pending := `Reg (r, d) :: !pending;
+      pending := `Reg (r, d, line) :: !pending;
       r
     | "LATCH", [ d; p ] ->
       let l = Net.add_latch net ~phase:(int_of_string p) name in
       Hashtbl.add built name l;
-      pending := `Latch (l, d) :: !pending;
+      pending := `Latch (l, d, line) :: !pending;
       l
     | _, _ ->
-      let ops () = List.map build args in
-      let arity_error () =
-        failwith ("Bench_io.parse: bad arity for " ^ gate ^ " at " ^ name)
-      in
+      let ops () = List.map (build ~line) args in
+      let arity_error () = fail ~line "bad arity for %s at %s" gate name in
       let l =
         match gate with
         | "CONST0" -> Lit.false_
@@ -142,19 +152,22 @@ let parse text =
           match ops () with
           | [ s; a; b ] -> Net.add_mux net ~sel:s ~t1:a ~t0:b
           | _ -> arity_error ())
-        | other -> failwith ("Bench_io.parse: unknown gate type " ^ other)
+        | other -> fail ~line "unknown gate type %s" other
       in
       Hashtbl.add built name l;
       l
   in
+  let def_line name = snd (Hashtbl.find defs name) in
   (* build state elements first so that forward references resolve *)
   List.iter
     (fun name ->
       match Hashtbl.find defs name with
-      | Dgate (("DFF" | "LATCH"), _) -> ignore (build name)
-      | Dinput | Dgate _ -> ())
+      | Dgate (("DFF" | "LATCH"), _), line -> ignore (build ~line name)
+      | (Dinput | Dgate _), _ -> ())
     (List.rev !order);
-  List.iter (fun name -> ignore (build name)) (List.rev !order);
+  List.iter
+    (fun name -> ignore (build ~line:(def_line name) name))
+    (List.rev !order);
   (* data cones last; draining may enqueue more state elements *)
   let rec drain () =
     match !pending with
@@ -162,14 +175,14 @@ let parse text =
     | item :: rest ->
       pending := rest;
       (match item with
-      | `Reg (r, d) -> Net.set_next net r (build d)
-      | `Latch (l, d) -> Net.set_latch_data net l (build d));
+      | `Reg (r, d, line) -> Net.set_next net r (build ~line d)
+      | `Latch (l, d, line) -> Net.set_latch_data net l (build ~line d));
       drain ()
   in
   drain ();
   List.iter
-    (fun name ->
-      let l = build name in
+    (fun (name, line) ->
+      let l = build ~line name in
       Net.add_output net name l;
       Net.add_target net name l)
     (List.rev !outputs);

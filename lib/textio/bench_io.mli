@@ -14,8 +14,12 @@
     target for the ISCAS89 experiments). *)
 
 val parse : string -> Netlist.Net.t
-(** @raise Failure on malformed input. *)
+(** @raise Parse_error.Parse_error on malformed input, with the
+    1-based line of the offending declaration. *)
 
 val parse_file : string -> Netlist.Net.t
+(** @raise Parse_error.Parse_error on malformed input.
+    @raise Sys_error if the file cannot be read. *)
+
 val to_string : Netlist.Net.t -> string
 val write_file : string -> Netlist.Net.t -> unit

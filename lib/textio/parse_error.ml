@@ -1,0 +1,4 @@
+exception Parse_error of { line : int; msg : string }
+
+let fail ~line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt

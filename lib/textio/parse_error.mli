@@ -1,0 +1,11 @@
+(** The one exception every textual netlist reader raises on malformed
+    input, carrying enough position to render a "file:line: message"
+    diagnostic at the CLI boundary. *)
+
+exception Parse_error of { line : int; msg : string }
+(** [line] is 1-based; for errors only detectable after reading the
+    whole input (e.g. a truncated file) it points at the last line. *)
+
+val fail : line:int -> ('a, unit, string, 'b) format4 -> 'a
+(** [fail ~line fmt ...] raises {!Parse_error} with the formatted
+    message. *)

@@ -1,5 +1,9 @@
 (** Textual netlist interchange: ISCAS89 [.bench] and a native dump. *)
 
+exception Parse_error = Parse_error.Parse_error
+(** Re-exported so that callers can match [Textio.Parse_error
+    {line; msg}] without reaching into the submodule. *)
+
 module Bench_io = Bench_io
 module Netfmt = Netfmt
 module Aiger = Aiger

@@ -65,7 +65,7 @@ let structural_redirects net =
   (redirects, !const_regs, !merged_regs)
 
 (* SAT sweeping of combinational vertices.  Returns redirects. *)
-let sweep ~seed ~sim_steps net =
+let sweep ~seed ~sim_steps ?budget net =
   let sigs = Bsim.signatures ~seed ~steps:sim_steps net in
   let classes = Hashtbl.create 256 in
   Net.iter_nodes net (fun v node ->
@@ -83,13 +83,23 @@ let sweep ~seed ~sim_steps net =
   let redirects = Hashtbl.create 16 in
   let merged = ref 0 in
   let checks = ref 0 in
+  let max_conflicts = Option.bind budget Obs.Budget.conflicts in
+  let max_propagations = Option.bind budget Obs.Budget.propagations in
+  let should_stop = Option.bind budget Obs.Budget.should_stop in
+  let unsat assumptions =
+    (* Unknown is NOT Unsat: a candidate whose check is cut short by
+       the budget is simply not merged — dropping a merge is always
+       sound *)
+    Solver.solve ~assumptions ?max_conflicts ?max_propagations ?should_stop
+      solver
+    = Solver.Unsat
+  in
   let equivalent a b =
     (* a == b iff both (a & ~b) and (~a & b) are unsatisfiable *)
     incr checks;
     let sa = Encode.Frame.lit frame a in
     let sb = Encode.Frame.lit frame b in
-    Solver.solve ~assumptions:[ sa; Solver.negate sb ] solver = Solver.Unsat
-    && Solver.solve ~assumptions:[ Solver.negate sa; sb ] solver = Solver.Unsat
+    unsat [ sa; Solver.negate sb ] && unsat [ Solver.negate sa; sb ]
   in
   Hashtbl.iter
     (fun _key members ->
@@ -109,10 +119,17 @@ let sweep ~seed ~sim_steps net =
     classes;
   (redirects, !merged, !checks)
 
-let run ?(seed = 0x5eed) ?(sim_steps = 31) ?(max_rounds = 8) net =
+let run ?(seed = 0x5eed) ?(sim_steps = 31) ?(max_rounds = 8) ?budget net =
   let identity = Array.init (Net.num_vars net) (fun v -> Some (Lit.make v)) in
+  let expired () =
+    match budget with
+    | Some b when Obs.Budget.expired b ->
+      Obs.Budget.note_exhausted "com";
+      true
+    | _ -> false
+  in
   let rec go round map current const_regs merged_regs merged_ands sat_checks =
-    if round >= max_rounds then
+    if round >= max_rounds || expired () then
       ( { Rebuild.net = current; map },
         {
           rounds = round;
@@ -125,7 +142,7 @@ let run ?(seed = 0x5eed) ?(sim_steps = 31) ?(max_rounds = 8) net =
       let structural, cr, mr = structural_redirects current in
       let swept, ma, sc =
         if Hashtbl.length structural = 0 then
-          sweep ~seed:(seed + round) ~sim_steps current
+          sweep ~seed:(seed + round) ~sim_steps ?budget current
         else (Hashtbl.create 0, 0, 0)
       in
       let redirect v =

@@ -32,8 +32,15 @@ val run :
   ?seed:int ->
   ?sim_steps:int ->
   ?max_rounds:int ->
+  ?budget:Obs.Budget.t ->
   Netlist.Net.t ->
   Rebuild.result * stats
 (** The result's [map] translates every original vertex that survived
     into the reduced netlist (Theorem 1's bijection on the mapped
-    sets). *)
+    sets).
+
+    A [budget] degrades gracefully: SAT equivalence checks get the
+    budget's conflict/propagation allowances and deadline, a candidate
+    whose check comes back unknown is simply not merged (dropping a
+    merge never affects soundness), and an expired deadline stops the
+    round loop early — the netlist reduced so far is returned. *)

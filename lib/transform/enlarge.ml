@@ -10,16 +10,24 @@ type result = {
   bdd_size : int;
 }
 
-let run ?(reg_limit = 24) original ~target ~k =
+type failure = Unsuitable of string | Node_limit of int
+
+let run ?(reg_limit = 24) ?max_nodes original ~target ~k =
   match List.assoc_opt target (Net.targets original) with
-  | None -> None
-  | Some _ when Net.num_latches original > 0 -> None
+  | None -> Error (Unsuitable "unknown target")
+  | Some _ when Net.num_latches original > 0 ->
+    Error (Unsuitable "netlist has latches")
   | Some tlit ->
     let cone = Coi.of_lits original [ tlit ] in
     let regs = Coi.regs_in original cone in
-    if List.length regs > reg_limit then None
+    if List.length regs > reg_limit then
+      Error
+        (Unsuitable
+           (Printf.sprintf "cone has %d registers (limit %d)"
+              (List.length regs) reg_limit))
     else begin
-      let man = Bdd.man () in
+      try
+      let man = Bdd.man ?max_nodes () in
       (* BDD variable order: registers first, then inputs *)
       let bddvar = Hashtbl.create 64 in
       let counter = ref 0 in
@@ -96,7 +104,7 @@ let run ?(reg_limit = 24) original ~target ~k =
       let enlarged = Bdd_synth.synthesize man net ~leaf enlarged_set in
       let name = Printf.sprintf "%s#enl%d" target k in
       Net.add_target net name enlarged;
-      Some
+      Ok
         {
           net;
           enlarged;
@@ -104,4 +112,9 @@ let run ?(reg_limit = 24) original ~target ~k =
           empty = Bdd.is_false enlarged_set;
           bdd_size = Bdd.size man enlarged_set;
         }
+      with Bdd.Node_limit n ->
+        (* symbolic blow-up: the preimage chain outgrew the node
+           allowance — stand down rather than thrash *)
+        Obs.Budget.note_exhausted "bdd";
+        Error (Node_limit n)
     end

@@ -28,7 +28,23 @@ type result = {
   bdd_size : int;
 }
 
+type failure =
+  | Unsuitable of string
+      (** the transformation does not apply (unknown target, latches,
+          register cone over [reg_limit]) — trying harder won't help *)
+  | Node_limit of int
+      (** the BDD computation outgrew [max_nodes] — a resource event;
+          the netlist may still be enlargeable with a bigger allowance *)
+
 val run :
-  ?reg_limit:int -> Netlist.Net.t -> target:string -> k:int -> result option
-(** [None] when the target does not exist, the netlist has latches, or
-    its cone has more than [reg_limit] (default 24) registers. *)
+  ?reg_limit:int ->
+  ?max_nodes:int ->
+  Netlist.Net.t ->
+  target:string ->
+  k:int ->
+  (result, failure) Stdlib.result
+(** [Error (Unsuitable _)] when the target does not exist, the netlist
+    has latches, or its cone has more than [reg_limit] (default 24)
+    registers; [Error (Node_limit _)] when [max_nodes] is given and
+    the symbolic preimage computation exceeds it (no exception
+    escapes). *)

@@ -105,3 +105,4 @@ let sat_equivalent ~depth net_a lit_a net_b lit_b =
   match Solver.solve solver with
   | Solver.Unsat -> true
   | Solver.Sat -> false
+  | Solver.Unknown -> false (* unbudgeted solve never returns this *)

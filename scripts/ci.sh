@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, and a budgeted end-to-end smoke run.
+# Every stage is wrapped in timeout(1) so a hang fails the pipeline
+# instead of stalling it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+timeout 300 dune build
+timeout 900 dune runtest
+
+# Smoke-test the resource governance end to end: a 1-second deadline
+# on a real design must come back promptly with a definite verdict
+# (0/1) or an explicit inconclusive (3) — anything else is a bug.
+rc=0
+timeout 60 dune exec bin/verify_tool.exe -- examples/ring5.bench --timeout 1 \
+  || rc=$?
+case "$rc" in
+  0|1|3) echo "ci: verify smoke exit $rc (ok)" ;;
+  *) echo "ci: verify smoke exit $rc (FAIL)"; exit 1 ;;
+esac
+
+echo "ci: all green"

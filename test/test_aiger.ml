@@ -37,15 +37,20 @@ let test_parse_reset_values () =
     (inits = [ Net.Init1; Net.Init_x ])
 
 let test_parse_errors () =
-  let expect text =
+  let expect ~line:expected text =
     match Textio.Aiger.parse text with
-    | exception Failure _ -> ()
+    | exception Textio.Parse_error { line; msg } ->
+      Alcotest.(check int) (Printf.sprintf "line of %S" msg) expected line
     | _ -> Alcotest.fail "expected failure"
   in
-  expect "aag 1 1\n";
-  expect "aag 1 1 0 0 0\n3\n";
+  expect ~line:1 "aag 1 1\n";
+  expect ~line:2 "aag 1 1 0 0 0\n3\n";
   (* negated input literal *)
-  expect "aag 2 0 0 1 1\n4\n5 4 5\n" (* negated AND lhs... lhs 5 odd *)
+  expect ~line:3 "aag 2 0 0 1 1\n4\n5 4 5\n" (* negated AND lhs: lhs 5 odd *);
+  (* truncated file: fewer lines than the header promises *)
+  expect ~line:2 "aag 2 2 0 0 0\n2\n";
+  (* non-numeric where a literal is expected *)
+  expect ~line:2 "aag 1 1 0 0 0\nbogus\n"
 
 let test_roundtrip_semantics () =
   let net, t = Helpers.rand_net_with_target 77 ~inputs:3 ~regs:4 ~gates:12 in

@@ -10,10 +10,10 @@ let test_counter_hit_depth () =
     Helpers.check_int "hit exactly at 7" 7 cex.Bmc.depth;
     Helpers.check_bool "replay confirms" true
       (Bmc.replay net (List.assoc "t" (Net.targets net)) cex)
-  | Bmc.No_hit _ -> Alcotest.fail "counter must hit");
+  | Bmc.No_hit _ | Bmc.Unknown _ -> Alcotest.fail "counter must hit");
   match Bmc.check net ~target:"t" ~depth:6 with
   | Bmc.No_hit 6 -> ()
-  | Bmc.No_hit _ | Bmc.Hit _ -> Alcotest.fail "no hit before 7"
+  | Bmc.No_hit _ | Bmc.Hit _ | Bmc.Unknown _ -> Alcotest.fail "no hit before 7"
 
 let test_input_dependent_hit () =
   let net = Net.create () in
@@ -25,7 +25,7 @@ let test_input_dependent_hit () =
     Helpers.check_int "needs 2 steps to fill" 2 cex.Bmc.depth;
     Helpers.check_bool "replay confirms" true
       (Bmc.replay net (List.assoc "t" (Net.targets net)) cex)
-  | Bmc.No_hit _ -> Alcotest.fail "fillable pipeline must hit"
+  | Bmc.No_hit _ | Bmc.Unknown _ -> Alcotest.fail "fillable pipeline must hit"
 
 let test_x_init_hit () =
   (* an X-initialized self-loop can be 1 from the start *)
@@ -40,7 +40,7 @@ let test_x_init_hit () =
       (List.mem_assoc (Lit.var r) cex.Bmc.init_x);
     Helpers.check_bool "replay confirms" true
       (Bmc.replay net (List.assoc "t" (Net.targets net)) cex)
-  | Bmc.No_hit _ -> Alcotest.fail "X register can hit"
+  | Bmc.No_hit _ | Bmc.Unknown _ -> Alcotest.fail "X register can hit"
 
 let test_unreachable_proof () =
   (* mutually exclusive flags: the conjunction is unreachable; a
@@ -56,7 +56,8 @@ let test_unreachable_proof () =
   Helpers.check_bool "bound finite" false (Core.Sat_bound.is_huge b);
   (match Bmc.prove net ~target:"t" ~bound:b with
   | `Proved -> ()
-  | `Cex _ -> Alcotest.fail "conjunction of complementary flags unreachable");
+  | `Cex _ | `Unknown ->
+    Alcotest.fail "conjunction of complementary flags unreachable");
   (* sanity: exact agrees *)
   let e = Option.get (Core.Exact.explore net (List.assoc "t" (Net.targets net))) in
   Helpers.check_bool "exact agrees" true (e.Core.Exact.earliest_hit = None)
@@ -68,7 +69,7 @@ let test_from_parameter () =
   (* hits at 3 and (wrapping) at 7 *)
   match Bmc.check ~from:4 net ~target:"t" ~depth:10 with
   | Bmc.Hit cex -> Helpers.check_int "second hit at 7" 7 cex.Bmc.depth
-  | Bmc.No_hit _ -> Alcotest.fail "wrapping counter must hit again"
+  | Bmc.No_hit _ | Bmc.Unknown _ -> Alcotest.fail "wrapping counter must hit again"
 
 let test_unknown_target () =
   let net = Net.create () in
@@ -88,7 +89,8 @@ let prop_bmc_agrees_with_exact =
         | Bmc.Hit cex, Some hit -> cex.Bmc.depth = hit && Bmc.replay net t cex
         | Bmc.No_hit _, Some hit -> hit > depth
         | Bmc.No_hit _, None -> true
-        | Bmc.Hit _, None -> false))
+        | Bmc.Hit _, None -> false
+        | Bmc.Unknown _, _ -> false (* no budget: Unknown impossible *)))
 
 let prop_cex_replays =
   Helpers.qtest ~count:50 "every counterexample replays on the simulator"
@@ -97,7 +99,8 @@ let prop_cex_replays =
       let net, t = Helpers.rand_structured seed in
       match Bmc.check_lit net t ~depth:8 with
       | Bmc.Hit cex -> Bmc.replay net t cex
-      | Bmc.No_hit _ -> true)
+      | Bmc.No_hit _ -> true
+      | Bmc.Unknown _ -> false)
 
 let suite =
   [

@@ -15,8 +15,8 @@ let counter_design () =
 let test_enlargement_on_counter () =
   let net, _ = counter_design () in
   match Transform.Enlarge.run net ~target:"t" ~k:2 with
-  | None -> Alcotest.fail "expected enlargement to run"
-  | Some r ->
+  | Error _ -> Alcotest.fail "expected enlargement to run"
+  | Ok r ->
     Helpers.check_int "k recorded" 2 r.Transform.Enlarge.k;
     Helpers.check_bool "set not empty" false r.Transform.Enlarge.empty;
     (* the 2-step enlarged target of state 5 is exactly state 3 *)
@@ -24,15 +24,16 @@ let test_enlargement_on_counter () =
     let name = "t#enl2" in
     (match Bmc.check net' ~target:name ~depth:8 with
     | Bmc.Hit cex -> Helpers.check_int "state 3 reached at time 3" 3 cex.Bmc.depth
-    | Bmc.No_hit _ -> Alcotest.fail "enlarged target should be reachable")
+    | Bmc.No_hit _ | Bmc.Unknown _ ->
+      Alcotest.fail "enlarged target should be reachable")
 
 let test_theorem4_bound () =
   (* d(t') + k covers the earliest hit of the original *)
   let net, t = counter_design () in
   let k = 2 in
   match Transform.Enlarge.run net ~target:"t" ~k with
-  | None -> Alcotest.fail "expected enlargement"
-  | Some r ->
+  | Error _ -> Alcotest.fail "expected enlargement"
+  | Ok r ->
     let exact = Option.get (Core.Exact.explore net t) in
     let hit = Option.get exact.Core.Exact.earliest_hit in
     Helpers.check_int "counter hits 5 at time 5" 5 hit;
@@ -50,14 +51,15 @@ let test_inductive_simplification () =
      target yields states that hit in exactly k steps *)
   let net, _ = counter_design () in
   match Transform.Enlarge.run net ~target:"t" ~k:5 with
-  | None -> Alcotest.fail "expected enlargement"
-  | Some r ->
+  | Error _ -> Alcotest.fail "expected enlargement"
+  | Ok r ->
     (* state 0 hits state 5 in exactly 5 steps *)
     Helpers.check_bool "initial state in the 5-step set" false
       r.Transform.Enlarge.empty;
     (match Bmc.check r.Transform.Enlarge.net ~target:"t#enl5" ~depth:0 with
     | Bmc.Hit cex -> Helpers.check_int "hit at time 0" 0 cex.Bmc.depth
-    | Bmc.No_hit _ -> Alcotest.fail "state 0 should satisfy the enlarged target")
+    | Bmc.No_hit _ | Bmc.Unknown _ ->
+      Alcotest.fail "state 0 should satisfy the enlarged target")
 
 let test_empty_enlargement () =
   (* a target hittable only at time <= 1 has an empty 2-step
@@ -71,8 +73,8 @@ let test_empty_enlargement () =
   (* t is hit at time 0 only; pre^1(t) = nothing (no state maps to
      r1 = 1) *)
   match Transform.Enlarge.run net ~target:"t" ~k:1 with
-  | None -> Alcotest.fail "expected enlargement"
-  | Some r ->
+  | Error _ -> Alcotest.fail "expected enlargement"
+  | Ok r ->
     Helpers.check_bool "one-step preimage empty" true r.Transform.Enlarge.empty
 
 let test_input_quantification () =
@@ -84,8 +86,8 @@ let test_input_quantification () =
   Net.set_next net r a;
   Net.add_target net "t" r;
   match Transform.Enlarge.run net ~target:"t" ~k:1 with
-  | None -> Alcotest.fail "expected enlargement"
-  | Some res ->
+  | Error _ -> Alcotest.fail "expected enlargement"
+  | Ok res ->
     (* pre^1(r=1) with input quantified = all states; minus states
        already hitting (r=1) = states with r=0 *)
     Helpers.check_bool "preimage not empty" false res.Transform.Enlarge.empty;
@@ -97,10 +99,14 @@ let test_reg_limit () =
   let net = Net.create () in
   let block = Workload.Gen.lfsr net ~name:"l" ~bits:8 in
   Net.add_target net "t" block.Workload.Gen.out;
+  let unsuitable = function
+    | Error (Transform.Enlarge.Unsuitable _) -> true
+    | Error (Transform.Enlarge.Node_limit _) | Ok _ -> false
+  in
   Helpers.check_bool "limit respected" true
-    (Transform.Enlarge.run ~reg_limit:4 net ~target:"t" ~k:1 = None);
+    (unsuitable (Transform.Enlarge.run ~reg_limit:4 net ~target:"t" ~k:1));
   Helpers.check_bool "unknown target" true
-    (Transform.Enlarge.run net ~target:"nope" ~k:1 = None)
+    (unsuitable (Transform.Enlarge.run net ~target:"nope" ~k:1))
 
 let suite =
   [

@@ -14,7 +14,8 @@ let test_inductive_invariant () =
   match Core.Induction.prove net ~target:"both" with
   | Core.Induction.Proved k -> Helpers.check_bool "small k" true (k <= 1)
   | Core.Induction.Cex _ -> Alcotest.fail "property holds"
-  | Core.Induction.Unknown _ -> Alcotest.fail "property is inductive"
+  | Core.Induction.Unknown _ | Core.Induction.Exhausted _ ->
+    Alcotest.fail "property is inductive"
 
 let test_needs_uniqueness () =
   (* a ring counter's unreachable pattern: plain induction fails at
@@ -34,11 +35,12 @@ let test_needs_uniqueness () =
   | Core.Induction.Proved k ->
     (* plain induction may still close it at some k; accept but record *)
     Helpers.check_bool "proved without uniqueness" true (k >= 0)
-  | Core.Induction.Cex _ -> Alcotest.fail "property holds");
+  | Core.Induction.Cex _ | Core.Induction.Exhausted _ ->
+    Alcotest.fail "property holds");
   match Core.Induction.prove ~unique:true ~max_k:20 net ~target:"two_tokens" with
   | Core.Induction.Proved _ -> ()
   | Core.Induction.Cex _ -> Alcotest.fail "property holds"
-  | Core.Induction.Unknown _ ->
+  | Core.Induction.Unknown _ | Core.Induction.Exhausted _ ->
     Alcotest.fail "uniqueness makes the ring provable"
 
 let test_finds_counterexample () =
@@ -50,7 +52,8 @@ let test_finds_counterexample () =
     Helpers.check_int "counter saturates at 7" 7 cex.Bmc.depth;
     Helpers.check_bool "replay" true
       (Bmc.replay net (List.assoc "t" (Net.targets net)) cex)
-  | Core.Induction.Proved _ | Core.Induction.Unknown _ ->
+  | Core.Induction.Proved _ | Core.Induction.Unknown _
+  | Core.Induction.Exhausted _ ->
     Alcotest.fail "counter does reach all-ones"
 
 let test_combinational () =
@@ -73,6 +76,7 @@ let test_gives_up () =
   | Core.Induction.Unknown k -> Helpers.check_int "gave up at max_k" 3 k
   | Core.Induction.Cex _ -> Alcotest.fail "not reachable within k=3"
   | Core.Induction.Proved _ -> Alcotest.fail "reachable at 63, not provable"
+  | Core.Induction.Exhausted _ -> Alcotest.fail "no budget was given"
 
 let prop_agrees_with_exact =
   Helpers.qtest ~count:30 "induction results agree with explicit search"
@@ -82,6 +86,7 @@ let prop_agrees_with_exact =
       Net.add_target net "p" t;
       match Core.Induction.prove ~max_k:8 net ~target:"p" with
       | Core.Induction.Unknown _ -> true
+      | Core.Induction.Exhausted _ -> false (* no budget given *)
       | Core.Induction.Proved _ -> (
         match Core.Exact.explore net t with
         | None -> true

@@ -24,7 +24,8 @@ let prop_agrees_with_brute_force =
       match (Solver.solve s, Cnf.brute_force cnf) with
       | Solver.Sat, Some _ -> Cnf.eval (Solver.model s) cnf
       | Solver.Unsat, None -> true
-      | Solver.Sat, None | Solver.Unsat, Some _ -> false)
+      | Solver.Sat, None | Solver.Unsat, Some _ -> false
+      | Solver.Unknown, _ -> false (* no budget given: Unknown impossible *))
 
 let prop_assumptions =
   Helpers.qtest ~count:200 "assumptions behave as temporary units"
@@ -47,7 +48,8 @@ let prop_assumptions =
       match (Solver.solve ~assumptions s, Cnf.brute_force strengthened) with
       | Solver.Sat, Some _ -> Cnf.eval (Solver.model s) strengthened
       | Solver.Unsat, None -> true
-      | Solver.Sat, None | Solver.Unsat, Some _ -> false)
+      | Solver.Sat, None | Solver.Unsat, Some _ -> false
+      | Solver.Unknown, _ -> false (* no budget given: Unknown impossible *))
 
 let prop_incremental_reuse =
   Helpers.qtest ~count:100 "solver usable across growing clause sets"
@@ -66,7 +68,8 @@ let prop_incremental_reuse =
       match (Solver.solve s, Cnf.brute_force cnf) with
       | Solver.Sat, Some _ -> Cnf.eval (Solver.model s) cnf
       | Solver.Unsat, None -> true
-      | Solver.Sat, None | Solver.Unsat, Some _ -> false)
+      | Solver.Sat, None | Solver.Unsat, Some _ -> false
+      | Solver.Unknown, _ -> false (* no budget given: Unknown impossible *))
 
 let test_empty_clause () =
   let s = Solver.create () in

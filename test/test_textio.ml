@@ -48,17 +48,40 @@ let test_parse_sequential_cycle () =
   let got = Sim.run net [ [ true ]; [ true ]; [ false ] ] q in
   Helpers.check_bool "toggle" true (got = [ Sim.V0; Sim.V1; Sim.V0 ])
 
+(* every malformed input raises Parse_error carrying the 1-based line
+   of the offending declaration — the CLI renders it "file:line: msg" *)
+let expect_parse_error ~line:expected text =
+  match Textio.Bench_io.parse text with
+  | exception Textio.Parse_error { line; msg } ->
+    Alcotest.(check int) (Printf.sprintf "line of %S" msg) expected line
+  | _ -> Alcotest.fail "expected parse failure"
+
 let test_parse_errors () =
-  let expect_fail text =
-    match Textio.Bench_io.parse text with
-    | exception Failure _ -> ()
-    | _ -> Alcotest.fail "expected parse failure"
-  in
-  expect_fail "z = AND(a)\nOUTPUT(z)\n";
+  expect_parse_error ~line:1 "z = AND(a)\nOUTPUT(z)\n";
   (* undefined a *)
-  expect_fail "INPUT(a)\nz = FROB(a)\nOUTPUT(z)\n";
-  expect_fail "INPUT(a)\nz = NOT(a, a)\nOUTPUT(z)\n";
-  expect_fail "INPUT(a)\nz = AND(z, a)\nOUTPUT(z)\n" (* combinational cycle *)
+  expect_parse_error ~line:2 "INPUT(a)\nz = FROB(a)\nOUTPUT(z)\n";
+  expect_parse_error ~line:2 "INPUT(a)\nz = NOT(a, a)\nOUTPUT(z)\n";
+  expect_parse_error ~line:2 "INPUT(a)\nz = AND(z, a)\nOUTPUT(z)\n"
+  (* combinational cycle *)
+
+let test_parse_error_corpus () =
+  (* missing '=' *)
+  expect_parse_error ~line:2 "INPUT(a)\nz AND(a)\nOUTPUT(z)\n";
+  (* malformed right-hand side *)
+  expect_parse_error ~line:2 "INPUT(a)\nz = AND a\nOUTPUT(z)\n";
+  (* duplicate definition: the second one is blamed *)
+  expect_parse_error ~line:3 "INPUT(a)\nz = NOT(a)\nz = BUFF(a)\nOUTPUT(z)\n";
+  (* bad DFF initial value *)
+  expect_parse_error ~line:2 "INPUT(a)\nq = DFF(a, 2)\nOUTPUT(q)\n";
+  (* DFF arity *)
+  expect_parse_error ~line:2 "INPUT(a)\nq = DFF(a, 0, 1)\nOUTPUT(q)\n";
+  (* LATCH arity and phase *)
+  expect_parse_error ~line:2 "INPUT(a)\nq = LATCH(a)\nOUTPUT(q)\n";
+  expect_parse_error ~line:2 "INPUT(a)\nq = LATCH(a, x)\nOUTPUT(q)\n";
+  (* comments and blank lines keep their line numbers *)
+  expect_parse_error ~line:4 "# header\nINPUT(a)\n\nz = FROB(a)\nOUTPUT(z)\n";
+  (* an undefined OUTPUT is blamed at the OUTPUT line *)
+  expect_parse_error ~line:2 "INPUT(a)\nOUTPUT(ghost)\n"
 
 let test_latch_extension () =
   let net =

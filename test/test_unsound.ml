@@ -118,12 +118,13 @@ let test_casesplit_hits_remain_valid () =
   Net.add_target net "t" block.Workload.Gen.out;
   let split = Transform.Casesplit.run net ~assignment:[ ("en", true) ] in
   match Bmc.check split.Transform.Rebuild.net ~target:"t" ~depth:8 with
-  | Bmc.No_hit _ -> Alcotest.fail "split counter should hit"
+  | Bmc.No_hit _ | Bmc.Unknown _ -> Alcotest.fail "split counter should hit"
   | Bmc.Hit cex ->
     (* replay the same depth on the original with en forced high *)
     (match Bmc.check net ~target:"t" ~depth:cex.Bmc.depth with
     | Bmc.Hit _ -> ()
-    | Bmc.No_hit _ -> Alcotest.fail "hit must transfer to the original")
+    | Bmc.No_hit _ | Bmc.Unknown _ ->
+      Alcotest.fail "hit must transfer to the original")
 
 let suite =
   [

@@ -7,7 +7,7 @@ let cex_frames () =
   Net.add_target net "t" c.Workload.Gen.out;
   match Bmc.check net ~target:"t" ~depth:5 with
   | Bmc.Hit cex -> (net, cex)
-  | Bmc.No_hit _ -> Alcotest.fail "counter must hit"
+  | Bmc.No_hit _ | Bmc.Unknown _ -> Alcotest.fail "counter must hit"
 
 let test_frames_shape () =
   let net, cex = cex_frames () in
@@ -54,7 +54,8 @@ let test_change_compression () =
       go 0 0
     in
     Helpers.check_int "single change record" 1 occurrences
-  | Bmc.No_hit _ -> Alcotest.fail "stuck-at-1 hits immediately")
+  | Bmc.No_hit _ | Bmc.Unknown _ ->
+    Alcotest.fail "stuck-at-1 hits immediately")
 
 let suite =
   [
