@@ -5,7 +5,12 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table1  -- a single experiment
-     (table1 | table2 | baseline | ablation | bechamel)
+     (table1 | table2 | baseline | verify | ablation | bechamel)
+
+   --certify makes the "verify" experiment certify every verdict
+   (counterexample replay + DRUP re-check), so the certification
+   overhead shows up in the --stats certify.* spans next to the
+   solver time it is checking.
 
    Pass --stats-json FILE to also dump the Obs.Stats snapshot (solver
    counters, per-experiment spans) as JSON — BENCH_*.json entries come
@@ -213,6 +218,37 @@ let baseline () =
         b.Core.Recurrence.sat_calls exact)
     (baseline_designs ())
 
+(* ----- Engine verdicts, optionally self-certified ----- *)
+
+let certify_flag = ref false
+
+let verify_experiment () =
+  let certify = !certify_flag in
+  Format.printf "@.== Engine verdicts over the baseline designs%s ==@."
+    (if certify then " (certified)" else "");
+  List.iter
+    (fun (name, net) ->
+      let t0 = Unix.gettimeofday () in
+      let v =
+        Core.Engine.verify ~budget:(fresh_budget ()) ~certify net ~target:"t"
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.printf "%-10s %8.1fms  %a@." name (1e3 *. dt)
+        Core.Engine.pp_verdict v)
+    (baseline_designs ());
+  if certify then begin
+    (* certification cost itself lands in the certify.* spans of
+       --stats; the counters summarize the outcome *)
+    let snap = Obs.Stats.snapshot () in
+    let c name =
+      match List.assoc_opt name snap.Obs.Stats.counters with
+      | Some n -> n
+      | None -> 0
+    in
+    Format.printf "certification: %d ok, %d failed@." (c "engine.cert_ok")
+      (c "engine.cert_fail")
+  end
+
 (* ----- Ablations ----- *)
 
 let ablation () =
@@ -387,6 +423,9 @@ let split_args args =
       set (fun (t, c, _) -> (t, c, Some (num int_of_string_opt "--bdd-nodes" v)));
       go stats json exps rest
     | "--bdd-nodes" :: [] -> missing "--bdd-nodes"
+    | "--certify" :: rest ->
+      certify_flag := true;
+      go stats json exps rest
     | exp :: rest -> go stats json (exp :: exps) rest
   in
   go false None [] args
@@ -397,7 +436,7 @@ let () =
   in
   let want =
     if want <> [] then want
-    else [ "table1"; "table2"; "baseline"; "ablation"; "bechamel" ]
+    else [ "table1"; "table2"; "baseline"; "verify"; "ablation"; "bechamel" ]
   in
   List.iter
     (fun arg ->
@@ -406,6 +445,7 @@ let () =
       | "table1" -> run (fun () -> ignore (table1 ()))
       | "table2" -> run (fun () -> ignore (table2 ()))
       | "baseline" -> run baseline
+      | "verify" -> run verify_experiment
       | "ablation" -> run ablation
       | "bechamel" -> run bechamel
       | other -> Format.eprintf "unknown experiment %s@." other)

@@ -7,8 +7,9 @@
 
 module Net = Netlist.Net
 
-let run file target depth complete vcd budget stats stats_json =
+let run file target depth complete certify proof vcd budget stats stats_json =
   let net = Cli.load_bench file in
+  let certify = certify || proof <> None in
   let target =
     match (target, Net.targets net) with
     | Some t, _ -> t
@@ -31,32 +32,71 @@ let run file target depth complete vcd budget stats stats_json =
     else depth
   in
   let finish () = Obs.Report.emit ~human:stats ?json_file:stats_json () in
-  match Bmc.check ~budget net ~target ~depth with
-  | Bmc.Hit cex ->
-    let replayed = Bmc.replay net (List.assoc target (Net.targets net)) cex in
-    Format.printf "target %s HIT at time %d (replay: %b)@." target
-      cex.Bmc.depth replayed;
-    (match vcd with
-    | Some path ->
-      let text = Textio.Vcd.dump net (Bmc.frames_of_cex net cex) in
+  let cert = if certify then Some (Bmc.new_cert ()) else None in
+  let dump_proof () =
+    match (proof, cert) with
+    | Some path, Some c ->
       if
-        Obs.Fileout.write_or_warn ~what:"waveform" path (fun oc ->
-            output_string oc text)
-      then Format.printf "waveform written to %s@." path
-    | None -> ());
-    List.iter
-      (fun (v, t, value) ->
-        match Net.node net v with
-        | Net.Input name -> Format.printf "  %s@%d = %b@." name t value
-        | Net.Const | Net.And _ | Net.Reg _ | Net.Latch _ -> ())
-      (List.sort compare cex.Bmc.inputs);
+        Obs.Fileout.write_or_warn ~what:"proof" path (fun oc ->
+            output_string oc (Sat.Proof.to_string c.Bmc.proof))
+      then Format.printf "proof written to %s@." path
+    | _ -> ()
+  in
+  (* an answer that fails certification is withheld: report
+     inconclusive (exit 3), never a wrong verdict *)
+  let withhold what msg =
+    Format.eprintf "certification of the %s FAILED: %s@." what msg;
+    Format.printf "target %s: answer withheld (certification failed).@."
+      target;
     finish ();
-    Cli.violated
-  | Bmc.No_hit d ->
-    if complete then Format.printf "no hit to depth %d: PROVED.@." d
-    else Format.printf "no hit to depth %d (bounded result only).@." d;
-    finish ();
-    Cli.ok
+    Cli.inconclusive
+  in
+  match Bmc.check ?cert ~budget net ~target ~depth with
+  | Bmc.Hit cex -> (
+    let tlit = List.assoc target (Net.targets net) in
+    let checked =
+      if certify then Core.Certify.check_cex net tlit cex
+      else Ok ()
+    in
+    match checked with
+    | Error msg -> withhold "counterexample" msg
+    | Ok () ->
+      Format.printf "target %s HIT at time %d%s@." target cex.Bmc.depth
+        (if certify then " (certified: replays on the netlist)"
+         else Printf.sprintf " (replay: %b)"
+             (Bmc.replay net tlit cex));
+      (match vcd with
+      | Some path ->
+        let text = Textio.Vcd.dump net (Bmc.frames_of_cex net cex) in
+        if
+          Obs.Fileout.write_or_warn ~what:"waveform" path (fun oc ->
+              output_string oc text)
+        then Format.printf "waveform written to %s@." path
+      | None -> ());
+      List.iter
+        (fun (v, t, value) ->
+          match Net.node net v with
+          | Net.Input name -> Format.printf "  %s@%d = %b@." name t value
+          | Net.Const | Net.And _ | Net.Reg _ | Net.Latch _ -> ())
+        (List.sort compare cex.Bmc.inputs);
+      dump_proof ();
+      finish ();
+      Cli.violated)
+  | Bmc.No_hit d -> (
+    let checked =
+      match cert with
+      | Some c -> Core.Certify.check_no_hit ~depth:d c
+      | None -> Ok ()
+    in
+    match checked with
+    | Error msg -> withhold "no-hit answer" msg
+    | Ok () ->
+      let tag = if certify then " (certified: DRUP checked)" else "" in
+      if complete then Format.printf "no hit to depth %d: PROVED.%s@." d tag
+      else Format.printf "no hit to depth %d (bounded result only).%s@." d tag;
+      dump_proof ();
+      finish ();
+      Cli.ok)
   | Bmc.Unknown d ->
     Format.printf "budget exhausted after depth %d: result UNKNOWN.@." d;
     finish ();
@@ -95,7 +135,7 @@ let cmd =
   Cmd.v
     (Cmd.info "bmc-check" ~doc)
     Term.(
-      const run $ file $ target $ depth $ complete $ vcd $ Cli.budget
-      $ Cli.stats $ Cli.stats_json)
+      const run $ file $ target $ depth $ complete $ Cli.certify
+      $ Cli.proof_file $ vcd $ Cli.budget $ Cli.stats $ Cli.stats_json)
 
 let () = exit (Cli.main cmd)

@@ -65,6 +65,27 @@ let budget =
   in
   Term.(const make $ timeout_arg $ conflicts_arg $ bdd_nodes_arg)
 
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:"Independently certify every answer before reporting it: \
+              counterexamples must replay on the netlist, Unsat answers \
+              re-check through the in-tree DRUP verifier, and bound \
+              translations are recomputed from their recorded theorem \
+              steps.  An answer that fails certification is withheld and \
+              the run reports inconclusive instead; certification cost \
+              shows up in the $(b,--stats) spans (certify.*)")
+
+let proof_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "proof" ] ~docv:"FILE"
+        ~doc:"Write the DRUP clausal proof of the discharge run \
+              (drat-trim-compatible text).  Implies $(b,--certify): only \
+              certified proofs are written")
+
 let stats =
   Arg.(
     value & flag

@@ -7,8 +7,9 @@
 
 module Net = Netlist.Net
 
-let run file target cutoff vcd budget stats stats_json =
+let run file target cutoff certify proof vcd budget stats stats_json =
   let net = Cli.load_bench file in
+  let certify = certify || proof <> None in
   let targets =
     match target with
     | Some t -> [ t ]
@@ -24,8 +25,27 @@ let run file target cutoff vcd budget stats stats_json =
     (fun t ->
       let slice = Obs.Budget.slice budget ~ways:(max 1 !remaining) in
       decr remaining;
-      let verdict = Core.Engine.verify ~config ~budget:slice net ~target:t in
-      Format.printf "%-24s %a@." t Core.Engine.pp_verdict verdict;
+      let proof_sink =
+        match proof with
+        | None -> None
+        | Some prefix ->
+          Some
+            (fun p ->
+              let path = Printf.sprintf "%s.%s.drup" prefix t in
+              if
+                Obs.Fileout.write_or_warn ~what:"proof" path (fun oc ->
+                    output_string oc (Sat.Proof.to_string p))
+              then Format.printf "  proof: %s@." path)
+      in
+      let verdict =
+        Core.Engine.verify ~config ~budget:slice ~certify ?proof_sink net
+          ~target:t
+      in
+      Format.printf "%-24s %a%s@." t Core.Engine.pp_verdict verdict
+        (match verdict with
+        | (Core.Engine.Proved _ | Core.Engine.Violated _) when certify ->
+          " [certified]"
+        | _ -> "");
       match verdict with
       | Core.Engine.Violated { cex; _ } ->
         incr violated;
@@ -76,7 +96,7 @@ let cmd =
   Cmd.v
     (Cmd.info "diam-verify" ~doc)
     Term.(
-      const run $ file $ target $ cutoff $ vcd $ Cli.budget $ Cli.stats
-      $ Cli.stats_json)
+      const run $ file $ target $ cutoff $ Cli.certify $ Cli.proof_file $ vcd
+      $ Cli.budget $ Cli.stats $ Cli.stats_json)
 
 let () = exit (Cli.main cmd)

@@ -11,8 +11,22 @@ type cex = {
 
 type outcome = Hit of cex | No_hit of int | Unknown of int
 
-let check_lit ?(from = 0) ?budget net target ~depth =
+(* Everything needed to re-derive a No_hit answer independently: the
+   solver's clausal proof plus, per refuted depth, the assumption
+   literal whose refutation means "no hit at that time".  The goals
+   are recorded here — outside the solver — so a fault that drops
+   proof events cannot also drop the obligations. *)
+type cert = {
+  proof : Sat.Proof.t;
+  mutable goals : (int * Solver.lit) list; (* (depth, target literal) *)
+}
+
+let new_cert () = { proof = Sat.Proof.create (); goals = [] }
+
+let check_lit ?(from = 0) ?budget ?cert net target ~depth =
   let solver = Solver.create () in
+  (* attach before [Unroll.create]: the unroller emits clauses *)
+  Option.iter (fun c -> Solver.set_proof solver c.proof) cert;
   let unroll = Encode.Unroll.create solver net in
   let give_up t =
     Obs.Budget.note_exhausted "bmc";
@@ -41,7 +55,9 @@ let check_lit ?(from = 0) ?budget net target ~depth =
             (Encode.Unroll.input_frames unroll ~upto:t)
         in
         Hit { depth = t; inputs; init_x = Encode.Unroll.init_x_assignments unroll }
-      | Solver.Unsat -> search (t + 1)
+      | Solver.Unsat ->
+        Option.iter (fun c -> c.goals <- (t, tl) :: c.goals) cert;
+        search (t + 1)
       | Solver.Unknown -> give_up t
     end
   in
@@ -52,8 +68,8 @@ let find_target net name =
   | Some l -> l
   | None -> invalid_arg ("Bmc: unknown target " ^ name)
 
-let check ?from ?budget net ~target ~depth =
-  check_lit ?from ?budget net (find_target net target) ~depth
+let check ?from ?budget ?cert net ~target ~depth =
+  check_lit ?from ?budget ?cert net (find_target net target) ~depth
 
 let replay net target cex =
   let init_table = Hashtbl.create 16 in

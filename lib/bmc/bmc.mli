@@ -24,9 +24,21 @@ type outcome =
       (** budget exhausted; no hit established at times [0 .. n] (which
           may be [from - 1], i.e. nothing at all) *)
 
+type cert = {
+  proof : Sat.Proof.t;  (** the discharge solver's clausal proof *)
+  mutable goals : (int * Sat.Solver.lit) list;
+      (** per refuted depth, the assumption literal standing for "the
+          target holds at this time"; newest first.  A [No_hit d]
+          outcome is certified by {!Sat.Drup.check} refuting every
+          goal against the proof (see [Core.Certify.check_no_hit]). *)
+}
+
+val new_cert : unit -> cert
+
 val check :
   ?from:int ->
   ?budget:Obs.Budget.t ->
+  ?cert:cert ->
   Netlist.Net.t ->
   target:string ->
   depth:int ->
@@ -40,6 +52,7 @@ val check :
 val check_lit :
   ?from:int ->
   ?budget:Obs.Budget.t ->
+  ?cert:cert ->
   Netlist.Net.t ->
   Netlist.Lit.t ->
   depth:int ->

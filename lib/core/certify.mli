@@ -1,0 +1,52 @@
+(** Independent certification of engine verdicts.
+
+    Every check re-derives an answer from recorded evidence through a
+    code path disjoint from the one that produced it:
+
+    - a counterexample replays on the three-valued {e simulator} (the
+      netlist semantics), never through the SAT encoding that found it;
+    - an Unsat answer re-checks through the {!Sat.Drup} verifier,
+      which has its own clause store and unit propagation;
+    - a bound translation is recomputed from the recorded
+      {!Translate.step} chain with locally reimplemented saturating
+      arithmetic, not the translator closures.
+
+    All checks are pure with respect to the prover state and record
+    their cost in the ["certify.replay"], ["certify.drup"] and
+    ["certify.translate"] spans.  {!Engine.verify} composes them per
+    strategy when called with [~certify:true]. *)
+
+val check_cex :
+  Netlist.Net.t -> Netlist.Lit.t -> Bmc.cex -> (unit, string) result
+(** Certify a [Violated] verdict: the counterexample must replay on
+    the {e original} netlist and hit the target literal at its claimed
+    depth. *)
+
+val check_no_hit : ?depth:int -> Bmc.cert -> (unit, string) result
+(** Certify a [No_hit] outcome: every per-depth goal must be refuted
+    by the DRUP derivation.  When [depth] is given, additionally
+    require one goal per time step [0 .. depth] — a certificate
+    covering fewer depths than the answer claims is rejected even if
+    its goals all check. *)
+
+val check_translation :
+  raw:Sat_bound.t ->
+  steps:Translate.step list ->
+  claimed:Sat_bound.t ->
+  (unit, string) result
+(** Certify the Theorems-1..4 bound arithmetic: folding [steps] over
+    [raw] (with independent saturating arithmetic) must reproduce
+    [claimed] exactly. *)
+
+val check_recurrence : Recurrence.cert -> (unit, string) result
+(** Certify a finite recurrence-diameter bound: the closing Unsat
+    answer's derivation must reach the empty clause through the DRUP
+    verifier.  A register-free cone carries [Structural] evidence and
+    is accepted without a clausal check. *)
+
+val check_induction : k:int -> Induction.cert -> (unit, string) result
+(** Certify an [Induction.Proved k] outcome: the base-case BMC
+    certificate must cover depths [0 .. k], and the step-case proof
+    must refute the frame-[k+1] target literal.  A missing step case
+    is accepted only at [k = 0] (stateless designs are proved by the
+    base alone). *)

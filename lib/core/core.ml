@@ -15,6 +15,7 @@ module Bound = Bound
 module Translate = Translate
 module Recurrence = Recurrence
 module Induction = Induction
+module Certify = Certify
 module Exact = Exact
 module Pipeline = Pipeline
 module Engine = Engine

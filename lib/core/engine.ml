@@ -60,13 +60,40 @@ exception Done of verdict
    as opposed to a strategy being inapplicable or giving up *)
 let budget_reason = "budget-exhausted"
 
+(* prefix of every certification-failure stand-down reason *)
+let cert_fail_reason = "certification-failed"
+
 let n_strategies = 7
 
-let verify ?(config = default) ?(budget = Obs.Budget.unlimited) net ~target =
+let () = Stats.declare [ "engine.cert_ok"; "engine.cert_fail" ]
+
+let verify ?(config = default) ?(budget = Obs.Budget.unlimited) ?(certify = false)
+    ?proof_sink net ~target =
   if not (List.mem_assoc target (Net.targets net)) then
     invalid_arg ("Engine.verify: unknown target " ^ target);
+  (* a proof sink only ever receives certified proofs *)
+  let certify = certify || proof_sink <> None in
+  let tlit = List.assoc target (Net.targets net) in
   let attempts = ref [] in
   let remaining = ref n_strategies in
+  (* Gate a candidate verdict behind its certification.  Certification
+     is a safety net, so any failure — including an exception escaping
+     a checker — downgrades the candidate to a stand-down with the
+     distinguished reason and lets the ladder continue; it never
+     crashes the engine and never lets an uncertified Proved/Violated
+     through. *)
+  let certified ~stand_down check verdict =
+    if not certify then raise (Done verdict)
+    else begin
+      match try check () with exn -> Error (Printexc.to_string exn) with
+      | Ok () ->
+        Stats.count "engine.cert_ok" 1;
+        raise (Done verdict)
+      | Error msg ->
+        Stats.count "engine.cert_fail" 1;
+        stand_down (cert_fail_reason ^ ": " ^ msg)
+    end
+  in
   (* each strategy runs under a Stats span and receives scoped
      [stand_down]/[discharge] callbacks so the recorded attempt carries
      its elapsed time and the translated bound it computed, if any.
@@ -96,8 +123,14 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) net ~target =
         :: !attempts
     in
     (* a finite translated bound below the cutoff closes the problem
-       with one complete BMC run on the ORIGINAL netlist *)
-    let discharge bound =
+       with one complete BMC run on the ORIGINAL netlist.  [raw] is
+       the bound as computed on the transformed netlist; [translator]
+       carries it back.  Under certification the arithmetic is
+       recomputed from the recorded theorem steps and the discharge
+       run's Unsat answers re-check through the DRUP verifier. *)
+    let discharge ?(translator = Translate.identity) ?(pre = fun () -> Ok ())
+        raw =
+      let bound = translator.Translate.apply raw in
       bound_seen := Some bound;
       if Sat_bound.is_huge bound then
         stand_down "no practically useful bound"
@@ -106,15 +139,42 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) net ~target =
           (Printf.sprintf "bound %s above cutoff %d"
              (Sat_bound.to_string bound) config.cutoff)
       else begin
+        (* [pre] certifies the raw bound's own provenance when it came
+           from a SAT answer (recurrence); arithmetic re-derives the
+           translation *)
+        let arithmetic () =
+          match pre () with
+          | Error _ as e -> e
+          | Ok () ->
+            Certify.check_translation ~raw ~steps:translator.Translate.steps
+              ~claimed:bound
+        in
         match discharge_depth bound with
         | None ->
           (* bound 0: the target is unhittable at any depth; the
              BMC run would be vacuous (and [depth - 1] negative) *)
-          raise (Done (Proved { strategy = name; depth = 0 }))
+          certified ~stand_down arithmetic
+            (Proved { strategy = name; depth = 0 })
         | Some depth -> (
-          match Bmc.check ~budget:slice net ~target ~depth with
-          | Bmc.No_hit d -> raise (Done (Proved { strategy = name; depth = d }))
-          | Bmc.Hit cex -> raise (Done (Violated { strategy = name; cex }))
+          let cert = if certify then Some (Bmc.new_cert ()) else None in
+          match Bmc.check ?cert ~budget:slice net ~target ~depth with
+          | Bmc.No_hit d ->
+            certified ~stand_down
+              (fun () ->
+                match arithmetic () with
+                | Error _ as e -> e
+                | Ok () -> (
+                  let c = Option.get cert in
+                  match Certify.check_no_hit ~depth:d c with
+                  | Ok () ->
+                    Option.iter (fun sink -> sink c.Bmc.proof) proof_sink;
+                    Ok ()
+                  | Error _ as e -> e))
+              (Proved { strategy = name; depth = d })
+          | Bmc.Hit cex ->
+            certified ~stand_down
+              (fun () -> Certify.check_cex net tlit cex)
+              (Violated { strategy = name; cex })
           | Bmc.Unknown _ -> stand_down budget_reason)
       end
     in
@@ -130,7 +190,10 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) net ~target =
       (* 1. shallow probe *)
       strategy "bmc-probe" (fun ~budget ~stand_down ~discharge:_ ->
           match Bmc.check ~budget net ~target ~depth:config.probe_depth with
-          | Bmc.Hit cex -> raise (Done (Violated { strategy = "bmc-probe"; cex }))
+          | Bmc.Hit cex ->
+            certified ~stand_down
+              (fun () -> Certify.check_cex net tlit cex)
+              (Violated { strategy = "bmc-probe"; cex })
           | Bmc.No_hit _ -> stand_down "no shallow counterexample"
           | Bmc.Unknown _ -> stand_down budget_reason);
       (* bounds are computed on the register-based view; for latch
@@ -142,13 +205,12 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) net ~target =
         end
         else (net, Translate.identity)
       in
-      let fold_back b = fold.Translate.apply b in
       (* 2. structural bound, untransformed *)
       strategy "structural-bound" (fun ~budget:_ ~stand_down ~discharge ->
           match List.assoc_opt target (Net.targets reg_view) with
           | None -> stand_down "target lost by phase abstraction"
           | Some l ->
-            discharge (fold_back (Bound.target reg_view l).Bound.bound));
+            discharge ~translator:fold (Bound.target reg_view l).Bound.bound);
       (* 3. COM (Theorem 1) *)
       strategy "com+bound" (fun ~budget ~stand_down ~discharge ->
           let com_report = Pipeline.com ~budget reg_view in
@@ -157,7 +219,10 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) net ~target =
               (fun t -> String.equal t.Pipeline.target target)
               com_report.Pipeline.targets
           with
-          | Some t -> discharge (fold_back t.Pipeline.bound)
+          | Some t ->
+            discharge
+              ~translator:(Translate.compose fold t.Pipeline.translator)
+              t.Pipeline.raw_bound
           | None -> stand_down "target reduced away");
       (* 4. COM,RET,COM (Theorems 1 + 2) *)
       strategy "com-ret-com+bound" (fun ~budget ~stand_down ~discharge ->
@@ -167,7 +232,10 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) net ~target =
               (fun t -> String.equal t.Pipeline.target target)
               crc_report.Pipeline.targets
           with
-          | Some t -> discharge (fold_back t.Pipeline.bound)
+          | Some t ->
+            discharge
+              ~translator:(Translate.compose fold t.Pipeline.translator)
+              t.Pipeline.raw_bound
           | None -> stand_down "target reduced away");
       (* 5. target enlargement (Theorem 4) — register view only, and the
          hittability bound is still a valid completeness threshold for
@@ -187,16 +255,28 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) net ~target =
               if r.Transform.Enlarge.empty then begin
                 (* every hit, if any, occurs within the first k steps;
                    clamp so k = 0 (nothing hittable at all) does not
-                   turn into a depth -1 run *)
+                   turn into a depth -1 run.  Note the BDD emptiness
+                   result itself has no certificate — only this BMC
+                   run is certified *)
+                let cert = if certify then Some (Bmc.new_cert ()) else None in
                 match
-                  Bmc.check ~budget net ~target
+                  Bmc.check ?cert ~budget net ~target
                     ~depth:(max 0 (config.enlargement_k - 1))
                 with
                 | Bmc.No_hit d ->
-                  raise
-                    (Done (Proved { strategy = "enlargement-empty"; depth = d }))
+                  certified ~stand_down
+                    (fun () ->
+                      let c = Option.get cert in
+                      match Certify.check_no_hit ~depth:d c with
+                      | Ok () ->
+                        Option.iter (fun sink -> sink c.Bmc.proof) proof_sink;
+                        Ok ()
+                      | Error _ as e -> e)
+                    (Proved { strategy = "enlargement-empty"; depth = d })
                 | Bmc.Hit cex ->
-                  raise (Done (Violated { strategy = "enlargement-empty"; cex }))
+                  certified ~stand_down
+                    (fun () -> Certify.check_cex net tlit cex)
+                    (Violated { strategy = "enlargement-empty"; cex })
                 | Bmc.Unknown _ -> stand_down budget_reason
               end
               else begin
@@ -205,8 +285,9 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) net ~target =
                 in
                 let b = Bound.target_named r.Transform.Enlarge.net name in
                 discharge
-                  ((Translate.target_enlargement ~k:config.enlargement_k)
-                     .Translate.apply b.Bound.bound)
+                  ~translator:
+                    (Translate.target_enlargement ~k:config.enlargement_k)
+                  b.Bound.bound
               end
           end);
       (* 6. bounded-COI recurrence diameter *)
@@ -214,23 +295,47 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) net ~target =
           match List.assoc_opt target (Net.targets reg_view) with
           | None -> stand_down "target lost by phase abstraction"
           | Some l ->
+            let rcert = if certify then Some (Recurrence.new_cert ()) else None in
             let r =
               Recurrence.compute ~limit:config.recurrence_limit
-                ~bounded_coi:true ~budget reg_view l
+                ~bounded_coi:true ~budget ?cert:rcert reg_view l
             in
             if r.Recurrence.exhausted then stand_down budget_reason
-            else discharge (fold_back r.Recurrence.bound));
+            else
+              let pre () =
+                match rcert with
+                | Some c -> Certify.check_recurrence c
+                | None -> Ok ()
+              in
+              discharge ~translator:fold ~pre r.Recurrence.bound);
       (* 7. temporal induction *)
       strategy "k-induction" (fun ~budget ~stand_down ~discharge:_ ->
           if latch_based then stand_down "latch-based design"
           else begin
+            let icert = if certify then Some (Induction.new_cert ()) else None in
             match
-              Induction.prove ~max_k:config.induction_max_k ~budget net ~target
+              Induction.prove ~max_k:config.induction_max_k ~budget ?cert:icert
+                net ~target
             with
             | Induction.Proved k ->
-              raise (Done (Proved { strategy = "k-induction"; depth = k }))
+              certified ~stand_down
+                (fun () ->
+                  let c = Option.get icert in
+                  match Certify.check_induction ~k c with
+                  | Ok () ->
+                    Option.iter
+                      (fun sink ->
+                        match c.Induction.base with
+                        | Some bc -> sink bc.Bmc.proof
+                        | None -> ())
+                      proof_sink;
+                    Ok ()
+                  | Error _ as e -> e)
+                (Proved { strategy = "k-induction"; depth = k })
             | Induction.Cex cex ->
-              raise (Done (Violated { strategy = "k-induction"; cex }))
+              certified ~stand_down
+                (fun () -> Certify.check_cex net tlit cex)
+                (Violated { strategy = "k-induction"; cex })
             | Induction.Unknown k ->
               stand_down (Printf.sprintf "gave up at k = %d" k)
             | Induction.Exhausted _ -> stand_down budget_reason

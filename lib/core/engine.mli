@@ -62,13 +62,40 @@ val budget_reason : string
     when a strategy stood down because the resource budget ran out,
     rather than because it was inapplicable or gave up. *)
 
+val cert_fail_reason : string
+(** The prefix ("certification-failed") of every {!attempt.reason}
+    recorded when a strategy reached a verdict whose certification
+    did not check out.  Such a verdict is withheld — the engine
+    reports at most [Inconclusive], never an uncertified
+    [Proved]/[Violated]. *)
+
 val verify :
   ?config:config ->
   ?budget:Obs.Budget.t ->
+  ?certify:bool ->
+  ?proof_sink:(Sat.Proof.t -> unit) ->
   Netlist.Net.t ->
   target:string ->
   verdict
 (** @raise Invalid_argument on an unknown target name.
+
+    With [~certify:true] every candidate verdict is independently
+    re-derived before being reported (see {!Certify}): counterexamples
+    must replay on the original netlist, discharge/induction Unsat
+    answers must re-check through the DRUP verifier, bound
+    translations are recomputed from their recorded theorem steps, and
+    a recurrence-derived bound must carry evidence for its closing
+    Unsat answer (see {!Recurrence.evidence}).
+    Success bumps ["engine.cert_ok"]; any failure (or exception in a
+    checker) bumps ["engine.cert_fail"], records a
+    {!cert_fail_reason} attempt and lets the ladder continue — so a
+    corrupted answer degrades to [Inconclusive] rather than becoming
+    a wrong verdict or a crash.  Certification never changes a sound
+    verdict, it can only withhold a corrupt one.
+
+    [proof_sink] (implies [certify]) receives the clausal proof of
+    each discharge BMC run that certified a [Proved] verdict — for
+    [--proof] style dumping.
 
     Every strategy is timed into the {!Obs.Stats} span
     ["engine.<strategy>"], and verdicts bump the

@@ -8,6 +8,17 @@ type outcome =
   | Unknown of int
   | Exhausted of int
 
+(* certificate for a [Proved k] outcome: the base case is an ordinary
+   BMC certificate to depth k; the step case is the step solver's
+   proof together with the assumption literal ("target at frame k+1")
+   whose refutation is the induction step *)
+type cert = {
+  mutable base : Bmc.cert option;
+  mutable step : (Sat.Proof.event list * Solver.lit) option;
+}
+
+let new_cert () = { base = None; step = None }
+
 (* chained free-initial-state frames, as in the van Eijk engine *)
 let chain_frames solver net k =
   let frames = Array.init (k + 1) (fun _ -> Encode.Frame.create solver net) in
@@ -38,8 +49,16 @@ let add_distinct solver net frames i j =
 
 (* step case: from a free state, k hit-free steps force step k+1 to be
    hit-free *)
-let step_holds ~unique ?budget net target k =
+let step_holds ~unique ?budget ?cert net target k =
   let solver = Solver.create () in
+  let proof =
+    Option.map
+      (fun _ ->
+        let p = Sat.Proof.create () in
+        Solver.set_proof solver p;
+        p)
+      cert
+  in
   let frames = chain_frames solver net (k + 1) in
   for i = 0 to k do
     Solver.add_clause solver [ Solver.negate (Encode.Frame.lit frames.(i) target) ]
@@ -50,17 +69,22 @@ let step_holds ~unique ?budget net target k =
         add_distinct solver net frames i j
       done
     done;
+  let goal = Encode.Frame.lit frames.(k + 1) target in
   match
     fst
-      (Encode.Sat_obs.solve
-         ~assumptions:[ Encode.Frame.lit frames.(k + 1) target ]
-         ?budget ~span:"induction.solve" solver)
+      (Encode.Sat_obs.solve ~assumptions:[ goal ] ?budget
+         ~span:"induction.solve" solver)
   with
-  | Solver.Unsat -> `Holds
+  | Solver.Unsat ->
+    Option.iter
+      (fun c ->
+        c.step <- Some (Sat.Proof.events (Option.get proof), goal))
+      cert;
+    `Holds
   | Solver.Sat -> `Fails
   | Solver.Unknown -> `Unknown
 
-let prove ?(max_k = 32) ?(unique = true) ?budget net ~target =
+let prove ?(max_k = 32) ?(unique = true) ?budget ?cert net ~target =
   if Net.num_latches net > 0 then
     invalid_arg "Induction.prove: register netlists only";
   let tlit =
@@ -75,9 +99,19 @@ let prove ?(max_k = 32) ?(unique = true) ?budget net ~target =
   let expired () =
     match budget with Some b -> Obs.Budget.expired b | None -> false
   in
+  (* a fresh BMC certificate per base check: check_lit builds a fresh
+     solver each call, and only the final k's base matters *)
+  let base_cert () =
+    Option.map
+      (fun c ->
+        let bc = Bmc.new_cert () in
+        c.base <- Some bc;
+        bc)
+      cert
+  in
   (* degenerate case: no state at all *)
   if Net.regs net = [] then begin
-    match Bmc.check_lit ?budget net tlit ~depth:0 with
+    match Bmc.check_lit ?budget ?cert:(base_cert ()) net tlit ~depth:0 with
     | Bmc.Hit cex -> Cex cex
     | Bmc.No_hit _ -> Proved 0
     | Bmc.Unknown _ -> give_up 0
@@ -88,11 +122,11 @@ let prove ?(max_k = 32) ?(unique = true) ?budget net ~target =
       else if expired () then give_up k
       else begin
         (* base case: no hit within the first k steps *)
-        match Bmc.check_lit ?budget net tlit ~depth:k with
+        match Bmc.check_lit ?budget ?cert:(base_cert ()) net tlit ~depth:k with
         | Bmc.Hit cex -> Cex cex
         | Bmc.Unknown _ -> give_up k
         | Bmc.No_hit _ -> (
-          match step_holds ~unique ?budget net tlit k with
+          match step_holds ~unique ?budget ?cert net tlit k with
           | `Holds -> Proved k
           | `Fails -> go (k + 1)
           | `Unknown -> give_up k)

@@ -21,13 +21,31 @@ type outcome =
       (** resource budget ran out at this k — unlike {!Unknown}, raising
           [max_k] would not have helped *)
 
+type cert = {
+  mutable base : Bmc.cert option;
+      (** BMC certificate of the final base case (depth k) *)
+  mutable step : (Sat.Proof.event list * Sat.Solver.lit) option;
+      (** the step solver's proof and the frame-[k+1] target literal;
+          refuting the literal against the proof certifies the
+          induction step *)
+}
+(** Certificate for a [Proved k] outcome (see
+    [Core.Certify.check_induction]).  Note the step case certifies the
+    induction argument relative to the step encoding; the base BMC
+    certificate is what ties the verdict to the netlist. *)
+
+val new_cert : unit -> cert
+
 val prove :
   ?max_k:int ->
   ?unique:bool ->
   ?budget:Obs.Budget.t ->
+  ?cert:cert ->
   Netlist.Net.t ->
   target:string ->
   outcome
 (** [max_k] defaults to 32.  A [budget] is checked between induction
-    depths and threaded into every SAT call.  @raise Invalid_argument
-    on an unknown target. *)
+    depths and threaded into every SAT call.  When a [cert] is passed
+    it is filled in as the proof progresses; its contents are only
+    meaningful on a [Proved] outcome.  @raise Invalid_argument on an
+    unknown target. *)

@@ -10,6 +10,29 @@ type result = {
   exhausted : bool;
 }
 
+(* The bound is only as good as the closing Unsat answer ("no
+   irredundant path of length k exists"), so that answer can carry a
+   clausal proof.  A register-free cone needs no SAT at all: its
+   bound is a structural fact, recorded as such. *)
+type evidence = Structural | Refutation of Sat.Proof.event list
+
+type cert = { mutable evidence : evidence option }
+
+let new_cert () = { evidence = None }
+
+let attach_proof cert solver =
+  match cert with
+  | None -> None
+  | Some _ ->
+    let p = Sat.Proof.create () in
+    Solver.set_proof solver p;
+    Some p
+
+let record_refutation cert proof =
+  match (cert, proof) with
+  | Some c, Some p -> c.evidence <- Some (Refutation (Sat.Proof.events p))
+  | _ -> ()
+
 (* distance of each register to the target: 0 if the target's
    combinational cone reads it, else 1 + the minimum over the registers
    whose next-state cones read it (BFS over reversed dependencies) *)
@@ -71,8 +94,9 @@ let gave_up k sat_calls =
 let expired budget =
   match budget with Some b -> Obs.Budget.expired b | None -> false
 
-let plain ~limit ?budget net target regs =
+let plain ~limit ?budget ?cert net target regs =
   let solver = Solver.create () in
+  let proof = attach_proof cert solver in
   let unroll = Encode.Unroll.create solver net in
   ignore target;
   let state_lits t =
@@ -98,6 +122,7 @@ let plain ~limit ?budget net target regs =
       with
       | Solver.Sat -> extend (k + 1)
       | Solver.Unsat ->
+        record_refutation cert proof;
         {
           bound = Sat_bound.of_int k;
           path_length = k - 1;
@@ -123,7 +148,7 @@ let plain ~limit ?budget net target regs =
    satisfying path of length k as its suffix (monotone, hence the
    first UNSAT closes the search).  The relevance sets depend on [k],
    so each [k] is encoded afresh. *)
-let bounded ~limit ?budget net target regs =
+let bounded ~limit ?budget ?cert net target regs =
   let dist = target_distances net target in
   let sat_calls = ref 0 in
   let rec extend k =
@@ -137,6 +162,9 @@ let bounded ~limit ?budget net target regs =
     else if expired budget then gave_up k !sat_calls
     else begin
       let solver = Solver.create () in
+      (* each k is a fresh encoding, so a fresh proof; only the final
+         (Unsat) one becomes the certificate *)
+      let proof = attach_proof cert solver in
       (* free-start chained frames *)
       let frames =
         Array.init (k + 1) (fun _ -> Encode.Frame.create solver net)
@@ -174,6 +202,7 @@ let bounded ~limit ?budget net target regs =
       with
       | Solver.Sat -> extend (k + 1)
       | Solver.Unsat ->
+        record_refutation cert proof;
         {
           bound = Sat_bound.of_int k;
           path_length = k - 1;
@@ -185,7 +214,7 @@ let bounded ~limit ?budget net target regs =
   in
   extend 1
 
-let compute ?(limit = 64) ?(bounded_coi = false) ?budget net target =
+let compute ?(limit = 64) ?(bounded_coi = false) ?budget ?cert net target =
   Obs.Stats.time "recurrence.compute" (fun () ->
       (* work on the target's cone only *)
       let cone = Transform.Rebuild.copy ~roots:[ target ] net in
@@ -193,15 +222,17 @@ let compute ?(limit = 64) ?(bounded_coi = false) ?budget net target =
       let net = cone.Transform.Rebuild.net in
       let regs = Net.regs net in
       let result =
-        if regs = [] then
+        if regs = [] then begin
+          Option.iter (fun c -> c.evidence <- Some Structural) cert;
           {
             bound = Sat_bound.of_int 1;
             path_length = 0;
             sat_calls = 0;
             exhausted = false;
           }
-        else if bounded_coi then bounded ~limit ?budget net target regs
-        else plain ~limit ?budget net target regs
+        end
+        else if bounded_coi then bounded ~limit ?budget ?cert net target regs
+        else plain ~limit ?budget ?cert net target regs
       in
       Obs.Stats.count "recurrence.sat_calls" result.sat_calls;
       result)

@@ -19,10 +19,27 @@ type result = {
           give-up, not a budget event) *)
 }
 
+type evidence =
+  | Structural
+      (** the target cone holds no registers, so the bound is a
+          structural fact needing no SAT answer (like {!Bound}) *)
+  | Refutation of Sat.Proof.event list
+      (** clausal proof of the closing Unsat answer — "no irredundant
+          path of length [bound] exists"; checking that it derives the
+          empty clause (see [Core.Certify.check_recurrence]) certifies
+          the bound *)
+
+type cert = { mutable evidence : evidence option }
+(** Only meaningful when {!result.bound} is finite; give-ups and
+    budget exhaustion leave it empty. *)
+
+val new_cert : unit -> cert
+
 val compute :
   ?limit:int ->
   ?bounded_coi:bool ->
   ?budget:Obs.Budget.t ->
+  ?cert:cert ->
   Netlist.Net.t ->
   Netlist.Lit.t ->
   result

@@ -1,11 +1,16 @@
+type step = Id | T1 | T2 of int | T3 of int | T4 of int
+
 type t = {
   name : string;
   apply : Sat_bound.t -> Sat_bound.t;
   kind : [ `Exact | `Upper | `Hittability ];
+  steps : step list;
 }
 
-let identity = { name = "id"; apply = Fun.id; kind = `Exact }
-let trace_equivalence = { name = "T1"; apply = Fun.id; kind = `Exact }
+let identity = { name = "id"; apply = Fun.id; kind = `Exact; steps = [ Id ] }
+
+let trace_equivalence =
+  { name = "T1"; apply = Fun.id; kind = `Exact; steps = [ T1 ] }
 
 let retiming ~skew =
   if skew < 0 then invalid_arg "Translate.retiming: negative skew";
@@ -13,6 +18,7 @@ let retiming ~skew =
     name = Printf.sprintf "T2(+%d)" skew;
     apply = (fun d -> Sat_bound.add d (Sat_bound.of_int skew));
     kind = `Upper;
+    steps = [ T2 skew ];
   }
 
 let state_folding ~factor =
@@ -21,6 +27,7 @@ let state_folding ~factor =
     name = Printf.sprintf "T3(x%d)" factor;
     apply = (fun d -> Sat_bound.mul d (Sat_bound.of_int factor));
     kind = `Upper;
+    steps = [ T3 factor ];
   }
 
 let target_enlargement ~k =
@@ -29,6 +36,7 @@ let target_enlargement ~k =
     name = Printf.sprintf "T4(+%d)" k;
     apply = (fun d -> Sat_bound.add d (Sat_bound.of_int k));
     kind = `Hittability;
+    steps = [ T4 k ];
   }
 
 let weakest a b =
@@ -42,6 +50,9 @@ let compose outer inner =
     name = outer.name ^ ";" ^ inner.name;
     apply = (fun d -> outer.apply (inner.apply d));
     kind = weakest outer.kind inner.kind;
+    (* [steps] lists applications first-applied first, so a fold over
+       it reproduces [apply] *)
+    steps = inner.steps @ outer.steps;
   }
 
 let pp ppf t = Format.pp_print_string ppf t.name

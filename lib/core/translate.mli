@@ -8,6 +8,13 @@
     abstractions cannot be used in general (see [Test_unsound] for the
     witnessing netlists). *)
 
+type step = Id | T1 | T2 of int | T3 of int | T4 of int
+(** One theorem application, as data: the skew of a retiming, the
+    factor of a state folding, the k of an enlargement.  Carried
+    alongside the opaque [apply] closure so the certification layer
+    ({!Certify.check_translation}) can recompute the arithmetic
+    independently instead of trusting the closure. *)
+
 type t = {
   name : string;
   apply : Sat_bound.t -> Sat_bound.t;
@@ -18,6 +25,10 @@ type t = {
           [`Hittability]: bounds only the depth at which the target
           can first be hit (Theorem 4) — still a sound BMC
           completeness threshold for that target. *)
+  steps : step list;
+      (** the applications making up [apply], first-applied first: a
+          left fold over [steps] starting from the raw bound equals
+          [apply raw] *)
 }
 
 val identity : t

@@ -26,7 +26,10 @@ let escape_string b s =
   Buffer.add_char b '"'
 
 let float_repr f =
-  if Float.is_nan f then "0"
+  if not (Float.is_finite f) then
+    (* JSON has no nan/inf literal, and "%.17g" would emit one; null
+       is the conventional stand-in and [parse] maps it back to nan *)
+    "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     (* keep integral durations short; parses back to the same float *)
     Printf.sprintf "%.1f" f
@@ -266,6 +269,7 @@ let as_int = function Int n -> n | _ -> shape_fail "an integer"
 let as_float = function
   | Float f -> f
   | Int n -> float_of_int n
+  | Null -> Float.nan (* non-finite values are emitted as null *)
   | _ -> shape_fail "a number"
 
 let field fields name =

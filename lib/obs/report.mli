@@ -24,7 +24,10 @@ type json =
 
 val to_string : json -> string
 (** Compact rendering with sorted-as-given keys and round-trippable
-    floats. *)
+    floats.  Non-finite floats (nan, infinities) have no JSON literal
+    and are emitted as [null]; numeric accessors on the parse side
+    read [null] back as [nan], so a snapshot containing one still
+    round-trips to valid JSON. *)
 
 val parse : string -> json
 (** @raise Failure on malformed input. *)

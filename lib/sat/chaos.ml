@@ -1,0 +1,41 @@
+(* Deterministic fault injection for the certification layer's own
+   test harness.  When armed, the solver corrupts the answers it
+   reports — never its internal search — so the independent checks
+   (proof certification, model evaluation, counterexample replay)
+   can be shown to catch every corrupted answer.
+
+   Injection is process-global and OFF by default; arming is only ever
+   done by tests and the CI chaos stage.  All faults are deterministic:
+   a given (seed, fault, workload) triple always corrupts the same
+   answers in the same way. *)
+
+type fault =
+  | Flip_to_unsat
+  | Flip_to_sat
+  | Corrupt_model
+  | Drop_proof
+
+let fault_name = function
+  | Flip_to_unsat -> "flip-to-unsat"
+  | Flip_to_sat -> "flip-to-sat"
+  | Corrupt_model -> "corrupt-model"
+  | Drop_proof -> "drop-proof"
+
+type state = { fault : fault; seed : int; mutable injections : int }
+
+let current : state option ref = ref None
+
+let arm ~seed fault = current := Some { fault; seed; injections = 0 }
+let disarm () = current := None
+let armed () = match !current with Some s -> Some s.fault | None -> None
+let active () = !current <> None
+let seed () = match !current with Some s -> Some s.seed | None -> None
+let injections () = match !current with Some s -> s.injections | None -> 0
+
+(* called by the solver at each injection site *)
+let note () =
+  match !current with Some s -> s.injections <- s.injections + 1 | None -> ()
+
+let with_fault ~seed fault f =
+  arm ~seed fault;
+  Fun.protect ~finally:disarm f

@@ -1,0 +1,45 @@
+(** Deterministic fault injection for testing the certification layer.
+
+    When armed, {!Solver.solve} corrupts the answers it {e reports}
+    (never its internal search state), simulating the solver bugs the
+    certification layer exists to catch:
+
+    - {!Flip_to_unsat}: satisfiable answers reported as [Unsat] — the
+      classic unsoundness that silently converts "violated" into
+      "proved".  Caught by proof certification (no refutation exists).
+    - {!Flip_to_sat}: unsatisfiable answers reported as [Sat], with
+      whatever garbage the phase store holds as the "model".  Caught by
+      {!Solver.check_model} and by counterexample replay.
+    - {!Corrupt_model}: genuine [Sat] answers whose reported model is
+      negated wholesale.  Caught by {!Solver.check_model} / replay.
+    - {!Drop_proof}: every proof-log event is silently discarded, as if
+      the proof file were lost.  Caught by the {!Drup} checker (an
+      empty derivation refutes nothing).
+
+    Injection is process-global, OFF by default, and deterministic:
+    every injection opportunity fires.  The [seed] is recorded so a
+    chaos test run can derive its random workloads from the same value
+    it arms with, making the whole suite reproducible from one
+    number. *)
+
+type fault = Flip_to_unsat | Flip_to_sat | Corrupt_model | Drop_proof
+
+val fault_name : fault -> string
+
+val arm : seed:int -> fault -> unit
+val disarm : unit -> unit
+val armed : unit -> fault option
+val active : unit -> bool
+val seed : unit -> int option
+
+val injections : unit -> int
+(** Faults injected since the last {!arm} — tests assert this is
+    positive, so a "caught" verdict cannot come from the fault never
+    having fired. *)
+
+val note : unit -> unit
+(** Used by the solver to count an injection; not for external use. *)
+
+val with_fault : seed:int -> fault -> (unit -> 'a) -> 'a
+(** [with_fault ~seed f k] runs [k] with the fault armed, disarming on
+    the way out (also on exceptions). *)

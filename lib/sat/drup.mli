@@ -1,0 +1,26 @@
+(** Independent forward checker for DRUP derivations.
+
+    The checker re-derives an [Unsat] answer from a {!Proof} event log
+    using nothing but its own unit propagation: every {!Proof.Add}
+    lemma must be a reverse-unit-propagation consequence of the clauses
+    live at that point, and every goal cube must propagate to a
+    conflict against the final clause set.
+
+    Soundness of checking all goals against the {e final} set rests on
+    unit propagation being monotone in the clause set together with the
+    solver never deleting a clause locked as a top-level reason, so the
+    set only ever gains root-level propagation power. *)
+
+val check : ?goals:Solver.lit list list -> Proof.event list -> (unit, string) result
+(** [check ~goals events] replays the derivation and then refutes each
+    goal cube.  [goals] defaults to [[[]]] — the empty cube, i.e. plain
+    unsatisfiability of the input clauses.  For an [Unsat] answer under
+    assumptions, pass one cube per answer being certified (the
+    assumption literals of that call).  [Error msg] pinpoints the first
+    failing lemma or goal. *)
+
+val check_cnf :
+  Cnf.t -> ?goals:Solver.lit list list -> Proof.event list -> (unit, string) result
+(** Like {!check} but seeds the axioms from a {!Cnf.t} instead of
+    expecting {!Proof.Input} events — the shape used when re-checking a
+    dumped DRUP file against its DIMACS formula. *)

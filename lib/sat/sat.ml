@@ -1,7 +1,12 @@
 (** Satisfiability substrate: a from-scratch CDCL solver, clause-list
-    CNF staging, and DIMACS I/O. *)
+    CNF staging, DIMACS I/O, and the self-certification stack (clausal
+    proof logs, an independent DRUP checker, and deterministic fault
+    injection for testing the checks themselves). *)
 
 module Vec = Vec
 module Solver = Solver
 module Cnf = Cnf
 module Dimacs = Dimacs
+module Proof = Proof
+module Drup = Drup
+module Chaos = Chaos

@@ -44,6 +44,11 @@ type t = {
   mutable restarts : int;
   mutable reduce_dbs : int;
   mutable last_solve_sat : bool;
+  mutable proof : Proof.t option;
+  (* Chaos.Corrupt_model negates the *reported* model only: the flag is
+     consulted by [value], never written into [assigns]/[phase], so the
+     incremental search state stays intact across injections *)
+  mutable corrupt_model : bool;
 }
 
 let create () =
@@ -74,7 +79,21 @@ let create () =
     restarts = 0;
     reduce_dbs = 0;
     last_solve_sat = false;
+    proof = None;
+    corrupt_model = false;
   }
+
+let set_proof s p = s.proof <- Some p
+let proof s = s.proof
+
+(* Append a proof event.  A [Drop_proof] fault silently discards the
+   event (simulating a lost or truncated proof file) but counts the
+   injection so tests can assert the fault actually fired. *)
+let log_event s f =
+  match s.proof with
+  | None -> ()
+  | Some p ->
+    if Chaos.armed () = Some Chaos.Drop_proof then Chaos.note () else f p
 
 let num_vars s = s.nvars
 let num_conflicts s = s.conflicts
@@ -407,8 +426,10 @@ let reduce_db s =
   let limit = n / 2 in
   for i = 0 to n - 1 do
     let c = Vec.get s.learnts i in
-    if i < limit && (not (locked s c)) && Array.length c.lits > 2 then
-      c.deleted <- true
+    if i < limit && (not (locked s c)) && Array.length c.lits > 2 then begin
+      c.deleted <- true;
+      log_event s (fun p -> Proof.log_delete p c.lits)
+    end
     else Vec.push keep c
   done;
   Vec.clear s.learnts;
@@ -421,6 +442,9 @@ let add_clause s lits =
   if s.ok then begin
     if decision_level s > 0 then
       invalid_arg "Solver.add_clause: only legal at decision level 0";
+    (* the axiom is the clause as given; the simplifications below are
+       the solver's own business and stay out of the proof *)
+    log_event s (fun p -> Proof.log_input p (Array.of_list lits));
     (* dedup and detect tautology / satisfied / falsified-at-0 literals *)
     let lits = List.sort_uniq compare lits in
     let tautology =
@@ -430,10 +454,15 @@ let add_clause s lits =
     if not tautology then begin
       let lits = List.filter (fun l -> lvalue s l <> 0) lits in
       match lits with
-      | [] -> s.ok <- false
+      | [] ->
+        s.ok <- false;
+        log_event s (fun p -> Proof.log_add p [||])
       | [ l ] ->
         enqueue s l dummy_clause;
-        if propagate s != dummy_clause then s.ok <- false
+        if propagate s != dummy_clause then begin
+          s.ok <- false;
+          log_event s (fun p -> Proof.log_add p [||])
+        end
       | l0 :: l1 :: _ ->
         let c =
           {
@@ -450,6 +479,9 @@ let add_clause s lits =
   end
 
 let record_learnt s lits =
+  (* every learnt clause is a resolvent, hence RUP against the clauses
+     live at this point — exactly what the Drup checker verifies *)
+  log_event s (fun p -> Proof.log_add p lits);
   if Array.length lits = 1 then enqueue s lits.(0) dummy_clause
   else begin
     let c = { lits; act = 0.; learnt = true; deleted = false } in
@@ -500,6 +532,7 @@ let search s assumptions conflict_budget =
       incr conflicts_here;
       if decision_level s = 0 then begin
         s.ok <- false;
+        log_event s (fun p -> Proof.log_add p [||]);
         raise Found_unsat
       end;
       let learnt, bt = analyze s confl in
@@ -545,10 +578,74 @@ let search s assumptions conflict_budget =
   in
   loop ()
 
+let value s l =
+  if not s.last_solve_sat then
+    invalid_arg "Solver.value: no model (last solve did not return Sat)";
+  let v = var_of l in
+  let b = if s.assigns.(v) >= 0 then s.assigns.(v) = 1 else s.phase.(v) in
+  let b = if s.corrupt_model then not b else b in
+  if is_pos l then b else not b
+
+let model s =
+  if not s.last_solve_sat then
+    invalid_arg "Solver.model: no model (last solve did not return Sat)";
+  Array.init s.nvars (fun v -> value s (pos v))
+
+(* Certify a Sat answer: the reported model must satisfy every live
+   problem clause, agree with every top-level assignment, and satisfy
+   every assumption.  The top-level check is what covers clauses
+   dropped or strengthened at add time: a clause is only dropped when
+   a top-level assignment satisfies it (unit inputs in particular are
+   folded into the top level and never stored), so a model honouring
+   the top level satisfies the dropped clauses too. *)
+let check_model ?(assumptions = []) s =
+  if not s.last_solve_sat then
+    Error "no model: last solve did not return Sat"
+  else begin
+    let root_end =
+      if Vec.size s.trail_lim > 0 then Vec.get s.trail_lim 0
+      else Vec.size s.trail
+    in
+    let bad_roots = ref 0 in
+    for i = 0 to root_end - 1 do
+      if not (value s (Vec.get s.trail i)) then incr bad_roots
+    done;
+    let bad = ref 0 in
+    Vec.iter
+      (fun c ->
+        if (not c.deleted) && not (Array.exists (fun l -> value s l) c.lits)
+        then incr bad)
+      s.clauses;
+    if !bad_roots > 0 then
+      Error
+        (Printf.sprintf "model contradicts %d top-level assignment(s)"
+           !bad_roots)
+    else if !bad > 0 then
+      Error (Printf.sprintf "model falsifies %d problem clause(s)" !bad)
+    else
+      match List.filter (fun a -> not (value s a)) assumptions with
+      | [] -> Ok ()
+      | falsified ->
+        Error
+          (Printf.sprintf "model falsifies %d assumption(s)"
+             (List.length falsified))
+  end
+
+(* With DIAMBOUND_CHECK_MODEL=1 every genuine Sat answer is
+   cross-checked before it leaves [solve] (and before any armed fault
+   corrupts the report).  A failure here is a solver bug, not an
+   injected fault, so it raises instead of degrading. *)
+let debug_check_model =
+  lazy
+    (match Sys.getenv_opt "DIAMBOUND_CHECK_MODEL" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
 let solve ?(assumptions = []) ?max_conflicts ?max_propagations ?should_stop s =
   s.last_solve_sat <- false;
-  if not s.ok then Unsat
-  else begin
+  s.corrupt_model <- false;
+  let final = ref (if s.ok then Unknown else Unsat) in
+  if s.ok then begin
     cancel_until s 0;
     s.max_learnts <-
       max s.max_learnts (float_of_int (Vec.size s.clauses) /. 3.);
@@ -599,21 +696,31 @@ let solve ?(assumptions = []) ?max_conflicts ?max_propagations ?should_stop s =
       done
     end;
     cancel_until s 0;
-    s.last_solve_sat <- !result = Sat;
-    !result
-  end
-
-let value s l =
-  if not s.last_solve_sat then
-    invalid_arg "Solver.value: no model (last solve did not return Sat)";
-  let v = var_of l in
-  let b = if s.assigns.(v) >= 0 then s.assigns.(v) = 1 else s.phase.(v) in
-  if is_pos l then b else not b
-
-let model s =
-  if not s.last_solve_sat then
-    invalid_arg "Solver.model: no model (last solve did not return Sat)";
-  Array.init s.nvars (fun v -> value s (pos v))
+    final := !result
+  end;
+  s.last_solve_sat <- !final = Sat;
+  if s.last_solve_sat && Lazy.force debug_check_model then begin
+    match check_model ~assumptions s with
+    | Ok () -> ()
+    | Error msg -> failwith ("DIAMBOUND_CHECK_MODEL: " ^ msg)
+  end;
+  (* fault injection happens at the reporting boundary, after the
+     debug cross-check of the genuine answer *)
+  (match Chaos.armed () with
+  | Some Chaos.Flip_to_unsat when !final = Sat ->
+    Chaos.note ();
+    s.last_solve_sat <- false;
+    final := Unsat
+  | Some Chaos.Flip_to_sat when !final = Unsat ->
+    Chaos.note ();
+    (* the phase store becomes the "model": arbitrary garbage *)
+    s.last_solve_sat <- true;
+    final := Sat
+  | Some Chaos.Corrupt_model when !final = Sat ->
+    Chaos.note ();
+    s.corrupt_model <- true
+  | _ -> ());
+  !final
 
 let pp_stats ppf s =
   Format.fprintf ppf

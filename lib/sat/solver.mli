@@ -69,6 +69,27 @@ val model : t -> bool array
 (** Model by variable index.  @raise Invalid_argument when the last
     [solve] did not return [Sat]. *)
 
+(** {1 Self-certification} *)
+
+val set_proof : t -> Proof.t -> unit
+(** Attach a proof log.  From now on every input clause, learnt clause
+    and learnt-clause deletion is recorded; {!Drup.check} can then
+    certify [Unsat] answers with no access to this solver.  Attach
+    before adding clauses, or the derivation will be missing axioms. *)
+
+val proof : t -> Proof.t option
+
+val check_model : ?assumptions:lit list -> t -> (unit, string) Stdlib.result
+(** Certify the last [Sat] answer: the reported model must satisfy
+    every live problem clause, agree with every top-level assignment
+    (covering unit clauses folded away at add time), and satisfy
+    every listed assumption.  [Error]
+    describes the first discrepancy.  Also runs automatically on every
+    genuine [Sat] inside [solve] when the environment variable
+    [DIAMBOUND_CHECK_MODEL] is set to [1] (raising [Failure] on
+    mismatch — that path guards against solver bugs, not injected
+    faults, and the test suite enables it globally). *)
+
 (** Statistics from the lifetime of the solver. *)
 
 val num_conflicts : t -> int

@@ -19,4 +19,30 @@ case "$rc" in
   *) echo "ci: verify smoke exit $rc (FAIL)"; exit 1 ;;
 esac
 
+# Fault-injection smoke: with a fixed seed, the chaos suite injects
+# faults at the solver/BMC/engine reporting boundaries and asserts
+# every one is caught by certification (downgraded, never reported
+# as a wrong verdict).  A fixed seed keeps the stage deterministic.
+DIAMBOUND_CHAOS_SEED=1234 timeout 300 dune exec test/test_main.exe -- test chaos
+
+# Certified-counterexample smoke: a known-violated design under
+# --certify must still report the violation (exit 1) — i.e. the
+# certification path accepts genuine answers and only withholds
+# corrupted ones.
+rc=0
+timeout 60 dune exec bin/bmc_tool.exe -- examples/counter3.bench --certify \
+  || rc=$?
+case "$rc" in
+  1) echo "ci: certified bmc smoke exit $rc (ok)" ;;
+  *) echo "ci: certified bmc smoke exit $rc (FAIL)"; exit 1 ;;
+esac
+
+rc=0
+timeout 60 dune exec bin/verify_tool.exe -- examples/counter3.bench --certify \
+  || rc=$?
+case "$rc" in
+  1) echo "ci: certified verify smoke exit $rc (ok)" ;;
+  *) echo "ci: certified verify smoke exit $rc (FAIL)"; exit 1 ;;
+esac
+
 echo "ci: all green"

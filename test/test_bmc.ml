@@ -102,6 +102,35 @@ let prop_cex_replays =
       | Bmc.No_hit _ -> true
       | Bmc.Unknown _ -> false)
 
+let test_frames_agree_with_replay () =
+  (* frames_of_cex and replay are two readings of the same simulation:
+     the captured frames must show the target miss at every step
+     before [depth] (BMC reports the first hit) and the hit at
+     [depth], exactly when replay succeeds *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let r = Net.add_reg net ~init:Net.Init0 "r" in
+  Net.set_next net r a;
+  Net.add_target net "t" r;
+  let t = List.assoc "t" (Net.targets net) in
+  match Bmc.check net ~target:"t" ~depth:4 with
+  | Bmc.Hit cex ->
+    Helpers.check_bool "cex replays" true (Bmc.replay net t cex);
+    let frames = Bmc.frames_of_cex net cex in
+    Helpers.check_int "one frame per step" (cex.Bmc.depth + 1)
+      (Array.length frames);
+    let hit_at step =
+      frames.(step).(Lit.var t)
+      = (if Lit.is_neg t then Netlist.Sim.V0 else Netlist.Sim.V1)
+    in
+    for step = 0 to cex.Bmc.depth - 1 do
+      Helpers.check_bool
+        (Printf.sprintf "no hit in frame %d" step)
+        false (hit_at step)
+    done;
+    Helpers.check_bool "hit in the final frame" true (hit_at cex.Bmc.depth)
+  | Bmc.No_hit _ | Bmc.Unknown _ -> Alcotest.fail "expected a hit"
+
 let suite =
   [
     Alcotest.test_case "counter hit depth" `Quick test_counter_hit_depth;
@@ -110,6 +139,8 @@ let suite =
     Alcotest.test_case "unreachable proof" `Quick test_unreachable_proof;
     Alcotest.test_case "from parameter" `Quick test_from_parameter;
     Alcotest.test_case "unknown target" `Quick test_unknown_target;
+    Alcotest.test_case "frames agree with replay" `Quick
+      test_frames_agree_with_replay;
     prop_bmc_agrees_with_exact;
     prop_cex_replays;
   ]

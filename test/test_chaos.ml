@@ -1,0 +1,240 @@
+(* Fault injection: prove the certification layer catches corrupted
+   answers at every level — solver, BMC, engine.  Each test arms one
+   deterministic fault, asserts it actually fired
+   (Chaos.injections () > 0), and asserts the corruption was caught:
+   the independent checker rejects it and the engine never reports an
+   uncertified Proved/Violated.
+
+   The whole suite is reproducible from one number: set
+   DIAMBOUND_CHAOS_SEED to rerun with a different arming seed (the
+   faults themselves are deterministic; the seed is recorded in the
+   chaos state so failures can name it). *)
+
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+module Solver = Sat.Solver
+module Chaos = Sat.Chaos
+module Stats = Obs.Stats
+module Engine = Core.Engine
+module Certify = Core.Certify
+
+let seed =
+  match Sys.getenv_opt "DIAMBOUND_CHAOS_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 1234)
+  | None -> 1234
+
+(* run [f] with [fault] armed; assert at least one injection fired *)
+let under fault f =
+  Chaos.with_fault ~seed fault (fun () ->
+      let v = f () in
+      Helpers.check_bool
+        (Printf.sprintf "fault %s fired" (Chaos.fault_name fault))
+        true
+        (Chaos.injections () > 0);
+      v)
+
+(* ----- solver layer ----- *)
+
+(* pigeonhole: genuinely unsatisfiable, non-trivially so *)
+let php solver pigeons holes =
+  let var = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var solver)) in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause solver (Array.to_list (Array.map Solver.pos var.(p)))
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to pigeons - 1 do
+      for q = p + 1 to pigeons - 1 do
+        Solver.add_clause solver
+          [ Solver.neg_of var.(p).(h); Solver.neg_of var.(q).(h) ]
+      done
+    done
+  done
+
+let test_solver_flip_to_unsat () =
+  under Chaos.Flip_to_unsat (fun () ->
+      let s = Solver.create () in
+      let p = Sat.Proof.create () in
+      Solver.set_proof s p;
+      let a = Solver.pos (Solver.new_var s) in
+      let b = Solver.pos (Solver.new_var s) in
+      Solver.add_clause s [ a ];
+      Solver.add_clause s [ Solver.negate a; b ];
+      (match Solver.solve s with
+      | Solver.Unsat -> ()
+      | _ -> Alcotest.fail "fault should have reported Unsat");
+      (* the lie has no refutation: the checker rejects the "proof" *)
+      Helpers.check_bool "drup rejects flipped unsat" true
+        (Result.is_error (Sat.Drup.check (Sat.Proof.events p))))
+
+let test_solver_flip_to_sat () =
+  under Chaos.Flip_to_sat (fun () ->
+      let s = Solver.create () in
+      php s 4 3;
+      (match Solver.solve s with
+      | Solver.Sat -> ()
+      | _ -> Alcotest.fail "fault should have reported Sat");
+      (* no model of an unsatisfiable formula exists, so whatever the
+         solver now claims, check_model must falsify a clause *)
+      Helpers.check_bool "check_model rejects garbage model" true
+        (Result.is_error (Solver.check_model s)))
+
+let test_solver_corrupt_model () =
+  under Chaos.Corrupt_model (fun () ->
+      let s = Solver.create () in
+      let a = Solver.pos (Solver.new_var s) in
+      let b = Solver.neg_of (Solver.new_var s) in
+      Solver.add_clause s [ a ];
+      Solver.add_clause s [ b ];
+      (match Solver.solve s with
+      | Solver.Sat -> ()
+      | _ -> Alcotest.fail "expected Sat");
+      (* the genuine model is forced; its wholesale negation falsifies
+         both unit clauses *)
+      Helpers.check_bool "check_model rejects negated model" true
+        (Result.is_error (Solver.check_model s)))
+
+let test_solver_drop_proof () =
+  under Chaos.Drop_proof (fun () ->
+      let s = Solver.create () in
+      let p = Sat.Proof.create () in
+      Solver.set_proof s p;
+      php s 4 3;
+      (match Solver.solve s with
+      | Solver.Unsat -> ()
+      | _ -> Alcotest.fail "expected Unsat");
+      Helpers.check_int "every event dropped" 0
+        (Sat.Proof.num_inputs p + Sat.Proof.num_adds p + Sat.Proof.num_deletes p);
+      (* an empty derivation refutes nothing *)
+      Helpers.check_bool "drup rejects empty proof" true
+        (Result.is_error (Sat.Drup.check (Sat.Proof.events p))))
+
+(* ----- BMC layer ----- *)
+
+(* 2-bit counter, all-ones at time 3: genuinely violated *)
+let violated_net () =
+  let net = Net.create () in
+  let c = Workload.Gen.counter net ~name:"c" ~bits:2 ~enable:Lit.true_ in
+  Net.add_target net "t" c.Workload.Gen.out;
+  net
+
+(* r stays 0 forever: genuinely safe *)
+let safe_net () =
+  let net = Net.create () in
+  let r = Net.add_reg net ~init:Net.Init0 "r" in
+  Net.set_next net r r;
+  Net.add_target net "t" r;
+  net
+
+(* target = input: any model corruption breaks the replay *)
+let input_net () =
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  Net.add_target net "t" a;
+  net
+
+let test_bmc_flip_to_unsat () =
+  under Chaos.Flip_to_unsat (fun () ->
+      let net = violated_net () in
+      let cert = Bmc.new_cert () in
+      match Bmc.check ~cert net ~target:"t" ~depth:5 with
+      | Bmc.No_hit 5 ->
+        (* bogus: the hit at 3 was flipped away.  The depth-3 goal is
+           genuinely satisfiable, so no sound derivation refutes it *)
+        Helpers.check_bool "no-hit certificate rejected" true
+          (Result.is_error (Certify.check_no_hit ~depth:5 cert))
+      | _ -> Alcotest.fail "fault should have reported No_hit")
+
+let test_bmc_corrupt_model () =
+  under Chaos.Corrupt_model (fun () ->
+      let net = input_net () in
+      let tlit = List.assoc "t" (Net.targets net) in
+      match Bmc.check net ~target:"t" ~depth:2 with
+      | Bmc.Hit cex ->
+        Helpers.check_bool "corrupted cex fails replay" true
+          (Result.is_error (Certify.check_cex net tlit cex))
+      | _ -> Alcotest.fail "expected a hit")
+
+let test_bmc_drop_proof () =
+  under Chaos.Drop_proof (fun () ->
+      let net = safe_net () in
+      let cert = Bmc.new_cert () in
+      match Bmc.check ~cert net ~target:"t" ~depth:3 with
+      | Bmc.No_hit 3 ->
+        (* the answer is genuine but its evidence was lost; a
+           certificate that cannot be checked must not pass *)
+        Helpers.check_bool "proofless certificate rejected" true
+          (Result.is_error (Certify.check_no_hit ~depth:3 cert))
+      | _ -> Alcotest.fail "expected no hit")
+
+(* ----- engine layer ----- *)
+
+(* The engine under an armed fault must degrade to Inconclusive with
+   at least one certification-failed attempt: never a corrupted
+   Proved/Violated, never a crash. *)
+let engine_degrades fault net =
+  Stats.reset ();
+  under fault (fun () ->
+      match Engine.verify ~certify:true net ~target:"t" with
+      | Engine.Inconclusive { attempts } ->
+        let cert_failures =
+          List.filter
+            (fun a ->
+              String.length a.Engine.reason
+              >= String.length Engine.cert_fail_reason
+              && String.sub a.Engine.reason 0
+                   (String.length Engine.cert_fail_reason)
+                 = Engine.cert_fail_reason)
+            attempts
+        in
+        Helpers.check_bool "some strategy failed certification" true
+          (cert_failures <> []);
+        Helpers.check_bool "cert_fail counted" true
+          (List.assoc "engine.cert_fail" (Stats.snapshot ()).Stats.counters > 0)
+      | Engine.Proved _ -> Alcotest.fail "corrupted answer reported as Proved"
+      | Engine.Violated _ ->
+        Alcotest.fail "corrupted answer reported as Violated")
+
+let test_engine_flip_to_unsat () =
+  (* hittable at time 0, so every depth-covering no-hit claim includes
+     a genuinely satisfiable goal — unrefutable no matter which bogus
+     bound a corrupted sub-answer produced *)
+  engine_degrades Chaos.Flip_to_unsat (input_net ())
+
+let test_engine_flip_to_sat () = engine_degrades Chaos.Flip_to_sat (safe_net ())
+
+let test_engine_corrupt_model () =
+  engine_degrades Chaos.Corrupt_model (input_net ())
+
+let test_engine_drop_proof () = engine_degrades Chaos.Drop_proof (safe_net ())
+
+let test_disarm_restores () =
+  (* sanity for the harness itself: after a chaos run, certification
+     succeeds again on the same workloads *)
+  under Chaos.Flip_to_unsat (fun () ->
+      match Engine.verify (violated_net ()) ~target:"t" with
+      | Engine.Violated _ -> Alcotest.fail "fault not injected"
+      | _ -> ());
+  Helpers.check_bool "disarmed" false (Chaos.active ());
+  Stats.reset ();
+  match Engine.verify ~certify:true (violated_net ()) ~target:"t" with
+  | Engine.Violated _ ->
+    Helpers.check_int "clean run has no cert failures" 0
+      (List.assoc "engine.cert_fail" (Stats.snapshot ()).Stats.counters)
+  | v -> Alcotest.fail (Format.asprintf "unexpected: %a" Engine.pp_verdict v)
+
+let suite =
+  [
+    Alcotest.test_case "solver: flip to unsat" `Quick test_solver_flip_to_unsat;
+    Alcotest.test_case "solver: flip to sat" `Quick test_solver_flip_to_sat;
+    Alcotest.test_case "solver: corrupt model" `Quick test_solver_corrupt_model;
+    Alcotest.test_case "solver: drop proof" `Quick test_solver_drop_proof;
+    Alcotest.test_case "bmc: flip to unsat" `Quick test_bmc_flip_to_unsat;
+    Alcotest.test_case "bmc: corrupt model" `Quick test_bmc_corrupt_model;
+    Alcotest.test_case "bmc: drop proof" `Quick test_bmc_drop_proof;
+    Alcotest.test_case "engine: flip to unsat" `Quick test_engine_flip_to_unsat;
+    Alcotest.test_case "engine: flip to sat" `Quick test_engine_flip_to_sat;
+    Alcotest.test_case "engine: corrupt model" `Quick test_engine_corrupt_model;
+    Alcotest.test_case "engine: drop proof" `Quick test_engine_drop_proof;
+    Alcotest.test_case "disarm restores certification" `Quick
+      test_disarm_restores;
+  ]

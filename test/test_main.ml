@@ -1,4 +1,7 @@
 let () =
+  (* every genuine Sat anywhere in the suite gets its model
+     cross-checked inside the solver (see Solver.check_model) *)
+  Unix.putenv "DIAMBOUND_CHECK_MODEL" "1";
   Alcotest.run "diambound"
     [
       ("lit", Test_lit.suite);
@@ -8,6 +11,7 @@ let () =
       ("vec", Test_vec.suite);
       ("sim", Test_sim.suite);
       ("sat", Test_sat.suite);
+      ("proof", Test_proof.suite);
       ("stats", Test_stats.suite);
       ("budget", Test_budget.suite);
       ("bdd", Test_bdd.suite);
@@ -34,6 +38,8 @@ let () =
       ("aiger", Test_aiger.suite);
       ("vcd", Test_vcd.suite);
       ("engine", Test_engine.suite);
+      ("certify", Test_certify.suite);
+      ("chaos", Test_chaos.suite);
       ("symbolic", Test_symbolic.suite);
       ("pipeline", Test_pipeline.suite);
       ("workload", Test_workload.suite);

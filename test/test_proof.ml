@@ -1,0 +1,180 @@
+(* Proof logging + the independent DRUP checker. *)
+
+module Solver = Sat.Solver
+module Cnf = Sat.Cnf
+module Proof = Sat.Proof
+module Drup = Sat.Drup
+
+(* pigeonhole principle CNF: [pigeons] into [holes], unsat when
+   pigeons > holes; small but requires real clause learning *)
+let php_cnf pigeons holes =
+  let var p h = (p * holes) + h in
+  let clauses = ref [] in
+  for p = 0 to pigeons - 1 do
+    clauses := List.init holes (fun h -> Solver.pos (var p h)) :: !clauses
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        clauses :=
+          [ Solver.neg_of (var p1 h); Solver.neg_of (var p2 h) ] :: !clauses
+      done
+    done
+  done;
+  { Cnf.num_vars = pigeons * holes; clauses = !clauses }
+
+let solve_logged ?assumptions cnf =
+  let s = Solver.create () in
+  let p = Proof.create () in
+  Solver.set_proof s p;
+  Cnf.load s cnf;
+  (Solver.solve ?assumptions s, s, p)
+
+let ok_or_fail what = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+let test_unsat_proof_checks () =
+  let r, _, p = solve_logged (php_cnf 4 3) in
+  Helpers.check_bool "php(4,3) unsat" true (r = Solver.Unsat);
+  Helpers.check_bool "learnt something" true (Proof.num_adds p > 0);
+  ok_or_fail "drup" (Drup.check (Proof.events p))
+
+let test_assumption_unsat_needs_goal () =
+  (* (a | b) under assumptions ~a ~b: unsat relative to the cube, but
+     the formula itself is satisfiable — the empty-clause goal must
+     fail and the cube goal must pass *)
+  let cnf = { Cnf.num_vars = 2; clauses = [ [ Solver.pos 0; Solver.pos 1 ] ] } in
+  let assumptions = [ Solver.neg_of 0; Solver.neg_of 1 ] in
+  let r, _, p = solve_logged ~assumptions cnf in
+  Helpers.check_bool "unsat under assumptions" true (r = Solver.Unsat);
+  ok_or_fail "cube goal" (Drup.check ~goals:[ assumptions ] (Proof.events p));
+  Helpers.check_bool "empty-clause goal rejected" true
+    (Result.is_error (Drup.check (Proof.events p)))
+
+let test_sat_proof_refutes_nothing () =
+  let cnf =
+    { Cnf.num_vars = 2; clauses = [ [ Solver.pos 0 ]; [ Solver.neg_of 1 ] ] }
+  in
+  let r, s, p = solve_logged cnf in
+  Helpers.check_bool "sat" true (r = Solver.Sat);
+  Helpers.check_bool "no unsat certificate from a sat run" true
+    (Result.is_error (Drup.check (Proof.events p)));
+  ok_or_fail "model" (Solver.check_model s)
+
+let test_deletions_preserve_checkability () =
+  (* force reduce_db so the log contains deletions; the derivation
+     must still check because locked (reason) clauses are never
+     deleted *)
+  let s = Solver.create () in
+  let p = Proof.create () in
+  Solver.set_proof s p;
+  Cnf.load s (php_cnf 5 4);
+  Solver.set_max_learnts s 5;
+  Helpers.check_bool "php(5,4) unsat" true (Solver.solve s = Solver.Unsat);
+  Helpers.check_bool "reduce_db ran" true (Solver.num_reduce_dbs s > 0);
+  Helpers.check_bool "deletions logged" true (Proof.num_deletes p > 0);
+  ok_or_fail "drup with deletions" (Drup.check (Proof.events p))
+
+let test_incremental_goals_against_final_db () =
+  (* several Unsat-under-assumption answers from one incremental
+     solver, all certified by goal cubes against the final log *)
+  let s = Solver.create () in
+  let p = Proof.create () in
+  Solver.set_proof s p;
+  let cnf = php_cnf 4 3 in
+  let sel = Solver.new_var s in
+  for _ = 1 to cnf.Cnf.num_vars do
+    ignore (Solver.new_var s)
+  done;
+  (* guard every clause with ~sel so assumption sel activates php *)
+  List.iter
+    (fun c ->
+      Solver.add_clause s
+        (Solver.neg_of sel :: List.map (fun l -> l + 2) c)
+        (* shift vars past sel *))
+    cnf.Cnf.clauses;
+  let goals = ref [] in
+  for _ = 1 to 3 do
+    Helpers.check_bool "unsat with selector" true
+      (Solver.solve ~assumptions:[ Solver.pos sel ] s = Solver.Unsat);
+    goals := [ Solver.pos sel ] :: !goals
+  done;
+  (* still satisfiable without the selector *)
+  Helpers.check_bool "sat without selector" true (Solver.solve s = Solver.Sat);
+  ok_or_fail "all goals" (Drup.check ~goals:!goals (Proof.events p))
+
+let test_file_roundtrip () =
+  (* the DIMACS + DRUP pair must certify from disk, the way an external
+     consumer would check a --proof dump *)
+  let cnf = php_cnf 4 3 in
+  let r, _, p = solve_logged cnf in
+  Helpers.check_bool "unsat" true (r = Solver.Unsat);
+  let cnf_path = Filename.temp_file "diambound_proof" ".cnf" in
+  let drup_path = Filename.temp_file "diambound_proof" ".drup" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove cnf_path;
+      Sys.remove drup_path)
+    (fun () ->
+      let oc = open_out cnf_path in
+      Sat.Dimacs.print oc cnf;
+      close_out oc;
+      let oc = open_out drup_path in
+      output_string oc (Proof.to_string p);
+      close_out oc;
+      let cnf' = Sat.Dimacs.parse_file cnf_path in
+      let p' = Proof.parse_file drup_path in
+      Helpers.check_int "adds survive the round trip" (Proof.num_adds p)
+        (Proof.num_adds p');
+      Helpers.check_int "deletes survive the round trip" (Proof.num_deletes p)
+        (Proof.num_deletes p');
+      ok_or_fail "drup from disk" (Drup.check_cnf cnf' (Proof.events p')))
+
+let test_parse_text () =
+  let p = Proof.parse "c comment\n1 -2 0\nd 1 -2 0\n\n-3 0\n" in
+  Helpers.check_int "adds" 2 (Proof.num_adds p);
+  Helpers.check_int "deletes" 1 (Proof.num_deletes p);
+  (match Proof.events p with
+  | [ Proof.Add a; Proof.Delete d; Proof.Add u ] ->
+    Helpers.check_bool "add lits" true (a = [| Solver.pos 0; Solver.neg_of 1 |]);
+    Helpers.check_bool "delete matches add" true (d = a);
+    Helpers.check_bool "unit" true (u = [| Solver.neg_of 2 |])
+  | _ -> Alcotest.fail "unexpected event shape");
+  (* malformed inputs *)
+  List.iter
+    (fun text ->
+      match Proof.parse text with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "parse accepted %S" text)
+    [ "1 2"; "1 0 2 0"; "1 x 0" ]
+
+let test_check_model_catches_bad_model () =
+  (* hand-build a corrupt "model" path: check_model against live
+     clauses must notice a falsified clause *)
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Solver.add_clause s [ Solver.pos a; Solver.pos (Solver.new_var s) ];
+  Helpers.check_bool "sat" true (Solver.solve s = Solver.Sat);
+  ok_or_fail "genuine model" (Solver.check_model s);
+  let falsified =
+    if Solver.value s (Solver.pos a) then Solver.neg_of a else Solver.pos a
+  in
+  Helpers.check_bool "assumption mismatch caught" true
+    (Result.is_error (Solver.check_model ~assumptions:[ falsified ] s))
+
+let suite =
+  [
+    Alcotest.test_case "unsat proof checks" `Quick test_unsat_proof_checks;
+    Alcotest.test_case "assumption unsat needs its goal" `Quick
+      test_assumption_unsat_needs_goal;
+    Alcotest.test_case "sat proof refutes nothing" `Quick
+      test_sat_proof_refutes_nothing;
+    Alcotest.test_case "deletions preserve checkability" `Quick
+      test_deletions_preserve_checkability;
+    Alcotest.test_case "incremental goals vs final db" `Quick
+      test_incremental_goals_against_final_db;
+    Alcotest.test_case "dimacs+drup file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "drup text parsing" `Quick test_parse_text;
+    Alcotest.test_case "check_model" `Quick test_check_model_catches_bad_model;
+  ]

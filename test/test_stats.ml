@@ -79,6 +79,46 @@ let test_json_escapes () =
   let text = Report.to_string json in
   Helpers.check_bool "escaped round trip" true (Report.parse text = json)
 
+let test_nonfinite_floats () =
+  (* regression: "%.17g" used to print nan/inf literally, producing
+     invalid JSON that no parser (including ours) would read back *)
+  let json =
+    Report.Obj
+      [
+        ("a", Report.Float Float.nan);
+        ("b", Report.Float Float.infinity);
+        ("c", Report.Float Float.neg_infinity);
+        ("d", Report.Float 1.5);
+      ]
+  in
+  let text = Report.to_string json in
+  Helpers.check_bool "no bare nan" false (contains text "nan");
+  Helpers.check_bool "no bare inf" false (contains text "inf");
+  (* it parses back, with non-finite values as null *)
+  match Report.parse text with
+  | Report.Obj fields ->
+    Helpers.check_bool "nan emitted as null" true
+      (List.assoc "a" fields = Report.Null);
+    Helpers.check_bool "inf emitted as null" true
+      (List.assoc "b" fields = Report.Null);
+    Helpers.check_bool "-inf emitted as null" true
+      (List.assoc "c" fields = Report.Null);
+    Helpers.check_bool "finite float intact" true
+      (List.assoc "d" fields = Report.Float 1.5)
+  | _ -> Alcotest.fail "expected an object"
+
+let test_nonfinite_span_roundtrips () =
+  (* a snapshot carrying a non-finite span total must still produce
+     parseable JSON and survive the snapshot round trip *)
+  fresh ();
+  Stats.add_span "t.bad" Float.nan;
+  let snap = Stats.snapshot () in
+  let text = Report.to_string (Report.json_of_snapshot snap) in
+  let back = Report.snapshot_of_json (Report.parse text) in
+  match List.assoc "t.bad" back.Stats.spans with
+  | sp -> Helpers.check_bool "nan read back as nan" true (Float.is_nan sp.Stats.total_s)
+  | exception Not_found -> Alcotest.fail "span lost"
+
 let test_parse_errors () =
   let bad s =
     match Report.parse s with
@@ -131,6 +171,10 @@ let suite =
     Alcotest.test_case "reset" `Quick test_reset;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json escapes" `Quick test_json_escapes;
+    Alcotest.test_case "non-finite floats emit null" `Quick
+      test_nonfinite_floats;
+    Alcotest.test_case "non-finite span roundtrips" `Quick
+      test_nonfinite_span_roundtrips;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "engine populates stats" `Quick
       test_engine_populates_stats;

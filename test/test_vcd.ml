@@ -57,9 +57,39 @@ let test_change_compression () =
   | Bmc.No_hit _ | Bmc.Unknown _ ->
     Alcotest.fail "stuck-at-1 hits immediately")
 
+let test_certified_cex_roundtrips () =
+  (* a counterexample that passed certification dumps to a complete
+     waveform: the same replay that certified it drives the writer *)
+  let net, cex = cex_frames () in
+  let t = List.assoc "t" (Net.targets net) in
+  (match Core.Certify.check_cex net t cex with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "cex failed certification: %s" msg);
+  let frames = Bmc.frames_of_cex net cex in
+  let path = Filename.temp_file "diambound_cex" ".vcd" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Textio.Vcd.write_file path net frames;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      Helpers.check_bool "file round-trips the dump" true
+        (String.equal text (Textio.Vcd.dump net frames));
+      let has s =
+        let n = String.length s and m = String.length text in
+        let rec go i = i + n <= m && (String.sub text i n = s || go (i + 1)) in
+        go 0
+      in
+      Helpers.check_bool "covers the hit time" true
+        (has (Printf.sprintf "#%d" cex.Bmc.depth)))
+
 let suite =
   [
     Alcotest.test_case "frames shape" `Quick test_frames_shape;
     Alcotest.test_case "vcd structure" `Quick test_vcd_structure;
     Alcotest.test_case "change compression" `Quick test_change_compression;
+    Alcotest.test_case "certified cex roundtrips" `Quick
+      test_certified_cex_roundtrips;
   ]
