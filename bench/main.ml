@@ -391,8 +391,63 @@ let bechamel () =
       | Some _ | None -> Format.printf "  %-40s (no estimate)@." name)
     results
 
-(* split "--stats" / "--stats-json FILE" / budget flags out of the
-   experiment list *)
+(* ----- baseline mode: diff the run against a stored snapshot ----- *)
+
+let baseline_file = ref None (* --baseline FILE *)
+let against_file = ref None (* --against FILE: pure differ, no run *)
+let fail_on_regress = ref None (* --fail-on-regress PCT *)
+
+let stats_schema_version = 2
+
+let bench_meta experiments =
+  Obs.Report.
+    [
+      ("schema", Int stats_schema_version);
+      ("tool", String "bench");
+      ("experiments", List (List.map (fun e -> String e) experiments));
+      ("budget", String (Format.asprintf "%a" Obs.Budget.pp (fresh_budget ())));
+      ("certify", Bool !certify_flag);
+    ]
+
+let load_entry path =
+  match Obs.Baseline.load path with
+  | entry -> entry
+  | exception Failure msg ->
+    Format.eprintf "baseline: %s: %s@." path msg;
+    exit 2
+  | exception Sys_error msg ->
+    Format.eprintf "baseline: %s@." msg;
+    exit 2
+
+(* Diff [cur] (this run's snapshot, or --against FILE) against
+   --baseline FILE: print the per-counter/per-span delta table and,
+   under --fail-on-regress, exit non-zero when any span total grew
+   past the threshold — the enforcement teeth behind BENCH_*.json. *)
+let run_baseline ~base_path ~cur =
+  let base = load_entry base_path in
+  (match Obs.Baseline.compat ~base ~cur with
+  | Ok () -> ()
+  | Error msg ->
+    Format.eprintf "baseline: refusing to compare: %s@." msg;
+    exit 2);
+  let d = Obs.Baseline.diff ~base ~cur in
+  Format.printf "@.== Baseline diff vs %s ==@.%a" base_path Obs.Baseline.pp d;
+  match !fail_on_regress with
+  | None -> ()
+  | Some threshold_pct -> (
+    match Obs.Baseline.regressions ~threshold_pct d with
+    | [] ->
+      Format.printf "no span regressed more than %.1f%%@." threshold_pct
+    | regs ->
+      List.iter
+        (fun (name, growth) ->
+          Format.eprintf "REGRESSION %-32s +%.1f%% (threshold %.1f%%)@." name
+            growth threshold_pct)
+        regs;
+      exit 1)
+
+(* split "--stats" / "--stats-json FILE" / trace, baseline and budget
+   flags out of the experiment list *)
 let split_args args =
   let missing flag =
     Format.eprintf "%s needs an argument@." flag;
@@ -411,6 +466,23 @@ let split_args args =
     | "--stats" :: rest -> go true json exps rest
     | "--stats-json" :: file :: rest -> go stats (Some file) exps rest
     | "--stats-json" :: [] -> missing "--stats-json"
+    | "--trace" :: file :: rest ->
+      Obs.Trace.start file;
+      go stats json exps rest
+    | "--trace" :: [] -> missing "--trace"
+    | "--baseline" :: file :: rest ->
+      baseline_file := Some file;
+      go stats json exps rest
+    | "--baseline" :: [] -> missing "--baseline"
+    | "--against" :: file :: rest ->
+      against_file := Some file;
+      go stats json exps rest
+    | "--against" :: [] -> missing "--against"
+    | "--fail-on-regress" :: v :: rest ->
+      fail_on_regress :=
+        Some (num float_of_string_opt "--fail-on-regress" v);
+      go stats json exps rest
+    | "--fail-on-regress" :: [] -> missing "--fail-on-regress"
     | "--timeout" :: v :: rest ->
       set (fun (_, c, n) -> (Some (num float_of_string_opt "--timeout" v), c, n));
       go stats json exps rest
@@ -434,20 +506,36 @@ let () =
   let stats, stats_json, want =
     split_args (List.tl (Array.to_list Sys.argv))
   in
-  let want =
-    if want <> [] then want
-    else [ "table1"; "table2"; "baseline"; "verify"; "ablation"; "bechamel" ]
-  in
-  List.iter
-    (fun arg ->
-      let run f = Obs.Stats.time ("bench." ^ arg) f in
-      match arg with
-      | "table1" -> run (fun () -> ignore (table1 ()))
-      | "table2" -> run (fun () -> ignore (table2 ()))
-      | "baseline" -> run baseline
-      | "verify" -> run verify_experiment
-      | "ablation" -> run ablation
-      | "bechamel" -> run bechamel
-      | other -> Format.eprintf "unknown experiment %s@." other)
-    want;
-  Obs.Report.emit ~human:stats ?json_file:stats_json ()
+  if not (Obs.Trace.active ()) then Obs.Trace.setup ();
+  match (!against_file, !baseline_file) with
+  | Some _, None ->
+    Format.eprintf "--against only makes sense with --baseline@.";
+    exit 2
+  | Some cur_path, Some base_path ->
+    (* pure differ mode: no experiments run, both sides from disk —
+       deterministic, so CI can self-compare a fresh snapshot *)
+    run_baseline ~base_path ~cur:(load_entry cur_path)
+  | None, _ ->
+    let want =
+      if want <> [] then want
+      else [ "table1"; "table2"; "baseline"; "verify"; "ablation"; "bechamel" ]
+    in
+    List.iter
+      (fun arg ->
+        let run f = Obs.Stats.time ("bench." ^ arg) f in
+        match arg with
+        | "table1" -> run (fun () -> ignore (table1 ()))
+        | "table2" -> run (fun () -> ignore (table2 ()))
+        | "baseline" -> run baseline
+        | "verify" -> run verify_experiment
+        | "ablation" -> run ablation
+        | "bechamel" -> run bechamel
+        | other -> Format.eprintf "unknown experiment %s@." other)
+      want;
+    let meta = bench_meta want in
+    Obs.Report.emit ~human:stats ?json_file:stats_json ~meta ();
+    match !baseline_file with
+    | None -> ()
+    | Some base_path ->
+      run_baseline ~base_path
+        ~cur:{ Obs.Baseline.meta; snap = Obs.Stats.snapshot () }

@@ -7,7 +7,9 @@
 
 module Net = Netlist.Net
 
-let run file target depth complete certify proof vcd budget stats stats_json =
+let run file target depth complete certify proof vcd budget stats stats_json
+    trace =
+  Cli.setup_trace trace;
   let net = Cli.load_bench file in
   let certify = certify || proof <> None in
   let target =
@@ -31,7 +33,11 @@ let run file target depth complete certify proof vcd budget stats stats_json =
     end
     else depth
   in
-  let finish () = Obs.Report.emit ~human:stats ?json_file:stats_json () in
+  let finish () =
+    Obs.Report.emit ~human:stats ?json_file:stats_json
+      ~meta:(Cli.stats_meta ~tool:"bmc-check" ~experiments:[ "bmc" ] budget)
+      ()
+  in
   let cert = if certify then Some (Bmc.new_cert ()) else None in
   let dump_proof () =
     match (proof, cert) with
@@ -136,6 +142,7 @@ let cmd =
     (Cmd.info "bmc-check" ~doc)
     Term.(
       const run $ file $ target $ depth $ complete $ Cli.certify
-      $ Cli.proof_file $ vcd $ Cli.budget $ Cli.stats $ Cli.stats_json)
+      $ Cli.proof_file $ vcd $ Cli.budget $ Cli.stats $ Cli.stats_json
+      $ Cli.trace)
 
 let () = exit (Cli.main cmd)

@@ -86,6 +86,39 @@ let proof_file =
               (drat-trim-compatible text).  Implies $(b,--certify): only \
               certified proofs are written")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Capture a structured trace of the run — hierarchical spans \
+              with per-SAT-call, per-BMC-depth, per-strategy and \
+              per-transformation attributes — to $(docv).  A .json file is \
+              Chrome trace-event JSON (open in Perfetto or \
+              about://tracing); a .jsonl file streams one event per line \
+              and survives crashes.  Also enabled by the DIAMBOUND_TRACE \
+              environment variable; inspect with $(b,diam trace-report)")
+
+(* call before any instrumented work: --trace FILE, falling back to
+   DIAMBOUND_TRACE; the sink closes itself at process exit *)
+let setup_trace file = Obs.Trace.setup ?file ()
+
+(* schema version of the --stats-json / bench snapshot format; bump
+   when the snapshot or meta shape changes incompatibly *)
+let stats_schema_version = 2
+
+(* self-describing "meta" object for --stats-json snapshots, so a
+   stored baseline can refuse to compare against a different tool,
+   experiment mix, or schema *)
+let stats_meta ~tool ~experiments budget =
+  Obs.Report.
+    [
+      ("schema", Int stats_schema_version);
+      ("tool", String tool);
+      ("experiments", List (List.map (fun e -> String e) experiments));
+      ("budget", String (Format.asprintf "%a" Obs.Budget.pp budget));
+    ]
+
 let stats =
   Arg.(
     value & flag

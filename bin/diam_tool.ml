@@ -24,7 +24,8 @@ let load file design =
   | None, None ->
     Cli.die Cli.usage_error "no input: give a .bench file or --design NAME"
 
-let run file design pipeline cutoff recurrence budget stats stats_json =
+let run file design pipeline cutoff recurrence budget stats stats_json trace =
+  Cli.setup_trace trace;
   let net = load file design in
   Format.printf "netlist: %a@." Net.pp_stats net;
   let report =
@@ -58,7 +59,9 @@ let run file design pipeline cutoff recurrence budget stats stats_json =
   let s = Core.Pipeline.summarize ~cutoff report in
   Format.printf "targets below cutoff %d: %d/%d (avg %.1f)@." cutoff
     s.Core.Pipeline.proved_small s.Core.Pipeline.total s.Core.Pipeline.average;
-  Obs.Report.emit ~human:stats ?json_file:stats_json ();
+  Obs.Report.emit ~human:stats ?json_file:stats_json
+    ~meta:(Cli.stats_meta ~tool:"diam" ~experiments:[ pipeline ] budget)
+    ();
   Cli.ok
 
 open Cmdliner
@@ -90,12 +93,52 @@ let recurrence =
     & info [ "recurrence" ]
         ~doc:"Also compute the recurrence-diameter baseline per target")
 
-let cmd =
-  let doc = "structural diameter bounds via transformation pipelines" in
-  Cmd.v
-    (Cmd.info "diam" ~doc)
+(* ----- trace-report: offline analysis of a --trace capture ----- *)
+
+let run_trace_report file top =
+  match Obs.Trace.read_file file with
+  | events ->
+    Format.printf "%a" (Obs.Trace_report.pp ~top) events;
+    Cli.ok
+  | exception Failure msg -> Cli.die Cli.usage_error "%s: %s" file msg
+  | exception Sys_error msg -> Cli.die Cli.usage_error "%s" msg
+
+let trace_report_cmd =
+  let trace_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:"Trace produced by --trace (Chrome trace-event JSON or JSONL)")
+  in
+  let top =
+    Arg.(
+      value & opt int 12
+      & info [ "top" ] ~docv:"K"
+          ~doc:"How many names to show in the self-time table")
+  in
+  let doc =
+    "summarize a captured trace: top spans by self time, the critical \
+     path, and the per-depth BMC cost table"
+  in
+  Cmd.v (Cmd.info "trace-report" ~doc) Term.(const run_trace_report $ trace_file $ top)
+
+let doc =
+  "structural diameter bounds via transformation pipelines (also: diam \
+   trace-report TRACE)"
+
+let main_cmd =
+  Cmd.v (Cmd.info "diam" ~doc)
     Term.(
       const run $ file $ design $ pipeline $ cutoff $ recurrence $ Cli.budget
-      $ Cli.stats $ Cli.stats_json)
+      $ Cli.stats $ Cli.stats_json $ Cli.trace)
+
+(* a subcommand can't coexist with a default term taking positional
+   args in one cmdliner group (FILE would parse as a command name), so
+   dispatch on the first token ourselves *)
+let cmd =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "trace-report" then
+    Cmd.group (Cmd.info "diam" ~doc) [ trace_report_cmd ]
+  else main_cmd
 
 let () = exit (Cli.main cmd)

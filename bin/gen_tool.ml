@@ -3,7 +3,8 @@
      diam-gen --design S5378 -o s5378.bench
      diam-gen --list                                                  *)
 
-let run design output list_them =
+let run design output list_them trace =
+  Cli.setup_trace trace;
   if list_them then begin
     Format.printf "ISCAS89-like (Table 1):@.";
     List.iter (Format.printf "  %s@.") Workload.Iscas.names;
@@ -60,6 +61,8 @@ let list_them =
 
 let cmd =
   let doc = "emit the synthetic Table 1/2 benchmark designs as .bench" in
-  Cmd.v (Cmd.info "diam-gen" ~doc) Term.(const run $ design $ output $ list_them)
+  Cmd.v
+    (Cmd.info "diam-gen" ~doc)
+    Term.(const run $ design $ output $ list_them $ Cli.trace)
 
 let () = exit (Cli.main cmd)

@@ -7,7 +7,8 @@
 
 module Net = Netlist.Net
 
-let run file target cutoff certify proof vcd budget stats stats_json =
+let run file target cutoff certify proof vcd budget stats stats_json trace =
+  Cli.setup_trace trace;
   let net = Cli.load_bench file in
   let certify = certify || proof <> None in
   let targets =
@@ -61,7 +62,9 @@ let run file target cutoff certify proof vcd budget stats stats_json =
       | Core.Engine.Proved _ -> ()
       | Core.Engine.Inconclusive _ -> incr inconclusive)
     targets;
-  Obs.Report.emit ~human:stats ?json_file:stats_json ();
+  Obs.Report.emit ~human:stats ?json_file:stats_json
+    ~meta:(Cli.stats_meta ~tool:"diam-verify" ~experiments:[ "verify" ] budget)
+    ();
   if !violated > 0 then Cli.violated
   else if !inconclusive > 0 then Cli.inconclusive
   else Cli.ok
@@ -97,6 +100,6 @@ let cmd =
     (Cmd.info "diam-verify" ~doc)
     Term.(
       const run $ file $ target $ cutoff $ Cli.certify $ Cli.proof_file $ vcd
-      $ Cli.budget $ Cli.stats $ Cli.stats_json)
+      $ Cli.budget $ Cli.stats $ Cli.stats_json $ Cli.trace)
 
 let () = exit (Cli.main cmd)

@@ -39,11 +39,29 @@ let check_lit ?(from = 0) ?budget ?cert net target ~depth =
     if t > depth then No_hit depth
     else if expired () then give_up t
     else begin
-      let tl = Encode.Unroll.lit_at unroll target t in
       Obs.Stats.max_gauge "bmc.depth_reached" t;
-      let result, dt =
-        Encode.Sat_obs.solve ~assumptions:[ tl ] ?budget ~span:"bmc.solve"
-          solver
+      (* one trace span per unrolled depth, attributed with the
+         per-depth solver work, so per-depth cost curves fall straight
+         out of a trace *)
+      let c0 = Solver.num_conflicts solver in
+      let p0 = Solver.num_propagations solver in
+      let tl, (result, dt) =
+        Obs.Trace.with_span_args "bmc.depth"
+          ~args:[ ("depth", Obs.Trace.Int t) ]
+          (fun () ->
+            (* the unrolling of this time step is part of its cost *)
+            let tl = Encode.Unroll.lit_at unroll target t in
+            let r =
+              Encode.Sat_obs.solve ~assumptions:[ tl ] ?budget
+                ~span:"bmc.solve" solver
+            in
+            ( (tl, r),
+              Obs.Trace.
+                [
+                  ("result", String (Encode.Sat_obs.result_name (fst r)));
+                  ("conflicts", Int (Solver.num_conflicts solver - c0));
+                  ("propagations", Int (Solver.num_propagations solver - p0));
+                ] ))
       in
       Obs.Stats.add_span (Printf.sprintf "bmc.solve.depth%d" t) dt;
       match result with

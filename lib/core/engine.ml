@@ -179,13 +179,34 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) ?(certify = fals
       end
     in
     if Obs.Budget.expired budget then stand_down budget_reason
-    else
-      Stats.time ("engine." ^ name) (fun () ->
-          f ~budget:slice ~stand_down ~discharge);
+    else begin
+      (* one trace span per strategy slice; the Done unwind that
+         delivers a verdict is converted to an "outcome" attribute
+         rather than recorded as an exception *)
+      let won =
+        Obs.Trace.with_span_args ("engine." ^ name)
+          ~args:[ ("target", Obs.Trace.String target) ]
+          (fun () ->
+            match
+              Stats.time ("engine." ^ name) (fun () ->
+                  f ~budget:slice ~stand_down ~discharge)
+            with
+            | () -> (None, [ ("outcome", Obs.Trace.String "stand-down") ])
+            | exception Done v ->
+              let outcome =
+                match v with
+                | Proved _ -> "proved"
+                | Violated _ -> "violated"
+                | Inconclusive _ -> "inconclusive"
+              in
+              (Some v, [ ("outcome", Obs.Trace.String outcome) ]))
+      in
+      match won with Some v -> raise (Done v) | None -> ()
+    end;
     decr remaining
   in
   let latch_based = Net.num_latches net > 0 in
-  let verdict =
+  let run_ladder () =
     try
       (* 1. shallow probe *)
       strategy "bmc-probe" (fun ~budget ~stand_down ~discharge:_ ->
@@ -342,6 +363,19 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) ?(certify = fals
           end);
       Inconclusive { attempts = List.rev !attempts }
     with Done v -> v
+  in
+  let verdict =
+    Obs.Trace.with_span_args "engine.verify"
+      ~args:[ ("target", Obs.Trace.String target) ]
+      (fun () ->
+        let v = run_ladder () in
+        let outcome =
+          match v with
+          | Proved _ -> "proved"
+          | Violated _ -> "violated"
+          | Inconclusive _ -> "inconclusive"
+        in
+        (v, [ ("verdict", Obs.Trace.String outcome) ]))
   in
   (match verdict with
   | Proved _ -> Stats.count "engine.proved" 1

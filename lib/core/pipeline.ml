@@ -19,6 +19,22 @@ type report = {
 let slug name =
   String.map (function ',' -> '-' | c -> Char.lowercase_ascii c) name
 
+(* trace attributes: netlist size under a prefix, so every pipeline
+   span carries its before/after shape *)
+let size_args prefix net =
+  Obs.Trace.
+    [
+      (prefix ^ "_regs", Int (Net.num_regs net + Net.num_latches net));
+      (prefix ^ "_ands", Int (Net.num_ands net));
+    ]
+
+(* one trace span per transformation step, attributed with the
+   before/after netlist sizes; the timed stats span keeps its name *)
+let traced_step name ~before ~after f =
+  Obs.Trace.with_span_args name ~args:(size_args "before" before) (fun () ->
+      let r = Stats.time name f in
+      (r, size_args "after" (after r)))
+
 (* node/register reduction accounting shared by every pipeline *)
 let record_reduction name ~before ~after =
   let s = slug name in
@@ -56,23 +72,41 @@ let report_on name net translator_of =
   }
 
 let original net =
-  Stats.time "pipeline.original" (fun () ->
-      report_on "Original" net (fun _ -> Translate.identity))
+  traced_step "pipeline.original" ~before:net
+    ~after:(fun r -> r.final)
+    (fun () -> report_on "Original" net (fun _ -> Translate.identity))
 
 let com ?budget net =
-  Stats.time "pipeline.com" (fun () ->
+  traced_step "pipeline.com" ~before:net
+    ~after:(fun r -> r.final)
+    (fun () ->
       let reduced, _stats = Transform.Com.run ?budget net in
       record_reduction "COM" ~before:net ~after:reduced.Transform.Rebuild.net;
       report_on "COM" reduced.Transform.Rebuild.net (fun _ ->
           Translate.trace_equivalence))
 
 let com_ret_com ?budget net =
-  Stats.time "pipeline.com-ret-com" (fun () ->
-      let first, _ = Transform.Com.run ?budget net in
-      let retimed = Transform.Retime.run first.Transform.Rebuild.net in
+  traced_step "pipeline.com-ret-com" ~before:net
+    ~after:(fun r -> r.final)
+    (fun () ->
+      let first, _ =
+        traced_step "pipeline.com-ret-com.com1" ~before:net
+          ~after:(fun (r, _) -> r.Transform.Rebuild.net)
+          (fun () -> Transform.Com.run ?budget net)
+      in
+      let retimed =
+        traced_step "pipeline.com-ret-com.ret"
+          ~before:first.Transform.Rebuild.net
+          ~after:(fun r -> r.Transform.Retime.rebuilt.Transform.Rebuild.net)
+          (fun () -> Transform.Retime.run first.Transform.Rebuild.net)
+      in
       let second, _ =
-        Transform.Com.run ?budget
-          retimed.Transform.Retime.rebuilt.Transform.Rebuild.net
+        traced_step "pipeline.com-ret-com.com2"
+          ~before:retimed.Transform.Retime.rebuilt.Transform.Rebuild.net
+          ~after:(fun (r, _) -> r.Transform.Rebuild.net)
+          (fun () ->
+            Transform.Com.run ?budget
+              retimed.Transform.Retime.rebuilt.Transform.Rebuild.net)
       in
       record_reduction "COM,RET,COM" ~before:net
         ~after:second.Transform.Rebuild.net;
@@ -84,7 +118,9 @@ let com_ret_com ?budget net =
                Translate.trace_equivalence)))
 
 let phase_front net =
-  Stats.time "pipeline.phase" (fun () ->
+  traced_step "pipeline.phase" ~before:net
+    ~after:(fun (abstracted, _) -> abstracted)
+    (fun () ->
       let abstracted = Transform.Phase.run net in
       record_reduction "phase" ~before:net ~after:abstracted.Transform.Phase.net;
       ( abstracted.Transform.Phase.net,

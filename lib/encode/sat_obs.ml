@@ -24,9 +24,16 @@ let schema =
    counters, zeroed when nothing ran *)
 let () = Obs.Stats.declare schema
 
+let result_name = function
+  | Solver.Sat -> "sat"
+  | Solver.Unsat -> "unsat"
+  | Solver.Unknown -> "unknown"
+
 (* [solve ?assumptions ?budget ?span solver] is [Solver.solve] plus
    recording: the wall-clock time goes to [span] (default "sat.solve")
-   and the statistic deltas to the "sat.*" counters.  A [budget]
+   and the statistic deltas to the "sat.*" counters; when a trace is
+   active the call also emits one span (same name) whose attributes
+   carry the per-call deltas and the problem size.  A [budget]
    translates to the solver's per-call allowances; an [Unknown] result
    is counted both here and against the budget layer.  Returns the
    result and the elapsed seconds. *)
@@ -40,9 +47,24 @@ let solve ?assumptions ?budget ?(span = "sat.solve") solver =
   let max_propagations = Option.bind budget Obs.Budget.propagations in
   let should_stop = Option.bind budget Obs.Budget.should_stop in
   let result, dt =
-    Obs.Stats.timed span (fun () ->
-        Solver.solve ?assumptions ?max_conflicts ?max_propagations
-          ?should_stop solver)
+    Obs.Trace.with_span_args span (fun () ->
+        let r =
+          Obs.Stats.timed span (fun () ->
+              Solver.solve ?assumptions ?max_conflicts ?max_propagations
+                ?should_stop solver)
+        in
+        ( r,
+          Obs.Trace.
+            [
+              ("result", String (result_name (fst r)));
+              ("vars", Int (Solver.num_vars solver));
+              ("clauses", Int (Solver.num_clauses solver));
+              ("conflicts", Int (Solver.num_conflicts solver - conflicts));
+              ("decisions", Int (Solver.num_decisions solver - decisions));
+              ( "propagations",
+                Int (Solver.num_propagations solver - propagations) );
+              ("restarts", Int (Solver.num_restarts solver - restarts));
+            ] ))
   in
   Obs.Stats.count "sat.solves" 1;
   if result = Solver.Sat then Obs.Stats.count "sat.sat_results" 1;

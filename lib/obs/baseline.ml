@@ -1,0 +1,147 @@
+type entry = {
+  meta : (string * Report.json) list;
+  snap : Stats.snapshot;
+}
+
+let of_json j =
+  let meta =
+    match j with
+    | Report.Obj fields -> (
+      match List.assoc_opt "meta" fields with
+      | Some (Report.Obj m) -> m
+      | Some _ -> failwith "Baseline.of_json: meta is not an object"
+      | None -> [])
+    | _ -> failwith "Baseline.of_json: expected an object"
+  in
+  { meta; snap = Report.snapshot_of_json j }
+
+let load path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_json (Report.parse text)
+
+let compat ~base ~cur =
+  if base.meta = [] || cur.meta = [] then Ok ()
+  else
+    let check what =
+      let b = List.assoc_opt what base.meta in
+      let c = List.assoc_opt what cur.meta in
+      if b = c then Ok ()
+      else
+        let show = function
+          | Some j -> Report.to_string j
+          | None -> "(absent)"
+        in
+        Error
+          (Printf.sprintf "baseline %s is %s but current is %s" what (show b)
+             (show c))
+    in
+    match check "schema" with
+    | Error _ as e -> e
+    | Ok () -> (
+      match check "tool" with
+      | Error _ as e -> e
+      | Ok () -> check "experiments")
+
+type counter_row = { name : string; base_n : int option; cur_n : int option }
+
+type span_row = {
+  name : string;
+  base_s : Stats.span_stats option;
+  cur_s : Stats.span_stats option;
+}
+
+type diff = { counters : counter_row list; spans : span_row list }
+
+(* outer join of two name-sorted assoc lists *)
+let join mk xs ys =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], [] -> List.rev acc
+    | (n, x) :: xs', [] -> go xs' [] (mk n (Some x) None :: acc)
+    | [], (n, y) :: ys' -> go [] ys' (mk n None (Some y) :: acc)
+    | (nx, x) :: xs', (ny, y) :: ys' ->
+      let c = String.compare nx ny in
+      if c = 0 then go xs' ys' (mk nx (Some x) (Some y) :: acc)
+      else if c < 0 then go xs' ys (mk nx (Some x) None :: acc)
+      else go xs ys' (mk ny None (Some y) :: acc)
+  in
+  go xs ys []
+
+let diff ~base ~cur =
+  {
+    counters =
+      join
+        (fun name base_n cur_n -> { name; base_n; cur_n })
+        base.snap.Stats.counters cur.snap.Stats.counters;
+    spans =
+      join
+        (fun name base_s cur_s -> { name; base_s; cur_s })
+        base.snap.Stats.spans cur.snap.Stats.spans;
+  }
+
+let pct ~base ~cur =
+  if base > 0. then Some (100. *. (cur -. base) /. base) else None
+
+let regressions ?(min_total_s = 1e-3) ~threshold_pct d =
+  List.filter_map
+    (fun r ->
+      match (r.base_s, r.cur_s) with
+      | Some b, Some c when c.Stats.total_s >= min_total_s -> (
+        match pct ~base:b.Stats.total_s ~cur:c.Stats.total_s with
+        | Some growth when growth > threshold_pct -> Some (r.name, growth)
+        | _ -> None)
+      | _ -> None)
+    d.spans
+
+let pp ppf d =
+  let width =
+    List.fold_left
+      (fun acc n -> max acc (String.length n))
+      24
+      (List.map (fun (r : counter_row) -> r.name) d.counters
+      @ List.map (fun (r : span_row) -> r.name) d.spans)
+  in
+  if d.counters <> [] then begin
+    Format.fprintf ppf "counters:%*s %12s %12s %12s@." (width - 8) "" "base"
+      "current" "delta";
+    List.iter
+      (fun r ->
+        let s = function Some n -> string_of_int n | None -> "-" in
+        let delta =
+          match (r.base_n, r.cur_n) with
+          | Some b, Some c -> Printf.sprintf "%+d" (c - b)
+          | _ -> "-"
+        in
+        Format.fprintf ppf "  %-*s %12s %12s %12s@." width r.name (s r.base_n)
+          (s r.cur_n) delta)
+      d.counters
+  end;
+  if d.spans <> [] then begin
+    Format.fprintf ppf "spans:%*s %12s %12s %12s@." (width - 5) "" "base(ms)"
+      "current(ms)" "delta";
+    List.iter
+      (fun (r : span_row) ->
+        let s = function
+          | Some (sp : Stats.span_stats) ->
+            Printf.sprintf "%.3f" (1e3 *. sp.Stats.total_s)
+          | None -> "-"
+        in
+        let delta =
+          match (r.base_s, r.cur_s) with
+          | Some b, Some c -> (
+            match pct ~base:b.Stats.total_s ~cur:c.Stats.total_s with
+            | Some p -> Printf.sprintf "%+.1f%%" p
+            | None -> "-")
+          | Some _, None -> "gone"
+          | None, Some _ -> "new"
+          | None, None -> "-"
+        in
+        Format.fprintf ppf "  %-*s %12s %12s %12s@." width r.name (s r.base_s)
+          (s r.cur_s) delta)
+      d.spans
+  end

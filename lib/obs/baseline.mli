@@ -1,0 +1,56 @@
+(** Bench baseline tracking: diff two stats snapshots (the stored
+    [BENCH_*.json] trajectory entry and the current run), render a
+    per-counter/per-span delta table, and decide whether the current
+    run regressed past a threshold — so the bench history is an
+    enforced perf trajectory, not just an archive.
+
+    Snapshots are the {!Report} JSON schema, optionally carrying the
+    self-describing ["meta"] object ({!Report.emit}'s [?meta]).  Two
+    entries are only comparable when their meta agree on schema,
+    tool, and experiment list; {!compat} refuses mismatches so a
+    trajectory never silently compares apples to oranges. *)
+
+type entry = {
+  meta : (string * Report.json) list;  (** empty for legacy snapshots *)
+  snap : Stats.snapshot;
+}
+
+val of_json : Report.json -> entry
+(** @raise Failure when the snapshot shape is wrong. *)
+
+val load : string -> entry
+(** Parse a snapshot file.
+    @raise Failure on malformed JSON, [Sys_error] on unreadable files. *)
+
+val compat : base:entry -> cur:entry -> (unit, string) result
+(** [Ok] when the two entries may be compared: their meta agree on
+    ["schema"], ["tool"] and ["experiments"].  An entry without meta
+    (legacy snapshot) is accepted against anything. *)
+
+type counter_row = { name : string; base_n : int option; cur_n : int option }
+
+type span_row = {
+  name : string;
+  base_s : Stats.span_stats option;
+  cur_s : Stats.span_stats option;
+}
+
+type diff = { counters : counter_row list; spans : span_row list }
+
+val diff : base:entry -> cur:entry -> diff
+(** Outer join by name, sorted; a [None] side means the name only
+    exists in the other snapshot. *)
+
+val pct : base:float -> cur:float -> float option
+(** Relative change in percent; [None] when [base] is not positive. *)
+
+val regressions :
+  ?min_total_s:float -> threshold_pct:float -> diff -> (string * float) list
+(** Span names whose total time grew by strictly more than
+    [threshold_pct] percent, with the growth; spans whose current
+    total is below [min_total_s] (default 1ms) are noise and never
+    count. *)
+
+val pp : Format.formatter -> diff -> unit
+(** The delta table: counters (base, current, delta) then spans
+    (total ms base, current, delta %). *)

@@ -1,13 +1,19 @@
 (** Observability substrate: a process-global registry of counters and
-    wall-clock spans ({!Stats}) and its human/JSON renderers
-    ({!Report}).
+    wall-clock spans ({!Stats}), its human/JSON renderers ({!Report}),
+    structured tracing with Chrome/JSONL export ({!Trace}) and its
+    offline analyzer ({!Trace_report}), snapshot diffing for bench
+    baselines ({!Baseline}), resource budgets ({!Budget}) and
+    warn-and-continue file output ({!Fileout}).
 
     The hot layers (SAT solver callers, the unroller, the BMC loop,
     the transformation pipelines and the verification engine) record
-    into this registry; tools expose it via [--stats] /
-    [--stats-json FILE]. *)
+    into the registry and emit trace spans; tools expose it via
+    [--stats] / [--stats-json FILE] / [--trace FILE]. *)
 
 module Stats = Stats
 module Report = Report
 module Budget = Budget
 module Fileout = Fileout
+module Trace = Trace
+module Trace_report = Trace_report
+module Baseline = Baseline

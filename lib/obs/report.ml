@@ -243,9 +243,10 @@ let parse text =
 
 (* ----- snapshot conversion ----- *)
 
-let json_of_snapshot (s : Stats.snapshot) =
+let json_of_snapshot ?(meta = []) (s : Stats.snapshot) =
   Obj
-    [
+    ((match meta with [] -> [] | m -> [ ("meta", Obj m) ])
+    @ [
       ("counters", Obj (List.map (fun (name, n) -> (name, Int n)) s.Stats.counters));
       ( "spans",
         Obj
@@ -259,7 +260,7 @@ let json_of_snapshot (s : Stats.snapshot) =
                      ("max_s", Float sp.Stats.max_s);
                    ] ))
              s.Stats.spans) );
-    ]
+    ])
 
 let shape_fail what = failwith ("Report.snapshot_of_json: expected " ^ what)
 
@@ -325,21 +326,21 @@ let pp_human ppf (s : Stats.snapshot) =
       s.Stats.spans
   end
 
-let write_file path s =
+let write_file ?meta path s =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (to_string (json_of_snapshot s));
+      output_string oc (to_string (json_of_snapshot ?meta s));
       output_char oc '\n')
 
-let emit ?(human = false) ?json_file () =
+let emit ?(human = false) ?json_file ?meta () =
   let s = Stats.snapshot () in
   if human then Format.printf "%a" pp_human s;
   match json_file with
   | Some path -> (
     (* stats output must not turn a successful run into a crash *)
-    match write_file path s with
+    match write_file ?meta path s with
     | () -> Format.printf "stats: JSON snapshot written to %s@." path
     | exception Sys_error msg ->
       Format.eprintf "stats: cannot write JSON snapshot: %s@." msg)

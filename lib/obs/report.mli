@@ -34,19 +34,26 @@ val parse : string -> json
 
 (** {1 Snapshots} *)
 
-val json_of_snapshot : Stats.snapshot -> json
+val json_of_snapshot : ?meta:(string * json) list -> Stats.snapshot -> json
+(** A non-empty [meta] is prepended as a top-level ["meta"] object —
+    tool name, experiment list, budget flags, schema version — so
+    snapshot files are self-describing and {!Baseline} can refuse to
+    compare mismatched runs. *)
 
 val snapshot_of_json : json -> Stats.snapshot
-(** @raise Failure when the shape does not match the schema above. *)
+(** @raise Failure when the shape does not match the schema above.
+    Unknown top-level fields (such as ["meta"]) are ignored; use
+    {!Baseline.of_json} to read the meta back. *)
 
 val pp_human : Format.formatter -> Stats.snapshot -> unit
 (** Two aligned tables: counters, then spans with call counts and
     total/max wall-clock time. *)
 
-val write_file : string -> Stats.snapshot -> unit
+val write_file : ?meta:(string * json) list -> string -> Stats.snapshot -> unit
 (** Write the JSON rendering (with a trailing newline). *)
 
-val emit : ?human:bool -> ?json_file:string -> unit -> unit
+val emit :
+  ?human:bool -> ?json_file:string -> ?meta:(string * json) list -> unit -> unit
 (** CLI convenience: snapshot the global registry once, print the
     human table to stdout when [human], and write the JSON snapshot
     to [json_file] when given.  An unwritable [json_file] prints a

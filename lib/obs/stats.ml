@@ -3,7 +3,18 @@ type span = { mutable calls : int; mutable total : float; mutable max : float }
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let spans : (string, span) Hashtbl.t = Hashtbl.create 64
-let now () = Unix.gettimeofday ()
+
+(* CLOCK_MONOTONIC (bechamel's stub, nanoseconds): an NTP step
+   mid-span must not record a negative or wildly wrong duration.
+   The epoch is arbitrary (boot), which every consumer tolerates —
+   budgets and spans only ever subtract two readings.  If the stub is
+   unavailable on this platform, fall back to wall clock. *)
+let monotonic () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let now =
+  match monotonic () with
+  | (_ : float) -> monotonic
+  | exception _ -> Unix.gettimeofday
 
 let counter name =
   match Hashtbl.find_opt counters name with
@@ -32,6 +43,9 @@ let span name =
     sp
 
 let add_span name dt =
+  (* clock steps (or misuse) must never record negative durations;
+     nan is kept as-is so a corrupted measurement stays visible *)
+  let dt = if dt < 0. then 0. else dt in
   let sp = span name in
   sp.calls <- sp.calls + 1;
   sp.total <- sp.total +. dt;

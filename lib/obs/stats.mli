@@ -14,7 +14,9 @@ type counter
 type span
 
 val now : unit -> float
-(** Wall-clock seconds (monotonic enough for span accounting). *)
+(** Monotonic seconds (CLOCK_MONOTONIC; falls back to wall clock when
+    unavailable).  The epoch is arbitrary — only differences between
+    two readings are meaningful. *)
 
 (** {1 Counters} *)
 
@@ -56,7 +58,8 @@ val timed : string -> (unit -> 'a) -> 'a * float
     (not recorded when [f] raises). *)
 
 val add_span : string -> float -> unit
-(** Record an externally measured duration (seconds). *)
+(** Record an externally measured duration (seconds); negative values
+    are clamped to zero. *)
 
 (** {1 Snapshots} *)
 

@@ -1,0 +1,266 @@
+type value = Int of int | Float of float | String of string | Bool of bool
+type arg = string * value
+type kind = Span | Instant
+
+type event = {
+  name : string;
+  kind : kind;
+  ts_us : float;
+  dur_us : float;
+  args : arg list;
+}
+
+type format = Chrome | Jsonl
+
+let format_of_path path =
+  if Filename.check_suffix path ".jsonl" then Jsonl else Chrome
+
+(* ----- serialization (via the Report JSON printer, so escaping and
+   float round-tripping are shared with the stats snapshots) ----- *)
+
+let json_of_value = function
+  | Int n -> Report.Int n
+  | Float f -> Report.Float f
+  | String s -> Report.String s
+  | Bool b -> Report.Bool b
+
+let json_of_event e =
+  let args =
+    match e.args with
+    | [] -> []
+    | l -> [ ("args", Report.Obj (List.map (fun (k, v) -> (k, json_of_value v)) l)) ]
+  in
+  Report.Obj
+    ([
+       ("name", Report.String e.name);
+       ("ph", Report.String (match e.kind with Span -> "X" | Instant -> "i"));
+       ("pid", Report.Int 1);
+       ("tid", Report.Int 1);
+       ("ts", Report.Float e.ts_us);
+     ]
+    @ (match e.kind with
+      | Span -> [ ("dur", Report.Float e.dur_us) ]
+      | Instant -> [ ("s", Report.String "t") ] (* thread-scoped instant *))
+    @ args)
+
+let value_of_json = function
+  | Report.Int n -> Int n
+  | Report.Float f -> Float f
+  | Report.String s -> String s
+  | Report.Bool b -> Bool b
+  | Report.Null -> Float Float.nan (* non-finite floats export as null *)
+  | Report.List _ | Report.Obj _ ->
+    failwith "Trace.read_file: composite attribute value"
+
+let event_of_json j =
+  let fields =
+    match j with
+    | Report.Obj fields -> fields
+    | _ -> failwith "Trace.read_file: event is not an object"
+  in
+  let str name =
+    match List.assoc_opt name fields with
+    | Some (Report.String s) -> s
+    | _ -> failwith (Printf.sprintf "Trace.read_file: missing field %S" name)
+  in
+  let num ?default name =
+    match (List.assoc_opt name fields, default) with
+    | Some (Report.Float f), _ -> f
+    | Some (Report.Int n), _ -> float_of_int n
+    | _, Some d -> d
+    | _, None -> failwith (Printf.sprintf "Trace.read_file: missing field %S" name)
+  in
+  let kind =
+    match str "ph" with
+    | "X" -> Span
+    | "i" | "I" -> Instant
+    | ph -> failwith (Printf.sprintf "Trace.read_file: unsupported phase %S" ph)
+  in
+  let args =
+    match List.assoc_opt "args" fields with
+    | None -> []
+    | Some (Report.Obj l) -> List.map (fun (k, v) -> (k, value_of_json v)) l
+    | Some _ -> failwith "Trace.read_file: args is not an object"
+  in
+  {
+    name = str "name";
+    kind;
+    ts_us = num "ts";
+    dur_us = (match kind with Span -> num ~default:0. "dur" | Instant -> 0.);
+    args;
+  }
+
+(* ----- capture state ----- *)
+
+type frame = { f_name : string; f_ts : float; f_args : arg list }
+
+type state = {
+  format : format;
+  oc : out_channel;
+  t0 : float;
+  ring : event array; (* preallocated; [pending] slots await a drain *)
+  mutable pending : int;
+  mutable wrote_any : bool; (* Chrome comma management *)
+  mutable stack : frame list; (* open spans, innermost first *)
+}
+
+let capacity = 1024
+
+let dummy =
+  { name = ""; kind = Instant; ts_us = 0.; dur_us = 0.; args = [] }
+
+let state : state option ref = ref None
+let active () = !state <> None
+
+let drain st =
+  for i = 0 to st.pending - 1 do
+    let line = Report.to_string (json_of_event st.ring.(i)) in
+    (match st.format with
+    | Chrome ->
+      if st.wrote_any then output_string st.oc ",\n";
+      st.wrote_any <- true;
+      output_string st.oc line
+    | Jsonl ->
+      output_string st.oc line;
+      output_char st.oc '\n');
+    st.ring.(i) <- dummy
+  done;
+  st.pending <- 0;
+  (* crash-safety: a JSONL sink is flushed through to disk per drain *)
+  if st.format = Jsonl then flush st.oc
+
+let push st e =
+  st.ring.(st.pending) <- e;
+  st.pending <- st.pending + 1;
+  if st.pending = capacity || st.format = Jsonl then drain st
+
+let now_us st = (Stats.now () -. st.t0) *. 1e6
+
+let end_span st extra =
+  match st.stack with
+  | [] -> () (* unbalanced end; drop rather than crash the run *)
+  | f :: rest ->
+    st.stack <- rest;
+    let dur = Float.max 0. (now_us st -. f.f_ts) in
+    push st
+      {
+        name = f.f_name;
+        kind = Span;
+        ts_us = f.f_ts;
+        dur_us = dur;
+        args = f.f_args @ extra;
+      }
+
+let stop () =
+  match !state with
+  | None -> ()
+  | Some st ->
+    state := None;
+    (* spans still open (exception unwind, at_exit): close them now so
+       the trace stays well-formed *)
+    while st.stack <> [] do
+      end_span st [ ("truncated", Bool true) ]
+    done;
+    drain st;
+    if st.format = Chrome then output_string st.oc "\n]\n";
+    (match close_out st.oc with
+    | () -> ()
+    | exception Sys_error msg ->
+      Format.eprintf "trace: error closing sink: %s@." msg)
+
+let exit_hook = ref false
+
+let start ?format path =
+  stop ();
+  let format = match format with Some f -> f | None -> format_of_path path in
+  match open_out path with
+  | exception Sys_error msg -> Format.eprintf "trace: cannot open sink: %s@." msg
+  | oc ->
+    if format = Chrome then output_string oc "[\n";
+    state :=
+      Some
+        {
+          format;
+          oc;
+          t0 = Stats.now ();
+          ring = Array.make capacity dummy;
+          pending = 0;
+          wrote_any = false;
+          stack = [];
+        };
+    if not !exit_hook then begin
+      exit_hook := true;
+      at_exit stop
+    end
+
+let setup ?file () =
+  match file with
+  | Some path -> start path
+  | None -> (
+    match Sys.getenv_opt "DIAMBOUND_TRACE" with
+    | Some path when path <> "" -> start path
+    | _ -> ())
+
+let emit e = match !state with None -> () | Some st -> push st e
+
+let instant ?(args = []) name =
+  match !state with
+  | None -> ()
+  | Some st ->
+    push st { name; kind = Instant; ts_us = now_us st; dur_us = 0.; args }
+
+let with_span ?(args = []) name f =
+  match !state with
+  | None -> f ()
+  | Some st ->
+    st.stack <- { f_name = name; f_ts = now_us st; f_args = args } :: st.stack;
+    (match f () with
+    | r ->
+      end_span st [];
+      r
+    | exception e ->
+      end_span st [ ("exception", String (Printexc.to_string e)) ];
+      raise e)
+
+let with_span_args ?(args = []) name f =
+  match !state with
+  | None -> fst (f ())
+  | Some st ->
+    st.stack <- { f_name = name; f_ts = now_us st; f_args = args } :: st.stack;
+    (match f () with
+    | r, extra ->
+      end_span st extra;
+      r
+    | exception e ->
+      end_span st [ ("exception", String (Printexc.to_string e)) ];
+      raise e)
+
+(* ----- reading back ----- *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_file path =
+  let text = read_all path in
+  let n = String.length text in
+  let rec first_nonspace i =
+    if i >= n then None
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> first_nonspace (i + 1)
+      | c -> Some c
+  in
+  match first_nonspace 0 with
+  | None -> []
+  | Some '[' -> (
+    match Report.parse text with
+    | Report.List items -> List.map event_of_json items
+    | _ -> failwith "Trace.read_file: expected a trace-event array")
+  | Some _ ->
+    (* JSONL: one event per non-empty line *)
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun l -> event_of_json (Report.parse l))

@@ -1,0 +1,87 @@
+(** Structured tracing: hierarchical wall-clock spans with typed
+    attributes, captured into a preallocated ring buffer and exported
+    as Chrome trace-event JSON (loadable in Perfetto or
+    about://tracing) or as a streaming JSONL file.
+
+    Tracing complements {!Stats}: the registry aggregates (how much
+    time went to SAT overall), a trace preserves the sequence (which
+    BMC depth blew up, which strategy slice burned the budget, what
+    nested under what).  When no trace is active every probe is a
+    cheap no-op — one ref read and a branch — so instrumentation can
+    stay on permanently in the hot layers.
+
+    The process is single-threaded; spans nest on one implicit stack
+    and the exporters emit everything on one pid/tid track. *)
+
+(** {1 Events} *)
+
+type value = Int of int | Float of float | String of string | Bool of bool
+
+type arg = string * value
+(** A typed attribute ("depth" = 7, "verdict" = "unsat", ...). *)
+
+type kind = Span | Instant
+
+type event = {
+  name : string;
+  kind : kind;
+  ts_us : float;  (** start, microseconds since trace start *)
+  dur_us : float;  (** duration in microseconds; 0 for instants *)
+  args : arg list;
+}
+
+(** {1 Capture} *)
+
+type format =
+  | Chrome  (** one JSON array of trace-event objects, written in
+                ring-buffered batches and closed on {!stop} *)
+  | Jsonl  (** one JSON object per line, flushed per event, so a
+               crashed run keeps everything captured so far *)
+
+val format_of_path : string -> format
+(** [Jsonl] for a [.jsonl] suffix, [Chrome] otherwise. *)
+
+val start : ?format:format -> string -> unit
+(** Open a trace sink at the given path (format defaults to
+    {!format_of_path}) and start capturing.  Replaces any active
+    trace.  An unwritable path prints a warning and leaves tracing
+    off — telemetry must not turn a successful run into a failure.
+    The sink is closed automatically at process exit. *)
+
+val setup : ?file:string -> unit -> unit
+(** CLI convenience: [start] on [file] when given, else on the
+    [DIAMBOUND_TRACE] environment variable when set and non-empty,
+    else do nothing. *)
+
+val stop : unit -> unit
+(** Flush open spans and the ring buffer, close the sink.  No-op when
+    no trace is active. *)
+
+val active : unit -> bool
+
+(** {1 Recording} *)
+
+val with_span : ?args:arg list -> string -> (unit -> 'a) -> 'a
+(** Run the function under a named span.  The span is recorded even
+    when the function raises (with an ["exception"] attribute). *)
+
+val with_span_args : ?args:arg list -> string -> (unit -> 'a * arg list) -> 'a
+(** Like {!with_span} for attributes only known at the end — the
+    function returns the result plus trailing attributes (per-call
+    solver deltas, verdicts, after-sizes), appended to [args]. *)
+
+val instant : ?args:arg list -> string -> unit
+(** A point event at the current time. *)
+
+val emit : event -> unit
+(** Record a fully-formed event verbatim, timestamps included.  The
+    recording primitive under {!with_span}/{!instant}; exposed so
+    tests can drive the exporters with chosen timestamps. *)
+
+(** {1 Reading back} *)
+
+val read_file : string -> event list
+(** Parse a trace produced by either exporter (sniffed from the
+    leading character) back into events, in file order.
+    @raise Failure on malformed input, [Sys_error] on unreadable
+    files. *)

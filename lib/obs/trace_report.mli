@@ -1,0 +1,39 @@
+(** Offline analysis of a captured {!Trace}: reconstructs span
+    nesting from timestamp containment and renders the three views
+    that answer "where did the run go" —
+
+    - the top-K span names by {e self} time (own duration minus the
+      duration of directly nested spans),
+    - the critical path (the longest root span, descending into the
+      longest child at each level), and
+    - the per-depth BMC cost table, aggregated from ["bmc.depth"]
+      spans and their [depth]/[conflicts]/[propagations] attributes.
+
+    Pure presentation over {!Trace.event} lists; no global state. *)
+
+type node = {
+  event : Trace.event;
+  children : node list;  (** in start order *)
+  self_us : float;  (** duration minus direct children, clamped at 0 *)
+}
+
+val forest : Trace.event list -> node list
+(** Span nesting reconstructed from timestamp containment (events on
+    one track, as both exporters produce). *)
+
+type depth_row = {
+  depth : int;
+  calls : int;
+  total_us : float;
+  max_us : float;
+  conflicts : int;
+  propagations : int;
+}
+
+val depth_table : Trace.event list -> depth_row list
+(** Per-depth BMC cost, sorted by depth; empty when the trace has no
+    ["bmc.depth"] spans. *)
+
+val pp : ?top:int -> Format.formatter -> Trace.event list -> unit
+(** The full report: summary line, top-[top] (default 12) names by
+    self time, critical path, per-depth table. *)

@@ -45,4 +45,42 @@ case "$rc" in
   *) echo "ci: certified verify smoke exit $rc (FAIL)"; exit 1 ;;
 esac
 
+# Trace smoke: a traced BMC run must leave a parseable trace carrying
+# per-depth solver spans, and trace-report must digest it.  Either
+# definite verdict (0/1) is fine — the stage tests the trace, not the
+# verdict.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+rc=0
+timeout 60 dune exec bin/bmc_tool.exe -- examples/counter3.bench \
+  --trace "$tmpdir/bmc.trace.json" || rc=$?
+case "$rc" in
+  0|1) ;;
+  *) echo "ci: traced bmc run exit $rc (FAIL)"; exit 1 ;;
+esac
+report=$(timeout 60 dune exec bin/diam_tool.exe -- trace-report \
+  "$tmpdir/bmc.trace.json")
+echo "$report" | grep -q "bmc.depth" \
+  || { echo "ci: trace has no bmc.depth spans (FAIL)"; exit 1; }
+echo "$report" | grep -q "per-depth BMC cost" \
+  || { echo "ci: trace-report lost the depth table (FAIL)"; exit 1; }
+echo "ci: trace smoke ok"
+
+# JSONL exporter + env-var activation smoke, through a different tool.
+DIAMBOUND_TRACE="$tmpdir/diam.trace.jsonl" timeout 60 \
+  dune exec bin/diam_tool.exe -- examples/ring5.bench > /dev/null
+timeout 60 dune exec bin/diam_tool.exe -- trace-report \
+  "$tmpdir/diam.trace.jsonl" > /dev/null \
+  || { echo "ci: jsonl trace unreadable (FAIL)"; exit 1; }
+echo "ci: jsonl trace smoke ok"
+
+# Self-baseline: a snapshot diffed against itself is compatible by
+# construction and must show zero regressions at any threshold.
+timeout 300 dune exec bench/main.exe -- baseline \
+  --stats-json "$tmpdir/bench.json" > /dev/null
+timeout 60 dune exec bench/main.exe -- --baseline "$tmpdir/bench.json" \
+  --against "$tmpdir/bench.json" --fail-on-regress 0.1 > /dev/null \
+  || { echo "ci: self-baseline regressed (FAIL)"; exit 1; }
+echo "ci: self-baseline ok"
+
 echo "ci: all green"

@@ -13,6 +13,8 @@ let () =
       ("sat", Test_sat.suite);
       ("proof", Test_proof.suite);
       ("stats", Test_stats.suite);
+      ("trace", Test_trace.suite);
+      ("baseline", Test_baseline.suite);
       ("budget", Test_budget.suite);
       ("bdd", Test_bdd.suite);
       ("textio", Test_textio.suite);

@@ -127,7 +127,49 @@ let test_parse_errors () =
   in
   Helpers.check_bool "truncated object" true (bad "{\"a\": 1");
   Helpers.check_bool "bare word" true (bad "nope");
-  Helpers.check_bool "trailing garbage" true (bad "{} {}")
+  Helpers.check_bool "trailing garbage" true (bad "{} {}");
+  Helpers.check_bool "unterminated string" true (bad "{\"a\": \"x");
+  Helpers.check_bool "bad escape" true (bad "{\"a\": \"\\q\"}");
+  Helpers.check_bool "truncated unicode escape" true (bad "{\"a\": \"\\u00");
+  Helpers.check_bool "truncated list" true (bad "[1, 2");
+  Helpers.check_bool "missing colon" true (bad "{\"a\" 1}");
+  Helpers.check_bool "empty input" true (bad "")
+
+let test_parse_oddities () =
+  (* not rejected, but the behavior is pinned: duplicate keys are both
+     kept and assoc-lookup sees the first; overflowing float literals
+     become infinity (re-emitted as null) *)
+  (match Report.parse "{\"a\": 1, \"a\": 2}" with
+  | Report.Obj fields ->
+    Helpers.check_bool "duplicate keys: first wins" true
+      (List.assoc "a" fields = Report.Int 1);
+    Helpers.check_int "duplicate keys both kept" 2 (List.length fields)
+  | _ -> Alcotest.fail "expected an object");
+  match Report.parse "{\"big\": 1e999}" with
+  | Report.Obj fields ->
+    Helpers.check_bool "1e999 parses to infinity" true
+      (List.assoc "big" fields = Report.Float Float.infinity)
+  | _ -> Alcotest.fail "expected an object"
+
+let test_now_monotonic () =
+  (* satellite: Stats.now must never run backwards (the old
+     gettimeofday base jumped under NTP), so durations derived from it
+     stay non-negative *)
+  let prev = ref (Stats.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Stats.now () in
+    if t < !prev then
+      Alcotest.fail (Printf.sprintf "clock ran backwards: %g -> %g" !prev t);
+    prev := t
+  done
+
+let test_add_span_clamps_negative () =
+  fresh ();
+  Stats.add_span "t.neg" (-0.5);
+  let sp = List.assoc "t.neg" (Stats.snapshot ()).Stats.spans in
+  Helpers.check_bool "negative duration clamped to zero" true
+    (sp.Stats.total_s = 0. && sp.Stats.max_s = 0.);
+  Helpers.check_int "call still counted" 1 sp.Stats.calls
 
 let test_engine_populates_stats () =
   (* end-to-end: a verify run flows through every instrumented layer *)
@@ -176,6 +218,10 @@ let suite =
     Alcotest.test_case "non-finite span roundtrips" `Quick
       test_nonfinite_span_roundtrips;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse oddities" `Quick test_parse_oddities;
+    Alcotest.test_case "now is monotonic" `Quick test_now_monotonic;
+    Alcotest.test_case "add_span clamps negatives" `Quick
+      test_add_span_clamps_negative;
     Alcotest.test_case "engine populates stats" `Quick
       test_engine_populates_stats;
     Alcotest.test_case "pp_human smoke" `Quick test_pp_human_smoke;

@@ -1,0 +1,234 @@
+(* Obs.Trace: exporter round trips, span capture, and the offline
+   trace-report views. *)
+
+module Trace = Obs.Trace
+module Trace_report = Obs.Trace_report
+module Rng = Workload.Rng
+
+let contains text needle =
+  let n = String.length needle and m = String.length text in
+  let rec at i = i + n <= m && (String.sub text i n = needle || at (i + 1)) in
+  at 0
+
+let with_tmp f =
+  let path = Filename.temp_file "diambound_trace" ".trace" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let ev ?(args = []) ?(kind = Trace.Span) name ts dur =
+  { Trace.name; kind; ts_us = ts; dur_us = dur; args }
+
+(* ----- seed-driven event generation (floats built from ints, so
+   both exporters round-trip them exactly) ----- *)
+
+let rand_value rng : Trace.value =
+  match Rng.int rng 4 with
+  | 0 -> Trace.Int (Rng.int rng 1000 - 500)
+  | 1 -> Trace.Float (float_of_int (Rng.int rng 10_000) /. 8.)
+  | 2 ->
+    Trace.String
+      (String.init (Rng.int rng 8) (fun _ ->
+           Char.chr (Char.code 'a' + Rng.int rng 26)))
+  | _ -> Trace.Bool (Rng.bool rng)
+
+let rand_event rng =
+  let kind = if Rng.int rng 4 = 0 then Trace.Instant else Trace.Span in
+  let args =
+    List.init (Rng.int rng 4) (fun i ->
+        (Printf.sprintf "a%d" i, rand_value rng))
+  in
+  ev
+    (Printf.sprintf "e%d" (Rng.int rng 5))
+    (float_of_int (Rng.int rng 1_000_000) /. 4.)
+    (match kind with
+    | Trace.Instant -> 0.
+    | Trace.Span -> float_of_int (Rng.int rng 100_000) /. 4.)
+    ~kind ~args
+
+let rand_events seed =
+  let rng = Rng.create seed in
+  List.init (1 + Rng.int rng 20) (fun _ -> rand_event rng)
+
+let roundtrip format events =
+  with_tmp (fun path ->
+      Trace.start ~format path;
+      List.iter Trace.emit events;
+      Trace.stop ();
+      Trace.read_file path)
+
+let prop_roundtrip format name =
+  Helpers.qtest ~count:60 name
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let events = rand_events seed in
+      roundtrip format events = events)
+
+let prop_chrome_roundtrip = prop_roundtrip Trace.Chrome "chrome roundtrip is exact"
+let prop_jsonl_roundtrip = prop_roundtrip Trace.Jsonl "jsonl roundtrip is exact"
+
+(* ----- unit tests ----- *)
+
+let test_format_of_path () =
+  Helpers.check_bool "jsonl suffix" true
+    (Trace.format_of_path "a/b.jsonl" = Trace.Jsonl);
+  Helpers.check_bool "anything else is Chrome" true
+    (Trace.format_of_path "trace.json" = Trace.Chrome)
+
+let test_disabled_noop () =
+  Trace.stop ();
+  Helpers.check_bool "inactive" false (Trace.active ());
+  Trace.emit (ev "ghost" 0. 1.);
+  Trace.instant "ghost";
+  Helpers.check_int "with_span runs the body" 7
+    (Trace.with_span "s" (fun () -> 7));
+  Helpers.check_int "with_span_args drops the trailing args" 9
+    (Trace.with_span_args "s" (fun () -> (9, [ ("k", Trace.Int 1) ])))
+
+let test_span_capture () =
+  let events =
+    with_tmp (fun path ->
+        Trace.start ~format:Trace.Jsonl path;
+        Helpers.check_bool "active" true (Trace.active ());
+        let v =
+          Trace.with_span "outer"
+            ~args:[ ("who", Trace.String "test") ]
+            (fun () ->
+              Trace.with_span "inner" (fun () -> Trace.instant "tick");
+              42)
+        in
+        Helpers.check_int "value through the span" 42 v;
+        Trace.stop ();
+        Trace.read_file path)
+  in
+  (* completion order: the instant first, then inner, then outer *)
+  match events with
+  | [ tick; inner; outer ] ->
+    Helpers.check Alcotest.(list string) "names" [ "tick"; "inner"; "outer" ]
+      (List.map (fun (e : Trace.event) -> e.Trace.name) events);
+    Helpers.check_bool "instant kind" true (tick.Trace.kind = Trace.Instant);
+    Helpers.check_bool "outer starts first" true
+      (outer.Trace.ts_us <= inner.Trace.ts_us);
+    Helpers.check_bool "inner nests in outer" true
+      (inner.Trace.ts_us +. inner.Trace.dur_us
+      <= outer.Trace.ts_us +. outer.Trace.dur_us +. 1e-3);
+    Helpers.check_bool "outer kept its args" true
+      (List.assoc "who" outer.Trace.args = Trace.String "test")
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 events, got %d" (List.length l))
+
+let test_exception_annotates_span () =
+  let events =
+    with_tmp (fun path ->
+        Trace.start ~format:Trace.Jsonl path;
+        (try Trace.with_span "boom" (fun () -> failwith "kapow")
+         with Failure _ -> ());
+        Trace.stop ();
+        Trace.read_file path)
+  in
+  match events with
+  | [ e ] -> (
+    match List.assoc_opt "exception" e.Trace.args with
+    | Some (Trace.String msg) ->
+      Helpers.check_bool "exception text captured" true (contains msg "kapow")
+    | _ -> Alcotest.fail "no exception attribute")
+  | _ -> Alcotest.fail "expected exactly the failing span"
+
+let test_stop_truncates_open_spans () =
+  (* stop() inside an open span: the span must still be written, marked
+     truncated, so a killed run leaves a well-formed trace *)
+  let events =
+    with_tmp (fun path ->
+        Trace.start ~format:Trace.Chrome path;
+        Trace.with_span "open" (fun () -> Trace.stop ());
+        Trace.read_file path)
+  in
+  match events with
+  | [ e ] ->
+    Helpers.check_bool "span named" true (e.Trace.name = "open");
+    Helpers.check_bool "marked truncated" true
+      (List.assoc_opt "truncated" e.Trace.args = Some (Trace.Bool true))
+  | _ -> Alcotest.fail "expected exactly the truncated span"
+
+let test_unwritable_sink_is_nonfatal () =
+  Trace.start "/nonexistent-dir/trace.json";
+  Helpers.check_bool "tracing stays off" false (Trace.active ());
+  Trace.instant "ignored" (* must not raise *)
+
+let test_forest_self_time () =
+  let events =
+    [
+      ev "root" 0. 100.;
+      ev "child" 10. 30.;
+      ev "child" 50. 20.;
+      ev "late-root" 200. 5.;
+      ev "blip" 15. 0. ~kind:Trace.Instant;
+    ]
+  in
+  match Trace_report.forest events with
+  | [ root; late ] ->
+    Helpers.check_int "two children" 2 (List.length root.Trace_report.children);
+    Helpers.check_bool "root self = 100 - 30 - 20" true
+      (Float.abs (root.Trace_report.self_us -. 50.) < 1e-6);
+    Helpers.check_bool "late root is a root" true
+      (late.Trace_report.event.Trace.name = "late-root")
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 roots, got %d" (List.length l))
+
+let test_depth_table () =
+  let depth_ev d dur ~conflicts ~props ts =
+    ev "bmc.depth" ts dur
+      ~args:
+        [
+          ("depth", Trace.Int d);
+          ("conflicts", Trace.Int conflicts);
+          ("propagations", Trace.Int props);
+        ]
+  in
+  let events =
+    [
+      depth_ev 0 10. ~conflicts:1 ~props:10 0.;
+      depth_ev 1 20. ~conflicts:2 ~props:20 10.;
+      depth_ev 1 40. ~conflicts:3 ~props:30 30.;
+      ev "other" 70. 5.;
+    ]
+  in
+  match Trace_report.depth_table events with
+  | [ d0; d1 ] ->
+    Helpers.check_int "depth 0" 0 d0.Trace_report.depth;
+    Helpers.check_int "depth 0 calls" 1 d0.Trace_report.calls;
+    Helpers.check_int "depth 1 calls" 2 d1.Trace_report.calls;
+    Helpers.check_bool "depth 1 total" true
+      (Float.abs (d1.Trace_report.total_us -. 60.) < 1e-6);
+    Helpers.check_bool "depth 1 max" true
+      (Float.abs (d1.Trace_report.max_us -. 40.) < 1e-6);
+    Helpers.check_int "depth 1 conflicts sum" 5 d1.Trace_report.conflicts;
+    Helpers.check_int "depth 1 propagations sum" 50 d1.Trace_report.propagations
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 rows, got %d" (List.length l))
+
+let test_report_pp_smoke () =
+  let events =
+    [
+      ev "engine.verify" 0. 100.;
+      ev "bmc.depth" 5. 60. ~args:[ ("depth", Trace.Int 3) ];
+    ]
+  in
+  let text = Format.asprintf "%a" (Trace_report.pp ~top:5) events in
+  Helpers.check_bool "summary line" true (contains text "2 spans");
+  Helpers.check_bool "self-time table" true (contains text "engine.verify");
+  Helpers.check_bool "critical path" true (contains text "critical path");
+  Helpers.check_bool "per-depth table" true (contains text "per-depth BMC cost")
+
+let suite =
+  [
+    Alcotest.test_case "format of path" `Quick test_format_of_path;
+    Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "span capture" `Quick test_span_capture;
+    Alcotest.test_case "exception annotates span" `Quick
+      test_exception_annotates_span;
+    Alcotest.test_case "stop truncates open spans" `Quick
+      test_stop_truncates_open_spans;
+    Alcotest.test_case "unwritable sink is nonfatal" `Quick
+      test_unwritable_sink_is_nonfatal;
+    Alcotest.test_case "forest self time" `Quick test_forest_self_time;
+    Alcotest.test_case "depth table" `Quick test_depth_table;
+    Alcotest.test_case "report pp smoke" `Quick test_report_pp_smoke;
+    prop_chrome_roundtrip;
+    prop_jsonl_roundtrip;
+  ]
