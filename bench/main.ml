@@ -5,7 +5,13 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table1  -- a single experiment
-     (table1 | table2 | baseline | verify | ablation | bechamel)
+     (table1 | table2 | baseline | verify | portfolio | ablation | bechamel)
+
+   "portfolio" (opt-in, not part of the default sweep) times the
+   sequential strategy ladder against Engine.verify_portfolio on
+   multi-strategy workloads and records per-design speedup gauges
+   (portfolio.<design>.speedup_x100) in the stats snapshot; --jobs N
+   picks the domain count (default 4).
 
    --certify makes the "verify" experiment certify every verdict
    (counterexample replay + DRUP re-check), so the certification
@@ -248,6 +254,161 @@ let verify_experiment () =
     Format.printf "certification: %d ok, %d failed@." (c "engine.cert_ok")
       (c "engine.cert_fail")
   end
+
+(* ----- Portfolio: sequential ladder vs domain-parallel ladder ----- *)
+
+let portfolio_jobs = ref 4 (* --jobs N *)
+
+(* Multi-strategy workloads, each probing a different portfolio
+   property.  "rank0-cex" concludes at the first rung, so the gap
+   between its two runs is pure scheduler overhead.  "full-ladder"
+   stands every rung down under an unlimited budget, so both runs do
+   identical solver work and the gap is the cost (or, with more than
+   one core, the win) of running it across domains.  "deep-cex" is the
+   budget-hedging workload: its only counterexample sits at depth 255
+   behind a wide frame, so finding it needs far more than a 1/7th
+   slice of the default 4s deadline — the sequential ladder's
+   equal-slice policy starves the probe and burns the whole budget
+   inconclusively, while the portfolio's whole-budget-per-strategy
+   policy lets the probe conclude and cancel the other six rungs.
+   That hedging speedup is a property of the budget semantics, not of
+   the host's core count, so it reproduces on a single-core machine. *)
+type portfolio_workload = {
+  pname : string;
+  pnet : Net.t;
+  pconfig : Core.Engine.config;
+  (* timeout applied when the user gave no --timeout; None = run the
+     workload under the user's (possibly unlimited) budget *)
+  default_timeout_s : float option;
+}
+
+let ladder_config =
+  {
+    Core.Engine.default with
+    Core.Engine.probe_depth = 32;
+    recurrence_limit = 40;
+    induction_max_k = 24;
+  }
+
+(* deep-cex must probe past depth 255 to reach its counterexample *)
+let deep_cex_config = { ladder_config with Core.Engine.probe_depth = 260 }
+
+let portfolio_designs () =
+  let mk ?timeout ?(config = ladder_config) pname build =
+    let pnet = Net.create () in
+    let lit = build pnet in
+    Net.add_target pnet "t" lit;
+    { pname; pnet; pconfig = config; default_timeout_s = timeout }
+  in
+  [
+    mk "rank0-cex" (fun net ->
+        (Workload.Gen.lfsr net ~name:"l" ~bits:12).Workload.Gen.out);
+    mk "full-ladder" (fun net ->
+        let l = Workload.Gen.lfsr net ~name:"l" ~bits:10 in
+        let c = Workload.Gen.counter net ~name:"c" ~bits:6 ~enable:Lit.true_ in
+        Net.add_and net l.Workload.Gen.out c.Workload.Gen.out);
+    mk "deep-cex" ~timeout:4.0 ~config:deep_cex_config (fun net ->
+        (* 40 parallel queues AND an 8-bit counter: the all-ones hit
+           at depth 255 takes ~1.3s of BMC, well past the ~0.57s
+           equal-slice share but well inside the whole deadline *)
+        let c = Workload.Gen.counter net ~name:"c" ~bits:8 ~enable:Lit.true_ in
+        let acc = ref c.Workload.Gen.out in
+        for i = 1 to 40 do
+          let push = Net.add_input net (Printf.sprintf "push%d" i) in
+          let d = Net.add_input net (Printf.sprintf "d%d" i) in
+          let q =
+            Workload.Gen.queue net
+              ~name:(Printf.sprintf "q%d" i)
+              ~depth:8 ~width:1 ~push ~data:[ d ]
+          in
+          acc := Net.add_and net !acc q.Workload.Gen.out
+        done;
+        !acc);
+  ]
+
+(* The contract from Engine.verify_portfolio's docs: either the exact
+   sequential verdict, or a conclusive answer where the sliced
+   sequential ladder ran out of budget — never a different conclusive
+   answer, and never less conclusive. *)
+let consistent seq par =
+  let conclusive = function
+    | Core.Engine.Proved _ | Core.Engine.Violated _ -> true
+    | Core.Engine.Inconclusive _ -> false
+  in
+  match (seq, par) with
+  | Core.Engine.Proved p, Core.Engine.Proved q ->
+    String.equal p.strategy q.strategy && p.depth = q.depth
+  | Core.Engine.Violated p, Core.Engine.Violated q ->
+    String.equal p.strategy q.strategy && p.cex.Bmc.depth = q.cex.Bmc.depth
+  | Core.Engine.Inconclusive p, Core.Engine.Inconclusive q ->
+    (* identical ladders, ignoring wall-clock noise in elapsed_s *)
+    List.equal
+      (fun (x : Core.Engine.attempt) (y : Core.Engine.attempt) ->
+        String.equal x.strategy y.strategy && String.equal x.reason y.reason)
+      p.attempts q.attempts
+  | Core.Engine.Inconclusive _, v -> conclusive v
+  | _ -> false
+
+let brief_verdict = function
+  | Core.Engine.Inconclusive { attempts } ->
+    Printf.sprintf "INCONCLUSIVE (%d strategies stood down)"
+      (List.length attempts)
+  | v -> Format.asprintf "%a" Core.Engine.pp_verdict v
+
+let portfolio () =
+  let jobs = !portfolio_jobs in
+  (* Pool.create clamps to the host's core count; report what actually
+     runs so a single-core box doesn't claim a 4-domain race *)
+  let effective = max 1 (min jobs (Domain.recommended_domain_count ())) in
+  Format.printf
+    "@.== Portfolio: sequential ladder vs portfolio (--jobs %d, %d worker \
+     domain%s) ==@."
+    jobs effective
+    (if effective = 1 then "" else "s");
+  let best = ref 0. in
+  List.iter
+    (fun w ->
+      let budget () =
+        let timeout_s, conflicts, bdd_nodes = !budget_spec in
+        let timeout_s =
+          match timeout_s with Some _ -> timeout_s | None -> w.default_timeout_s
+        in
+        Obs.Budget.create ?timeout_s ?conflicts ?bdd_nodes ()
+      in
+      let t0 = Obs.Stats.now () in
+      let seq =
+        Core.Engine.verify ~config:w.pconfig ~budget:(budget ()) w.pnet
+          ~target:"t"
+      in
+      let t1 = Obs.Stats.now () in
+      let par =
+        Core.Engine.verify_portfolio ~config:w.pconfig ~budget:(budget ())
+          ~jobs w.pnet ~target:"t"
+      in
+      let t2 = Obs.Stats.now () in
+      let seq_ms = 1e3 *. (t1 -. t0) in
+      let par_ms = 1e3 *. (t2 -. t1) in
+      let speedup = seq_ms /. Float.max par_ms 1e-3 in
+      if speedup > !best then best := speedup;
+      let gauge suffix v =
+        Obs.Stats.set_gauge
+          (Printf.sprintf "portfolio.%s.%s" w.pname suffix)
+          (int_of_float v)
+      in
+      gauge "seq_ms" seq_ms;
+      gauge "par_ms" par_ms;
+      gauge "speedup_x100" (100. *. speedup);
+      Format.printf
+        "%-12s seq %8.1fms  %s@.%-12s par %8.1fms  %s@.%-12s speedup %.2fx  \
+         consistent=%b@."
+        w.pname seq_ms (brief_verdict seq) "" par_ms (brief_verdict par) ""
+        speedup (consistent seq par))
+    (portfolio_designs ());
+  (* the acceptance gate: on at least one multi-strategy workload the
+     portfolio must conclude ahead of the sliced sequential ladder *)
+  Obs.Stats.max_gauge "portfolio.best_speedup_x100"
+    (int_of_float (100. *. !best));
+  Format.printf "best speedup: %.2fx@." !best
 
 (* ----- Ablations ----- *)
 
@@ -495,6 +656,10 @@ let split_args args =
       set (fun (t, c, _) -> (t, c, Some (num int_of_string_opt "--bdd-nodes" v)));
       go stats json exps rest
     | "--bdd-nodes" :: [] -> missing "--bdd-nodes"
+    | "--jobs" :: v :: rest ->
+      portfolio_jobs := max 1 (num int_of_string_opt "--jobs" v);
+      go stats json exps rest
+    | "--jobs" :: [] -> missing "--jobs"
     | "--certify" :: rest ->
       certify_flag := true;
       go stats json exps rest
@@ -528,6 +693,7 @@ let () =
         | "table2" -> run (fun () -> ignore (table2 ()))
         | "baseline" -> run baseline
         | "verify" -> run verify_experiment
+        | "portfolio" -> run portfolio
         | "ablation" -> run ablation
         | "bechamel" -> run bechamel
         | other -> Format.eprintf "unknown experiment %s@." other)

@@ -7,11 +7,81 @@
 
 module Net = Netlist.Net
 
-let run file target depth complete certify proof vcd budget stats stats_json
-    trace =
+(* --jobs N without --target: check every target, scheduled across N
+   worker domains.  Result lines print in target order regardless of
+   completion order, so the output is reproducible; the wall-clock
+   budget is shared (one deadline for the whole batch). *)
+let run_all net certify budget jobs complete depth =
+  let targets = Net.targets net in
+  let check (t, tlit) =
+    let depth =
+      if complete then begin
+        let b = Core.Bound.target_named net t in
+        if Core.Sat_bound.is_huge b.Core.Bound.bound then None
+        else Some (b.Core.Bound.bound - 1)
+      end
+      else Some depth
+    in
+    match depth with
+    | None -> `Unknown "no practically useful diameter bound"
+    | Some depth -> (
+      let cert = if certify then Some (Bmc.new_cert ()) else None in
+      match Bmc.check ?cert ~budget net ~target:t ~depth with
+      | Bmc.Hit cex -> (
+        match
+          if certify then Core.Certify.check_cex net tlit cex else Ok ()
+        with
+        | Ok () -> `Hit cex.Bmc.depth
+        | Error msg -> `Unknown ("certification failed: " ^ msg))
+      | Bmc.No_hit d -> (
+        match
+          match cert with
+          | Some c -> Core.Certify.check_no_hit ~depth:d c
+          | None -> Ok ()
+        with
+        | Ok () -> `No_hit d
+        | Error msg -> `Unknown ("certification failed: " ^ msg))
+      | Bmc.Unknown d ->
+        `Unknown (Printf.sprintf "budget exhausted after depth %d" d))
+  in
+  let results =
+    Sched.Pool.with_pool ~jobs (fun pool -> Sched.Pool.map pool check targets)
+  in
+  let tag = if certify then " [certified]" else "" in
+  let violated = ref 0 in
+  let unknown = ref 0 in
+  List.iter2
+    (fun (t, _) r ->
+      match r with
+      | `Hit d ->
+        incr violated;
+        Format.printf "%-24s HIT at time %d%s@." t d tag
+      | `No_hit d -> Format.printf "%-24s no hit to depth %d%s@." t d tag
+      | `Unknown msg ->
+        incr unknown;
+        Format.printf "%-24s UNKNOWN: %s@." t msg)
+    targets results;
+  if !violated > 0 then Cli.violated
+  else if !unknown > 0 then Cli.inconclusive
+  else Cli.ok
+
+let run file target depth complete certify proof vcd budget jobs stats
+    stats_json trace =
   Cli.setup_trace trace;
   let net = Cli.load_bench file in
   let certify = certify || proof <> None in
+  if jobs > 1 && target = None then begin
+    if vcd <> None || proof <> None then
+      Cli.die Cli.usage_error "--vcd/--proof need a single --target";
+    if Net.targets net = [] then
+      Cli.die Cli.usage_error "netlist has no targets";
+    let code = run_all net certify budget jobs complete depth in
+    Obs.Report.emit ~human:stats ?json_file:stats_json
+      ~meta:(Cli.stats_meta ~tool:"bmc-check" ~experiments:[ "bmc" ] budget)
+      ();
+    code
+  end
+  else
   let target =
     match (target, Net.targets net) with
     | Some t, _ -> t
@@ -142,7 +212,7 @@ let cmd =
     (Cmd.info "bmc-check" ~doc)
     Term.(
       const run $ file $ target $ depth $ complete $ Cli.certify
-      $ Cli.proof_file $ vcd $ Cli.budget $ Cli.stats $ Cli.stats_json
-      $ Cli.trace)
+      $ Cli.proof_file $ vcd $ Cli.budget $ Cli.jobs $ Cli.stats
+      $ Cli.stats_json $ Cli.trace)
 
 let () = exit (Cli.main cmd)

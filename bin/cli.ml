@@ -65,6 +65,22 @@ let budget =
   in
   Term.(const make $ timeout_arg $ conflicts_arg $ bdd_nodes_arg)
 
+let jobs =
+  let env =
+    Cmd.Env.info "DIAMBOUND_JOBS"
+      ~doc:"Default worker-domain count when $(b,--jobs) is not given"
+  in
+  let clamp n = max 1 n in
+  Term.(
+    const clamp
+    $ Arg.(
+        value & opt int 1
+        & info [ "jobs"; "j" ] ~env ~docv:"N"
+            ~doc:"Worker domains for parallel execution.  Results are \
+                  deterministic: parallel runs report the same verdicts as \
+                  $(b,--jobs 1) (verdict selection is by strategy rank, \
+                  never wall-clock order), only faster"))
+
 let certify =
   Arg.(
     value & flag

@@ -24,7 +24,8 @@ let load file design =
   | None, None ->
     Cli.die Cli.usage_error "no input: give a .bench file or --design NAME"
 
-let run file design pipeline cutoff recurrence budget stats stats_json trace =
+let run file design pipeline cutoff recurrence budget jobs stats stats_json
+    trace =
   Cli.setup_trace trace;
   let net = load file design in
   Format.printf "netlist: %a@." Net.pp_stats net;
@@ -38,24 +39,38 @@ let run file design pipeline cutoff recurrence budget stats stats_json trace =
   Format.printf "pipeline %s: register classes (CC;AC;MC+QC;GC) %a@."
     report.Core.Pipeline.pipeline Core.Classify.pp_counts
     report.Core.Pipeline.reg_counts;
-  List.iter
-    (fun t ->
+  (* the per-target recurrence baselines are independent SAT problems:
+     with --jobs they compute across worker domains, then print in
+     target order so the output never depends on completion order *)
+  let recurrences =
+    if not recurrence then List.map (fun _ -> None) report.Core.Pipeline.targets
+    else begin
+      let compute t =
+        match List.assoc_opt t.Core.Pipeline.target (Net.targets net) with
+        | Some lit -> Some (Core.Recurrence.compute ~limit:64 ~budget net lit)
+        | None -> None
+      in
+      if jobs > 1 then
+        Sched.Pool.with_pool ~jobs (fun pool ->
+            Sched.Pool.map pool compute report.Core.Pipeline.targets)
+      else List.map compute report.Core.Pipeline.targets
+    end
+  in
+  List.iter2
+    (fun t rec_result ->
       Format.printf "  %-24s bound %-8s (raw %s via %a)" t.Core.Pipeline.target
         (Core.Sat_bound.to_string t.Core.Pipeline.bound)
         (Core.Sat_bound.to_string t.Core.Pipeline.raw_bound)
         Core.Translate.pp t.Core.Pipeline.translator;
-      if recurrence then begin
-        match List.assoc_opt t.Core.Pipeline.target (Net.targets net) with
-        | Some lit ->
-          let r = Core.Recurrence.compute ~limit:64 ~budget net lit in
-          Format.printf "  recurrence %s (%d SAT calls%s)"
-            (Core.Sat_bound.to_string r.Core.Recurrence.bound)
-            r.Core.Recurrence.sat_calls
-            (if r.Core.Recurrence.exhausted then ", budget exhausted" else "")
-        | None -> ()
-      end;
+      (match rec_result with
+      | Some r ->
+        Format.printf "  recurrence %s (%d SAT calls%s)"
+          (Core.Sat_bound.to_string r.Core.Recurrence.bound)
+          r.Core.Recurrence.sat_calls
+          (if r.Core.Recurrence.exhausted then ", budget exhausted" else "")
+      | None -> ());
       Format.printf "@.")
-    report.Core.Pipeline.targets;
+    report.Core.Pipeline.targets recurrences;
   let s = Core.Pipeline.summarize ~cutoff report in
   Format.printf "targets below cutoff %d: %d/%d (avg %.1f)@." cutoff
     s.Core.Pipeline.proved_small s.Core.Pipeline.total s.Core.Pipeline.average;
@@ -93,6 +108,73 @@ let recurrence =
     & info [ "recurrence" ]
         ~doc:"Also compute the recurrence-diameter baseline per target")
 
+(* ----- batch: multi-problem server mode ----- *)
+
+(* Every (netlist, target) pair across the given files becomes one
+   job; jobs run the full sequential strategy ladder and are scheduled
+   across the pool for throughput (problem-level parallelism, in
+   contrast to diam-verify's strategy-level portfolio).  Verdict lines
+   print in input order; the wall-clock budget is one shared deadline
+   for the whole batch. *)
+let run_batch files cutoff certify budget jobs stats stats_json trace =
+  Cli.setup_trace trace;
+  let problems =
+    List.concat_map
+      (fun file ->
+        let net = Cli.load_bench file in
+        List.map (fun (t, _) -> (file, net, t)) (Net.targets net))
+      files
+  in
+  if problems = [] then Cli.die Cli.usage_error "no targets in any input";
+  let config = { Core.Engine.default with Core.Engine.cutoff } in
+  let solve (_, net, t) =
+    Core.Engine.verify ~config ~certify ~budget net ~target:t
+  in
+  let verdicts =
+    if jobs > 1 then
+      Sched.Pool.with_pool ~jobs (fun pool ->
+          Sched.Pool.map pool solve problems)
+    else List.map solve problems
+  in
+  let violated = ref 0 in
+  let inconclusive = ref 0 in
+  List.iter2
+    (fun (file, _, t) v ->
+      Format.printf "%s:%-24s %a@." file t Core.Engine.pp_verdict v;
+      match v with
+      | Core.Engine.Violated _ -> incr violated
+      | Core.Engine.Inconclusive _ -> incr inconclusive
+      | Core.Engine.Proved _ -> ())
+    problems verdicts;
+  Obs.Report.emit ~human:stats ?json_file:stats_json
+    ~meta:(Cli.stats_meta ~tool:"diam" ~experiments:[ "batch" ] budget)
+    ();
+  if !violated > 0 then Cli.violated
+  else if !inconclusive > 0 then Cli.inconclusive
+  else Cli.ok
+
+let batch_cmd =
+  let files =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:".bench netlists (every target of each)")
+  in
+  let cutoff =
+    Arg.(
+      value & opt int 50
+      & info [ "cutoff" ] ~docv:"N"
+          ~doc:"Largest diameter bound considered BMC-dischargeable")
+  in
+  let doc =
+    "verify many (netlist, target) problems across a shared worker pool; \
+     verdict lines are in input order and identical to a sequential run"
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const run_batch $ files $ cutoff $ Cli.certify $ Cli.budget $ Cli.jobs
+      $ Cli.stats $ Cli.stats_json $ Cli.trace)
+
 (* ----- trace-report: offline analysis of a --trace capture ----- *)
 
 let run_trace_report file top =
@@ -125,20 +207,22 @@ let trace_report_cmd =
 
 let doc =
   "structural diameter bounds via transformation pipelines (also: diam \
-   trace-report TRACE)"
+   batch FILES.., diam trace-report TRACE)"
 
 let main_cmd =
   Cmd.v (Cmd.info "diam" ~doc)
     Term.(
       const run $ file $ design $ pipeline $ cutoff $ recurrence $ Cli.budget
-      $ Cli.stats $ Cli.stats_json $ Cli.trace)
+      $ Cli.jobs $ Cli.stats $ Cli.stats_json $ Cli.trace)
 
 (* a subcommand can't coexist with a default term taking positional
    args in one cmdliner group (FILE would parse as a command name), so
    dispatch on the first token ourselves *)
 let cmd =
-  if Array.length Sys.argv > 1 && Sys.argv.(1) = "trace-report" then
-    Cmd.group (Cmd.info "diam" ~doc) [ trace_report_cmd ]
+  if
+    Array.length Sys.argv > 1
+    && (Sys.argv.(1) = "trace-report" || Sys.argv.(1) = "batch")
+  then Cmd.group (Cmd.info "diam" ~doc) [ trace_report_cmd; batch_cmd ]
   else main_cmd
 
 let () = exit (Cli.main cmd)

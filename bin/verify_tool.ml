@@ -7,7 +7,8 @@
 
 module Net = Netlist.Net
 
-let run file target cutoff certify proof vcd budget stats stats_json trace =
+let run file target cutoff certify proof vcd budget jobs stats stats_json trace
+    =
   Cli.setup_trace trace;
   let net = Cli.load_bench file in
   let certify = certify || proof <> None in
@@ -22,6 +23,11 @@ let run file target cutoff certify proof vcd budget stats stats_json trace =
   let inconclusive = ref 0 in
   (* each target gets a fair share of whatever deadline remains *)
   let remaining = ref (List.length targets) in
+  (* one pool shared by every target's portfolio run; verdicts and
+     verdict lines are identical to --jobs 1 (rank-based selection) *)
+  let pool = if jobs > 1 then Some (Sched.Pool.create ~jobs ()) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Sched.Pool.shutdown pool)
+  @@ fun () ->
   List.iter
     (fun t ->
       let slice = Obs.Budget.slice budget ~ways:(max 1 !remaining) in
@@ -39,8 +45,8 @@ let run file target cutoff certify proof vcd budget stats stats_json trace =
               then Format.printf "  proof: %s@." path)
       in
       let verdict =
-        Core.Engine.verify ~config ~budget:slice ~certify ?proof_sink net
-          ~target:t
+        Core.Engine.verify_portfolio ~config ~budget:slice ~certify ?proof_sink
+          ?pool ~jobs net ~target:t
       in
       Format.printf "%-24s %a%s@." t Core.Engine.pp_verdict verdict
         (match verdict with
@@ -100,6 +106,6 @@ let cmd =
     (Cmd.info "diam-verify" ~doc)
     Term.(
       const run $ file $ target $ cutoff $ Cli.certify $ Cli.proof_file $ vcd
-      $ Cli.budget $ Cli.stats $ Cli.stats_json $ Cli.trace)
+      $ Cli.budget $ Cli.jobs $ Cli.stats $ Cli.stats_json $ Cli.trace)
 
 let () = exit (Cli.main cmd)

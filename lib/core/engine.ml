@@ -63,26 +63,60 @@ let budget_reason = "budget-exhausted"
 (* prefix of every certification-failure stand-down reason *)
 let cert_fail_reason = "certification-failed"
 
-let n_strategies = 7
-
 let () = Stats.declare [ "engine.cert_ok"; "engine.cert_fail" ]
 
-let verify ?(config = default) ?(budget = Obs.Budget.unlimited) ?(certify = false)
-    ?proof_sink net ~target =
-  if not (List.mem_assoc target (Net.targets net)) then
-    invalid_arg ("Engine.verify: unknown target " ^ target);
-  (* a proof sink only ever receives certified proofs *)
-  let certify = certify || proof_sink <> None in
-  let tlit = List.assoc target (Net.targets net) in
+(* ----- one strategy, run in isolation -----
+
+   A strategy body receives scoped callbacks rather than touching any
+   verify-wide state, so the same ladder runs identically whether the
+   strategies execute sequentially on one domain or as independent
+   portfolio jobs across several. *)
+
+type callbacks = {
+  sbudget : Obs.Budget.t;  (* this strategy's slice *)
+  certifying : bool;
+  sink : (Sat.Proof.t -> unit) option;
+  stand_down : string -> unit;
+  discharge :
+    ?translator:Translate.t ->
+    ?pre:(unit -> (unit, string) result) ->
+    Sat_bound.t ->
+    unit;
+  certified : (unit -> (unit, string) result) -> verdict -> unit;
+}
+
+type strategy = string * (callbacks -> unit)
+
+(* Run one strategy under [slice], collecting its verdict (if any) and
+   the attempts it recorded.  The [Done] unwind never escapes: the
+   portfolio path must not have exceptions crossing domain boundaries,
+   and the sequential path decides itself when to stop. *)
+let run_strategy ~config ~certify ~proof_sink ~slice net ~target ~tlit
+    ((name, body) : strategy) =
+  let t0 = Stats.now () in
   let attempts = ref [] in
-  let remaining = ref n_strategies in
+  let bound_seen = ref None in
+  let stand_down reason =
+    if String.equal reason budget_reason then begin
+      Stats.count "engine.budget_exhausted" 1;
+      Obs.Budget.note_exhausted "engine"
+    end;
+    attempts :=
+      {
+        strategy = name;
+        reason;
+        elapsed_s = Stats.now () -. t0;
+        bound = !bound_seen;
+      }
+      :: !attempts
+  in
   (* Gate a candidate verdict behind its certification.  Certification
      is a safety net, so any failure — including an exception escaping
      a checker — downgrades the candidate to a stand-down with the
      distinguished reason and lets the ladder continue; it never
      crashes the engine and never lets an uncertified Proved/Violated
      through. *)
-  let certified ~stand_down check verdict =
+  let certified check verdict =
     if not certify then raise (Done verdict)
     else begin
       match try check () with exn -> Error (Printexc.to_string exn) with
@@ -94,91 +128,78 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) ?(certify = fals
         stand_down (cert_fail_reason ^ ": " ^ msg)
     end
   in
-  (* each strategy runs under a Stats span and receives scoped
-     [stand_down]/[discharge] callbacks so the recorded attempt carries
-     its elapsed time and the translated bound it computed, if any.
-
-     Deadlines degrade gracefully: every strategy gets an equal slice
-     of whatever wall-clock remains (so an early strategy overrunning
-     only squeezes, never starves, the later ones), a strategy whose
-     slice runs out records the distinguished [budget_reason] attempt
-     and the ladder continues — partial results such as computed bounds
-     are kept in the attempt log either way. *)
-  let strategy name f =
-    let slice = Obs.Budget.slice budget ~ways:(max 1 !remaining) in
-    let t0 = Stats.now () in
-    let bound_seen = ref None in
-    let stand_down reason =
-      if String.equal reason budget_reason then begin
-        Stats.count "engine.budget_exhausted" 1;
-        Obs.Budget.note_exhausted "engine"
-      end;
-      attempts :=
-        {
-          strategy = name;
-          reason;
-          elapsed_s = Stats.now () -. t0;
-          bound = !bound_seen;
-        }
-        :: !attempts
-    in
-    (* a finite translated bound below the cutoff closes the problem
-       with one complete BMC run on the ORIGINAL netlist.  [raw] is
-       the bound as computed on the transformed netlist; [translator]
-       carries it back.  Under certification the arithmetic is
-       recomputed from the recorded theorem steps and the discharge
-       run's Unsat answers re-check through the DRUP verifier. *)
-    let discharge ?(translator = Translate.identity) ?(pre = fun () -> Ok ())
-        raw =
-      let bound = translator.Translate.apply raw in
-      bound_seen := Some bound;
-      if Sat_bound.is_huge bound then
-        stand_down "no practically useful bound"
-      else if bound >= config.cutoff then
-        stand_down
-          (Printf.sprintf "bound %s above cutoff %d"
-             (Sat_bound.to_string bound) config.cutoff)
-      else begin
-        (* [pre] certifies the raw bound's own provenance when it came
-           from a SAT answer (recurrence); arithmetic re-derives the
-           translation *)
-        let arithmetic () =
-          match pre () with
-          | Error _ as e -> e
-          | Ok () ->
-            Certify.check_translation ~raw ~steps:translator.Translate.steps
-              ~claimed:bound
-        in
-        match discharge_depth bound with
-        | None ->
-          (* bound 0: the target is unhittable at any depth; the
-             BMC run would be vacuous (and [depth - 1] negative) *)
-          certified ~stand_down arithmetic
-            (Proved { strategy = name; depth = 0 })
-        | Some depth -> (
-          let cert = if certify then Some (Bmc.new_cert ()) else None in
-          match Bmc.check ?cert ~budget:slice net ~target ~depth with
-          | Bmc.No_hit d ->
-            certified ~stand_down
-              (fun () ->
-                match arithmetic () with
-                | Error _ as e -> e
-                | Ok () -> (
-                  let c = Option.get cert in
-                  match Certify.check_no_hit ~depth:d c with
-                  | Ok () ->
-                    Option.iter (fun sink -> sink c.Bmc.proof) proof_sink;
-                    Ok ()
-                  | Error _ as e -> e))
-              (Proved { strategy = name; depth = d })
-          | Bmc.Hit cex ->
-            certified ~stand_down
-              (fun () -> Certify.check_cex net tlit cex)
-              (Violated { strategy = name; cex })
-          | Bmc.Unknown _ -> stand_down budget_reason)
-      end
-    in
-    if Obs.Budget.expired budget then stand_down budget_reason
+  (* a finite translated bound below the cutoff closes the problem
+     with one complete BMC run on the ORIGINAL netlist.  [raw] is
+     the bound as computed on the transformed netlist; [translator]
+     carries it back.  Under certification the arithmetic is
+     recomputed from the recorded theorem steps and the discharge
+     run's Unsat answers re-check through the DRUP verifier. *)
+  let discharge ?(translator = Translate.identity) ?(pre = fun () -> Ok ())
+      raw =
+    let bound = translator.Translate.apply raw in
+    bound_seen := Some bound;
+    if Sat_bound.is_huge bound then stand_down "no practically useful bound"
+    else if bound >= config.cutoff then
+      stand_down
+        (Printf.sprintf "bound %s above cutoff %d" (Sat_bound.to_string bound)
+           config.cutoff)
+    else begin
+      (* [pre] certifies the raw bound's own provenance when it came
+         from a SAT answer (recurrence); arithmetic re-derives the
+         translation *)
+      let arithmetic () =
+        match pre () with
+        | Error _ as e -> e
+        | Ok () ->
+          Certify.check_translation ~raw ~steps:translator.Translate.steps
+            ~claimed:bound
+      in
+      match discharge_depth bound with
+      | None ->
+        (* bound 0: the target is unhittable at any depth; the
+           BMC run would be vacuous (and [depth - 1] negative) *)
+        certified arithmetic (Proved { strategy = name; depth = 0 })
+      | Some depth -> (
+        let cert = if certify then Some (Bmc.new_cert ()) else None in
+        match Bmc.check ?cert ~budget:slice net ~target ~depth with
+        | Bmc.No_hit d ->
+          certified
+            (fun () ->
+              match arithmetic () with
+              | Error _ as e -> e
+              | Ok () -> (
+                let c = Option.get cert in
+                match Certify.check_no_hit ~depth:d c with
+                | Ok () ->
+                  Option.iter (fun sink -> sink c.Bmc.proof) proof_sink;
+                  Ok ()
+                | Error _ as e -> e))
+            (Proved { strategy = name; depth = d })
+        | Bmc.Hit cex ->
+          certified
+            (fun () -> Certify.check_cex net tlit cex)
+            (Violated { strategy = name; cex })
+        | Bmc.Unknown _ -> stand_down budget_reason)
+    end
+  in
+  let cb =
+    {
+      sbudget = slice;
+      certifying = certify;
+      sink = proof_sink;
+      stand_down;
+      discharge;
+      certified;
+    }
+  in
+  let verdict =
+    (* an exhausted (or cancelled) budget still records an attempt: a
+       strategy is never skipped silently, no matter how degenerate
+       the slice an overrunning predecessor left it *)
+    if Obs.Budget.expired slice then begin
+      stand_down budget_reason;
+      None
+    end
     else begin
       (* one trace span per strategy slice; the Done unwind that
          delivers a verdict is converted to an "outcome" attribute
@@ -187,10 +208,7 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) ?(certify = fals
         Obs.Trace.with_span_args ("engine." ^ name)
           ~args:[ ("target", Obs.Trace.String target) ]
           (fun () ->
-            match
-              Stats.time ("engine." ^ name) (fun () ->
-                  f ~budget:slice ~stand_down ~discharge)
-            with
+            match Stats.time ("engine." ^ name) (fun () -> body cb) with
             | () -> (None, [ ("outcome", Obs.Trace.String "stand-down") ])
             | exception Done v ->
               let outcome =
@@ -201,167 +219,244 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) ?(certify = fals
               in
               (Some v, [ ("outcome", Obs.Trace.String outcome) ]))
       in
-      match won with Some v -> raise (Done v) | None -> ()
-    end;
-    decr remaining
+      (* a body that returned without concluding or standing down
+         would vanish from the attempt log; make the gap visible *)
+      if won = None && !attempts = [] then
+        stand_down "stood down without a recorded reason";
+      won
+    end
   in
+  (verdict, List.rev !attempts)
+
+(* ----- the strategy ladder -----
+
+   [rv] is the register-based view (the phase abstraction for
+   latch-based designs, translated by Theorem 3), lazy so the
+   sequential path only pays for it when the shallow probe fails.
+   Portfolio execution forces it before submitting jobs: OCaml 5's
+   [Lazy] is not safe to force concurrently, but reading an
+   already-forced suspension is. *)
+let ladder ~config net ~target ~tlit ~rv : strategy list =
   let latch_based = Net.num_latches net > 0 in
+  [
+    (* 1. shallow probe *)
+    ( "bmc-probe",
+      fun cb ->
+        match
+          Bmc.check ~budget:cb.sbudget net ~target ~depth:config.probe_depth
+        with
+        | Bmc.Hit cex ->
+          cb.certified
+            (fun () -> Certify.check_cex net tlit cex)
+            (Violated { strategy = "bmc-probe"; cex })
+        | Bmc.No_hit _ -> cb.stand_down "no shallow counterexample"
+        | Bmc.Unknown _ -> cb.stand_down budget_reason );
+    (* 2. structural bound, untransformed *)
+    ( "structural-bound",
+      fun cb ->
+        let reg_view, fold = Lazy.force rv in
+        match List.assoc_opt target (Net.targets reg_view) with
+        | None -> cb.stand_down "target lost by phase abstraction"
+        | Some l ->
+          cb.discharge ~translator:fold (Bound.target reg_view l).Bound.bound
+    );
+    (* 3. COM (Theorem 1) *)
+    ( "com+bound",
+      fun cb ->
+        let reg_view, fold = Lazy.force rv in
+        let com_report = Pipeline.com ~budget:cb.sbudget reg_view in
+        match
+          List.find_opt
+            (fun t -> String.equal t.Pipeline.target target)
+            com_report.Pipeline.targets
+        with
+        | Some t ->
+          cb.discharge
+            ~translator:(Translate.compose fold t.Pipeline.translator)
+            t.Pipeline.raw_bound
+        | None -> cb.stand_down "target reduced away" );
+    (* 4. COM,RET,COM (Theorems 1 + 2) *)
+    ( "com-ret-com+bound",
+      fun cb ->
+        let reg_view, fold = Lazy.force rv in
+        let crc_report = Pipeline.com_ret_com ~budget:cb.sbudget reg_view in
+        match
+          List.find_opt
+            (fun t -> String.equal t.Pipeline.target target)
+            crc_report.Pipeline.targets
+        with
+        | Some t ->
+          cb.discharge
+            ~translator:(Translate.compose fold t.Pipeline.translator)
+            t.Pipeline.raw_bound
+        | None -> cb.stand_down "target reduced away" );
+    (* 5. target enlargement (Theorem 4) — register view only, and the
+       hittability bound is still a valid completeness threshold for
+       this very target *)
+    ( "enlargement+bound",
+      fun cb ->
+        if latch_based then cb.stand_down "latch-based design"
+        else begin
+          match
+            Transform.Enlarge.run ~reg_limit:config.enlargement_reg_limit
+              ?max_nodes:(Obs.Budget.bdd_nodes cb.sbudget) net ~target
+              ~k:config.enlargement_k
+          with
+          | Error (Transform.Enlarge.Unsuitable reason) -> cb.stand_down reason
+          | Error (Transform.Enlarge.Node_limit _) ->
+            cb.stand_down budget_reason
+          | Ok r ->
+            if r.Transform.Enlarge.empty then begin
+              (* every hit, if any, occurs within the first k steps;
+                 clamp so k = 0 (nothing hittable at all) does not
+                 turn into a depth -1 run.  Note the BDD emptiness
+                 result itself has no certificate — only this BMC
+                 run is certified *)
+              let cert =
+                if cb.certifying then Some (Bmc.new_cert ()) else None
+              in
+              match
+                Bmc.check ?cert ~budget:cb.sbudget net ~target
+                  ~depth:(max 0 (config.enlargement_k - 1))
+              with
+              | Bmc.No_hit d ->
+                cb.certified
+                  (fun () ->
+                    let c = Option.get cert in
+                    match Certify.check_no_hit ~depth:d c with
+                    | Ok () ->
+                      Option.iter (fun sink -> sink c.Bmc.proof) cb.sink;
+                      Ok ()
+                    | Error _ as e -> e)
+                  (Proved { strategy = "enlargement-empty"; depth = d })
+              | Bmc.Hit cex ->
+                cb.certified
+                  (fun () -> Certify.check_cex net tlit cex)
+                  (Violated { strategy = "enlargement-empty"; cex })
+              | Bmc.Unknown _ -> cb.stand_down budget_reason
+            end
+            else begin
+              let name =
+                Printf.sprintf "%s#enl%d" target config.enlargement_k
+              in
+              let b = Bound.target_named r.Transform.Enlarge.net name in
+              cb.discharge
+                ~translator:
+                  (Translate.target_enlargement ~k:config.enlargement_k)
+                b.Bound.bound
+            end
+        end );
+    (* 6. bounded-COI recurrence diameter *)
+    ( "recurrence-bcoi",
+      fun cb ->
+        let reg_view, fold = Lazy.force rv in
+        match List.assoc_opt target (Net.targets reg_view) with
+        | None -> cb.stand_down "target lost by phase abstraction"
+        | Some l ->
+          let rcert =
+            if cb.certifying then Some (Recurrence.new_cert ()) else None
+          in
+          let r =
+            Recurrence.compute ~limit:config.recurrence_limit ~bounded_coi:true
+              ~budget:cb.sbudget ?cert:rcert reg_view l
+          in
+          if r.Recurrence.exhausted then cb.stand_down budget_reason
+          else
+            let pre () =
+              match rcert with
+              | Some c -> Certify.check_recurrence c
+              | None -> Ok ()
+            in
+            cb.discharge ~translator:fold ~pre r.Recurrence.bound );
+    (* 7. temporal induction *)
+    ( "k-induction",
+      fun cb ->
+        if latch_based then cb.stand_down "latch-based design"
+        else begin
+          let icert =
+            if cb.certifying then Some (Induction.new_cert ()) else None
+          in
+          match
+            Induction.prove ~max_k:config.induction_max_k ~budget:cb.sbudget
+              ?cert:icert net ~target
+          with
+          | Induction.Proved k ->
+            cb.certified
+              (fun () ->
+                let c = Option.get icert in
+                match Certify.check_induction ~k c with
+                | Ok () ->
+                  Option.iter
+                    (fun sink ->
+                      match c.Induction.base with
+                      | Some bc -> sink bc.Bmc.proof
+                      | None -> ())
+                    cb.sink;
+                  Ok ()
+                | Error _ as e -> e)
+              (Proved { strategy = "k-induction"; depth = k })
+          | Induction.Cex cex ->
+            cb.certified
+              (fun () -> Certify.check_cex net tlit cex)
+              (Violated { strategy = "k-induction"; cex })
+          | Induction.Unknown k ->
+            cb.stand_down (Printf.sprintf "gave up at k = %d" k)
+          | Induction.Exhausted _ -> cb.stand_down budget_reason
+        end );
+  ]
+
+(* ----- drivers ----- *)
+
+let check_target net target =
+  if not (List.mem_assoc target (Net.targets net)) then
+    invalid_arg ("Engine.verify: unknown target " ^ target);
+  List.assoc target (Net.targets net)
+
+let reg_view_of net =
+  lazy
+    (if Net.num_latches net > 0 then Pipeline.phase_front net
+     else (net, Translate.identity))
+
+let count_verdict verdict =
+  match verdict with
+  | Proved _ -> Stats.count "engine.proved" 1
+  | Violated _ -> Stats.count "engine.violated" 1
+  | Inconclusive _ -> Stats.count "engine.inconclusive" 1
+
+let outcome_name = function
+  | Proved _ -> "proved"
+  | Violated _ -> "violated"
+  | Inconclusive _ -> "inconclusive"
+
+let verify ?(config = default) ?(budget = Obs.Budget.unlimited)
+    ?(certify = false) ?proof_sink net ~target =
+  let tlit = check_target net target in
+  (* a proof sink only ever receives certified proofs *)
+  let certify = certify || proof_sink <> None in
+  let rv = reg_view_of net in
+  let strategies = ladder ~config net ~target ~tlit ~rv in
+  let attempts = ref [] in
+  let remaining = ref (List.length strategies) in
   let run_ladder () =
     try
-      (* 1. shallow probe *)
-      strategy "bmc-probe" (fun ~budget ~stand_down ~discharge:_ ->
-          match Bmc.check ~budget net ~target ~depth:config.probe_depth with
-          | Bmc.Hit cex ->
-            certified ~stand_down
-              (fun () -> Certify.check_cex net tlit cex)
-              (Violated { strategy = "bmc-probe"; cex })
-          | Bmc.No_hit _ -> stand_down "no shallow counterexample"
-          | Bmc.Unknown _ -> stand_down budget_reason);
-      (* bounds are computed on the register-based view; for latch
-         designs that is the phase abstraction, translated by Theorem 3 *)
-      let reg_view, fold =
-        if latch_based then begin
-          let abstracted, translator = Pipeline.phase_front net in
-          (abstracted, translator)
-        end
-        else (net, Translate.identity)
-      in
-      (* 2. structural bound, untransformed *)
-      strategy "structural-bound" (fun ~budget:_ ~stand_down ~discharge ->
-          match List.assoc_opt target (Net.targets reg_view) with
-          | None -> stand_down "target lost by phase abstraction"
-          | Some l ->
-            discharge ~translator:fold (Bound.target reg_view l).Bound.bound);
-      (* 3. COM (Theorem 1) *)
-      strategy "com+bound" (fun ~budget ~stand_down ~discharge ->
-          let com_report = Pipeline.com ~budget reg_view in
-          match
-            List.find_opt
-              (fun t -> String.equal t.Pipeline.target target)
-              com_report.Pipeline.targets
-          with
-          | Some t ->
-            discharge
-              ~translator:(Translate.compose fold t.Pipeline.translator)
-              t.Pipeline.raw_bound
-          | None -> stand_down "target reduced away");
-      (* 4. COM,RET,COM (Theorems 1 + 2) *)
-      strategy "com-ret-com+bound" (fun ~budget ~stand_down ~discharge ->
-          let crc_report = Pipeline.com_ret_com ~budget reg_view in
-          match
-            List.find_opt
-              (fun t -> String.equal t.Pipeline.target target)
-              crc_report.Pipeline.targets
-          with
-          | Some t ->
-            discharge
-              ~translator:(Translate.compose fold t.Pipeline.translator)
-              t.Pipeline.raw_bound
-          | None -> stand_down "target reduced away");
-      (* 5. target enlargement (Theorem 4) — register view only, and the
-         hittability bound is still a valid completeness threshold for
-         this very target *)
-      strategy "enlargement+bound" (fun ~budget ~stand_down ~discharge ->
-          if latch_based then stand_down "latch-based design"
-          else begin
-            match
-              Transform.Enlarge.run ~reg_limit:config.enlargement_reg_limit
-                ?max_nodes:(Obs.Budget.bdd_nodes budget) net ~target
-                ~k:config.enlargement_k
-            with
-            | Error (Transform.Enlarge.Unsuitable reason) -> stand_down reason
-            | Error (Transform.Enlarge.Node_limit _) ->
-              stand_down budget_reason
-            | Ok r ->
-              if r.Transform.Enlarge.empty then begin
-                (* every hit, if any, occurs within the first k steps;
-                   clamp so k = 0 (nothing hittable at all) does not
-                   turn into a depth -1 run.  Note the BDD emptiness
-                   result itself has no certificate — only this BMC
-                   run is certified *)
-                let cert = if certify then Some (Bmc.new_cert ()) else None in
-                match
-                  Bmc.check ?cert ~budget net ~target
-                    ~depth:(max 0 (config.enlargement_k - 1))
-                with
-                | Bmc.No_hit d ->
-                  certified ~stand_down
-                    (fun () ->
-                      let c = Option.get cert in
-                      match Certify.check_no_hit ~depth:d c with
-                      | Ok () ->
-                        Option.iter (fun sink -> sink c.Bmc.proof) proof_sink;
-                        Ok ()
-                      | Error _ as e -> e)
-                    (Proved { strategy = "enlargement-empty"; depth = d })
-                | Bmc.Hit cex ->
-                  certified ~stand_down
-                    (fun () -> Certify.check_cex net tlit cex)
-                    (Violated { strategy = "enlargement-empty"; cex })
-                | Bmc.Unknown _ -> stand_down budget_reason
-              end
-              else begin
-                let name =
-                  Printf.sprintf "%s#enl%d" target config.enlargement_k
-                in
-                let b = Bound.target_named r.Transform.Enlarge.net name in
-                discharge
-                  ~translator:
-                    (Translate.target_enlargement ~k:config.enlargement_k)
-                  b.Bound.bound
-              end
-          end);
-      (* 6. bounded-COI recurrence diameter *)
-      strategy "recurrence-bcoi" (fun ~budget ~stand_down ~discharge ->
-          match List.assoc_opt target (Net.targets reg_view) with
-          | None -> stand_down "target lost by phase abstraction"
-          | Some l ->
-            let rcert = if certify then Some (Recurrence.new_cert ()) else None in
-            let r =
-              Recurrence.compute ~limit:config.recurrence_limit
-                ~bounded_coi:true ~budget ?cert:rcert reg_view l
-            in
-            if r.Recurrence.exhausted then stand_down budget_reason
-            else
-              let pre () =
-                match rcert with
-                | Some c -> Certify.check_recurrence c
-                | None -> Ok ()
-              in
-              discharge ~translator:fold ~pre r.Recurrence.bound);
-      (* 7. temporal induction *)
-      strategy "k-induction" (fun ~budget ~stand_down ~discharge:_ ->
-          if latch_based then stand_down "latch-based design"
-          else begin
-            let icert = if certify then Some (Induction.new_cert ()) else None in
-            match
-              Induction.prove ~max_k:config.induction_max_k ~budget ?cert:icert
-                net ~target
-            with
-            | Induction.Proved k ->
-              certified ~stand_down
-                (fun () ->
-                  let c = Option.get icert in
-                  match Certify.check_induction ~k c with
-                  | Ok () ->
-                    Option.iter
-                      (fun sink ->
-                        match c.Induction.base with
-                        | Some bc -> sink bc.Bmc.proof
-                        | None -> ())
-                      proof_sink;
-                    Ok ()
-                  | Error _ as e -> e)
-                (Proved { strategy = "k-induction"; depth = k })
-            | Induction.Cex cex ->
-              certified ~stand_down
-                (fun () -> Certify.check_cex net tlit cex)
-                (Violated { strategy = "k-induction"; cex })
-            | Induction.Unknown k ->
-              stand_down (Printf.sprintf "gave up at k = %d" k)
-            | Induction.Exhausted _ -> stand_down budget_reason
-          end);
-      Inconclusive { attempts = List.rev !attempts }
+      List.iter
+        (fun s ->
+          (* Deadlines degrade gracefully: every strategy gets an
+             equal slice of whatever wall-clock remains (so an early
+             strategy overrunning only squeezes, never starves, the
+             later ones — [slice] clamps an overdrawn remainder, and
+             [run_strategy] records a budget attempt on a dead slice
+             rather than skipping). *)
+          let slice = Obs.Budget.slice budget ~ways:(max 1 !remaining) in
+          let verdict, atts =
+            run_strategy ~config ~certify ~proof_sink ~slice net ~target ~tlit
+              s
+          in
+          attempts := !attempts @ atts;
+          decr remaining;
+          match verdict with Some v -> raise (Done v) | None -> ())
+        strategies;
+      Inconclusive { attempts = !attempts }
     with Done v -> v
   in
   let verdict =
@@ -369,16 +464,100 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited) ?(certify = fals
       ~args:[ ("target", Obs.Trace.String target) ]
       (fun () ->
         let v = run_ladder () in
-        let outcome =
-          match v with
-          | Proved _ -> "proved"
-          | Violated _ -> "violated"
-          | Inconclusive _ -> "inconclusive"
-        in
-        (v, [ ("verdict", Obs.Trace.String outcome) ]))
+        (v, [ ("verdict", Obs.Trace.String (outcome_name v)) ]))
   in
-  (match verdict with
-  | Proved _ -> Stats.count "engine.proved" 1
-  | Violated _ -> Stats.count "engine.violated" 1
-  | Inconclusive _ -> Stats.count "engine.inconclusive" 1);
+  count_verdict verdict;
   verdict
+
+(* ----- portfolio execution -----
+
+   Each strategy becomes an independent job: strategies already
+   discharge on the ORIGINAL netlist, so their verdicts compose
+   without any cross-strategy state.  Determinism comes from the
+   selection rule, not arrival order: the conclusive verdict of the
+   LOWEST-ranked strategy wins, which is exactly the strategy
+   sequential [verify] would have stopped at (every lower-ranked
+   strategy ran to completion uncancelled and was inconclusive).  A
+   conclusive verdict at rank k stands down only ranks ABOVE k — their
+   outcome can no longer matter — through the budget cancellation
+   token each job polls at its existing check points. *)
+
+let verify_portfolio ?(config = default) ?(budget = Obs.Budget.unlimited)
+    ?(certify = false) ?proof_sink ?pool ?(jobs = 1) net ~target =
+  let pool_size = match pool with Some p -> Sched.Pool.size p | None -> jobs in
+  if pool_size <= 1 && pool = None then
+    (* one worker: run the ladder in-domain, bit-for-bit the
+       sequential semantics (including lazy phase abstraction) *)
+    verify ~config ~budget ~certify ?proof_sink net ~target
+  else begin
+    let tlit = check_target net target in
+    let certify = certify || proof_sink <> None in
+    let rv = reg_view_of net in
+    (* force before sharing: concurrent Lazy.force is unsafe, reading
+       a forced suspension is not *)
+    ignore (Lazy.force rv);
+    let strategies = ladder ~config net ~target ~tlit ~rv in
+    let n = List.length strategies in
+    let cancels = Array.init n (fun _ -> Atomic.make false) in
+    let cancel_above k =
+      for j = k + 1 to n - 1 do
+        Atomic.set cancels.(j) true
+      done
+    in
+    let run_job (rank, s) =
+      (* proofs are sunk locally and replayed only if this rank is
+         selected — the real sink must not observe losers *)
+      let proofs = ref [] in
+      let local_sink =
+        match proof_sink with
+        | None -> None
+        | Some _ -> Some (fun p -> proofs := p :: !proofs)
+      in
+      (* every job gets the WHOLE remaining budget (racing strategies
+         replace the sequential equal split) plus its rank's
+         cancellation token *)
+      let jbudget = Obs.Budget.with_cancel budget cancels.(rank) in
+      let verdict, atts =
+        run_strategy ~config ~certify ~proof_sink:local_sink ~slice:jbudget
+          net ~target ~tlit s
+      in
+      if verdict <> None then cancel_above rank;
+      (verdict, atts, List.rev !proofs)
+    in
+    let indexed = List.mapi (fun i s -> (i, s)) strategies in
+    let verdict =
+      Obs.Trace.with_span_args "engine.verify"
+        ~args:
+          [
+            ("target", Obs.Trace.String target);
+            ("jobs", Obs.Trace.Int pool_size);
+          ]
+        (fun () ->
+          let results =
+            match pool with
+            | Some p -> Sched.Pool.map p run_job indexed
+            | None ->
+              Sched.Pool.with_pool ~jobs (fun p ->
+                  Sched.Pool.map p run_job indexed)
+          in
+          let v =
+            match
+              (* results are in rank order; the first conclusive one
+                 is the sequential answer *)
+              List.find_map
+                (function
+                  | Some v, _, proofs -> Some (v, proofs) | None, _, _ -> None)
+                results
+            with
+            | Some (v, proofs) ->
+              Option.iter (fun sink -> List.iter sink proofs) proof_sink;
+              v
+            | None ->
+              Inconclusive
+                { attempts = List.concat_map (fun (_, a, _) -> a) results }
+          in
+          (v, [ ("verdict", Obs.Trace.String (outcome_name v)) ]))
+    in
+    count_verdict verdict;
+    verdict
+  end

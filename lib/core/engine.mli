@@ -20,7 +20,9 @@
     Every completeness-threshold strategy discharges its final BMC run
     on the {e original} netlist, so counterexamples always replay
     there and proofs never depend on a transformation being trusted
-    end-to-end. *)
+    end-to-end.  That independence is also what lets
+    {!verify_portfolio} race the same ladder across domains with no
+    cross-strategy state. *)
 
 type config = {
   cutoff : int;  (** a bound below this is considered BMC-dischargeable *)
@@ -108,7 +110,48 @@ val verify :
     strategy that runs out records a {!budget_reason} attempt — with
     any bound it managed to compute — and the ladder continues; once
     the overall deadline is gone the remaining strategies stand down
-    immediately.  Budget exhaustion is never reported as [Proved] or
-    [Violated], and additionally bumps ["engine.budget_exhausted"]. *)
+    immediately.  The slice arithmetic is clamped: an overrunning
+    early strategy can squeeze a later one down to an already-expired
+    slice, but never make it disappear from the attempt log — a dead
+    slice still records its {!budget_reason} attempt.  Budget
+    exhaustion is never reported as [Proved] or [Violated], and
+    additionally bumps ["engine.budget_exhausted"]. *)
+
+val verify_portfolio :
+  ?config:config ->
+  ?budget:Obs.Budget.t ->
+  ?certify:bool ->
+  ?proof_sink:(Sat.Proof.t -> unit) ->
+  ?pool:Sched.Pool.t ->
+  ?jobs:int ->
+  Netlist.Net.t ->
+  target:string ->
+  verdict
+(** {!verify} with the strategy ladder racing as independent portfolio
+    jobs across [jobs] worker domains ([pool], when given, is used
+    instead and [jobs] is ignored; with neither, or [jobs <= 1], this
+    {e is} sequential {!verify}).
+
+    The result is reproducible and identical to sequential {!verify}
+    regardless of [jobs]: the conclusive verdict of the lowest-ranked
+    strategy wins — never the first to finish — and that is exactly
+    the strategy the sequential ladder would have stopped at, since
+    every lower-ranked strategy ran uncancelled to completion and was
+    inconclusive.  A conclusive verdict at rank [k] cooperatively
+    cancels only the ranks above [k] (their outcome can no longer be
+    selected) via {!Obs.Budget} cancellation tokens, which those jobs
+    observe at their existing budget check points and record as
+    {!budget_reason} attempts.
+
+    Two deliberate semantic differences from a budgeted sequential
+    run: each racing strategy receives the {e whole} remaining budget
+    rather than an equal slice, and for latch-based designs the phase
+    abstraction is computed up front rather than lazily after the
+    probe.  With an unconstrained budget the verdict, selected
+    strategy and (for [Inconclusive]) the attempt reasons coincide
+    exactly with {!verify}'s.
+
+    [proof_sink] observes only the winning rank's proofs, in their
+    original order, from the calling domain. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

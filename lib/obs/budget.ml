@@ -3,10 +3,11 @@ type t = {
   conflicts : int option; (* per SAT call *)
   propagations : int option; (* per SAT call *)
   bdd_nodes : int option;
+  cancel : bool Atomic.t option; (* cooperative cross-domain stand-down *)
   mutable tripped : bool; (* deadline expiry already counted *)
 }
 
-let schema = [ "budget.deadline_expired" ]
+let schema = [ "budget.deadline_expired"; "budget.cancelled" ]
 
 let () = Stats.declare schema
 
@@ -16,47 +17,64 @@ let unlimited =
     conflicts = None;
     propagations = None;
     bdd_nodes = None;
+    cancel = None;
     tripped = false;
   }
 
-let create ?timeout_s ?conflicts ?propagations ?bdd_nodes () =
+let create ?timeout_s ?conflicts ?propagations ?bdd_nodes ?cancel () =
   {
     deadline = Option.map (fun s -> Stats.now () +. s) timeout_s;
     conflicts;
     propagations;
     bdd_nodes;
+    cancel;
     tripped = false;
   }
 
 let is_unlimited t =
   t.deadline = None && t.conflicts = None && t.propagations = None
-  && t.bdd_nodes = None
+  && t.bdd_nodes = None && t.cancel = None
 
 let deadline t = t.deadline
 let conflicts t = t.conflicts
 let propagations t = t.propagations
 let bdd_nodes t = t.bdd_nodes
 
+let with_cancel t cancel = { t with cancel = Some cancel; tripped = false }
+
+let cancelled t =
+  match t.cancel with None -> false | Some c -> Atomic.get c
+
 let expired t =
-  match t.deadline with
-  | None -> false
-  | Some d ->
-    (* inclusive: a zero timeout is expired from the first check even
-       within one clock tick *)
-    let e = Stats.now () >= d in
-    if e && not t.tripped then begin
+  if cancelled t then begin
+    if not t.tripped then begin
       t.tripped <- true;
-      Stats.count "budget.deadline_expired" 1
+      Stats.count "budget.cancelled" 1
     end;
-    e
+    true
+  end
+  else
+    match t.deadline with
+    | None -> false
+    | Some d ->
+      (* inclusive: a zero timeout is expired from the first check even
+         within one clock tick *)
+      let e = Stats.now () >= d in
+      if e && not t.tripped then begin
+        t.tripped <- true;
+        Stats.count "budget.deadline_expired" 1
+      end;
+      e
 
 let remaining_s t =
   Option.map (fun d -> Float.max 0. (d -. Stats.now ())) t.deadline
 
 let should_stop t =
-  match t.deadline with
-  | None -> None
-  | Some d -> Some (fun () -> Stats.now () >= d)
+  match (t.deadline, t.cancel) with
+  | None, None -> None
+  | Some d, None -> Some (fun () -> Stats.now () >= d)
+  | None, Some c -> Some (fun () -> Atomic.get c)
+  | Some d, Some c -> Some (fun () -> Atomic.get c || Stats.now () >= d)
 
 let slice t ~ways =
   match t.deadline with
@@ -87,5 +105,6 @@ let pp ppf t =
     | None -> ());
     (match t.conflicts with Some n -> item "conflicts:%d" n | None -> ());
     (match t.propagations with Some n -> item "propagations:%d" n | None -> ());
-    (match t.bdd_nodes with Some n -> item "bdd-nodes:%d" n | None -> ())
+    (match t.bdd_nodes with Some n -> item "bdd-nodes:%d" n | None -> ());
+    if t.cancel <> None then item "cancellable"
   end

@@ -11,9 +11,17 @@
     solver returns [Unknown], BMC returns [Unknown], the engine
     records a ["budget-exhausted"] attempt and moves on.
 
+    A budget may also carry a {e cancellation token} — a shared
+    [bool Atomic.t] — checked at the same boundaries as the deadline.
+    The portfolio scheduler uses it to stand down in-flight strategies
+    once a conclusive verdict arrives: cancellation looks exactly like
+    deadline expiry to the layer being stopped (an [Unknown] outcome,
+    never an exception), so no solver or transformation needs a second
+    stop mechanism.
+
     Exhaustion events are counted in {!Stats} under
-    ["budget.deadline_expired"] (once per budget value) and
-    ["budget.exhausted.<layer>"] (once per stand-down). *)
+    ["budget.deadline_expired"] / ["budget.cancelled"] (once per budget
+    value) and ["budget.exhausted.<layer>"] (once per stand-down). *)
 
 type t
 
@@ -25,12 +33,15 @@ val create :
   ?conflicts:int ->
   ?propagations:int ->
   ?bdd_nodes:int ->
+  ?cancel:bool Atomic.t ->
   unit ->
   t
 (** [timeout_s] is relative to now; the deadline is absolute from the
     moment of creation.  [conflicts]/[propagations] limit each
     individual SAT call (checked at restart boundaries).  [bdd_nodes]
-    caps BDD manager allocation (target enlargement). *)
+    caps BDD manager allocation (target enlargement).  [cancel], when
+    given, makes the budget additionally expire as soon as the atomic
+    reads [true]. *)
 
 val is_unlimited : t -> bool
 
@@ -41,25 +52,34 @@ val conflicts : t -> int option
 val propagations : t -> int option
 val bdd_nodes : t -> int option
 
+val with_cancel : t -> bool Atomic.t -> t
+(** The same limits with the given cancellation token attached
+    (replacing any previous token). *)
+
+val cancelled : t -> bool
+(** Has the cancellation token (if any) been set?  Does not consult
+    the deadline. *)
+
 val expired : t -> bool
-(** Has the deadline passed?  Always [false] without a deadline.  The
-    first observation of expiry bumps the ["budget.deadline_expired"]
-    counter (once per budget value, so per-depth polling does not
-    inflate it). *)
+(** Has the deadline passed, or the cancellation token been set?
+    Always [false] without either.  The first observation bumps the
+    ["budget.deadline_expired"] or ["budget.cancelled"] counter (once
+    per budget value, so per-depth polling does not inflate it). *)
 
 val remaining_s : t -> float option
 (** Seconds left before the deadline ([Some 0.] once expired). *)
 
 val should_stop : t -> (unit -> bool) option
-(** Deadline as a polling closure, in the shape the (observability-free)
-    SAT solver accepts. *)
+(** Deadline and/or cancellation token as a polling closure, in the
+    shape the (observability-free) SAT solver accepts.  [None] only
+    when the budget has neither. *)
 
 val slice : t -> ways:int -> t
 (** A per-phase slice: the remaining time divided by [ways], with the
-    other allowances carried over unchanged.  Slicing an expired or
-    deadline-free budget is harmless (still expired / still free).
-    Used by the engine to give each remaining strategy a fair share of
-    the total deadline. *)
+    other allowances — including the cancellation token — carried over
+    unchanged.  Slicing an expired or deadline-free budget is harmless
+    (still expired / still free).  Used by the engine to give each
+    remaining strategy a fair share of the total deadline. *)
 
 val note_exhausted : string -> unit
 (** Record a budget-driven stand-down in the named layer: bumps

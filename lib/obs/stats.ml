@@ -1,8 +1,32 @@
-type counter = { mutable n : int }
+(* Domain-safe registry: counters are atomics (a lost increment under
+   concurrent bumping is a silent lie in every report downstream), and
+   spans live in per-domain tables merged at snapshot time so two
+   domains timing the same name never race on one record.  The
+   registry hashtables themselves are guarded by one mutex; counter
+   and span handles are looked up under the lock but bumped without
+   it. *)
+
+type counter = int Atomic.t
 type span = { mutable calls : int; mutable total : float; mutable max : float }
 
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
-let spans : (string, span) Hashtbl.t = Hashtbl.create 64
+
+(* one span table per domain, registered on first use and kept for the
+   life of the process (domains are few: the scheduler pool plus the
+   main domain), merged by {!snapshot} *)
+let span_tables : (string, span) Hashtbl.t list ref = ref []
+
+let span_key : (string, span) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let tbl = Hashtbl.create 64 in
+      locked (fun () -> span_tables := tbl :: !span_tables);
+      tbl)
 
 (* CLOCK_MONOTONIC (bechamel's stub, nanoseconds): an NTP step
    mid-span must not record a negative or wildly wrong duration.
@@ -17,24 +41,32 @@ let now =
   | exception _ -> Unix.gettimeofday
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { n = 0 } in
-    Hashtbl.replace counters name c;
-    c
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.replace counters name c;
+        c)
 
-let incr c = c.n <- c.n + 1
-let add c n = c.n <- c.n + n
-let set c n = c.n <- n
-let record_max c n = if n > c.n then c.n <- n
-let counter_value c = c.n
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+let set c n = Atomic.set c n
+
+let rec record_max c n =
+  let cur = Atomic.get c in
+  if n > cur && not (Atomic.compare_and_set c cur n) then record_max c n
+
+let counter_value c = Atomic.get c
 let count name n = add (counter name) n
 let set_gauge name n = set (counter name) n
 let max_gauge name n = record_max (counter name) n
 let declare names = List.iter (fun name -> ignore (counter name)) names
 
+(* spans: the calling domain's private table, so no lock is needed on
+   the record itself *)
 let span name =
+  let spans = Domain.DLS.get span_key in
   match Hashtbl.find_opt spans name with
   | Some sp -> sp
   | None ->
@@ -72,24 +104,50 @@ type snapshot = {
 let by_name (a, _) (b, _) = String.compare a b
 
 let snapshot () =
+  let counters, tables =
+    locked (fun () ->
+        ( Hashtbl.fold (fun name c acc -> (name, Atomic.get c) :: acc) counters
+            [],
+          !span_tables ))
+  in
+  (* merge the per-domain tables: sum calls and totals, max of maxes.
+     Quiescent domains' records are stable; a domain still recording
+     contributes a consistent-enough prefix (each field is a single
+     word store). *)
+  let merged : (string, span_stats) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name (sp : span) ->
+          let prev =
+            match Hashtbl.find_opt merged name with
+            | Some s -> s
+            | None -> { calls = 0; total_s = 0.; max_s = 0. }
+          in
+          Hashtbl.replace merged name
+            {
+              calls = prev.calls + sp.calls;
+              total_s = prev.total_s +. sp.total;
+              max_s = Float.max prev.max_s sp.max;
+            })
+        tbl)
+    tables;
   {
-    counters =
-      Hashtbl.fold (fun name c acc -> (name, c.n) :: acc) counters []
-      |> List.sort by_name;
+    counters = List.sort by_name counters;
     spans =
-      Hashtbl.fold
-        (fun name (sp : span) acc ->
-          (name, { calls = sp.calls; total_s = sp.total; max_s = sp.max })
-          :: acc)
-        spans []
+      Hashtbl.fold (fun name s acc -> (name, s) :: acc) merged []
       |> List.sort by_name;
   }
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.n <- 0) counters;
-  Hashtbl.iter
-    (fun _ (sp : span) ->
-      sp.calls <- 0;
-      sp.total <- 0.;
-      sp.max <- 0.)
-    spans
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      List.iter
+        (fun tbl ->
+          Hashtbl.iter
+            (fun _ (sp : span) ->
+              sp.calls <- 0;
+              sp.total <- 0.;
+              sp.max <- 0.)
+            tbl)
+        !span_tables)

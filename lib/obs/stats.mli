@@ -8,7 +8,13 @@
 
     Counters and spans are registered on first use and survive
     {!reset} (which only zeroes them), so a declared schema stays
-    stable across runs within a process. *)
+    stable across runs within a process.
+
+    The registry is domain-safe: counters are atomic (concurrent
+    bumps from scheduler worker domains are never lost), and spans
+    accumulate into per-domain tables that {!snapshot} merges (calls
+    and totals summed, maxima maxed), so one report covers the whole
+    process no matter which domain did the work. *)
 
 type counter
 type span

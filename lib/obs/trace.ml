@@ -24,7 +24,9 @@ let json_of_value = function
   | String s -> Report.String s
   | Bool b -> Report.Bool b
 
-let json_of_event e =
+(* [tid] is the recording domain, so a multi-domain trace renders as
+   one track per domain in Perfetto instead of one garbled track *)
+let json_of_event ~tid e =
   let args =
     match e.args with
     | [] -> []
@@ -35,7 +37,7 @@ let json_of_event e =
        ("name", Report.String e.name);
        ("ph", Report.String (match e.kind with Span -> "X" | Instant -> "i"));
        ("pid", Report.Int 1);
-       ("tid", Report.Int 1);
+       ("tid", Report.Int tid);
        ("ts", Report.Float e.ts_us);
      ]
     @ (match e.kind with
@@ -90,17 +92,29 @@ let event_of_json j =
     args;
   }
 
-(* ----- capture state ----- *)
+(* ----- capture state -----
+
+   The sink (file, format, start time) is process-global; every domain
+   records into its own ring and span stack, so concurrent spans from
+   scheduler workers never interleave on one stack.  Rings drain into
+   the shared channel under the sink lock; each drained event carries
+   its domain both as the Chrome [tid] and, for worker domains, as a
+   "domain" attribute so offline analysis can partition the track. *)
 
 type frame = { f_name : string; f_ts : float; f_args : arg list }
 
-type state = {
+type sink = {
   format : format;
   oc : out_channel;
   t0 : float;
+  lock : Mutex.t;
+  mutable wrote_any : bool; (* Chrome comma management *)
+}
+
+type local = {
+  domain : int;
   ring : event array; (* preallocated; [pending] slots await a drain *)
   mutable pending : int;
-  mutable wrote_any : bool; (* Chrome comma management *)
   mutable stack : frame list; (* open spans, innermost first *)
 }
 
@@ -109,12 +123,35 @@ let capacity = 1024
 let dummy =
   { name = ""; kind = Instant; ts_us = 0.; dur_us = 0.; args = [] }
 
-let state : state option ref = ref None
+let state : sink option ref = ref None
 let active () = !state <> None
 
-let drain st =
-  for i = 0 to st.pending - 1 do
-    let line = Report.to_string (json_of_event st.ring.(i)) in
+(* every domain's buffer, for the final drain at [stop]; guarded by
+   the registry lock below *)
+let locals_lock = Mutex.create ()
+let all_locals : local list ref = ref []
+
+let local_key : local Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let l =
+        {
+          domain = (Domain.self () :> int);
+          ring = Array.make capacity dummy;
+          pending = 0;
+          stack = [];
+        }
+      in
+      Mutex.lock locals_lock;
+      all_locals := l :: !all_locals;
+      Mutex.unlock locals_lock;
+      l)
+
+let local () = Domain.DLS.get local_key
+
+(* caller holds st.lock *)
+let drain_locked st l =
+  for i = 0 to l.pending - 1 do
+    let line = Report.to_string (json_of_event ~tid:l.domain l.ring.(i)) in
     (match st.format with
     | Chrome ->
       if st.wrote_any then output_string st.oc ",\n";
@@ -123,26 +160,43 @@ let drain st =
     | Jsonl ->
       output_string st.oc line;
       output_char st.oc '\n');
-    st.ring.(i) <- dummy
+    l.ring.(i) <- dummy
   done;
-  st.pending <- 0;
+  l.pending <- 0;
   (* crash-safety: a JSONL sink is flushed through to disk per drain *)
   if st.format = Jsonl then flush st.oc
 
-let push st e =
-  st.ring.(st.pending) <- e;
-  st.pending <- st.pending + 1;
-  if st.pending = capacity || st.format = Jsonl then drain st
+let drain st l =
+  Mutex.lock st.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock st.lock)
+    (fun () -> drain_locked st l)
+
+let push st l e =
+  (* worker-domain events carry their origin as an attribute too, so
+     format-agnostic consumers (trace-report) can partition *)
+  let e =
+    if l.domain = 0 then e
+    else { e with args = e.args @ [ ("domain", Int l.domain) ] }
+  in
+  l.ring.(l.pending) <- e;
+  l.pending <- l.pending + 1;
+  if l.pending = capacity || st.format = Jsonl then drain st l
+
+let flush () =
+  match !state with
+  | None -> ()
+  | Some st -> drain st (local ())
 
 let now_us st = (Stats.now () -. st.t0) *. 1e6
 
-let end_span st extra =
-  match st.stack with
+let end_span st l extra =
+  match l.stack with
   | [] -> () (* unbalanced end; drop rather than crash the run *)
   | f :: rest ->
-    st.stack <- rest;
+    l.stack <- rest;
     let dur = Float.max 0. (now_us st -. f.f_ts) in
-    push st
+    push st l
       {
         name = f.f_name;
         kind = Span;
@@ -156,12 +210,20 @@ let stop () =
   | None -> ()
   | Some st ->
     state := None;
-    (* spans still open (exception unwind, at_exit): close them now so
-       the trace stays well-formed *)
-    while st.stack <> [] do
-      end_span st [ ("truncated", Bool true) ]
-    done;
-    drain st;
+    Mutex.lock locals_lock;
+    let locals = !all_locals in
+    Mutex.unlock locals_lock;
+    (* spans still open anywhere (exception unwind, at_exit, a worker
+       domain parked between jobs) are closed now so the trace stays
+       well-formed; the recording domains must be quiescent by the
+       time the sink closes (the scheduler joins its pool first) *)
+    List.iter
+      (fun l ->
+        while l.stack <> [] do
+          end_span st l [ ("truncated", Bool true) ]
+        done;
+        drain st l)
+      locals;
     if st.format = Chrome then output_string st.oc "\n]\n";
     (match close_out st.oc with
     | () -> ()
@@ -177,17 +239,17 @@ let start ?format path =
   | exception Sys_error msg -> Format.eprintf "trace: cannot open sink: %s@." msg
   | oc ->
     if format = Chrome then output_string oc "[\n";
+    (* stale buffers from a previous sink must not leak into this one *)
+    Mutex.lock locals_lock;
+    List.iter
+      (fun l ->
+        l.pending <- 0;
+        l.stack <- [])
+      !all_locals;
+    Mutex.unlock locals_lock;
     state :=
       Some
-        {
-          format;
-          oc;
-          t0 = Stats.now ();
-          ring = Array.make capacity dummy;
-          pending = 0;
-          wrote_any = false;
-          stack = [];
-        };
+        { format; oc; t0 = Stats.now (); lock = Mutex.create (); wrote_any = false };
     if not !exit_hook then begin
       exit_hook := true;
       at_exit stop
@@ -201,38 +263,41 @@ let setup ?file () =
     | Some path when path <> "" -> start path
     | _ -> ())
 
-let emit e = match !state with None -> () | Some st -> push st e
+let emit e = match !state with None -> () | Some st -> push st (local ()) e
 
 let instant ?(args = []) name =
   match !state with
   | None -> ()
   | Some st ->
-    push st { name; kind = Instant; ts_us = now_us st; dur_us = 0.; args }
+    push st (local ())
+      { name; kind = Instant; ts_us = now_us st; dur_us = 0.; args }
 
 let with_span ?(args = []) name f =
   match !state with
   | None -> f ()
   | Some st ->
-    st.stack <- { f_name = name; f_ts = now_us st; f_args = args } :: st.stack;
+    let l = local () in
+    l.stack <- { f_name = name; f_ts = now_us st; f_args = args } :: l.stack;
     (match f () with
     | r ->
-      end_span st [];
+      end_span st l [];
       r
     | exception e ->
-      end_span st [ ("exception", String (Printexc.to_string e)) ];
+      end_span st l [ ("exception", String (Printexc.to_string e)) ];
       raise e)
 
 let with_span_args ?(args = []) name f =
   match !state with
   | None -> fst (f ())
   | Some st ->
-    st.stack <- { f_name = name; f_ts = now_us st; f_args = args } :: st.stack;
+    let l = local () in
+    l.stack <- { f_name = name; f_ts = now_us st; f_args = args } :: l.stack;
     (match f () with
     | r, extra ->
-      end_span st extra;
+      end_span st l extra;
       r
     | exception e ->
-      end_span st [ ("exception", String (Printexc.to_string e)) ];
+      end_span st l [ ("exception", String (Printexc.to_string e)) ];
       raise e)
 
 (* ----- reading back ----- *)

@@ -10,8 +10,12 @@
     cheap no-op — one ref read and a branch — so instrumentation can
     stay on permanently in the hot layers.
 
-    The process is single-threaded; spans nest on one implicit stack
-    and the exporters emit everything on one pid/tid track. *)
+    Capture is domain-safe: each domain records into its own ring and
+    span stack, events from worker domains carry a ["domain"]
+    attribute, and the exporters emit one tid track per domain (the
+    sink itself is shared under a lock).  Worker domains should call
+    {!flush} before parking so their buffered events reach the sink
+    even if they never fill a ring. *)
 
 (** {1 Events} *)
 
@@ -54,8 +58,15 @@ val setup : ?file:string -> unit -> unit
     else do nothing. *)
 
 val stop : unit -> unit
-(** Flush open spans and the ring buffer, close the sink.  No-op when
-    no trace is active. *)
+(** Flush open spans and every domain's ring buffer, close the sink.
+    All recording domains must be quiescent (joined or parked) by the
+    time this runs.  No-op when no trace is active. *)
+
+val flush : unit -> unit
+(** Drain the calling domain's ring into the sink.  Scheduler workers
+    call this when a job finishes so a later {!stop} on the main
+    domain never races a worker mid-record.  No-op when no trace is
+    active. *)
 
 val active : unit -> bool
 

@@ -18,10 +18,16 @@ let span_end (e : Trace.event) = e.Trace.ts_us +. e.Trace.dur_us
    child can share its parent's start/end microsecond *)
 let eps = 1e-3
 
-let forest events =
-  let spans =
-    List.filter (fun (e : Trace.event) -> e.Trace.kind = Trace.Span) events
-  in
+(* Which domain recorded an event (multi-domain traces tag worker
+   events with a "domain" attribute; untagged means the main domain).
+   Spans from different domains overlap in time without nesting, so
+   the containment forest is built per domain. *)
+let domain_of (e : Trace.event) =
+  match List.assoc_opt "domain" e.Trace.args with
+  | Some (Trace.Int d) -> d
+  | _ -> 0
+
+let forest_one spans =
   (* parents first: earlier start, or same start with longer duration *)
   let sorted =
     List.stable_sort
@@ -65,6 +71,22 @@ let forest events =
     }
   in
   List.rev_map freeze !roots
+
+let forest events =
+  let spans =
+    List.filter (fun (e : Trace.event) -> e.Trace.kind = Trace.Span) events
+  in
+  let by_domain : (int, Trace.event list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let d = domain_of e in
+      match Hashtbl.find_opt by_domain d with
+      | Some l -> l := e :: !l
+      | None -> Hashtbl.replace by_domain d (ref [ e ]))
+    spans;
+  Hashtbl.fold (fun d l acc -> (d, List.rev !l) :: acc) by_domain []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.concat_map (fun (_, spans) -> forest_one spans)
 
 (* ----- aggregation by name ----- *)
 

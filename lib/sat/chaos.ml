@@ -4,10 +4,13 @@
    (proof certification, model evaluation, counterexample replay)
    can be shown to catch every corrupted answer.
 
-   Injection is process-global and OFF by default; arming is only ever
-   done by tests and the CI chaos stage.  All faults are deterministic:
-   a given (seed, fault, workload) triple always corrupts the same
-   answers in the same way. *)
+   Arming is process-global and OFF by default; it is only ever done
+   by tests and the CI chaos stage.  Each solver captures the armed
+   configuration at creation time into its own instance, so two
+   solvers running on different domains inject (and count) faults
+   independently instead of interleaving updates on one shared record.
+   All faults are deterministic: a given (seed, fault, workload)
+   triple always corrupts the same answers in the same way. *)
 
 type fault =
   | Flip_to_unsat
@@ -21,20 +24,39 @@ let fault_name = function
   | Corrupt_model -> "corrupt-model"
   | Drop_proof -> "drop-proof"
 
-type state = { fault : fault; seed : int; mutable injections : int }
+(* the total counter is shared by every instance captured from the
+   same arming, and atomic so concurrent solvers never lose a count *)
+type state = { fault : fault; seed : int; injections : int Atomic.t }
+
+type instance = state option
 
 let current : state option ref = ref None
 
-let arm ~seed fault = current := Some { fault; seed; injections = 0 }
+let arm ~seed fault =
+  current := Some { fault; seed; injections = Atomic.make 0 }
+
 let disarm () = current := None
 let armed () = match !current with Some s -> Some s.fault | None -> None
 let active () = !current <> None
 let seed () = match !current with Some s -> Some s.seed | None -> None
-let injections () = match !current with Some s -> s.injections | None -> 0
 
-(* called by the solver at each injection site *)
-let note () =
-  match !current with Some s -> s.injections <- s.injections + 1 | None -> ()
+let injections () =
+  match !current with Some s -> Atomic.get s.injections | None -> 0
+
+(* per-solver capture: the solver consults its own instance at every
+   injection site, so the decision to inject never depends on which
+   other solver disarmed or re-armed in the meantime *)
+let capture () : instance = !current
+
+let instance_fault (i : instance) =
+  match i with Some s -> Some s.fault | None -> None
+
+let instance_note (i : instance) =
+  match i with Some s -> Atomic.incr s.injections | None -> ()
+
+(* process-global convenience, kept for injection sites outside any
+   solver instance *)
+let note () = instance_note !current
 
 let with_fault ~seed fault f =
   arm ~seed fault;

@@ -16,11 +16,17 @@
       the proof file were lost.  Caught by the {!Drup} checker (an
       empty derivation refutes nothing).
 
-    Injection is process-global, OFF by default, and deterministic:
+    Arming is process-global, OFF by default, and deterministic:
     every injection opportunity fires.  The [seed] is recorded so a
     chaos test run can derive its random workloads from the same value
-    it arms with, making the whole suite reproducible from one
-    number. *)
+    it arms with, making the whole suite reproducible from one number.
+
+    Each solver {e captures} the armed configuration when it is
+    created ({!capture}) and consults only its own {!instance} from
+    then on, so concurrent solvers on different domains inject
+    independently and count into one shared atomic total — arming or
+    disarming mid-flight never changes what an existing solver
+    does. *)
 
 type fault = Flip_to_unsat | Flip_to_sat | Corrupt_model | Drop_proof
 
@@ -33,12 +39,28 @@ val active : unit -> bool
 val seed : unit -> int option
 
 val injections : unit -> int
-(** Faults injected since the last {!arm} — tests assert this is
-    positive, so a "caught" verdict cannot come from the fault never
-    having fired. *)
+(** Faults injected since the last {!arm}, summed over every solver
+    instance captured from it — tests assert this is positive, so a
+    "caught" verdict cannot come from the fault never having fired. *)
 
 val note : unit -> unit
-(** Used by the solver to count an injection; not for external use. *)
+(** Count an injection against the currently armed state; for
+    injection sites outside any solver instance. *)
+
+(** {1 Per-solver instances} *)
+
+type instance
+(** The armed configuration as seen by one solver: captured once at
+    solver creation, immune to later {!arm}/{!disarm}. *)
+
+val capture : unit -> instance
+(** The currently armed configuration (or an inert instance when
+    disarmed).  Called by [Solver.create]. *)
+
+val instance_fault : instance -> fault option
+val instance_note : instance -> unit
+(** Count an injection against the arming this instance was captured
+    from (atomic, so concurrent solvers never lose a count). *)
 
 val with_fault : seed:int -> fault -> (unit -> 'a) -> 'a
 (** [with_fault ~seed f k] runs [k] with the fault armed, disarming on

@@ -49,6 +49,9 @@ type t = {
      consulted by [value], never written into [assigns]/[phase], so the
      incremental search state stays intact across injections *)
   mutable corrupt_model : bool;
+  (* fault-injection config captured at creation: concurrent solvers
+     each consult their own instance (see Chaos) *)
+  chaos : Chaos.instance;
 }
 
 let create () =
@@ -81,6 +84,7 @@ let create () =
     last_solve_sat = false;
     proof = None;
     corrupt_model = false;
+    chaos = Chaos.capture ();
   }
 
 let set_proof s p = s.proof <- Some p
@@ -93,7 +97,9 @@ let log_event s f =
   match s.proof with
   | None -> ()
   | Some p ->
-    if Chaos.armed () = Some Chaos.Drop_proof then Chaos.note () else f p
+    if Chaos.instance_fault s.chaos = Some Chaos.Drop_proof then
+      Chaos.instance_note s.chaos
+    else f p
 
 let num_vars s = s.nvars
 let num_conflicts s = s.conflicts
@@ -706,18 +712,18 @@ let solve ?(assumptions = []) ?max_conflicts ?max_propagations ?should_stop s =
   end;
   (* fault injection happens at the reporting boundary, after the
      debug cross-check of the genuine answer *)
-  (match Chaos.armed () with
+  (match Chaos.instance_fault s.chaos with
   | Some Chaos.Flip_to_unsat when !final = Sat ->
-    Chaos.note ();
+    Chaos.instance_note s.chaos;
     s.last_solve_sat <- false;
     final := Unsat
   | Some Chaos.Flip_to_sat when !final = Unsat ->
-    Chaos.note ();
+    Chaos.instance_note s.chaos;
     (* the phase store becomes the "model": arbitrary garbage *)
     s.last_solve_sat <- true;
     final := Sat
   | Some Chaos.Corrupt_model when !final = Sat ->
-    Chaos.note ();
+    Chaos.instance_note s.chaos;
     s.corrupt_model <- true
   | _ -> ());
   !final

@@ -1,0 +1,132 @@
+type job = unit -> unit
+
+type t = {
+  capacity : int;
+  queue : job Queue.t;
+  lock : Mutex.t;
+  not_empty : Condition.t; (* workers wait here for jobs *)
+  not_full : Condition.t; (* submitters wait here for queue space *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let schema =
+  [ "sched.jobs_submitted"; "sched.jobs_completed"; "sched.job_error" ]
+
+let () = Obs.Stats.declare schema
+
+let size t = Array.length t.workers
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Blocks until a job is available or the pool closes with an empty
+   queue (the drain-then-exit contract of [shutdown]). *)
+let next t =
+  locked t (fun () ->
+      while Queue.is_empty t.queue && not t.closed do
+        Condition.wait t.not_empty t.lock
+      done;
+      if Queue.is_empty t.queue then None
+      else begin
+        let j = Queue.pop t.queue in
+        Condition.signal t.not_full;
+        Some j
+      end)
+
+let run_job job =
+  (match job () with
+  | () -> ()
+  | exception e ->
+    (* a raising job must not take its worker down with it; jobs that
+       care about their outcome capture it themselves (see [map]) *)
+    Obs.Stats.count "sched.job_error" 1;
+    Format.eprintf "sched: job raised %s@." (Printexc.to_string e));
+  Obs.Stats.count "sched.jobs_completed" 1;
+  (* the worker may park indefinitely after this job; its trace events
+     must not sit in a ring the main domain would close over *)
+  Obs.Trace.flush ()
+
+let rec worker t =
+  match next t with
+  | None -> ()
+  | Some job ->
+    run_job job;
+    worker t
+
+let create ?capacity ~jobs () =
+  let jobs = max 1 (min jobs (Domain.recommended_domain_count ())) in
+  let capacity =
+    match capacity with Some c -> max 1 c | None -> 2 * jobs
+  in
+  let t =
+    {
+      capacity;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      closed = false;
+      workers = [||];
+    }
+  in
+  (* workers never read [t.workers], so publishing the array after the
+     spawns is benign *)
+  t.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t job =
+  locked t (fun () ->
+      while Queue.length t.queue >= t.capacity && not t.closed do
+        Condition.wait t.not_full t.lock
+      done;
+      if t.closed then invalid_arg "Sched.Pool.submit: pool is shut down";
+      Queue.push job t.queue;
+      Obs.Stats.count "sched.jobs_submitted" 1;
+      Condition.signal t.not_empty)
+
+let shutdown t =
+  let was_closed =
+    locked t (fun () ->
+        let was = t.closed in
+        t.closed <- true;
+        (* wake every parked worker (to drain and exit) and every
+           blocked submitter (to fail) *)
+        Condition.broadcast t.not_empty;
+        Condition.broadcast t.not_full;
+        was)
+  in
+  if not was_closed then Array.iter Domain.join t.workers
+
+let map t f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let results = Array.make n None in
+  let lock = Mutex.create () in
+  let all_done = Condition.create () in
+  let remaining = ref n in
+  Array.iteri
+    (fun i x ->
+      submit t (fun () ->
+          let r = match f x with v -> Ok v | exception e -> Error e in
+          Mutex.lock lock;
+          results.(i) <- Some r;
+          decr remaining;
+          if !remaining = 0 then Condition.signal all_done;
+          Mutex.unlock lock))
+    items;
+  Mutex.lock lock;
+  while !remaining > 0 do
+    Condition.wait all_done lock
+  done;
+  Mutex.unlock lock;
+  Array.to_list results
+  |> List.map (function
+       | Some (Ok v) -> v
+       | Some (Error e) -> raise e
+       | None -> assert false (* remaining = 0 implies every slot set *))
+
+let with_pool ?capacity ~jobs f =
+  let t = create ?capacity ~jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,54 @@
+(** A fixed pool of OCaml 5 worker domains draining one bounded job
+    queue.
+
+    The pool is deliberately dumb: jobs are opaque thunks, there is no
+    stealing, no priorities and no futures — determinism lives in the
+    callers (the engine's rank-based verdict selection), not here.
+    Cancellation is likewise not a pool concept: callers share a
+    [bool Atomic.t] through {!Obs.Budget} tokens and jobs observe it
+    at their own check points, so a "cancelled" job is simply one that
+    returns early.
+
+    Domains are expensive (a few ms to spawn, an OS thread each), so a
+    pool is created once per batch of related work and reused; it is
+    not a per-call convenience.  Worker counts beyond
+    [Domain.recommended_domain_count] oversubscribe the machine and
+    are clamped by {!create}. *)
+
+type t
+
+val create : ?capacity:int -> jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs] worker domains ([jobs] is clamped
+    to [1 .. Domain.recommended_domain_count]).  [capacity] bounds the
+    job queue (default [2 * jobs]); {!submit} blocks when the queue is
+    full, which keeps a fast producer from buffering an unbounded
+    batch ahead of slow workers. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a job; blocks while the queue is full.  A job that raises
+    does not kill its worker: the exception is counted
+    (["sched.job_error"]) and reported on stderr — jobs that care
+    about their outcome capture it themselves (see {!map}).
+    @raise Invalid_argument on a pool that has been {!shutdown}. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f items] runs [f] on every item across the pool and
+    waits for all of them; results are in input order regardless of
+    completion order.  If any [f] raised, the first (by input order)
+    such exception is re-raised in the caller after all items have
+    settled.  Safe to call from the main domain while workers run;
+    must not be called from inside a pool job (the worker would wait
+    on itself). *)
+
+val shutdown : t -> unit
+(** Refuse further submissions, run every job already queued, join all
+    workers.  Idempotent.  After shutdown the workers' buffered trace
+    events have reached the sink, so a subsequent [Obs.Trace.stop] on
+    the calling domain loses nothing. *)
+
+val with_pool : ?capacity:int -> jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool, guaranteeing
+    {!shutdown} on the way out (also on exceptions). *)

@@ -74,6 +74,34 @@ timeout 60 dune exec bin/diam_tool.exe -- trace-report \
   || { echo "ci: jsonl trace unreadable (FAIL)"; exit 1; }
 echo "ci: jsonl trace smoke ok"
 
+# Parallel determinism: --jobs 2 must produce byte-identical verdicts
+# to --jobs 1 on every example design — the portfolio's rank-based
+# selection guarantee, checked end to end.
+for f in examples/*.bench; do
+  rc1=0; rc2=0
+  timeout 120 dune exec bin/verify_tool.exe -- "$f" --jobs 1 \
+    > "$tmpdir/j1.out" || rc1=$?
+  timeout 120 dune exec bin/verify_tool.exe -- "$f" --jobs 2 \
+    > "$tmpdir/j2.out" || rc2=$?
+  [ "$rc1" = "$rc2" ] \
+    || { echo "ci: $f exit codes differ across --jobs (FAIL)"; exit 1; }
+  diff -u "$tmpdir/j1.out" "$tmpdir/j2.out" \
+    || { echo "ci: $f verdicts differ across --jobs (FAIL)"; exit 1; }
+done
+echo "ci: parallel determinism ok"
+
+# Portfolio bench: the sequential-vs-portfolio experiment must run to
+# completion and leave its speedup gauges in a baseline-compatible
+# stats snapshot (portfolio.best_speedup_x100 et al).
+timeout 300 dune exec bench/main.exe -- portfolio \
+  --stats-json "$tmpdir/portfolio.json" > /dev/null
+grep -q "portfolio.best_speedup_x100" "$tmpdir/portfolio.json" \
+  || { echo "ci: portfolio speedup gauge missing (FAIL)"; exit 1; }
+timeout 60 dune exec bench/main.exe -- --baseline "$tmpdir/portfolio.json" \
+  --against "$tmpdir/portfolio.json" --fail-on-regress 0.1 > /dev/null \
+  || { echo "ci: portfolio snapshot not baseline-compatible (FAIL)"; exit 1; }
+echo "ci: portfolio bench ok"
+
 # Self-baseline: a snapshot diffed against itself is compatible by
 # construction and must show zero regressions at any threshold.
 timeout 300 dune exec bench/main.exe -- baseline \

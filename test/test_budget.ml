@@ -155,6 +155,44 @@ let test_engine_conflict_starvation () =
       (Format.asprintf "starved budget must be inconclusive, got %a"
          Core.Engine.pp_verdict v)
 
+let test_cancellation_token () =
+  let cancel = Atomic.make false in
+  let b = Budget.with_cancel (Budget.create ()) cancel in
+  Helpers.check_bool "cancellable budget is not unlimited" false
+    (Budget.is_unlimited b);
+  Helpers.check_bool "not expired before the flip" false (Budget.expired b);
+  Helpers.check_bool "not cancelled before the flip" false (Budget.cancelled b);
+  (* cancellation must surface through should_stop even without a
+     deadline — that closure is the solver's only polling point *)
+  (match Budget.should_stop b with
+  | Some stop ->
+    Helpers.check_bool "stop not yet" false (stop ());
+    Atomic.set cancel true;
+    Helpers.check_bool "stop after flip" true (stop ())
+  | None -> Alcotest.fail "cancellable budget must expose should_stop");
+  Helpers.check_bool "expired after flip" true (Budget.expired b);
+  Helpers.check_bool "cancelled after flip" true (Budget.cancelled b);
+  (* slices share the parent's token: cancelling the parent cancels
+     every slice already handed out *)
+  Atomic.set cancel false;
+  let s = Budget.slice b ~ways:4 in
+  Helpers.check_bool "slice not cancelled" false (Budget.cancelled s);
+  Atomic.set cancel true;
+  Helpers.check_bool "slice cancelled with parent" true (Budget.cancelled s)
+
+let test_slice_clamp () =
+  (* slicing an expired budget must keep its past deadline rather than
+     minting a momentarily-fresh [now +. 0.] one: a degenerate slice
+     stays expired, so the engine records the attempt instead of
+     silently skipping the strategy *)
+  let dead = Budget.create ~timeout_s:0.0 () in
+  ignore (Budget.expired dead);
+  let s = Budget.slice dead ~ways:7 in
+  Helpers.check_bool "degenerate slice is expired at once" true
+    (Budget.expired s);
+  let s2 = Budget.slice s ~ways:3 in
+  Helpers.check_bool "re-slicing stays expired" true (Budget.expired s2)
+
 let test_fileout_warns () =
   Helpers.check_bool "unwritable path returns false" false
     (Obs.Fileout.write_or_warn ~what:"test artifact"
@@ -180,6 +218,9 @@ let suite =
       test_engine_expired_deadline;
     Alcotest.test_case "engine conflict starvation" `Quick
       test_engine_conflict_starvation;
+    Alcotest.test_case "cancellation token" `Quick test_cancellation_token;
+    Alcotest.test_case "slice clamp on expired budgets" `Quick
+      test_slice_clamp;
     Alcotest.test_case "fileout warns" `Quick test_fileout_warns;
     prop_budget_never_wrong;
   ]

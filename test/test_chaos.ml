@@ -207,6 +207,33 @@ let test_engine_corrupt_model () =
 
 let test_engine_drop_proof () = engine_degrades Chaos.Drop_proof (safe_net ())
 
+let test_instance_capture () =
+  (* the chaos config is captured per solver instance at creation:
+     a solver born under an armed fault keeps faulting after disarm,
+     and a solver born clean stays clean even while chaos is armed —
+     the per-instance semantics that make concurrent solvers with
+     different configs coherent *)
+  let trivial s =
+    let a = Solver.pos (Solver.new_var s) in
+    Solver.add_clause s [ a ];
+    Solver.solve s
+  in
+  let dirty =
+    Chaos.with_fault ~seed Chaos.Flip_to_unsat (fun () -> Solver.create ())
+  in
+  Helpers.check_bool "chaos disarmed again" false (Chaos.active ());
+  (match trivial dirty with
+  | Solver.Unsat -> ()
+  | _ -> Alcotest.fail "armed-at-creation solver must keep its fault");
+  let clean = Solver.create () in
+  Chaos.with_fault ~seed Chaos.Flip_to_unsat (fun () ->
+      Helpers.check_bool "fresh capture sees the fault" true
+        (Chaos.instance_fault (Chaos.capture ()) = Some Chaos.Flip_to_unsat);
+      (* capture happened at [clean]'s creation, when chaos was off *)
+      match trivial clean with
+      | Solver.Sat -> ()
+      | _ -> Alcotest.fail "clean solver must answer honestly")
+
 let test_disarm_restores () =
   (* sanity for the harness itself: after a chaos run, certification
      succeeds again on the same workloads *)
@@ -235,6 +262,7 @@ let suite =
     Alcotest.test_case "engine: flip to sat" `Quick test_engine_flip_to_sat;
     Alcotest.test_case "engine: corrupt model" `Quick test_engine_corrupt_model;
     Alcotest.test_case "engine: drop proof" `Quick test_engine_drop_proof;
+    Alcotest.test_case "per-instance capture" `Quick test_instance_capture;
     Alcotest.test_case "disarm restores certification" `Quick
       test_disarm_restores;
   ]

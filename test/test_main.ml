@@ -45,4 +45,6 @@ let () =
       ("symbolic", Test_symbolic.suite);
       ("pipeline", Test_pipeline.suite);
       ("workload", Test_workload.suite);
+      ("sched", Test_sched.suite);
+      ("portfolio", Test_portfolio.suite);
     ]

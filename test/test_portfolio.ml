@@ -1,0 +1,122 @@
+(* Engine.verify_portfolio: reproducibility against the sequential
+   ladder, cooperative cancellation, budget starvation. *)
+
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let verdict_key = function
+  | Core.Engine.Proved { strategy; depth } ->
+    Printf.sprintf "proved:%s:%d" strategy depth
+  | Core.Engine.Violated { strategy; cex } ->
+    Printf.sprintf "violated:%s:%d" strategy cex.Bmc.depth
+  | Core.Engine.Inconclusive { attempts } ->
+    "inconclusive:"
+    ^ String.concat ";"
+        (List.map
+           (fun (a : Core.Engine.attempt) -> a.strategy ^ "=" ^ a.reason)
+           attempts)
+
+(* the portfolio contract: for every jobs count, verdict, winning
+   strategy and (when inconclusive) the stand-down reasons match the
+   sequential ladder exactly under an unlimited budget *)
+let prop_portfolio_matches_sequential =
+  Helpers.qtest ~count:20 "verify_portfolio == verify (jobs 1/2/4)"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let net, _ = Helpers.rand_structured seed in
+      let seq = Core.Engine.verify net ~target:"t" in
+      List.for_all
+        (fun jobs ->
+          let par = Core.Engine.verify_portfolio ~jobs net ~target:"t" in
+          String.equal (verdict_key seq) (verdict_key par))
+        [ 1; 2; 4 ])
+
+let test_portfolio_on_shared_pool () =
+  (* a caller-owned pool survives a portfolio run — cancellation must
+     leave every worker parked, not dead — and joins cleanly after *)
+  let pool = Sched.Pool.create ~jobs:2 () in
+  Fun.protect
+    ~finally:(fun () -> Sched.Pool.shutdown pool)
+    (fun () ->
+      let net = Net.create () in
+      let c = Workload.Gen.counter net ~name:"c" ~bits:2 ~enable:Lit.true_ in
+      Net.add_target net "t" c.Workload.Gen.out;
+      (* rank 0 concludes immediately, cancelling every other rung *)
+      (match Core.Engine.verify_portfolio ~pool ~jobs:2 net ~target:"t" with
+      | Core.Engine.Violated { strategy = "bmc-probe"; cex } ->
+        Helpers.check_int "hit at 3" 3 cex.Bmc.depth
+      | v ->
+        Alcotest.fail
+          (Format.asprintf "unexpected: %a" Core.Engine.pp_verdict v));
+      (* the workers are still alive and draining jobs *)
+      let ys = Sched.Pool.map pool (fun x -> x * 2) [ 1; 2; 3 ] in
+      Helpers.check_bool "pool usable after portfolio" true
+        (ys = [ 2; 4; 6 ]))
+
+let test_cancelled_ranks_record_budget_reason () =
+  (* an already-expired budget starves every racing strategy: each one
+     must still record its budget_reason attempt — no rung may vanish
+     without a trace *)
+  let net, _ = Helpers.rand_structured 42 in
+  let budget = Obs.Budget.create ~timeout_s:0.0 () in
+  ignore (Obs.Budget.expired budget);
+  match Core.Engine.verify_portfolio ~budget ~jobs:2 net ~target:"t" with
+  | Core.Engine.Inconclusive { attempts } ->
+    Helpers.check_int "all seven rungs accounted for" 7 (List.length attempts);
+    List.iter
+      (fun (a : Core.Engine.attempt) ->
+        Helpers.check Alcotest.string "reason" Core.Engine.budget_reason
+          a.reason)
+      attempts
+  | v ->
+    Alcotest.fail (Format.asprintf "unexpected: %a" Core.Engine.pp_verdict v)
+
+let test_budget_cancel_token_stops_strategies () =
+  (* a pre-tripped cancellation token behaves exactly like an expired
+     deadline: inconclusive, every attempt budget-starved *)
+  let cancel = Atomic.make true in
+  let net, _ = Helpers.rand_structured 7 in
+  let budget = Obs.Budget.with_cancel (Obs.Budget.create ()) cancel in
+  match Core.Engine.verify ~budget net ~target:"t" with
+  | Core.Engine.Inconclusive { attempts } ->
+    List.iter
+      (fun (a : Core.Engine.attempt) ->
+        Helpers.check Alcotest.string "reason" Core.Engine.budget_reason
+          a.reason)
+      attempts
+  | v ->
+    Alcotest.fail (Format.asprintf "unexpected: %a" Core.Engine.pp_verdict v)
+
+let test_proof_sink_gets_winner_only () =
+  (* certifying portfolio: the sink replays only the winning
+     strategy's proofs, once, after selection *)
+  let net = Net.create () in
+  let a = Net.add_input net "a" in
+  let p = Workload.Gen.pipeline net ~name:"p" ~stages:4 ~data:a in
+  Net.add_target net "t"
+    (Net.add_and net p.Workload.Gen.out (Lit.neg p.Workload.Gen.out));
+  let proofs = ref 0 in
+  let sink _ = incr proofs in
+  (match
+     Core.Engine.verify_portfolio ~certify:true ~proof_sink:sink ~jobs:2 net
+       ~target:"t"
+   with
+  | Core.Engine.Proved _ -> ()
+  | v ->
+    Alcotest.fail (Format.asprintf "unexpected: %a" Core.Engine.pp_verdict v));
+  (* the sequential ladder sinks exactly one proof for this design
+     (see test_certify); the portfolio must replay exactly the same *)
+  Helpers.check_int "winner's proof replayed once" 1 !proofs
+
+let suite =
+  [
+    prop_portfolio_matches_sequential;
+    Alcotest.test_case "portfolio on a shared pool" `Quick
+      test_portfolio_on_shared_pool;
+    Alcotest.test_case "starved ranks record budget_reason" `Quick
+      test_cancelled_ranks_record_budget_reason;
+    Alcotest.test_case "cancel token stops the ladder" `Quick
+      test_budget_cancel_token_stops_strategies;
+    Alcotest.test_case "proof sink sees only the winner" `Quick
+      test_proof_sink_gets_winner_only;
+  ]

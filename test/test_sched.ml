@@ -1,0 +1,90 @@
+(* Sched.Pool: worker lifecycle, ordered map, graceful shutdown. *)
+
+let test_map_preserves_order () =
+  Sched.Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 50 Fun.id in
+      let ys = Sched.Pool.map pool (fun x -> x * x) xs in
+      Helpers.check_bool "ordered squares" true
+        (List.equal Int.equal ys (List.map (fun x -> x * x) xs)))
+
+let test_map_more_jobs_than_workers () =
+  (* 100 jobs over a 2-worker pool: everything completes, in order *)
+  Sched.Pool.with_pool ~jobs:2 (fun pool ->
+      let ys = Sched.Pool.map pool (fun x -> x + 1) (List.init 100 Fun.id) in
+      Helpers.check_int "all completed" 100 (List.length ys);
+      Helpers.check_int "last" 100 (List.nth ys 99))
+
+let test_shutdown_joins_cleanly () =
+  (* shutdown must join every worker: afterwards no submitted work can
+     run, and a second shutdown is a no-op *)
+  let pool = Sched.Pool.create ~jobs:3 () in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 10 do
+    Sched.Pool.submit pool (fun () -> Atomic.incr hits)
+  done;
+  Sched.Pool.shutdown pool;
+  Helpers.check_int "all jobs drained before join" 10 (Atomic.get hits);
+  Sched.Pool.shutdown pool;
+  (* idempotent *)
+  match Sched.Pool.submit pool (fun () -> ()) with
+  | () -> Alcotest.fail "submit after shutdown should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_map_reraises_job_exception () =
+  match
+    Sched.Pool.with_pool ~jobs:2 (fun pool ->
+        Sched.Pool.map pool
+          (fun x -> if x = 3 then failwith "boom" else x)
+          (List.init 8 Fun.id))
+  with
+  | _ -> Alcotest.fail "expected the job exception to propagate"
+  | exception Failure msg -> Helpers.check Alcotest.string "msg" "boom" msg
+
+let test_with_pool_shuts_down_on_exception () =
+  (* the pool must not leak domains when the body raises; if workers
+     leaked, alcotest would hang at exit rather than fail, so the real
+     assertion is that the exception arrives at all *)
+  match
+    Sched.Pool.with_pool ~jobs:2 (fun _pool -> failwith "body blew up")
+  with
+  | () -> Alcotest.fail "expected the body exception"
+  | exception Failure msg ->
+    Helpers.check Alcotest.string "msg" "body blew up" msg
+
+let test_jobs_clamped () =
+  (* absurd requests clamp to the host's domain count instead of
+     spawning hundreds of domains *)
+  Sched.Pool.with_pool ~jobs:10_000 (fun pool ->
+      Helpers.check_bool "clamped" true
+        (Sched.Pool.size pool <= Domain.recommended_domain_count ()));
+  Sched.Pool.with_pool ~jobs:0 (fun pool ->
+      Helpers.check_int "at least one worker" 1 (Sched.Pool.size pool))
+
+let test_default_jobs_env () =
+  (* Sched.default_jobs reads DIAMBOUND_JOBS; garbage falls back to 1 *)
+  let with_env v f =
+    let old = Sys.getenv_opt "DIAMBOUND_JOBS" in
+    Unix.putenv "DIAMBOUND_JOBS" v;
+    Fun.protect f ~finally:(fun () ->
+        Unix.putenv "DIAMBOUND_JOBS" (Option.value old ~default:""))
+  in
+  with_env "3" (fun () ->
+      Helpers.check_int "env honoured" 3 (Sched.default_jobs ()));
+  with_env "nope" (fun () ->
+      Helpers.check_int "garbage falls back" 1 (Sched.default_jobs ()))
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+    Alcotest.test_case "map with more jobs than workers" `Quick
+      test_map_more_jobs_than_workers;
+    Alcotest.test_case "shutdown joins cleanly" `Quick
+      test_shutdown_joins_cleanly;
+    Alcotest.test_case "map re-raises job exceptions" `Quick
+      test_map_reraises_job_exception;
+    Alcotest.test_case "with_pool shuts down on exception" `Quick
+      test_with_pool_shuts_down_on_exception;
+    Alcotest.test_case "jobs clamped to sane range" `Quick test_jobs_clamped;
+    Alcotest.test_case "default_jobs reads the environment" `Quick
+      test_default_jobs_env;
+  ]

@@ -198,6 +198,30 @@ let test_engine_populates_stats () =
   Helpers.check_bool "probe span timed" true
     ((span "engine.bmc-probe").Stats.total_s >= 0.)
 
+let test_multi_domain_counters () =
+  (* counters are atomics and span tables are per-domain: hammering
+     from several domains at once must lose no update *)
+  fresh ();
+  let per_domain = 10_000 in
+  let workers =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Stats.count "mt.hits" 1
+            done;
+            Stats.add_span (Printf.sprintf "mt.work.d%d" d) 0.001))
+  in
+  Array.iter Domain.join workers;
+  let snap = Stats.snapshot () in
+  Helpers.check_int "no update lost" (4 * per_domain)
+    (List.assoc "mt.hits" snap.Stats.counters);
+  (* every domain's span table is merged into the snapshot *)
+  for d = 0 to 3 do
+    let name = Printf.sprintf "mt.work.d%d" d in
+    Helpers.check_bool (name ^ " merged") true
+      (List.mem_assoc name snap.Stats.spans)
+  done
+
 let test_pp_human_smoke () =
   fresh ();
   Stats.count "t.k" 2;
@@ -224,5 +248,7 @@ let suite =
       test_add_span_clamps_negative;
     Alcotest.test_case "engine populates stats" `Quick
       test_engine_populates_stats;
+    Alcotest.test_case "multi-domain counters merge" `Quick
+      test_multi_domain_counters;
     Alcotest.test_case "pp_human smoke" `Quick test_pp_human_smoke;
   ]

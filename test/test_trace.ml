@@ -202,6 +202,49 @@ let test_depth_table () =
     Helpers.check_int "depth 1 propagations sum" 50 d1.Trace_report.propagations
   | l -> Alcotest.fail (Printf.sprintf "expected 2 rows, got %d" (List.length l))
 
+let test_multi_domain_capture () =
+  (* spans emitted from worker domains land in per-domain rings and
+     carry a "domain" argument; flush before the domain parks so stop
+     never loses them *)
+  let events =
+    with_tmp (fun path ->
+        Trace.start ~format:Trace.Jsonl path;
+        let workers =
+          Array.init 2 (fun i ->
+              Domain.spawn (fun () ->
+                  Trace.with_span
+                    (Printf.sprintf "worker%d" i)
+                    (fun () -> Trace.instant "beat");
+                  Trace.flush ()))
+        in
+        Array.iter Domain.join workers;
+        Trace.with_span "main" (fun () -> ());
+        Trace.stop ();
+        Trace.read_file path)
+  in
+  let by_name n =
+    List.filter (fun (e : Trace.event) -> e.Trace.name = n) events
+  in
+  Helpers.check_int "both workers traced" 1 (List.length (by_name "worker0"));
+  Helpers.check_int "both workers traced" 1 (List.length (by_name "worker1"));
+  Helpers.check_int "main traced" 1 (List.length (by_name "main"));
+  let domain_of (e : Trace.event) =
+    match List.assoc_opt "domain" e.Trace.args with
+    | Some (Trace.Int d) -> d
+    | _ -> 0
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun e ->
+          Helpers.check_bool (n ^ " has a nonzero domain tag") true
+            (domain_of e <> 0))
+        (by_name n))
+    [ "worker0"; "worker1" ];
+  List.iter
+    (fun e -> Helpers.check_int "main stays domain 0" 0 (domain_of e))
+    (by_name "main")
+
 let test_report_pp_smoke () =
   let events =
     [
@@ -228,6 +271,8 @@ let suite =
       test_unwritable_sink_is_nonfatal;
     Alcotest.test_case "forest self time" `Quick test_forest_self_time;
     Alcotest.test_case "depth table" `Quick test_depth_table;
+    Alcotest.test_case "multi-domain capture" `Quick
+      test_multi_domain_capture;
     Alcotest.test_case "report pp smoke" `Quick test_report_pp_smoke;
     prop_chrome_roundtrip;
     prop_jsonl_roundtrip;
