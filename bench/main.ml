@@ -5,7 +5,14 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table1  -- a single experiment
-     (table1 | table2 | baseline | verify | portfolio | ablation | bechamel)
+     (table1 | table2 | baseline | verify | portfolio | bmc | ablation |
+      bechamel)
+
+   "bmc" (opt-in) unrolls a BMC workload twice — SAT inprocessing on
+   vs off — and records per-design conflict counts and
+   bmc_bench.<design>.on/off spans plus an aggregate
+   bmc_bench.conflict_reduction_pct gauge; scripts/ci.sh gates the
+   "on" arm against a committed BENCH_*.json snapshot.
 
    "portfolio" (opt-in, not part of the default sweep) times the
    sequential strategy ladder against Engine.verify_portfolio on
@@ -410,6 +417,115 @@ let portfolio () =
     (int_of_float (100. *. !best));
   Format.printf "best speedup: %.2fx@." !best
 
+(* ----- BMC workload: SAT inprocessing on vs off ----- *)
+
+(* Opt-in experiment (like "portfolio"): unrolls each design twice —
+   once with Sat.Simplify inprocessing enabled, once with
+   --no-inprocess semantics — and reports the conflict and wall-clock
+   reduction.  The two arms must agree on the verdict (inprocessing is
+   an equisatisfiable transformation); "consistent" prints the check.
+   Spans bmc_bench.<design>.on/off land in the stats snapshot, so a
+   committed BENCH_*.json plus --baseline --fail-on-regress turns the
+   "on" arm into a regression gate for the simplifier itself. *)
+
+let bmc_designs () =
+  let mk name depth build =
+    let net = Net.create () in
+    let lit = build net in
+    Net.add_target net "t" lit;
+    (name, net, depth)
+  in
+  [
+    (* free enable: every unsat depth is a counting refutation ("the
+       counter cannot reach all-ones in d < 63 steps"), not BCP *)
+    mk "gated63" 63 (fun net ->
+        let en = Net.add_input net "en" in
+        (Workload.Gen.counter net ~name:"c" ~bits:6 ~enable:en).Workload.Gen.out);
+    (* all-unsat variant: no hit exists to depth 80, so the whole run
+       is refutation work — the conflict-heavy arm of the workload *)
+    mk "gated8" 80 (fun net ->
+        let en = Net.add_input net "en" in
+        (Workload.Gen.counter net ~name:"c" ~bits:8 ~enable:en).Workload.Gen.out);
+    (* duplicated-function guard (the COM workload shape): variable
+       elimination resolves the two copies against each other, so the
+       per-frame guard refutations collapse to propagation *)
+    mk "comguard" 40 (fun net ->
+        let rng = Workload.Rng.create 7 in
+        let inputs =
+          List.init 8 (fun i -> Net.add_input net (Printf.sprintf "i%d" i))
+        in
+        let g = Workload.Gen.com_guard net rng ~inputs in
+        (Workload.Gen.counter net ~name:"c" ~bits:6 ~enable:g).Workload.Gen.out);
+  ]
+
+let same_outcome a b =
+  match (a, b) with
+  | Bmc.Hit x, Bmc.Hit y -> x.Bmc.depth = y.Bmc.depth
+  | Bmc.No_hit x, Bmc.No_hit y -> x = y
+  | Bmc.Unknown _, Bmc.Unknown _ -> true
+  | _ -> false
+
+let brief_outcome = function
+  | Bmc.Hit cex -> Printf.sprintf "HIT@%d" cex.Bmc.depth
+  | Bmc.No_hit d -> Printf.sprintf "no-hit..%d" d
+  | Bmc.Unknown d -> Printf.sprintf "unknown@%d" d
+
+let bmc_bench () =
+  Format.printf "@.== BMC workload: SAT inprocessing on vs off ==@.";
+  Format.printf "%-10s %10s %13s %14s %9s %9s@." "design" "verdict"
+    "conflicts(on)" "conflicts(off)" "ms(on)" "ms(off)";
+  let counter name =
+    match List.assoc_opt name (Obs.Stats.snapshot ()).Obs.Stats.counters with
+    | Some n -> n
+    | None -> 0
+  in
+  let saved = Sat.Solver.inprocess_default () in
+  let on_conflicts = ref 0 and off_conflicts = ref 0 in
+  let on_ms = ref 0. and off_ms = ref 0. in
+  Fun.protect ~finally:(fun () -> Sat.Solver.set_inprocess_default saved)
+  @@ fun () ->
+  List.iter
+    (fun (name, net, depth) ->
+      let run tag enabled =
+        Sat.Solver.set_inprocess_default enabled;
+        let c0 = counter "sat.conflicts" in
+        let t0 = Obs.Stats.now () in
+        let outcome =
+          Obs.Stats.time
+            (Printf.sprintf "bmc_bench.%s.%s" name tag)
+            (fun () -> Bmc.check ~budget:(fresh_budget ()) net ~target:"t" ~depth)
+        in
+        let ms = 1e3 *. (Obs.Stats.now () -. t0) in
+        (outcome, counter "sat.conflicts" - c0, ms)
+      in
+      let on, c_on, t_on = run "on" true in
+      let off, c_off, t_off = run "off" false in
+      on_conflicts := !on_conflicts + c_on;
+      off_conflicts := !off_conflicts + c_off;
+      on_ms := !on_ms +. t_on;
+      off_ms := !off_ms +. t_off;
+      let gauge suffix v =
+        Obs.Stats.set_gauge (Printf.sprintf "bmc_bench.%s.%s" name suffix) v
+      in
+      gauge "conflicts_on" c_on;
+      gauge "conflicts_off" c_off;
+      Format.printf "%-10s %10s %13d %14d %9.1f %9.1f  consistent=%b@." name
+        (brief_outcome on) c_on c_off t_on t_off (same_outcome on off))
+    (bmc_designs ());
+  let reduction_pct total_on total_off =
+    100. *. (total_off -. total_on) /. Float.max total_off 1.
+  in
+  let c_red =
+    reduction_pct (float_of_int !on_conflicts) (float_of_int !off_conflicts)
+  in
+  let t_red = reduction_pct !on_ms !off_ms in
+  Obs.Stats.set_gauge "bmc_bench.conflict_reduction_pct" (int_of_float c_red);
+  Obs.Stats.set_gauge "bmc_bench.time_reduction_pct" (int_of_float t_red);
+  Format.printf
+    "total: conflicts %d -> %d (%.1f%% fewer), time %.1fms -> %.1fms (%.1f%% \
+     less)@."
+    !off_conflicts !on_conflicts c_red !off_ms !on_ms t_red
+
 (* ----- Ablations ----- *)
 
 let ablation () =
@@ -663,6 +779,11 @@ let split_args args =
     | "--certify" :: rest ->
       certify_flag := true;
       go stats json exps rest
+    | "--no-inprocess" :: rest ->
+      (* same escape hatch as the tools; the "bmc" experiment still
+         forces its own on/off arms, restoring this default after *)
+      Sat.Solver.set_inprocess_default false;
+      go stats json exps rest
     | exp :: rest -> go stats json (exp :: exps) rest
   in
   go false None [] args
@@ -694,6 +815,7 @@ let () =
         | "baseline" -> run baseline
         | "verify" -> run verify_experiment
         | "portfolio" -> run portfolio
+        | "bmc" -> run bmc_bench
         | "ablation" -> run ablation
         | "bechamel" -> run bechamel
         | other -> Format.eprintf "unknown experiment %s@." other)

@@ -66,8 +66,9 @@ let run_all net certify budget jobs complete depth =
   else Cli.ok
 
 let run file target depth complete certify proof vcd budget jobs stats
-    stats_json trace =
+    stats_json trace no_inprocess =
   Cli.setup_trace trace;
+  Cli.apply_inprocess no_inprocess;
   let net = Cli.load_bench file in
   let certify = certify || proof <> None in
   if jobs > 1 && target = None then begin
@@ -213,6 +214,6 @@ let cmd =
     Term.(
       const run $ file $ target $ depth $ complete $ Cli.certify
       $ Cli.proof_file $ vcd $ Cli.budget $ Cli.jobs $ Cli.stats
-      $ Cli.stats_json $ Cli.trace)
+      $ Cli.stats_json $ Cli.trace $ Cli.no_inprocess)
 
 let () = exit (Cli.main cmd)

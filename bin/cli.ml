@@ -81,6 +81,27 @@ let jobs =
                   $(b,--jobs 1) (verdict selection is by strategy rank, \
                   never wall-clock order), only faster"))
 
+(* --no-inprocess: escape hatch for SAT inprocessing (subsumption,
+   variable elimination, probing and the rest of Sat.Simplify).  The
+   returned term is the flag's value; [apply_inprocess] must run before
+   any solver is created, since the default is captured per instance. *)
+let no_inprocess =
+  let env =
+    Cmd.Env.info "DIAMBOUND_NO_INPROCESS"
+      ~doc:"Disable SAT inprocessing, like $(b,--no-inprocess)"
+  in
+  Arg.(
+    value & flag
+    & info [ "no-inprocess" ] ~env
+        ~doc:"Disable SAT inprocessing (clause subsumption, self-subsuming \
+              resolution, bounded variable elimination and failed-literal \
+              probing between restarts).  Verdicts never change, only \
+              solving speed; this is the escape hatch for debugging or \
+              measuring the simplifier itself")
+
+let apply_inprocess no_inprocess =
+  if no_inprocess then Sat.Solver.set_inprocess_default false
+
 let certify =
   Arg.(
     value & flag

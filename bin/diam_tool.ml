@@ -25,8 +25,9 @@ let load file design =
     Cli.die Cli.usage_error "no input: give a .bench file or --design NAME"
 
 let run file design pipeline cutoff recurrence budget jobs stats stats_json
-    trace =
+    trace no_inprocess =
   Cli.setup_trace trace;
+  Cli.apply_inprocess no_inprocess;
   let net = load file design in
   Format.printf "netlist: %a@." Net.pp_stats net;
   let report =
@@ -116,8 +117,10 @@ let recurrence =
    contrast to diam-verify's strategy-level portfolio).  Verdict lines
    print in input order; the wall-clock budget is one shared deadline
    for the whole batch. *)
-let run_batch files cutoff certify budget jobs stats stats_json trace =
+let run_batch files cutoff certify budget jobs stats stats_json trace
+    no_inprocess =
   Cli.setup_trace trace;
+  Cli.apply_inprocess no_inprocess;
   let problems =
     List.concat_map
       (fun file ->
@@ -173,7 +176,7 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const run_batch $ files $ cutoff $ Cli.certify $ Cli.budget $ Cli.jobs
-      $ Cli.stats $ Cli.stats_json $ Cli.trace)
+      $ Cli.stats $ Cli.stats_json $ Cli.trace $ Cli.no_inprocess)
 
 (* ----- trace-report: offline analysis of a --trace capture ----- *)
 
@@ -213,7 +216,7 @@ let main_cmd =
   Cmd.v (Cmd.info "diam" ~doc)
     Term.(
       const run $ file $ design $ pipeline $ cutoff $ recurrence $ Cli.budget
-      $ Cli.jobs $ Cli.stats $ Cli.stats_json $ Cli.trace)
+      $ Cli.jobs $ Cli.stats $ Cli.stats_json $ Cli.trace $ Cli.no_inprocess)
 
 (* a subcommand can't coexist with a default term taking positional
    args in one cmdliner group (FILE would parse as a command name), so

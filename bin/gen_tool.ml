@@ -45,8 +45,9 @@ let run_all dir jobs =
     results;
   if !failed > 0 then Cli.usage_error else Cli.ok
 
-let run design output list_them all jobs trace =
+let run design output list_them all jobs trace no_inprocess =
   Cli.setup_trace trace;
+  Cli.apply_inprocess no_inprocess;
   if list_them then begin
     Format.printf "ISCAS89-like (Table 1):@.";
     List.iter (Format.printf "  %s@.") Workload.Iscas.names;
@@ -117,6 +118,8 @@ let cmd =
   let doc = "emit the synthetic Table 1/2 benchmark designs as .bench" in
   Cmd.v
     (Cmd.info "diam-gen" ~doc)
-    Term.(const run $ design $ output $ list_them $ all $ Cli.jobs $ Cli.trace)
+    Term.(
+      const run $ design $ output $ list_them $ all $ Cli.jobs $ Cli.trace
+      $ Cli.no_inprocess)
 
 let () = exit (Cli.main cmd)

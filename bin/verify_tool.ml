@@ -8,8 +8,9 @@
 module Net = Netlist.Net
 
 let run file target cutoff certify proof vcd budget jobs stats stats_json trace
-    =
+    no_inprocess =
   Cli.setup_trace trace;
+  Cli.apply_inprocess no_inprocess;
   let net = Cli.load_bench file in
   let certify = certify || proof <> None in
   let targets =
@@ -106,6 +107,7 @@ let cmd =
     (Cmd.info "diam-verify" ~doc)
     Term.(
       const run $ file $ target $ cutoff $ Cli.certify $ Cli.proof_file $ vcd
-      $ Cli.budget $ Cli.jobs $ Cli.stats $ Cli.stats_json $ Cli.trace)
+      $ Cli.budget $ Cli.jobs $ Cli.stats $ Cli.stats_json $ Cli.trace
+      $ Cli.no_inprocess)
 
 let () = exit (Cli.main cmd)

@@ -16,6 +16,11 @@ let schema =
     "sat.propagations";
     "sat.restarts";
     "sat.reduce_dbs";
+    "sat.simplify.runs";
+    "sat.simplify.subsumed";
+    "sat.simplify.strengthened";
+    "sat.simplify.eliminated_vars";
+    "sat.simplify.probed_units";
     "encode.vars";
     "encode.clauses";
   ]
@@ -43,6 +48,16 @@ let solve ?assumptions ?budget ?(span = "sat.solve") solver =
   let propagations = Solver.num_propagations solver in
   let restarts = Solver.num_restarts solver in
   let reduce_dbs = Solver.num_reduce_dbs solver in
+  let simplifies = Solver.num_simplifies solver in
+  let subsumed = Solver.num_subsumed solver in
+  let strengthened = Solver.num_strengthened solver in
+  let eliminated = Solver.num_eliminated solver in
+  let probed = Solver.num_probed_units solver in
+  (* inprocessing passes show up as their own span nested under the
+     solve span, so trace-report attributes time to "sat.simplify" *)
+  Solver.set_simplify_wrapper solver (fun pass ->
+      Obs.Trace.with_span "sat.simplify" (fun () ->
+          Obs.Stats.time "sat.simplify" pass));
   let max_conflicts = Option.bind budget Obs.Budget.conflicts in
   let max_propagations = Option.bind budget Obs.Budget.propagations in
   let should_stop = Option.bind budget Obs.Budget.should_stop in
@@ -78,4 +93,12 @@ let solve ?assumptions ?budget ?(span = "sat.solve") solver =
     (Solver.num_propagations solver - propagations);
   Obs.Stats.count "sat.restarts" (Solver.num_restarts solver - restarts);
   Obs.Stats.count "sat.reduce_dbs" (Solver.num_reduce_dbs solver - reduce_dbs);
+  Obs.Stats.count "sat.simplify.runs" (Solver.num_simplifies solver - simplifies);
+  Obs.Stats.count "sat.simplify.subsumed" (Solver.num_subsumed solver - subsumed);
+  Obs.Stats.count "sat.simplify.strengthened"
+    (Solver.num_strengthened solver - strengthened);
+  Obs.Stats.count "sat.simplify.eliminated_vars"
+    (Solver.num_eliminated solver - eliminated);
+  Obs.Stats.count "sat.simplify.probed_units"
+    (Solver.num_probed_units solver - probed);
   (result, dt)

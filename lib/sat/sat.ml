@@ -5,6 +5,7 @@
 
 module Vec = Vec
 module Solver = Solver
+module Simplify = Simplify
 module Cnf = Cnf
 module Dimacs = Dimacs
 module Proof = Proof

@@ -1,0 +1,517 @@
+(* SatELite-style clause-database simplification.  See simplify.mli for
+   the proof-logging contract; the short version is: additions are
+   logged before the clauses they derive from are touched, ordinary
+   removals are logged after, and variable elimination logs no removals
+   at all so reintroduction stays proof-silent. *)
+
+let negate l = l lxor 1
+let var_of l = l lsr 1
+
+type config = {
+  subsumption : bool;
+  var_elim : bool;
+  probing : bool;
+  occ_limit : int;
+  growth : int;
+  resolvent_limit : int;
+  probe_limit : int;
+  subsume_limit : int;
+  rounds : int;
+}
+
+let default =
+  {
+    subsumption = true;
+    var_elim = true;
+    probing = true;
+    occ_limit = 16;
+    growth = 0;
+    resolvent_limit = 24;
+    probe_limit = 4096;
+    subsume_limit = 400_000;
+    rounds = 2;
+  }
+
+type simplified = Kept of int | Fresh of int array
+
+type result = {
+  clauses : simplified list;
+  units : int list;
+  eliminated : (int * int array array) list;
+  contradiction : bool;
+  n_subsumed : int;
+  n_strengthened : int;
+  n_probed : int;
+}
+
+(* Clause records are immutable once attached: strengthening kills the
+   record and attaches a fresh one, so occurrence lists never need
+   membership checks — only a deadness check. *)
+type cls = {
+  id : int;
+  src : int; (* input index of an untouched clause, -1 if derived *)
+  lits : int array; (* sorted, distinct *)
+  sg : int; (* variable signature (subset filter) *)
+  mutable dead : bool;
+}
+
+type state = {
+  cfg : config;
+  nvars : int;
+  frozen : int -> bool;
+  log_add : int array -> unit;
+  log_delete : int array -> unit;
+  assign : int array; (* var -> -1 unassigned / 0 false / 1 true *)
+  occs : cls list array; (* literal -> clauses (lazy deletion) *)
+  n_occ : int array; (* literal -> live occurrence count *)
+  mutable all : cls list;
+  mutable fresh : cls list; (* attached since the last drain *)
+  mutable next_id : int;
+  mutable contradiction : bool;
+  elim_done : bool array;
+  mutable eliminated : (int * int array array) list; (* reverse order *)
+  mutable derived_units : int list; (* reverse order *)
+  mutable n_subsumed : int;
+  mutable n_strengthened : int;
+  mutable n_probed : int;
+  mutable steps : int;
+}
+
+let lvalue st l =
+  let a = st.assign.(var_of l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let lsig lits =
+  Array.fold_left (fun acc l -> acc lor (1 lsl ((l lsr 1) mod 62))) 0 lits
+
+let attach ?(src = -1) st lits =
+  let c = { id = st.next_id; src; lits; sg = lsig lits; dead = false } in
+  st.next_id <- st.next_id + 1;
+  Array.iter
+    (fun l ->
+      st.occs.(l) <- c :: st.occs.(l);
+      st.n_occ.(l) <- st.n_occ.(l) + 1)
+    lits;
+  st.all <- c :: st.all;
+  st.fresh <- c :: st.fresh;
+  c
+
+let kill st c =
+  if not c.dead then begin
+    c.dead <- true;
+    Array.iter (fun l -> st.n_occ.(l) <- st.n_occ.(l) - 1) c.lits
+  end
+
+let empty_clause st =
+  if not st.contradiction then begin
+    st.contradiction <- true;
+    st.log_add [||]
+  end
+
+(* Insert a derived clause [keep] replacing nothing (old = None) or a
+   live clause being strengthened.  [keep] must be sorted, duplicate-
+   and tautology-free; [logged] says whether the Add event was already
+   emitted by the caller. *)
+let rec insert_derived st ~logged keep =
+  if st.contradiction then ()
+  else
+    match Array.length keep with
+    | 0 -> empty_clause st
+    | 1 ->
+      if not logged then st.log_add keep;
+      assign_lit st keep.(0)
+    | _ ->
+      if not logged then st.log_add keep;
+      ignore (attach st keep)
+
+(* Make literal [l] true at the root and cascade: clauses containing
+   [l] are satisfied and retired, clauses containing [not l] are
+   strengthened.  The Add event for the unit itself is the caller's
+   business (it is either a shrunk clause, a probe unit or a unit
+   resolvent, each logged at its derivation site). *)
+and assign_lit st l =
+  if not st.contradiction then
+    match lvalue st l with
+    | 1 -> ()
+    | 0 -> empty_clause st
+    | _ ->
+      st.assign.(var_of l) <- (if l land 1 = 0 then 1 else 0);
+      st.derived_units <- l :: st.derived_units;
+      List.iter
+        (fun c ->
+          if not c.dead then begin
+            st.log_delete c.lits;
+            kill st c
+          end)
+        st.occs.(l);
+      List.iter (fun c -> if not c.dead then shrink_clause st c) st.occs.(negate l)
+
+(* Re-normalize a live clause against the current root assignment. *)
+and shrink_clause st c =
+  if (not c.dead) && not st.contradiction then
+    if Array.exists (fun l -> lvalue st l = 1) c.lits then begin
+      st.log_delete c.lits;
+      kill st c
+    end
+    else begin
+      let keep =
+        Array.of_list
+          (List.filter (fun l -> lvalue st l <> 0) (Array.to_list c.lits))
+      in
+      if Array.length keep < Array.length c.lits then begin
+        st.n_strengthened <- st.n_strengthened + 1;
+        if Array.length keep > 0 then st.log_add keep;
+        st.log_delete c.lits;
+        kill st c;
+        insert_derived st ~logged:true keep
+      end
+    end
+
+(* ----- subsumption and self-subsuming resolution ----- *)
+
+(* Does [c] subsume [d], possibly modulo flipping one literal?
+   Returns [`No], [`Subsumes], or [`Strengthen l] where [l] is the
+   literal of [c] whose negation can be removed from [d] by
+   self-subsuming resolution.  Both clauses sorted. *)
+let subsume_check c d =
+  let a = c.lits and b = d.lits in
+  let n = Array.length a and m = Array.length b in
+  if n > m then `No
+  else begin
+    let flip = ref (-1) in
+    let rec go i j =
+      if i >= n then if !flip < 0 then `Subsumes else `Strengthen !flip
+      else if j >= m || n - i > m - j then `No
+      else
+        let x = a.(i) and y = b.(j) in
+        if x = y then go (i + 1) (j + 1)
+        else if y lxor x = 1 then
+          if !flip >= 0 then `No
+          else begin
+            flip := x;
+            go (i + 1) (j + 1)
+          end
+        else if y < x then go i (j + 1)
+        else `No
+    in
+    go 0 0
+  end
+
+let strengthen_by st d removed =
+  st.n_strengthened <- st.n_strengthened + 1;
+  let keep =
+    Array.of_list (List.filter (fun l -> l <> removed) (Array.to_list d.lits))
+  in
+  if Array.length keep > 0 then st.log_add keep;
+  st.log_delete d.lits;
+  kill st d;
+  insert_derived st ~logged:true keep
+
+(* Find clauses subsumed or strengthened by [c]: candidates are the
+   occurrences (either polarity) of c's least-common variable. *)
+let backward st c =
+  if (not c.dead) && not st.contradiction then begin
+    let best = ref c.lits.(0) and bestn = ref max_int in
+    Array.iter
+      (fun l ->
+        let n = st.n_occ.(l) + st.n_occ.(negate l) in
+        if n < !bestn then begin
+          bestn := n;
+          best := l
+        end)
+      c.lits;
+    let scan lst =
+      List.iter
+        (fun d ->
+          if
+            (not d.dead) && (not c.dead) && d != c
+            && (not st.contradiction)
+            && st.steps <= st.cfg.subsume_limit
+            && Array.length d.lits >= Array.length c.lits
+            && c.sg land lnot d.sg = 0
+          then begin
+            st.steps <- st.steps + 1;
+            match subsume_check c d with
+            | `No -> ()
+            | `Subsumes ->
+              st.n_subsumed <- st.n_subsumed + 1;
+              st.log_delete d.lits;
+              kill st d
+            | `Strengthen l -> strengthen_by st d (negate l)
+          end)
+        lst
+    in
+    scan st.occs.(!best);
+    scan st.occs.(negate !best)
+  end
+
+let live st = List.filter (fun c -> not c.dead) st.all
+
+let subsume_pass st =
+  st.steps <- 0;
+  st.fresh <- [];
+  let order =
+    List.sort
+      (fun a b -> compare (Array.length a.lits, a.id) (Array.length b.lits, b.id))
+      (live st)
+  in
+  List.iter (fun c -> if st.steps <= st.cfg.subsume_limit then backward st c) order;
+  (* clauses created mid-pass (strengthened replacements) get their own
+     backward look, to a fixpoint or the step budget *)
+  let rec drain () =
+    match st.fresh with
+    | [] -> ()
+    | batch when st.steps > st.cfg.subsume_limit -> ignore batch
+    | batch ->
+      st.fresh <- [];
+      List.iter
+        (fun c -> if st.steps <= st.cfg.subsume_limit then backward st c)
+        (List.rev batch);
+      drain ()
+  in
+  drain ()
+
+(* ----- failed-literal probing on the binary implication graph ----- *)
+
+let probe st =
+  let nlits = 2 * st.nvars in
+  let imp = Array.make nlits [] in
+  let pred = Array.make nlits 0 in
+  List.iter
+    (fun c ->
+      if (not c.dead) && Array.length c.lits = 2 then begin
+        let a = c.lits.(0) and b = c.lits.(1) in
+        imp.(negate a) <- b :: imp.(negate a);
+        pred.(b) <- pred.(b) + 1;
+        imp.(negate b) <- a :: imp.(negate b);
+        pred.(a) <- pred.(a) + 1
+      end)
+    st.all;
+  let seen = Array.make nlits 0 in
+  let epoch = ref 0 in
+  let probes = ref 0 in
+  for l = 0 to nlits - 1 do
+    if
+      !probes < st.cfg.probe_limit
+      && imp.(l) <> []
+      && pred.(l) = 0
+      && lvalue st l < 0
+      && not st.contradiction
+    then begin
+      incr probes;
+      incr epoch;
+      (* depth-first walk of everything [l] implies; implications from
+         clauses retired mid-phase are still entailed, so stale edges
+         cannot produce a wrong failure *)
+      seen.(l) <- !epoch;
+      let failed = ref false in
+      let stack = ref [ l ] in
+      while (not !failed) && !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | x :: rest ->
+          stack := rest;
+          List.iter
+            (fun y ->
+              if not !failed then
+                if lvalue st y = 0 || seen.(negate y) = !epoch then failed := true
+                else if lvalue st y < 0 && seen.(y) <> !epoch then begin
+                  seen.(y) <- !epoch;
+                  stack := y :: !stack
+                end)
+            imp.(x)
+      done;
+      if !failed then begin
+        st.n_probed <- st.n_probed + 1;
+        st.log_add [| negate l |];
+        assign_lit st (negate l)
+      end
+    end
+  done
+
+(* ----- bounded variable elimination ----- *)
+
+(* Resolvent of [a] (contains pos v) and [b] (contains neg v) on [v];
+   both sorted, result sorted.  [`Taut] resolvents are skipped, [`Long]
+   ones abort the elimination of [v]. *)
+let resolve limit a b v =
+  let la = Array.length a and lb = Array.length b in
+  let buf = Array.make (la + lb) 0 in
+  let k = ref 0 in
+  let taut = ref false in
+  let push l =
+    if not !taut then
+      if !k > 0 && buf.(!k - 1) = l then ()
+      else if !k > 0 && buf.(!k - 1) lxor l = 1 then taut := true
+      else begin
+        buf.(!k) <- l;
+        incr k
+      end
+  in
+  let i = ref 0 and j = ref 0 in
+  while (not !taut) && (!i < la || !j < lb) do
+    let from_a = !j >= lb || (!i < la && a.(!i) <= b.(!j)) in
+    let l =
+      if from_a then begin
+        let l = a.(!i) in
+        incr i;
+        l
+      end
+      else begin
+        let l = b.(!j) in
+        incr j;
+        l
+      end
+    in
+    if var_of l <> v then push l
+  done;
+  if !taut then `Taut
+  else if !k > limit then `Long
+  else `Res (Array.sub buf 0 !k)
+
+let try_eliminate st v =
+  if
+    (not (st.frozen v))
+    && (not st.elim_done.(v))
+    && st.assign.(v) < 0
+    && not st.contradiction
+  then begin
+    let p = List.filter (fun c -> not c.dead) st.occs.(2 * v) in
+    let n = List.filter (fun c -> not c.dead) st.occs.((2 * v) + 1) in
+    let total = List.length p + List.length n in
+    if total > 0 && total <= st.cfg.occ_limit then begin
+      let res = ref [] and nres = ref 0 and ok = ref true in
+      List.iter
+        (fun cp ->
+          if !ok then
+            List.iter
+              (fun cn ->
+                if !ok then
+                  (* resolvents may not outgrow the widest parent: wider
+                     clauses propagate worse, and on counting structure
+                     (adder carries, hold-mux chains) that costs more
+                     conflicts than the eliminated variable saves *)
+                  let limit =
+                    min st.cfg.resolvent_limit
+                      (max (Array.length cp.lits) (Array.length cn.lits))
+                  in
+                  match resolve limit cp.lits cn.lits v with
+                  | `Taut -> ()
+                  | `Long -> ok := false
+                  | `Res r ->
+                    incr nres;
+                    if !nres > total + st.cfg.growth then ok := false
+                    else res := r :: !res)
+              n)
+        p;
+      if !ok then begin
+        let stored =
+          Array.of_list (List.map (fun c -> c.lits) (p @ n))
+        in
+        let resolvents = List.rev !res in
+        (* additions first, while both parents are still live (each
+           resolvent is RUP against them); the parents then leave
+           without Delete events — see the contract in simplify.mli *)
+        List.iter st.log_add resolvents;
+        List.iter (fun c -> kill st c) p;
+        List.iter (fun c -> kill st c) n;
+        st.elim_done.(v) <- true;
+        st.eliminated <- (v, stored) :: st.eliminated;
+        (* attach non-unit resolvents before applying unit ones, so the
+           live-clause invariant (no assigned literals) is kept by the
+           assignment cascade itself *)
+        List.iter
+          (fun r -> if Array.length r > 1 then ignore (attach st r))
+          resolvents;
+        List.iter
+          (fun r ->
+            if Array.length r = 1 then assign_lit st r.(0)
+            else if Array.length r = 0 then empty_clause st)
+          resolvents
+      end
+    end
+  end
+
+let bve_pass st =
+  let order = Array.init st.nvars (fun v -> v) in
+  let weight v = st.n_occ.(2 * v) + st.n_occ.((2 * v) + 1) in
+  Array.sort (fun a b -> compare (weight a, a) (weight b, b)) order;
+  Array.iter (fun v -> try_eliminate st v) order
+
+(* ----- driver ----- *)
+
+let run ?(config = default) ~nvars ~frozen ~value ~log_add ~log_delete input =
+  let st =
+    {
+      cfg = config;
+      nvars;
+      frozen;
+      log_add;
+      log_delete;
+      assign = Array.init nvars (fun v -> value (2 * v));
+      occs = Array.make (2 * nvars) [];
+      n_occ = Array.make (2 * nvars) 0;
+      all = [];
+      fresh = [];
+      next_id = 0;
+      contradiction = false;
+      elim_done = Array.make nvars false;
+      eliminated = [];
+      derived_units = [];
+      n_subsumed = 0;
+      n_strengthened = 0;
+      n_probed = 0;
+      steps = 0;
+    }
+  in
+  (* normalize the input against the root assignment; solver clauses
+     arrive watch-shuffled, so sort a private copy.  Untouched clauses
+     keep their input index so the caller can recognize them (Kept)
+     and leave its own records — and their watch order — alone. *)
+  List.iteri
+    (fun i lits ->
+      if not st.contradiction then begin
+        let lits = Array.copy lits in
+        Array.sort compare lits;
+        if Array.exists (fun l -> lvalue st l = 1) lits then st.log_delete lits
+        else begin
+          let keep =
+            Array.of_list
+              (List.filter (fun l -> lvalue st l <> 0) (Array.to_list lits))
+          in
+          if Array.length keep = Array.length lits then
+            ignore (attach ~src:i st keep)
+          else begin
+            st.n_strengthened <- st.n_strengthened + 1;
+            if Array.length keep > 0 then st.log_add keep;
+            st.log_delete lits;
+            insert_derived st ~logged:true keep
+          end
+        end
+      end)
+    input;
+  let progress st =
+    (st.n_subsumed, st.n_strengthened, st.n_probed, List.length st.eliminated)
+  in
+  let round = ref 0 in
+  let changed = ref true in
+  while !changed && !round < config.rounds && not st.contradiction do
+    incr round;
+    let before = progress st in
+    if config.subsumption then subsume_pass st;
+    if config.probing && not st.contradiction then probe st;
+    if config.var_elim && not st.contradiction then bve_pass st;
+    changed := before <> progress st
+  done;
+  {
+    clauses =
+      List.rev_map
+        (fun c -> if c.src >= 0 then Kept c.src else Fresh c.lits)
+        (live st);
+    units = List.rev st.derived_units;
+    eliminated = List.rev st.eliminated;
+    contradiction = st.contradiction;
+    n_subsumed = st.n_subsumed;
+    n_strengthened = st.n_strengthened;
+    n_probed = st.n_probed;
+  }

@@ -1,0 +1,85 @@
+(** Clause-database simplification (inprocessing).
+
+    A self-contained SatELite-style pass over a set of problem clauses:
+    subsumption, self-subsuming resolution (clause strengthening),
+    bounded variable elimination by clause distribution, and
+    failed-literal probing on the binary implication graph.  The module
+    is deliberately independent of {!Solver}: it receives plain
+    literal-array clauses plus the root-level assignment and returns the
+    simplified clause set, the root units it derived, and the
+    elimination record the solver needs for model reconstruction and
+    variable reintroduction.
+
+    Proof-logging contract (this is what keeps {!Drup.check} and the
+    certification layer sound):
+
+    - every clause the pass derives — strengthened clauses, resolvents
+      of eliminated variables, failed-literal units — is announced
+      through [log_add] {e before} any clause it was derived from is
+      touched, so each addition is RUP against the checker's live set;
+    - clauses retired because they are subsumed, satisfied at the root,
+      or replaced by a strengthened version are announced through
+      [log_delete] {e after} their replacement (deletions only ever
+      weaken a DRUP derivation, so these are always sound);
+    - clauses removed by variable elimination are {e not} deleted from
+      the proof at all.  The checker keeps them live — harmless, since
+      extra clauses only help unit propagation — and in exchange the
+      solver may silently reintroduce them later (when a new clause or
+      assumption mentions an eliminated variable) without emitting
+      non-RUP re-addition events. *)
+
+type config = {
+  subsumption : bool;  (** subsumption + self-subsuming resolution *)
+  var_elim : bool;  (** bounded variable elimination *)
+  probing : bool;  (** failed-literal probing on the binary graph *)
+  occ_limit : int;
+      (** only eliminate variables with at most this many occurrences *)
+  growth : int;
+      (** max net growth in clause count per eliminated variable *)
+  resolvent_limit : int;  (** abandon elimination on longer resolvents *)
+  probe_limit : int;  (** max probed literals per pass *)
+  subsume_limit : int;  (** max subsumption candidate checks per pass *)
+  rounds : int;  (** fixpoint rounds per pass *)
+}
+
+val default : config
+
+type simplified =
+  | Kept of int
+      (** input clause at this index survived byte-for-byte: the caller
+          should keep its own record (and watch order) for it *)
+  | Fresh of int array
+      (** a clause the pass derived (strengthened or a BVE resolvent) *)
+
+type result = {
+  clauses : simplified list;
+      (** the simplified clause set; every clause has >= 2 literals,
+          all unassigned at the root *)
+  units : int list;
+      (** root units derived during the pass, in derivation order *)
+  eliminated : (int * int array array) list;
+      (** per eliminated variable, the clauses removed with it, in
+          elimination order — the solver's reconstruction stack *)
+  contradiction : bool;
+      (** the pass derived the empty clause (already logged) *)
+  n_subsumed : int;
+  n_strengthened : int;
+  n_probed : int;
+}
+
+val run :
+  ?config:config ->
+  nvars:int ->
+  frozen:(int -> bool) ->
+  value:(int -> int) ->
+  log_add:(int array -> unit) ->
+  log_delete:(int array -> unit) ->
+  int array list ->
+  result
+(** [run ~nvars ~frozen ~value ~log_add ~log_delete clauses] simplifies
+    [clauses].  [frozen v] protects variable [v] from elimination
+    (assumption variables, already-eliminated variables); [value l]
+    reports the root-level value of literal [l] (-1 unassigned, 0
+    false, 1 true); the two loggers receive proof events per the
+    contract above.  Input clauses need not be sorted and must not be
+    tautologies. *)

@@ -13,9 +13,12 @@ type clause = {
   mutable act : float;
   learnt : bool;
   mutable deleted : bool;
+  mutable lbd : int; (* glue: distinct decision levels at learn time *)
+  mutable used : int; (* reduce_db epoch of last use in conflict analysis *)
 }
 
-let dummy_clause = { lits = [||]; act = 0.; learnt = false; deleted = true }
+let dummy_clause =
+  { lits = [||]; act = 0.; learnt = false; deleted = true; lbd = 0; used = 0 }
 
 type t = {
   mutable nvars : int;
@@ -44,6 +47,24 @@ type t = {
   mutable restarts : int;
   mutable reduce_dbs : int;
   mutable last_solve_sat : bool;
+  (* inprocessing (see Simplify) *)
+  mutable simplify_enabled : bool; (* captured from the global default *)
+  mutable simplify_cfg : Simplify.config;
+  mutable simplify_wrapper : (unit -> unit) -> unit; (* Obs instrumentation *)
+  mutable next_simplify : int; (* conflict count that triggers a pass *)
+  mutable simplify_interval : int;
+  mutable clauses_since_simplify : int;
+  mutable frozen : bool array; (* per var: protected from elimination *)
+  mutable eliminated : bool array; (* per var: currently eliminated *)
+  elim_stack : (int * int array array) Vec.t; (* reconstruction stack *)
+  mutable lvl_stamp : int array; (* scratch for LBD computation *)
+  mutable stamp : int;
+  mutable simplifies : int;
+  mutable subsumed : int;
+  mutable strengthened : int;
+  mutable eliminated_vars : int;
+  mutable probed_units : int;
+  mutable core_deleted : int; (* must stay 0: core learnts never age out *)
   mutable proof : Proof.t option;
   (* Chaos.Corrupt_model negates the *reported* model only: the flag is
      consulted by [value], never written into [assigns]/[phase], so the
@@ -53,6 +74,24 @@ type t = {
      each consult their own instance (see Chaos) *)
   chaos : Chaos.instance;
 }
+
+(* Inprocessing default: process-global, captured per solver instance
+   at creation (like Chaos) so concurrent solvers stay independent.
+   The CLI tools set it from [--no-inprocess]; otherwise the
+   [DIAMBOUND_NO_INPROCESS] environment variable decides. *)
+let env_no_inprocess =
+  lazy
+    (match Sys.getenv_opt "DIAMBOUND_NO_INPROCESS" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+let inprocess_override = ref None
+let set_inprocess_default b = inprocess_override := Some b
+
+let inprocess_default () =
+  match !inprocess_override with
+  | Some b -> b
+  | None -> not (Lazy.force env_no_inprocess)
 
 let create () =
   {
@@ -82,6 +121,23 @@ let create () =
     restarts = 0;
     reduce_dbs = 0;
     last_solve_sat = false;
+    simplify_enabled = inprocess_default ();
+    simplify_cfg = Simplify.default;
+    simplify_wrapper = (fun f -> f ());
+    next_simplify = 0;
+    simplify_interval = 1000;
+    clauses_since_simplify = 0;
+    frozen = [||];
+    eliminated = [||];
+    elim_stack = Vec.create ~dummy:(0, [||]) ();
+    lvl_stamp = [||];
+    stamp = 0;
+    simplifies = 0;
+    subsumed = 0;
+    strengthened = 0;
+    eliminated_vars = 0;
+    probed_units = 0;
+    core_deleted = 0;
     proof = None;
     corrupt_model = false;
     chaos = Chaos.capture ();
@@ -109,7 +165,17 @@ let num_restarts s = s.restarts
 let num_reduce_dbs s = s.reduce_dbs
 let num_clauses s = Vec.size s.clauses
 let num_learnts s = Vec.size s.learnts
+let num_simplifies s = s.simplifies
+let num_subsumed s = s.subsumed
+let num_strengthened s = s.strengthened
+let num_eliminated s = s.eliminated_vars
+let num_probed_units s = s.probed_units
+let num_core_deleted s = s.core_deleted
 let set_max_learnts s n = s.max_learnts <- float_of_int n
+let max_learnts s = int_of_float s.max_learnts
+let set_inprocess s b = s.simplify_enabled <- b
+let set_simplify_config s cfg = s.simplify_cfg <- cfg
+let set_simplify_wrapper s f = s.simplify_wrapper <- f
 
 let num_watch_entries s =
   let total = ref 0 in
@@ -196,6 +262,10 @@ let new_var s =
   s.heap <- grow_array s.heap (v + 1) 0;
   s.heap_pos <- grow_array s.heap_pos (v + 1) (-1);
   s.seen <- grow_array s.seen (v + 1) false;
+  s.frozen <- grow_array s.frozen (v + 1) false;
+  s.eliminated <- grow_array s.eliminated (v + 1) false;
+  (* decision levels range over 0..nvars *)
+  s.lvl_stamp <- grow_array s.lvl_stamp (v + 2) 0;
   if Array.length s.watches < 2 * (v + 1) then begin
     let old = Array.length s.watches in
     let w =
@@ -229,6 +299,21 @@ let var_bump s v =
   if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
 
 let var_decay s = s.var_inc <- s.var_inc *. (1. /. 0.95)
+
+(* Glue (LBD): number of distinct non-root decision levels among the
+   literals.  Computed while the literals are still assigned. *)
+let compute_lbd s lits =
+  s.stamp <- s.stamp + 1;
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      let lv = s.level.(var_of l) in
+      if lv > 0 && s.lvl_stamp.(lv) <> s.stamp then begin
+        s.lvl_stamp.(lv) <- s.stamp;
+        incr n
+      end)
+    lits;
+  !n
 
 let cla_bump s c =
   c.act <- c.act +. s.cla_inc;
@@ -339,7 +424,13 @@ let analyze s confl =
   let c = ref confl in
   let continue = ref true in
   while !continue do
-    if !c.learnt then cla_bump s !c;
+    if !c.learnt then begin
+      cla_bump s !c;
+      (* tier bookkeeping: the clause is useful right now *)
+      !c.used <- s.reduce_dbs;
+      let glue = compute_lbd s !c.lits in
+      if glue < !c.lbd then !c.lbd <- glue
+    end;
     let start = if !p < 0 then 0 else 1 in
     for k = start to Array.length !c.lits - 1 do
       let q = !c.lits.(k) in
@@ -424,15 +515,32 @@ let sweep_watches s =
     Vec.shrink ws !j
   done
 
+(* LBD tier boundaries: learnts with glue <= core_lbd are kept for the
+   lifetime of the solver; glue <= tier2_lbd survive while recently
+   used in conflict analysis; the rest (the local tier) compete by
+   activity and the worst half ages out. *)
+let core_lbd = 3
+let tier2_lbd = 6
+
 let reduce_db s =
   s.reduce_dbs <- s.reduce_dbs + 1;
-  Vec.sort (fun a b -> compare a.act b.act) s.learnts;
-  let n = Vec.size s.learnts in
   let keep = Vec.create ~dummy:dummy_clause () in
+  let local = Vec.create ~dummy:dummy_clause () in
+  Vec.iter
+    (fun c ->
+      if locked s c || Array.length c.lits <= 2 || c.lbd <= core_lbd then
+        Vec.push keep c
+      else if c.lbd <= tier2_lbd && c.used + 2 >= s.reduce_dbs then
+        Vec.push keep c
+      else Vec.push local c)
+    s.learnts;
+  Vec.sort (fun a b -> compare a.act b.act) local;
+  let n = Vec.size local in
   let limit = n / 2 in
   for i = 0 to n - 1 do
-    let c = Vec.get s.learnts i in
-    if i < limit && (not (locked s c)) && Array.length c.lits > 2 then begin
+    let c = Vec.get local i in
+    if i < limit then begin
+      if c.lbd <= core_lbd then s.core_deleted <- s.core_deleted + 1;
       c.deleted <- true;
       log_event s (fun p -> Proof.log_delete p c.lits)
     end
@@ -440,7 +548,73 @@ let reduce_db s =
   done;
   Vec.clear s.learnts;
   Vec.iter (fun c -> Vec.push s.learnts c) keep;
-  sweep_watches s
+  sweep_watches s;
+  (* let the learnt budget breathe: geometric growth, with a floor above
+     the survivor count so the trigger cannot re-fire on the very next
+     conflict (the old one-shot sizing thrashed reduce_db on long runs) *)
+  s.max_learnts <-
+    Float.max (s.max_learnts *. 1.1)
+      ((float_of_int (Vec.size s.learnts) *. 1.25) +. 128.)
+
+(* ----- variable reintroduction (undoing elimination) ----- *)
+
+(* Restore an eliminated variable: the clauses removed with it re-enter
+   the live set so later clauses or assumptions may mention it again.
+   This is proof-silent by design — elimination never logged Delete
+   events for these clauses, so the DRUP checker still holds them and
+   re-adding them needs no (non-RUP) Add events.  Stored clauses may
+   mention variables eliminated later; those come back first. *)
+let rec reintroduce s v =
+  if s.eliminated.(v) then begin
+    s.eliminated.(v) <- false;
+    if s.assigns.(v) < 0 then heap_insert s v;
+    let mine = ref [] in
+    let kept = Vec.create ~dummy:(0, [||]) () in
+    Vec.iter
+      (fun ((w, css) as e) ->
+        if w = v then mine := css :: !mine else Vec.push kept e)
+      s.elim_stack;
+    Vec.clear s.elim_stack;
+    Vec.iter (fun e -> Vec.push s.elim_stack e) kept;
+    List.iter
+      (fun css ->
+        Array.iter
+          (fun lits ->
+            Array.iter (fun l -> reintroduce s (var_of l)) lits;
+            attach_restored s lits)
+          css)
+      !mine
+  end
+
+and attach_restored s lits =
+  if s.ok && not (Array.exists (fun l -> lvalue s l = 1) lits) then begin
+    let live = List.filter (fun l -> lvalue s l <> 0) (Array.to_list lits) in
+    match live with
+    | [] ->
+      (* every literal is root-false: the empty clause is RUP *)
+      s.ok <- false;
+      log_event s (fun p -> Proof.log_add p [||])
+    | [ l ] ->
+      enqueue s l dummy_clause;
+      if propagate s != dummy_clause then begin
+        s.ok <- false;
+        log_event s (fun p -> Proof.log_add p [||])
+      end
+    | l0 :: l1 :: _ ->
+      let c =
+        {
+          lits = Array.of_list live;
+          act = 0.;
+          learnt = false;
+          deleted = false;
+          lbd = 0;
+          used = 0;
+        }
+      in
+      Vec.push s.clauses c;
+      watch s l0 c;
+      watch s l1 c
+  end
 
 (* ----- clause addition ----- *)
 
@@ -448,16 +622,32 @@ let add_clause s lits =
   if s.ok then begin
     if decision_level s > 0 then
       invalid_arg "Solver.add_clause: only legal at decision level 0";
+    List.iter
+      (fun l ->
+        let v = var_of l in
+        if s.eliminated.(v) then begin
+          (* the caller still references v from outside: reintroduce it
+             and freeze it, so incremental encodings (BMC frames naming
+             last frame's boundary vars) don't churn through repeated
+             eliminate/reintroduce cycles that pile up resolvents *)
+          reintroduce s v;
+          s.frozen.(v) <- true
+        end)
+      lits;
     (* the axiom is the clause as given; the simplifications below are
        the solver's own business and stay out of the proof *)
     log_event s (fun p -> Proof.log_input p (Array.of_list lits));
-    (* dedup and detect tautology / satisfied / falsified-at-0 literals *)
+    (* dedup and detect tautology / satisfied / falsified-at-0 literals;
+       sorting puts l and (negate l) adjacent, so one pass suffices *)
     let lits = List.sort_uniq compare lits in
-    let tautology =
-      List.exists (fun l -> List.mem (negate l) lits) lits
-      || List.exists (fun l -> lvalue s l = 1) lits
+    let rec complementary = function
+      | a :: (b :: _ as rest) -> a lxor b = 1 || complementary rest
+      | _ -> false
     in
-    if not tautology then begin
+    let tautology =
+      complementary lits || List.exists (fun l -> lvalue s l = 1) lits
+    in
+    if s.ok && not tautology then begin
       let lits = List.filter (fun l -> lvalue s l <> 0) lits in
       match lits with
       | [] ->
@@ -476,27 +666,140 @@ let add_clause s lits =
             act = 0.;
             learnt = false;
             deleted = false;
+            lbd = 0;
+            used = 0;
           }
         in
         Vec.push s.clauses c;
+        s.clauses_since_simplify <- s.clauses_since_simplify + 1;
         watch s l0 c;
         watch s l1 c
     end
   end
 
-let record_learnt s lits =
+let record_learnt s lits lbd =
   (* every learnt clause is a resolvent, hence RUP against the clauses
      live at this point — exactly what the Drup checker verifies *)
   log_event s (fun p -> Proof.log_add p lits);
   if Array.length lits = 1 then enqueue s lits.(0) dummy_clause
   else begin
-    let c = { lits; act = 0.; learnt = true; deleted = false } in
+    let c =
+      { lits; act = 0.; learnt = true; deleted = false; lbd; used = s.reduce_dbs }
+    in
     Vec.push s.learnts c;
     watch s lits.(0) c;
     watch s lits.(1) c;
     cla_bump s c;
     enqueue s lits.(0) c
   end
+
+(* ----- inprocessing ----- *)
+
+let run_simplify s =
+  if s.ok && decision_level s = 0 then begin
+    s.simplifies <- s.simplifies + 1;
+    let records = ref [] in
+    Vec.iter
+      (fun c -> if not c.deleted then records := c :: !records)
+      s.clauses;
+    let records = Array.of_list (List.rev !records) in
+    let r =
+      Simplify.run ~config:s.simplify_cfg ~nvars:s.nvars
+        ~frozen:(fun v -> s.frozen.(v) || s.eliminated.(v))
+        ~value:(lvalue s)
+        ~log_add:(fun lits -> log_event s (fun p -> Proof.log_add p lits))
+        ~log_delete:(fun lits -> log_event s (fun p -> Proof.log_delete p lits))
+        (Array.to_list (Array.map (fun c -> c.lits) records))
+    in
+    s.subsumed <- s.subsumed + r.Simplify.n_subsumed;
+    s.strengthened <- s.strengthened + r.Simplify.n_strengthened;
+    s.probed_units <- s.probed_units + r.Simplify.n_probed;
+    s.eliminated_vars <- s.eliminated_vars + List.length r.Simplify.eliminated;
+    (* swap in the simplified problem clause set (proof-wise these are
+       the same clauses: all additions/removals were logged above).
+       Untouched clauses keep their original record — and original
+       watch pair — so a pass that changes nothing perturbs nothing. *)
+    let kept = Array.make (Array.length records) false in
+    Vec.clear s.clauses;
+    List.iter
+      (function
+        | Simplify.Kept i ->
+          kept.(i) <- true;
+          Vec.push s.clauses records.(i)
+        | Simplify.Fresh lits ->
+          let c =
+            { lits; act = 0.; learnt = false; deleted = false; lbd = 0; used = 0 }
+          in
+          Vec.push s.clauses c;
+          watch s lits.(0) c;
+          watch s lits.(1) c)
+      r.Simplify.clauses;
+    Array.iteri (fun i c -> if not kept.(i) then c.deleted <- true) records;
+    (* eliminated variables: record for model reconstruction, and drop
+       any learnt that mentions one (it would otherwise keep the
+       variable alive in the watch structures) *)
+    if r.Simplify.eliminated <> [] then begin
+      List.iter
+        (fun (v, css) ->
+          s.eliminated.(v) <- true;
+          Vec.push s.elim_stack (v, css))
+        r.Simplify.eliminated;
+      let keep = Vec.create ~dummy:dummy_clause () in
+      Vec.iter
+        (fun c ->
+          if Array.exists (fun l -> s.eliminated.(var_of l)) c.lits then begin
+            c.deleted <- true;
+            log_event s (fun p -> Proof.log_delete p c.lits)
+          end
+          else Vec.push keep c)
+        s.learnts;
+      Vec.clear s.learnts;
+      Vec.iter (fun c -> Vec.push s.learnts c) keep
+    end;
+    sweep_watches s;
+    if r.Simplify.contradiction then s.ok <- false
+    else
+      (* fold the derived root units into the trail *)
+      List.iter
+        (fun l ->
+          if s.ok then
+            match lvalue s l with
+            | 1 -> ()
+            | 0 ->
+              s.ok <- false;
+              log_event s (fun p -> Proof.log_add p [||])
+            | _ ->
+              enqueue s l dummy_clause;
+              if propagate s != dummy_clause then begin
+                s.ok <- false;
+                log_event s (fun p -> Proof.log_add p [||])
+              end)
+        r.Simplify.units;
+    s.clauses_since_simplify <- 0
+  end
+
+(* Run a pass when the conflict schedule or clause-database growth says
+   so; called at solve entry and restart boundaries (decision level 0).
+   The wrapper hook lets the observability layer time the pass without
+   lib/sat depending on lib/obs. *)
+let maybe_simplify s =
+  if
+    s.simplify_enabled && s.ok
+    && decision_level s = 0
+    && (s.conflicts >= s.next_simplify
+       || s.clauses_since_simplify > (Vec.size s.clauses / 3) + 256)
+  then begin
+    s.simplify_wrapper (fun () -> run_simplify s);
+    s.simplify_interval <- s.simplify_interval + (s.simplify_interval / 2);
+    s.next_simplify <- s.conflicts + s.simplify_interval
+  end
+
+let simplify_now s =
+  if decision_level s > 0 then
+    invalid_arg "Solver.simplify_now: only legal at decision level 0";
+  s.simplify_wrapper (fun () -> run_simplify s)
+
+let freeze s v = s.frozen.(v) <- true
 
 (* ----- search ----- *)
 
@@ -524,11 +827,13 @@ let pick_branch s =
     if s.heap_size = 0 then -1
     else begin
       let v = heap_pop s in
-      if s.assigns.(v) < 0 then v else go ()
+      if s.assigns.(v) < 0 && not s.eliminated.(v) then v else go ()
     end
   in
   go ()
 
+(* [assumptions] is an array snapshot: [search] indexes it by decision
+   level on every decision, which was O(|assumptions|) as a list. *)
 let search s assumptions conflict_budget =
   let conflicts_here = ref 0 in
   let rec loop () =
@@ -542,8 +847,10 @@ let search s assumptions conflict_budget =
         raise Found_unsat
       end;
       let learnt, bt = analyze s confl in
+      (* glue while every literal is still assigned at its true level *)
+      let lbd = compute_lbd s learnt in
       cancel_until s bt;
-      record_learnt s learnt;
+      record_learnt s learnt lbd;
       var_decay s;
       cla_decay s;
       if float_of_int (Vec.size s.learnts) > s.max_learnts then reduce_db s;
@@ -558,8 +865,8 @@ let search s assumptions conflict_budget =
     else begin
       (* establish assumptions as pseudo-decisions *)
       let dl = decision_level s in
-      if dl < List.length assumptions then begin
-        let a = List.nth assumptions dl in
+      if dl < Array.length assumptions then begin
+        let a = assumptions.(dl) in
         match lvalue s a with
         | 1 ->
           Vec.push s.trail_lim (Vec.size s.trail);
@@ -647,9 +954,42 @@ let debug_check_model =
     | Some ("1" | "true" | "yes") -> true
     | _ -> false)
 
+(* Extend a model over eliminated variables: replay the elimination
+   stack backwards, flipping each variable's saved phase whenever one
+   of the clauses stored at its elimination is not yet satisfied.  The
+   stored clauses only mention variables that are live — or eliminated
+   later, hence already reconstructed — at that stack depth, so a
+   single reverse sweep fixes everything. *)
+let extend_model s =
+  let lit_true l =
+    let w = var_of l in
+    let b = if s.assigns.(w) >= 0 then s.assigns.(w) = 1 else s.phase.(w) in
+    if is_pos l then b else not b
+  in
+  for i = Vec.size s.elim_stack - 1 downto 0 do
+    let v, css = Vec.get s.elim_stack i in
+    if s.eliminated.(v) then
+      Array.iter
+        (fun lits ->
+          if not (Array.exists lit_true lits) then
+            Array.iter
+              (fun l -> if var_of l = v then s.phase.(v) <- is_pos l)
+              lits)
+        css
+  done
+
 let solve ?(assumptions = []) ?max_conflicts ?max_propagations ?should_stop s =
   s.last_solve_sat <- false;
   s.corrupt_model <- false;
+  (* assumption variables are pinned: they may never be eliminated, and
+     any that already were must be restored before this solve *)
+  List.iter
+    (fun a ->
+      let v = var_of a in
+      s.frozen.(v) <- true;
+      if s.eliminated.(v) then reintroduce s v)
+    assumptions;
+  let assumptions_a = Array.of_list assumptions in
   let final = ref (if s.ok then Unknown else Unsat) in
   if s.ok then begin
     cancel_until s 0;
@@ -672,6 +1012,8 @@ let solve ?(assumptions = []) ?max_conflicts ?max_propagations ?should_stop s =
     (* default Unknown: [run] only returns normally on exhaustion *)
     let result = ref Unknown in
     (try
+       maybe_simplify s;
+       if not s.ok then raise Found_unsat;
        let restart = ref 0 in
        let rec run () =
          if out_of_budget () then ()
@@ -684,10 +1026,12 @@ let solve ?(assumptions = []) ?max_conflicts ?max_propagations ?should_stop s =
              | Some m -> min luby_budget (max 1 (m - (s.conflicts - conflicts0)))
              | None -> luby_budget
            in
-           match search s assumptions budget with
+           match search s assumptions_a budget with
            | `Restart ->
              s.restarts <- s.restarts + 1;
              incr restart;
+             maybe_simplify s;
+             if not s.ok then raise Found_unsat;
              run ()
          end
        in
@@ -699,7 +1043,8 @@ let solve ?(assumptions = []) ?max_conflicts ?max_propagations ?should_stop s =
       (* save the model in the phase array, then release decisions *)
       for v = 0 to s.nvars - 1 do
         if s.assigns.(v) >= 0 then s.phase.(v) <- s.assigns.(v) = 1
-      done
+      done;
+      extend_model s
     end;
     cancel_until s 0;
     final := !result
@@ -731,6 +1076,8 @@ let solve ?(assumptions = []) ?max_conflicts ?max_propagations ?should_stop s =
 let pp_stats ppf s =
   Format.fprintf ppf
     "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d \
-     restarts=%d reduce_dbs=%d"
+     restarts=%d reduce_dbs=%d simplifies=%d subsumed=%d strengthened=%d \
+     eliminated=%d probed=%d"
     s.nvars (Vec.size s.clauses) (Vec.size s.learnts) s.conflicts s.decisions
-    s.propagations s.restarts s.reduce_dbs
+    s.propagations s.restarts s.reduce_dbs s.simplifies s.subsumed
+    s.strengthened s.eliminated_vars s.probed_units

@@ -2,8 +2,15 @@
 
     Features: two-watched-literal propagation, first-UIP conflict-clause
     learning with basic minimization, VSIDS variable activities with
-    phase saving, Luby restarts, activity-driven learnt-clause deletion,
-    and incremental solving under assumptions.
+    phase saving, Luby restarts, LBD-tiered learnt-clause management
+    (core / tier2 / local by glue), inprocessing at restart boundaries
+    (subsumption, self-subsuming resolution, bounded variable
+    elimination, failed-literal probing — see {!Simplify}), and
+    incremental solving under assumptions.  Assumption variables are
+    frozen against elimination; eliminated variables are transparently
+    reintroduced when later clauses or assumptions mention them, and
+    models are extended over eliminated variables before being
+    reported.
 
     Literals are integers: variable [v] gives positive literal [2 * v]
     and negative literal [2 * v + 1]. *)
@@ -120,6 +127,58 @@ val num_dead_watches : t -> int
 val set_max_learnts : t -> int -> unit
 (** Lower (or raise) the learnt-database size that triggers a
     reduction.  [solve] still never reduces below a third of the
-    problem clause count. *)
+    problem clause count, and every [reduce_db] grows the trigger
+    geometrically (at least ×1.1) so long runs stop thrashing. *)
+
+val max_learnts : t -> int
+(** Current learnt-database reduction trigger (for regression tests of
+    the geometric growth). *)
+
+(** {1 Inprocessing} *)
+
+val set_inprocess_default : bool -> unit
+(** Process-global default for inprocessing, captured by {!create}
+    (existing solvers are unaffected).  When never called, the
+    [DIAMBOUND_NO_INPROCESS] environment variable decides (set to [1]
+    to disable).  The CLI tools call this from [--no-inprocess]. *)
+
+val inprocess_default : unit -> bool
+
+val set_inprocess : t -> bool -> unit
+(** Enable/disable scheduled inprocessing for this solver instance. *)
+
+val set_simplify_config : t -> Simplify.config -> unit
+
+val simplify_now : t -> unit
+(** Run one inprocessing pass immediately, regardless of the schedule
+    and of {!set_inprocess}.  Only legal at decision level 0. *)
+
+val freeze : t -> int -> unit
+(** Protect a variable from elimination.  Assumption variables are
+    frozen automatically (permanently) by [solve]. *)
+
+val set_simplify_wrapper : t -> ((unit -> unit) -> unit) -> unit
+(** Install a wrapper around every inprocessing pass (the observability
+    layer uses this to time passes without [sat] depending on [obs]).
+    The wrapper must call the supplied thunk exactly once. *)
+
+val num_simplifies : t -> int
+(** Inprocessing passes run. *)
+
+val num_subsumed : t -> int
+(** Clauses removed by subsumption. *)
+
+val num_strengthened : t -> int
+(** Clauses strengthened (self-subsuming resolution + unit rewriting). *)
+
+val num_eliminated : t -> int
+(** Variables eliminated (lifetime; reintroductions do not subtract). *)
+
+val num_probed_units : t -> int
+(** Units derived by failed-literal probing. *)
+
+val num_core_deleted : t -> int
+(** Core-tier (low-LBD) learnts deleted by [reduce_db] — the tier
+    invariant says this must stay 0; exposed for regression tests. *)
 
 val pp_stats : Format.formatter -> t -> unit

@@ -102,6 +102,21 @@ timeout 60 dune exec bench/main.exe -- --baseline "$tmpdir/portfolio.json" \
   || { echo "ci: portfolio snapshot not baseline-compatible (FAIL)"; exit 1; }
 echo "ci: portfolio bench ok"
 
+# BMC inprocessing gate: run the BMC bench workload (inprocessing on
+# vs off per design) against the committed snapshot.  The threshold is
+# generous — CI machines vary — but a gross slowdown in the solver hot
+# loops or the simplifier fails the pipeline.  The experiment itself
+# also asserts on/off verdict consistency per design.
+timeout 600 dune exec bench/main.exe -- bmc \
+  --baseline BENCH_0001_bmc.json --fail-on-regress 100 \
+  --stats-json "$tmpdir/bmc.json" > "$tmpdir/bmc.out" \
+  || { cat "$tmpdir/bmc.out"; echo "ci: bmc bench regressed (FAIL)"; exit 1; }
+grep -q "consistent=true" "$tmpdir/bmc.out" \
+  || { echo "ci: bmc on/off verdicts inconsistent (FAIL)"; exit 1; }
+grep -q "bmc_bench.conflict_reduction_pct" "$tmpdir/bmc.json" \
+  || { echo "ci: bmc reduction gauge missing (FAIL)"; exit 1; }
+echo "ci: bmc inprocessing gate ok"
+
 # Self-baseline: a snapshot diffed against itself is compatible by
 # construction and must show zero regressions at any threshold.
 timeout 300 dune exec bench/main.exe -- baseline \

@@ -69,9 +69,9 @@ let test_deletions_preserve_checkability () =
   let s = Solver.create () in
   let p = Proof.create () in
   Solver.set_proof s p;
-  Cnf.load s (php_cnf 5 4);
+  Cnf.load s (php_cnf 7 6);
   Solver.set_max_learnts s 5;
-  Helpers.check_bool "php(5,4) unsat" true (Solver.solve s = Solver.Unsat);
+  Helpers.check_bool "php(7,6) unsat" true (Solver.solve s = Solver.Unsat);
   Helpers.check_bool "reduce_db ran" true (Solver.num_reduce_dbs s > 0);
   Helpers.check_bool "deletions logged" true (Proof.num_deletes p > 0);
   ok_or_fail "drup with deletions" (Drup.check (Proof.events p))

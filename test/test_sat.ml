@@ -161,6 +161,23 @@ let test_reduce_db_sweeps_watches () =
     (2 * (Solver.num_clauses s + Solver.num_learnts s))
     (Solver.num_watch_entries s)
 
+let test_max_learnts_grows_geometrically () =
+  (* regression: the learnt-clause cap used to stay flat, so long runs
+     thrashed reduce_db forever; it must grow (x1.1) at each reduction *)
+  let s = Solver.create () in
+  php s 7 6;
+  Solver.set_max_learnts s 5;
+  Helpers.check_bool "php(7,6) unsat" true (Solver.solve s = Solver.Unsat);
+  Helpers.check_bool "reduce_db triggered" true (Solver.num_reduce_dbs s > 0);
+  Helpers.check_bool "cap grew beyond its initial value" true
+    (Solver.max_learnts s > 5);
+  (* cap after n reductions is at least 5 * 1.1^n (geometric, not
+     additive): floats truncate, so allow one unit of slack per step *)
+  let n = Solver.num_reduce_dbs s in
+  let expected = 5. *. (1.1 ** float_of_int n) in
+  Helpers.check_bool "growth is geometric" true
+    (float_of_int (Solver.max_learnts s) >= expected -. float_of_int n)
+
 let test_model_after_unsat_raises () =
   (* regression: value/model used to silently return stale
      phase-saved data after an Unsat result *)
@@ -210,6 +227,8 @@ let suite =
     Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole;
     Alcotest.test_case "reduce_db sweeps watches" `Quick
       test_reduce_db_sweeps_watches;
+    Alcotest.test_case "max_learnts grows geometrically" `Quick
+      test_max_learnts_grows_geometrically;
     Alcotest.test_case "model after unsat raises" `Quick
       test_model_after_unsat_raises;
     Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
