@@ -10,7 +10,14 @@
           malformed netlist (rendered as "file:line: message")
      3    inconclusive: the budget ran out, or no practically useful
           bound exists, before any definite answer
-     125  internal error — a bug in the tool, not in the input        *)
+     125  internal error — a bug in the tool, not in the input
+
+   Multi-problem runs (diam corpus, diam fuzz) extend the same codes
+   over a whole walk or campaign: 0 every problem ok, 1 any violated
+   problem or any finding — a malformed file inside the corpus, a
+   crash, an oracle disagreement — and 3 when the only non-ok
+   outcomes are inconclusive/timeout.  Per-problem failures are
+   tallied outcomes, never a 2/125 abort of the walk.              *)
 
 let ok = 0
 let violated = 1
@@ -64,6 +71,16 @@ let budget =
     Obs.Budget.create ?timeout_s ?conflicts ?bdd_nodes ()
   in
   Term.(const make $ timeout_arg $ conflicts_arg $ bdd_nodes_arg)
+
+(* the raw flag triple, for tools that must mint a FRESH budget per
+   problem: [budget] above starts its wall-clock deadline at flag
+   parse time, which would charge problem N for problems 1..N-1 *)
+let budget_spec =
+  let make timeout_s conflicts bdd_nodes = (timeout_s, conflicts, bdd_nodes) in
+  Term.(const make $ timeout_arg $ conflicts_arg $ bdd_nodes_arg)
+
+let budget_of_spec (timeout_s, conflicts, bdd_nodes) =
+  Obs.Budget.create ?timeout_s ?conflicts ?bdd_nodes ()
 
 let jobs =
   let env =

@@ -178,6 +178,191 @@ let batch_cmd =
       const run_batch $ files $ cutoff $ Cli.certify $ Cli.budget $ Cli.jobs
       $ Cli.stats $ Cli.stats_json $ Cli.trace $ Cli.no_inprocess)
 
+(* ----- corpus: walk a problem tree under a per-problem barrier ----- *)
+
+(* Output discipline: stdout carries no timings, so the report is
+   byte-identical across --jobs values (CI diffs jobs 1 vs 2); timing
+   lives in --stats/--stats-json. *)
+let run_corpus dir cutoff certify budget_spec jobs baseline fail_on_regress
+    stats stats_json trace no_inprocess =
+  Cli.setup_trace trace;
+  Cli.apply_inprocess no_inprocess;
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Cli.die Cli.usage_error "%s: not a directory" dir;
+  let paths = Campaign.Corpus.walk dir in
+  if paths = [] then
+    Cli.die Cli.usage_error "no .bench/.aag problems under %s" dir;
+  let config = { Core.Engine.default with Core.Engine.cutoff } in
+  let mk_budget () = Cli.budget_of_spec budget_spec in
+  let summary =
+    Campaign.Corpus.run ~jobs ~config ~mk_budget ~certify paths
+  in
+  List.iter
+    (fun (i : Campaign.Corpus.item) ->
+      Format.printf "%-40s targets=%d %a@." i.Campaign.Corpus.path
+        i.Campaign.Corpus.targets Campaign.Corpus.pp_outcome
+        i.Campaign.Corpus.outcome)
+    summary.Campaign.Corpus.items;
+  Format.printf
+    "corpus: %d problems: %d proved, %d violated, %d timeout, %d \
+     inconclusive, %d malformed, %d crashed@."
+    (List.length summary.Campaign.Corpus.items)
+    summary.Campaign.Corpus.proved summary.Campaign.Corpus.violated
+    summary.Campaign.Corpus.timeout summary.Campaign.Corpus.inconclusive
+    summary.Campaign.Corpus.malformed summary.Campaign.Corpus.crashed;
+  let meta =
+    Cli.stats_meta ~tool:"diam" ~experiments:[ "corpus" ]
+      (Cli.budget_of_spec budget_spec)
+  in
+  Obs.Report.emit ~human:stats ?json_file:stats_json ~meta ();
+  let rc = Campaign.Corpus.exit_code summary in
+  match baseline with
+  | None -> rc
+  | Some base_file -> (
+    let base = Obs.Baseline.load base_file in
+    let cur = { Obs.Baseline.meta; snap = Obs.Stats.snapshot () } in
+    match Obs.Baseline.compat ~base ~cur with
+    | Error msg -> Cli.die Cli.usage_error "baseline %s: %s" base_file msg
+    | Ok () -> (
+      let d = Obs.Baseline.diff ~base ~cur in
+      match fail_on_regress with
+      | None -> rc
+      | Some threshold_pct ->
+        let regs = Obs.Baseline.regressions ~threshold_pct d in
+        List.iter
+          (fun (name, growth) ->
+            Format.printf "REGRESSION %s +%.1f%%@." name growth)
+          regs;
+        if regs <> [] then Cli.violated else rc))
+
+let corpus_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"Directory tree of .bench/.aag problems")
+  in
+  let cutoff =
+    Arg.(
+      value & opt int 50
+      & info [ "cutoff" ] ~docv:"N"
+          ~doc:"Largest diameter bound considered BMC-dischargeable")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Stored BENCH_* snapshot to diff the corpus stats against")
+  in
+  let fail_on_regress =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fail-on-regress" ] ~docv:"PCT"
+          ~doc:"With $(b,--baseline): exit 1 when any span regressed by \
+                more than $(docv) percent")
+  in
+  let doc =
+    "walk a directory tree of .bench/.aag problems, verifying every one \
+     under a fresh per-problem budget and a per-problem exception barrier: \
+     malformed files, crashes, timeouts and inconclusive results are \
+     tallied outcomes (exit 0 all-ok / 1 any violated-or-finding / 3 \
+     inconclusive-only), never an aborted walk"
+  in
+  Cmd.v (Cmd.info "corpus" ~doc)
+    Term.(
+      const run_corpus $ dir $ cutoff $ Cli.certify $ Cli.budget_spec
+      $ Cli.jobs $ baseline $ fail_on_regress $ Cli.stats $ Cli.stats_json
+      $ Cli.trace $ Cli.no_inprocess)
+
+(* ----- fuzz: the adversarial differential campaign ----- *)
+
+let run_fuzz count seed jobs repro_dir stats stats_json trace no_inprocess =
+  Cli.setup_trace trace;
+  Cli.apply_inprocess no_inprocess;
+  if count <= 0 then Cli.die Cli.usage_error "--count must be positive";
+  let report = Campaign.Hunt.run ~jobs ?repro_dir ~seed ~count () in
+  List.iter
+    (fun (c : Campaign.Hunt.case_report) ->
+      (* one line per target (reference ladder cell); the other cells
+         only surface when they disagree, as findings *)
+      let ladder_verdicts =
+        List.filter
+          (fun (key, _) ->
+            match String.rindex_opt key '/' with
+            | Some i ->
+              String.equal
+                (String.sub key (i + 1) (String.length key - i - 1))
+                "ladder"
+            | None -> false)
+          c.Campaign.Hunt.verdicts
+      in
+      Format.printf "case %-24s size=%-4d %s@." c.Campaign.Hunt.label
+        c.Campaign.Hunt.size
+        (String.concat " "
+           (List.map (fun (k, v) -> k ^ "=" ^ v) ladder_verdicts));
+      List.iter
+        (fun ((f : Campaign.Oracle.finding), (s : Campaign.Hunt.shrink_info))
+           ->
+          Format.printf "FINDING %s %a shrunk %d -> %d%s@."
+            c.Campaign.Hunt.label Campaign.Oracle.pp_finding f
+            s.Campaign.Hunt.original_size s.Campaign.Hunt.shrunk_size
+            (match s.Campaign.Hunt.repro with
+            | Some p -> " repro " ^ p
+            | None -> ""))
+        c.Campaign.Hunt.findings)
+    report.Campaign.Hunt.cases;
+  Format.printf "fuzz: %d cases, %d findings (seed %d)@."
+    report.Campaign.Hunt.count report.Campaign.Hunt.findings
+    report.Campaign.Hunt.seed;
+  Obs.Report.emit ~human:stats ?json_file:stats_json
+    ~meta:
+      (Cli.stats_meta ~tool:"diam" ~experiments:[ "fuzz" ]
+         Obs.Budget.unlimited)
+    ();
+  if report.Campaign.Hunt.findings > 0 then Cli.violated else Cli.ok
+
+let fuzz_cmd =
+  let count =
+    Arg.(
+      value & opt int 20
+      & info [ "count" ] ~docv:"N" ~doc:"How many designs to breed")
+  in
+  let seed =
+    let env =
+      Cmd.Env.info "DIAMBOUND_FUZZ_SEED"
+        ~doc:"Default campaign seed when $(b,--seed) is not given"
+    in
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~env ~docv:"SEED"
+          ~doc:"Campaign seed; case $(i,i) is a pure function of (seed, \
+                $(i,i)), so a seeded campaign is byte-reproducible at any \
+                $(b,--jobs)")
+  in
+  let repro_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:"Write each finding's shrunk minimal repro netlist here (as \
+                .bench), for $(b,diam corpus) to replay")
+  in
+  let doc =
+    "breed adversarial designs (deep counterexamples, wide memories, \
+     retiming-hostile gadgets, near-miss redundancies, pathological \
+     reconvergence) and run every target through a differential oracle \
+     matrix — sequential ladder, inprocessing off, parallel portfolio, \
+     expired budget, certification everywhere; any disagreement, \
+     certification failure, budget violation or crash is a finding, \
+     greedily shrunk to a minimal repro (exit 1 on findings)"
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run_fuzz $ count $ seed $ Cli.jobs $ repro_dir $ Cli.stats
+      $ Cli.stats_json $ Cli.trace $ Cli.no_inprocess)
+
 (* ----- trace-report: offline analysis of a --trace capture ----- *)
 
 let run_trace_report file top =
@@ -210,7 +395,7 @@ let trace_report_cmd =
 
 let doc =
   "structural diameter bounds via transformation pipelines (also: diam \
-   batch FILES.., diam trace-report TRACE)"
+   batch FILES.., diam corpus DIR, diam fuzz, diam trace-report TRACE)"
 
 let main_cmd =
   Cmd.v (Cmd.info "diam" ~doc)
@@ -224,8 +409,10 @@ let main_cmd =
 let cmd =
   if
     Array.length Sys.argv > 1
-    && (Sys.argv.(1) = "trace-report" || Sys.argv.(1) = "batch")
-  then Cmd.group (Cmd.info "diam" ~doc) [ trace_report_cmd; batch_cmd ]
+    && List.mem Sys.argv.(1) [ "trace-report"; "batch"; "corpus"; "fuzz" ]
+  then
+    Cmd.group (Cmd.info "diam" ~doc)
+      [ trace_report_cmd; batch_cmd; corpus_cmd; fuzz_cmd ]
   else main_cmd
 
 let () = exit (Cli.main cmd)

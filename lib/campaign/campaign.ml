@@ -1,0 +1,7 @@
+(** Robustness campaign layer: corpus-scale runs and the adversarial
+    fuzzing campaign with its differential oracle matrix and failure
+    shrinking. *)
+
+module Corpus = Corpus
+module Oracle = Oracle
+module Hunt = Hunt

@@ -1,0 +1,57 @@
+(** The fuzz campaign driver: breed adversarial designs ({!Workload.Fuzz}),
+    run every target of every design through the differential oracle
+    matrix ({!Oracle}), shrink each finding to a minimal repro
+    ({!Workload.Shrink}) and optionally write it to a repro directory
+    for [diam corpus] to replay.
+
+    Determinism: case [i] is a pure function of [(seed, i)]
+    ({!Workload.Rng.fork}), the oracle and the shrinker are
+    deterministic, and reports keep cases in index order — the same
+    seed and count produce a byte-identical report for every [jobs]
+    value. *)
+
+type shrink_info = {
+  original_size : int;  (** {!Workload.Shrink.size} of the breeding design *)
+  shrunk_size : int;
+  repro : string option;  (** path of the written minimal repro *)
+}
+
+type case_report = {
+  label : string;
+  species : string;
+  size : int;
+  verdicts : (string * string) list;
+      (** [("<target>/<cell>", timing-free brief)] in matrix order *)
+  findings : (Oracle.finding * shrink_info) list;
+}
+
+type report = {
+  seed : int;
+  count : int;
+  cases : case_report list;  (** in case-index order *)
+  findings : int;  (** total across cases *)
+}
+
+val schema : string list
+
+val run :
+  ?jobs:int ->
+  ?oracle_jobs:int ->
+  ?mk_budget:(unit -> Obs.Budget.t) ->
+  ?repro_dir:string ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+(** Run a [count]-design campaign.  [jobs] distributes whole cases
+    across a {!Sched.Pool}; [oracle_jobs] (default 2) sizes each
+    matrix's portfolio cell; [mk_budget] mints a per-cell allowance
+    (see {!Oracle.run_cells} — prefer a conflicts-only budget to keep
+    the report timing-independent).  Per-case exception barrier: a
+    crashing generator or worker becomes a [Crash] finding on that
+    case.
+
+    Shrinking runs each trial under a small conflicts-only budget of
+    its own, so a fault that defeats every strategy's certification
+    (the chaos drill) does not turn minimization into a full-ladder
+    run per candidate. *)

@@ -561,3 +561,20 @@ let verify_portfolio ?(config = default) ?(budget = Obs.Budget.unlimited)
     count_verdict verdict;
     verdict
   end
+
+let exhausted = function
+  | Proved _ | Violated _ -> false
+  | Inconclusive { attempts } ->
+    List.exists (fun a -> String.equal a.reason budget_reason) attempts
+
+let cert_failed = function
+  | Proved _ | Violated _ -> None
+  | Inconclusive { attempts } ->
+    let p = cert_fail_reason in
+    let plen = String.length p in
+    List.find_map
+      (fun a ->
+        if String.length a.reason >= plen && String.equal (String.sub a.reason 0 plen) p
+        then Some (a.strategy ^ ": " ^ a.reason)
+        else None)
+      attempts

@@ -155,3 +155,16 @@ val verify_portfolio :
     original order, from the calling domain. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
+
+val exhausted : verdict -> bool
+(** [true] iff the verdict is [Inconclusive] with at least one
+    {!budget_reason} attempt — i.e. the ladder may only have failed
+    because resources ran out.  Conclusive verdicts are never
+    exhausted (budget exhaustion must not be reported as
+    [Proved]/[Violated]; the campaign's budget oracle asserts exactly
+    this). *)
+
+val cert_failed : verdict -> string option
+(** The first {!cert_fail_reason} attempt of an [Inconclusive]
+    verdict, as ["<strategy>: <reason>"]; [None] for conclusive
+    verdicts (which, by construction, certified). *)

@@ -99,7 +99,7 @@ let shutdown t =
   in
   if not was_closed then Array.iter Domain.join t.workers
 
-let map t f items =
+let try_map t f items =
   let items = Array.of_list items in
   let n = Array.length items in
   let results = Array.make n None in
@@ -123,9 +123,12 @@ let map t f items =
   Mutex.unlock lock;
   Array.to_list results
   |> List.map (function
-       | Some (Ok v) -> v
-       | Some (Error e) -> raise e
+       | Some r -> r
        | None -> assert false (* remaining = 0 implies every slot set *))
+
+let map t f items =
+  try_map t f items
+  |> List.map (function Ok v -> v | Error e -> raise e)
 
 let with_pool ?capacity ~jobs f =
   let t = create ?capacity ~jobs () in

@@ -34,6 +34,14 @@ val submit : t -> (unit -> unit) -> unit
     about their outcome capture it themselves (see {!map}).
     @raise Invalid_argument on a pool that has been {!shutdown}. *)
 
+val try_map : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** [try_map pool f items] runs [f] on every item across the pool and
+    waits for all of them; results are in input order regardless of
+    completion order, each item's exception captured as its [Error] —
+    the per-item exception barrier corpus-style walks are built on.
+    Safe to call from the main domain while workers run; must not be
+    called from inside a pool job (the worker would wait on itself). *)
+
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f items] runs [f] on every item across the pool and
     waits for all of them; results are in input order regardless of

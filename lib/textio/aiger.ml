@@ -141,6 +141,18 @@ let parse text =
   and build_lit ~line al =
     Lit.xor_sign (build_var ~line (al / 2)) (al land 1 = 1)
   in
+  (* materialize ANDs in file (row) order — a writer that lists
+     operands before uses (ours does) then gets its creation order
+     back verbatim, so write→parse→write is a fixpoint after one
+     iteration; rows referencing later rows still resolve by
+     recursion, and dangling cones are built too (the parse is
+     faithful to the file, not to any particular cone) *)
+  List.iter
+    (fun (line, text) ->
+      match ints ~line text with
+      | [ lhs; _; _ ] -> ignore (build_var ~line (lhs / 2))
+      | _ -> ())
+    and_lines;
   List.iter
     (fun (r, next, line) -> Net.set_next net r (build_lit ~line next))
     !pending;
@@ -157,11 +169,6 @@ let parse text =
         Net.add_target net name l
       | _ -> fail ~line "bad output line")
     output_lines;
-  (* materialize dangling ANDs too: the parse is faithful to the file,
-     not to any particular cone *)
-  Hashtbl.iter
-    (fun v (_, _, line) -> ignore (build_var ~line v))
-    and_defs;
   net
 
 let parse_file path =

@@ -198,15 +198,48 @@ let parse_file path =
 let to_string net =
   let buf = Buffer.create 4096 in
   let name_of = Array.make (Net.num_vars net) "" in
+  (* Written text must always re-parse: every printed definition needs
+     a unique name.  Names the writer itself synthesizes ("const0",
+     "const1", gate/inverter/alias names) are part of the same
+     namespace as declared input/register/latch names, so everything
+     goes through one claim table; a collision — duplicate declared
+     names, or an input literally called "n5" or "not_x" — gets a
+     deterministic "_u<k>" suffix.  Synthesized gate names are claimed
+     after all declared names so that a design that doesn't collide
+     keeps exactly its declared spelling. *)
+  let used = Hashtbl.create 64 in
+  Hashtbl.replace used "const0" ();
+  Hashtbl.replace used "const1" ();
+  let claim base =
+    let base = if base = "" then "sig" else base in
+    if not (Hashtbl.mem used base) then begin
+      Hashtbl.replace used base ();
+      base
+    end
+    else begin
+      let rec go k =
+        let cand = Printf.sprintf "%s_u%d" base k in
+        if Hashtbl.mem used cand then go (k + 1) else cand
+      in
+      let fresh = go 1 in
+      Hashtbl.replace used fresh ();
+      fresh
+    end
+  in
   Net.iter_nodes net (fun v node ->
       match node with
       | Net.Const -> name_of.(v) <- "const"
-      | Net.Input s -> name_of.(v) <- s
-      | Net.And _ -> name_of.(v) <- Printf.sprintf "n%d" v
-      | Net.Reg r -> name_of.(v) <- r.Net.r_name
-      | Net.Latch l -> name_of.(v) <- l.Net.l_name);
+      | Net.Input s -> name_of.(v) <- claim s
+      | Net.And _ -> ()
+      | Net.Reg r -> name_of.(v) <- claim r.Net.r_name
+      | Net.Latch l -> name_of.(v) <- claim l.Net.l_name);
+  Net.iter_nodes net (fun v node ->
+      match node with
+      | Net.And _ -> name_of.(v) <- claim (Printf.sprintf "n%d" v)
+      | _ -> ());
   let const_used = ref false in
   let not_emitted = Hashtbl.create 64 in
+  let not_order = ref [] in
   (* name of a literal, emitting a NOT line (once) for negations *)
   let operand l =
     let v = Lit.var l in
@@ -215,9 +248,13 @@ let to_string net =
       if Lit.is_neg l then "const1" else "const0"
     end
     else if Lit.is_neg l then begin
-      let n = "not_" ^ name_of.(v) in
-      if not (Hashtbl.mem not_emitted v) then Hashtbl.add not_emitted v n;
-      n
+      match Hashtbl.find_opt not_emitted v with
+      | Some n -> n
+      | None ->
+        let n = claim ("not_" ^ name_of.(v)) in
+        Hashtbl.add not_emitted v n;
+        not_order := v :: !not_order;
+        n
     end
     else name_of.(v)
   in
@@ -225,7 +262,8 @@ let to_string net =
   Net.iter_nodes net (fun v node ->
       match node with
       | Net.Const -> ()
-      | Net.Input s -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" s)
+      | Net.Input _ ->
+        Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" name_of.(v))
       | Net.And (a, b) ->
         Buffer.add_string body
           (Printf.sprintf "%s = AND(%s, %s)\n" name_of.(v) (operand a)
@@ -247,18 +285,32 @@ let to_string net =
   List.iter
     (fun (name, l) ->
       let op = operand l in
-      if op <> name then
+      if op = name then
+        (* the signal itself carries the output name: a bare reference *)
+        Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" name)
+      else begin
+        (* the alias line defines [name], so it too must be unique *)
+        let name = claim name in
         Buffer.add_string body (Printf.sprintf "%s = BUFF(%s)\n" name op);
-      Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" name))
+        Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" name)
+      end)
     (Net.outputs net);
   if !const_used then begin
     Buffer.add_string buf "const0 = CONST0()\n";
     Buffer.add_string buf "const1 = CONST1()\n"
   end;
-  Hashtbl.iter
-    (fun v n -> Buffer.add_string buf (Printf.sprintf "%s = NOT(%s)\n" n name_of.(v)))
-    not_emitted;
   Buffer.add_buffer buf body;
+  (* Inverter aliases go after the body so a re-parse creates gates in
+     body (vertex-id) order: resolving a NOT whose operand is already
+     built allocates nothing, whereas a leading NOT block would drag
+     whole cones in first-use order and renumber them — write→parse→
+     write must reach a fixpoint after one iteration.  (DFF/LATCH data
+     references never recurse at all: the parser defers data cones.) *)
+  List.iter
+    (fun v ->
+      let n = Hashtbl.find not_emitted v in
+      Buffer.add_string buf (Printf.sprintf "%s = NOT(%s)\n" n name_of.(v)))
+    (List.rev !not_order);
   Buffer.contents buf
 
 let write_file path net =

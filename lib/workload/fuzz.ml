@@ -1,0 +1,176 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+type species =
+  | Deep_cex
+  | Wide_memory
+  | Retiming_hostile
+  | Near_miss
+  | Reconvergent
+  | Mixed
+
+let all_species =
+  [ Deep_cex; Wide_memory; Retiming_hostile; Near_miss; Reconvergent; Mixed ]
+
+let species_name = function
+  | Deep_cex -> "deep-cex"
+  | Wide_memory -> "wide-memory"
+  | Retiming_hostile -> "retiming-hostile"
+  | Near_miss -> "near-miss"
+  | Reconvergent -> "reconvergent"
+  | Mixed -> "mixed"
+
+type case = {
+  index : int;
+  species : species;
+  label : string;
+  net : Net.t;
+}
+
+(* every design shares a small primary-input pool so gadget operands
+   can be picked distinct (see Gen.pick_distinct) *)
+let fresh_inputs net n =
+  List.init n (fun i -> Net.add_input net (Printf.sprintf "in%d" i))
+
+let add_target net i l =
+  let name = Printf.sprintf "t%d" i in
+  Net.add_target net name l;
+  Net.add_output net name l
+
+(* The counterexample sits at depth 2^bits - 1 (+ delay), past the
+   default shallow probe but inside the structural-bound discharge —
+   a design whose verdict exercises the bound/translation machinery,
+   not just BMC. *)
+let deep_cex rng net inputs =
+  let bits = 4 + Rng.int rng 2 in
+  let enable = if Rng.bool rng then Lit.true_ else Rng.pick rng inputs in
+  let c = Gen.counter net ~name:"dc" ~bits ~enable in
+  let delay = Rng.int rng 3 in
+  let out =
+    if delay = 0 then c.Gen.out
+    else (Gen.pipeline net ~name:"dcp" ~stages:delay ~data:c.Gen.out).Gen.out
+  in
+  add_target net 0 out
+
+(* Wide state with shallow behaviour: hold-mux memories and queues
+   whose verdicts are cheap but whose register populations stress the
+   classification/rebuild layers. *)
+let wide_memory rng net inputs =
+  let rows = 4 in
+  let width = 1 + Rng.int rng 2 in
+  let addr, data, write =
+    match Gen.pick_distinct rng inputs 5 with
+    | [ a0; a1; d0; d1; w ] -> ([ a0; a1 ], [ d0; d1 ], w)
+    | _ -> assert false
+  in
+  let m = Gen.memory net ~name:"wm" ~rows ~width ~addr ~data ~write in
+  add_target net 0 m.Gen.out;
+  let push, d =
+    match Gen.pick_distinct rng inputs 2 with
+    | [ p; d ] -> (p, d)
+    | _ -> assert false
+  in
+  let depth = 3 + Rng.int rng 3 in
+  let q = Gen.queue net ~name:"wq" ~depth ~width:1 ~push ~data:[ d ] in
+  add_target net 1 q.Gen.out
+
+(* A counter frozen behind a retiming-only guard: the target is
+   unreachable, but only the COM,RET,COM pipeline (or induction) can
+   prove it — the strategies disagree on cost, never on the verdict. *)
+let retiming_hostile rng net inputs =
+  let x, y =
+    match Gen.pick_distinct rng inputs 2 with
+    | [ x; y ] -> (x, y)
+    | _ -> assert false
+  in
+  let guard = Gen.ret_guard net ~name:"rh" ~x ~y in
+  let bits = 4 + Rng.int rng 2 in
+  let c = Gen.counter net ~name:"rhc" ~bits ~enable:guard in
+  add_target net 0 c.Gen.out
+
+(* Two structurally-similar functions that are NOT equivalent (they
+   differ in one operand) next to a pair that are: an unsound
+   over-merge in the sweeping layer flips the live target's verdict,
+   which the differential matrix would catch as a disagreement. *)
+let near_miss rng net inputs =
+  let a, b, c =
+    match Gen.pick_distinct rng inputs 3 with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
+  let f = Net.add_xor net a b in
+  let f' = Net.add_xor net (Net.add_xor net a b) c in
+  let live_guard = Net.add_and net f (Lit.neg f') in
+  let live = Gen.counter net ~name:"nml" ~bits:4 ~enable:live_guard in
+  add_target net 0 live.Gen.out;
+  let dead_guard = Gen.com_guard net rng ~inputs in
+  let dead = Gen.counter net ~name:"nmd" ~bits:4 ~enable:dead_guard in
+  add_target net 1 dead.Gen.out
+
+(* Reconvergent select logic hiding a hold-mux chain: classified as a
+   general component before sweeping, a table afterwards — the bound
+   depends on which representation each strategy sees. *)
+let reconvergent rng net inputs =
+  let sel =
+    match Gen.pick_distinct rng inputs 3 with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
+  let len = 3 + Rng.int rng 3 in
+  let ch = Gen.obscured_chain net ~name:"rc" ~sel ~data:(Rng.pick rng inputs) ~len in
+  add_target net 0 ch.Gen.out;
+  let (a, b, c) = sel in
+  add_target net 1 (Net.add_xor net ch.Gen.out (Net.add_and net a (Net.add_xor net b c)))
+
+(* Two arbitrary small blocks conjoined: no particular adversarial
+   shape, just coverage of the block generators' cross products. *)
+let mixed rng net inputs =
+  let block i =
+    let name = Printf.sprintf "mx%d" i in
+    match Rng.int rng 5 with
+    | 0 -> Gen.ring net ~name ~length:(3 + Rng.int rng 3)
+    | 1 -> Gen.lfsr net ~name ~bits:(3 + Rng.int rng 3)
+    | 2 ->
+      Gen.counter net ~name ~bits:(3 + Rng.int rng 2)
+        ~enable:(Rng.pick rng inputs)
+    | 3 ->
+      Gen.pipeline net ~name
+        ~stages:(2 + Rng.int rng 3)
+        ~data:(Rng.pick rng inputs)
+    | _ -> Gen.fsm net rng ~name ~bits:(2 + Rng.int rng 2) ~inputs
+  in
+  let b0 = block 0 in
+  let b1 = block 1 in
+  let join =
+    if Rng.bool rng then Net.add_and net b0.Gen.out b1.Gen.out
+    else Net.add_or net b0.Gen.out b1.Gen.out
+  in
+  add_target net 0 join
+
+let build species rng =
+  let net = Net.create () in
+  let inputs = fresh_inputs net 6 in
+  (match species with
+  | Deep_cex -> deep_cex rng net inputs
+  | Wide_memory -> wide_memory rng net inputs
+  | Retiming_hostile -> retiming_hostile rng net inputs
+  | Near_miss -> near_miss rng net inputs
+  | Reconvergent -> reconvergent rng net inputs
+  | Mixed -> mixed rng net inputs);
+  Net.check net;
+  net
+
+let case ~seed i =
+  if i < 0 then invalid_arg "Fuzz.case";
+  let species = List.nth all_species (i mod List.length all_species) in
+  (* forked stream: case i is a pure function of (seed, i), so a
+     parallel campaign builds byte-identical designs in any order *)
+  let rng = Rng.fork (Rng.create seed) i in
+  {
+    index = i;
+    species;
+    label = Printf.sprintf "%04d-%s" i (species_name species);
+    net = build species rng;
+  }
+
+let generate ~seed ~count = List.init count (fun i -> case ~seed i)

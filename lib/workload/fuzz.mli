@@ -1,0 +1,37 @@
+(** Adversarial design breeder for the differential-oracle campaign.
+
+    Each species targets a seam where the strategy ladder, the
+    transformation pipeline, or the portfolio could disagree with
+    itself: deep counterexamples past the shallow probe, wide
+    memories, retiming-only guards, near-miss (inequivalent but
+    structurally similar) redundancies, and reconvergent select logic
+    that changes classification under sweeping.  Designs are small by
+    construction so every oracle cell concludes within the campaign
+    config. *)
+
+type species =
+  | Deep_cex          (** counterexample at depth [2^bits - 1 + delay] *)
+  | Wide_memory       (** hold-mux memory + queue, many registers *)
+  | Retiming_hostile  (** counter frozen behind a {!Gen.ret_guard} *)
+  | Near_miss         (** inequivalent near-duplicates beside true ones *)
+  | Reconvergent      (** obscured hold-mux chain + reconvergent XOR *)
+  | Mixed             (** two random blocks conjoined *)
+
+val all_species : species list
+val species_name : species -> string
+
+type case = {
+  index : int;
+  species : species;  (** [List.nth all_species (index mod 6)] *)
+  label : string;  (** ["%04d-<species>" index] — stable across runs *)
+  net : Netlist.Net.t;
+}
+
+val case : seed:int -> int -> case
+(** [case ~seed i] builds case [i] of the campaign seeded [seed] via
+    {!Rng.fork} — a pure function of [(seed, i)], so parallel workers
+    reproduce the exact design regardless of scheduling.
+    @raise Invalid_argument when [i < 0]. *)
+
+val generate : seed:int -> count:int -> case list
+(** Cases [0 .. count-1] in order. *)

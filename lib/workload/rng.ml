@@ -1,13 +1,37 @@
-type t = { mutable state : int64 }
+(* Splitmix64.  [state] advances by [gamma] per draw; the classic
+   generator uses the golden-ratio gamma, and split/fork derive
+   children with their own (odd) gammas so streams never interleave.
+   [seed0] remembers the creation state so {!fork} is a pure function
+   of (creation seed, index), independent of draws made since. *)
+type t = { mutable state : int64; gamma : int64; seed0 : int64 }
 
-let create seed = { state = Int64.of_int seed }
+let golden = 0x9e3779b97f4a7c15L
 
-let next t =
-  t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
-  let z = t.state in
+let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  { state = Int64.of_int seed; gamma = golden; seed0 = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state t.gamma;
+  mix t.state
+
+(* a child's gamma must be odd (full-period additive constant) and is
+   itself mixed so nearby parents do not share gamma sequences *)
+let derive_gamma z = Int64.logor (mix (Int64.logxor z golden)) 1L
+
+let split t =
+  let s = next t in
+  let g = derive_gamma (next t) in
+  { state = s; gamma = g; seed0 = s }
+
+let fork t i =
+  if i < 0 then invalid_arg "Rng.fork";
+  let z = Int64.add t.seed0 (Int64.mul t.gamma (Int64.of_int (i + 1))) in
+  { state = mix z; gamma = derive_gamma z; seed0 = mix z }
 
 let int t n =
   if n <= 0 then invalid_arg "Rng.int";

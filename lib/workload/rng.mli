@@ -10,3 +10,23 @@ val int : t -> int -> int
 val bool : t -> bool
 val pick : t -> 'a list -> 'a
 (** @raise Invalid_argument on the empty list. *)
+
+(** {1 Independent streams}
+
+    Parallel workers must draw from streams that neither interleave
+    nor depend on scheduling order, so that a campaign report is
+    byte-identical for every [--jobs] value. *)
+
+val split : t -> t
+(** A child generator with its own additive constant; advances the
+    parent (two draws), so successive [split]s yield distinct
+    children.  Parent and child sequences are independent. *)
+
+val fork : t -> int -> t
+(** [fork t i] is the [i]-th child stream, a pure function of the
+    generator [t] was {e created} from and [i]: it does not advance
+    [t], and draws made on [t] before or after do not change it.  This
+    is the parallel-fan-out primitive — worker [i] gets [fork base i]
+    and the fan-out is reproducible regardless of worker count or
+    completion order.
+    @raise Invalid_argument when [i < 0]. *)

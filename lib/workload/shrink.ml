@@ -1,0 +1,191 @@
+module Net = Netlist.Net
+module Lit = Netlist.Lit
+
+let size net =
+  Net.num_inputs net + Net.num_regs net + Net.num_latches net + Net.num_ands net
+
+type action =
+  | Keep
+  | Const of bool
+  | Redirect of Lit.t  (* replace a gate by one of its (earlier) fanins *)
+
+(* Rebuild [src] keeping only the cones of [targets], applying [subst]
+   per old variable.  Constant-substituted vertices are cut (their
+   cones vanish unless reachable elsewhere); redirected vertices alias
+   an earlier literal.  Because AND fanins precede the gate and
+   Redirect only points backwards, a single ascending pass builds every
+   needed vertex before its uses; register/latch data edges close in a
+   second pass. *)
+let rebuild ?(subst = fun _ -> Keep) src ~targets =
+  let n = Net.num_vars src in
+  let needed = Array.make n false in
+  let stack = ref [] in
+  let push v =
+    if v > 0 && not needed.(v) then begin
+      needed.(v) <- true;
+      stack := v :: !stack
+    end
+  in
+  let deps v =
+    match subst v with
+    | Const _ -> []
+    | Redirect l -> [ Lit.var l ]
+    | Keep -> List.map Lit.var (Net.fanins src v)
+  in
+  List.iter (fun (_, l) -> push (Lit.var l)) targets;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      List.iter push (deps v);
+      drain ()
+  in
+  drain ();
+  let dst = Net.create ~phases:(Net.phases src) () in
+  let mapped = Array.make n Lit.false_ in
+  let have = Array.make n false in
+  let map_lit l =
+    let v = Lit.var l in
+    let base =
+      if v = 0 then Lit.false_
+      else if have.(v) then mapped.(v)
+      else
+        match subst v with
+        | Const b -> Lit.xor_sign Lit.false_ b
+        | _ -> invalid_arg "Shrink.rebuild: forward edge into unbuilt vertex"
+    in
+    Lit.xor_sign base (Lit.is_neg l)
+  in
+  for v = 1 to n - 1 do
+    if needed.(v) then begin
+      (match subst v with
+      | Const b -> mapped.(v) <- Lit.xor_sign Lit.false_ b
+      | Redirect l -> mapped.(v) <- map_lit l
+      | Keep -> (
+        match Net.node src v with
+        | Net.Const -> ()
+        | Net.Input name -> mapped.(v) <- Net.add_input dst name
+        | Net.And (a, b) -> mapped.(v) <- Net.add_and dst (map_lit a) (map_lit b)
+        | Net.Reg r -> mapped.(v) <- Net.add_reg dst ~init:r.Net.r_init r.Net.r_name
+        | Net.Latch l ->
+          mapped.(v) <- Net.add_latch dst ~init:l.Net.l_init ~phase:l.Net.l_phase l.Net.l_name));
+      have.(v) <- true
+    end
+  done;
+  for v = 1 to n - 1 do
+    if needed.(v) then
+      match subst v with
+      | Const _ | Redirect _ -> ()
+      | Keep -> (
+        match Net.node src v with
+        | Net.Reg r -> Net.set_next dst mapped.(v) (map_lit r.Net.next)
+        | Net.Latch l -> Net.set_latch_data dst mapped.(v) (map_lit l.Net.l_data)
+        | _ -> ())
+  done;
+  List.iter
+    (fun (name, l) ->
+      let l' = map_lit l in
+      Net.add_target dst name l';
+      Net.add_output dst name l')
+    targets;
+  Net.check dst;
+  dst
+
+let restrict net ~target =
+  match List.assoc_opt target (Net.targets net) with
+  | None -> invalid_arg "Shrink.restrict: unknown target"
+  | Some l -> rebuild net ~targets:[ (target, l) ]
+
+type result = {
+  net : Net.t;
+  original_size : int;
+  shrunk_size : int;
+  rounds : int;
+  tried : int;
+  accepted : int;
+}
+
+let init_bool = function
+  | Net.Init1 -> true
+  | Net.Init0 | Net.Init_x -> false
+
+(* Greedy passes to a fixpoint: within a round every candidate is a
+   one-vertex substitution layered on the round's accepted set, so a
+   trial is one rebuild + one [keep] call and variable identifiers stay
+   those of the round's base net.  A candidate survives only when it
+   strictly shrinks AND the finding still manifests ([keep]). *)
+let run ?(max_rounds = 8) ?(max_tries = 2000) ~keep net ~target =
+  let tlit =
+    match List.assoc_opt target (Net.targets net) with
+    | Some l -> l
+    | None -> invalid_arg "Shrink.run: unknown target"
+  in
+  let original_size = size net in
+  let current =
+    (* cone-of-influence restriction first: free size loss, and it
+       normally preserves the finding exactly; fall back to a plain
+       all-targets copy when it does not *)
+    let r = rebuild net ~targets:[ (target, tlit) ] in
+    if keep r then ref r else ref (rebuild net ~targets:(Net.targets net))
+  in
+  let tried = ref 0 and accepted = ref 0 and rounds = ref 0 in
+  let progress = ref true in
+  while !progress && !rounds < max_rounds && !tried < max_tries do
+    incr rounds;
+    progress := false;
+    let base = !current in
+    let tgts = Net.targets base in
+    let sub : (int, action) Hashtbl.t = Hashtbl.create 16 in
+    let subst v = Option.value (Hashtbl.find_opt sub v) ~default:Keep in
+    let try_cand v act =
+      if !tried < max_tries && not (Hashtbl.mem sub v) then begin
+        incr tried;
+        Hashtbl.replace sub v act;
+        let won =
+          match rebuild base ~targets:tgts ~subst with
+          | cand when size cand < size !current && keep cand -> Some cand
+          | _ -> None
+          | exception Failure _ -> None
+        in
+        match won with
+        | Some cand ->
+          incr accepted;
+          progress := true;
+          current := cand
+        | None -> Hashtbl.remove sub v
+      end
+    in
+    List.iter
+      (fun v -> try_cand v (Const (init_bool (Net.reg_of base v).Net.r_init)))
+      (Net.regs base);
+    List.iter
+      (fun v -> try_cand v (Const (init_bool (Net.latch_of base v).Net.l_init)))
+      (Net.latches base);
+    List.iter
+      (fun v ->
+        try_cand v (Const false);
+        try_cand v (Const true))
+      (Net.inputs base);
+    let ands = ref [] in
+    Net.iter_nodes base (fun v node ->
+        match node with
+        | Net.And (a, b) -> ands := (v, a, b) :: !ands
+        | _ -> ());
+    (* prepending above left the list in descending identifier order:
+       cutting near the target first can delete whole cones in one step *)
+    List.iter
+      (fun (v, a, b) ->
+        try_cand v (Const false);
+        try_cand v (Redirect a);
+        try_cand v (Redirect b))
+      !ands
+  done;
+  {
+    net = !current;
+    original_size;
+    shrunk_size = size !current;
+    rounds = !rounds;
+    tried = !tried;
+    accepted = !accepted;
+  }

@@ -1,0 +1,47 @@
+(** Greedy structural shrinker: reduce a finding-carrying netlist to a
+    minimal repro while a caller-supplied predicate (the oracle re-run)
+    still holds.
+
+    Invariants the campaign relies on:
+    - the shrunk net is always a {e valid} netlist ([Net.check] passes
+      on every intermediate);
+    - the named target survives every step, so the oracle re-runs
+      against the same property;
+    - the result never grows: each accepted candidate strictly
+      decreases {!size}, and the original is returned when nothing is
+      accepted. *)
+
+val size : Netlist.Net.t -> int
+(** Inputs + registers + latches + AND gates — the measure shrinking
+    minimizes (target count and names are free). *)
+
+val restrict : Netlist.Net.t -> target:string -> Netlist.Net.t
+(** Cone-of-influence restriction: a copy keeping only logic reachable
+    from the named target, which becomes the sole target/output.
+    @raise Invalid_argument on an unknown target. *)
+
+type result = {
+  net : Netlist.Net.t;  (** the minimal repro *)
+  original_size : int;
+  shrunk_size : int;
+  rounds : int;  (** greedy passes executed (last one accepts nothing) *)
+  tried : int;  (** candidate substitutions evaluated *)
+  accepted : int;  (** candidates that shrank and kept the finding *)
+}
+
+val run :
+  ?max_rounds:int ->
+  ?max_tries:int ->
+  keep:(Netlist.Net.t -> bool) ->
+  Netlist.Net.t ->
+  target:string ->
+  result
+(** [run ~keep net ~target] restricts to the target's cone, then
+    repeatedly tries per-vertex substitutions — registers/latches to
+    their initial value, inputs to constants, AND gates to a constant
+    or one of their fanins — keeping a candidate only when it strictly
+    shrinks and [keep] still accepts it.  Deterministic: candidate
+    order is a function of the netlist alone.  [max_rounds] (default 8)
+    bounds greedy passes; [max_tries] (default 2000) bounds total
+    [keep] evaluations.
+    @raise Invalid_argument on an unknown target. *)

@@ -7,3 +7,5 @@ module Gen = Gen
 module Recipe = Recipe
 module Iscas = Iscas
 module Gp = Gp
+module Fuzz = Fuzz
+module Shrink = Shrink

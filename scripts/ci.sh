@@ -117,6 +117,76 @@ grep -q "bmc_bench.conflict_reduction_pct" "$tmpdir/bmc.json" \
   || { echo "ci: bmc reduction gauge missing (FAIL)"; exit 1; }
 echo "ci: bmc inprocessing gate ok"
 
+# Corpus determinism: the corpus walk over examples/ must be
+# byte-identical (stdout is timing-free by design) and report the
+# same exit code for --jobs 1 and --jobs 2.  Any of the contract's
+# exit codes (0 all-ok / 1 finding / 3 inconclusive-only) is fine —
+# the stage tests determinism, not the verdicts.
+rc1=0; rc2=0
+timeout 300 dune exec bin/diam_tool.exe -- corpus examples/ --jobs 1 \
+  > "$tmpdir/corpus1.out" || rc1=$?
+timeout 300 dune exec bin/diam_tool.exe -- corpus examples/ --jobs 2 \
+  > "$tmpdir/corpus2.out" || rc2=$?
+case "$rc1" in
+  0|1|3) ;;
+  *) echo "ci: corpus walk exit $rc1 (FAIL)"; exit 1 ;;
+esac
+[ "$rc1" = "$rc2" ] \
+  || { echo "ci: corpus exit codes differ across --jobs (FAIL)"; exit 1; }
+diff -u "$tmpdir/corpus1.out" "$tmpdir/corpus2.out" \
+  || { echo "ci: corpus reports differ across --jobs (FAIL)"; exit 1; }
+echo "ci: corpus determinism ok"
+
+# Corpus snapshot gate: the examples/ corpus stats must stay
+# baseline-compatible with the committed snapshot and within a
+# generous regression threshold.
+rc=0
+timeout 300 dune exec bin/diam_tool.exe -- corpus examples/ \
+  --baseline BENCH_0002_corpus.json --fail-on-regress 100 \
+  --stats-json "$tmpdir/corpus.json" > "$tmpdir/corpus.out" || rc=$?
+case "$rc" in
+  0|1|3) ;;
+  *) cat "$tmpdir/corpus.out"; echo "ci: corpus gate exit $rc (FAIL)"; exit 1 ;;
+esac
+grep -q "REGRESSION" "$tmpdir/corpus.out" \
+  && { cat "$tmpdir/corpus.out"; echo "ci: corpus regressed (FAIL)"; exit 1; }
+grep -q '"corpus.files"' "$tmpdir/corpus.json" \
+  || { echo "ci: corpus tallies missing from snapshot (FAIL)"; exit 1; }
+echo "ci: corpus snapshot gate ok"
+
+# Fuzz smoke: a fixed-seed campaign on a healthy build must report
+# zero findings — each design runs through the differential oracle
+# matrix (ladder / no-inprocessing / portfolio / expired budget), so
+# a single finding here is a real engine bug, and the campaign exits 1.
+timeout 600 dune exec bin/diam_tool.exe -- fuzz --count 20 --seed 1 \
+  > "$tmpdir/fuzz.out" \
+  || { cat "$tmpdir/fuzz.out"; echo "ci: fuzz campaign found bugs (FAIL)"; exit 1; }
+grep -q "fuzz: 20 cases, 0 findings" "$tmpdir/fuzz.out" \
+  || { cat "$tmpdir/fuzz.out"; echo "ci: fuzz summary malformed (FAIL)"; exit 1; }
+echo "ci: fuzz smoke ok"
+
+# Repro replay: minimal netlists shrunk from past chaos findings are
+# committed under test/repros/; every one must still parse and verify
+# without a crash (the walk itself is the assertion — a malformed or
+# crashed tally is a finding and a different exit).
+rc=0
+timeout 300 dune exec bin/diam_tool.exe -- corpus test/repros/ \
+  > "$tmpdir/repros.out" || rc=$?
+case "$rc" in
+  0|1) ;;
+  *) cat "$tmpdir/repros.out"; echo "ci: repro replay exit $rc (FAIL)"; exit 1 ;;
+esac
+grep -qE "0 malformed, 0 crashed" "$tmpdir/repros.out" \
+  || { cat "$tmpdir/repros.out"; echo "ci: repros degraded (FAIL)"; exit 1; }
+echo "ci: repro replay ok"
+
+# Chaos drill: with a seeded solver fault armed, the campaign must
+# find it (findings > 0), shrink every finding to at most half the
+# breeding design, and write repros that replay cleanly — one drill
+# per fault class, inside the campaign test suite.
+DIAMBOUND_CHAOS_SEED=1234 timeout 600 \
+  dune exec test/test_main.exe -- test campaign
+
 # Self-baseline: a snapshot diffed against itself is compatible by
 # construction and must show zero regressions at any threshold.
 timeout 300 dune exec bench/main.exe -- baseline \

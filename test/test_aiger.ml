@@ -87,6 +87,26 @@ let prop_roundtrip_exact_counts =
       && Net.num_regs back = Net.num_regs net
       && Net.num_ands back = Net.num_ands net)
 
+(* write→parse→write fixpoint: the writer renumbers variables
+   compactly, so the first write may re-index, but a second
+   parse/write round must reproduce its output byte for byte *)
+let aiger_fixpoint net =
+  let s2 = Textio.Aiger.to_string (Textio.Aiger.parse (Textio.Aiger.to_string net)) in
+  let s3 = Textio.Aiger.to_string (Textio.Aiger.parse s2) in
+  String.equal s2 s3
+
+let prop_fixpoint_random =
+  Helpers.qtest ~count:60 "aag write fixpoint (random nets)"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, _ = Helpers.rand_net_with_target seed ~inputs:3 ~regs:3 ~gates:10 in
+      aiger_fixpoint net)
+
+let prop_fixpoint_fuzz =
+  Helpers.qtest ~count:30 "aag write fixpoint (fuzzer designs)"
+    QCheck.(int_bound 200)
+    (fun i -> aiger_fixpoint (Workload.Fuzz.case ~seed:7 i).Workload.Fuzz.net)
+
 let suite =
   [
     Alcotest.test_case "parse sample" `Quick test_parse_sample;
@@ -96,4 +116,6 @@ let suite =
     Alcotest.test_case "latch netlists rejected" `Quick test_latch_netlists_rejected;
     prop_roundtrip;
     prop_roundtrip_exact_counts;
+    prop_fixpoint_random;
+    prop_fixpoint_fuzz;
   ]

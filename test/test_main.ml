@@ -48,4 +48,5 @@ let () =
       ("workload", Test_workload.suite);
       ("sched", Test_sched.suite);
       ("portfolio", Test_portfolio.suite);
+      ("campaign", Test_campaign.suite);
     ]

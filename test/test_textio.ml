@@ -120,6 +120,85 @@ let prop_bench_roundtrip_equiv =
       let t2 = List.assoc "t" (Net.targets back) in
       Transform.Equiv.sim_equivalent ~steps:12 net t1 back t2)
 
+(* write→parse→write fixpoint: the first write may rename (the
+   uniquifier resolves collisions between declared names and generated
+   ones), but the renaming must be stable — writing the parsed netlist
+   again reproduces it byte for byte. *)
+let bench_fixpoint net =
+  let n2 = roundtrip net in
+  let s2 = Textio.Bench_io.to_string n2 in
+  let s3 = Textio.Bench_io.to_string (Textio.Bench_io.parse s2) in
+  String.equal s2 s3
+
+let prop_bench_fixpoint_random =
+  Helpers.qtest ~count:60 "bench write fixpoint (random nets)"
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let net, _ = Helpers.rand_net_with_target seed ~inputs:3 ~regs:3 ~gates:10 in
+      bench_fixpoint net)
+
+let prop_bench_fixpoint_fuzz =
+  Helpers.qtest ~count:30 "bench write fixpoint (fuzzer designs)"
+    QCheck.(int_bound 200)
+    (fun i -> bench_fixpoint (Workload.Fuzz.case ~seed:7 i).Workload.Fuzz.net)
+
+(* adversarial declared names: inputs/outputs squatting on the
+   writer's own namespaces ("n<i>" gate names, const0/const1) and an
+   empty cone (a constant-false target) *)
+let test_bench_nasty_names () =
+  let net = Net.create () in
+  let n1 = Net.add_input net "n1" in
+  let n3 = Net.add_input net "n3" in
+  (* an input squatting on the writer's constant name: it must be
+     renamed on write (the sim check below therefore keeps it out of
+     the live cone — stimulus is matched by input name) *)
+  let c0 = Net.add_input net "const0" in
+  let g = Net.add_and net n1 n3 in
+  Net.add_target net "t" g;
+  Net.add_output net "t" g;
+  (* output aliasing an input under a colliding name *)
+  Net.add_output net "n2" n1;
+  (* a semantically-dead cone through the renamed input *)
+  let dead = Net.add_and net c0 (Lit.neg c0) in
+  Net.add_target net "dead" dead;
+  Net.add_output net "dead" dead;
+  (* entirely empty cone: a constant-false target *)
+  Net.add_target net "empty" Lit.false_;
+  Net.add_output net "empty" Lit.false_;
+  Net.check net;
+  let back = roundtrip net in
+  Helpers.check_int "inputs survive" 3 (Net.num_inputs back);
+  (* every OUTPUT re-parses as a target, so the n2 alias adds one *)
+  Helpers.check_int "targets survive" 4 (List.length (Net.targets back));
+  let t1 = List.assoc "t" (Net.targets net) in
+  let t2 = List.assoc "t" (Net.targets back) in
+  Helpers.check_bool "live target semantics" true
+    (Transform.Equiv.sim_equivalent net t1 back t2);
+  List.iter
+    (fun name ->
+      Helpers.check_bool (name ^ " target stays false") true
+        (Transform.Equiv.sim_equivalent net Lit.false_ back
+           (List.assoc name (Net.targets back))))
+    [ "dead"; "empty" ];
+  Helpers.check_bool "fixpoint" true (bench_fixpoint net)
+
+let test_bench_max_arity_fixpoint () =
+  (* wide gates exist only on the parse side (the writer emits 2-ary
+     trees): one write normalizes, after which parse/write is stable *)
+  let args = String.concat ", " (List.init 8 (fun i -> Printf.sprintf "a%d" i)) in
+  let text =
+    String.concat "\n"
+      (List.init 8 (fun i -> Printf.sprintf "INPUT(a%d)" i)
+      @ [ Printf.sprintf "z = NAND(%s)" args; "OUTPUT(z)"; "" ])
+  in
+  let net = Textio.Bench_io.parse text in
+  Helpers.check_bool "fixpoint" true (bench_fixpoint net);
+  let back = roundtrip net in
+  let z1 = List.assoc "z" (Net.targets net) in
+  let z2 = List.assoc "z" (Net.targets back) in
+  Helpers.check_bool "nand8 semantics" true
+    (Transform.Equiv.sim_equivalent net z1 back z2)
+
 let suite =
   [
     Alcotest.test_case "parse basics" `Quick test_parse_basics;
@@ -131,4 +210,8 @@ let suite =
     Alcotest.test_case "bench roundtrip" `Quick test_bench_roundtrip_semantics;
     prop_netfmt_roundtrip;
     prop_bench_roundtrip_equiv;
+    prop_bench_fixpoint_random;
+    prop_bench_fixpoint_fuzz;
+    Alcotest.test_case "nasty declared names" `Quick test_bench_nasty_names;
+    Alcotest.test_case "max-arity fixpoint" `Quick test_bench_max_arity_fixpoint;
   ]

@@ -64,6 +64,58 @@ let test_rng_bounds () =
     if x < 0 || x >= 7 then Alcotest.fail "out of range"
   done
 
+let test_rng_fork_pure () =
+  (* fork is a pure function of the creation seed and index: draws
+     made on the parent before or after must not change the child *)
+  let fresh = Workload.Rng.create 42 in
+  let drained = Workload.Rng.create 42 in
+  for _ = 1 to 17 do
+    ignore (Workload.Rng.int drained 100)
+  done;
+  let seq r = List.init 10 (fun _ -> Workload.Rng.int r 1_000_000) in
+  List.iter
+    (fun i ->
+      Helpers.check_bool
+        (Printf.sprintf "fork %d ignores parent draws" i)
+        true
+        (seq (Workload.Rng.fork fresh i) = seq (Workload.Rng.fork drained i)))
+    [ 0; 1; 5; 1000 ];
+  (match Workload.Rng.fork fresh (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fork of a negative index should raise")
+
+let test_rng_fork_independent () =
+  (* sibling forks draw visibly different streams, and forking does
+     not advance the parent *)
+  let parent = Workload.Rng.create 7 in
+  let a = List.init 10 (fun _ -> Workload.Rng.int (Workload.Rng.fork parent 0) 1_000_000) in
+  let seqs =
+    List.init 50 (fun i ->
+        let c = Workload.Rng.fork parent i in
+        List.init 10 (fun _ -> Workload.Rng.int c 1_000_000))
+  in
+  Helpers.check_int "50 distinct fork streams" 50
+    (List.length (List.sort_uniq compare seqs));
+  let b = List.init 10 (fun _ -> Workload.Rng.int (Workload.Rng.fork parent 0) 1_000_000) in
+  Helpers.check_bool "fork does not advance the parent" true (a = b);
+  (* parent draws unaffected by the same-seed no-fork sequence *)
+  let plain = Workload.Rng.create 7 in
+  Helpers.check_bool "parent stream unchanged by forking" true
+    (List.init 10 (fun _ -> Workload.Rng.int parent 1000)
+    = List.init 10 (fun _ -> Workload.Rng.int plain 1000))
+
+let test_rng_split () =
+  (* split children are deterministic and independent of each other *)
+  let mk () = Workload.Rng.create 11 in
+  let p1 = mk () and p2 = mk () in
+  let c1 = Workload.Rng.split p1 and c2 = Workload.Rng.split p2 in
+  let seq r = List.init 10 (fun _ -> Workload.Rng.int r 1_000_000) in
+  Helpers.check_bool "split deterministic" true (seq c1 = seq c2);
+  let p = mk () in
+  let d1 = Workload.Rng.split p in
+  let d2 = Workload.Rng.split p in
+  Helpers.check_bool "successive splits differ" true (seq d1 <> seq d2)
+
 let suite =
   [
     Alcotest.test_case "determinism" `Quick test_determinism;
@@ -74,4 +126,7 @@ let suite =
     Alcotest.test_case "GP designs are latch-based" `Quick test_gp_is_latched;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng fork purity" `Quick test_rng_fork_pure;
+    Alcotest.test_case "rng fork independence" `Quick test_rng_fork_independent;
+    Alcotest.test_case "rng split" `Quick test_rng_split;
   ]
