@@ -109,50 +109,105 @@ let recurrence =
     & info [ "recurrence" ]
         ~doc:"Also compute the recurrence-diameter baseline per target")
 
+(* ----- shared serve/batch terms ----- *)
+
+let queue_limit =
+  let env =
+    Cmdliner.Cmd.Env.info "DIAMBOUND_QUEUE_LIMIT"
+      ~doc:"Default admission queue bound when $(b,--queue-limit) is absent"
+  in
+  Cmdliner.Arg.(
+    value
+    & opt (some int) None
+    & info [ "queue-limit" ] ~env ~docv:"N"
+        ~doc:"Bound the scheduler's admission queue at $(docv) waiting \
+              jobs.  $(b,diam serve) then sheds load (overloaded \
+              responses) instead of blocking its intake; $(b,diam batch) \
+              bounds its job backlog, blocking submission until workers \
+              catch up")
+
+let cache_mb =
+  let env =
+    Cmdliner.Cmd.Env.info "DIAMBOUND_CACHE_MB"
+      ~doc:"Default bound-cache budget when $(b,--cache-mb) is absent"
+  in
+  Cmdliner.Arg.(
+    value & opt int 64
+    & info [ "cache-mb" ] ~docv:"MB" ~env
+        ~doc:"Bound cache budget in megabytes: certified verdicts and \
+              strategy bounds keyed by canonical cone fingerprint, \
+              LRU-evicted beyond the budget")
+
 (* ----- batch: multi-problem server mode ----- *)
 
 (* Every (netlist, target) pair across the given files becomes one
-   job; jobs run the full sequential strategy ladder and are scheduled
-   across the pool for throughput (problem-level parallelism, in
-   contrast to diam-verify's strategy-level portfolio).  Verdict lines
-   print in input order; the wall-clock budget is one shared deadline
-   for the whole batch. *)
-let run_batch files cutoff certify budget jobs stats stats_json trace
-    no_inprocess =
+   Serve.Exec request — the SAME request path diam serve's workers
+   run, so batch inherits the per-request exception barrier, budget
+   slicing and bound cache, and the two front-ends cannot drift.
+   Verdict lines print in input order; each problem gets a fresh
+   budget sliced from the --timeout/--conflicts/--bdd-nodes spec. *)
+let run_batch files cutoff certify budget_spec jobs queue_limit cache_mb stats
+    stats_json trace no_inprocess =
   Cli.setup_trace trace;
   Cli.apply_inprocess no_inprocess;
   let problems =
     List.concat_map
       (fun file ->
         let net = Cli.load_bench file in
-        List.map (fun (t, _) -> (file, net, t)) (Net.targets net))
+        List.map (fun (t, _) -> (file, t)) (Net.targets net))
       files
   in
   if problems = [] then Cli.die Cli.usage_error "no targets in any input";
-  let config = { Core.Engine.default with Core.Engine.cutoff } in
-  let solve (_, net, t) =
-    Core.Engine.verify ~config ~certify ~budget net ~target:t
+  let cache =
+    Core.Bcache.create ~prefix:"serve.cache"
+      ~max_bytes:(max 1 cache_mb * 1024 * 1024)
+      ()
   in
-  let verdicts =
+  let solve (file, t) =
+    let r =
+      {
+        Serve.Request.id = None;
+        op = Serve.Request.Verify;
+        source = Some (Serve.Request.File file);
+        target = Some t;
+        timeout_ms = None;
+        certify;
+        cutoff = Some cutoff;
+        chaos = None;
+      }
+    in
+    Serve.Exec.run ~cache ~chaos_seed:None
+      ~budget:(Cli.budget_of_spec budget_spec) r
+  in
+  let outcomes =
     if jobs > 1 then
-      Sched.Pool.with_pool ~jobs (fun pool ->
+      Sched.Pool.with_pool ?capacity:queue_limit ~jobs (fun pool ->
           Sched.Pool.map pool solve problems)
     else List.map solve problems
   in
   let violated = ref 0 in
   let inconclusive = ref 0 in
+  let errors = ref 0 in
   List.iter2
-    (fun (file, _, t) v ->
-      Format.printf "%s:%-24s %a@." file t Core.Engine.pp_verdict v;
-      match v with
-      | Core.Engine.Violated _ -> incr violated
-      | Core.Engine.Inconclusive _ -> incr inconclusive
-      | Core.Engine.Proved _ -> ())
-    problems verdicts;
+    (fun (file, t) outcome ->
+      match outcome with
+      | Serve.Exec.Verdict { verdict = v; _ } -> (
+        Format.printf "%s:%-24s %a@." file t Core.Engine.pp_verdict v;
+        match v with
+        | Core.Engine.Violated _ -> incr violated
+        | Core.Engine.Inconclusive _ -> incr inconclusive
+        | Core.Engine.Proved _ -> ())
+      | Serve.Exec.Failed { code; detail } ->
+        Format.printf "%s:%-24s error %s: %s@." file t code detail;
+        incr errors)
+    problems outcomes;
   Obs.Report.emit ~human:stats ?json_file:stats_json
-    ~meta:(Cli.stats_meta ~tool:"diam" ~experiments:[ "batch" ] budget)
+    ~meta:
+      (Cli.stats_meta ~tool:"diam" ~experiments:[ "batch" ]
+         (Cli.budget_of_spec budget_spec))
     ();
   if !violated > 0 then Cli.violated
+  else if !errors > 0 then Cli.internal_error
   else if !inconclusive > 0 then Cli.inconclusive
   else Cli.ok
 
@@ -170,13 +225,76 @@ let batch_cmd =
           ~doc:"Largest diameter bound considered BMC-dischargeable")
   in
   let doc =
-    "verify many (netlist, target) problems across a shared worker pool; \
-     verdict lines are in input order and identical to a sequential run"
+    "verify many (netlist, target) problems across a shared worker pool, \
+     through the same per-request barrier, budget slicing and bound cache \
+     as diam serve; verdict lines are in input order and identical to a \
+     sequential run"
   in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const run_batch $ files $ cutoff $ Cli.certify $ Cli.budget $ Cli.jobs
-      $ Cli.stats $ Cli.stats_json $ Cli.trace $ Cli.no_inprocess)
+      const run_batch $ files $ cutoff $ Cli.certify $ Cli.budget_spec
+      $ Cli.jobs $ queue_limit $ cache_mb $ Cli.stats $ Cli.stats_json
+      $ Cli.trace $ Cli.no_inprocess)
+
+(* ----- serve: the long-lived JSONL verification service ----- *)
+
+let run_serve socket jobs queue_limit cache_mb chaos_seed stats stats_json
+    trace no_inprocess =
+  Cli.setup_trace trace;
+  Cli.apply_inprocess no_inprocess;
+  let cfg = { Serve.Server.jobs; queue_limit; cache_mb; chaos_seed } in
+  let code =
+    match socket with
+    | None -> Serve.Server.run_stdio cfg
+    | Some path -> Serve.Server.run_socket cfg ~path
+  in
+  (* stats go to stderr: serve's stdout is the JSONL response stream
+     and must stay byte-identical to the protocol (CI diffs it) *)
+  Obs.Report.emit ~ppf:Format.err_formatter ~human:stats ?json_file:stats_json
+    ~meta:
+      (Cli.stats_meta ~tool:"diam" ~experiments:[ "serve" ]
+         Obs.Budget.unlimited)
+    ();
+  code
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve connections on a Unix-domain socket at $(docv) (one \
+                JSONL session per connection, bound cache shared across \
+                them) instead of a single stdin/stdout session")
+  in
+  let chaos_seed =
+    let env =
+      Cmdliner.Cmd.Env.info "DIAMBOUND_CHAOS_SEED"
+        ~doc:"Default chaos arming when $(b,--chaos-seed) is absent"
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ] ~env ~docv:"SEED"
+          ~doc:"Arm the chaos drill: honor requests' \"chaos\" fault field \
+                and the \"poison\" op, and differentially replay every \
+                cache hit, purging entries that disagree with a fresh \
+                derivation.  Never set in production")
+  in
+  let doc =
+    "long-lived verification service: one JSON request per input line, one \
+     JSON response per request in request order (byte-identical for every \
+     --jobs value); parse errors, solver crashes and injected faults \
+     become structured error responses behind a per-request barrier; \
+     poisoned workers are respawned; --queue-limit switches admission \
+     from blocking to load-shedding; certified verdicts and bounds are \
+     served from an LRU cone-fingerprint cache"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ socket $ Cli.jobs $ queue_limit $ cache_mb
+      $ chaos_seed $ Cli.stats $ Cli.stats_json $ Cli.trace
+      $ Cli.no_inprocess)
 
 (* ----- corpus: walk a problem tree under a per-problem barrier ----- *)
 
@@ -395,7 +513,8 @@ let trace_report_cmd =
 
 let doc =
   "structural diameter bounds via transformation pipelines (also: diam \
-   batch FILES.., diam corpus DIR, diam fuzz, diam trace-report TRACE)"
+   serve, diam batch FILES.., diam corpus DIR, diam fuzz, diam \
+   trace-report TRACE)"
 
 let main_cmd =
   Cmd.v (Cmd.info "diam" ~doc)
@@ -409,10 +528,10 @@ let main_cmd =
 let cmd =
   if
     Array.length Sys.argv > 1
-    && List.mem Sys.argv.(1) [ "trace-report"; "batch"; "corpus"; "fuzz" ]
+    && List.mem Sys.argv.(1) [ "trace-report"; "batch"; "corpus"; "fuzz"; "serve" ]
   then
     Cmd.group (Cmd.info "diam" ~doc)
-      [ trace_report_cmd; batch_cmd; corpus_cmd; fuzz_cmd ]
+      [ trace_report_cmd; batch_cmd; corpus_cmd; fuzz_cmd; serve_cmd ]
   else main_cmd
 
 let () = exit (Cli.main cmd)

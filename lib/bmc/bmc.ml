@@ -23,8 +23,8 @@ type cert = {
 
 let new_cert () = { proof = Sat.Proof.create (); goals = [] }
 
-let check_lit ?(from = 0) ?budget ?cert net target ~depth =
-  let solver = Solver.create () in
+let check_lit ?(from = 0) ?budget ?cert ?inprocess net target ~depth =
+  let solver = Solver.create ?inprocess () in
   (* attach before [Unroll.create]: the unroller emits clauses *)
   Option.iter (fun c -> Solver.set_proof solver c.proof) cert;
   let unroll = Encode.Unroll.create solver net in
@@ -86,8 +86,8 @@ let find_target net name =
   | Some l -> l
   | None -> invalid_arg ("Bmc: unknown target " ^ name)
 
-let check ?from ?budget ?cert net ~target ~depth =
-  check_lit ?from ?budget ?cert net (find_target net target) ~depth
+let check ?from ?budget ?cert ?inprocess net ~target ~depth =
+  check_lit ?from ?budget ?cert ?inprocess net (find_target net target) ~depth
 
 let replay net target cex =
   let init_table = Hashtbl.create 16 in

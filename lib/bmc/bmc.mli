@@ -39,6 +39,7 @@ val check :
   ?from:int ->
   ?budget:Obs.Budget.t ->
   ?cert:cert ->
+  ?inprocess:bool ->
   Netlist.Net.t ->
   target:string ->
   depth:int ->
@@ -53,6 +54,7 @@ val check_lit :
   ?from:int ->
   ?budget:Obs.Budget.t ->
   ?cert:cert ->
+  ?inprocess:bool ->
   Netlist.Net.t ->
   Netlist.Lit.t ->
   depth:int ->

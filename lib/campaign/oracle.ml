@@ -50,24 +50,6 @@ let config =
     enlargement_reg_limit = 12;
   }
 
-(* [Solver.set_inprocess_default] is a process-global knob captured at
-   solver creation.  The lock serializes the off-window so concurrent
-   campaigns don't interleave toggles; a solver created by an
-   unrelated domain inside the window merely runs without the
-   simplifier, which is verdict-neutral by the simplifier's contract
-   (that neutrality is exactly what this oracle cell checks). *)
-let inprocess_lock = Mutex.create ()
-
-let with_inprocess enabled f =
-  Mutex.lock inprocess_lock;
-  let saved = Sat.Solver.inprocess_default () in
-  Sat.Solver.set_inprocess_default enabled;
-  Fun.protect
-    ~finally:(fun () ->
-      Sat.Solver.set_inprocess_default saved;
-      Mutex.unlock inprocess_lock)
-    f
-
 (* A compact, timing-free rendering: agreement is decided on (and
    reports printed from) everything but wall-clock. *)
 let verdict_brief = function
@@ -122,10 +104,14 @@ let run_cells ?(jobs = 2) ?only ?mk_budget net ~target =
         fun () -> Engine.verify ~config ?budget:(budget ()) ~certify:true net ~target
       );
       ( "ladder-noinproc",
+        (* the inprocessing-off cell rides the per-solver-instance
+           config override, so a concurrent campaign (or serve
+           request) running with inprocessing ON never observes this
+           cell's choice — there is no global toggle left to race on *)
         fun () ->
-          with_inprocess false (fun () ->
-              Engine.verify ~config ?budget:(budget ()) ~certify:true net ~target)
-      );
+          Engine.verify
+            ~config:{ config with Engine.inprocess = Some false }
+            ?budget:(budget ()) ~certify:true net ~target );
       ( "portfolio",
         fun () ->
           Engine.verify_portfolio ~config ?budget:(budget ()) ~certify:true

@@ -34,11 +34,6 @@ val config : Core.Engine.config
     concludes, making any disagreement a bug rather than a tuning
     artifact. *)
 
-val with_inprocess : bool -> (unit -> 'a) -> 'a
-(** Run [f] with the process-global inprocessing default forced,
-    restoring it after; serialized under a lock so concurrent
-    campaigns do not interleave toggles. *)
-
 val verdict_brief : Core.Engine.verdict -> string
 (** Timing-free one-line rendering; two verdicts agree iff their
     briefs are equal (strategy + depth/time + attempt reasons). *)

@@ -19,4 +19,5 @@ module Certify = Certify
 module Exact = Exact
 module Pipeline = Pipeline
 module Engine = Engine
+module Bcache = Bcache
 module Symbolic = Symbolic

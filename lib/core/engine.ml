@@ -9,6 +9,7 @@ type config = {
   enlargement_reg_limit : int;
   recurrence_limit : int;
   induction_max_k : int;
+  inprocess : bool option;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     enlargement_reg_limit = 18;
     recurrence_limit = 48;
     induction_max_k = 16;
+    inprocess = None;
   }
 
 type attempt = {
@@ -63,7 +65,9 @@ let budget_reason = "budget-exhausted"
 (* prefix of every certification-failure stand-down reason *)
 let cert_fail_reason = "certification-failed"
 
-let () = Stats.declare [ "engine.cert_ok"; "engine.cert_fail" ]
+let () =
+  Stats.declare
+    [ "engine.cert_ok"; "engine.cert_fail"; "engine.cache.bound_seeded" ]
 
 (* ----- one strategy, run in isolation -----
 
@@ -161,7 +165,10 @@ let run_strategy ~config ~certify ~proof_sink ~slice net ~target ~tlit
         certified arithmetic (Proved { strategy = name; depth = 0 })
       | Some depth -> (
         let cert = if certify then Some (Bmc.new_cert ()) else None in
-        match Bmc.check ?cert ~budget:slice net ~target ~depth with
+        match
+          Bmc.check ?cert ~budget:slice ?inprocess:config.inprocess net
+            ~target ~depth
+        with
         | Bmc.No_hit d ->
           certified
             (fun () ->
@@ -226,7 +233,7 @@ let run_strategy ~config ~certify ~proof_sink ~slice net ~target ~tlit
       won
     end
   in
-  (verdict, List.rev !attempts)
+  (verdict, List.rev !attempts, !bound_seen)
 
 (* ----- the strategy ladder -----
 
@@ -243,7 +250,8 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
     ( "bmc-probe",
       fun cb ->
         match
-          Bmc.check ~budget:cb.sbudget net ~target ~depth:config.probe_depth
+          Bmc.check ~budget:cb.sbudget ?inprocess:config.inprocess net ~target
+            ~depth:config.probe_depth
         with
         | Bmc.Hit cex ->
           cb.certified
@@ -264,7 +272,9 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
     ( "com+bound",
       fun cb ->
         let reg_view, fold = Lazy.force rv in
-        let com_report = Pipeline.com ~budget:cb.sbudget reg_view in
+        let com_report =
+          Pipeline.com ~budget:cb.sbudget ?inprocess:config.inprocess reg_view
+        in
         match
           List.find_opt
             (fun t -> String.equal t.Pipeline.target target)
@@ -279,7 +289,10 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
     ( "com-ret-com+bound",
       fun cb ->
         let reg_view, fold = Lazy.force rv in
-        let crc_report = Pipeline.com_ret_com ~budget:cb.sbudget reg_view in
+        let crc_report =
+          Pipeline.com_ret_com ~budget:cb.sbudget ?inprocess:config.inprocess
+            reg_view
+        in
         match
           List.find_opt
             (fun t -> String.equal t.Pipeline.target target)
@@ -316,7 +329,8 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
                 if cb.certifying then Some (Bmc.new_cert ()) else None
               in
               match
-                Bmc.check ?cert ~budget:cb.sbudget net ~target
+                Bmc.check ?cert ~budget:cb.sbudget
+                  ?inprocess:config.inprocess net ~target
                   ~depth:(max 0 (config.enlargement_k - 1))
               with
               | Bmc.No_hit d ->
@@ -358,7 +372,8 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
           in
           let r =
             Recurrence.compute ~limit:config.recurrence_limit ~bounded_coi:true
-              ~budget:cb.sbudget ?cert:rcert reg_view l
+              ~budget:cb.sbudget ?cert:rcert ?inprocess:config.inprocess
+              reg_view l
           in
           if r.Recurrence.exhausted then cb.stand_down budget_reason
           else
@@ -378,7 +393,7 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
           in
           match
             Induction.prove ~max_k:config.induction_max_k ~budget:cb.sbudget
-              ?cert:icert net ~target
+              ?cert:icert ?inprocess:config.inprocess net ~target
           with
           | Induction.Proved k ->
             cb.certified
@@ -428,13 +443,51 @@ let outcome_name = function
   | Violated _ -> "violated"
   | Inconclusive _ -> "inconclusive"
 
+(* ----- the bound cache hooks -----
+
+   [bcache] is [(cache, key_prefix)]: per ladder strategy, the prefix
+   plus the strategy name keys a previously certified completeness
+   bound.  Seeding replaces the strategy's body with a direct
+   discharge of the cached bound — the expensive analysis
+   (COM/RET/BDD/recurrence) is skipped, while the discharge BMC run
+   and its certification are repeated in full, so a seeded ladder can
+   only conclude what a fresh ladder would.  [Bcache.peek] keeps these
+   speculative probes out of the request-level hit/miss counters. *)
+
+let seed_strategies bcache strategies =
+  match bcache with
+  | None -> strategies
+  | Some (cache, kp) ->
+    List.map
+      (fun ((name, body) as s) ->
+        match Bcache.peek cache (kp ^ name) with
+        | Some (Bcache.Bound { raw; _ }) ->
+          Stats.count "engine.cache.bound_seeded" 1;
+          (name, fun cb -> cb.discharge raw)
+        | Some _ | None ->
+          ignore body;
+          s)
+      strategies
+
+(* Bounds enter the cache only off a certified [Proved]: that
+   certification re-derived the translation arithmetic (and any
+   recurrence evidence), so the stored bound's provenance is checked —
+   an injected fault upstream of it cannot be laundered through the
+   cache.  [Violated] is excluded: its certification replays the cex
+   but does not re-check the bound. *)
+let store_bound bcache ~certify verdict name bound =
+  match (bcache, verdict, bound) with
+  | Some (cache, kp), Proved _, Some raw when certify ->
+    Bcache.add cache (kp ^ name) (Bcache.Bound { strategy = name; raw })
+  | _ -> ()
+
 let verify ?(config = default) ?(budget = Obs.Budget.unlimited)
-    ?(certify = false) ?proof_sink net ~target =
+    ?(certify = false) ?proof_sink ?bcache net ~target =
   let tlit = check_target net target in
   (* a proof sink only ever receives certified proofs *)
   let certify = certify || proof_sink <> None in
   let rv = reg_view_of net in
-  let strategies = ladder ~config net ~target ~tlit ~rv in
+  let strategies = seed_strategies bcache (ladder ~config net ~target ~tlit ~rv) in
   let attempts = ref [] in
   let remaining = ref (List.length strategies) in
   let run_ladder () =
@@ -448,13 +501,17 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited)
              [run_strategy] records a budget attempt on a dead slice
              rather than skipping). *)
           let slice = Obs.Budget.slice budget ~ways:(max 1 !remaining) in
-          let verdict, atts =
+          let verdict, atts, bound =
             run_strategy ~config ~certify ~proof_sink ~slice net ~target ~tlit
               s
           in
           attempts := !attempts @ atts;
           decr remaining;
-          match verdict with Some v -> raise (Done v) | None -> ())
+          match verdict with
+          | Some v ->
+            store_bound bcache ~certify v (fst s) bound;
+            raise (Done v)
+          | None -> ())
         strategies;
       Inconclusive { attempts = !attempts }
     with Done v -> v
@@ -483,12 +540,12 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited)
    token each job polls at its existing check points. *)
 
 let verify_portfolio ?(config = default) ?(budget = Obs.Budget.unlimited)
-    ?(certify = false) ?proof_sink ?pool ?(jobs = 1) net ~target =
+    ?(certify = false) ?proof_sink ?pool ?(jobs = 1) ?bcache net ~target =
   let pool_size = match pool with Some p -> Sched.Pool.size p | None -> jobs in
   if pool_size <= 1 && pool = None then
     (* one worker: run the ladder in-domain, bit-for-bit the
        sequential semantics (including lazy phase abstraction) *)
-    verify ~config ~budget ~certify ?proof_sink net ~target
+    verify ~config ~budget ~certify ?proof_sink ?bcache net ~target
   else begin
     let tlit = check_target net target in
     let certify = certify || proof_sink <> None in
@@ -496,7 +553,10 @@ let verify_portfolio ?(config = default) ?(budget = Obs.Budget.unlimited)
     (* force before sharing: concurrent Lazy.force is unsafe, reading
        a forced suspension is not *)
     ignore (Lazy.force rv);
-    let strategies = ladder ~config net ~target ~tlit ~rv in
+    (* seeding happens here, on the calling domain, before any job is
+       submitted — workers never touch the cache, so the seeded ladder
+       is the same for every [jobs] value given the same cache state *)
+    let strategies = seed_strategies bcache (ladder ~config net ~target ~tlit ~rv) in
     let n = List.length strategies in
     let cancels = Array.init n (fun _ -> Atomic.make false) in
     let cancel_above k =
@@ -517,12 +577,12 @@ let verify_portfolio ?(config = default) ?(budget = Obs.Budget.unlimited)
          replace the sequential equal split) plus its rank's
          cancellation token *)
       let jbudget = Obs.Budget.with_cancel budget cancels.(rank) in
-      let verdict, atts =
+      let verdict, atts, bound =
         run_strategy ~config ~certify ~proof_sink:local_sink ~slice:jbudget
           net ~target ~tlit s
       in
       if verdict <> None then cancel_above rank;
-      (verdict, atts, List.rev !proofs)
+      (verdict, atts, List.rev !proofs, (fst s, bound))
     in
     let indexed = List.mapi (fun i s -> (i, s)) strategies in
     let verdict =
@@ -546,21 +606,83 @@ let verify_portfolio ?(config = default) ?(budget = Obs.Budget.unlimited)
                  is the sequential answer *)
               List.find_map
                 (function
-                  | Some v, _, proofs -> Some (v, proofs) | None, _, _ -> None)
+                  | Some v, _, proofs, nb -> Some (v, proofs, nb)
+                  | None, _, _, _ -> None)
                 results
             with
-            | Some (v, proofs) ->
+            | Some (v, proofs, (sname, bound)) ->
               Option.iter (fun sink -> List.iter sink proofs) proof_sink;
+              (* only the WINNING rank's bound enters the cache — the
+                 same bound the sequential ladder would have stored *)
+              store_bound bcache ~certify v sname bound;
               v
             | None ->
               Inconclusive
-                { attempts = List.concat_map (fun (_, a, _) -> a) results }
+                { attempts = List.concat_map (fun (_, a, _, _) -> a) results }
           in
           (v, [ ("verdict", Obs.Trace.String (outcome_name v)) ]))
     in
     count_verdict verdict;
     verdict
   end
+
+(* ----- cached verification ----- *)
+
+type cache_status = Cache_hit | Cache_miss
+
+(* The configuration digest folded into every cache key.  The verdict
+   key includes [cutoff] (it decides whether a bound concludes); the
+   bound key omits it — a completeness bound is a property of the cone,
+   valid under any cutoff.  The budget is in neither: a conclusive,
+   certified verdict holds regardless of how much time the run that
+   produced it was allowed. *)
+let config_digest ~with_cutoff c =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "cfg:%s:%d:%d:%d:%d:%d:%s"
+          (if with_cutoff then string_of_int c.cutoff else "-")
+          c.probe_depth c.enlargement_k c.enlargement_reg_limit
+          c.recurrence_limit c.induction_max_k
+          (match c.inprocess with
+          | None -> "d"
+          | Some true -> "1"
+          | Some false -> "0")))
+
+let cache_keys ?(config = default) ~certify net ~target =
+  let tlit = check_target net target in
+  let fp = Net.cone_fingerprint net tlit in
+  ( Printf.sprintf "v:%s:%s:%b" fp (config_digest ~with_cutoff:true config)
+      certify,
+    Printf.sprintf "b:%s:%s:" fp (config_digest ~with_cutoff:false config) )
+
+let verify_cached ?(config = default) ?budget ?(certify = false) ?pool
+    ?(jobs = 1) ~cache net ~target =
+  let vkey, bprefix = cache_keys ~config ~certify net ~target in
+  match Bcache.find cache vkey with
+  | Some (Bcache.Proved { strategy; depth }) ->
+    let v = Proved { strategy; depth } in
+    count_verdict v;
+    (v, Cache_hit)
+  | Some (Bcache.Violated { strategy; cex }) ->
+    let v = Violated { strategy; cex } in
+    count_verdict v;
+    (v, Cache_hit)
+  | Some (Bcache.Bound _) (* never stored under a "v:" key *) | None ->
+    let v =
+      verify_portfolio ~config ?budget ~certify ?pool ~jobs
+        ~bcache:(cache, bprefix) net ~target
+    in
+    (if certify then
+       match v with
+       | Proved { strategy; depth } ->
+         Bcache.add cache vkey (Bcache.Proved { strategy; depth })
+       | Violated { strategy; cex } ->
+         Bcache.add cache vkey (Bcache.Violated { strategy; cex })
+       | Inconclusive _ ->
+         (* never cached: an inconclusive outcome is circumstance
+            (budget, limits), not a fact about the cone *)
+         ());
+    (v, Cache_miss)
 
 let exhausted = function
   | Proved _ | Violated _ -> false

@@ -31,6 +31,12 @@ type config = {
   enlargement_reg_limit : int;
   recurrence_limit : int;
   induction_max_k : int;
+  inprocess : bool option;
+      (** per-run SAT-inprocessing override, threaded to every solver
+          instance the ladder creates; [None] inherits the process
+          default.  An explicit value here is race-free under
+          concurrent runs with different options (unlike
+          {!Sat.Solver.set_inprocess_default}). *)
 }
 
 val default : config
@@ -76,6 +82,7 @@ val verify :
   ?budget:Obs.Budget.t ->
   ?certify:bool ->
   ?proof_sink:(Sat.Proof.t -> unit) ->
+  ?bcache:Bcache.t * string ->
   Netlist.Net.t ->
   target:string ->
   verdict
@@ -115,7 +122,16 @@ val verify :
     slice, but never make it disappear from the attempt log — a dead
     slice still records its {!budget_reason} attempt.  Budget
     exhaustion is never reported as [Proved] or [Violated], and
-    additionally bumps ["engine.budget_exhausted"]. *)
+    additionally bumps ["engine.budget_exhausted"].
+
+    [bcache] is [(cache, key_prefix)]: each ladder strategy probes
+    [key_prefix ^ strategy] for a previously certified completeness
+    bound and, on a hit, skips its analysis and discharges the cached
+    bound directly (BMC run and certification repeated in full, so a
+    seeded ladder can only conclude what a fresh one would); when a
+    strategy's certified [Proved] carries a bound, it is stored back
+    under the same key.  Callers normally reach this through
+    {!verify_cached} rather than directly. *)
 
 val verify_portfolio :
   ?config:config ->
@@ -124,6 +140,7 @@ val verify_portfolio :
   ?proof_sink:(Sat.Proof.t -> unit) ->
   ?pool:Sched.Pool.t ->
   ?jobs:int ->
+  ?bcache:Bcache.t * string ->
   Netlist.Net.t ->
   target:string ->
   verdict
@@ -152,7 +169,54 @@ val verify_portfolio :
     exactly with {!verify}'s.
 
     [proof_sink] observes only the winning rank's proofs, in their
-    original order, from the calling domain. *)
+    original order, from the calling domain.
+
+    [bcache] behaves as in {!verify}: seeding and storing both happen
+    on the calling domain (probe before submission, store on the
+    winning rank's verdict), so worker domains never touch the cache
+    and the outcome is independent of [jobs] for a given cache
+    state. *)
+
+(** {1 Cached verification} *)
+
+type cache_status = Cache_hit | Cache_miss
+
+val cache_keys :
+  ?config:config ->
+  certify:bool ->
+  Netlist.Net.t ->
+  target:string ->
+  string * string
+(** [(verdict_key, bound_key_prefix)] for this problem.  Both embed
+    {!Netlist.Net.cone_fingerprint} of the target's cone — structural,
+    so build order and names outside the cone do not matter — plus a
+    digest of [config] ([verdict_key] as ["v:<fp>:<digest>:<certify>"];
+    the bound prefix ["b:<fp>:<digest'>:"] omits [cutoff], a
+    completeness bound being valid under any cutoff).  A purge of
+    every entry about one cone matches the fingerprint substring.
+    @raise Invalid_argument on an unknown target name. *)
+
+val verify_cached :
+  ?config:config ->
+  ?budget:Obs.Budget.t ->
+  ?certify:bool ->
+  ?pool:Sched.Pool.t ->
+  ?jobs:int ->
+  cache:Bcache.t ->
+  Netlist.Net.t ->
+  target:string ->
+  verdict * cache_status
+(** {!verify_portfolio} in front of a {!Bcache}: a cached conclusive
+    verdict for the same cone fingerprint and configuration is
+    returned without running anything ([Cache_hit]); otherwise the
+    ladder runs with per-strategy bound seeding (see {!verify}) and,
+    when [certify] is on, a conclusive verdict is stored back
+    ([Cache_miss]).  Only {e certified} conclusive verdicts ever enter
+    the cache — [Inconclusive] outcomes and uncertified runs are never
+    cached, so the cache cannot launder an unchecked answer; budget is
+    deliberately not part of the key (a certified verdict holds
+    however long it took to find).  The verdict-level lookup is what
+    the cache's hit/miss counters measure. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 

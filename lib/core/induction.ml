@@ -49,8 +49,8 @@ let add_distinct solver net frames i j =
 
 (* step case: from a free state, k hit-free steps force step k+1 to be
    hit-free *)
-let step_holds ~unique ?budget ?cert net target k =
-  let solver = Solver.create () in
+let step_holds ~unique ?budget ?cert ?inprocess net target k =
+  let solver = Solver.create ?inprocess () in
   let proof =
     Option.map
       (fun _ ->
@@ -84,7 +84,7 @@ let step_holds ~unique ?budget ?cert net target k =
   | Solver.Sat -> `Fails
   | Solver.Unknown -> `Unknown
 
-let prove ?(max_k = 32) ?(unique = true) ?budget ?cert net ~target =
+let prove ?(max_k = 32) ?(unique = true) ?budget ?cert ?inprocess net ~target =
   if Net.num_latches net > 0 then
     invalid_arg "Induction.prove: register netlists only";
   let tlit =
@@ -111,7 +111,7 @@ let prove ?(max_k = 32) ?(unique = true) ?budget ?cert net ~target =
   in
   (* degenerate case: no state at all *)
   if Net.regs net = [] then begin
-    match Bmc.check_lit ?budget ?cert:(base_cert ()) net tlit ~depth:0 with
+    match Bmc.check_lit ?budget ?cert:(base_cert ()) ?inprocess net tlit ~depth:0 with
     | Bmc.Hit cex -> Cex cex
     | Bmc.No_hit _ -> Proved 0
     | Bmc.Unknown _ -> give_up 0
@@ -122,7 +122,7 @@ let prove ?(max_k = 32) ?(unique = true) ?budget ?cert net ~target =
       else if expired () then give_up k
       else begin
         (* base case: no hit within the first k steps *)
-        match Bmc.check_lit ?budget ?cert:(base_cert ()) net tlit ~depth:k with
+        match Bmc.check_lit ?budget ?cert:(base_cert ()) ?inprocess net tlit ~depth:k with
         | Bmc.Hit cex -> Cex cex
         | Bmc.Unknown _ -> give_up k
         | Bmc.No_hit _ -> (

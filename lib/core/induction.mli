@@ -41,6 +41,7 @@ val prove :
   ?unique:bool ->
   ?budget:Obs.Budget.t ->
   ?cert:cert ->
+  ?inprocess:bool ->
   Netlist.Net.t ->
   target:string ->
   outcome

@@ -76,23 +76,23 @@ let original net =
     ~after:(fun r -> r.final)
     (fun () -> report_on "Original" net (fun _ -> Translate.identity))
 
-let com ?budget net =
+let com ?budget ?inprocess net =
   traced_step "pipeline.com" ~before:net
     ~after:(fun r -> r.final)
     (fun () ->
-      let reduced, _stats = Transform.Com.run ?budget net in
+      let reduced, _stats = Transform.Com.run ?budget ?inprocess net in
       record_reduction "COM" ~before:net ~after:reduced.Transform.Rebuild.net;
       report_on "COM" reduced.Transform.Rebuild.net (fun _ ->
           Translate.trace_equivalence))
 
-let com_ret_com ?budget net =
+let com_ret_com ?budget ?inprocess net =
   traced_step "pipeline.com-ret-com" ~before:net
     ~after:(fun r -> r.final)
     (fun () ->
       let first, _ =
         traced_step "pipeline.com-ret-com.com1" ~before:net
           ~after:(fun (r, _) -> r.Transform.Rebuild.net)
-          (fun () -> Transform.Com.run ?budget net)
+          (fun () -> Transform.Com.run ?budget ?inprocess net)
       in
       let retimed =
         traced_step "pipeline.com-ret-com.ret"
@@ -105,7 +105,7 @@ let com_ret_com ?budget net =
           ~before:retimed.Transform.Retime.rebuilt.Transform.Rebuild.net
           ~after:(fun (r, _) -> r.Transform.Rebuild.net)
           (fun () ->
-            Transform.Com.run ?budget
+            Transform.Com.run ?budget ?inprocess
               retimed.Transform.Retime.rebuilt.Transform.Rebuild.net)
       in
       record_reduction "COM,RET,COM" ~before:net

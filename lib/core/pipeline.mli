@@ -22,9 +22,9 @@ type report = {
 }
 
 val original : Netlist.Net.t -> report
-val com : ?budget:Obs.Budget.t -> Netlist.Net.t -> report
+val com : ?budget:Obs.Budget.t -> ?inprocess:bool -> Netlist.Net.t -> report
 
-val com_ret_com : ?budget:Obs.Budget.t -> Netlist.Net.t -> report
+val com_ret_com : ?budget:Obs.Budget.t -> ?inprocess:bool -> Netlist.Net.t -> report
 (** COM; RET; COM, with per-target Theorem-2 skews.  The [budget] is
     threaded into the COM sweeps (see {!Transform.Com.run}); the
     structural passes always run to completion. *)

@@ -94,8 +94,8 @@ let gave_up k sat_calls =
 let expired budget =
   match budget with Some b -> Obs.Budget.expired b | None -> false
 
-let plain ~limit ?budget ?cert net target regs =
-  let solver = Solver.create () in
+let plain ~limit ?budget ?cert ?inprocess net target regs =
+  let solver = Solver.create ?inprocess () in
   let proof = attach_proof cert solver in
   let unroll = Encode.Unroll.create solver net in
   ignore target;
@@ -148,7 +148,7 @@ let plain ~limit ?budget ?cert net target regs =
    satisfying path of length k as its suffix (monotone, hence the
    first UNSAT closes the search).  The relevance sets depend on [k],
    so each [k] is encoded afresh. *)
-let bounded ~limit ?budget ?cert net target regs =
+let bounded ~limit ?budget ?cert ?inprocess net target regs =
   let dist = target_distances net target in
   let sat_calls = ref 0 in
   let rec extend k =
@@ -161,7 +161,7 @@ let bounded ~limit ?budget ?cert net target regs =
       }
     else if expired budget then gave_up k !sat_calls
     else begin
-      let solver = Solver.create () in
+      let solver = Solver.create ?inprocess () in
       (* each k is a fresh encoding, so a fresh proof; only the final
          (Unsat) one becomes the certificate *)
       let proof = attach_proof cert solver in
@@ -214,7 +214,7 @@ let bounded ~limit ?budget ?cert net target regs =
   in
   extend 1
 
-let compute ?(limit = 64) ?(bounded_coi = false) ?budget ?cert net target =
+let compute ?(limit = 64) ?(bounded_coi = false) ?budget ?cert ?inprocess net target =
   Obs.Stats.time "recurrence.compute" (fun () ->
       (* work on the target's cone only *)
       let cone = Transform.Rebuild.copy ~roots:[ target ] net in
@@ -231,8 +231,9 @@ let compute ?(limit = 64) ?(bounded_coi = false) ?budget ?cert net target =
             exhausted = false;
           }
         end
-        else if bounded_coi then bounded ~limit ?budget ?cert net target regs
-        else plain ~limit ?budget ?cert net target regs
+        else if bounded_coi then
+          bounded ~limit ?budget ?cert ?inprocess net target regs
+        else plain ~limit ?budget ?cert ?inprocess net target regs
       in
       Obs.Stats.count "recurrence.sat_calls" result.sat_calls;
       result)

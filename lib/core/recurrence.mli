@@ -40,6 +40,7 @@ val compute :
   ?bounded_coi:bool ->
   ?budget:Obs.Budget.t ->
   ?cert:cert ->
+  ?inprocess:bool ->
   Netlist.Net.t ->
   Netlist.Lit.t ->
   result

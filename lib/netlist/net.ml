@@ -235,6 +235,122 @@ let check t =
         if l.l_phase < 0 || l.l_phase >= t.n_phases then
           failwith "Net.check: latch phase out of range")
 
+(* ----- canonical structural fingerprints -----
+
+   Cache keys for the serve layer: a fingerprint must be identical for
+   two structurally-equal netlists no matter the order their vertices
+   were pushed in (vertex identifiers are construction-order), and
+   must change under any structural mutation.  Identifier independence
+   comes from hashing bottom-up over names and shapes only: inputs,
+   registers and latches hash from their (name, init, phase) alone —
+   state elements as leaves, so sequential cycles terminate — and an
+   AND hashes from its fanin (hash, sign) pairs in hash order, not
+   identifier order.  The serialized form then references vertices by
+   their hashes and is sorted, so the digest never sees an
+   identifier. *)
+
+let mix h v =
+  (* splitmix-style avalanche over the native int width *)
+  let h = (h lxor v) * 0x9e3779b97f4a7 in
+  let h = (h lxor (h lsr 29)) * 0xbf58476d1ce4e5b in
+  h lxor (h lsr 32)
+
+let init_code = function Init0 -> 0 | Init1 -> 1 | Init_x -> 2
+
+let vertex_hashes t =
+  let h = Array.make t.count 0 in
+  (* identifier order is topological for the combinational logic, so
+     one forward pass sees AND fanins before the gate *)
+  for v = 0 to t.count - 1 do
+    h.(v) <-
+      (match t.nodes.(v) with
+      | Const -> 0x5eed
+      | Input name -> mix 0x11 (Hashtbl.hash name)
+      | Reg r -> mix (mix 0x22 (Hashtbl.hash r.r_name)) (init_code r.r_init)
+      | Latch l ->
+        mix
+          (mix (mix 0x33 (Hashtbl.hash l.l_name)) (init_code l.l_init))
+          l.l_phase
+      | And (a, b) ->
+        let edge l = (h.(Lit.var l), if Lit.is_neg l then 1 else 0) in
+        let (ha, sa), (hb, sb) = (edge a, edge b) in
+        let (ha, sa), (hb, sb) =
+          if (ha, sa) <= (hb, sb) then ((ha, sa), (hb, sb))
+          else ((hb, sb), (ha, sa))
+        in
+        mix (mix (mix (mix 0x44 ha) sa) hb) sb)
+  done;
+  h
+
+let edge_str h l =
+  Printf.sprintf "%x%s" h.(Lit.var l) (if Lit.is_neg l then "-" else "+")
+
+(* one canonical record per vertex, referencing fanins by hash *)
+let vertex_record t h v =
+  match t.nodes.(v) with
+  | Const -> None
+  | Input name -> Some ("i:" ^ String.escaped name)
+  | Reg r ->
+    Some
+      (Printf.sprintf "r:%s:%d:%s" (String.escaped r.r_name)
+         (init_code r.r_init) (edge_str h r.next))
+  | Latch l ->
+    Some
+      (Printf.sprintf "l:%s:%d:%d:%s" (String.escaped l.l_name) l.l_phase
+         (init_code l.l_init) (edge_str h l.l_data))
+  | And (a, b) ->
+    let ea = edge_str h a and eb = edge_str h b in
+    let ea, eb = if ea <= eb then (ea, eb) else (eb, ea) in
+    Some (Printf.sprintf "a:%s:%s" ea eb)
+
+let digest_records ~header records =
+  let records = List.sort compare records in
+  Digest.to_hex (Digest.string (String.concat "\n" (header :: records)))
+
+let fingerprint t =
+  let h = vertex_hashes t in
+  let records = ref [] in
+  for v = 0 to t.count - 1 do
+    match vertex_record t h v with
+    | Some r -> records := r :: !records
+    | None -> ()
+  done;
+  List.iter
+    (fun (name, l) ->
+      records :=
+        Printf.sprintf "o:%s:%s" (String.escaped name) (edge_str h l)
+        :: !records)
+    (outputs t);
+  List.iter
+    (fun (name, l) ->
+      records :=
+        Printf.sprintf "t:%s:%s" (String.escaped name) (edge_str h l)
+        :: !records)
+    (targets t);
+  let header =
+    Printf.sprintf "net:phases=%d:vars=%d" t.n_phases (t.count - 1)
+  in
+  digest_records ~header !records
+
+let cone_fingerprint t root =
+  let h = vertex_hashes t in
+  let seen = Array.make t.count false in
+  let records = ref [] in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      (match vertex_record t h v with
+      | Some r -> records := r :: !records
+      | None -> ());
+      List.iter (fun l -> visit (Lit.var l)) (fanins t v)
+    end
+  in
+  visit (Lit.var root);
+  let header =
+    Printf.sprintf "cone:phases=%d:root=%s" t.n_phases (edge_str h root)
+  in
+  digest_records ~header !records
+
 let pp_stats ppf t =
   Format.fprintf ppf "vars=%d inputs=%d ands=%d regs=%d latches=%d targets=%d"
     (num_vars t) (num_inputs t) (num_ands t) (num_regs t) (num_latches t)

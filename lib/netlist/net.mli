@@ -119,4 +119,24 @@ val check : t -> unit
     dangling on the constant unless intentionally so), fanins in range,
     latch phases within [phases].  @raise Failure on violation. *)
 
+val fingerprint : t -> string
+(** Canonical structural fingerprint (hex digest) of the whole
+    netlist — every vertex, output and target.  Identical for two
+    structurally-equal netlists regardless of construction order
+    (vertices are referenced by bottom-up structural hashes, never by
+    identifier); any structural mutation — dropping or adding a
+    vertex, redirecting an edge, renaming an input/register/output,
+    changing an initial value or latch phase — changes it.  State
+    elements hash as leaves (by name and initial value), so sequential
+    cycles are well-defined; their next-state cones enter through the
+    per-register records. *)
+
+val cone_fingerprint : t -> Lit.t -> string
+(** {!fingerprint} restricted to the sequential cone of influence of
+    the given edge (through register/latch data edges, transitively) —
+    the cache key for per-target memoization: two targets with
+    structurally identical cones share it even when the surrounding
+    netlists differ.  Output/target {e names} are not part of a cone
+    fingerprint. *)
+
 val pp_stats : Format.formatter -> t -> unit

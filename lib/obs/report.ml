@@ -334,14 +334,14 @@ let write_file ?meta path s =
       output_string oc (to_string (json_of_snapshot ?meta s));
       output_char oc '\n')
 
-let emit ?(human = false) ?json_file ?meta () =
+let emit ?(ppf = Format.std_formatter) ?(human = false) ?json_file ?meta () =
   let s = Stats.snapshot () in
-  if human then Format.printf "%a" pp_human s;
+  if human then Format.fprintf ppf "%a" pp_human s;
   match json_file with
   | Some path -> (
     (* stats output must not turn a successful run into a crash *)
     match write_file ?meta path s with
-    | () -> Format.printf "stats: JSON snapshot written to %s@." path
+    | () -> Format.fprintf ppf "stats: JSON snapshot written to %s@." path
     | exception Sys_error msg ->
       Format.eprintf "stats: cannot write JSON snapshot: %s@." msg)
   | None -> ()

@@ -53,9 +53,16 @@ val write_file : ?meta:(string * json) list -> string -> Stats.snapshot -> unit
 (** Write the JSON rendering (with a trailing newline). *)
 
 val emit :
-  ?human:bool -> ?json_file:string -> ?meta:(string * json) list -> unit -> unit
+  ?ppf:Format.formatter ->
+  ?human:bool ->
+  ?json_file:string ->
+  ?meta:(string * json) list ->
+  unit ->
+  unit
 (** CLI convenience: snapshot the global registry once, print the
-    human table to stdout when [human], and write the JSON snapshot
-    to [json_file] when given.  An unwritable [json_file] prints a
-    warning to stderr instead of raising — telemetry must not turn a
-    successful run into a failure. *)
+    human table to [ppf] (default stdout) when [human], and write the
+    JSON snapshot to [json_file] when given.  An unwritable
+    [json_file] prints a warning to stderr instead of raising —
+    telemetry must not turn a successful run into a failure.
+    [diam serve] passes [Format.err_formatter]: its stdout is a
+    JSONL protocol stream and must carry nothing else. *)

@@ -94,6 +94,51 @@ let timed name f =
   add_span name dt;
   (r, dt)
 
+(* ----- distributions -----
+
+   Percentile gauges for the serve layer: each [dist name v] appends
+   into a per-name reservoir, and {!snapshot} folds every non-empty
+   reservoir into plain counters (<name>.count/.p50/.p90/.p99/.max),
+   so percentiles ride the existing snapshot/JSON/baseline schema
+   without a new field.  Recording is mutex-guarded — distributions
+   are per-request-rate events (never hot-loop), so contention is
+   irrelevant next to losing a sample. *)
+
+let dists : (string, float list ref) Hashtbl.t = Hashtbl.create 16
+
+let dist name v =
+  locked (fun () ->
+      match Hashtbl.find_opt dists name with
+      | Some r -> r := v :: !r
+      | None -> Hashtbl.replace dists name (ref [ v ]))
+
+let percentile sorted n q =
+  (* nearest-rank on a sorted array: the conventional estimator, exact
+     at the sample points, monotone in q *)
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let dist_counters () =
+  let folded = ref [] in
+  locked (fun () ->
+      Hashtbl.iter
+        (fun name r ->
+          let a = Array.of_list !r in
+          let n = Array.length a in
+          if n > 0 then begin
+            Array.sort Float.compare a;
+            let p q = int_of_float (Float.round (percentile a n q)) in
+            folded :=
+              (name ^ ".count", n)
+              :: (name ^ ".p50", p 0.50)
+              :: (name ^ ".p90", p 0.90)
+              :: (name ^ ".p99", p 0.99)
+              :: (name ^ ".max", int_of_float (Float.round a.(n - 1)))
+              :: !folded
+          end)
+        dists);
+  !folded
+
 type span_stats = { calls : int; total_s : float; max_s : float }
 
 type snapshot = {
@@ -133,7 +178,7 @@ let snapshot () =
         tbl)
     tables;
   {
-    counters = List.sort by_name counters;
+    counters = List.sort by_name (dist_counters () @ counters);
     spans =
       Hashtbl.fold (fun name s acc -> (name, s) :: acc) merged []
       |> List.sort by_name;
@@ -141,6 +186,7 @@ let snapshot () =
 
 let reset () =
   locked (fun () ->
+      Hashtbl.reset dists;
       Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
       List.iter
         (fun tbl ->

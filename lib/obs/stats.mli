@@ -53,6 +53,17 @@ val declare : string list -> unit
 (** Register names eagerly so they appear (as zeroes) in every
     snapshot even when the corresponding code path never ran. *)
 
+(** {1 Distributions} *)
+
+val dist : string -> float -> unit
+(** Record one sample into the named distribution (domain-safe).  A
+    non-empty distribution appears in {!snapshot} as five plain
+    counters — [<name>.count], [<name>.p50], [<name>.p90],
+    [<name>.p99] and [<name>.max] (nearest-rank percentiles, rounded
+    to integers) — so callers pick the unit by scaling before
+    recording (the serve layer records microseconds).  Cleared by
+    {!reset}. *)
+
 (** {1 Spans} *)
 
 val time : string -> (unit -> 'a) -> 'a

@@ -43,10 +43,31 @@ let seed () = match !current with Some s -> Some s.seed | None -> None
 let injections () =
   match !current with Some s -> Atomic.get s.injections | None -> 0
 
+(* Domain-local override: a fault armed for ONE domain's work (a serve
+   worker executing a chaos-seeded request) without leaking into
+   solvers created concurrently on other domains.  The override always
+   wins over the process-global arming while in scope. *)
+let dls_override : state option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
 (* per-solver capture: the solver consults its own instance at every
    injection site, so the decision to inject never depends on which
    other solver disarmed or re-armed in the meantime *)
-let capture () : instance = !current
+let capture () : instance =
+  match Domain.DLS.get dls_override with
+  | Some _ as scoped -> scoped
+  | None -> !current
+
+let with_fault_scoped ~seed fault f =
+  let saved = Domain.DLS.get dls_override in
+  let state = { fault; seed; injections = Atomic.make 0 } in
+  Domain.DLS.set dls_override (Some state);
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set dls_override saved)
+      f
+  in
+  (result, Atomic.get state.injections)
 
 let instance_fault (i : instance) =
   match i with Some s -> Some s.fault | None -> None

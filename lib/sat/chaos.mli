@@ -65,3 +65,12 @@ val instance_note : instance -> unit
 val with_fault : seed:int -> fault -> (unit -> 'a) -> 'a
 (** [with_fault ~seed f k] runs [k] with the fault armed, disarming on
     the way out (also on exceptions). *)
+
+val with_fault_scoped : seed:int -> fault -> (unit -> 'a) -> 'a * int
+(** Like {!with_fault}, but armed for the {e calling domain only}, via
+    domain-local storage consulted by {!capture} ahead of the global
+    arming: solvers created by [k] on this domain inject, solvers
+    created concurrently on other domains (innocent requests on other
+    serve workers) never observe it.  Returns [k]'s result and how
+    many injections this scope's solvers fired.  Nests (the previous
+    scope is restored on exit) and unwinds on exceptions. *)

@@ -93,7 +93,7 @@ let inprocess_default () =
   | Some b -> b
   | None -> not (Lazy.force env_no_inprocess)
 
-let create () =
+let create ?inprocess () =
   {
     nvars = 0;
     clauses = Vec.create ~dummy:dummy_clause ();
@@ -121,7 +121,8 @@ let create () =
     restarts = 0;
     reduce_dbs = 0;
     last_solve_sat = false;
-    simplify_enabled = inprocess_default ();
+    simplify_enabled =
+      (match inprocess with Some b -> b | None -> inprocess_default ());
     simplify_cfg = Simplify.default;
     simplify_wrapper = (fun f -> f ());
     next_simplify = 0;

@@ -31,7 +31,12 @@ val is_pos : lit -> bool
 
 type result = Sat | Unsat | Unknown
 
-val create : unit -> t
+val create : ?inprocess:bool -> unit -> t
+(** [inprocess] fixes this instance's inprocessing switch at creation,
+    overriding the process default ({!set_inprocess_default} /
+    [DIAMBOUND_NO_INPROCESS]); omit it to inherit the default.  An
+    explicit per-instance choice is what lets concurrent callers run
+    with different options without racing on the global knob. *)
 
 val new_var : t -> int
 (** Allocate a fresh variable, returning its index. *)

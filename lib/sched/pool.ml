@@ -1,5 +1,7 @@
 type job = unit -> unit
 
+exception Poison
+
 type t = {
   capacity : int;
   queue : job Queue.t;
@@ -8,10 +10,17 @@ type t = {
   not_full : Condition.t; (* submitters wait here for queue space *)
   mutable closed : bool;
   mutable workers : unit Domain.t array;
+  mutable dead : int list; (* worker slots whose domain has exited *)
 }
 
 let schema =
-  [ "sched.jobs_submitted"; "sched.jobs_completed"; "sched.job_error" ]
+  [
+    "sched.jobs_submitted";
+    "sched.jobs_completed";
+    "sched.jobs_rejected";
+    "sched.job_error";
+    "sched.worker_restarts";
+  ]
 
 let () = Obs.Stats.declare schema
 
@@ -35,25 +44,62 @@ let next t =
         Some j
       end)
 
+(* Returns [true] when the job poisoned its worker.  Every other
+   exception is contained: a raising job must not take its worker down
+   with it; jobs that care about their outcome capture it themselves
+   (see [map]). *)
 let run_job job =
-  (match job () with
-  | () -> ()
-  | exception e ->
-    (* a raising job must not take its worker down with it; jobs that
-       care about their outcome capture it themselves (see [map]) *)
-    Obs.Stats.count "sched.job_error" 1;
-    Format.eprintf "sched: job raised %s@." (Printexc.to_string e));
+  let poisoned =
+    match job () with
+    | () -> false
+    | exception Poison -> true
+    | exception e ->
+      Obs.Stats.count "sched.job_error" 1;
+      Format.eprintf "sched: job raised %s@." (Printexc.to_string e);
+      false
+  in
   Obs.Stats.count "sched.jobs_completed" 1;
-  (* the worker may park indefinitely after this job; its trace events
-     must not sit in a ring the main domain would close over *)
-  Obs.Trace.flush ()
+  (* the worker may park indefinitely (or die) after this job; its
+     trace events must not sit in a ring the main domain would close
+     over *)
+  Obs.Trace.flush ();
+  poisoned
 
-let rec worker t =
+let rec worker t slot =
   match next t with
   | None -> ()
   | Some job ->
-    run_job job;
-    worker t
+    if run_job job then
+      (* this domain is about to exit with the pool still open:
+         register the death so [heal] can put a fresh worker in the
+         slot.  Supervision is cooperative — the poisoned worker
+         announces itself rather than a monitor probing liveness — so
+         detection costs nothing on the healthy path. *)
+      locked t (fun () -> t.dead <- slot :: t.dead)
+    else worker t slot
+
+(* Join and replace every announced-dead worker.  Only ever touches
+   slots whose domain has already left its loop, so the join is
+   prompt; [t.workers] is never read by workers, hence the unlocked
+   slot store is safe (callers of [heal] are the submitting side).
+   After [shutdown] the dead stay dead. *)
+let heal t =
+  let dead =
+    locked t (fun () ->
+        if t.closed || t.dead = [] then []
+        else begin
+          let d = t.dead in
+          t.dead <- [];
+          d
+        end)
+  in
+  List.iter
+    (fun slot ->
+      Domain.join t.workers.(slot);
+      t.workers.(slot) <- Domain.spawn (fun () -> worker t slot);
+      Obs.Stats.count "sched.worker_restarts" 1)
+    dead;
+  List.length dead
 
 let create ?capacity ~jobs () =
   let jobs = max 1 (min jobs (Domain.recommended_domain_count ())) in
@@ -69,14 +115,16 @@ let create ?capacity ~jobs () =
       not_full = Condition.create ();
       closed = false;
       workers = [||];
+      dead = [];
     }
   in
   (* workers never read [t.workers], so publishing the array after the
      spawns is benign *)
-  t.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <- Array.init jobs (fun slot -> Domain.spawn (fun () -> worker t slot));
   t
 
 let submit t job =
+  ignore (heal t : int);
   locked t (fun () ->
       while Queue.length t.queue >= t.capacity && not t.closed do
         Condition.wait t.not_full t.lock
@@ -85,6 +133,21 @@ let submit t job =
       Queue.push job t.queue;
       Obs.Stats.count "sched.jobs_submitted" 1;
       Condition.signal t.not_empty)
+
+let try_submit t job =
+  ignore (heal t : int);
+  locked t (fun () ->
+      if t.closed then false
+      else if Queue.length t.queue >= t.capacity then begin
+        Obs.Stats.count "sched.jobs_rejected" 1;
+        false
+      end
+      else begin
+        Queue.push job t.queue;
+        Obs.Stats.count "sched.jobs_submitted" 1;
+        Condition.signal t.not_empty;
+        true
+      end)
 
 let shutdown t =
   let was_closed =
@@ -97,6 +160,9 @@ let shutdown t =
         Condition.broadcast t.not_full;
         was)
   in
+  (* exited (poisoned) workers join immediately; each slot holds either
+     the original or its [heal] replacement, never both, so every
+     domain is joined exactly once *)
   if not was_closed then Array.iter Domain.join t.workers
 
 let try_map t f items =

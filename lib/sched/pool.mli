@@ -17,6 +17,15 @@
 
 type t
 
+exception Poison
+(** Raised {e out of} a directly-{!submit}ted job to kill the worker
+    domain executing it — the fault-injection handle the supervision
+    drill is built on.  The dying worker registers itself and the next
+    {!submit}/{!try_submit}/{!heal} replaces it (counted as
+    ["sched.worker_restarts"]).  Jobs run via {!map}/{!try_map} cannot
+    poison: their wrapper captures every exception as the item's
+    outcome. *)
+
 val create : ?capacity:int -> jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs] worker domains ([jobs] is clamped
     to [1 .. Domain.recommended_domain_count]).  [capacity] bounds the
@@ -31,8 +40,26 @@ val submit : t -> (unit -> unit) -> unit
 (** Enqueue a job; blocks while the queue is full.  A job that raises
     does not kill its worker: the exception is counted
     (["sched.job_error"]) and reported on stderr — jobs that care
-    about their outcome capture it themselves (see {!map}).
+    about their outcome capture it themselves (see {!map}) — except
+    {!Poison}, which kills the worker (and is healed on the next
+    submission).
     @raise Invalid_argument on a pool that has been {!shutdown}. *)
+
+val try_submit : t -> (unit -> unit) -> bool
+(** Non-blocking {!submit}: enqueue the job and return [true], or
+    return [false] without blocking when the queue is full (counted as
+    ["sched.jobs_rejected"]) or the pool is shut down.  This is the
+    admission edge backpressure policies (load-shedding servers) are
+    built on: the caller learns {e now} that the pool is saturated and
+    can answer "overloaded" instead of stalling its intake. *)
+
+val heal : t -> int
+(** Join and respawn every worker that died of {!Poison}, returning
+    how many were replaced (0 on the healthy path, at the cost of one
+    mutex acquisition).  Also run implicitly by {!submit} and
+    {!try_submit}, so a pool under traffic self-heals; call it
+    directly to bound the window in which capacity is degraded.  After
+    {!shutdown} this is a no-op. *)
 
 val try_map : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** [try_map pool f items] runs [f] on every item across the pool and

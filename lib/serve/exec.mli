@@ -1,0 +1,56 @@
+(** One verification request, executed to a response body behind a
+    total exception barrier.
+
+    This is the single request path: [diam serve] workers and
+    [diam batch] items both come through {!run}, so the barrier,
+    budget handling and cache semantics cannot drift between the
+    two front-ends. *)
+
+type outcome =
+  | Verdict of {
+      verdict : Core.Engine.verdict;
+      body : (string * Obs.Report.json) list;
+      cache : string;
+    }
+      (** a verification outcome: the raw engine verdict (for
+          front-ends like [diam batch] that render their own lines),
+          the response fields (verdict, strategy, depth/time or
+          unknown+reason+attempts, plus [injections] for chaos
+          requests) and the cache status (["hit"], ["miss"],
+          ["purged"] or ["bypass"]).  The body is deliberately free of timing —
+          responses must be byte-identical across runs and [--jobs]
+          values. *)
+  | Failed of { code : string; detail : string }
+      (** a structured error: ["bad-json"] | ["bad-request"] |
+          ["parse-error"] | ["io-error"] | ["internal"] *)
+
+val run :
+  cache:Core.Bcache.t ->
+  chaos_seed:int option ->
+  ?budget:Obs.Budget.t ->
+  Request.t ->
+  outcome
+(** Execute one [Verify] request: parse the netlist, resolve the
+    target, build the per-request {!Obs.Budget} from [timeout_ms]
+    (degrading to ["verdict":"unknown","reason":"budget-exhausted"]
+    on expiry), and verify through {!Core.Engine.verify_cached}.
+    [budget] overrides the request's own timeout — [diam batch] uses
+    it to slice conflict/BDD allowances the wire format has no field
+    for.
+
+    [chaos_seed] armed (the server read [DIAMBOUND_CHAOS_SEED])
+    enables two drill behaviors.  A request's ["chaos"] field injects
+    the named {!Sat.Chaos} fault scoped to the executing worker domain
+    (["crash"] raises instead, exercising the barrier); a faulted
+    request bypasses the cache in both directions (["cache":"bypass"])
+    — it may neither mask the injection with a clean cached answer nor
+    write a corrupted one back.  And every cache hit of a non-chaos
+    request is differentially replayed — a {e conclusive} mismatch
+    purges all entries for the cone (["serve.cache.poisoned_purged"])
+    and serves the fresh answer as ["cache":"purged"]; a replay that
+    merely ran out of the requester's budget convicts nothing and the
+    hit is served as usual.
+
+    Never raises: any escaping exception becomes
+    [Failed {code = "internal"; _}] and bumps
+    ["serve.request_error"]. *)

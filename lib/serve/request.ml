@@ -1,0 +1,155 @@
+module Json = Obs.Report
+
+type source = Inline of string | File of string
+
+type op = Verify | Ping | Stall | Drain | Poison | Shutdown
+
+let op_name = function
+  | Verify -> "verify"
+  | Ping -> "ping"
+  | Stall -> "stall"
+  | Drain -> "drain"
+  | Poison -> "poison"
+  | Shutdown -> "shutdown"
+
+type t = {
+  id : string option;
+  op : op;
+  source : source option;
+  target : string option;
+  timeout_ms : int option;
+  certify : bool;
+  cutoff : int option;
+  chaos : string option;
+}
+
+type error = { err_id : string option; code : string; detail : string }
+
+let op_of_name = function
+  | "verify" -> Some Verify
+  | "ping" -> Some Ping
+  | "stall" -> Some Stall
+  | "drain" -> Some Drain
+  | "poison" -> Some Poison
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+(* Schema checks are strict on TYPE (a number where a string belongs
+   is a client bug worth surfacing) but lenient on unknown fields
+   (forward compatibility: an older server ignores what a newer client
+   adds). *)
+let of_json json =
+  match json with
+  | Json.Obj fields -> (
+    let get k = List.assoc_opt k fields in
+    let id =
+      match get "id" with Some (Json.String s) -> Some s | _ -> None
+    in
+    let err code detail = Error { err_id = id; code; detail } in
+    let str k =
+      match get k with
+      | None | Some Json.Null -> Ok None
+      | Some (Json.String s) -> Ok (Some s)
+      | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
+    in
+    let int k =
+      match get k with
+      | None | Some Json.Null -> Ok None
+      | Some (Json.Int n) -> Ok (Some n)
+      | Some _ -> Error (Printf.sprintf "field %S must be an integer" k)
+    in
+    let bool k =
+      match get k with
+      | None | Some Json.Null -> Ok None
+      | Some (Json.Bool b) -> Ok (Some b)
+      | Some _ -> Error (Printf.sprintf "field %S must be a boolean" k)
+    in
+    let ( let* ) r f = match r with Ok v -> f v | Error e -> err "bad-request" e in
+    let* op_s = str "op" in
+    match op_of_name (Option.value op_s ~default:"verify") with
+    | None -> err "bad-request" ("unknown op " ^ Option.get op_s)
+    | Some op ->
+      let* netlist = str "netlist" in
+      let* netlist_file = str "netlist_file" in
+      let* target = str "target" in
+      let* timeout_ms = int "timeout_ms" in
+      let* cutoff = int "cutoff" in
+      let* chaos = str "chaos" in
+      let* certify = bool "certify" in
+      let source =
+        match (netlist, netlist_file) with
+        | Some text, _ -> Some (Inline text)
+        | None, Some path -> Some (File path)
+        | None, None -> None
+      in
+      (match (netlist, netlist_file) with
+      | Some _, Some _ -> err "bad-request" "netlist and netlist_file are exclusive"
+      | _ ->
+        Ok
+          {
+            id;
+            op;
+            source;
+            target;
+            timeout_ms;
+            (* serving defaults to certified answers: only checked
+               results may enter the shared cache *)
+            certify = Option.value certify ~default:true;
+            cutoff;
+            chaos;
+          }))
+  | _ -> Error { err_id = None; code = "bad-request"; detail = "request must be a JSON object" }
+
+let parse line =
+  match Json.parse line with
+  | exception Failure msg -> Error { err_id = None; code = "bad-json"; detail = msg }
+  | json -> of_json json
+
+(* Exact-duplicate detection for request coalescing: two VERIFY
+   requests with the same key would run the same computation, so the
+   second attaches to the first's in-flight result.  [id] is excluded
+   (it only names the response); chaos requests are never coalesced
+   (fault injection is per-request by design). *)
+let coalesce_key r =
+  match (r.op, r.chaos) with
+  | Verify, None ->
+    let src =
+      match r.source with
+      | None -> "-"
+      | Some (Inline s) -> "i:" ^ s
+      | Some (File p) -> "f:" ^ p
+    in
+    Some
+      (Digest.to_hex
+         (Digest.string
+            (String.concat "\x00"
+               [
+                 src;
+                 Option.value r.target ~default:"-";
+                 (match r.timeout_ms with Some n -> string_of_int n | None -> "-");
+                 string_of_bool r.certify;
+                 (match r.cutoff with Some n -> string_of_int n | None -> "-");
+               ])))
+  | _ -> None
+
+(* ----- response rendering ----- *)
+
+let id_field id =
+  ("id", match id with Some s -> Json.String s | None -> Json.Null)
+
+let render fields = Json.to_string (Json.Obj fields)
+
+let render_error ~id { code; detail; _ } =
+  render
+    [ id_field id; ("error", Json.String code); ("detail", Json.String detail) ]
+
+let render_ok ~id op extra =
+  render ((id_field id :: ("ok", Json.Bool true) :: ("op", Json.String (op_name op)) :: extra))
+
+let render_overloaded ~id ~retry_after_ms =
+  render
+    [
+      id_field id;
+      ("error", Json.String "overloaded");
+      ("retry_after_ms", Json.Int retry_after_ms);
+    ]

@@ -1,0 +1,58 @@
+(** The serve wire format: one JSON object per line, request in,
+    response out, in request order.
+
+    Request fields (all but the netlist optional):
+    {v
+    { "id": <string>,            echoed on the response (null if absent)
+      "op": "verify" | "ping" | "stall" | "drain" | "poison" | "shutdown",
+      "netlist": <bench text> | "netlist_file": <path>,   (exclusive)
+      "target": <name>,          defaults to the netlist's only target
+      "timeout_ms": <int>,       per-request budget (0 = already expired)
+      "certify": <bool>,         default true
+      "cutoff": <int>,           engine cutoff override
+      "chaos": <fault> }         only honored when the server is armed
+    v}
+
+    Unknown fields are ignored (forward compatibility); wrongly-typed
+    fields are a ["bad-request"] error.  The error taxonomy, response
+    shapes and exit codes are documented in README "Server mode". *)
+
+type source = Inline of string | File of string
+
+type op = Verify | Ping | Stall | Drain | Poison | Shutdown
+
+val op_name : op -> string
+
+type t = {
+  id : string option;
+  op : op;
+  source : source option;
+  target : string option;
+  timeout_ms : int option;
+  certify : bool;
+  cutoff : int option;
+  chaos : string option;
+}
+
+type error = { err_id : string option; code : string; detail : string }
+
+val parse : string -> (t, error) result
+(** Parse one request line.  Malformed JSON is ["bad-json"], a
+    well-formed object violating the schema is ["bad-request"]; in
+    both cases the [id] is salvaged when one was readable, so even an
+    error response correlates with its request. *)
+
+val of_json : Obs.Report.json -> (t, error) result
+
+val coalesce_key : t -> string option
+(** A digest identifying requests whose responses must coincide: only
+    [Verify] requests without [chaos], keyed on everything but [id].
+    [None] marks the request non-coalescable. *)
+
+(** {1 Response rendering} *)
+
+val id_field : string option -> string * Obs.Report.json
+val render : (string * Obs.Report.json) list -> string
+val render_error : id:string option -> error -> string
+val render_ok : id:string option -> op -> (string * Obs.Report.json) list -> string
+val render_overloaded : id:string option -> retry_after_ms:int -> string

@@ -65,7 +65,7 @@ let structural_redirects net =
   (redirects, !const_regs, !merged_regs)
 
 (* SAT sweeping of combinational vertices.  Returns redirects. *)
-let sweep ~seed ~sim_steps ?budget net =
+let sweep ~seed ~sim_steps ?budget ?inprocess net =
   let sigs = Bsim.signatures ~seed ~steps:sim_steps net in
   let classes = Hashtbl.create 256 in
   Net.iter_nodes net (fun v node ->
@@ -78,7 +78,7 @@ let sweep ~seed ~sim_steps ?budget net =
         Hashtbl.replace classes key
           (lit :: Option.value (Hashtbl.find_opt classes key) ~default:[])
       | Net.Input _ | Net.Reg _ | Net.Latch _ -> ());
-  let solver = Solver.create () in
+  let solver = Solver.create ?inprocess () in
   let frame = Encode.Frame.create solver net in
   let redirects = Hashtbl.create 16 in
   let merged = ref 0 in
@@ -119,7 +119,7 @@ let sweep ~seed ~sim_steps ?budget net =
     classes;
   (redirects, !merged, !checks)
 
-let run ?(seed = 0x5eed) ?(sim_steps = 31) ?(max_rounds = 8) ?budget net =
+let run ?(seed = 0x5eed) ?(sim_steps = 31) ?(max_rounds = 8) ?budget ?inprocess net =
   let identity = Array.init (Net.num_vars net) (fun v -> Some (Lit.make v)) in
   let expired () =
     match budget with
@@ -142,7 +142,7 @@ let run ?(seed = 0x5eed) ?(sim_steps = 31) ?(max_rounds = 8) ?budget net =
       let structural, cr, mr = structural_redirects current in
       let swept, ma, sc =
         if Hashtbl.length structural = 0 then
-          sweep ~seed:(seed + round) ~sim_steps ?budget current
+          sweep ~seed:(seed + round) ~sim_steps ?budget ?inprocess current
         else (Hashtbl.create 0, 0, 0)
       in
       let redirect v =

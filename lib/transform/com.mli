@@ -33,6 +33,7 @@ val run :
   ?sim_steps:int ->
   ?max_rounds:int ->
   ?budget:Obs.Budget.t ->
+  ?inprocess:bool ->
   Netlist.Net.t ->
   Rebuild.result * stats
 (** The result's [map] translates every original vertex that survived

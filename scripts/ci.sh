@@ -187,6 +187,111 @@ echo "ci: repro replay ok"
 DIAMBOUND_CHAOS_SEED=1234 timeout 600 \
   dune exec test/test_main.exe -- test campaign
 
+# Serve drill: a chaos-armed JSONL session over a mixed 100+-request
+# corpus — valid verifies, duplicates, malformed lines, budget-starved
+# and fault-injected requests.  The server must answer every request
+# exactly once (structured errors, never a crash), exit 0, serve the
+# drained duplicate as a cache hit, and produce byte-identical output
+# for --jobs 1 and --jobs 2.  With chaos armed every cache hit is
+# differentially replayed, so poisoned_purged = 0 doubles as the
+# cache-coherence audit: no served entry disagreed with a fresh run.
+serve_corpus() {
+  # a deterministic duplicate pair for the cache-hit contract
+  echo '{"id":"dup","op":"verify","netlist_file":"examples/ring5.bench","target":"two_hot"}'
+  echo '{"op":"drain"}'
+  echo '{"id":"dup","op":"verify","netlist_file":"examples/ring5.bench","target":"two_hot"}'
+  echo '{"op":"drain"}'
+  for round in 1 2 3 4 5 6 7 8; do
+    echo "{\"id\":\"r$round:ring5:two_hot\",\"op\":\"verify\",\"netlist_file\":\"examples/ring5.bench\",\"target\":\"two_hot\"}"
+    echo "{\"id\":\"r$round:ring5:at_last\",\"op\":\"verify\",\"netlist_file\":\"examples/ring5.bench\",\"target\":\"at_last\"}"
+    echo "{\"id\":\"r$round:counter3\",\"op\":\"verify\",\"netlist_file\":\"examples/counter3.bench\"}"
+    for f in test/repros/*.bench; do
+      # every cone inside a round must be distinct, or the cache
+      # hit/miss field races across concurrent workers and the
+      # --jobs 1 vs 2 diff below turns flaky — skip the repro files
+      # whose shrunk netlists duplicate another's cone
+      case "$f" in
+      *0000-deep-cex* | *0001-wide-memory-t0-disagreement*) continue ;;
+      esac
+      echo "{\"id\":\"r$round:$f\",\"op\":\"verify\",\"netlist_file\":\"$f\"}"
+    done
+    echo '{oops'
+    echo '{"op":"dance"}'
+    echo '{"id":"nonet","op":"verify"}'
+    echo '{"id":"multi","op":"verify","netlist_file":"examples/ring5.bench"}'
+    # a unique inline cone nothing else caches: "budget-exhausted"
+    # responses are never cached, so every round misses afresh
+    echo "{\"id\":\"starved$round\",\"op\":\"verify\",\"netlist\":\"a = DFF(na, 0)\\nb = DFF(a, 0)\\nna = NOT(b)\\nstarved = AND(a, b)\\nOUTPUT(starved)\",\"timeout_ms\":0}"
+    echo "{\"id\":\"chaos$round\",\"op\":\"verify\",\"netlist_file\":\"examples/counter3.bench\",\"chaos\":\"flip-to-unsat\"}"
+    echo "{\"id\":\"crash$round\",\"op\":\"verify\",\"netlist_file\":\"examples/ring5.bench\",\"target\":\"at_last\",\"chaos\":\"crash\"}"
+    echo '{"op":"drain"}'
+  done
+}
+serve_corpus > "$tmpdir/serve.jsonl"
+req=$(wc -l < "$tmpdir/serve.jsonl")
+[ "$req" -ge 100 ] || { echo "ci: serve corpus too small ($req)"; exit 1; }
+for jobs in 1 2; do
+  DIAMBOUND_CHAOS_SEED=1234 timeout 600 dune exec bin/diam_tool.exe -- serve \
+    --jobs "$jobs" --stats-json "$tmpdir/serve$jobs.json" \
+    < "$tmpdir/serve.jsonl" > "$tmpdir/serve$jobs.out" \
+    || { echo "ci: serve drill (--jobs $jobs) crashed (FAIL)"; exit 1; }
+  resp=$(wc -l < "$tmpdir/serve$jobs.out")
+  [ "$req" = "$resp" ] \
+    || { echo "ci: serve answered $resp of $req requests (FAIL)"; exit 1; }
+done
+diff -u "$tmpdir/serve1.out" "$tmpdir/serve2.out" \
+  || { echo "ci: serve responses differ across --jobs (FAIL)"; exit 1; }
+grep '"id":"crash1"' "$tmpdir/serve1.out" | grep -q '"error":"internal"' \
+  || { echo "ci: injected crash not a structured error (FAIL)"; exit 1; }
+grep '"id":"starved1"' "$tmpdir/serve1.out" | grep -q 'budget-exhausted' \
+  || { echo "ci: starved request did not degrade (FAIL)"; exit 1; }
+grep '"id":"dup"' "$tmpdir/serve1.out" | sed -n 1p \
+  | grep -q '"cache":"miss"' \
+  || { echo "ci: first dup not a miss (FAIL)"; exit 1; }
+grep '"id":"dup"' "$tmpdir/serve1.out" | sed -n 2p \
+  | grep -q '"cache":"hit"' \
+  || { echo "ci: drained duplicate not a cache hit (FAIL)"; exit 1; }
+[ "$(grep '"id":"dup"' "$tmpdir/serve1.out" | sed 's/"cache":"[a-z]*"//' \
+     | sort -u | wc -l)" = 1 ] \
+  || { echo "ci: dup responses differ beyond the cache field (FAIL)"; exit 1; }
+grep -q '"serve.cache.poisoned_purged": *0' "$tmpdir/serve1.json" \
+  || { echo "ci: differential replay purged entries (FAIL)"; exit 1; }
+grep -q '"serve.cache.hits": *[1-9]' "$tmpdir/serve1.json" \
+  || { echo "ci: serve cache never hit (FAIL)"; exit 1; }
+echo "ci: serve drill ok"
+
+# Serve saturation: one worker, a one-slot queue, chaos armed.  A
+# poisoned worker must be respawned (restarts >= 1), a stalled worker
+# must force load-shedding (shed >= 1, overloaded response), and the
+# whole drill must be byte-deterministic across runs.
+sat_corpus() {
+  echo '{"id":"po","op":"poison"}'
+  echo '{"op":"drain"}'
+  echo '{"id":"st","op":"stall"}'
+  echo '{"id":"a","op":"verify","netlist_file":"examples/ring5.bench","target":"two_hot"}'
+  echo '{"id":"b","op":"verify","netlist_file":"examples/counter3.bench"}'
+  echo '{"op":"drain"}'
+  echo '{"id":"after","op":"verify","netlist_file":"examples/counter3.bench"}'
+}
+sat_corpus > "$tmpdir/sat.jsonl"
+for run in 1 2; do
+  DIAMBOUND_CHAOS_SEED=1234 timeout 300 dune exec bin/diam_tool.exe -- serve \
+    --jobs 1 --queue-limit 1 --stats-json "$tmpdir/sat$run.json" \
+    < "$tmpdir/sat.jsonl" > "$tmpdir/sat$run.out" \
+    || { echo "ci: serve saturation run $run crashed (FAIL)"; exit 1; }
+done
+diff -u "$tmpdir/sat1.out" "$tmpdir/sat2.out" \
+  || { echo "ci: saturation drill not deterministic (FAIL)"; exit 1; }
+grep '"id":"b"' "$tmpdir/sat1.out" | grep -q '"error":"overloaded"' \
+  || { echo "ci: saturated queue did not shed (FAIL)"; exit 1; }
+grep '"id":"after"' "$tmpdir/sat1.out" | grep -q '"verdict"' \
+  || { echo "ci: server dead after poison+stall (FAIL)"; exit 1; }
+grep -q '"serve.worker.restarts": *[1-9]' "$tmpdir/sat1.json" \
+  || { echo "ci: poisoned worker never restarted (FAIL)"; exit 1; }
+grep -q '"serve.shed": *[1-9]' "$tmpdir/sat1.json" \
+  || { echo "ci: shed counter missing (FAIL)"; exit 1; }
+echo "ci: serve saturation ok"
+
 # Self-baseline: a snapshot diffed against itself is compatible by
 # construction and must show zero regressions at any threshold.
 timeout 300 dune exec bench/main.exe -- baseline \

@@ -49,4 +49,5 @@ let () =
       ("sched", Test_sched.suite);
       ("portfolio", Test_portfolio.suite);
       ("campaign", Test_campaign.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -127,6 +127,77 @@ let prop_strash_no_duplicates =
           | Net.Const | Net.Input _ | Net.Reg _ | Net.Latch _ -> ());
       !ok)
 
+(* ---- canonical fingerprints (the serve bound-cache key) ---- *)
+
+let test_fingerprint_build_order () =
+  (* the same structure built in two different vertex orders (inputs
+     and independent gates swapped) must fingerprint identically:
+     vertices are referenced by structural hash, never by id *)
+  let build swapped =
+    let net = Net.create () in
+    let a, b =
+      if swapped then
+        let b = Net.add_input net "b" in
+        let a = Net.add_input net "a" in
+        (a, b)
+      else
+        let a = Net.add_input net "a" in
+        let b = Net.add_input net "b" in
+        (a, b)
+    in
+    let g1, g2 =
+      if swapped then
+        let y = Net.add_or net a b in
+        let x = Net.add_and net a b in
+        (x, y)
+      else
+        let x = Net.add_and net a b in
+        let y = Net.add_or net a b in
+        (x, y)
+    in
+    let r = Net.add_reg net ~init:Net.Init0 "r" in
+    Net.set_next net r (Net.add_xor net g1 g2);
+    Net.add_target net "t" r;
+    Net.add_output net "t" r;
+    net
+  in
+  Helpers.check Alcotest.string "whole-net fingerprint"
+    (Net.fingerprint (build false))
+    (Net.fingerprint (build true));
+  let t net = List.assoc "t" (Net.targets net) in
+  let n0 = build false and n1 = build true in
+  Helpers.check Alcotest.string "cone fingerprint"
+    (Net.cone_fingerprint n0 (t n0))
+    (Net.cone_fingerprint n1 (t n1))
+
+let prop_cone_fingerprint_restrict_invariant =
+  (* cone-of-influence restriction rebuilds the cone's vertices with
+     fresh ids in a different order; the cone fingerprint must not
+     notice *)
+  Helpers.qtest "cone fingerprint survives restriction"
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let net, t = Helpers.rand_net_with_target seed ~inputs:4 ~regs:3 ~gates:12 in
+      let cone = Workload.Shrink.restrict net ~target:"t" in
+      let t' = List.assoc "t" (Net.targets cone) in
+      String.equal (Net.cone_fingerprint net t) (Net.cone_fingerprint cone t'))
+
+let prop_cone_fingerprint_mutation_changes_key =
+  (* any accepted Shrink mutation is a structural change to the cone,
+     so a cached result keyed by the old fingerprint can never be
+     served for the mutated design *)
+  Helpers.qtest "shrink mutations change the fingerprint"
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let net, t = Helpers.rand_net_with_target seed ~inputs:4 ~regs:3 ~gates:12 in
+      let r = Workload.Shrink.run ~keep:(fun _ -> true) net ~target:"t" in
+      r.Workload.Shrink.shrunk_size >= r.Workload.Shrink.original_size
+      ||
+      let t' = List.assoc "t" (Net.targets r.Workload.Shrink.net) in
+      not
+        (String.equal (Net.cone_fingerprint net t)
+           (Net.cone_fingerprint r.Workload.Shrink.net t')))
+
 let suite =
   [
     Alcotest.test_case "constant folding" `Quick test_constant_folding;
@@ -138,4 +209,8 @@ let suite =
     Alcotest.test_case "misuse rejected" `Quick test_check_rejects_misuse;
     Alcotest.test_case "topological id order" `Quick test_iteration_order;
     prop_strash_no_duplicates;
+    Alcotest.test_case "fingerprint ignores build order" `Quick
+      test_fingerprint_build_order;
+    prop_cone_fingerprint_restrict_invariant;
+    prop_cone_fingerprint_mutation_changes_key;
   ]

@@ -73,6 +73,65 @@ let test_default_jobs_env () =
   with_env "nope" (fun () ->
       Helpers.check_int "garbage falls back" 1 (Sched.default_jobs ()))
 
+let counter name = Obs.Stats.counter_value (Obs.Stats.counter name)
+
+let test_try_submit_rejects_when_full () =
+  (* a blocked worker plus a bounded queue: try_submit must REJECT the
+     overflow rather than deadlock the caller *)
+  let pool = Sched.Pool.create ~capacity:1 ~jobs:1 () in
+  let rejected_before = counter "sched.jobs_rejected" in
+  let gate = Mutex.create () in
+  let started = Atomic.make false in
+  Mutex.lock gate;
+  Sched.Pool.submit pool (fun () ->
+      Atomic.set started true;
+      Mutex.lock gate;
+      Mutex.unlock gate);
+  (* wait for the worker to pick the blocker up, so queue occupancy
+     below is deterministic *)
+  while not (Atomic.get started) do
+    Unix.sleepf 0.001
+  done;
+  Helpers.check_bool "first fits the queue" true
+    (Sched.Pool.try_submit pool (fun () -> ()));
+  Helpers.check_bool "second rejected, not blocked" false
+    (Sched.Pool.try_submit pool (fun () -> ()));
+  Helpers.check_int "rejection counted" (rejected_before + 1)
+    (counter "sched.jobs_rejected");
+  Mutex.unlock gate;
+  Sched.Pool.shutdown pool;
+  Helpers.check_bool "rejected after shutdown" false
+    (Sched.Pool.try_submit pool (fun () -> ()))
+
+let test_poison_heals () =
+  (* a poisoned worker is detected, joined and respawned; the pool
+     keeps serving jobs afterwards *)
+  let restarts_before = counter "sched.worker_restarts" in
+  Sched.Pool.with_pool ~jobs:2 (fun pool ->
+      Sched.Pool.submit pool (fun () -> raise Sched.Pool.Poison);
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec wait_heal () =
+        if Sched.Pool.heal pool > 0 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "worker never died / healed"
+        else begin
+          Unix.sleepf 0.002;
+          wait_heal ()
+        end
+      in
+      wait_heal ();
+      Helpers.check_int "restart counted" (restarts_before + 1)
+        (counter "sched.worker_restarts");
+      let ys = Sched.Pool.map pool (fun x -> x * 2) [ 1; 2; 3; 4 ] in
+      Helpers.check_bool "healed pool still works" true
+        (List.equal Int.equal ys [ 2; 4; 6; 8 ]))
+
+let test_shutdown_heals_remaining_dead () =
+  (* workers poisoned and never healed must not wedge shutdown *)
+  Sched.Pool.with_pool ~jobs:2 (fun pool ->
+      Sched.Pool.submit pool (fun () -> raise Sched.Pool.Poison);
+      Sched.Pool.submit pool (fun () -> raise Sched.Pool.Poison))
+
 let suite =
   [
     Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
@@ -87,4 +146,9 @@ let suite =
     Alcotest.test_case "jobs clamped to sane range" `Quick test_jobs_clamped;
     Alcotest.test_case "default_jobs reads the environment" `Quick
       test_default_jobs_env;
+    Alcotest.test_case "try_submit rejects when full" `Quick
+      test_try_submit_rejects_when_full;
+    Alcotest.test_case "poisoned worker heals" `Quick test_poison_heals;
+    Alcotest.test_case "shutdown survives unhealed dead workers" `Quick
+      test_shutdown_heals_remaining_dead;
   ]
