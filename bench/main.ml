@@ -747,6 +747,18 @@ let split_args args =
       Obs.Trace.start file;
       go stats json exps rest
     | "--trace" :: [] -> missing "--trace"
+    | "--log-level" :: v :: rest ->
+      (match Obs.Log.level_of_string v with
+      | Some l -> Obs.Log.set_level l
+      | None ->
+        Format.eprintf "--log-level: bad argument %S@." v;
+        exit 2);
+      go stats json exps rest
+    | "--log-level" :: [] -> missing "--log-level"
+    | "--log" :: file :: rest ->
+      Obs.Log.set_file file;
+      go stats json exps rest
+    | "--log" :: [] -> missing "--log"
     | "--baseline" :: file :: rest ->
       baseline_file := Some file;
       go stats json exps rest
@@ -789,6 +801,8 @@ let split_args args =
   go false None [] args
 
 let () =
+  (* DIAMBOUND_LOG before the flags, so an explicit --log-level wins *)
+  Obs.Log.setup ();
   let stats, stats_json, want =
     split_args (List.tl (Array.to_list Sys.argv))
   in

@@ -66,8 +66,9 @@ let run_all net certify budget jobs complete depth =
   else Cli.ok
 
 let run file target depth complete certify proof vcd budget jobs stats
-    stats_json trace no_inprocess =
+    stats_json trace log_level log_file no_inprocess =
   Cli.setup_trace trace;
+  Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
   let net = Cli.load_bench file in
   let certify = certify || proof <> None in
@@ -214,6 +215,7 @@ let cmd =
     Term.(
       const run $ file $ target $ depth $ complete $ Cli.certify
       $ Cli.proof_file $ vcd $ Cli.budget $ Cli.jobs $ Cli.stats
-      $ Cli.stats_json $ Cli.trace $ Cli.no_inprocess)
+      $ Cli.stats_json $ Cli.trace $ Cli.log_level $ Cli.log_file
+      $ Cli.no_inprocess)
 
 let () = exit (Cli.main cmd)

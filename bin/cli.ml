@@ -157,6 +157,33 @@ let trace =
    DIAMBOUND_TRACE; the sink closes itself at process exit *)
 let setup_trace file = Obs.Trace.setup ?file ()
 
+let log_level =
+  let env =
+    Cmd.Env.info "DIAMBOUND_LOG"
+      ~doc:"Default log level when $(b,--log-level) is not given"
+  in
+  Arg.(
+    value
+    & opt (some (enum Obs.Log.levels)) None
+    & info [ "log-level" ] ~env ~docv:"LEVEL"
+        ~doc:"Structured-log threshold: $(b,error), $(b,warn) (default), \
+              $(b,info) or $(b,debug).  Lines are JSONL \
+              ({\"ts\":..,\"level\":..,\"event\":..,...}), carry the request \
+              correlation id where one is active, and go to stderr — never \
+              stdout — unless $(b,--log) routes them to a file")
+
+let log_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:"Route structured log lines to $(docv) (truncated) instead of \
+              stderr")
+
+(* call before any instrumented work, like [setup_trace]; an explicit
+   flag wins, otherwise DIAMBOUND_LOG applies (via the flag's env) *)
+let setup_log level file = Obs.Log.setup ?level ?file ()
+
 (* schema version of the --stats-json / bench snapshot format; bump
    when the snapshot or meta shape changes incompatibly *)
 let stats_schema_version = 2

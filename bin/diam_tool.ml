@@ -25,8 +25,9 @@ let load file design =
     Cli.die Cli.usage_error "no input: give a .bench file or --design NAME"
 
 let run file design pipeline cutoff recurrence budget jobs stats stats_json
-    trace no_inprocess =
+    trace log_level log_file no_inprocess =
   Cli.setup_trace trace;
+  Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
   let net = load file design in
   Format.printf "netlist: %a@." Net.pp_stats net;
@@ -147,8 +148,9 @@ let cache_mb =
    Verdict lines print in input order; each problem gets a fresh
    budget sliced from the --timeout/--conflicts/--bdd-nodes spec. *)
 let run_batch files cutoff certify budget_spec jobs queue_limit cache_mb stats
-    stats_json trace no_inprocess =
+    stats_json trace log_level log_file no_inprocess =
   Cli.setup_trace trace;
+  Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
   let problems =
     List.concat_map
@@ -234,15 +236,34 @@ let batch_cmd =
     Term.(
       const run_batch $ files $ cutoff $ Cli.certify $ Cli.budget_spec
       $ Cli.jobs $ queue_limit $ cache_mb $ Cli.stats $ Cli.stats_json
-      $ Cli.trace $ Cli.no_inprocess)
+      $ Cli.trace $ Cli.log_level $ Cli.log_file $ Cli.no_inprocess)
 
 (* ----- serve: the long-lived JSONL verification service ----- *)
 
-let run_serve socket jobs queue_limit cache_mb chaos_seed stats stats_json
-    trace no_inprocess =
+let run_serve socket jobs queue_limit cache_mb chaos_seed stall_window
+    flight_recorder metrics_interval stats stats_json trace log_level log_file
+    no_inprocess =
   Cli.setup_trace trace;
+  Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
-  let cfg = { Serve.Server.jobs; queue_limit; cache_mb; chaos_seed } in
+  (* arming the watchdog without naming a sink still records flights *)
+  let flight_path =
+    match (flight_recorder, stall_window) with
+    | (Some _ as p), _ -> p
+    | None, Some _ -> Some "flight-recorder.jsonl"
+    | None, None -> None
+  in
+  let cfg =
+    {
+      Serve.Server.jobs;
+      queue_limit;
+      cache_mb;
+      chaos_seed;
+      stall_window_s = stall_window;
+      flight_path;
+      metrics_interval_s = metrics_interval;
+    }
+  in
   let code =
     match socket with
     | None -> Serve.Server.run_stdio cfg
@@ -281,6 +302,46 @@ let serve_cmd =
                 cache hit, purging entries that disagree with a fresh \
                 derivation.  Never set in production")
   in
+  let stall_window =
+    let env =
+      Cmdliner.Cmd.Env.info "DIAMBOUND_STALL_WINDOW"
+        ~doc:"Default watchdog stall window when $(b,--stall-window) is absent"
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stall-window" ] ~env ~docv:"SECONDS"
+          ~doc:"Arm the stuck-request watchdog: a monitor flags any \
+                in-flight request whose solver heartbeat has not advanced \
+                for $(docv) seconds — a warn log line with its correlation \
+                id, plus a flight-recorder dump.  Purely observational: \
+                verdicts and the response stream are untouched")
+  in
+  let flight_recorder =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-recorder" ] ~docv:"FILE"
+          ~doc:"Where watchdog dumps go (default flight-recorder.jsonl): \
+                appended batches of in-flight request spans, heartbeat \
+                history and queue/pool state in the trace JSONL schema, \
+                readable by $(b,diam trace-report)")
+  in
+  let metrics_interval =
+    let env =
+      Cmdliner.Cmd.Env.info "DIAMBOUND_METRICS_INTERVAL"
+        ~doc:"Default periodic metrics interval when \
+              $(b,--metrics-interval) is absent"
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "metrics-interval" ] ~env ~docv:"SECONDS"
+          ~doc:"Emit a JSONL metrics line (non-zero counters plus the \
+                in-flight heartbeat table) through the log sink every \
+                $(docv) seconds — for socket-mode services whose operator \
+                tails the log.  Never written to stdout")
+  in
   let doc =
     "long-lived verification service: one JSON request per input line, one \
      JSON response per request in request order (byte-identical for every \
@@ -288,12 +349,15 @@ let serve_cmd =
      become structured error responses behind a per-request barrier; \
      poisoned workers are respawned; --queue-limit switches admission \
      from blocking to load-shedding; certified verdicts and bounds are \
-     served from an LRU cone-fingerprint cache"
+     served from an LRU cone-fingerprint cache; the metrics op, \
+     --stall-window watchdog and --metrics-interval stream expose live \
+     telemetry without touching the response bytes"
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run_serve $ socket $ Cli.jobs $ queue_limit $ cache_mb
-      $ chaos_seed $ Cli.stats $ Cli.stats_json $ Cli.trace
+      $ chaos_seed $ stall_window $ flight_recorder $ metrics_interval
+      $ Cli.stats $ Cli.stats_json $ Cli.trace $ Cli.log_level $ Cli.log_file
       $ Cli.no_inprocess)
 
 (* ----- corpus: walk a problem tree under a per-problem barrier ----- *)
@@ -302,8 +366,9 @@ let serve_cmd =
    byte-identical across --jobs values (CI diffs jobs 1 vs 2); timing
    lives in --stats/--stats-json. *)
 let run_corpus dir cutoff certify budget_spec jobs baseline fail_on_regress
-    stats stats_json trace no_inprocess =
+    stats stats_json trace log_level log_file no_inprocess =
   Cli.setup_trace trace;
+  Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     Cli.die Cli.usage_error "%s: not a directory" dir;
@@ -392,12 +457,14 @@ let corpus_cmd =
     Term.(
       const run_corpus $ dir $ cutoff $ Cli.certify $ Cli.budget_spec
       $ Cli.jobs $ baseline $ fail_on_regress $ Cli.stats $ Cli.stats_json
-      $ Cli.trace $ Cli.no_inprocess)
+      $ Cli.trace $ Cli.log_level $ Cli.log_file $ Cli.no_inprocess)
 
 (* ----- fuzz: the adversarial differential campaign ----- *)
 
-let run_fuzz count seed jobs repro_dir stats stats_json trace no_inprocess =
+let run_fuzz count seed jobs repro_dir stats stats_json trace log_level
+    log_file no_inprocess =
   Cli.setup_trace trace;
+  Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
   if count <= 0 then Cli.die Cli.usage_error "--count must be positive";
   let report = Campaign.Hunt.run ~jobs ?repro_dir ~seed ~count () in
@@ -479,7 +546,8 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run_fuzz $ count $ seed $ Cli.jobs $ repro_dir $ Cli.stats
-      $ Cli.stats_json $ Cli.trace $ Cli.no_inprocess)
+      $ Cli.stats_json $ Cli.trace $ Cli.log_level $ Cli.log_file
+      $ Cli.no_inprocess)
 
 (* ----- trace-report: offline analysis of a --trace capture ----- *)
 
@@ -520,7 +588,8 @@ let main_cmd =
   Cmd.v (Cmd.info "diam" ~doc)
     Term.(
       const run $ file $ design $ pipeline $ cutoff $ recurrence $ Cli.budget
-      $ Cli.jobs $ Cli.stats $ Cli.stats_json $ Cli.trace $ Cli.no_inprocess)
+      $ Cli.jobs $ Cli.stats $ Cli.stats_json $ Cli.trace $ Cli.log_level
+      $ Cli.log_file $ Cli.no_inprocess)
 
 (* a subcommand can't coexist with a default term taking positional
    args in one cmdliner group (FILE would parse as a command name), so

@@ -45,8 +45,9 @@ let run_all dir jobs =
     results;
   if !failed > 0 then Cli.usage_error else Cli.ok
 
-let run design output list_them all jobs trace no_inprocess =
+let run design output list_them all jobs trace log_level log_file no_inprocess =
   Cli.setup_trace trace;
+  Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
   if list_them then begin
     Format.printf "ISCAS89-like (Table 1):@.";
@@ -120,6 +121,6 @@ let cmd =
     (Cmd.info "diam-gen" ~doc)
     Term.(
       const run $ design $ output $ list_them $ all $ Cli.jobs $ Cli.trace
-      $ Cli.no_inprocess)
+      $ Cli.log_level $ Cli.log_file $ Cli.no_inprocess)
 
 let () = exit (Cli.main cmd)

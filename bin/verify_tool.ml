@@ -8,8 +8,9 @@
 module Net = Netlist.Net
 
 let run file target cutoff certify proof vcd budget jobs stats stats_json trace
-    no_inprocess =
+    log_level log_file no_inprocess =
   Cli.setup_trace trace;
+  Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
   let net = Cli.load_bench file in
   let certify = certify || proof <> None in
@@ -108,6 +109,6 @@ let cmd =
     Term.(
       const run $ file $ target $ cutoff $ Cli.certify $ Cli.proof_file $ vcd
       $ Cli.budget $ Cli.jobs $ Cli.stats $ Cli.stats_json $ Cli.trace
-      $ Cli.no_inprocess)
+      $ Cli.log_level $ Cli.log_file $ Cli.no_inprocess)
 
 let () = exit (Cli.main cmd)

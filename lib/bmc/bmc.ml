@@ -40,6 +40,7 @@ let check_lit ?(from = 0) ?budget ?cert ?inprocess net target ~depth =
     else if expired () then give_up t
     else begin
       Obs.Stats.max_gauge "bmc.depth_reached" t;
+      Obs.Heartbeat.set_phase (Printf.sprintf "bmc@%d" t);
       (* one trace span per unrolled depth, attributed with the
          per-depth solver work, so per-depth cost curves fall straight
          out of a trace *)

@@ -211,6 +211,7 @@ let run_strategy ~config ~certify ~proof_sink ~slice net ~target ~tlit
       (* one trace span per strategy slice; the Done unwind that
          delivers a verdict is converted to an "outcome" attribute
          rather than recorded as an exception *)
+      Obs.Heartbeat.set_phase ("engine." ^ name);
       let won =
         Obs.Trace.with_span_args ("engine." ^ name)
           ~args:[ ("target", Obs.Trace.String target) ]

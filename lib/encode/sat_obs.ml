@@ -61,6 +61,23 @@ let solve ?assumptions ?budget ?(span = "sat.solve") solver =
   let max_conflicts = Option.bind budget Obs.Budget.conflicts in
   let max_propagations = Option.bind budget Obs.Budget.propagations in
   let should_stop = Option.bind budget Obs.Budget.should_stop in
+  (* live telemetry rides the same restart-boundary poll the budget
+     uses: when this solve belongs to a registered in-flight request
+     (serve), each poll also publishes a heartbeat snapshot.  Forced
+     to [Some] even without a budget so a stuck-but-unbudgeted solve
+     still beats. *)
+  let should_stop =
+    if not (Obs.Heartbeat.active ()) then should_stop
+    else
+      Some
+        (fun () ->
+          Obs.Heartbeat.beat
+            ~conflicts:(Solver.num_conflicts solver)
+            ~propagations:(Solver.num_propagations solver)
+            ~trail:(Solver.trail_depth solver)
+            ~learnts:(Solver.num_learnts solver);
+          match should_stop with Some f -> f () | None -> false)
+  in
   let result, dt =
     Obs.Trace.with_span_args span (fun () ->
         let r =

@@ -1,0 +1,166 @@
+(* In-flight request table: the live-progress complement to the
+   post-mortem Stats registry.  Serve registers every admitted
+   request under its correlation id; Sat_obs publishes a beat at each
+   restart-boundary [Budget.should_stop] poll; the serve watchdog
+   scans for entries whose last beat is older than the stall window.
+
+   One process-wide table under one mutex: beats arrive at restart
+   granularity (hundreds of conflicts apart), not per-conflict, so
+   contention is negligible. *)
+
+type beat = {
+  at : float;  (* Stats.now at publication *)
+  conflicts : int;
+  propagations : int;
+  trail : int;
+  learnts : int;
+}
+
+type entry = {
+  corr : string;
+  started : float;
+  mutable phase : string;
+  mutable beats : int;
+  mutable last : beat;
+  mutable flagged : bool; (* already reported stalled; cleared by progress *)
+  history : beat option array; (* ring of the most recent beats *)
+  mutable hist_next : int;
+}
+
+let history_len = 16
+let lock = Mutex.create ()
+let table : (string, entry) Hashtbl.t = Hashtbl.create 16
+
+let schema =
+  [
+    "serve.heartbeat.registered";
+    "serve.heartbeat.beats";
+    "serve.heartbeat.inflight";
+  ]
+
+let () = Stats.declare schema
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let register ?(phase = "queued") corr =
+  let now = Stats.now () in
+  let b = { at = now; conflicts = 0; propagations = 0; trail = 0; learnts = 0 } in
+  let e =
+    {
+      corr;
+      started = now;
+      phase;
+      beats = 0;
+      last = b;
+      flagged = false;
+      history = Array.make history_len None;
+      hist_next = 0;
+    }
+  in
+  locked (fun () ->
+      Hashtbl.replace table corr e;
+      Stats.count "serve.heartbeat.registered" 1;
+      Stats.set_gauge "serve.heartbeat.inflight" (Hashtbl.length table))
+
+let finish corr =
+  locked (fun () ->
+      Hashtbl.remove table corr;
+      Stats.set_gauge "serve.heartbeat.inflight" (Hashtbl.length table))
+
+let active () =
+  match Log.current_corr () with
+  | None -> false
+  | Some corr -> locked (fun () -> Hashtbl.mem table corr)
+
+let set_phase phase =
+  match Log.current_corr () with
+  | None -> ()
+  | Some corr ->
+    locked (fun () ->
+        match Hashtbl.find_opt table corr with
+        | None -> ()
+        | Some e ->
+          e.phase <- phase;
+          (* a phase transition is progress: the request moved to a
+             new stage even if the solver has not polled yet *)
+          e.last <- { e.last with at = Stats.now () };
+          e.flagged <- false)
+
+let beat ~conflicts ~propagations ~trail ~learnts =
+  match Log.current_corr () with
+  | None -> ()
+  | Some corr ->
+    locked (fun () ->
+        match Hashtbl.find_opt table corr with
+        | None -> ()
+        | Some e ->
+          let b =
+            { at = Stats.now (); conflicts; propagations; trail; learnts }
+          in
+          e.last <- b;
+          e.beats <- e.beats + 1;
+          e.flagged <- false;
+          e.history.(e.hist_next) <- Some b;
+          e.hist_next <- (e.hist_next + 1) mod history_len;
+          Stats.count "serve.heartbeat.beats" 1)
+
+(* ----- read side ----- *)
+
+type view = {
+  v_corr : string;
+  v_phase : string;
+  v_started : float;
+  v_age_s : float;
+  v_idle_s : float;
+  v_beats : int;
+  v_last : beat;
+  v_conflicts_per_s : float;
+  v_history : beat list;  (* oldest first *)
+}
+
+let view_of now e =
+  let span = e.last.at -. e.started in
+  let cps = if span > 0. then float_of_int e.last.conflicts /. span else 0. in
+  let history =
+    (* ring order: hist_next is the oldest surviving slot *)
+    List.filter_map Fun.id
+      (List.init history_len (fun i ->
+           e.history.((e.hist_next + i) mod history_len)))
+  in
+  {
+    v_corr = e.corr;
+    v_phase = e.phase;
+    v_started = e.started;
+    v_age_s = now -. e.started;
+    v_idle_s = now -. e.last.at;
+    v_beats = e.beats;
+    v_last = e.last;
+    v_conflicts_per_s = cps;
+    v_history = history;
+  }
+
+let snapshot () =
+  let now = Stats.now () in
+  locked (fun () ->
+      Hashtbl.fold (fun _ e acc -> view_of now e :: acc) table [])
+  |> List.sort (fun a b -> compare a.v_corr b.v_corr)
+
+let stalled ~window_s =
+  let now = Stats.now () in
+  locked (fun () ->
+      Hashtbl.fold
+        (fun _ e acc ->
+          if (not e.flagged) && now -. e.last.at >= window_s then begin
+            e.flagged <- true;
+            view_of now e :: acc
+          end
+          else acc)
+        table [])
+  |> List.sort (fun a b -> compare a.v_corr b.v_corr)
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      Stats.set_gauge "serve.heartbeat.inflight" 0)

@@ -1,0 +1,72 @@
+(** Per-request in-flight progress table — the live complement to the
+    post-mortem {!Stats} registry.
+
+    The serve layer {!register}s each admitted request under its
+    correlation id; {!Sat_obs} (via the write side here) publishes a
+    {!type:beat} at every restart-boundary [Budget.should_stop] poll;
+    the serve watchdog polls {!stalled} for entries whose heartbeat
+    has not advanced within the stall window, and {!Metrics} renders
+    {!snapshot} as per-request gauges.
+
+    The write side ({!set_phase}, {!beat}) is addressed implicitly by
+    the current {!Log.with_corr} context, so instrumented layers need
+    no request parameter; both are no-ops when no context is active
+    or the id was never registered (batch tools without telemetry pay
+    one domain-local read).  All operations are domain-safe. *)
+
+type beat = {
+  at : float;  (** {!Stats.now} at publication *)
+  conflicts : int;
+  propagations : int;
+  trail : int;  (** assigned literals at the poll *)
+  learnts : int;
+}
+
+val register : ?phase:string -> string -> unit
+(** Add the correlation id to the in-flight table (phase defaults to
+    ["queued"]); re-registration replaces.  Bumps
+    [serve.heartbeat.registered] and the [serve.heartbeat.inflight]
+    gauge. *)
+
+val finish : string -> unit
+(** Remove the id (request completed, failed, or was shed). *)
+
+val active : unit -> bool
+(** Whether the calling domain's correlation context names a
+    registered in-flight request — i.e. whether a {!beat} would
+    land. *)
+
+val set_phase : string -> unit
+(** Record which stage the current request is in ("engine.bmc-probe",
+    "bmc@7", ...).  Counts as progress for stall detection. *)
+
+val beat :
+  conflicts:int -> propagations:int -> trail:int -> learnts:int -> unit
+(** Publish a progress snapshot for the current request.  Bumps
+    [serve.heartbeat.beats] and clears any stall flag. *)
+
+(** {1 Read side} *)
+
+type view = {
+  v_corr : string;
+  v_phase : string;
+  v_started : float;
+  v_age_s : float;  (** seconds since registration *)
+  v_idle_s : float;  (** seconds since the last beat or phase change *)
+  v_beats : int;
+  v_last : beat;
+  v_conflicts_per_s : float;  (** averaged from registration to last beat *)
+  v_history : beat list;  (** most recent beats, oldest first *)
+}
+
+val snapshot : unit -> view list
+(** All in-flight requests, sorted by correlation id. *)
+
+val stalled : window_s:float -> view list
+(** In-flight requests idle for at least the window that have not
+    been reported yet.  Marks them reported, so each stall episode is
+    returned once; a subsequent beat or phase change re-arms the
+    entry. *)
+
+val clear : unit -> unit
+(** Empty the table — for tests. *)

@@ -1,0 +1,158 @@
+(* Leveled structured logging: one JSON object per line, to stderr or
+   a file, never stdout.  The serve protocol owns stdout, so every
+   emitter here writes to the shared sink under a lock (lines from
+   worker domains never interleave mid-record) and flushes per line
+   (a crashed service keeps everything logged so far).
+
+   The correlation context is domain-local: a serve request runs
+   entirely on the worker domain that claimed it, so [with_corr]
+   around the request body makes every log line — and, via
+   {!Trace.push}, every trace span — of that request joinable by one
+   id without threading a parameter through engine/bmc/sat. *)
+
+type level = Error | Warn | Info | Debug
+
+let level_name = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let levels =
+  [ ("error", Error); ("warn", Warn); ("info", Info); ("debug", Debug) ]
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+(* eager, so "log.*" appears as zeroes in every snapshot and stays
+   baseline-comparable from the first run *)
+let schema = [ "log.error"; "log.warn"; "log.info"; "log.debug" ]
+let () = Stats.declare schema
+
+let current = Atomic.make (severity Warn)
+let set_level l = Atomic.set current (severity l)
+
+let level () =
+  match Atomic.get current with
+  | 0 -> Error
+  | 1 -> Warn
+  | 2 -> Info
+  | _ -> Debug
+
+let enabled l = severity l <= Atomic.get current
+
+(* ----- sink ----- *)
+
+let lock = Mutex.create ()
+let sink : out_channel option ref = ref None (* None = stderr *)
+
+let close_sink_locked () =
+  match !sink with
+  | None -> ()
+  | Some oc ->
+    close_out_noerr oc;
+    sink := None
+
+let to_stderr () =
+  Mutex.lock lock;
+  close_sink_locked ();
+  Mutex.unlock lock
+
+let exit_hook = ref false
+
+let set_file path =
+  match open_out path with
+  | exception Sys_error msg -> Format.eprintf "log: cannot open sink: %s@." msg
+  | oc ->
+    Mutex.lock lock;
+    close_sink_locked ();
+    sink := Some oc;
+    Mutex.unlock lock;
+    if not !exit_hook then begin
+      exit_hook := true;
+      at_exit to_stderr
+    end
+
+(* ----- correlation context ----- *)
+
+let corr_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_corr () = !(Domain.DLS.get corr_key)
+
+let with_corr corr f =
+  let cell = Domain.DLS.get corr_key in
+  let saved = !cell in
+  cell := Some corr;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+(* ----- emission ----- *)
+
+let force lvl event fields =
+  begin
+    Stats.count ("log." ^ level_name lvl) 1;
+    let corr =
+      match current_corr () with
+      | Some c -> [ ("corr", Report.String c) ]
+      | None -> []
+    in
+    let line =
+      Report.to_string
+        (Report.Obj
+           ([
+              ("ts", Report.Float (Unix.gettimeofday ()));
+              ("level", Report.String (level_name lvl));
+              ("event", Report.String event);
+            ]
+           @ corr @ fields))
+    in
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        (* a sink that went away must not turn telemetry into a crash *)
+        try
+          match !sink with
+          | Some oc ->
+            output_string oc line;
+            output_char oc '\n';
+            flush oc
+          | None ->
+            output_string stderr line;
+            output_char stderr '\n';
+            flush stderr
+        with Sys_error _ -> ())
+  end
+
+let log lvl event fields = if enabled lvl then force lvl event fields
+let error event fields = log Error event fields
+let warn event fields = log Warn event fields
+let info event fields = log Info event fields
+let debug event fields = log Debug event fields
+
+let setup ?level ?file () =
+  (match level with
+  | Some l -> set_level l
+  | None -> (
+    (* tools wire DIAMBOUND_LOG through their flag parser; this
+       fallback covers embedders that call [setup] directly *)
+    match Sys.getenv_opt "DIAMBOUND_LOG" with
+    | Some s when String.trim s <> "" -> (
+      match level_of_string s with
+      | Some l -> set_level l
+      | None ->
+        Format.eprintf
+          "log: unknown DIAMBOUND_LOG level %S (want error|warn|info|debug)@." s)
+    | _ -> ()));
+  Option.iter set_file file
+
+let reset () =
+  to_stderr ();
+  set_level Warn

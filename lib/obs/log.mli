@@ -1,0 +1,78 @@
+(** Leveled, structured JSONL logging to stderr or a file — never
+    stdout, which belongs to the tools' own output (and, in
+    [diam serve], to the response protocol).
+
+    Each line is one JSON object:
+    {v
+    {"ts":<unix seconds>,"level":"warn","event":"serve.shed",
+     "corr":"req-7",...event fields...}
+    v}
+    ["corr"] is added automatically when a correlation context is
+    active (see {!with_corr}).  Emission is domain-safe (one lock
+    around the sink) and flushed per line, so a crashed service keeps
+    everything logged so far.  Every emitted line bumps a [log.<level>]
+    counter in {!Stats}; the four names are declared eagerly.
+
+    The default level is [Warn]: errors and warnings are visible
+    without any configuration, [info]/[debug] are opt-in. *)
+
+type level = Error | Warn | Info | Debug
+
+val levels : (string * level) list
+(** Name/level pairs for CLI enum flags, lowest severity last. *)
+
+val level_name : level -> string
+val level_of_string : string -> level option
+
+val set_level : level -> unit
+val level : unit -> level
+
+val enabled : level -> bool
+(** Whether a line at this level would currently be emitted — for
+    guarding expensive field construction. *)
+
+val set_file : string -> unit
+(** Route subsequent lines to the given file (truncated) instead of
+    stderr.  An unopenable path prints a warning and leaves the sink
+    unchanged — telemetry must not turn a successful run into a
+    failure.  The file is closed at process exit. *)
+
+val to_stderr : unit -> unit
+(** Close any file sink and return to stderr. *)
+
+val setup : ?level:level -> ?file:string -> unit -> unit
+(** CLI convenience: apply [--log-level]/[--log FILE].  When [level]
+    is absent, falls back to the [DIAMBOUND_LOG] environment variable
+    (unknown values print a warning and keep the default). *)
+
+val reset : unit -> unit
+(** Back to defaults (level [Warn], stderr sink) — for tests. *)
+
+(** {1 Emission} *)
+
+val log : level -> string -> (string * Report.json) list -> unit
+(** [log lvl event fields] emits one line when [lvl] is enabled.
+    [event] is a stable dotted name ("serve.shed", "watchdog.stall");
+    [fields] are appended after the standard keys. *)
+
+val error : string -> (string * Report.json) list -> unit
+val warn : string -> (string * Report.json) list -> unit
+val info : string -> (string * Report.json) list -> unit
+val debug : string -> (string * Report.json) list -> unit
+
+val force : level -> string -> (string * Report.json) list -> unit
+(** Emit regardless of the current threshold — for lines the user
+    explicitly requested by flag (the serve [--metrics-interval]
+    stream), where the flag itself is the opt-in. *)
+
+(** {1 Correlation context} *)
+
+val with_corr : string -> (unit -> 'a) -> 'a
+(** Run the function with the given correlation id as this domain's
+    context: every log line emitted under it carries a ["corr"] field,
+    every trace span a ["corr"] attribute, and solver heartbeats are
+    attributed to it ({!Heartbeat}).  Nests (the previous context is
+    restored on exit) and is per-domain, matching the serve layer
+    where one worker domain runs one request at a time. *)
+
+val current_corr : unit -> string option

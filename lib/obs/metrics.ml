@@ -1,0 +1,108 @@
+(* Prometheus text exposition of the whole observability surface: the
+   Stats snapshot (counters, gauges and the dist-derived percentile
+   counters) plus per-request heartbeat gauges.  Everything is
+   exported as gauge type: the registry does not distinguish
+   monotonic counters from set/max gauges by name, and Prometheus
+   accepts gauge semantics for both. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+(* label values: escape per the exposition format *)
+let escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let metric buf name value =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+  Buffer.add_string buf (Printf.sprintf "%s %s\n" name value)
+
+let labeled buf name pairs value =
+  let labels =
+    pairs
+    |> List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+    |> String.concat ","
+  in
+  Buffer.add_string buf (Printf.sprintf "%s{%s} %s\n" name labels value)
+
+let float_str f = Printf.sprintf "%.6f" f
+
+let prometheus () =
+  let buf = Buffer.create 8192 in
+  let snap = Stats.snapshot () in
+  List.iter
+    (fun (name, v) ->
+      metric buf ("diambound_" ^ sanitize name) (string_of_int v))
+    snap.Stats.counters;
+  List.iter
+    (fun (name, (s : Stats.span_stats)) ->
+      let base = "diambound_span_" ^ sanitize name in
+      metric buf (base ^ "_calls") (string_of_int s.Stats.calls);
+      metric buf (base ^ "_seconds_total") (float_str s.Stats.total_s);
+      metric buf (base ^ "_seconds_max") (float_str s.Stats.max_s))
+    snap.Stats.spans;
+  (* per-request heartbeat gauges, one labeled series per in-flight
+     correlation id; the TYPE header is emitted even when idle so the
+     exposition shape is stable *)
+  let views = Heartbeat.snapshot () in
+  let series name value_of =
+    let m = "diambound_heartbeat_" ^ name in
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" m);
+    List.iter
+      (fun (v : Heartbeat.view) ->
+        labeled buf m
+          [ ("corr", v.Heartbeat.v_corr); ("phase", v.Heartbeat.v_phase) ]
+          (value_of v))
+      views
+  in
+  series "conflicts" (fun v -> string_of_int v.Heartbeat.v_last.Heartbeat.conflicts);
+  series "propagations" (fun v ->
+      string_of_int v.Heartbeat.v_last.Heartbeat.propagations);
+  series "trail_depth" (fun v -> string_of_int v.Heartbeat.v_last.Heartbeat.trail);
+  series "learnts" (fun v -> string_of_int v.Heartbeat.v_last.Heartbeat.learnts);
+  series "beats" (fun v -> string_of_int v.Heartbeat.v_beats);
+  series "age_seconds" (fun v -> float_str v.Heartbeat.v_age_s);
+  series "idle_seconds" (fun v -> float_str v.Heartbeat.v_idle_s);
+  series "conflicts_per_second" (fun v -> float_str v.Heartbeat.v_conflicts_per_s);
+  Buffer.contents buf
+
+(* ----- periodic JSONL emission ----- *)
+
+let json_of_view (v : Heartbeat.view) =
+  Report.Obj
+    [
+      ("corr", Report.String v.Heartbeat.v_corr);
+      ("phase", Report.String v.Heartbeat.v_phase);
+      ("age_s", Report.Float v.Heartbeat.v_age_s);
+      ("idle_s", Report.Float v.Heartbeat.v_idle_s);
+      ("beats", Report.Int v.Heartbeat.v_beats);
+      ("conflicts", Report.Int v.Heartbeat.v_last.Heartbeat.conflicts);
+      ("propagations", Report.Int v.Heartbeat.v_last.Heartbeat.propagations);
+      ("trail", Report.Int v.Heartbeat.v_last.Heartbeat.trail);
+      ("learnts", Report.Int v.Heartbeat.v_last.Heartbeat.learnts);
+      ("conflicts_per_s", Report.Float v.Heartbeat.v_conflicts_per_s);
+    ]
+
+let fields () =
+  let snap = Stats.snapshot () in
+  (* only non-zero counters: a periodic line must stay compact *)
+  let counters =
+    List.filter_map
+      (fun (k, v) -> if v = 0 then None else Some (k, Report.Int v))
+      snap.Stats.counters
+  in
+  [
+    ("counters", Report.Obj counters);
+    ("inflight", Report.List (List.map json_of_view (Heartbeat.snapshot ())));
+  ]

@@ -1,0 +1,20 @@
+(** Live rendering of the observability surface.
+
+    {!prometheus} turns one {!Stats.snapshot} — counters, gauges and
+    the five [dist]-derived percentile counters — plus the
+    {!Heartbeat} table into Prometheus text exposition: every series
+    is prefixed [diambound_], dotted names have their punctuation
+    mapped to underscores, spans export [_calls] /
+    [_seconds_total] / [_seconds_max], and each in-flight request
+    exports [diambound_heartbeat_*] gauges labeled with its
+    correlation id and phase.  The serve protocol's [metrics] op
+    returns this text; everything is exported as gauge type since the
+    registry does not record counter-vs-gauge intent.
+
+    {!fields} is the compact form for [--metrics-interval N] periodic
+    JSONL emission through {!Log}: non-zero counters plus the
+    in-flight table. *)
+
+val prometheus : unit -> string
+
+val fields : unit -> (string * Report.json) list

@@ -1,19 +1,27 @@
 (** Observability substrate: a process-global registry of counters and
     wall-clock spans ({!Stats}), its human/JSON renderers ({!Report}),
-    structured tracing with Chrome/JSONL export ({!Trace}) and its
-    offline analyzer ({!Trace_report}), snapshot diffing for bench
-    baselines ({!Baseline}), resource budgets ({!Budget}) and
-    warn-and-continue file output ({!Fileout}).
+    leveled structured logging with per-request correlation ids
+    ({!Log}), structured tracing with Chrome/JSONL export ({!Trace})
+    and its offline analyzer ({!Trace_report}), the live in-flight
+    progress table ({!Heartbeat}) with its Prometheus/JSONL renderer
+    ({!Metrics}), snapshot diffing for bench baselines ({!Baseline}),
+    resource budgets ({!Budget}) and warn-and-continue file output
+    ({!Fileout}).
 
     The hot layers (SAT solver callers, the unroller, the BMC loop,
     the transformation pipelines and the verification engine) record
     into the registry and emit trace spans; tools expose it via
-    [--stats] / [--stats-json FILE] / [--trace FILE]. *)
+    [--stats] / [--stats-json FILE] / [--trace FILE] /
+    [--log-level] / [--log FILE], and [diam serve] additionally live
+    via its [metrics] protocol op and stall watchdog. *)
 
 module Stats = Stats
 module Report = Report
 module Budget = Budget
 module Fileout = Fileout
+module Log = Log
 module Trace = Trace
 module Trace_report = Trace_report
+module Heartbeat = Heartbeat
+module Metrics = Metrics
 module Baseline = Baseline

@@ -173,6 +173,14 @@ let drain st l =
     (fun () -> drain_locked st l)
 
 let push st l e =
+  (* an active correlation context stamps every event, so all spans
+     of one serve request are joinable with its log lines by id *)
+  let e =
+    match Log.current_corr () with
+    | Some c when not (List.mem_assoc "corr" e.args) ->
+      { e with args = e.args @ [ ("corr", String c) ] }
+    | _ -> e
+  in
   (* worker-domain events carry their origin as an attribute too, so
      format-agnostic consumers (trace-report) can partition *)
   let e =
@@ -300,6 +308,8 @@ let with_span_args ?(args = []) name f =
       end_span st l [ ("exception", String (Printexc.to_string e)) ];
       raise e)
 
+let to_json ?(tid = 0) e = json_of_event ~tid e
+
 (* ----- reading back ----- *)
 
 let read_all path =
@@ -318,14 +328,43 @@ let read_file path =
       | ' ' | '\t' | '\n' | '\r' -> first_nonspace (i + 1)
       | c -> Some c
   in
+  (* salvage pass for a capture cut off mid-write (crashed or killed
+     run): both exporters write one event object per line, so any
+     complete line is recoverable even when the file as a whole no
+     longer parses *)
+  let salvage () =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           let n = String.length l in
+           let l = if n > 0 && l.[n - 1] = ',' then String.sub l 0 (n - 1) else l in
+           if String.length l = 0 || l.[0] <> '{' then None
+           else
+             match event_of_json (Report.parse l) with
+             | e -> Some e
+             | exception Failure _ -> None)
+  in
   match first_nonspace 0 with
   | None -> []
   | Some '[' -> (
     match Report.parse text with
     | Report.List items -> List.map event_of_json items
-    | _ -> failwith "Trace.read_file: expected a trace-event array")
-  | Some _ ->
-    (* JSONL: one event per non-empty line *)
-    String.split_on_char '\n' text
-    |> List.filter (fun l -> String.trim l <> "")
-    |> List.map (fun l -> event_of_json (Report.parse l))
+    | _ -> failwith "Trace.read_file: expected a trace-event array"
+    | exception Failure _ -> salvage ())
+  | Some _ -> (
+    (* JSONL: one event per non-empty line; only a truncated FINAL
+       line is forgiven (that is the crash-safety contract), a
+       malformed line mid-file still fails loudly *)
+    let lines =
+      String.split_on_char '\n' text
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let rec parse_lines = function
+      | [] -> []
+      | [ last ] -> (
+        match event_of_json (Report.parse last) with
+        | e -> [ e ]
+        | exception Failure _ -> [])
+      | l :: rest -> event_of_json (Report.parse l) :: parse_lines rest
+    in
+    parse_lines lines)

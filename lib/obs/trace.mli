@@ -87,12 +87,27 @@ val instant : ?args:arg list -> string -> unit
 val emit : event -> unit
 (** Record a fully-formed event verbatim, timestamps included.  The
     recording primitive under {!with_span}/{!instant}; exposed so
-    tests can drive the exporters with chosen timestamps. *)
+    tests can drive the exporters with chosen timestamps.
+
+    When a {!Log.with_corr} correlation context is active, recorded
+    events additionally carry a ["corr"] string attribute (unless one
+    is already present), so a serve trace can be partitioned per
+    request by {!Trace_report}. *)
 
 (** {1 Reading back} *)
 
+val to_json : ?tid:int -> event -> Report.json
+(** The exact JSON object either exporter writes for this event
+    ([tid] defaults to 0, the main track) — for writers outside this
+    module (the serve flight recorder) that must produce files
+    {!read_file} and [diam trace-report] accept. *)
+
 val read_file : string -> event list
 (** Parse a trace produced by either exporter (sniffed from the
-    leading character) back into events, in file order.
-    @raise Failure on malformed input, [Sys_error] on unreadable
-    files. *)
+    leading character) back into events, in file order.  Truncated
+    captures from crashed or killed runs are salvaged rather than
+    refused: a JSONL file may lose its cut-off final line, and a
+    Chrome array missing its closing bracket is recovered
+    line-by-line (both exporters write one event per line).
+    @raise Failure on malformed input (a damaged line mid-file in an
+    otherwise intact capture), [Sys_error] on unreadable files. *)

@@ -88,6 +88,62 @@ let forest events =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
   |> List.concat_map (fun (_, spans) -> forest_one spans)
 
+(* ----- aggregation by correlation id -----
+
+   Serve traces stamp every span of a request with a "corr" attribute
+   (Trace.push under Log.with_corr); grouping by it turns one
+   interleaved multi-request capture into a per-request cost view. *)
+
+let corr_of (e : Trace.event) =
+  match List.assoc_opt "corr" e.Trace.args with
+  | Some (Trace.String c) -> Some c
+  | _ -> None
+
+type corr_row = {
+  c_corr : string;
+  c_spans : int;
+  c_first_us : float;
+  c_last_us : float;
+  c_busy_us : float;  (* summed self time, so nesting never double-counts *)
+}
+
+let corr_table roots =
+  let tbl : (string, corr_row ref) Hashtbl.t = Hashtbl.create 16 in
+  let rec visit n =
+    (match corr_of n.event with
+    | None -> ()
+    | Some c ->
+      let r =
+        match Hashtbl.find_opt tbl c with
+        | Some r -> r
+        | None ->
+          let r =
+            ref
+              {
+                c_corr = c;
+                c_spans = 0;
+                c_first_us = n.event.Trace.ts_us;
+                c_last_us = span_end n.event;
+                c_busy_us = 0.;
+              }
+          in
+          Hashtbl.replace tbl c r;
+          r
+      in
+      r :=
+        {
+          !r with
+          c_spans = !r.c_spans + 1;
+          c_first_us = Float.min !r.c_first_us n.event.Trace.ts_us;
+          c_last_us = Float.max !r.c_last_us (span_end n.event);
+          c_busy_us = !r.c_busy_us +. n.self_us;
+        });
+    List.iter visit n.children
+  in
+  List.iter visit roots;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+  |> List.sort (fun a b -> compare a.c_corr b.c_corr)
+
 (* ----- aggregation by name ----- *)
 
 type agg = {
@@ -214,38 +270,58 @@ let pp_critical_path ppf roots =
     walk "" root root.event.Trace.dur_us
 
 let pp ?(top = 12) ppf events =
-  let spans =
-    List.filter (fun (e : Trace.event) -> e.Trace.kind = Trace.Span) events
-  in
-  let instants = List.length events - List.length spans in
-  let wall =
-    List.fold_left (fun acc e -> Float.max acc (span_end e)) 0. spans
-  in
-  Format.fprintf ppf "trace: %d spans, %d instants, %.3fms wall@."
-    (List.length spans) instants (ms wall);
-  let roots = forest events in
-  (match by_name roots with
-  | [] -> ()
-  | aggs ->
-    Format.fprintf ppf "@.top spans by self time:@.";
-    Format.fprintf ppf "  %-32s %8s %12s %12s %12s@." "name" "calls"
-      "self(ms)" "total(ms)" "max(ms)";
-    List.iteri
-      (fun i ((name, a) : string * agg) ->
-        if i < top then
-          Format.fprintf ppf "  %-32s %8d %12.3f %12.3f %12.3f@." name a.calls
-            (ms a.self) (ms a.total) (ms a.max))
-      aggs;
-    Format.fprintf ppf "@.";
-    pp_critical_path ppf roots);
-  match depth_table events with
-  | [] -> ()
-  | rows ->
-    Format.fprintf ppf "@.per-depth BMC cost:@.";
-    Format.fprintf ppf "  %6s %6s %12s %12s %12s %14s@." "depth" "calls"
-      "total(ms)" "max(ms)" "conflicts" "propagations";
-    List.iter
-      (fun r ->
-        Format.fprintf ppf "  %6d %6d %12.3f %12.3f %12d %14d@." r.depth
-          r.calls (ms r.total_us) (ms r.max_us) r.conflicts r.propagations)
-      rows
+  if events = [] then
+    (* a clear verdict beats a table of zeroes: the capture is empty,
+       never started, or was truncated beyond salvage *)
+    Format.fprintf ppf
+      "trace: no events (empty or truncated capture — nothing was \
+       recorded, or the file lost every complete line)@."
+  else begin
+    let spans =
+      List.filter (fun (e : Trace.event) -> e.Trace.kind = Trace.Span) events
+    in
+    let instants = List.length events - List.length spans in
+    let wall =
+      List.fold_left (fun acc e -> Float.max acc (span_end e)) 0. spans
+    in
+    Format.fprintf ppf "trace: %d spans, %d instants, %.3fms wall@."
+      (List.length spans) instants (ms wall);
+    let roots = forest events in
+    (match by_name roots with
+    | [] -> ()
+    | aggs ->
+      Format.fprintf ppf "@.top spans by self time:@.";
+      Format.fprintf ppf "  %-32s %8s %12s %12s %12s@." "name" "calls"
+        "self(ms)" "total(ms)" "max(ms)";
+      List.iteri
+        (fun i ((name, a) : string * agg) ->
+          if i < top then
+            Format.fprintf ppf "  %-32s %8d %12.3f %12.3f %12.3f@." name a.calls
+              (ms a.self) (ms a.total) (ms a.max))
+        aggs;
+      Format.fprintf ppf "@.";
+      pp_critical_path ppf roots);
+    (match corr_table roots with
+    | [] -> ()
+    | rows ->
+      Format.fprintf ppf "@.per-request view (correlation ids):@.";
+      Format.fprintf ppf "  %-20s %8s %12s %12s@." "corr" "spans" "busy(ms)"
+        "wall(ms)";
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "  %-20s %8d %12.3f %12.3f@." r.c_corr r.c_spans
+            (ms r.c_busy_us)
+            (ms (r.c_last_us -. r.c_first_us)))
+        rows);
+    match depth_table events with
+    | [] -> ()
+    | rows ->
+      Format.fprintf ppf "@.per-depth BMC cost:@.";
+      Format.fprintf ppf "  %6s %6s %12s %12s %12s %14s@." "depth" "calls"
+        "total(ms)" "max(ms)" "conflicts" "propagations";
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "  %6d %6d %12.3f %12.3f %12d %14d@." r.depth
+            r.calls (ms r.total_us) (ms r.max_us) r.conflicts r.propagations)
+        rows
+  end

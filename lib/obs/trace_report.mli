@@ -5,7 +5,10 @@
     - the top-K span names by {e self} time (own duration minus the
       duration of directly nested spans),
     - the critical path (the longest root span, descending into the
-      longest child at each level), and
+      longest child at each level),
+    - the per-request view, grouping spans by their ["corr"]
+      correlation-id attribute when present (serve traces and flight
+      recorder dumps stamp every span of a request), and
     - the per-depth BMC cost table, aggregated from ["bmc.depth"]
       spans and their [depth]/[conflicts]/[propagations] attributes.
 
@@ -20,6 +23,18 @@ type node = {
 val forest : Trace.event list -> node list
 (** Span nesting reconstructed from timestamp containment (events on
     one track, as both exporters produce). *)
+
+type corr_row = {
+  c_corr : string;
+  c_spans : int;
+  c_first_us : float;
+  c_last_us : float;
+  c_busy_us : float;  (** summed self time — nesting never double-counts *)
+}
+
+val corr_table : node list -> corr_row list
+(** Per-correlation-id aggregation over a forest, sorted by id; empty
+    when no span carries a ["corr"] attribute. *)
 
 type depth_row = {
   depth : int;
@@ -36,4 +51,6 @@ val depth_table : Trace.event list -> depth_row list
 
 val pp : ?top:int -> Format.formatter -> Trace.event list -> unit
 (** The full report: summary line, top-[top] (default 12) names by
-    self time, critical path, per-depth table. *)
+    self time, critical path, per-request view (when correlation ids
+    are present), per-depth table.  An empty event list renders a
+    single clear "no events" line instead of empty tables. *)

@@ -166,6 +166,7 @@ let num_restarts s = s.restarts
 let num_reduce_dbs s = s.reduce_dbs
 let num_clauses s = Vec.size s.clauses
 let num_learnts s = Vec.size s.learnts
+let trail_depth s = Vec.size s.trail
 let num_simplifies s = s.simplifies
 let num_subsumed s = s.subsumed
 let num_strengthened s = s.strengthened

@@ -121,6 +121,11 @@ val num_clauses : t -> int
 val num_learnts : t -> int
 (** Live learnt clauses. *)
 
+val trail_depth : t -> int
+(** Literals currently assigned (all decision levels).  A live
+    progress signal for heartbeat snapshots: meaningful mid-[solve]
+    when read from a [should_stop] callback, 0 between solves. *)
+
 val num_watch_entries : t -> int
 (** Total entries across all watch lists; with every clause watched
     twice this is [2 * (num_clauses + num_learnts)] between solves. *)

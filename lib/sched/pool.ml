@@ -26,6 +26,12 @@ let () = Obs.Stats.declare schema
 
 let size t = Array.length t.workers
 
+let queued t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f

@@ -36,6 +36,11 @@ val create : ?capacity:int -> jobs:int -> unit -> t
 val size : t -> int
 (** Number of worker domains. *)
 
+val queued : t -> int
+(** Jobs currently waiting in the queue (not the ones already running)
+    — a point-in-time telemetry probe for the serve flight recorder;
+    the value can be stale by the time the caller reads it. *)
+
 val submit : t -> (unit -> unit) -> unit
 (** Enqueue a job; blocks while the queue is full.  A job that raises
     does not kill its worker: the exception is counted

@@ -103,7 +103,19 @@ let budget_of ?override (r : Request.t) =
    "b:<fp>:..." embed the 32-hex-char MD5 right after the kind tag *)
 let fp_of_vkey vkey = String.sub vkey 2 32
 
-let run ~cache ~chaos_seed ?budget (r : Request.t) =
+(* fallback correlation ids for front-ends that pass none (diam
+   batch); the server passes deterministic "req-<seq>" ids instead *)
+let corr_seq = Atomic.make 0
+
+let run ~cache ~chaos_seed ?budget ?corr (r : Request.t) =
+  let corr =
+    match corr with
+    | Some c -> c
+    | None -> Printf.sprintf "exec-%d" (Atomic.fetch_and_add corr_seq 1)
+  in
+  let id_json =
+    match r.Request.id with Some s -> Json.String s | None -> Json.Null
+  in
   let go () =
     match r.Request.source with
     | None -> Failed { code = "bad-request"; detail = "missing netlist" }
@@ -213,6 +225,12 @@ let run ~cache ~chaos_seed ?budget (r : Request.t) =
                 in
                 let purged = Bcache.purge cache (fun k _ -> holds_fp k) in
                 Obs.Stats.count "serve.cache.poisoned_purged" (max 1 purged);
+                Obs.Log.error "serve.cache.poisoned"
+                  [
+                    ("id", id_json);
+                    ("fingerprint", Json.String fp);
+                    ("purged", Json.Int purged);
+                  ];
                 Verdict
                   {
                     verdict = fresh;
@@ -232,9 +250,35 @@ let run ~cache ~chaos_seed ?budget (r : Request.t) =
   (* The per-request exception barrier: NOTHING a request does — parse
      failure, solver crash, injected fault — may take the serving loop
      down.  Anything escaping the handlers above becomes a structured
-     "internal" error response. *)
-  match go () with
-  | outcome -> outcome
-  | exception e ->
-    Obs.Stats.count "serve.request_error" 1;
-    Failed { code = "internal"; detail = Printexc.to_string e }
+     "internal" error response.
+
+     The whole request runs under its correlation context (log lines,
+     trace spans and heartbeats all join on [corr]) and is visible in
+     the in-flight table from first to last instruction. *)
+  Obs.Log.with_corr corr (fun () ->
+      Obs.Heartbeat.register ~phase:"start" corr;
+      Fun.protect
+        ~finally:(fun () -> Obs.Heartbeat.finish corr)
+        (fun () ->
+          let outcome =
+            match go () with
+            | outcome -> outcome
+            | exception e ->
+              Obs.Stats.count "serve.request_error" 1;
+              Failed { code = "internal"; detail = Printexc.to_string e }
+          in
+          (* formerly-silent failure paths become log events; the
+             response itself is unchanged *)
+          (match outcome with
+          | Failed { code = "internal"; detail } ->
+            Obs.Log.error "serve.request.crashed"
+              [ ("id", id_json); ("detail", Json.String detail) ]
+          | Failed { code; detail } ->
+            Obs.Log.warn "serve.request.failed"
+              [
+                ("id", id_json);
+                ("code", Json.String code);
+                ("detail", Json.String detail);
+              ]
+          | Verdict _ -> ());
+          outcome))

@@ -28,6 +28,7 @@ val run :
   cache:Core.Bcache.t ->
   chaos_seed:int option ->
   ?budget:Obs.Budget.t ->
+  ?corr:string ->
   Request.t ->
   outcome
 (** Execute one [Verify] request: parse the netlist, resolve the
@@ -37,6 +38,15 @@ val run :
     [budget] overrides the request's own timeout — [diam batch] uses
     it to slice conflict/BDD allowances the wire format has no field
     for.
+
+    The request runs under the correlation id [corr] (the server
+    passes its deterministic ["req-<seq>"]; absent, one is
+    generated): every log line, trace span and solver heartbeat it
+    produces carries the id, and the request is registered in the
+    {!Obs.Heartbeat} in-flight table for its whole execution.
+    Failure outcomes are additionally logged — [Failed] with
+    ["internal"] at error level (a crossed exception barrier), every
+    other code at warn.
 
     [chaos_seed] armed (the server read [DIAMBOUND_CHAOS_SEED])
     enables two drill behaviors.  A request's ["chaos"] field injects

@@ -2,11 +2,12 @@ module Json = Obs.Report
 
 type source = Inline of string | File of string
 
-type op = Verify | Ping | Stall | Drain | Poison | Shutdown
+type op = Verify | Ping | Metrics | Stall | Drain | Poison | Shutdown
 
 let op_name = function
   | Verify -> "verify"
   | Ping -> "ping"
+  | Metrics -> "metrics"
   | Stall -> "stall"
   | Drain -> "drain"
   | Poison -> "poison"
@@ -28,6 +29,7 @@ type error = { err_id : string option; code : string; detail : string }
 let op_of_name = function
   | "verify" -> Some Verify
   | "ping" -> Some Ping
+  | "metrics" -> Some Metrics
   | "stall" -> Some Stall
   | "drain" -> Some Drain
   | "poison" -> Some Poison

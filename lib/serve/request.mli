@@ -4,7 +4,8 @@
     Request fields (all but the netlist optional):
     {v
     { "id": <string>,            echoed on the response (null if absent)
-      "op": "verify" | "ping" | "stall" | "drain" | "poison" | "shutdown",
+      "op": "verify" | "ping" | "metrics" | "stall" | "drain"
+            | "poison" | "shutdown",
       "netlist": <bench text> | "netlist_file": <path>,   (exclusive)
       "target": <name>,          defaults to the netlist's only target
       "timeout_ms": <int>,       per-request budget (0 = already expired)
@@ -19,7 +20,11 @@
 
 type source = Inline of string | File of string
 
-type op = Verify | Ping | Stall | Drain | Poison | Shutdown
+type op = Verify | Ping | Metrics | Stall | Drain | Poison | Shutdown
+(** [Metrics] answers with the current Prometheus text exposition
+    (counters, spans, dist percentiles, per-request heartbeat gauges)
+    in a ["text"] field — the one response whose body is
+    time-dependent, so determinism drills must exclude it. *)
 
 val op_name : op -> string
 

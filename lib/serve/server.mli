@@ -28,7 +28,21 @@
     Drill ops: ["stall"] parks a worker until the next ["drain"] (or
     EOF) to saturate the queue deterministically; ["poison"] kills a
     worker after responding; both require their regime (stall needs
-    [queue_limit], poison needs chaos arming). *)
+    [queue_limit], poison needs chaos arming).
+
+    Live telemetry (DESIGN.md §8): every request is executed under a
+    deterministic correlation id ["req-<seq>"] joining its log lines,
+    trace spans and solver heartbeats; formerly-silent error paths
+    (bad request, shed, worker respawn, request crash, poisoned-cache
+    purge) are logged through {!Obs.Log}; the ["metrics"] op answers
+    with the Prometheus exposition of the whole stats snapshot plus
+    per-request heartbeat gauges.  With [stall_window_s] set, a
+    monitor domain flags any in-flight request whose heartbeat has
+    not advanced within the window — warn log with its correlation
+    id, plus a crash-safe flight-recorder dump ([flight_path], Trace
+    JSONL schema, readable by [diam trace-report]).  Telemetry only
+    observes: stdout carries protocol responses exclusively, and
+    neither the watchdog nor logging can alter a verdict. *)
 
 type config = {
   jobs : int;  (** worker domains per session (clamped to >= 1) *)
@@ -39,10 +53,19 @@ type config = {
   chaos_seed : int option;
       (** arms the chaos drill ops and the differential replay of
           cache hits; [None] in production *)
+  stall_window_s : float option;
+      (** watchdog stall window, seconds; [Some _] spawns the monitor
+          domain *)
+  flight_path : string option;
+      (** flight-recorder sink for watchdog dumps (appended, Trace
+          JSONL schema) *)
+  metrics_interval_s : float option;
+      (** periodic ["metrics"] JSONL emission through the log sink *)
 }
 
 val default_config : config
-(** [jobs = 1], blocking admission, 64 MB cache, chaos off. *)
+(** [jobs = 1], blocking admission, 64 MB cache, chaos off, no
+    watchdog, no periodic metrics. *)
 
 type ending = Eof | Shutdown_requested
 

@@ -292,6 +292,51 @@ grep -q '"serve.shed": *[1-9]' "$tmpdir/sat1.json" \
   || { echo "ci: shed counter missing (FAIL)"; exit 1; }
 echo "ci: serve saturation ok"
 
+# Telemetry smoke: arm the watchdog and park a worker with the chaos
+# stall op while wall time elapses (the sleep happens between request
+# lines, so the parked worker's heartbeat goes idle past the window).
+# The monitor must dump a flight recording (watchdog.dumps >= 1) that
+# trace-report can read back grouped by correlation id, the warn line
+# must carry the parked request's corr, and — with logging at its
+# noisiest — stdout must stay byte-identical across --jobs values
+# (queue-limit 64 so no shed outcome can differ either).
+tel_corpus() {
+  echo '{"id":"st","op":"stall"}'
+  sleep 1
+  echo '{"op":"drain"}'
+  echo '{"id":"v1","op":"verify","netlist_file":"examples/counter3.bench"}'
+  echo '{"id":"v2","op":"verify","netlist_file":"examples/ring5.bench","target":"two_hot"}'
+}
+for jobs in 1 2; do
+  tel_corpus | timeout 300 dune exec bin/diam_tool.exe -- serve \
+    --jobs "$jobs" --queue-limit 64 --stall-window 0.3 \
+    --flight-recorder "$tmpdir/flight$jobs.jsonl" \
+    --log-level debug --log "$tmpdir/telemetry$jobs.log" \
+    --stats-json "$tmpdir/telemetry$jobs.json" \
+    > "$tmpdir/telemetry$jobs.out" \
+    || { echo "ci: telemetry drill (--jobs $jobs) crashed (FAIL)"; exit 1; }
+done
+diff -u "$tmpdir/telemetry1.out" "$tmpdir/telemetry2.out" \
+  || { echo "ci: responses differ across --jobs with logging on (FAIL)"; exit 1; }
+grep -q '"watchdog.dumps": *[1-9]' "$tmpdir/telemetry1.json" \
+  || { echo "ci: watchdog never dumped a flight (FAIL)"; exit 1; }
+grep '"event":"watchdog.stall"' "$tmpdir/telemetry1.log" \
+  | grep -q '"corr":"req-0"' \
+  || { echo "ci: stall warn missing its correlation id (FAIL)"; exit 1; }
+timeout 60 dune exec bin/diam_tool.exe -- trace-report \
+  "$tmpdir/flight1.jsonl" > "$tmpdir/flight.report" \
+  || { echo "ci: flight recording unreadable (FAIL)"; exit 1; }
+grep -q "req-0" "$tmpdir/flight.report" \
+  || { echo "ci: flight report lost the stalled request (FAIL)"; exit 1; }
+# the metrics op, separately: its exposition text is time-dependent,
+# so it stays out of the byte-diff corpus above
+echo '{"id":"m","op":"metrics"}' | timeout 60 dune exec bin/diam_tool.exe -- \
+  serve > "$tmpdir/metrics.out" \
+  || { echo "ci: metrics op crashed (FAIL)"; exit 1; }
+grep -q '# TYPE diambound_' "$tmpdir/metrics.out" \
+  || { echo "ci: metrics op exposition malformed (FAIL)"; exit 1; }
+echo "ci: telemetry smoke ok"
+
 # Self-baseline: a snapshot diffed against itself is compatible by
 # construction and must show zero regressions at any threshold.
 timeout 300 dune exec bench/main.exe -- baseline \

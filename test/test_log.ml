@@ -1,0 +1,158 @@
+(* Obs.Log: the leveled JSONL logger behind the serve telemetry —
+   level filtering, parse-back of emitted lines, the correlation
+   context, the file sink, and the log.* counters. *)
+
+module Log = Obs.Log
+module Report = Obs.Report
+
+let counter name = Obs.Stats.counter_value (Obs.Stats.counter name)
+
+let with_tmp f =
+  let path = Filename.temp_file "diambound_log" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* every case routes the sink to a temp file and restores defaults, so
+   no test (or alcotest's own stderr) is polluted *)
+let with_log f =
+  with_tmp (fun path ->
+      Log.set_file path;
+      Fun.protect ~finally:Log.reset (fun () -> f path))
+
+let read_lines path =
+  Log.to_stderr ();
+  (* close the sink so the file is complete *)
+  In_channel.with_open_text path In_channel.input_lines
+
+let field line name =
+  match Report.parse line with
+  | Report.Obj fields -> List.assoc_opt name fields
+  | _ -> Alcotest.failf "log line is not an object: %s" line
+
+let test_level_names () =
+  Helpers.check_bool "roundtrip through levels" true
+    (List.for_all
+       (fun (name, l) -> Log.level_of_string name = Some l)
+       Log.levels);
+  Helpers.check_bool "warning alias" true
+    (Log.level_of_string "WARNING" = Some Log.Warn);
+  Helpers.check_bool "unknown rejected" true (Log.level_of_string "loud" = None)
+
+let test_level_filtering () =
+  with_log (fun path ->
+      Log.set_level Log.Warn;
+      Helpers.check_bool "error enabled at warn" true (Log.enabled Log.Error);
+      Helpers.check_bool "debug disabled at warn" false (Log.enabled Log.Debug);
+      Log.error "t.err" [];
+      Log.warn "t.warn" [];
+      Log.info "t.info" [];
+      Log.debug "t.debug" [];
+      Log.set_level Log.Debug;
+      Log.debug "t.debug2" [];
+      let events =
+        List.map
+          (fun l ->
+            match field l "event" with
+            | Some (Report.String e) -> e
+            | _ -> Alcotest.failf "no event in %s" l)
+          (read_lines path)
+      in
+      Helpers.check
+        Alcotest.(list string)
+        "threshold applied" [ "t.err"; "t.warn"; "t.debug2" ] events)
+
+let test_lines_parse_back () =
+  with_log (fun path ->
+      Log.warn "t.shape"
+        [ ("detail", Report.String "a \"quoted\" thing"); ("n", Report.Int 3) ];
+      match read_lines path with
+      | [ line ] ->
+        Helpers.check_bool "level field" true
+          (field line "level" = Some (Report.String "warn"));
+        Helpers.check_bool "event field" true
+          (field line "event" = Some (Report.String "t.shape"));
+        Helpers.check_bool "custom fields survive" true
+          (field line "n" = Some (Report.Int 3));
+        Helpers.check_bool "ts is a number" true
+          (match field line "ts" with Some (Report.Float _) -> true | _ -> false);
+        Helpers.check_bool "no corr outside a context" true
+          (field line "corr" = None)
+      | l -> Alcotest.failf "expected one line, got %d" (List.length l))
+
+let test_corr_context () =
+  with_log (fun path ->
+      Log.warn "t.outside" [];
+      Log.with_corr "req-3" (fun () ->
+          Log.warn "t.inside" [];
+          Helpers.check_bool "context visible" true
+            (Log.current_corr () = Some "req-3");
+          Log.with_corr "req-4" (fun () -> Log.warn "t.nested" []));
+      Helpers.check_bool "context restored" true (Log.current_corr () = None);
+      match read_lines path with
+      | [ outside; inside; nested ] ->
+        Helpers.check_bool "no corr outside" true (field outside "corr" = None);
+        Helpers.check_bool "corr inside" true
+          (field inside "corr" = Some (Report.String "req-3"));
+        Helpers.check_bool "nesting shadows" true
+          (field nested "corr" = Some (Report.String "req-4"))
+      | l -> Alcotest.failf "expected three lines, got %d" (List.length l))
+
+let test_force_bypasses_threshold () =
+  with_log (fun path ->
+      Log.set_level Log.Error;
+      Log.info "t.suppressed" [];
+      Log.force Log.Info "t.forced" [];
+      match read_lines path with
+      | [ line ] ->
+        Helpers.check_bool "only the forced line" true
+          (field line "event" = Some (Report.String "t.forced"))
+      | l -> Alcotest.failf "expected one line, got %d" (List.length l))
+
+let test_counters_bump () =
+  with_log (fun _ ->
+      let before = counter "log.warn" in
+      Log.warn "t.counted" [];
+      Log.debug "t.filtered" [];
+      (* a filtered line is not emitted and not counted *)
+      Helpers.check_int "warn counted once" (before + 1) (counter "log.warn"))
+
+let test_unopenable_sink_nonfatal () =
+  Fun.protect ~finally:Log.reset (fun () ->
+      Log.set_file "/nonexistent-dir/log.jsonl";
+      (* sink unchanged (stderr); emitting must not raise *)
+      Log.error "t.survives" [])
+
+let test_domain_lines_never_interleave () =
+  with_log (fun path ->
+      let workers =
+        Array.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to 50 do
+                  Log.warn "t.mt"
+                    [ ("d", Report.Int d); ("i", Report.Int i) ]
+                done))
+      in
+      Array.iter Domain.join workers;
+      let lines = read_lines path in
+      Helpers.check_int "every line arrived whole" 200 (List.length lines);
+      List.iter
+        (fun l ->
+          match Report.parse l with
+          | Report.Obj _ -> ()
+          | _ | (exception Failure _) ->
+            Alcotest.failf "interleaved/corrupt line: %s" l)
+        lines)
+
+let suite =
+  [
+    Alcotest.test_case "level names" `Quick test_level_names;
+    Alcotest.test_case "level filtering" `Quick test_level_filtering;
+    Alcotest.test_case "lines parse back as JSON" `Quick test_lines_parse_back;
+    Alcotest.test_case "correlation context" `Quick test_corr_context;
+    Alcotest.test_case "force bypasses the threshold" `Quick
+      test_force_bypasses_threshold;
+    Alcotest.test_case "log.* counters" `Quick test_counters_bump;
+    Alcotest.test_case "unopenable sink is nonfatal" `Quick
+      test_unopenable_sink_nonfatal;
+    Alcotest.test_case "domain lines never interleave" `Quick
+      test_domain_lines_never_interleave;
+  ]

@@ -14,6 +14,7 @@ let () =
       ("simplify", Test_simplify.suite);
       ("proof", Test_proof.suite);
       ("stats", Test_stats.suite);
+      ("log", Test_log.suite);
       ("trace", Test_trace.suite);
       ("baseline", Test_baseline.suite);
       ("budget", Test_budget.suite);

@@ -391,6 +391,194 @@ let test_session_chaos_never_caches_faults () =
   check_contains "clean request gets the true verdict" {|"verdict":"violated"|}
     (List.nth out 2)
 
+(* ---- live telemetry ---- *)
+
+let with_tmp_files n f =
+  let paths =
+    List.init n (fun _ -> Filename.temp_file "diambound_serve" ".jsonl")
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths)
+    (fun () -> f paths)
+
+let log_events path =
+  Obs.Log.to_stderr ();
+  (* close the sink before reading *)
+  In_channel.with_open_text path In_channel.input_lines
+  |> List.filter_map (fun line ->
+         match Obs.Report.parse line with
+         | Obs.Report.Obj fields -> (
+           match List.assoc_opt "event" fields with
+           | Some (Obs.Report.String e) -> Some (e, fields)
+           | _ -> None)
+         | _ -> None
+         | exception Failure _ ->
+           Alcotest.failf "unparseable log line: %s" line)
+
+let test_session_metrics_op () =
+  let lines =
+    [
+      inline_verify ~id:"v" ();
+      {|{"id":"d","op":"drain"}|};
+      {|{"id":"m","op":"metrics"}|};
+    ]
+  in
+  let _, out = run_lines Server.default_config lines in
+  Helpers.check_int "all answered" 3 (List.length out);
+  let m = List.nth out 2 in
+  check_contains "metrics is ok" {|"ok":true|} m;
+  (* the embedded exposition carries the declared serve counters and
+     the per-request heartbeat series (TYPE headers always present) *)
+  check_contains "prometheus text" "# TYPE diambound_" m;
+  check_contains "heartbeat series declared" "diambound_heartbeat_conflicts" m;
+  check_contains "serve counters exported" "diambound_serve_heartbeat_registered"
+    m;
+  check_contains "spans exported" "_seconds_total" m
+
+let test_session_watchdog_flight_recorder () =
+  (* the chaos stall drill end-to-end: a parked worker never beats, so
+     the monitor must flag it, log a warn with its correlation id, and
+     dump a flight-recorder snapshot trace-report can read *)
+  with_tmp_files 2 @@ function
+  | [ flight; log_path ] ->
+    Obs.Heartbeat.clear ();
+    Obs.Log.set_file log_path;
+    Fun.protect ~finally:Obs.Log.reset @@ fun () ->
+    (try Sys.remove flight with Sys_error _ -> ());
+    let cfg =
+      {
+        Server.default_config with
+        Server.jobs = 1;
+        queue_limit = Some 2;
+        stall_window_s = Some 0.05;
+        flight_path = Some flight;
+        metrics_interval_s = Some 0.05;
+      }
+    in
+    let stalls_before = counter "watchdog.stalls" in
+    let dumps_before = counter "watchdog.dumps" in
+    let step = ref 0 in
+    let input () =
+      incr step;
+      match !step with
+      | 1 -> Some {|{"id":"st","op":"stall"}|}
+      | 2 ->
+        (* give the 50ms window time to elapse while the worker parks *)
+        Unix.sleepf 0.3;
+        Some {|{"id":"d","op":"drain"}|}
+      | _ -> None
+    in
+    let out = ref [] in
+    let ending =
+      Server.run_session cfg ~input ~output:(fun l -> out := l :: !out) ()
+    in
+    Helpers.check_bool "session ended at eof" true (ending = Server.Eof);
+    Helpers.check_int "both requests answered" 2 (List.length !out);
+    Helpers.check_bool "stall flagged" true
+      (counter "watchdog.stalls" > stalls_before);
+    Helpers.check_bool "flight recorded" true
+      (counter "watchdog.dumps" > dumps_before);
+    (* the warn line carries the parked request's correlation id *)
+    let events = log_events log_path in
+    let stall_warns =
+      List.filter (fun (e, _) -> e = "watchdog.stall") events
+    in
+    Helpers.check_bool "watchdog warn logged" true (stall_warns <> []);
+    List.iter
+      (fun (_, fields) ->
+        Helpers.check_bool "warn level" true
+          (List.assoc_opt "level" fields = Some (Obs.Report.String "warn"));
+        Helpers.check_bool "correlated" true
+          (List.assoc_opt "corr" fields = Some (Obs.Report.String "req-0"));
+        Helpers.check_bool "phase recorded" true
+          (List.assoc_opt "phase" fields
+          = Some (Obs.Report.String "stall.parked")))
+      stall_warns;
+    Helpers.check_bool "periodic metrics emitted" true
+      (List.exists (fun (e, _) -> e = "metrics") events);
+    (* the dump parses as a trace and names the stalled request *)
+    let dumped = Obs.Trace.read_file flight in
+    Helpers.check_bool "dump is non-empty" true (dumped <> []);
+    let corr_of (e : Obs.Trace.event) =
+      List.assoc_opt "corr" e.Obs.Trace.args
+    in
+    Helpers.check_bool "stalled request in the dump" true
+      (List.exists
+         (fun (e : Obs.Trace.event) ->
+           e.Obs.Trace.name = "flight.request"
+           && corr_of e = Some (Obs.Trace.String "req-0")
+           && List.assoc_opt "stalled" e.Obs.Trace.args
+              = Some (Obs.Trace.Bool true))
+         dumped);
+    Helpers.check_bool "pool state in the dump" true
+      (List.exists
+         (fun (e : Obs.Trace.event) -> e.Obs.Trace.name = "flight.state")
+         dumped);
+    (* and trace-report renders it (the per-request table shows req-0) *)
+    let report = Format.asprintf "%a" (Obs.Trace_report.pp ~top:5) dumped in
+    check_contains "report groups by corr" "req-0" report
+  | _ -> assert false
+
+let test_session_stdout_is_protocol_only () =
+  (* with logging at its noisiest, stdout must still carry exactly the
+     protocol responses: every line a JSON object with protocol keys,
+     none of the log schema *)
+  with_tmp_files 1 @@ function
+  | [ log_path ] ->
+    Obs.Log.set_file log_path;
+    Obs.Log.set_level Obs.Log.Debug;
+    Fun.protect ~finally:Obs.Log.reset @@ fun () ->
+    let lines =
+      [
+        {|{"id":"p","op":"ping"}|};
+        "garbage line";
+        inline_verify ~id:"v" ();
+        {|{"id":"m","op":"metrics"}|};
+      ]
+    in
+    let _, out = run_lines Server.default_config lines in
+    Helpers.check_int "one response per request" 4 (List.length out);
+    List.iter
+      (fun line ->
+        match Obs.Report.parse line with
+        | Obs.Report.Obj fields ->
+          Helpers.check_bool "response, not a log record" true
+            (List.assoc_opt "level" fields = None
+            && List.assoc_opt "ts" fields = None)
+        | _ -> Alcotest.failf "non-object on stdout: %s" line
+        | exception Failure _ ->
+          Alcotest.failf "non-JSON on stdout: %s" line)
+      out;
+    (* the noise went to the sink: at least the bad-request warn *)
+    let events = log_events log_path in
+    Helpers.check_bool "parse error logged" true
+      (List.exists (fun (e, _) -> e = "serve.bad_request") events)
+  | _ -> assert false
+
+let test_session_logging_does_not_change_bytes () =
+  (* the same corpus with logging off and at debug: byte-identical
+     responses (metrics excluded — its text is time-dependent) *)
+  let lines =
+    [
+      inline_verify ~id:"a" ();
+      "garbage";
+      {|{"id":"d","op":"drain"}|};
+      inline_verify ~id:"b" ~bench:violated_bench ();
+    ]
+  in
+  let quiet = run_lines Server.default_config lines in
+  with_tmp_files 1 @@ function
+  | [ log_path ] ->
+    Obs.Log.set_file log_path;
+    Obs.Log.set_level Obs.Log.Debug;
+    Fun.protect ~finally:Obs.Log.reset @@ fun () ->
+    let noisy =
+      run_lines { Server.default_config with Server.jobs = 2 } lines
+    in
+    Helpers.check_bool "logging & jobs leave the bytes alone" true
+      (snd quiet = snd noisy)
+  | _ -> assert false
+
 let test_session_eof_releases_stalls () =
   (* EOF is an implicit drain: a parked worker must be released and
      answered, not joined forever *)
@@ -438,4 +626,12 @@ let suite =
       test_session_chaos_never_caches_faults;
     Alcotest.test_case "session: eof releases stalled workers" `Quick
       test_session_eof_releases_stalls;
+    Alcotest.test_case "session: metrics op renders prometheus" `Quick
+      test_session_metrics_op;
+    Alcotest.test_case "session: watchdog records stalled flights" `Quick
+      test_session_watchdog_flight_recorder;
+    Alcotest.test_case "session: stdout carries protocol only" `Quick
+      test_session_stdout_is_protocol_only;
+    Alcotest.test_case "session: logging leaves response bytes alone" `Quick
+      test_session_logging_does_not_change_bytes;
   ]

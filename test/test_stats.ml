@@ -222,6 +222,34 @@ let test_multi_domain_counters () =
       (List.mem_assoc name snap.Stats.spans)
   done
 
+(* satellite: dist reservoirs are shared (mutex-guarded), so the
+   folded percentile counters must not depend on WHICH domain recorded
+   each sample — scatter the same samples over 4 worker domains and
+   demand the exact counters of the single-domain recording *)
+let qcheck_dist_domain_independent =
+  Helpers.qtest ~count:25 "dist percentiles are domain-independent"
+    QCheck.(list_of_size Gen.(int_range 1 64) (int_bound 10_000))
+    (fun samples ->
+      fresh ();
+      List.iter (fun v -> Stats.dist "qc.single" (float_of_int v)) samples;
+      let chunks = Array.make 4 [] in
+      List.iteri (fun i v -> chunks.(i mod 4) <- v :: chunks.(i mod 4)) samples;
+      let workers =
+        Array.map
+          (fun chunk ->
+            Domain.spawn (fun () ->
+                List.iter
+                  (fun v -> Stats.dist "qc.multi" (float_of_int v))
+                  chunk))
+          chunks
+      in
+      Array.iter Domain.join workers;
+      let snap = Stats.snapshot () in
+      let get name sfx = List.assoc (name ^ sfx) snap.Stats.counters in
+      List.for_all
+        (fun sfx -> get "qc.single" sfx = get "qc.multi" sfx)
+        [ ".count"; ".p50"; ".p90"; ".p99"; ".max" ])
+
 let test_pp_human_smoke () =
   fresh ();
   Stats.count "t.k" 2;
@@ -250,5 +278,6 @@ let suite =
       test_engine_populates_stats;
     Alcotest.test_case "multi-domain counters merge" `Quick
       test_multi_domain_counters;
+    qcheck_dist_domain_independent;
     Alcotest.test_case "pp_human smoke" `Quick test_pp_human_smoke;
   ]

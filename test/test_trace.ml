@@ -245,6 +245,111 @@ let test_multi_domain_capture () =
     (fun e -> Helpers.check_int "main stays domain 0" 0 (domain_of e))
     (by_name "main")
 
+let test_corr_attr_attached () =
+  (* spans emitted under a correlation context carry the "corr"
+     attribute, without any caller plumbing *)
+  let events =
+    with_tmp (fun path ->
+        Trace.start ~format:Trace.Jsonl path;
+        Obs.Log.with_corr "req-9" (fun () ->
+            Trace.with_span "work" (fun () -> Trace.instant "tick"));
+        Trace.with_span "outside" (fun () -> ());
+        Trace.stop ();
+        Trace.read_file path)
+  in
+  let corr_of (e : Trace.event) = List.assoc_opt "corr" e.Trace.args in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.name with
+      | "work" | "tick" ->
+        Helpers.check_bool (e.Trace.name ^ " tagged") true
+          (corr_of e = Some (Trace.String "req-9"))
+      | _ ->
+        Helpers.check_bool "untagged outside the context" true
+          (corr_of e = None))
+    events;
+  Helpers.check_int "all three captured" 3 (List.length events)
+
+let test_truncated_jsonl_tail_tolerated () =
+  (* a crash mid-line must lose only that line: the complete prefix
+     still reads back *)
+  let events = [ ev "a" 0. 10.; ev "b" 5. 2. ] in
+  let salvaged =
+    with_tmp (fun path ->
+        Trace.start ~format:Trace.Jsonl path;
+        List.iter Trace.emit events;
+        Trace.stop ();
+        let text = In_channel.with_open_text path In_channel.input_all in
+        (* cut the final line mid-object *)
+        let cut = String.length text - 12 in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (String.sub text 0 cut));
+        Trace.read_file path)
+  in
+  Helpers.check_int "complete prefix survives" 1 (List.length salvaged);
+  Helpers.check_bool "first event intact" true
+    ((List.hd salvaged).Trace.name = "a");
+  (* a malformed line MID-file (followed by a complete one) is
+     corruption, not truncation, and must still fail loudly *)
+  with_tmp (fun path ->
+      Trace.start ~format:Trace.Jsonl path;
+      Trace.emit (ev "tail" 0. 1.);
+      Trace.stop ();
+      let good = In_channel.with_open_text path In_channel.input_all in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc ("{nope\n" ^ good));
+      match Trace.read_file path with
+      | _ -> Alcotest.fail "mid-file corruption must still fail"
+      | exception Failure _ -> ())
+
+let test_truncated_chrome_salvaged () =
+  (* a Chrome array that never got its closing bracket (killed run)
+     salvages its complete per-line objects *)
+  let events = [ ev "a" 0. 10.; ev "b" 5. 2.; ev "c" 8. 1. ] in
+  let salvaged =
+    with_tmp (fun path ->
+        Trace.start ~format:Trace.Chrome path;
+        List.iter Trace.emit events;
+        Trace.stop ();
+        let text = In_channel.with_open_text path In_channel.input_all in
+        let cut = String.length text - 10 in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (String.sub text 0 cut));
+        Trace.read_file path)
+  in
+  Helpers.check_bool "most events recovered" true (List.length salvaged >= 2);
+  Helpers.check_bool "prefix order kept" true
+    (List.map (fun (e : Trace.event) -> e.Trace.name) salvaged
+    = List.filteri (fun i _ -> i < List.length salvaged) [ "a"; "b"; "c" ])
+
+let test_report_empty_trace_graceful () =
+  let text = Format.asprintf "%a" (Trace_report.pp ~top:5) [] in
+  Helpers.check_bool "clear empty-capture message" true
+    (contains text "no events");
+  Helpers.check_bool "mentions truncation as a cause" true
+    (contains text "truncated")
+
+let test_corr_table () =
+  let tag corr e = { e with Trace.args = ("corr", Trace.String corr) :: e.Trace.args } in
+  let events =
+    [
+      tag "req-0" (ev "root" 0. 100.);
+      tag "req-0" (ev "child" 10. 40.);
+      tag "req-1" (ev "other" 200. 30.);
+      ev "untagged" 300. 5.;
+    ]
+  in
+  match Trace_report.corr_table (Trace_report.forest events) with
+  | [ r0; r1 ] ->
+    Helpers.check Alcotest.string "first corr" "req-0" r0.Trace_report.c_corr;
+    Helpers.check_int "req-0 groups both spans" 2 r0.Trace_report.c_spans;
+    (* busy time is self time: the child's 40 is not double-counted *)
+    Helpers.check_bool "req-0 busy = 100" true
+      (Float.abs (r0.Trace_report.c_busy_us -. 100.) < 1e-6);
+    Helpers.check Alcotest.string "second corr" "req-1" r1.Trace_report.c_corr;
+    Helpers.check_int "req-1 span" 1 r1.Trace_report.c_spans
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 rows, got %d" (List.length l))
+
 let test_report_pp_smoke () =
   let events =
     [
@@ -273,6 +378,15 @@ let suite =
     Alcotest.test_case "depth table" `Quick test_depth_table;
     Alcotest.test_case "multi-domain capture" `Quick
       test_multi_domain_capture;
+    Alcotest.test_case "corr attr attaches under with_corr" `Quick
+      test_corr_attr_attached;
+    Alcotest.test_case "truncated jsonl tail tolerated" `Quick
+      test_truncated_jsonl_tail_tolerated;
+    Alcotest.test_case "truncated chrome salvaged" `Quick
+      test_truncated_chrome_salvaged;
+    Alcotest.test_case "empty trace reports gracefully" `Quick
+      test_report_empty_trace_graceful;
+    Alcotest.test_case "per-request corr table" `Quick test_corr_table;
     Alcotest.test_case "report pp smoke" `Quick test_report_pp_smoke;
     prop_chrome_roundtrip;
     prop_jsonl_roundtrip;
