@@ -5,14 +5,22 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table1  -- a single experiment
-     (table1 | table2 | baseline | verify | portfolio | bmc | ablation |
-      bechamel)
+     (table1 | table2 | baseline | verify | portfolio | bmc | backend |
+      ablation | bechamel)
 
    "bmc" (opt-in) unrolls a BMC workload twice — SAT inprocessing on
    vs off — and records per-design conflict counts and
    bmc_bench.<design>.on/off spans plus an aggregate
    bmc_bench.conflict_reduction_pct gauge; scripts/ci.sh gates the
    "on" arm against a committed BENCH_*.json snapshot.
+
+   "backend" (opt-in) runs the engine over the same workloads under
+   each solver backend — the reference CDCL solver, the exact BDD
+   oracle, and the full (strategy x backend) race — and records
+   per-arm backend_bench.<design>.<arm> spans; conclusive verdicts
+   must agree across arms (every backend is a sound decision
+   procedure).  --backend NAME sets the process default backend for
+   every other experiment, same spelling as the tools' --backend.
 
    "portfolio" (opt-in, not part of the default sweep) times the
    sequential strategy ladder against Engine.verify_portfolio on
@@ -468,7 +476,7 @@ let same_outcome a b =
 let brief_outcome = function
   | Bmc.Hit cex -> Printf.sprintf "HIT@%d" cex.Bmc.depth
   | Bmc.No_hit d -> Printf.sprintf "no-hit..%d" d
-  | Bmc.Unknown d -> Printf.sprintf "unknown@%d" d
+  | Bmc.Unknown { after; _ } -> Printf.sprintf "unknown@%d" after
 
 let bmc_bench () =
   Format.printf "@.== BMC workload: SAT inprocessing on vs off ==@.";
@@ -525,6 +533,91 @@ let bmc_bench () =
     "total: conflicts %d -> %d (%.1f%% fewer), time %.1fms -> %.1fms (%.1f%% \
      less)@."
     !off_conflicts !on_conflicts c_red !off_ms !on_ms t_red
+
+(* ----- Backend matrix: one engine run per solver backend ----- *)
+
+(* Opt-in experiment ("backend"): verifies a small-cone workload (BDD
+   oracle territory) and a refutation-heavy workload (CDCL territory)
+   under each backend spec and records per-arm wall clock as
+   backend_bench.<design>.<arm> spans plus <arm>_ms gauges.  The race
+   arm exercises the full (strategy x backend) grid, so a committed
+   BENCH_*.json plus --baseline --fail-on-regress turns this into a
+   regression gate for the racing overhead itself.  Conclusive
+   verdicts must never disagree across arms — each backend is a sound
+   decision procedure — and "consistent" prints that check against
+   the reference arm. *)
+
+let backend_designs () =
+  let mk name build =
+    let net = Net.create () in
+    let lit = build net in
+    Net.add_target net "t" lit;
+    (name, net)
+  in
+  [
+    (* free-running 4-bit counter: a cone small enough that the BDD
+       oracle concludes exactly, far below its node allowance *)
+    mk "small-cone" (fun net ->
+        (Workload.Gen.counter net ~name:"c" ~bits:4 ~enable:Lit.true_)
+          .Workload.Gen.out);
+    (* gated 6-bit counter: per-depth refutations where the CDCL
+       solver shines; big enough that the BDD arm leans on its
+       node-limited stand-down rather than exact answers *)
+    mk "gated-deep" (fun net ->
+        let en = Net.add_input net "en" in
+        (Workload.Gen.counter net ~name:"c" ~bits:6 ~enable:en)
+          .Workload.Gen.out);
+  ]
+
+let backend_arms () =
+  [
+    ("reference", Backend.Single (Backend.reference ()));
+    ("bdd", Backend.Single (Backend.bdd_oracle ()));
+    ("race", Backend.Race (Backend.race_pool ()));
+  ]
+
+(* conclusive answers must agree across backends; an arm standing
+   down where the reference concluded is fine (the BDD oracle on a
+   big cone), a conflicting conclusive answer never is *)
+let backend_consistent ref_v v =
+  match (ref_v, v) with
+  | Core.Engine.Proved _, Core.Engine.Violated _
+  | Core.Engine.Violated _, Core.Engine.Proved _ -> false
+  | _ -> true
+
+let backend_bench () =
+  Format.printf "@.== Backend matrix: engine verdicts per solver backend ==@.";
+  List.iter
+    (fun (name, net) ->
+      let run (arm, spec) =
+        let config =
+          { ladder_config with Core.Engine.backend = Some spec }
+        in
+        let t0 = Obs.Stats.now () in
+        let v =
+          Obs.Stats.time
+            (Printf.sprintf "backend_bench.%s.%s" name arm)
+            (fun () ->
+              Core.Engine.verify ~config ~budget:(fresh_budget ()) net
+                ~target:"t")
+        in
+        let ms = 1e3 *. (Obs.Stats.now () -. t0) in
+        Obs.Stats.set_gauge
+          (Printf.sprintf "backend_bench.%s.%s_ms" name arm)
+          (int_of_float ms);
+        (arm, v, ms)
+      in
+      let results = List.map run (backend_arms ()) in
+      let ref_v =
+        match results with (_, v, _) :: _ -> v | [] -> assert false
+      in
+      List.iter
+        (fun (arm, v, ms) ->
+          Format.printf "%-12s %-10s %8.1fms  %s  consistent=%b@." name arm
+            ms (brief_verdict v)
+            (backend_consistent ref_v v))
+        results)
+    (backend_designs ())
 
 (* ----- Ablations ----- *)
 
@@ -673,6 +766,7 @@ let bechamel () =
 let baseline_file = ref None (* --baseline FILE *)
 let against_file = ref None (* --against FILE: pure differ, no run *)
 let fail_on_regress = ref None (* --fail-on-regress PCT *)
+let regress_floor = ref None (* --regress-floor MS: noise floor for the gate *)
 
 let stats_schema_version = 2
 
@@ -712,7 +806,8 @@ let run_baseline ~base_path ~cur =
   match !fail_on_regress with
   | None -> ()
   | Some threshold_pct -> (
-    match Obs.Baseline.regressions ~threshold_pct d with
+    let min_total_s = Option.map (fun ms -> ms /. 1e3) !regress_floor in
+    match Obs.Baseline.regressions ?min_total_s ~threshold_pct d with
     | [] ->
       Format.printf "no span regressed more than %.1f%%@." threshold_pct
     | regs ->
@@ -772,6 +867,12 @@ let split_args args =
         Some (num float_of_string_opt "--fail-on-regress" v);
       go stats json exps rest
     | "--fail-on-regress" :: [] -> missing "--fail-on-regress"
+    | "--regress-floor" :: v :: rest ->
+      (* spans whose current total is below this are too small to
+         gate — relative growth on a few milliseconds is pure noise *)
+      regress_floor := Some (num float_of_string_opt "--regress-floor" v);
+      go stats json exps rest
+    | "--regress-floor" :: [] -> missing "--regress-floor"
     | "--timeout" :: v :: rest ->
       set (fun (_, c, n) -> (Some (num float_of_string_opt "--timeout" v), c, n));
       go stats json exps rest
@@ -791,6 +892,14 @@ let split_args args =
     | "--certify" :: rest ->
       certify_flag := true;
       go stats json exps rest
+    | "--backend" :: v :: rest ->
+      (match Backend.spec_of_string v with
+      | Ok spec -> Backend.set_default spec
+      | Error msg ->
+        Format.eprintf "--backend: %s@." msg;
+        exit 2);
+      go stats json exps rest
+    | "--backend" :: [] -> missing "--backend"
     | "--no-inprocess" :: rest ->
       (* same escape hatch as the tools; the "bmc" experiment still
          forces its own on/off arms, restoring this default after *)
@@ -830,6 +939,7 @@ let () =
         | "verify" -> run verify_experiment
         | "portfolio" -> run portfolio
         | "bmc" -> run bmc_bench
+        | "backend" -> run backend_bench
         | "ablation" -> run ablation
         | "bechamel" -> run bechamel
         | other -> Format.eprintf "unknown experiment %s@." other)

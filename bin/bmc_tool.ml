@@ -41,8 +41,8 @@ let run_all net certify budget jobs complete depth =
         with
         | Ok () -> `No_hit d
         | Error msg -> `Unknown ("certification failed: " ^ msg))
-      | Bmc.Unknown d ->
-        `Unknown (Printf.sprintf "budget exhausted after depth %d" d))
+      | Bmc.Unknown { after; why } ->
+        `Unknown (Printf.sprintf "%s after depth %d" why after))
   in
   let results =
     Sched.Pool.with_pool ~jobs (fun pool -> Sched.Pool.map pool check targets)
@@ -66,10 +66,11 @@ let run_all net certify budget jobs complete depth =
   else Cli.ok
 
 let run file target depth complete certify proof vcd budget jobs stats
-    stats_json trace log_level log_file no_inprocess =
+    stats_json trace log_level log_file no_inprocess backend =
   Cli.setup_trace trace;
   Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
+  Cli.apply_backend backend;
   let net = Cli.load_bench file in
   let certify = certify || proof <> None in
   if jobs > 1 && target = None then begin
@@ -175,8 +176,8 @@ let run file target depth complete certify proof vcd budget jobs stats
       dump_proof ();
       finish ();
       Cli.ok)
-  | Bmc.Unknown d ->
-    Format.printf "budget exhausted after depth %d: result UNKNOWN.@." d;
+  | Bmc.Unknown { after; why } ->
+    Format.printf "%s after depth %d: result UNKNOWN.@." why after;
     finish ();
     Cli.inconclusive
 
@@ -216,6 +217,6 @@ let cmd =
       const run $ file $ target $ depth $ complete $ Cli.certify
       $ Cli.proof_file $ vcd $ Cli.budget $ Cli.jobs $ Cli.stats
       $ Cli.stats_json $ Cli.trace $ Cli.log_level $ Cli.log_file
-      $ Cli.no_inprocess)
+      $ Cli.no_inprocess $ Cli.backend)
 
 let () = exit (Cli.main cmd)

@@ -119,6 +119,35 @@ let no_inprocess =
 let apply_inprocess no_inprocess =
   if no_inprocess then Sat.Solver.set_inprocess_default false
 
+(* --backend: which solver backend(s) verdicts are produced with.  The
+   returned term is the raw name; [apply_backend] must run before any
+   solving, since the process default is consulted per solver
+   creation. *)
+let backend =
+  let env =
+    Cmd.Env.info "DIAMBOUND_BACKEND"
+      ~doc:"Default solver backend when $(b,--backend) is not given"
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backend" ] ~env ~docv:"NAME"
+        ~doc:"Solver backend: $(b,reference) (the in-tree CDCL solver, \
+              the default), $(b,bdd) (exact BDD oracle for small cones; \
+              degrades to unknown past its node allowance, \
+              $(b,DIAMBOUND_BDD_NODES)), $(b,ext) (DIMACS round-trip to \
+              the external command in $(b,DIAMBOUND_EXT_SOLVER); missing \
+              binary degrades to a structured backend-unavailable \
+              unknown), or $(b,race) to race every available backend \
+              against each strategy with deterministic rank selection")
+
+let apply_backend = function
+  | None -> ()
+  | Some name -> (
+    match Backend.spec_of_string name with
+    | Ok spec -> Backend.set_default spec
+    | Error msg -> die usage_error "%s" msg)
+
 let certify =
   Arg.(
     value & flag

@@ -25,10 +25,11 @@ let load file design =
     Cli.die Cli.usage_error "no input: give a .bench file or --design NAME"
 
 let run file design pipeline cutoff recurrence budget jobs stats stats_json
-    trace log_level log_file no_inprocess =
+    trace log_level log_file no_inprocess backend =
   Cli.setup_trace trace;
   Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
+  Cli.apply_backend backend;
   let net = load file design in
   Format.printf "netlist: %a@." Net.pp_stats net;
   let report =
@@ -148,10 +149,11 @@ let cache_mb =
    Verdict lines print in input order; each problem gets a fresh
    budget sliced from the --timeout/--conflicts/--bdd-nodes spec. *)
 let run_batch files cutoff certify budget_spec jobs queue_limit cache_mb stats
-    stats_json trace log_level log_file no_inprocess =
+    stats_json trace log_level log_file no_inprocess backend =
   Cli.setup_trace trace;
   Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
+  Cli.apply_backend backend;
   let problems =
     List.concat_map
       (fun file ->
@@ -236,16 +238,18 @@ let batch_cmd =
     Term.(
       const run_batch $ files $ cutoff $ Cli.certify $ Cli.budget_spec
       $ Cli.jobs $ queue_limit $ cache_mb $ Cli.stats $ Cli.stats_json
-      $ Cli.trace $ Cli.log_level $ Cli.log_file $ Cli.no_inprocess)
+      $ Cli.trace $ Cli.log_level $ Cli.log_file $ Cli.no_inprocess
+      $ Cli.backend)
 
 (* ----- serve: the long-lived JSONL verification service ----- *)
 
 let run_serve socket jobs queue_limit cache_mb chaos_seed stall_window
     flight_recorder metrics_interval stats stats_json trace log_level log_file
-    no_inprocess =
+    no_inprocess backend =
   Cli.setup_trace trace;
   Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
+  Cli.apply_backend backend;
   (* arming the watchdog without naming a sink still records flights *)
   let flight_path =
     match (flight_recorder, stall_window) with
@@ -358,7 +362,7 @@ let serve_cmd =
       const run_serve $ socket $ Cli.jobs $ queue_limit $ cache_mb
       $ chaos_seed $ stall_window $ flight_recorder $ metrics_interval
       $ Cli.stats $ Cli.stats_json $ Cli.trace $ Cli.log_level $ Cli.log_file
-      $ Cli.no_inprocess)
+      $ Cli.no_inprocess $ Cli.backend)
 
 (* ----- corpus: walk a problem tree under a per-problem barrier ----- *)
 
@@ -366,10 +370,11 @@ let serve_cmd =
    byte-identical across --jobs values (CI diffs jobs 1 vs 2); timing
    lives in --stats/--stats-json. *)
 let run_corpus dir cutoff certify budget_spec jobs baseline fail_on_regress
-    stats stats_json trace log_level log_file no_inprocess =
+    stats stats_json trace log_level log_file no_inprocess backend =
   Cli.setup_trace trace;
   Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
+  Cli.apply_backend backend;
   if not (Sys.file_exists dir && Sys.is_directory dir) then
     Cli.die Cli.usage_error "%s: not a directory" dir;
   let paths = Campaign.Corpus.walk dir in
@@ -457,15 +462,17 @@ let corpus_cmd =
     Term.(
       const run_corpus $ dir $ cutoff $ Cli.certify $ Cli.budget_spec
       $ Cli.jobs $ baseline $ fail_on_regress $ Cli.stats $ Cli.stats_json
-      $ Cli.trace $ Cli.log_level $ Cli.log_file $ Cli.no_inprocess)
+      $ Cli.trace $ Cli.log_level $ Cli.log_file $ Cli.no_inprocess
+      $ Cli.backend)
 
 (* ----- fuzz: the adversarial differential campaign ----- *)
 
 let run_fuzz count seed jobs repro_dir stats stats_json trace log_level
-    log_file no_inprocess =
+    log_file no_inprocess backend =
   Cli.setup_trace trace;
   Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
+  Cli.apply_backend backend;
   if count <= 0 then Cli.die Cli.usage_error "--count must be positive";
   let report = Campaign.Hunt.run ~jobs ?repro_dir ~seed ~count () in
   List.iter
@@ -547,7 +554,79 @@ let fuzz_cmd =
     Term.(
       const run_fuzz $ count $ seed $ Cli.jobs $ repro_dir $ Cli.stats
       $ Cli.stats_json $ Cli.trace $ Cli.log_level $ Cli.log_file
-      $ Cli.no_inprocess)
+      $ Cli.no_inprocess $ Cli.backend)
+
+(* ----- sat: a SAT-competition front door to the reference solver -----
+
+   Speaks exactly the protocol the external (ext) backend expects of
+   DIAMBOUND_EXT_SOLVER: [diam sat CNF [PROOF]] prints an
+   "s SATISFIABLE" / "s UNSATISFIABLE" status line (exit 10/20) with
+   "v " model lines on satisfiable instances, and writes DRUP text to
+   PROOF on unsatisfiable ones.  Pointing DIAMBOUND_EXT_SOLVER at a
+   script that execs this subcommand closes the round-trip loop, which
+   is how the differential suite and CI exercise the ext backend
+   without any third-party solver installed. *)
+
+let run_sat cnf_file proof_out no_inprocess =
+  Cli.apply_inprocess no_inprocess;
+  let cnf =
+    try Sat.Dimacs.parse_file cnf_file
+    with Failure msg -> Cli.die Cli.usage_error "%s: %s" cnf_file msg
+  in
+  let solver = Sat.Solver.create () in
+  let proof = Sat.Proof.create () in
+  Sat.Solver.set_proof solver proof;
+  for _ = 1 to cnf.Sat.Cnf.num_vars do
+    ignore (Sat.Solver.new_var solver)
+  done;
+  List.iter (Sat.Solver.add_clause solver) cnf.Sat.Cnf.clauses;
+  match Sat.Solver.solve solver with
+  | Sat.Solver.Sat ->
+    Format.printf "s SATISFIABLE@.";
+    let lits =
+      List.init cnf.Sat.Cnf.num_vars (fun v ->
+          let b = Sat.Solver.value solver (Sat.Solver.pos v) in
+          string_of_int (if b then v + 1 else -(v + 1)))
+    in
+    Format.printf "v %s 0@." (String.concat " " lits);
+    10
+  | Sat.Solver.Unsat ->
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Sat.Proof.to_string proof)))
+      proof_out;
+    Format.printf "s UNSATISFIABLE@.";
+    20
+  | Sat.Solver.Unknown ->
+    (* unreachable without allowances; keep the protocol total *)
+    Format.printf "s UNKNOWN@.";
+    Cli.inconclusive
+
+let sat_cmd =
+  let cnf_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CNF" ~doc:"DIMACS CNF input")
+  in
+  let proof_out =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"PROOF"
+          ~doc:"Where to write the DRUP proof of an unsatisfiable answer")
+  in
+  let doc =
+    "decide a DIMACS CNF with the reference solver, speaking the \
+     SAT-competition output protocol (s/v lines, exit 10/20) and writing \
+     a DRUP proof on unsat — the counterpart of the ext backend's \
+     round-trip, usable as its DIAMBOUND_EXT_SOLVER"
+  in
+  Cmd.v (Cmd.info "sat" ~doc ~exits:[])
+    Term.(const run_sat $ cnf_file $ proof_out $ Cli.no_inprocess)
 
 (* ----- trace-report: offline analysis of a --trace capture ----- *)
 
@@ -581,15 +660,15 @@ let trace_report_cmd =
 
 let doc =
   "structural diameter bounds via transformation pipelines (also: diam \
-   serve, diam batch FILES.., diam corpus DIR, diam fuzz, diam \
-   trace-report TRACE)"
+   serve, diam batch FILES.., diam corpus DIR, diam fuzz, diam sat CNF, \
+   diam trace-report TRACE)"
 
 let main_cmd =
   Cmd.v (Cmd.info "diam" ~doc)
     Term.(
       const run $ file $ design $ pipeline $ cutoff $ recurrence $ Cli.budget
       $ Cli.jobs $ Cli.stats $ Cli.stats_json $ Cli.trace $ Cli.log_level
-      $ Cli.log_file $ Cli.no_inprocess)
+      $ Cli.log_file $ Cli.no_inprocess $ Cli.backend)
 
 (* a subcommand can't coexist with a default term taking positional
    args in one cmdliner group (FILE would parse as a command name), so
@@ -597,10 +676,11 @@ let main_cmd =
 let cmd =
   if
     Array.length Sys.argv > 1
-    && List.mem Sys.argv.(1) [ "trace-report"; "batch"; "corpus"; "fuzz"; "serve" ]
+    && List.mem Sys.argv.(1)
+         [ "trace-report"; "batch"; "corpus"; "fuzz"; "serve"; "sat" ]
   then
     Cmd.group (Cmd.info "diam" ~doc)
-      [ trace_report_cmd; batch_cmd; corpus_cmd; fuzz_cmd; serve_cmd ]
+      [ trace_report_cmd; batch_cmd; corpus_cmd; fuzz_cmd; serve_cmd; sat_cmd ]
   else main_cmd
 
 let () = exit (Cli.main cmd)

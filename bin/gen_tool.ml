@@ -45,10 +45,12 @@ let run_all dir jobs =
     results;
   if !failed > 0 then Cli.usage_error else Cli.ok
 
-let run design output list_them all jobs trace log_level log_file no_inprocess =
+let run design output list_them all jobs trace log_level log_file no_inprocess
+    backend =
   Cli.setup_trace trace;
   Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
+  Cli.apply_backend backend;
   if list_them then begin
     Format.printf "ISCAS89-like (Table 1):@.";
     List.iter (Format.printf "  %s@.") Workload.Iscas.names;
@@ -121,6 +123,6 @@ let cmd =
     (Cmd.info "diam-gen" ~doc)
     Term.(
       const run $ design $ output $ list_them $ all $ Cli.jobs $ Cli.trace
-      $ Cli.log_level $ Cli.log_file $ Cli.no_inprocess)
+      $ Cli.log_level $ Cli.log_file $ Cli.no_inprocess $ Cli.backend)
 
 let () = exit (Cli.main cmd)

@@ -8,10 +8,11 @@
 module Net = Netlist.Net
 
 let run file target cutoff certify proof vcd budget jobs stats stats_json trace
-    log_level log_file no_inprocess =
+    log_level log_file no_inprocess backend =
   Cli.setup_trace trace;
   Cli.setup_log log_level log_file;
   Cli.apply_inprocess no_inprocess;
+  Cli.apply_backend backend;
   let net = Cli.load_bench file in
   let certify = certify || proof <> None in
   let targets =
@@ -109,6 +110,6 @@ let cmd =
     Term.(
       const run $ file $ target $ cutoff $ Cli.certify $ Cli.proof_file $ vcd
       $ Cli.budget $ Cli.jobs $ Cli.stats $ Cli.stats_json $ Cli.trace
-      $ Cli.log_level $ Cli.log_file $ Cli.no_inprocess)
+      $ Cli.log_level $ Cli.log_file $ Cli.no_inprocess $ Cli.backend)
 
 let () = exit (Cli.main cmd)

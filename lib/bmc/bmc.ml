@@ -1,7 +1,7 @@
 module Net = Netlist.Net
 module Lit = Netlist.Lit
 module Sim = Netlist.Sim
-module Solver = Sat.Solver
+module Solver = Backend
 
 type cex = {
   depth : int;
@@ -9,7 +9,7 @@ type cex = {
   init_x : (int * bool) list;
 }
 
-type outcome = Hit of cex | No_hit of int | Unknown of int
+type outcome = Hit of cex | No_hit of int | Unknown of { after : int; why : string }
 
 (* Everything needed to re-derive a No_hit answer independently: the
    solver's clausal proof plus, per refuted depth, the assumption
@@ -23,21 +23,27 @@ type cert = {
 
 let new_cert () = { proof = Sat.Proof.create (); goals = [] }
 
-let check_lit ?(from = 0) ?budget ?cert ?inprocess net target ~depth =
-  let solver = Solver.create ?inprocess () in
+let check_lit ?(from = 0) ?budget ?cert ?backend net target ~depth =
+  let solver =
+    match backend with
+    | Some b -> Backend.instantiate b
+    | None -> Backend.default_solver ()
+  in
   (* attach before [Unroll.create]: the unroller emits clauses *)
   Option.iter (fun c -> Solver.set_proof solver c.proof) cert;
   let unroll = Encode.Unroll.create solver net in
-  let give_up t =
-    Obs.Budget.note_exhausted "bmc";
-    Unknown (t - 1)
+  let give_up ~why t =
+    (* a backend that cannot run at all is a configuration condition,
+       not an exhausted allowance *)
+    if not (Backend.is_unavailable why) then Obs.Budget.note_exhausted "bmc";
+    Unknown { after = t - 1; why }
   in
   let expired () =
     match budget with Some b -> Obs.Budget.expired b | None -> false
   in
   let rec search t =
     if t > depth then No_hit depth
-    else if expired () then give_up t
+    else if expired () then give_up ~why:Backend.budget_reason t
     else begin
       Obs.Stats.max_gauge "bmc.depth_reached" t;
       Obs.Heartbeat.set_phase (Printf.sprintf "bmc@%d" t);
@@ -77,7 +83,7 @@ let check_lit ?(from = 0) ?budget ?cert ?inprocess net target ~depth =
       | Solver.Unsat ->
         Option.iter (fun c -> c.goals <- (t, tl) :: c.goals) cert;
         search (t + 1)
-      | Solver.Unknown -> give_up t
+      | Solver.Unknown why -> give_up ~why t
     end
   in
   search from
@@ -87,8 +93,8 @@ let find_target net name =
   | Some l -> l
   | None -> invalid_arg ("Bmc: unknown target " ^ name)
 
-let check ?from ?budget ?cert ?inprocess net ~target ~depth =
-  check_lit ?from ?budget ?cert ?inprocess net (find_target net target) ~depth
+let check ?from ?budget ?cert ?backend net ~target ~depth =
+  check_lit ?from ?budget ?cert ?backend net (find_target net target) ~depth
 
 let replay net target cex =
   let init_table = Hashtbl.create 16 in

@@ -1,4 +1,4 @@
-(** Bounded model checking over the CDCL solver.
+(** Bounded model checking over a solver backend.
 
     The checker unrolls the netlist incrementally (one shared solver,
     cones encoded on demand) and asks, per depth, whether the target
@@ -20,9 +20,12 @@ type cex = {
 type outcome =
   | Hit of cex
   | No_hit of int  (** no hit at times [0 .. n] *)
-  | Unknown of int
-      (** budget exhausted; no hit established at times [0 .. n] (which
-          may be [from - 1], i.e. nothing at all) *)
+  | Unknown of { after : int; why : string }
+      (** stood down; no hit established at times [0 .. after] (which
+          may be [from - 1], i.e. nothing at all).  [why] is the
+          backend's structured reason: {!Backend.budget_reason} for an
+          exhausted allowance, a node-limit or backend-unavailable
+          reason otherwise. *)
 
 type cert = {
   proof : Sat.Proof.t;  (** the discharge solver's clausal proof *)
@@ -39,22 +42,23 @@ val check :
   ?from:int ->
   ?budget:Obs.Budget.t ->
   ?cert:cert ->
-  ?inprocess:bool ->
+  ?backend:Backend.t ->
   Netlist.Net.t ->
   target:string ->
   depth:int ->
   outcome
 (** Search depths [from .. depth] (inclusive) for a hit of the named
-    target.  A [budget] is checked before each depth and threaded into
-    each SAT call; exhaustion yields {!Unknown} carrying the deepest
-    completed depth.  @raise Invalid_argument on an unknown target
+    target, solving with [backend] (default: the first backend of
+    {!Backend.default}).  A [budget] is checked before each depth and
+    threaded into each SAT call; exhaustion yields {!Unknown} carrying
+    the deepest completed depth and a structured reason.  @raise Invalid_argument on an unknown target
     name. *)
 
 val check_lit :
   ?from:int ->
   ?budget:Obs.Budget.t ->
   ?cert:cert ->
-  ?inprocess:bool ->
+  ?backend:Backend.t ->
   Netlist.Net.t ->
   Netlist.Lit.t ->
   depth:int ->

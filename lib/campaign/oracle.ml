@@ -104,13 +104,20 @@ let run_cells ?(jobs = 2) ?only ?mk_budget net ~target =
         fun () -> Engine.verify ~config ?budget:(budget ()) ~certify:true net ~target
       );
       ( "ladder-noinproc",
-        (* the inprocessing-off cell rides the per-solver-instance
-           config override, so a concurrent campaign (or serve
-           request) running with inprocessing ON never observes this
-           cell's choice — there is no global toggle left to race on *)
+        (* the inprocessing-off cell is just another backend
+           configuration: a reference-backend instance created with
+           inprocessing pinned off.  Each solver fixes the choice at
+           creation, so a concurrent campaign (or serve request)
+           running with inprocessing ON never observes this cell's
+           choice — there is no global toggle left to race on *)
         fun () ->
           Engine.verify
-            ~config:{ config with Engine.inprocess = Some false }
+            ~config:
+              {
+                config with
+                Engine.backend =
+                  Some (Backend.Single (Backend.reference ~inprocess:false ()));
+              }
             ?budget:(budget ()) ~certify:true net ~target );
       ( "portfolio",
         fun () ->

@@ -9,7 +9,7 @@ type config = {
   enlargement_reg_limit : int;
   recurrence_limit : int;
   induction_max_k : int;
-  inprocess : bool option;
+  backend : Backend.spec option;
 }
 
 let default =
@@ -20,8 +20,13 @@ let default =
     enlargement_reg_limit = 18;
     recurrence_limit = 48;
     induction_max_k = 16;
-    inprocess = None;
+    backend = None;
   }
+
+(* the backend spec a run solves with: an explicit config choice, else
+   the process default (set by the CLI / DIAMBOUND_BACKEND) *)
+let spec_of config =
+  match config.backend with Some s -> s | None -> Backend.default ()
 
 type attempt = {
   strategy : string;
@@ -95,8 +100,8 @@ type strategy = string * (callbacks -> unit)
    the attempts it recorded.  The [Done] unwind never escapes: the
    portfolio path must not have exceptions crossing domain boundaries,
    and the sequential path decides itself when to stop. *)
-let run_strategy ~config ~certify ~proof_sink ~slice net ~target ~tlit
-    ((name, body) : strategy) =
+let run_strategy ~config ~certify ~proof_sink ~backend ~slice net ~target
+    ~tlit ((name, body) : strategy) =
   let t0 = Stats.now () in
   let attempts = ref [] in
   let bound_seen = ref None in
@@ -165,10 +170,7 @@ let run_strategy ~config ~certify ~proof_sink ~slice net ~target ~tlit
         certified arithmetic (Proved { strategy = name; depth = 0 })
       | Some depth -> (
         let cert = if certify then Some (Bmc.new_cert ()) else None in
-        match
-          Bmc.check ?cert ~budget:slice ?inprocess:config.inprocess net
-            ~target ~depth
-        with
+        match Bmc.check ?cert ~budget:slice ~backend net ~target ~depth with
         | Bmc.No_hit d ->
           certified
             (fun () ->
@@ -186,7 +188,7 @@ let run_strategy ~config ~certify ~proof_sink ~slice net ~target ~tlit
           certified
             (fun () -> Certify.check_cex net tlit cex)
             (Violated { strategy = name; cex })
-        | Bmc.Unknown _ -> stand_down budget_reason)
+        | Bmc.Unknown { why; _ } -> stand_down why)
     end
   in
   let cb =
@@ -244,24 +246,30 @@ let run_strategy ~config ~certify ~proof_sink ~slice net ~target ~tlit
    Portfolio execution forces it before submitting jobs: OCaml 5's
    [Lazy] is not safe to force concurrently, but reading an
    already-forced suspension is. *)
-let ladder ~config net ~target ~tlit ~rv : strategy list =
+let ladder ~config ~backend ~suffix net ~target ~tlit ~rv : strategy list =
   let latch_based = Net.num_latches net > 0 in
+  (* [cell base] is the (strategy, backend) cell's name: the plain
+     strategy name except for non-reference backends in a race, which
+     are suffixed so ranked cells stay distinguishable in attempt logs
+     and cache keys while the default single-backend output stays
+     byte-identical *)
+  let cell base = base ^ suffix in
   [
     (* 1. shallow probe *)
-    ( "bmc-probe",
+    ( cell "bmc-probe",
       fun cb ->
         match
-          Bmc.check ~budget:cb.sbudget ?inprocess:config.inprocess net ~target
+          Bmc.check ~budget:cb.sbudget ~backend net ~target
             ~depth:config.probe_depth
         with
         | Bmc.Hit cex ->
           cb.certified
             (fun () -> Certify.check_cex net tlit cex)
-            (Violated { strategy = "bmc-probe"; cex })
+            (Violated { strategy = cell "bmc-probe"; cex })
         | Bmc.No_hit _ -> cb.stand_down "no shallow counterexample"
-        | Bmc.Unknown _ -> cb.stand_down budget_reason );
+        | Bmc.Unknown { why; _ } -> cb.stand_down why );
     (* 2. structural bound, untransformed *)
-    ( "structural-bound",
+    ( cell "structural-bound",
       fun cb ->
         let reg_view, fold = Lazy.force rv in
         match List.assoc_opt target (Net.targets reg_view) with
@@ -270,11 +278,12 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
           cb.discharge ~translator:fold (Bound.target reg_view l).Bound.bound
     );
     (* 3. COM (Theorem 1) *)
-    ( "com+bound",
+    ( cell "com+bound",
       fun cb ->
         let reg_view, fold = Lazy.force rv in
         let com_report =
-          Pipeline.com ~budget:cb.sbudget ?inprocess:config.inprocess reg_view
+          Pipeline.com ~budget:cb.sbudget
+            ?inprocess:backend.Backend.b_inprocess reg_view
         in
         match
           List.find_opt
@@ -287,12 +296,12 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
             t.Pipeline.raw_bound
         | None -> cb.stand_down "target reduced away" );
     (* 4. COM,RET,COM (Theorems 1 + 2) *)
-    ( "com-ret-com+bound",
+    ( cell "com-ret-com+bound",
       fun cb ->
         let reg_view, fold = Lazy.force rv in
         let crc_report =
-          Pipeline.com_ret_com ~budget:cb.sbudget ?inprocess:config.inprocess
-            reg_view
+          Pipeline.com_ret_com ~budget:cb.sbudget
+            ?inprocess:backend.Backend.b_inprocess reg_view
         in
         match
           List.find_opt
@@ -307,7 +316,7 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
     (* 5. target enlargement (Theorem 4) — register view only, and the
        hittability bound is still a valid completeness threshold for
        this very target *)
-    ( "enlargement+bound",
+    ( cell "enlargement+bound",
       fun cb ->
         if latch_based then cb.stand_down "latch-based design"
         else begin
@@ -330,8 +339,7 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
                 if cb.certifying then Some (Bmc.new_cert ()) else None
               in
               match
-                Bmc.check ?cert ~budget:cb.sbudget
-                  ?inprocess:config.inprocess net ~target
+                Bmc.check ?cert ~budget:cb.sbudget ~backend net ~target
                   ~depth:(max 0 (config.enlargement_k - 1))
               with
               | Bmc.No_hit d ->
@@ -343,12 +351,12 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
                       Option.iter (fun sink -> sink c.Bmc.proof) cb.sink;
                       Ok ()
                     | Error _ as e -> e)
-                  (Proved { strategy = "enlargement-empty"; depth = d })
+                  (Proved { strategy = cell "enlargement-empty"; depth = d })
               | Bmc.Hit cex ->
                 cb.certified
                   (fun () -> Certify.check_cex net tlit cex)
-                  (Violated { strategy = "enlargement-empty"; cex })
-              | Bmc.Unknown _ -> cb.stand_down budget_reason
+                  (Violated { strategy = cell "enlargement-empty"; cex })
+              | Bmc.Unknown { why; _ } -> cb.stand_down why
             end
             else begin
               let name =
@@ -362,7 +370,7 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
             end
         end );
     (* 6. bounded-COI recurrence diameter *)
-    ( "recurrence-bcoi",
+    ( cell "recurrence-bcoi",
       fun cb ->
         let reg_view, fold = Lazy.force rv in
         match List.assoc_opt target (Net.targets reg_view) with
@@ -373,10 +381,11 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
           in
           let r =
             Recurrence.compute ~limit:config.recurrence_limit ~bounded_coi:true
-              ~budget:cb.sbudget ?cert:rcert ?inprocess:config.inprocess
-              reg_view l
+              ~budget:cb.sbudget ?cert:rcert ~backend reg_view l
           in
-          if r.Recurrence.exhausted then cb.stand_down budget_reason
+          if r.Recurrence.exhausted then
+            cb.stand_down
+              (Option.value ~default:budget_reason r.Recurrence.why)
           else
             let pre () =
               match rcert with
@@ -385,7 +394,7 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
             in
             cb.discharge ~translator:fold ~pre r.Recurrence.bound );
     (* 7. temporal induction *)
-    ( "k-induction",
+    ( cell "k-induction",
       fun cb ->
         if latch_based then cb.stand_down "latch-based design"
         else begin
@@ -394,7 +403,7 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
           in
           match
             Induction.prove ~max_k:config.induction_max_k ~budget:cb.sbudget
-              ?cert:icert ?inprocess:config.inprocess net ~target
+              ?cert:icert ~backend net ~target
           with
           | Induction.Proved k ->
             cb.certified
@@ -410,14 +419,14 @@ let ladder ~config net ~target ~tlit ~rv : strategy list =
                     cb.sink;
                   Ok ()
                 | Error _ as e -> e)
-              (Proved { strategy = "k-induction"; depth = k })
+              (Proved { strategy = cell "k-induction"; depth = k })
           | Induction.Cex cex ->
             cb.certified
               (fun () -> Certify.check_cex net tlit cex)
-              (Violated { strategy = "k-induction"; cex })
+              (Violated { strategy = cell "k-induction"; cex })
           | Induction.Unknown k ->
             cb.stand_down (Printf.sprintf "gave up at k = %d" k)
-          | Induction.Exhausted _ -> cb.stand_down budget_reason
+          | Induction.Exhausted { why; _ } -> cb.stand_down why
         end );
   ]
 
@@ -432,6 +441,38 @@ let reg_view_of net =
   lazy
     (if Net.num_latches net > 0 then Pipeline.phase_front net
      else (net, Translate.identity))
+
+(* ----- the (strategy x backend) cell grid -----
+
+   One cell per ladder strategy per backend of the run's spec,
+   STRATEGY-MAJOR: all backends of strategy 1 outrank every cell of
+   strategy 2.  With a single backend this degenerates to the plain
+   ladder (identical names, identical order), so default output is
+   unchanged.  Rank order is total and static, which is what keeps
+   portfolio selection deterministic for every job count. *)
+
+let rec transpose = function
+  | [] | [] :: _ -> []
+  | rows -> List.map List.hd rows :: transpose (List.map List.tl rows)
+
+let cells ~config net ~target ~tlit ~rv : (Backend.t * strategy) list =
+  let bs =
+    match Backend.backends (spec_of config) with
+    | [] -> [ Backend.reference () ]
+    | bs -> bs
+  in
+  let multi = List.length bs > 1 in
+  List.map
+    (fun b ->
+      let suffix =
+        if multi && not (Backend.is_reference b) then "@" ^ b.Backend.b_name
+        else ""
+      in
+      List.map
+        (fun s -> (b, s))
+        (ladder ~config ~backend:b ~suffix net ~target ~tlit ~rv))
+    bs
+  |> transpose |> List.concat
 
 let count_verdict verdict =
   match verdict with
@@ -455,20 +496,20 @@ let outcome_name = function
    only conclude what a fresh ladder would.  [Bcache.peek] keeps these
    speculative probes out of the request-level hit/miss counters. *)
 
-let seed_strategies bcache strategies =
+let seed_strategies bcache cells =
   match bcache with
-  | None -> strategies
+  | None -> cells
   | Some (cache, kp) ->
     List.map
-      (fun ((name, body) as s) ->
+      (fun ((backend, (name, body)) as c) ->
         match Bcache.peek cache (kp ^ name) with
         | Some (Bcache.Bound { raw; _ }) ->
           Stats.count "engine.cache.bound_seeded" 1;
-          (name, fun cb -> cb.discharge raw)
+          (backend, (name, fun cb -> cb.discharge raw))
         | Some _ | None ->
           ignore body;
-          s)
-      strategies
+          c)
+      cells
 
 (* Bounds enter the cache only off a certified [Proved]: that
    certification re-derived the translation arithmetic (and any
@@ -488,23 +529,23 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited)
   (* a proof sink only ever receives certified proofs *)
   let certify = certify || proof_sink <> None in
   let rv = reg_view_of net in
-  let strategies = seed_strategies bcache (ladder ~config net ~target ~tlit ~rv) in
+  let grid = seed_strategies bcache (cells ~config net ~target ~tlit ~rv) in
   let attempts = ref [] in
-  let remaining = ref (List.length strategies) in
+  let remaining = ref (List.length grid) in
   let run_ladder () =
     try
       List.iter
-        (fun s ->
-          (* Deadlines degrade gracefully: every strategy gets an
-             equal slice of whatever wall-clock remains (so an early
+        (fun (backend, s) ->
+          (* Deadlines degrade gracefully: every cell gets an equal
+             slice of whatever wall-clock remains (so an early
              strategy overrunning only squeezes, never starves, the
              later ones — [slice] clamps an overdrawn remainder, and
              [run_strategy] records a budget attempt on a dead slice
              rather than skipping). *)
           let slice = Obs.Budget.slice budget ~ways:(max 1 !remaining) in
           let verdict, atts, bound =
-            run_strategy ~config ~certify ~proof_sink ~slice net ~target ~tlit
-              s
+            run_strategy ~config ~certify ~proof_sink ~backend ~slice net
+              ~target ~tlit s
           in
           attempts := !attempts @ atts;
           decr remaining;
@@ -513,7 +554,7 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited)
             store_bound bcache ~certify v (fst s) bound;
             raise (Done v)
           | None -> ())
-        strategies;
+        grid;
       Inconclusive { attempts = !attempts }
     with Done v -> v
   in
@@ -529,16 +570,17 @@ let verify ?(config = default) ?(budget = Obs.Budget.unlimited)
 
 (* ----- portfolio execution -----
 
-   Each strategy becomes an independent job: strategies already
-   discharge on the ORIGINAL netlist, so their verdicts compose
-   without any cross-strategy state.  Determinism comes from the
+   Each (strategy, backend) cell becomes an independent job: cells
+   already discharge on the ORIGINAL netlist, so their verdicts
+   compose without any cross-cell state.  Determinism comes from the
    selection rule, not arrival order: the conclusive verdict of the
-   LOWEST-ranked strategy wins, which is exactly the strategy
-   sequential [verify] would have stopped at (every lower-ranked
-   strategy ran to completion uncancelled and was inconclusive).  A
-   conclusive verdict at rank k stands down only ranks ABOVE k — their
-   outcome can no longer matter — through the budget cancellation
-   token each job polls at its existing check points. *)
+   LOWEST-ranked cell wins, which is exactly the cell sequential
+   [verify] would have stopped at (every lower-ranked cell ran to
+   completion uncancelled and was inconclusive).  A conclusive verdict
+   at rank k stands down only ranks ABOVE k — their outcome can no
+   longer matter — through the budget cancellation token each job
+   polls at its existing check points (the backends' solve loops all
+   poll [should_stop], so BDD and external cells cancel too). *)
 
 let verify_portfolio ?(config = default) ?(budget = Obs.Budget.unlimited)
     ?(certify = false) ?proof_sink ?pool ?(jobs = 1) ?bcache net ~target =
@@ -557,15 +599,15 @@ let verify_portfolio ?(config = default) ?(budget = Obs.Budget.unlimited)
     (* seeding happens here, on the calling domain, before any job is
        submitted — workers never touch the cache, so the seeded ladder
        is the same for every [jobs] value given the same cache state *)
-    let strategies = seed_strategies bcache (ladder ~config net ~target ~tlit ~rv) in
-    let n = List.length strategies in
+    let grid = seed_strategies bcache (cells ~config net ~target ~tlit ~rv) in
+    let n = List.length grid in
     let cancels = Array.init n (fun _ -> Atomic.make false) in
     let cancel_above k =
       for j = k + 1 to n - 1 do
         Atomic.set cancels.(j) true
       done
     in
-    let run_job (rank, s) =
+    let run_job (rank, (backend, s)) =
       (* proofs are sunk locally and replayed only if this rank is
          selected — the real sink must not observe losers *)
       let proofs = ref [] in
@@ -579,13 +621,13 @@ let verify_portfolio ?(config = default) ?(budget = Obs.Budget.unlimited)
          cancellation token *)
       let jbudget = Obs.Budget.with_cancel budget cancels.(rank) in
       let verdict, atts, bound =
-        run_strategy ~config ~certify ~proof_sink:local_sink ~slice:jbudget
-          net ~target ~tlit s
+        run_strategy ~config ~certify ~proof_sink:local_sink ~backend
+          ~slice:jbudget net ~target ~tlit s
       in
       if verdict <> None then cancel_above rank;
       (verdict, atts, List.rev !proofs, (fst s, bound))
     in
-    let indexed = List.mapi (fun i s -> (i, s)) strategies in
+    let indexed = List.mapi (fun i c -> (i, c)) grid in
     let verdict =
       Obs.Trace.with_span_args "engine.verify"
         ~args:
@@ -644,10 +686,7 @@ let config_digest ~with_cutoff c =
           (if with_cutoff then string_of_int c.cutoff else "-")
           c.probe_depth c.enlargement_k c.enlargement_reg_limit
           c.recurrence_limit c.induction_max_k
-          (match c.inprocess with
-          | None -> "d"
-          | Some true -> "1"
-          | Some false -> "0")))
+          (Backend.spec_id (spec_of c))))
 
 let cache_keys ?(config = default) ~certify net ~target =
   let tlit = check_target net target in

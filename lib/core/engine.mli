@@ -22,7 +22,16 @@
     there and proofs never depend on a transformation being trusted
     end-to-end.  That independence is also what lets
     {!verify_portfolio} race the same ladder across domains with no
-    cross-strategy state. *)
+    cross-strategy state.
+
+    Every SAT query goes through a pluggable {!Backend}; the ladder is
+    really a grid of (strategy, backend) {e cells}.  With the default
+    single reference backend the grid degenerates to the plain ladder
+    and behaves exactly as documented above; with a [Race] spec each
+    strategy is attempted once per backend, strategy-major (every
+    backend of strategy [i] outranks every cell of strategy [i + 1]),
+    and non-reference cells are named ["<strategy>@<backend>"] in
+    attempts and verdicts. *)
 
 type config = {
   cutoff : int;  (** a bound below this is considered BMC-dischargeable *)
@@ -31,12 +40,16 @@ type config = {
   enlargement_reg_limit : int;
   recurrence_limit : int;
   induction_max_k : int;
-  inprocess : bool option;
-      (** per-run SAT-inprocessing override, threaded to every solver
-          instance the ladder creates; [None] inherits the process
-          default.  An explicit value here is race-free under
-          concurrent runs with different options (unlike
-          {!Sat.Solver.set_inprocess_default}). *)
+  backend : Backend.spec option;
+      (** the solver backend(s) this run's ladder solves with; [None]
+          inherits the process default ({!Backend.default}).  A
+          [Single] backend replaces the reference solver in every cell
+          of the ladder; a [Race] crosses every ladder strategy with
+          every listed backend (see {!verify_portfolio}).  Per-run and
+          per-backend-instance (e.g. [Single (Backend.reference
+          ~inprocess:false ())] pins SAT inprocessing off for this run
+          only), so concurrent runs with different configurations
+          never race on any global toggle. *)
 }
 
 val default : config
@@ -144,24 +157,27 @@ val verify_portfolio :
   Netlist.Net.t ->
   target:string ->
   verdict
-(** {!verify} with the strategy ladder racing as independent portfolio
-    jobs across [jobs] worker domains ([pool], when given, is used
+(** {!verify} with the (strategy, backend) cell grid racing as
+    independent portfolio jobs across [jobs] worker domains ([pool], when given, is used
     instead and [jobs] is ignored; with neither, or [jobs <= 1], this
     {e is} sequential {!verify}).
 
     The result is reproducible and identical to sequential {!verify}
     regardless of [jobs]: the conclusive verdict of the lowest-ranked
-    strategy wins — never the first to finish — and that is exactly
-    the strategy the sequential ladder would have stopped at, since
-    every lower-ranked strategy ran uncancelled to completion and was
-    inconclusive.  A conclusive verdict at rank [k] cooperatively
+    cell wins — never the first to finish — and that is exactly the
+    cell the sequential ladder would have stopped at, since every
+    lower-ranked cell ran uncancelled to completion and was
+    inconclusive.  This holds for multi-backend [Race] specs too:
+    backends are sound decision procedures, so a cell's conclusive
+    verdict is a function of the problem alone and rank selection
+    yields byte-identical output for every [jobs] value.  A conclusive verdict at rank [k] cooperatively
     cancels only the ranks above [k] (their outcome can no longer be
     selected) via {!Obs.Budget} cancellation tokens, which those jobs
     observe at their existing budget check points and record as
     {!budget_reason} attempts.
 
     Two deliberate semantic differences from a budgeted sequential
-    run: each racing strategy receives the {e whole} remaining budget
+    run: each racing cell receives the {e whole} remaining budget
     rather than an equal slice, and for latch-based designs the phase
     abstraction is computed up front rather than lazily after the
     probe.  With an unconstrained budget the verdict, selected

@@ -1,12 +1,12 @@
 module Net = Netlist.Net
 module Lit = Netlist.Lit
-module Solver = Sat.Solver
+module Solver = Backend
 
 type outcome =
   | Proved of int
   | Cex of Bmc.cex
   | Unknown of int
-  | Exhausted of int
+  | Exhausted of { k : int; why : string }
 
 (* certificate for a [Proved k] outcome: the base case is an ordinary
    BMC certificate to depth k; the step case is the step solver's
@@ -49,8 +49,12 @@ let add_distinct solver net frames i j =
 
 (* step case: from a free state, k hit-free steps force step k+1 to be
    hit-free *)
-let step_holds ~unique ?budget ?cert ?inprocess net target k =
-  let solver = Solver.create ?inprocess () in
+let step_holds ~unique ?budget ?cert ?backend net target k =
+  let solver =
+    match backend with
+    | Some b -> Backend.instantiate b
+    | None -> Backend.default_solver ()
+  in
   let proof =
     Option.map
       (fun _ ->
@@ -82,9 +86,9 @@ let step_holds ~unique ?budget ?cert ?inprocess net target k =
       cert;
     `Holds
   | Solver.Sat -> `Fails
-  | Solver.Unknown -> `Unknown
+  | Solver.Unknown why -> `Unknown why
 
-let prove ?(max_k = 32) ?(unique = true) ?budget ?cert ?inprocess net ~target =
+let prove ?(max_k = 32) ?(unique = true) ?budget ?cert ?backend net ~target =
   if Net.num_latches net > 0 then
     invalid_arg "Induction.prove: register netlists only";
   let tlit =
@@ -92,9 +96,10 @@ let prove ?(max_k = 32) ?(unique = true) ?budget ?cert ?inprocess net ~target =
     | Some l -> l
     | None -> invalid_arg ("Induction.prove: unknown target " ^ target)
   in
-  let give_up k =
-    Obs.Budget.note_exhausted "induction";
-    Exhausted k
+  let give_up ?(why = Backend.budget_reason) k =
+    if not (Backend.is_unavailable why) then
+      Obs.Budget.note_exhausted "induction";
+    Exhausted { k; why }
   in
   let expired () =
     match budget with Some b -> Obs.Budget.expired b | None -> false
@@ -111,10 +116,10 @@ let prove ?(max_k = 32) ?(unique = true) ?budget ?cert ?inprocess net ~target =
   in
   (* degenerate case: no state at all *)
   if Net.regs net = [] then begin
-    match Bmc.check_lit ?budget ?cert:(base_cert ()) ?inprocess net tlit ~depth:0 with
+    match Bmc.check_lit ?budget ?cert:(base_cert ()) ?backend net tlit ~depth:0 with
     | Bmc.Hit cex -> Cex cex
     | Bmc.No_hit _ -> Proved 0
-    | Bmc.Unknown _ -> give_up 0
+    | Bmc.Unknown { why; _ } -> give_up ~why 0
   end
   else begin
     let rec go k =
@@ -122,14 +127,14 @@ let prove ?(max_k = 32) ?(unique = true) ?budget ?cert ?inprocess net ~target =
       else if expired () then give_up k
       else begin
         (* base case: no hit within the first k steps *)
-        match Bmc.check_lit ?budget ?cert:(base_cert ()) ?inprocess net tlit ~depth:k with
+        match Bmc.check_lit ?budget ?cert:(base_cert ()) ?backend net tlit ~depth:k with
         | Bmc.Hit cex -> Cex cex
-        | Bmc.Unknown _ -> give_up k
+        | Bmc.Unknown { why; _ } -> give_up ~why k
         | Bmc.No_hit _ -> (
-          match step_holds ~unique ?budget ?cert net tlit k with
+          match step_holds ~unique ?budget ?cert ?backend net tlit k with
           | `Holds -> Proved k
           | `Fails -> go (k + 1)
-          | `Unknown -> give_up k)
+          | `Unknown why -> give_up ~why k)
       end
     in
     go 0

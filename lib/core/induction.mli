@@ -17,9 +17,11 @@ type outcome =
   | Proved of int  (** induction depth that closed the proof *)
   | Cex of Bmc.cex
   | Unknown of int  (** gave up after this k (configured [max_k]) *)
-  | Exhausted of int
+  | Exhausted of { k : int; why : string }
       (** resource budget ran out at this k — unlike {!Unknown}, raising
-          [max_k] would not have helped *)
+          [max_k] would not have helped; [why] is the structured
+          stand-down reason ({!Backend.budget_reason}, or a
+          backend-specific node-limit / unavailable string) *)
 
 type cert = {
   mutable base : Bmc.cert option;
@@ -41,7 +43,7 @@ val prove :
   ?unique:bool ->
   ?budget:Obs.Budget.t ->
   ?cert:cert ->
-  ?inprocess:bool ->
+  ?backend:Backend.t ->
   Netlist.Net.t ->
   target:string ->
   outcome

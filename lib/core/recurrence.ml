@@ -1,13 +1,14 @@
 module Net = Netlist.Net
 module Lit = Netlist.Lit
 module Coi = Netlist.Coi
-module Solver = Sat.Solver
+module Solver = Backend
 
 type result = {
   bound : Sat_bound.t;
   path_length : int;
   sat_calls : int;
   exhausted : bool;
+  why : string option;
 }
 
 (* The bound is only as good as the closing Unsat answer ("no
@@ -82,20 +83,27 @@ let add_distinct solver lits_i lits_j =
   in
   Solver.add_clause solver diffs
 
-let gave_up k sat_calls =
-  Obs.Budget.note_exhausted "recurrence";
+let gave_up ?(why = Backend.budget_reason) k sat_calls =
+  if not (Backend.is_unavailable why) then
+    Obs.Budget.note_exhausted "recurrence";
   {
     bound = Sat_bound.huge;
     path_length = k - 1;
     sat_calls;
     exhausted = true;
+    why = Some why;
   }
 
 let expired budget =
   match budget with Some b -> Obs.Budget.expired b | None -> false
 
-let plain ~limit ?budget ?cert ?inprocess net target regs =
-  let solver = Solver.create ?inprocess () in
+let mk_solver backend =
+  match backend with
+  | Some b -> Backend.instantiate b
+  | None -> Backend.default_solver ()
+
+let plain ~limit ?budget ?cert ?backend net target regs =
+  let solver = mk_solver backend in
   let proof = attach_proof cert solver in
   let unroll = Encode.Unroll.create solver net in
   ignore target;
@@ -110,6 +118,7 @@ let plain ~limit ?budget ?cert ?inprocess net target regs =
         path_length = k - 1;
         sat_calls = !sat_calls;
         exhausted = false;
+        why = None;
       }
     else if expired budget then gave_up k !sat_calls
     else begin
@@ -128,8 +137,9 @@ let plain ~limit ?budget ?cert ?inprocess net target regs =
           path_length = k - 1;
           sat_calls = !sat_calls;
           exhausted = false;
+        why = None;
         }
-      | Solver.Unknown -> gave_up k !sat_calls
+      | Solver.Unknown why -> gave_up ~why k !sat_calls
     end
   in
   extend 1
@@ -148,7 +158,7 @@ let plain ~limit ?budget ?cert ?inprocess net target regs =
    satisfying path of length k as its suffix (monotone, hence the
    first UNSAT closes the search).  The relevance sets depend on [k],
    so each [k] is encoded afresh. *)
-let bounded ~limit ?budget ?cert ?inprocess net target regs =
+let bounded ~limit ?budget ?cert ?backend net target regs =
   let dist = target_distances net target in
   let sat_calls = ref 0 in
   let rec extend k =
@@ -158,10 +168,11 @@ let bounded ~limit ?budget ?cert ?inprocess net target regs =
         path_length = k - 1;
         sat_calls = !sat_calls;
         exhausted = false;
+        why = None;
       }
     else if expired budget then gave_up k !sat_calls
     else begin
-      let solver = Solver.create ?inprocess () in
+      let solver = mk_solver backend in
       (* each k is a fresh encoding, so a fresh proof; only the final
          (Unsat) one becomes the certificate *)
       let proof = attach_proof cert solver in
@@ -208,13 +219,14 @@ let bounded ~limit ?budget ?cert ?inprocess net target regs =
           path_length = k - 1;
           sat_calls = !sat_calls;
           exhausted = false;
+        why = None;
         }
-      | Solver.Unknown -> gave_up k !sat_calls
+      | Solver.Unknown why -> gave_up ~why k !sat_calls
     end
   in
   extend 1
 
-let compute ?(limit = 64) ?(bounded_coi = false) ?budget ?cert ?inprocess net target =
+let compute ?(limit = 64) ?(bounded_coi = false) ?budget ?cert ?backend net target =
   Obs.Stats.time "recurrence.compute" (fun () ->
       (* work on the target's cone only *)
       let cone = Transform.Rebuild.copy ~roots:[ target ] net in
@@ -229,11 +241,12 @@ let compute ?(limit = 64) ?(bounded_coi = false) ?budget ?cert ?inprocess net ta
             path_length = 0;
             sat_calls = 0;
             exhausted = false;
+        why = None;
           }
         end
         else if bounded_coi then
-          bounded ~limit ?budget ?cert ?inprocess net target regs
-        else plain ~limit ?budget ?cert ?inprocess net target regs
+          bounded ~limit ?budget ?cert ?backend net target regs
+        else plain ~limit ?budget ?cert ?backend net target regs
       in
       Obs.Stats.count "recurrence.sat_calls" result.sat_calls;
       result)

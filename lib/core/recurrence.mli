@@ -17,6 +17,10 @@ type result = {
       (** the resource [budget] ran out before the search concluded
           (distinct from exceeding [limit], which is a configured
           give-up, not a budget event) *)
+  why : string option;
+      (** the structured stand-down reason when [exhausted]:
+          {!Backend.budget_reason}, a node-limit string, or a
+          backend-unavailable string passed through from the solver *)
 }
 
 type evidence =
@@ -40,7 +44,7 @@ val compute :
   ?bounded_coi:bool ->
   ?budget:Obs.Budget.t ->
   ?cert:cert ->
-  ?inprocess:bool ->
+  ?backend:Backend.t ->
   Netlist.Net.t ->
   Netlist.Lit.t ->
   result

@@ -1,9 +1,9 @@
 module Net = Netlist.Net
 module Lit = Netlist.Lit
-module Solver = Sat.Solver
+module Solver = Backend
 
 type t = {
-  solver : Solver.t;
+  solver : Solver.solver;
   net : Net.t;
   vars : int array; (* netlist var -> solver var, -1 if not yet encoded *)
   const_var : int;

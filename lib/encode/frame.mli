@@ -7,15 +7,15 @@
 
 type t
 
-val create : Sat.Solver.t -> Netlist.Net.t -> t
+val create : Backend.solver -> Netlist.Net.t -> t
 (** Lazily encodes on demand; creating is cheap. *)
 
-val solver : t -> Sat.Solver.t
+val solver : t -> Backend.solver
 
-val lit : t -> Netlist.Lit.t -> Sat.Solver.lit
+val lit : t -> Netlist.Lit.t -> Backend.lit
 (** Solver literal for a netlist literal, encoding its combinational
     cone (down to inputs/state elements) on first use. *)
 
-val state_var : t -> int -> Sat.Solver.lit
+val state_var : t -> int -> Backend.lit
 (** Solver literal (positive) for the current-state output of a
     register/latch variable. *)

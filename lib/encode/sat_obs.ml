@@ -1,10 +1,14 @@
 (** Per-solve SAT statistics recording.
 
-    The solver itself keeps plain lifetime counters (no dependency on
-    the observability layer); callers route deltas into the global
-    {!Obs.Stats} registry by solving through this wrapper. *)
+    Backends keep plain lifetime counters (no dependency on the
+    observability layer); callers route deltas into the global
+    {!Obs.Stats} registry by solving through this wrapper.  All
+    telemetry reads go through the backend's stats-snapshot hook
+    ({!Backend.stats}), so the BDD oracle and the external solver
+    report into the same ["sat.*"] counters and flight recorder as the
+    reference CDCL backend. *)
 
-module Solver = Sat.Solver
+module Solver = Backend
 
 let schema =
   [
@@ -32,34 +36,28 @@ let () = Obs.Stats.declare schema
 let result_name = function
   | Solver.Sat -> "sat"
   | Solver.Unsat -> "unsat"
-  | Solver.Unknown -> "unknown"
+  | Solver.Unknown _ -> "unknown"
 
-(* [solve ?assumptions ?budget ?span solver] is [Solver.solve] plus
+(* [solve ?assumptions ?budget ?span solver] is [Backend.solve] plus
    recording: the wall-clock time goes to [span] (default "sat.solve")
    and the statistic deltas to the "sat.*" counters; when a trace is
    active the call also emits one span (same name) whose attributes
    carry the per-call deltas and the problem size.  A [budget]
-   translates to the solver's per-call allowances; an [Unknown] result
-   is counted both here and against the budget layer.  Returns the
-   result and the elapsed seconds. *)
+   translates to the backend's per-call allowances (conflicts,
+   propagations, BDD nodes); an [Unknown] result is counted both here
+   and against the budget layer — except backend-unavailable Unknowns,
+   which are a configuration condition, not an exhausted allowance.
+   Returns the result and the elapsed seconds. *)
 let solve ?assumptions ?budget ?(span = "sat.solve") solver =
-  let conflicts = Solver.num_conflicts solver in
-  let decisions = Solver.num_decisions solver in
-  let propagations = Solver.num_propagations solver in
-  let restarts = Solver.num_restarts solver in
-  let reduce_dbs = Solver.num_reduce_dbs solver in
-  let simplifies = Solver.num_simplifies solver in
-  let subsumed = Solver.num_subsumed solver in
-  let strengthened = Solver.num_strengthened solver in
-  let eliminated = Solver.num_eliminated solver in
-  let probed = Solver.num_probed_units solver in
+  let s0 = Backend.stats solver in
   (* inprocessing passes show up as their own span nested under the
      solve span, so trace-report attributes time to "sat.simplify" *)
-  Solver.set_simplify_wrapper solver (fun pass ->
+  Backend.set_simplify_wrapper solver (fun pass ->
       Obs.Trace.with_span "sat.simplify" (fun () ->
           Obs.Stats.time "sat.simplify" pass));
   let max_conflicts = Option.bind budget Obs.Budget.conflicts in
   let max_propagations = Option.bind budget Obs.Budget.propagations in
+  let max_nodes = Option.bind budget Obs.Budget.bdd_nodes in
   let should_stop = Option.bind budget Obs.Budget.should_stop in
   (* live telemetry rides the same restart-boundary poll the budget
      uses: when this solve belongs to a registered in-flight request
@@ -71,51 +69,57 @@ let solve ?assumptions ?budget ?(span = "sat.solve") solver =
     else
       Some
         (fun () ->
-          Obs.Heartbeat.beat
-            ~conflicts:(Solver.num_conflicts solver)
-            ~propagations:(Solver.num_propagations solver)
-            ~trail:(Solver.trail_depth solver)
-            ~learnts:(Solver.num_learnts solver);
+          let s = Backend.stats solver in
+          Obs.Heartbeat.beat ~conflicts:s.Backend.conflicts
+            ~propagations:s.Backend.propagations ~trail:s.Backend.trail
+            ~learnts:s.Backend.learnts;
           match should_stop with Some f -> f () | None -> false)
   in
   let result, dt =
     Obs.Trace.with_span_args span (fun () ->
         let r =
           Obs.Stats.timed span (fun () ->
-              Solver.solve ?assumptions ?max_conflicts ?max_propagations
-                ?should_stop solver)
+              Backend.solve ?assumptions ?max_conflicts ?max_propagations
+                ?max_nodes ?should_stop solver)
         in
+        let s = Backend.stats solver in
         ( r,
           Obs.Trace.
             [
               ("result", String (result_name (fst r)));
-              ("vars", Int (Solver.num_vars solver));
-              ("clauses", Int (Solver.num_clauses solver));
-              ("conflicts", Int (Solver.num_conflicts solver - conflicts));
-              ("decisions", Int (Solver.num_decisions solver - decisions));
+              ("backend", String (Backend.name solver));
+              ("vars", Int s.Backend.vars);
+              ("clauses", Int s.Backend.clauses);
+              ("conflicts", Int (s.Backend.conflicts - s0.Backend.conflicts));
+              ("decisions", Int (s.Backend.decisions - s0.Backend.decisions));
               ( "propagations",
-                Int (Solver.num_propagations solver - propagations) );
-              ("restarts", Int (Solver.num_restarts solver - restarts));
+                Int (s.Backend.propagations - s0.Backend.propagations) );
+              ("restarts", Int (s.Backend.restarts - s0.Backend.restarts));
             ] ))
   in
+  let s1 = Backend.stats solver in
   Obs.Stats.count "sat.solves" 1;
-  if result = Solver.Sat then Obs.Stats.count "sat.sat_results" 1;
-  if result = Solver.Unknown then begin
+  (match result with
+  | Solver.Sat -> Obs.Stats.count "sat.sat_results" 1
+  | Solver.Unknown why ->
     Obs.Stats.count "sat.unknowns" 1;
-    Obs.Budget.note_exhausted "sat"
-  end;
-  Obs.Stats.count "sat.conflicts" (Solver.num_conflicts solver - conflicts);
-  Obs.Stats.count "sat.decisions" (Solver.num_decisions solver - decisions);
+    if not (Backend.is_unavailable why) then Obs.Budget.note_exhausted "sat"
+  | Solver.Unsat -> ());
+  Obs.Stats.count "sat.conflicts" (s1.Backend.conflicts - s0.Backend.conflicts);
+  Obs.Stats.count "sat.decisions" (s1.Backend.decisions - s0.Backend.decisions);
   Obs.Stats.count "sat.propagations"
-    (Solver.num_propagations solver - propagations);
-  Obs.Stats.count "sat.restarts" (Solver.num_restarts solver - restarts);
-  Obs.Stats.count "sat.reduce_dbs" (Solver.num_reduce_dbs solver - reduce_dbs);
-  Obs.Stats.count "sat.simplify.runs" (Solver.num_simplifies solver - simplifies);
-  Obs.Stats.count "sat.simplify.subsumed" (Solver.num_subsumed solver - subsumed);
+    (s1.Backend.propagations - s0.Backend.propagations);
+  Obs.Stats.count "sat.restarts" (s1.Backend.restarts - s0.Backend.restarts);
+  Obs.Stats.count "sat.reduce_dbs"
+    (s1.Backend.reduce_dbs - s0.Backend.reduce_dbs);
+  Obs.Stats.count "sat.simplify.runs"
+    (s1.Backend.simplifies - s0.Backend.simplifies);
+  Obs.Stats.count "sat.simplify.subsumed"
+    (s1.Backend.subsumed - s0.Backend.subsumed);
   Obs.Stats.count "sat.simplify.strengthened"
-    (Solver.num_strengthened solver - strengthened);
+    (s1.Backend.strengthened - s0.Backend.strengthened);
   Obs.Stats.count "sat.simplify.eliminated_vars"
-    (Solver.num_eliminated solver - eliminated);
+    (s1.Backend.eliminated - s0.Backend.eliminated);
   Obs.Stats.count "sat.simplify.probed_units"
-    (Solver.num_probed_units solver - probed);
+    (s1.Backend.probed_units - s0.Backend.probed_units);
   (result, dt)

@@ -1,11 +1,11 @@
 module Net = Netlist.Net
 module Lit = Netlist.Lit
-module Solver = Sat.Solver
+module Solver = Backend
 
 type frame_cost = { mutable f_vars : int; mutable f_clauses : int }
 
 type t = {
-  solver : Solver.t;
+  solver : Solver.solver;
   net : Net.t;
   table : (int * int, Solver.lit) Hashtbl.t; (* (var, time) -> solver lit *)
   inputs : (int * int, Solver.lit) Hashtbl.t;

@@ -9,15 +9,15 @@
 
 type t
 
-val create : Sat.Solver.t -> Netlist.Net.t -> t
-val solver : t -> Sat.Solver.t
+val create : Backend.solver -> Netlist.Net.t -> t
+val solver : t -> Backend.solver
 val net : t -> Netlist.Net.t
 
-val lit_at : t -> Netlist.Lit.t -> int -> Sat.Solver.lit
+val lit_at : t -> Netlist.Lit.t -> int -> Backend.lit
 (** [lit_at u l t] is the solver literal for netlist literal [l] at
     time [t >= 0], encoding cones on demand. *)
 
-val false_lit : t -> Sat.Solver.lit
+val false_lit : t -> Backend.lit
 (** A solver literal constrained to false. *)
 
 val value_at : t -> Netlist.Lit.t -> int -> bool
@@ -28,7 +28,7 @@ val init_x_assignments : t -> (int * bool) list
     of the last satisfiable solve, as (state variable, value) pairs,
     sorted by state variable. *)
 
-val input_frames : t -> upto:int -> (int * int * Sat.Solver.lit) list
+val input_frames : t -> upto:int -> (int * int * Backend.lit) list
 (** All encoded (input variable, time, literal) triples with
     [time <= upto] — for counterexample extraction.  Sorted by
     (time, variable), so extracted counterexamples are deterministic

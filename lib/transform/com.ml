@@ -1,7 +1,7 @@
 module Net = Netlist.Net
 module Lit = Netlist.Lit
 module Bsim = Netlist.Bsim
-module Solver = Sat.Solver
+module Solver = Backend
 
 type stats = {
   rounds : int;

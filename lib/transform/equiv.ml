@@ -1,7 +1,7 @@
 module Net = Netlist.Net
 module Lit = Netlist.Lit
 module Sim = Netlist.Sim
-module Solver = Sat.Solver
+module Solver = Backend
 
 (* deterministic pseudo-random bit per (seed, name, time) *)
 let stim_bit seed name time =
@@ -105,4 +105,4 @@ let sat_equivalent ~depth net_a lit_a net_b lit_b =
   match Solver.solve solver with
   | Solver.Unsat -> true
   | Solver.Sat -> false
-  | Solver.Unknown -> false (* unbudgeted solve never returns this *)
+  | Solver.Unknown _ -> false (* unbudgeted solve never returns this *)

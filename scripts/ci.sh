@@ -90,6 +90,68 @@ for f in examples/*.bench; do
 done
 echo "ci: parallel determinism ok"
 
+# Backend matrix: every backend must tell the same story on the
+# example designs.  The external backend (wired to our own diam sat,
+# which speaks the SAT-competition protocol) always concludes, so its
+# output must be byte-identical to the reference backend's; the BDD
+# oracle concludes on small cones (byte-identical there) and may only
+# ever degrade with a structured bdd-node-limit stand-down elsewhere
+# — never a conflicting verdict, never a crash.
+diam_exe=_build/default/bin/diam_tool.exe
+for f in examples/*.bench; do
+  rc_ref=0; rc_ext=0; rc_bdd=0
+  timeout 120 dune exec bin/verify_tool.exe -- "$f" \
+    > "$tmpdir/ref.out" || rc_ref=$?
+  DIAMBOUND_EXT_SOLVER="$diam_exe sat" timeout 300 dune exec \
+    bin/verify_tool.exe -- "$f" --backend ext > "$tmpdir/ext.out" || rc_ext=$?
+  [ "$rc_ref" = "$rc_ext" ] \
+    || { echo "ci: $f exit differs under ext backend (FAIL)"; exit 1; }
+  diff -u "$tmpdir/ref.out" "$tmpdir/ext.out" \
+    || { echo "ci: $f verdicts differ under ext backend (FAIL)"; exit 1; }
+  timeout 300 dune exec bin/verify_tool.exe -- "$f" --backend bdd \
+    > "$tmpdir/bdd.out" || rc_bdd=$?
+  case "$rc_bdd" in
+    0|1|3) ;;
+    *) echo "ci: $f crashed under bdd backend (exit $rc_bdd) (FAIL)"; exit 1 ;;
+  esac
+  if ! diff -q "$tmpdir/ref.out" "$tmpdir/bdd.out" > /dev/null; then
+    grep -q "bdd-node-limit" "$tmpdir/bdd.out" \
+      || { echo "ci: $f bdd divergence without node-limit reason (FAIL)"; \
+           exit 1; }
+  fi
+done
+echo "ci: backend matrix ok"
+
+# Missing-binary smoke: the ext backend pointed at a binary that does
+# not exist must degrade to structured backend-unavailable unknowns
+# and an explicit inconclusive exit (3) — never a crash, never a
+# verdict.
+rc=0
+DIAMBOUND_EXT_SOLVER=/nonexistent/diambound-ext-solver timeout 60 \
+  dune exec bin/verify_tool.exe -- examples/counter3.bench --backend ext \
+  > "$tmpdir/noext.out" || rc=$?
+[ "$rc" = 3 ] \
+  || { echo "ci: missing ext binary exit $rc, want 3 (FAIL)"; exit 1; }
+grep -q "backend-unavailable" "$tmpdir/noext.out" \
+  || { echo "ci: missing ext binary reason unstructured (FAIL)"; exit 1; }
+echo "ci: ext missing-binary smoke ok"
+
+# Race determinism: the full (strategy x backend) grid must keep the
+# byte-identical --jobs guarantee — rank-based cell selection, not
+# wall-clock order, decides the verdict.
+for f in examples/*.bench; do
+  rc1=0; rc2=0
+  timeout 300 dune exec bin/verify_tool.exe -- "$f" --backend race --jobs 1 \
+    > "$tmpdir/race1.out" || rc1=$?
+  timeout 300 dune exec bin/verify_tool.exe -- "$f" --backend race --jobs 2 \
+    > "$tmpdir/race2.out" || rc2=$?
+  [ "$rc1" = "$rc2" ] \
+    || { echo "ci: $f race exit codes differ across --jobs (FAIL)"; exit 1; }
+  diff -u "$tmpdir/race1.out" "$tmpdir/race2.out" \
+    || { echo "ci: $f race verdicts differ across --jobs (FAIL)"; exit 1; }
+done
+echo "ci: race determinism ok"
+
 # Portfolio bench: the sequential-vs-portfolio experiment must run to
 # completion and leave its speedup gauges in a baseline-compatible
 # stats snapshot (portfolio.best_speedup_x100 et al).
@@ -108,7 +170,7 @@ echo "ci: portfolio bench ok"
 # loops or the simplifier fails the pipeline.  The experiment itself
 # also asserts on/off verdict consistency per design.
 timeout 600 dune exec bench/main.exe -- bmc \
-  --baseline BENCH_0001_bmc.json --fail-on-regress 100 \
+  --baseline BENCH_0001_bmc.json --fail-on-regress 100 --regress-floor 50 \
   --stats-json "$tmpdir/bmc.json" > "$tmpdir/bmc.out" \
   || { cat "$tmpdir/bmc.out"; echo "ci: bmc bench regressed (FAIL)"; exit 1; }
 grep -q "consistent=true" "$tmpdir/bmc.out" \
@@ -116,6 +178,21 @@ grep -q "consistent=true" "$tmpdir/bmc.out" \
 grep -q "bmc_bench.conflict_reduction_pct" "$tmpdir/bmc.json" \
   || { echo "ci: bmc reduction gauge missing (FAIL)"; exit 1; }
 echo "ci: bmc inprocessing gate ok"
+
+# Backend bench gate: the backend-matrix experiment (reference vs bdd
+# vs race per workload) against the committed snapshot.  The
+# experiment asserts cross-backend verdict consistency itself
+# (consistent=true per arm); the baseline turns the racing overhead
+# into a regression gate.
+timeout 600 dune exec bench/main.exe -- backend \
+  --baseline BENCH_0003_backend.json --fail-on-regress 100 --regress-floor 50 \
+  --stats-json "$tmpdir/backend.json" > "$tmpdir/backend.out" \
+  || { cat "$tmpdir/backend.out"; echo "ci: backend bench regressed (FAIL)"; exit 1; }
+grep -q "consistent=false" "$tmpdir/backend.out" \
+  && { cat "$tmpdir/backend.out"; echo "ci: backends disagreed (FAIL)"; exit 1; }
+grep -q "backend_bench.small-cone.race_ms" "$tmpdir/backend.json" \
+  || { echo "ci: backend bench gauges missing (FAIL)"; exit 1; }
+echo "ci: backend bench gate ok"
 
 # Corpus determinism: the corpus walk over examples/ must be
 # byte-identical (stdout is timing-free by design) and report the

@@ -96,7 +96,8 @@ let test_bmc_deadline () =
   Net.add_target net "t" r;
   let budget = Budget.create ~timeout_s:0.0 () in
   (match Bmc.check ~budget net ~target:"t" ~depth:8 with
-  | Bmc.Unknown d -> Helpers.check_bool "no depth completed" true (d < 0)
+  | Bmc.Unknown { after; _ } ->
+    Helpers.check_bool "no depth completed" true (after < 0)
   | Bmc.Hit _ | Bmc.No_hit _ -> Alcotest.fail "expired budget must give up");
   match Bmc.prove ~budget net ~target:"t" ~bound:4 with
   | `Unknown -> ()

@@ -11,6 +11,7 @@ let () =
       ("vec", Test_vec.suite);
       ("sim", Test_sim.suite);
       ("sat", Test_sat.suite);
+      ("backend", Test_backend.suite);
       ("simplify", Test_simplify.suite);
       ("proof", Test_proof.suite);
       ("stats", Test_stats.suite);
